@@ -1,0 +1,106 @@
+// Ablation B — the paper's linearization (13)-(15) with binary L versus the
+// standard tight linearization (L >= l_i + l_j - 1, continuous L).
+//
+// Both must find the same optimum (the integer polytopes coincide at
+// binary l); the point of the ablation is the branch & bound effort. The
+// specialized combinatorial solver is shown for reference.
+#include <chrono>
+#include <iostream>
+
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/core/casa_branch_bound.hpp"
+#include "casa/core/formulation.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/support/table.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+using namespace casa;
+
+namespace {
+
+core::SavingsProblem make_instance(const std::string& name, Bytes spm) {
+  const prog::Program program = workloads::by_name(name);
+  const auto exec = trace::Executor::run(program);
+  const auto cache = workloads::paper_cache_for(name);
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache.line_size;
+  topt.max_trace_size = spm;
+  const auto tp = traceopt::form_traces(program, exec.profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  conflict::BuildOptions bopt;
+  bopt.cache = cache;
+  const auto graph =
+      conflict::build_conflict_graph(tp, layout, exec.walk, bopt);
+  const auto energies = energy::EnergyTable::build(cache, spm, 0, 0);
+  return core::presolve(core::CasaProblem::from(tp, graph, energies, spm));
+}
+
+struct RunResult {
+  double energy = 0;
+  std::uint64_t nodes = 0;
+  double seconds = 0;
+};
+
+RunResult run_generic(const core::SavingsProblem& sp,
+                      core::Linearization lin) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::CasaModel cm = core::build_casa_model(sp, lin);
+  ilp::BranchAndBoundOptions opt;
+  opt.branch_priority.assign(cm.model.var_count(), 0);
+  for (const VarId l : cm.l_vars) opt.branch_priority[l.index()] = 1;
+  opt.max_nodes = 200000;
+  ilp::BranchAndBound solver(opt);
+  const ilp::Solution sol = solver.solve(cm.model);
+  RunResult r;
+  r.energy = sol.status == ilp::SolveStatus::kOptimal
+                 ? cm.objective_offset + sol.objective
+                 : -1.0;
+  r.nodes = solver.last_node_count();
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation B — paper linearization (binary L, constraints"
+               " 13-15) vs tight linearization (continuous L)\n"
+               "Identical optima expected; column of interest: B&B nodes.\n\n";
+
+  Table table({"instance", "items", "edges", "paper uJ", "tight uJ",
+               "spec uJ", "paper nodes", "tight nodes", "paper s",
+               "tight s"});
+
+  const std::pair<const char*, Bytes> instances[] = {
+      {"adpcm", 64}, {"adpcm", 128}, {"adpcm", 256}, {"epic", 128}};
+
+  for (const auto& [name, spm] : instances) {
+    const core::SavingsProblem sp = make_instance(name, spm);
+    const RunResult paper = run_generic(sp, core::Linearization::kPaper);
+    const RunResult tight = run_generic(sp, core::Linearization::kTight);
+    const auto spec = core::CasaBranchBound().solve(sp);
+
+    table.row()
+        .cell(std::string(name) + "@" + std::to_string(spm))
+        .cell(static_cast<std::uint64_t>(sp.item_count()))
+        .cell(static_cast<std::uint64_t>(sp.edges.size()))
+        .cell(paper.energy >= 0 ? to_micro_joules(paper.energy) : -1.0, 2)
+        .cell(to_micro_joules(tight.energy), 2)
+        .cell(to_micro_joules(sp.energy_for(spec.chosen)), 2)
+        .cell(paper.nodes)
+        .cell(tight.nodes)
+        .cell(paper.seconds, 3)
+        .cell(tight.seconds, 3);
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(-1 in 'paper uJ' means the node budget of 200k was hit"
+               " before the optimality proof.)\n";
+  return 0;
+}

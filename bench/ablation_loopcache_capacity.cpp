@@ -1,0 +1,46 @@
+// Ablation E — loop-cache preloadable-region budget.
+//
+// The paper's architectural argument against preloaded loop caches: the
+// controller limits them to a handful of regions (2-6), so added capacity
+// stops paying off once the region budget is spent — while the scratchpad
+// (software-managed, no controller) keeps scaling. This sweeps the region
+// budget on MPEG.
+#include <iostream>
+
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/workloads/workloads.hpp"
+
+int main() {
+  using namespace casa;
+
+  const prog::Program program = workloads::make_mpeg();
+  const report::Workbench bench(program);
+  const auto cache = workloads::paper_cache_for("mpeg");
+
+  std::cout << "Ablation E — loop cache region budget on MPEG ("
+            << cache.size << "B I-cache); CASA scratchpad for scale\n\n";
+
+  Table table({"size B", "regions", "LC uJ", "LC acc %fetch", "regions used",
+               "CASA SPM uJ"});
+
+  for (const Bytes size : workloads::paper_spm_sizes_for("mpeg")) {
+    const report::Outcome casa_run = bench.run_casa(cache, size);
+    for (const unsigned regions : {2u, 4u, 8u}) {
+      const report::Outcome lc = bench.run_loopcache(cache, size, regions);
+      table.row()
+          .cell(size)
+          .cell(static_cast<std::uint64_t>(regions))
+          .cell(to_micro_joules(lc.sim.total_energy), 1)
+          .cell(100.0 * static_cast<double>(lc.sim.counters.lc_accesses) /
+                    static_cast<double>(lc.sim.counters.total_fetches),
+                1)
+          .cell(static_cast<std::uint64_t>(lc.lc_regions))
+          .cell(to_micro_joules(casa_run.sim.total_energy), 1);
+    }
+    table.separator();
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Substrate throughput: executor, cache simulator, conflict-graph builder
+// and full hierarchy simulation on the MPEG workload. These bound the cost
+// of every experiment in the repo (items/second = simulated fetches/s for
+// the cache-level benchmarks).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/support/rng.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace {
+
+using namespace casa;
+
+struct Pipeline {
+  prog::Program program = workloads::make_mpeg();
+  trace::ExecutionResult exec = trace::Executor::run(program);
+  traceopt::TraceProgram tp = traceopt::form_traces(program, exec.profile,
+                                                    topts());
+  traceopt::Layout layout = traceopt::layout_all(tp);
+
+  static traceopt::TraceFormationOptions topts() {
+    traceopt::TraceFormationOptions o;
+    o.max_trace_size = 512;
+    return o;
+  }
+};
+
+const Pipeline& pipeline() {
+  static const Pipeline p;
+  return p;
+}
+
+void BM_RawCacheAccess(benchmark::State& state) {
+  cachesim::CacheConfig cfg;
+  cfg.size = 2_KiB;
+  cfg.line_size = 16;
+  cfg.associativity = static_cast<unsigned>(state.range(0));
+  cachesim::Cache cache(cfg);
+  Rng rng(1);
+  // Pre-generate an address stream resembling instruction fetch (mostly
+  // sequential, occasional jumps).
+  std::vector<Addr> stream(1 << 16);
+  Addr pc = 0;
+  for (auto& a : stream) {
+    if (rng.next_bool(0.1)) pc = rng.next_below(32 * 1024) & ~3ull;
+    a = pc;
+    pc += 4;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(stream[i]));
+    i = (i + 1) & (stream.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Executor(benchmark::State& state) {
+  const prog::Program program = workloads::make_mpeg();
+  for (auto _ : state) {
+    trace::ExecutorOptions opt;
+    opt.record_walk = false;
+    benchmark::DoNotOptimize(trace::Executor::run(program, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(pipeline().exec.total_fetches));
+}
+
+void BM_ConflictGraphBuild(benchmark::State& state) {
+  const Pipeline& p = pipeline();
+  conflict::BuildOptions opt;
+  opt.cache = workloads::paper_cache_for("mpeg");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conflict::build_conflict_graph(p.tp, p.layout, p.exec.walk, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(p.exec.total_fetches));
+}
+
+void BM_HierarchySimulation(benchmark::State& state) {
+  const Pipeline& p = pipeline();
+  const auto cache = workloads::paper_cache_for("mpeg");
+  const auto energies = energy::EnergyTable::build(cache, 512, 0, 0);
+  const std::vector<bool> none(p.tp.object_count(), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memsim::simulate_spm_system(
+        p.tp, p.layout, p.exec.walk, none, cache, energies));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(p.exec.total_fetches));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawCacheAccess)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_Executor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConflictGraphBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HierarchySimulation)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

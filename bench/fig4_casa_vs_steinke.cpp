@@ -1,0 +1,62 @@
+// Figure 4 reproduction: CASA vs Steinke (DATE'02) on the MPEG workload.
+//
+// Setup per the paper: direct-mapped 2 kB I-cache, 16 B lines; scratchpad
+// sizes swept; every metric reported as a percentage of Steinke's value
+// (Steinke = 100%). Expected shape (paper §6): CASA shows *more* I-cache
+// accesses and *fewer* scratchpad accesses than Steinke, yet far fewer
+// I-cache misses — and up to ~60% lower energy at the sizes where conflict
+// misses dominate.
+#include <iostream>
+
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/workloads/workloads.hpp"
+
+int main() {
+  using namespace casa;
+
+  const prog::Program program = workloads::make_mpeg();
+  const report::Workbench bench(program);
+  const cachesim::CacheConfig cache = workloads::paper_cache_for("mpeg");
+
+  std::cout << "Figure 4 — CASA vs Steinke, MPEG, " << cache.size
+            << "B direct-mapped I-cache (Steinke = 100%)\n\n";
+
+  Table table({"SPM B", "SP acc %", "IC acc %", "IC miss %", "energy %",
+               "CASA uJ", "Steinke uJ", "engine", "nodes", "solve s"});
+
+  for (const Bytes spm : workloads::paper_spm_sizes_for("mpeg")) {
+    const report::Outcome casa_run = bench.run_casa(cache, spm);
+    const report::Outcome steinke = bench.run_steinke(cache, spm);
+
+    const auto pct = [](double v, double base) {
+      return base == 0.0 ? 0.0 : 100.0 * v / base;
+    };
+    const auto& c = casa_run.sim.counters;
+    const auto& s = steinke.sim.counters;
+
+    table.row()
+        .cell(spm)
+        .cell(pct(static_cast<double>(c.spm_accesses),
+                  static_cast<double>(s.spm_accesses)),
+              1)
+        .cell(pct(static_cast<double>(c.cache_accesses),
+                  static_cast<double>(s.cache_accesses)),
+              1)
+        .cell(pct(static_cast<double>(c.cache_misses),
+                  static_cast<double>(s.cache_misses)),
+              1)
+        .cell(pct(casa_run.sim.total_energy, steinke.sim.total_energy), 1)
+        .cell(to_micro_joules(casa_run.sim.total_energy), 1)
+        .cell(to_micro_joules(steinke.sim.total_energy), 1)
+        .cell(core::to_string(casa_run.alloc.engine_used))
+        .cell(casa_run.alloc.solver_nodes)
+        .cell(casa_run.alloc.solve_seconds, 3);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper reference: CASA conserves up to 60% energy against"
+               " Steinke's algorithm on MPEG;\nI-cache accesses higher and"
+               " SP accesses lower than Steinke at every size.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 1 reproduction: overall energy for SP(CASA), SP(Steinke) and
+// LC(Ross) across the three Mediabench workloads, with per-row and
+// per-benchmark-average improvements.
+//
+// Paper configuration: direct-mapped I-cache of 128 B (adpcm), 1 kB (g721),
+// 2 kB (mpeg); loop cache limited to 4 regions. Absolute microjoules depend
+// on the energy constants (DESIGN.md §2) — the comparisons are the result.
+#include <iostream>
+#include <vector>
+
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/workloads/workloads.hpp"
+
+int main() {
+  using namespace casa;
+
+  std::cout << "Table 1 — overall energy savings (paper's Table 1 layout)\n\n";
+
+  Table table({"benchmark", "mem B", "SP(CASA) uJ", "SP(Steinke) uJ",
+               "LC(Ross) uJ", "CASAvsSteinke %", "CASAvsLC %"});
+
+  double total_vs_steinke = 0.0, total_vs_lc = 0.0;
+  int rows = 0;
+
+  for (const std::string name : {"adpcm", "g721", "mpeg"}) {
+    const prog::Program program = workloads::by_name(name);
+    const report::Workbench bench(program);
+    const auto cache = workloads::paper_cache_for(name);
+
+    double bench_vs_steinke = 0.0, bench_vs_lc = 0.0;
+    int bench_rows = 0;
+    for (const Bytes size : workloads::paper_spm_sizes_for(name)) {
+      const report::Outcome c = bench.run_casa(cache, size);
+      const report::Outcome s = bench.run_steinke(cache, size);
+      const report::Outcome l = bench.run_loopcache(cache, size, 4);
+
+      const double vs_steinke =
+          100.0 * (1.0 - c.sim.total_energy / s.sim.total_energy);
+      const double vs_lc =
+          100.0 * (1.0 - c.sim.total_energy / l.sim.total_energy);
+      bench_vs_steinke += vs_steinke;
+      bench_vs_lc += vs_lc;
+      ++bench_rows;
+
+      table.row()
+          .cell(bench_rows == 1
+                    ? name + " (" + std::to_string(program.code_size()) + "B)"
+                    : std::string())
+          .cell(size)
+          .cell(to_micro_joules(c.sim.total_energy), 2)
+          .cell(to_micro_joules(s.sim.total_energy), 2)
+          .cell(to_micro_joules(l.sim.total_energy), 2)
+          .cell(vs_steinke, 1)
+          .cell(vs_lc, 1);
+    }
+    table.row()
+        .cell("")
+        .cell("avg")
+        .cell("")
+        .cell("")
+        .cell("")
+        .cell(bench_vs_steinke / bench_rows, 1)
+        .cell(bench_vs_lc / bench_rows, 1);
+    table.separator();
+
+    total_vs_steinke += bench_vs_steinke;
+    total_vs_lc += bench_vs_lc;
+    rows += bench_rows;
+  }
+
+  table.print(std::cout);
+  std::cout << "\nOverall average savings: CASA vs Steinke "
+            << total_vs_steinke / rows << "% (paper: 21.1%), CASA vs loop"
+            << " cache " << total_vs_lc / rows << "% (paper: 28.6%)\n";
+  return 0;
+}

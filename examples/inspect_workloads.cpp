@@ -1,0 +1,68 @@
+// Diagnostic example: prints, for every bundled workload, the static and
+// dynamic shape the rest of the pipeline consumes — code size, block/object
+// counts, fetch volume, conflict-graph size against the paper's cache, and
+// the per-event energies. Useful as a first look at what the allocators see.
+#include <iostream>
+
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/support/table.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+int main() {
+  using namespace casa;
+
+  Table table({"workload", "code B", "blocks", "funcs", "fetches", "walk",
+               "objects", "edges", "cache", "hit nJ", "miss nJ", "spm nJ",
+               "miss %"});
+
+  for (const std::string& name : workloads::names()) {
+    const prog::Program program = workloads::by_name(name);
+    const trace::ExecutionResult exec = trace::Executor::run(program);
+
+    const cachesim::CacheConfig cache = workloads::paper_cache_for(name);
+    traceopt::TraceFormationOptions topt;
+    topt.cache_line_size = cache.line_size;
+    topt.max_trace_size = 256;
+    const traceopt::TraceProgram tp =
+        traceopt::form_traces(program, exec.profile, topt);
+    const traceopt::Layout layout = traceopt::layout_all(tp);
+
+    conflict::BuildOptions bopt;
+    bopt.cache = cache;
+    const conflict::ConflictGraph graph =
+        conflict::build_conflict_graph(tp, layout, exec.walk, bopt);
+
+    std::uint64_t misses = 0;
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+      misses +=
+          graph.total_misses(MemoryObjectId(static_cast<std::uint32_t>(i)));
+    }
+
+    const energy::EnergyTable e =
+        energy::EnergyTable::build(cache, 256, 0, 0);
+
+    table.row()
+        .cell(name)
+        .cell(program.code_size())
+        .cell(static_cast<std::uint64_t>(program.block_count()))
+        .cell(static_cast<std::uint64_t>(program.function_count()))
+        .cell(exec.total_fetches)
+        .cell(exec.total_blocks)
+        .cell(static_cast<std::uint64_t>(tp.object_count()))
+        .cell(static_cast<std::uint64_t>(graph.edge_count()))
+        .cell(cache.size)
+        .cell(e.cache_hit, 3)
+        .cell(e.cache_miss, 3)
+        .cell(e.spm_access, 3)
+        .cell(100.0 * static_cast<double>(misses) /
+                  static_cast<double>(exec.total_fetches),
+              2);
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Multi-scratchpad extension (paper §4: "if we had more than one scratchpad
+// at the same horizontal level ... we only need to repeat inequation (17)
+// for every scratchpad").
+//
+// Splits a fast-small + slower-large scratchpad pair for the adpcm workload
+// and compares against a single pad of the combined capacity.
+#include <iostream>
+
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/core/multi_spm.hpp"
+#include "casa/energy/cache_energy.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/energy/spm_energy.hpp"
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+using namespace casa;
+
+int main() {
+  const prog::Program program = workloads::make_adpcm();
+  const report::Workbench bench(program);
+  const auto cache = workloads::paper_cache_for("adpcm");
+
+  // Build the conflict graph at trace size 128 (the smaller pad).
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache.line_size;
+  topt.max_trace_size = 128;
+  const auto tp =
+      traceopt::form_traces(program, bench.execution().profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  conflict::BuildOptions bopt;
+  bopt.cache = cache;
+  const auto graph =
+      conflict::build_conflict_graph(tp, layout, bench.execution().walk, bopt);
+
+  const energy::CacheEnergyModel cache_energy(cache);
+
+  core::MultiSpmProblem problem;
+  problem.graph = &graph;
+  for (const auto& mo : tp.objects()) problem.sizes.push_back(mo.raw_size);
+  problem.capacities = {128, 256};
+  problem.e_spm = {energy::SpmEnergyModel(128).access_energy(),
+                   energy::SpmEnergyModel(256).access_energy()};
+  problem.e_cache_hit = cache_energy.hit_energy();
+  problem.e_cache_miss = cache_energy.miss_energy();
+
+  const core::MultiSpmResult multi = core::allocate_multi_spm(problem);
+
+  std::cout << "Multi-scratchpad allocation — adpcm, pads of 128 B ("
+            << problem.e_spm[0] << " nJ/access) and 256 B ("
+            << problem.e_spm[1] << " nJ/access)\n\n";
+
+  Table table({"object", "size B", "fetches", "location"});
+  for (std::size_t i = 0; i < tp.object_count(); ++i) {
+    if (multi.pad_of[i] < 0 && tp.objects()[i].fetches < 10000) continue;
+    const auto& mo = tp.objects()[i];
+    table.row()
+        .cell(program.block(mo.blocks.front()).label)
+        .cell(mo.raw_size)
+        .cell(mo.fetches)
+        .cell(multi.pad_of[i] < 0
+                  ? std::string("cache")
+                  : "pad" + std::to_string(multi.pad_of[i]));
+  }
+  table.print(std::cout);
+
+  std::cout << "\npad utilization: " << multi.used_bytes[0] << "/128 B and "
+            << multi.used_bytes[1] << "/256 B; model energy "
+            << to_micro_joules(multi.predicted_energy) << " uJ ("
+            << (multi.exact ? "proven optimal" : "node-limit incumbent")
+            << ")\n";
+
+  // Reference: one 384 B pad via the classic single-pad path.
+  const report::Outcome single = bench.run_casa(cache, 384);
+  std::cout << "single 384 B pad (simulated): "
+            << to_micro_joules(single.sim.total_energy)
+            << " uJ — the split pads trade capacity for cheaper accesses on"
+               " the hottest objects.\n";
+  return 0;
+}

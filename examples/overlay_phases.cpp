@@ -1,0 +1,87 @@
+// Overlay example: watching the scratchpad residency follow program phases.
+//
+// The EPIC stand-in has two macro-phases (wavelet filtering, then entropy
+// packing). This example prints the per-phase hot objects, the residency
+// the overlay allocator chooses for each phase, and the copy traffic it
+// pays at the transitions — next to the static allocation for contrast.
+#include <iostream>
+
+#include "casa/overlay/overlay_ilp.hpp"
+#include "casa/overlay/overlay_sim.hpp"
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+using namespace casa;
+
+int main() {
+  const prog::Program program = workloads::make_epic();
+  const report::Workbench bench(program);
+  const auto cache = workloads::paper_cache_for("epic");
+  const Bytes spm = 512;
+  const unsigned phases = 4;
+
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache.line_size;
+  topt.max_trace_size = spm;
+  const auto tp =
+      traceopt::form_traces(program, bench.execution().profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+
+  overlay::PhaseProfileOptions popt;
+  popt.phase_count = phases;
+  popt.cache = cache;
+  const auto prof = overlay::build_phase_profile(
+      tp, layout, bench.execution().walk, popt);
+
+  std::cout << "epic, " << spm << " B scratchpad, " << phases
+            << " phases\n\nper-phase hottest objects:\n";
+  for (std::size_t ph = 0; ph < prof.phase_count(); ++ph) {
+    std::size_t hottest = 0;
+    for (std::size_t i = 1; i < prof.object_count(); ++i) {
+      if (prof.phases()[ph].fetches[i] >
+          prof.phases()[ph].fetches[hottest]) {
+        hottest = i;
+      }
+    }
+    const auto& mo = tp.objects()[hottest];
+    std::cout << "  phase " << ph << ": "
+              << program.block(mo.blocks.front()).label << " ("
+              << prof.phases()[ph].fetches[hottest] / 1000 << "k fetches)\n";
+  }
+
+  const auto energies = energy::EnergyTable::build(cache, spm, 0, 0);
+  const auto problem = overlay::OverlayProblem::from(prof, tp, energies, spm);
+  const auto dyn = overlay::allocate_overlay(problem);
+  const auto fixed = overlay::allocate_static(problem);
+
+  std::cout << "\nresidency per phase (objects on the scratchpad):\n";
+  for (std::size_t ph = 0; ph < dyn.residency.size(); ++ph) {
+    std::cout << "  phase " << ph << ": ";
+    for (std::size_t i = 0; i < dyn.residency[ph].size(); ++i) {
+      if (dyn.residency[ph][i]) {
+        std::cout << program.block(tp.objects()[i].blocks.front()).label
+                  << " ";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  const auto sim_dyn = overlay::simulate_overlay(
+      tp, layout, bench.execution().walk, prof, dyn.residency, cache,
+      energies);
+  const auto sim_fix = overlay::simulate_overlay(
+      tp, layout, bench.execution().walk, prof, fixed.residency, cache,
+      energies);
+
+  std::cout << "\nstatic:  " << to_micro_joules(sim_fix.total_energy())
+            << " uJ\noverlay: " << to_micro_joules(sim_dyn.total_energy())
+            << " uJ (" << sim_dyn.copies << " copies, "
+            << to_micro_joules(sim_dyn.copy_energy) << " uJ transfer)\n"
+            << "gain: "
+            << 100.0 * (1.0 - sim_dyn.total_energy() / sim_fix.total_energy())
+            << "%\n";
+  return 0;
+}

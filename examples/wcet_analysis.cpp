@@ -1,0 +1,68 @@
+// WCET example: how scratchpad allocation tightens worst-case bounds.
+//
+// The paper's introduction argues scratchpads "allow tighter bounds on
+// WCET prediction". This example walks the G.721 codec through the
+// analysis: per-block worst-case costs under always-miss / SPM / oracle
+// assumptions, IPET bounds per configuration, and the structural-vs-IPET
+// differential check.
+#include <iostream>
+
+#include "casa/report/workbench.hpp"
+#include "casa/support/table.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/wcet/block_costs.hpp"
+#include "casa/wcet/wcet.hpp"
+#include "casa/workloads/workloads.hpp"
+
+using namespace casa;
+
+int main() {
+  const prog::Program program = workloads::make_g721();
+  const report::Workbench bench(program);
+  const auto cache = workloads::paper_cache_for("g721");
+
+  std::cout << "WCET analysis — g721, " << cache.size
+            << " B direct-mapped I-cache\n\n";
+
+  Table table({"SPM B", "bound (always-miss)", "bound (CASA SPM)",
+               "tightening %", "ipet==structural"});
+
+  for (const Bytes spm : workloads::paper_spm_sizes_for("g721")) {
+    traceopt::TraceFormationOptions topt;
+    topt.cache_line_size = cache.line_size;
+    topt.max_trace_size = spm;
+    const auto tp =
+        traceopt::form_traces(program, bench.execution().profile, topt);
+    const auto layout = traceopt::layout_all(tp);
+    const report::Outcome casa_run = bench.run_casa(cache, spm);
+
+    wcet::BlockCostOptions opt;
+    opt.cache = cache;
+    const std::vector<bool> none(tp.object_count(), false);
+    const auto base_costs = wcet::block_cycle_costs(tp, layout, none, opt);
+    const auto spm_costs =
+        wcet::block_cycle_costs(tp, layout, casa_run.alloc.on_spm, opt);
+
+    const std::uint64_t base = wcet::ipet_wcet(program, base_costs);
+    const std::uint64_t tight = wcet::ipet_wcet(program, spm_costs);
+    const bool agree =
+        base == wcet::structural_wcet(program, base_costs) &&
+        tight == wcet::structural_wcet(program, spm_costs);
+
+    table.row()
+        .cell(spm)
+        .cell(base)
+        .cell(tight)
+        .cell(100.0 * (1.0 - static_cast<double>(tight) /
+                                 static_cast<double>(base)),
+              1)
+        .cell(agree ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery fetch from the scratchpad is a deterministic "
+               "single-cycle access; the allocator's energy choices double "
+               "as predictability wins.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "casa/baseline/steinke.hpp"
+
+#include "casa/ilp/knapsack.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::baseline {
+
+SteinkeResult allocate_steinke(const traceopt::TraceProgram& tp,
+                               Bytes capacity, Energy per_access_saving) {
+  CASA_CHECK(per_access_saving > 0, "per-access saving must be positive");
+
+  std::vector<ilp::KnapsackItem> items;
+  items.reserve(tp.object_count());
+  for (const auto& mo : tp.objects()) {
+    items.push_back(ilp::KnapsackItem{
+        mo.raw_size,
+        static_cast<double>(mo.fetches) * per_access_saving});
+  }
+
+  const ilp::KnapsackResult k = ilp::solve_knapsack(items, capacity);
+
+  SteinkeResult r;
+  r.on_spm.assign(tp.object_count(), false);
+  for (std::size_t i = 0; i < k.taken.size(); ++i) {
+    if (k.taken[i]) {
+      r.on_spm[i] = true;
+      r.used_bytes += tp.objects()[i].raw_size;
+    }
+  }
+  r.knapsack_profit = k.total_profit;
+  return r;
+}
+
+}  // namespace casa::baseline

@@ -1,0 +1,32 @@
+// Steinke et al. (DATE 2002) scratchpad allocator — the paper's baseline.
+//
+// Cache-oblivious: each object's profit is proportional to its execution
+// (fetch) count; the best subset under the capacity is a plain 0/1 knapsack.
+// Crucially, the technique *moves* objects out of the main-memory image
+// instead of copying them, so the remaining program is compacted and every
+// residual object's cache mapping changes — the source of the erratic
+// results the CASA paper demonstrates. The memsim layer reproduces that by
+// re-laying-out the residue (layout_excluding) before simulation.
+#pragma once
+
+#include <vector>
+
+#include "casa/support/units.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::baseline {
+
+struct SteinkeResult {
+  std::vector<bool> on_spm;  ///< per memory object
+  Bytes used_bytes = 0;
+  double knapsack_profit = 0.0;
+};
+
+/// Selects objects by fetch-count knapsack. `per_access_saving` scales the
+/// profit (Steinke used E_mainmem - E_spm; any positive constant yields the
+/// same selection).
+SteinkeResult allocate_steinke(const traceopt::TraceProgram& tp,
+                               Bytes capacity,
+                               Energy per_access_saving = 1.0);
+
+}  // namespace casa::baseline

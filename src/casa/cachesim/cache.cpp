@@ -1,0 +1,104 @@
+#include "casa/cachesim/cache.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::cachesim {
+
+const char* to_string(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kFifo:
+      return "FIFO";
+    case ReplacementPolicy::kRoundRobin:
+      return "RoundRobin";
+    case ReplacementPolicy::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+void CacheConfig::validate() const {
+  CASA_CHECK(is_pow2(size), "cache size must be a power of two");
+  CASA_CHECK(is_pow2(line_size), "line size must be a power of two");
+  CASA_CHECK(associativity >= 1, "associativity must be >= 1");
+  CASA_CHECK(size % (line_size * associativity) == 0,
+             "size must be divisible by line_size * associativity");
+  CASA_CHECK(is_pow2(sets()), "set count must be a power of two");
+}
+
+Cache::Cache(CacheConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.validate();
+  ways_.resize(static_cast<std::size_t>(config_.sets()) *
+               config_.associativity);
+  rr_next_.resize(config_.sets(), 0);
+}
+
+AccessResult Cache::access(Addr addr) {
+  ++tick_;
+  const std::uint64_t line = line_of(addr);
+  const unsigned set = static_cast<unsigned>(line % config_.sets());
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].line == line) {
+      if (config_.policy == ReplacementPolicy::kLru) base[w].stamp = tick_;
+      ++hits_;
+      return AccessResult{true, std::nullopt};
+    }
+  }
+
+  ++misses_;
+  const unsigned victim = pick_victim(set);
+  Way& v = base[victim];
+  AccessResult result{false, std::nullopt};
+  if (v.valid) result.evicted_line = v.line;
+  v.valid = true;
+  v.line = line;
+  v.stamp = tick_;  // fill time serves both LRU and FIFO ordering
+  return result;
+}
+
+unsigned Cache::pick_victim(unsigned set) {
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      unsigned victim = 0;
+      for (unsigned w = 1; w < config_.associativity; ++w) {
+        if (base[w].stamp < base[victim].stamp) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kRoundRobin: {
+      const unsigned victim = rr_next_[set];
+      rr_next_[set] = (victim + 1) % config_.associativity;
+      return victim;
+    }
+    case ReplacementPolicy::kRandom:
+      return static_cast<unsigned>(rng_.next_below(config_.associativity));
+  }
+  return 0;
+}
+
+void Cache::flush() {
+  for (Way& w : ways_) w.valid = false;
+  for (unsigned& n : rr_next_) n = 0;
+}
+
+bool Cache::contains(Addr addr) const {
+  const std::uint64_t line = addr / config_.line_size;
+  const unsigned set = static_cast<unsigned>(line % config_.sets());
+  const Way* base =
+      &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].line == line) return true;
+  }
+  return false;
+}
+
+}  // namespace casa::cachesim

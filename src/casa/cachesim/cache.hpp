@@ -1,0 +1,84 @@
+// Set-associative cache model.
+//
+// Word-granular accesses; line-granular state. The model reports, for every
+// miss, which memory line (if any) was evicted — the hook the conflict-graph
+// builder uses to attribute conflict misses to their evictor (paper §3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "casa/support/rng.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::cachesim {
+
+enum class ReplacementPolicy { kLru, kFifo, kRoundRobin, kRandom };
+
+const char* to_string(ReplacementPolicy p);
+
+struct CacheConfig {
+  Bytes size = 2_KiB;
+  Bytes line_size = 16;
+  unsigned associativity = 1;  ///< 1 = direct mapped
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+
+  unsigned sets() const {
+    return static_cast<unsigned>(size / (line_size * associativity));
+  }
+  unsigned offset_bits() const { return log2_pow2(line_size); }
+  unsigned index_bits() const { return log2_pow2(sets()); }
+
+  /// Validates size/line/associativity divisibility and power-of-two-ness.
+  void validate() const;
+};
+
+/// Outcome of one access.
+struct AccessResult {
+  bool hit = false;
+  /// On a miss that displaced a valid line: the displaced line's number
+  /// (byte address / line_size).
+  std::optional<std::uint64_t> evicted_line;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config, std::uint64_t seed = 1);
+
+  /// One word fetch at byte address `addr`.
+  AccessResult access(Addr addr);
+
+  /// Invalidates all lines.
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t line_of(Addr addr) const { return addr / config_.line_size; }
+
+  /// True when the line containing `addr` is currently resident (test hook;
+  /// does not affect replacement state).
+  bool contains(Addr addr) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t line = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  unsigned pick_victim(unsigned set);
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  ///< sets * associativity, set-major
+  std::vector<unsigned> rr_next_;
+  Rng rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace casa::cachesim

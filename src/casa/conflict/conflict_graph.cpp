@@ -1,0 +1,78 @@
+#include "casa/conflict/conflict_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "casa/support/error.hpp"
+
+namespace casa::conflict {
+
+ConflictGraph::ConflictGraph(std::size_t nodes,
+                             std::vector<std::uint64_t> fetches,
+                             std::vector<std::uint64_t> cold_misses,
+                             std::vector<std::uint64_t> hits,
+                             std::vector<Edge> edges)
+    : fetches_(std::move(fetches)),
+      cold_misses_(std::move(cold_misses)),
+      hits_(std::move(hits)),
+      edges_(std::move(edges)) {
+  CASA_CHECK(fetches_.size() == nodes && cold_misses_.size() == nodes &&
+                 hits_.size() == nodes,
+             "conflict graph vector size mismatch");
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  for (const Edge& e : edges_) {
+    CASA_CHECK(e.from.index() < nodes && e.to.index() < nodes,
+               "conflict edge references unknown node");
+    CASA_CHECK(e.misses > 0, "conflict edge with zero weight");
+  }
+  out_begin_.assign(nodes + 1, 0);
+  for (const Edge& e : edges_) ++out_begin_[e.from.index() + 1];
+  for (std::size_t i = 1; i <= nodes; ++i) out_begin_[i] += out_begin_[i - 1];
+}
+
+std::uint64_t ConflictGraph::total_misses(MemoryObjectId i) const {
+  std::uint64_t total = cold_misses_[i.index()];
+  for (const Edge& e : out_edges(i)) total += e.misses;
+  return total;
+}
+
+std::uint64_t ConflictGraph::miss_weight(MemoryObjectId i,
+                                         MemoryObjectId j) const {
+  for (const Edge& e : out_edges(i)) {
+    if (e.to == j) return e.misses;
+  }
+  return 0;
+}
+
+std::vector<Edge> ConflictGraph::out_edges(MemoryObjectId i) const {
+  CASA_CHECK(i.index() < node_count(), "bad node id");
+  return {edges_.begin() + static_cast<std::ptrdiff_t>(out_begin_[i.index()]),
+          edges_.begin() +
+              static_cast<std::ptrdiff_t>(out_begin_[i.index() + 1])};
+}
+
+std::uint64_t ConflictGraph::total_conflict_misses() const {
+  std::uint64_t total = 0;
+  for (const Edge& e : edges_) total += e.misses;
+  return total;
+}
+
+std::string ConflictGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph conflict {\n";
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    os << "  n" << i << " [label=\"x" << i << "\\nf=" << fetches_[i]
+       << "\"];\n";
+  }
+  for (const Edge& e : edges_) {
+    os << "  n" << e.from.index() << " -> n" << e.to.index() << " [label=\""
+       << e.misses << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace casa::conflict

@@ -1,0 +1,71 @@
+// Conflict graph G = (X, E) — paper §3.3.
+//
+// Vertex x_i: one memory object, weighted with its instruction fetch count
+// f_i. Directed edge e_ij with weight m_ij: the number of cache misses of
+// x_i whose missing line was previously evicted by x_j. Cold (first-touch)
+// misses have no evictor and are kept separately; they are unavoidable by
+// allocation and therefore not part of the optimization objective's variable
+// term.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casa/support/ids.hpp"
+
+namespace casa::conflict {
+
+struct Edge {
+  MemoryObjectId from;  ///< x_i — the object that missed
+  MemoryObjectId to;    ///< x_j — the object whose fill evicted x_i's line
+  std::uint64_t misses = 0;  ///< m_ij
+};
+
+class ConflictGraph {
+ public:
+  ConflictGraph(std::size_t nodes, std::vector<std::uint64_t> fetches,
+                std::vector<std::uint64_t> cold_misses,
+                std::vector<std::uint64_t> hits, std::vector<Edge> edges);
+
+  std::size_t node_count() const { return fetches_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// f_i — instruction fetches of object i (vertex weight).
+  std::uint64_t fetches(MemoryObjectId i) const {
+    return fetches_[i.index()];
+  }
+  /// Cold misses of object i (not attributable to any conflict).
+  std::uint64_t cold_misses(MemoryObjectId i) const {
+    return cold_misses_[i.index()];
+  }
+  /// Cache hits of object i during the profiling run.
+  std::uint64_t hits(MemoryObjectId i) const { return hits_[i.index()]; }
+
+  /// Total misses of object i: cold + sum of m_ij (paper eq. 3 plus cold).
+  std::uint64_t total_misses(MemoryObjectId i) const;
+
+  /// m_ij, zero when no edge exists.
+  std::uint64_t miss_weight(MemoryObjectId i, MemoryObjectId j) const;
+
+  /// All edges, ordered by (from, to).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing edges of node i (conflict neighbourhood N_i).
+  std::vector<Edge> out_edges(MemoryObjectId i) const;
+
+  /// Sum of all conflict-miss weights.
+  std::uint64_t total_conflict_misses() const;
+
+  /// Graphviz dump for inspection.
+  std::string to_dot() const;
+
+ private:
+  std::vector<std::uint64_t> fetches_;
+  std::vector<std::uint64_t> cold_misses_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<Edge> edges_;              ///< sorted by (from, to)
+  std::vector<std::size_t> out_begin_;   ///< CSR index into edges_ by from
+};
+
+}  // namespace casa::conflict

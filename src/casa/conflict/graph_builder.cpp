@@ -1,0 +1,67 @@
+#include "casa/conflict/graph_builder.hpp"
+
+#include <unordered_map>
+
+#include "casa/support/error.hpp"
+
+namespace casa::conflict {
+
+ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
+                                   const traceopt::Layout& layout,
+                                   const trace::BlockWalk& walk,
+                                   const BuildOptions& opt) {
+  CASA_CHECK(opt.cache.line_size > 0, "cache line size must be positive");
+  const std::size_t n = tp.object_count();
+  const prog::Program& program = tp.program();
+
+  cachesim::Cache cache(opt.cache, opt.seed);
+
+  std::vector<std::uint64_t> fetches(n, 0);
+  std::vector<std::uint64_t> cold(n, 0);
+  std::vector<std::uint64_t> hits(n, 0);
+  // (i << 32 | j) -> m_ij
+  std::unordered_map<std::uint64_t, std::uint64_t> m;
+  // line number -> object whose fill evicted it
+  std::unordered_map<std::uint64_t, MemoryObjectId> evicted_by;
+
+  for (const BasicBlockId bb : walk.seq) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    const Addr base = layout.block_addr(bb);
+    const Bytes size = program.block(bb).size;
+    for (Bytes off = 0; off < size; off += kWordBytes) {
+      const Addr addr = base + off;
+      ++fetches[mo.index()];
+      const cachesim::AccessResult r = cache.access(addr);
+      if (r.hit) {
+        ++hits[mo.index()];
+        continue;
+      }
+      const std::uint64_t line = cache.line_of(addr);
+      auto ev = evicted_by.find(line);
+      if (ev == evicted_by.end()) {
+        ++cold[mo.index()];
+      } else {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(mo.value()) << 32) |
+            ev->second.value();
+        ++m[key];
+        evicted_by.erase(ev);
+      }
+      if (r.evicted_line.has_value()) {
+        evicted_by[*r.evicted_line] = mo;
+      }
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(m.size());
+  for (const auto& [key, weight] : m) {
+    edges.push_back(Edge{MemoryObjectId(static_cast<std::uint32_t>(key >> 32)),
+                         MemoryObjectId(static_cast<std::uint32_t>(key)),
+                         weight});
+  }
+  return ConflictGraph(n, std::move(fetches), std::move(cold),
+                       std::move(hits), std::move(edges));
+}
+
+}  // namespace casa::conflict

@@ -1,0 +1,30 @@
+// Conflict-graph construction: the profiling cache pass.
+//
+// Replays the dynamic block walk through the configured I-cache with every
+// memory object cached (no scratchpad — the paper builds G before
+// allocation). For each miss the previously recorded evictor of the missing
+// line determines the conflict edge; fills record the current object as the
+// future evictor of whatever line they displaced.
+#pragma once
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::conflict {
+
+struct BuildOptions {
+  cachesim::CacheConfig cache;
+  /// Seed for the cache's random replacement policy (unused otherwise).
+  std::uint64_t seed = 1;
+};
+
+/// Builds G for `tp` laid out by `layout` over the dynamic `walk`.
+ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
+                                   const traceopt::Layout& layout,
+                                   const trace::BlockWalk& walk,
+                                   const BuildOptions& opt);
+
+}  // namespace casa::conflict

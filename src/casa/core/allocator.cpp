@@ -1,0 +1,94 @@
+#include "casa/core/allocator.hpp"
+
+#include <chrono>
+
+#include "casa/core/casa_branch_bound.hpp"
+#include "casa/core/greedy.hpp"
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::core {
+
+const char* to_string(CasaEngine e) {
+  switch (e) {
+    case CasaEngine::kAuto:
+      return "auto";
+    case CasaEngine::kSpecializedBnB:
+      return "specialized-bnb";
+    case CasaEngine::kGenericIlp:
+      return "generic-ilp";
+    case CasaEngine::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
+  const auto start = std::chrono::steady_clock::now();
+  const SavingsProblem sp = presolve(p);
+
+  CasaEngine engine = opt_.engine;
+  if (engine == CasaEngine::kAuto) {
+    engine = sp.edges.size() <= opt_.generic_ilp_max_edges
+                 ? CasaEngine::kGenericIlp
+                 : CasaEngine::kSpecializedBnB;
+  }
+
+  AllocationResult result;
+  result.engine_used = engine;
+  std::vector<bool> chosen;
+
+  switch (engine) {
+    case CasaEngine::kGenericIlp: {
+      const CasaModel cm = build_casa_model(sp, opt_.linearization);
+      ilp::BranchAndBoundOptions bopt;
+      bopt.max_nodes = opt_.max_nodes;
+      // Location variables decide the allocation; the linearization
+      // variables L are implied once the l are fixed — branch l first.
+      bopt.branch_priority.assign(cm.model.var_count(), 0);
+      for (const VarId l : cm.l_vars) bopt.branch_priority[l.index()] = 1;
+      ilp::BranchAndBound solver(bopt);
+      const ilp::Solution sol = solver.solve(cm.model);
+      CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal ||
+                     sol.status == ilp::SolveStatus::kLimit,
+                 "CASA ILP did not produce a solution");
+      chosen = choice_from_solution(cm, sol);
+      result.exact = sol.status == ilp::SolveStatus::kOptimal;
+      result.solver_nodes = solver.last_node_count();
+      break;
+    }
+    case CasaEngine::kSpecializedBnB: {
+      CasaBranchBoundOptions bopt;
+      bopt.max_nodes = opt_.max_nodes;
+      const CasaBranchBound solver(bopt);
+      CasaBranchBoundResult r = solver.solve(sp);
+      chosen = std::move(r.chosen);
+      result.exact = r.exact;
+      result.solver_nodes = r.nodes;
+      break;
+    }
+    case CasaEngine::kGreedy: {
+      GreedyResult r = solve_greedy(sp);
+      chosen = std::move(r.chosen);
+      result.exact = false;
+      break;
+    }
+    case CasaEngine::kAuto:
+      CASA_CHECK(false, "unreachable");
+  }
+
+  result.predicted_saving = sp.saving_for(chosen);
+  result.predicted_energy = sp.energy_for(chosen);
+  result.on_spm = expand_choice(p, sp, chosen);
+  for (std::size_t k = 0; k < chosen.size(); ++k) {
+    if (chosen[k]) result.used_bytes += sp.weight[k];
+  }
+  CASA_CHECK(result.used_bytes <= p.capacity,
+             "allocation exceeds scratchpad capacity");
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace casa::core

@@ -1,0 +1,64 @@
+// CasaAllocator — the public entry point for the paper's algorithm.
+//
+// Pipeline position (paper fig. 3): after trace generation and conflict
+// graph construction, the allocator picks the subset of memory objects to
+// copy onto the scratchpad. Engines:
+//  * kGenericIlp     — the literal paper path: build the ILP (eq. 12-17) and
+//                      solve it exactly with the generic branch & bound over
+//                      the simplex relaxation (the repo's CPLEX stand-in).
+//  * kSpecializedBnB — exact combinatorial branch & bound on the presolved
+//                      savings problem; same optimum, much faster on large
+//                      conflict graphs.
+//  * kGreedy         — polynomial heuristic (no optimality guarantee).
+//  * kAuto           — generic ILP for small instances, specialized B&B
+//                      beyond `generic_ilp_max_edges` edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/core/formulation.hpp"
+#include "casa/core/problem.hpp"
+
+namespace casa::core {
+
+enum class CasaEngine { kAuto, kSpecializedBnB, kGenericIlp, kGreedy };
+
+const char* to_string(CasaEngine e);
+
+struct CasaOptions {
+  CasaEngine engine = CasaEngine::kAuto;
+  /// kTight by default: identical integer optima to the paper's (13)-(15)
+  /// with far smaller branch & bound trees (Ablation B in EXPERIMENTS.md
+  /// verifies the equivalence). Set kPaper for the literal formulation.
+  Linearization linearization = Linearization::kTight;
+  /// kAuto switches from the generic ILP to the specialized solver when the
+  /// presolved edge count exceeds this.
+  std::size_t generic_ilp_max_edges = 120;
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+struct AllocationResult {
+  std::vector<bool> on_spm;    ///< per memory object
+  Bytes used_bytes = 0;        ///< unpadded bytes placed on the scratchpad
+  Energy predicted_energy = 0; ///< paper model (eq. 16; cold misses excl.)
+  Energy predicted_saving = 0; ///< vs. the all-cached assignment
+  std::uint64_t solver_nodes = 0;
+  bool exact = true;
+  double solve_seconds = 0.0;
+  CasaEngine engine_used = CasaEngine::kAuto;
+};
+
+class CasaAllocator {
+ public:
+  using Options = CasaOptions;
+
+  explicit CasaAllocator(Options opt = {}) : opt_(opt) {}
+
+  AllocationResult allocate(const CasaProblem& p) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace casa::core

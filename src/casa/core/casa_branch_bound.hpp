@@ -1,0 +1,47 @@
+// Specialized exact solver for the CASA savings problem.
+//
+// The presolved problem is a quadratic-knapsack variant: choose items under
+// a capacity so that linear values plus once-per-edge bonuses are maximized.
+// This branch & bound explores items in static optimistic-density order and
+// prunes with a fractional-knapsack bound over static optimistic values
+// (value + all incident edge weights — an upper bound on any completion, so
+// pruning is sound and the search is exact).
+//
+// The generic ilp::BranchAndBound solves the same instances through the
+// paper's LP formulation; this solver exists because it is orders of
+// magnitude faster on the larger benchmarks (mpeg) while provably returning
+// the same optimum — the test suite cross-checks the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/core/problem.hpp"
+
+namespace casa::core {
+
+struct CasaBranchBoundOptions {
+  std::uint64_t max_nodes = 50'000'000;
+  double eps = 1e-9;  ///< pruning slack on energy comparisons (nJ)
+};
+
+struct CasaBranchBoundResult {
+  std::vector<bool> chosen;  ///< per presolved item
+  Energy saving = 0;
+  std::uint64_t nodes = 0;
+  bool exact = true;  ///< false when max_nodes aborted the proof
+};
+
+class CasaBranchBound {
+ public:
+  using Options = CasaBranchBoundOptions;
+
+  explicit CasaBranchBound(Options opt = {}) : opt_(opt) {}
+
+  CasaBranchBoundResult solve(const SavingsProblem& sp) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace casa::core

@@ -1,0 +1,48 @@
+#include "casa/core/greedy.hpp"
+
+#include <vector>
+
+namespace casa::core {
+
+GreedyResult solve_greedy(const SavingsProblem& sp) {
+  const std::size_t n = sp.item_count();
+  std::vector<std::vector<std::uint32_t>> incident(n);
+  for (std::size_t e = 0; e < sp.edges.size(); ++e) {
+    incident[sp.edges[e].a].push_back(static_cast<std::uint32_t>(e));
+    incident[sp.edges[e].b].push_back(static_cast<std::uint32_t>(e));
+  }
+
+  std::vector<bool> chosen(n, false);
+  std::vector<std::uint8_t> covered(sp.edges.size(), 0);
+  Bytes cap = sp.capacity;
+
+  for (;;) {
+    int best = -1;
+    double best_density = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (chosen[k] || sp.weight[k] > cap) continue;
+      Energy marginal = sp.value[k];
+      for (const std::uint32_t e : incident[k]) {
+        if (!covered[e]) marginal += sp.edges[e].weight;
+      }
+      const double density =
+          marginal / static_cast<double>(sp.weight[k]);
+      if (marginal > 0 && density > best_density) {
+        best_density = density;
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) break;
+    const auto k = static_cast<std::size_t>(best);
+    chosen[k] = true;
+    cap -= sp.weight[k];
+    for (const std::uint32_t e : incident[k]) covered[e] = 1;
+  }
+
+  GreedyResult r;
+  r.saving = sp.saving_for(chosen);
+  r.chosen = std::move(chosen);
+  return r;
+}
+
+}  // namespace casa::core

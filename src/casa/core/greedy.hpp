@@ -1,0 +1,22 @@
+// Greedy marginal-density heuristic for the savings problem.
+//
+// Polynomial-time alternative to the exact solvers: repeatedly take the
+// undecided item with the best marginal saving per byte (linear value plus
+// still-uncovered incident edges) until nothing fits. Used to quantify the
+// ILP's optimality gap (ablation) and as a fast mode for very large inputs.
+#pragma once
+
+#include <vector>
+
+#include "casa/core/problem.hpp"
+
+namespace casa::core {
+
+struct GreedyResult {
+  std::vector<bool> chosen;
+  Energy saving = 0;
+};
+
+GreedyResult solve_greedy(const SavingsProblem& sp);
+
+}  // namespace casa::core

@@ -1,0 +1,133 @@
+#include "casa/core/multi_spm.hpp"
+
+#include <map>
+#include <string>
+
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::core {
+
+void MultiSpmProblem::validate() const {
+  CASA_CHECK(graph != nullptr, "MultiSpmProblem needs a conflict graph");
+  CASA_CHECK(sizes.size() == graph->node_count(), "sizes size mismatch");
+  CASA_CHECK(!capacities.empty(), "need at least one scratchpad");
+  CASA_CHECK(capacities.size() == e_spm.size(),
+             "capacities / energies mismatch");
+  CASA_CHECK(e_cache_miss > e_cache_hit, "miss must cost more than hit");
+  for (const Energy e : e_spm) {
+    CASA_CHECK(e_cache_hit > e, "scratchpad must beat the cache per access");
+  }
+}
+
+MultiSpmResult allocate_multi_spm(const MultiSpmProblem& p,
+                                  MultiSpmOptions opt) {
+  p.validate();
+  const conflict::ConflictGraph& g = *p.graph;
+  const std::size_t n = g.node_count();
+  const std::size_t pads = p.capacities.size();
+
+  ilp::Model m;
+
+  // l_i: 1 = cached. a_ik: object i lives on pad k.
+  std::vector<VarId> l(n);
+  std::vector<std::vector<VarId>> a(n, std::vector<VarId>(pads));
+  Bytes max_cap = 0;
+  for (const Bytes c : p.capacities) max_cap = std::max(max_cap, c);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    l[i] = m.add_binary("l_" + std::to_string(i));
+    ilp::LinExpr link;
+    link.add(l[i], 1.0);
+    for (std::size_t k = 0; k < pads; ++k) {
+      a[i][k] = m.add_binary("a_" + std::to_string(i) + "_" +
+                             std::to_string(k));
+      link.add(a[i][k], 1.0);
+      if (p.sizes[i] > p.capacities[k]) {
+        // Object cannot fit this pad at all.
+        m.add_constraint("nofit_" + std::to_string(i) + "_" +
+                             std::to_string(k),
+                         ilp::LinExpr().add(a[i][k], 1.0), ilp::Rel::kEqual,
+                         0.0);
+      }
+    }
+    // Exactly one location: cached or one pad.
+    m.add_constraint("loc_" + std::to_string(i), std::move(link),
+                     ilp::Rel::kEqual, 1.0);
+  }
+
+  // Per-pad capacity (paper: inequation (17) repeated per scratchpad).
+  for (std::size_t k = 0; k < pads; ++k) {
+    ilp::LinExpr cap;
+    for (std::size_t i = 0; i < n; ++i) {
+      cap.add(a[i][k], static_cast<double>(p.sizes[i]));
+    }
+    m.add_constraint("cap_" + std::to_string(k), std::move(cap),
+                     ilp::Rel::kLessEq, static_cast<double>(p.capacities[k]));
+  }
+
+  // Merge directed conflict edges into unordered pairs.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> pair_w;
+  const double d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+  ilp::LinExpr obj;
+  for (const conflict::Edge& e : g.edges()) {
+    const double w = static_cast<double>(e.misses) * d_miss_hit;
+    if (e.from == e.to) {
+      obj.add(l[e.from.index()], w);  // l_i^2 = l_i
+      continue;
+    }
+    const auto key = e.from.value() < e.to.value()
+                         ? std::make_pair(e.from.value(), e.to.value())
+                         : std::make_pair(e.to.value(), e.from.value());
+    pair_w[key] += w;
+  }
+
+  // Objective: fetch costs plus linearized conflict terms.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = static_cast<double>(
+        g.fetches(MemoryObjectId(static_cast<std::uint32_t>(i))));
+    obj.add(l[i], f * p.e_cache_hit);
+    for (std::size_t k = 0; k < pads; ++k) {
+      obj.add(a[i][k], f * p.e_spm[k]);
+    }
+  }
+  std::size_t edge_idx = 0;
+  for (const auto& [key, w] : pair_w) {
+    const VarId L = m.add_continuous("L_" + std::to_string(edge_idx++), 0.0,
+                                     1.0);
+    // Tight linearization: L >= l_i + l_j - 1.
+    m.add_constraint("lin_" + std::to_string(edge_idx),
+                     ilp::LinExpr()
+                         .add(l[key.first], 1.0)
+                         .add(l[key.second], 1.0)
+                         .add(L, -1.0),
+                     ilp::Rel::kLessEq, 1.0);
+    obj.add(L, w);
+  }
+  m.set_objective(ilp::Sense::kMinimize, std::move(obj));
+
+  ilp::BranchAndBoundOptions bopt;
+  bopt.max_nodes = opt.max_nodes;
+  ilp::BranchAndBound solver(bopt);
+  const ilp::Solution sol = solver.solve(m);
+  CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal ||
+                 sol.status == ilp::SolveStatus::kLimit,
+             "multi-SPM ILP did not produce a solution");
+
+  MultiSpmResult r;
+  r.exact = sol.status == ilp::SolveStatus::kOptimal;
+  r.pad_of.assign(n, -1);
+  r.used_bytes.assign(pads, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < pads; ++k) {
+      if (sol.value_as_bool(a[i][k])) {
+        r.pad_of[i] = static_cast<int>(k);
+        r.used_bytes[k] += p.sizes[i];
+      }
+    }
+  }
+  r.predicted_energy = sol.objective;
+  return r;
+}
+
+}  // namespace casa::core

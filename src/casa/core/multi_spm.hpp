@@ -1,0 +1,44 @@
+// Multi-scratchpad extension (paper §4, "repeat inequation (17) for every
+// scratchpad").
+//
+// Each object may be copied to at most one of several scratchpads with
+// individual capacities and per-access energies; the conflict terms vanish
+// when either endpoint leaves the cache, exactly as in the single-pad case.
+// Solved through the generic ILP path (assignment variables a_ik, location
+// variable l_i = 1 - sum_k a_ik, capacity row per pad).
+#pragma once
+
+#include <vector>
+
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::core {
+
+struct MultiSpmProblem {
+  const conflict::ConflictGraph* graph = nullptr;
+  std::vector<Bytes> sizes;        ///< per object, unpadded
+  std::vector<Bytes> capacities;   ///< per scratchpad
+  std::vector<Energy> e_spm;       ///< per scratchpad, per access
+  Energy e_cache_hit = 0;
+  Energy e_cache_miss = 0;
+
+  void validate() const;
+};
+
+struct MultiSpmResult {
+  /// Pad index per object, -1 = stays cached.
+  std::vector<int> pad_of;
+  std::vector<Bytes> used_bytes;  ///< per pad
+  Energy predicted_energy = 0;
+  bool exact = true;
+};
+
+struct MultiSpmOptions {
+  std::uint64_t max_nodes = 500'000;
+};
+
+MultiSpmResult allocate_multi_spm(const MultiSpmProblem& p,
+                                  MultiSpmOptions opt = {});
+
+}  // namespace casa::core

@@ -1,0 +1,123 @@
+#include "casa/core/problem.hpp"
+
+#include <map>
+
+#include "casa/support/error.hpp"
+
+namespace casa::core {
+
+CasaProblem CasaProblem::from(const traceopt::TraceProgram& tp,
+                              const conflict::ConflictGraph& graph,
+                              const energy::EnergyTable& energies,
+                              Bytes capacity) {
+  CasaProblem p;
+  p.graph = &graph;
+  p.sizes.reserve(tp.object_count());
+  for (const auto& mo : tp.objects()) p.sizes.push_back(mo.raw_size);
+  p.capacity = capacity;
+  p.e_cache_hit = energies.cache_hit;
+  p.e_cache_miss = energies.cache_miss;
+  p.e_spm = energies.spm_access;
+  p.validate();
+  return p;
+}
+
+void CasaProblem::validate() const {
+  CASA_CHECK(graph != nullptr, "CasaProblem needs a conflict graph");
+  CASA_CHECK(sizes.size() == graph->node_count(),
+             "sizes / graph node count mismatch");
+  CASA_CHECK(e_cache_miss > e_cache_hit,
+             "a cache miss must cost more than a hit");
+  CASA_CHECK(e_cache_hit > e_spm,
+             "scratchpad must be cheaper than the cache per access");
+  for (Bytes s : sizes) CASA_CHECK(s > 0, "object with zero size");
+}
+
+Energy SavingsProblem::saving_for(const std::vector<bool>& chosen) const {
+  CASA_CHECK(chosen.size() == item_count(), "choice size mismatch");
+  Energy total = 0;
+  for (std::size_t k = 0; k < item_count(); ++k) {
+    if (chosen[k]) total += value[k];
+  }
+  for (const Edge& e : edges) {
+    if (chosen[e.a] || chosen[e.b]) total += e.weight;
+  }
+  return total;
+}
+
+Energy SavingsProblem::energy_for(const std::vector<bool>& chosen) const {
+  return all_cached_energy - saving_for(chosen);
+}
+
+SavingsProblem presolve(const CasaProblem& p) {
+  p.validate();
+  const conflict::ConflictGraph& g = *p.graph;
+  const std::size_t n = g.node_count();
+  const Energy d_hit_sp = p.e_cache_hit - p.e_spm;
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+
+  SavingsProblem sp;
+  sp.capacity = p.capacity;
+
+  // Partition nodes into free items and fixed (oversized) objects.
+  std::vector<std::int32_t> item_of(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    if (p.sizes[i] <= p.capacity) {
+      item_of[i] = static_cast<std::int32_t>(sp.object_of.size());
+      sp.object_of.push_back(mo);
+      sp.value.push_back(static_cast<Energy>(g.fetches(mo)) * d_hit_sp);
+      sp.weight.push_back(p.sizes[i]);
+    }
+    // Every object contributes f_i * E_hit when cached; start from the
+    // all-cached energy and let savings subtract.
+    sp.all_cached_energy += static_cast<Energy>(g.fetches(mo)) * p.e_cache_hit;
+  }
+
+  // Merge directed edges into unordered pairs; fold self loops and edges to
+  // fixed endpoints.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Energy> pair_weight;
+  for (const conflict::Edge& e : g.edges()) {
+    const Energy w = static_cast<Energy>(e.misses) * d_miss_hit;
+    sp.all_cached_energy += w;  // both endpoints cached in the base state
+    const std::int32_t a = item_of[e.from.index()];
+    const std::int32_t b = item_of[e.to.index()];
+    if (a < 0 && b < 0) continue;  // both fixed: the conflict is unavoidable
+    if (e.from == e.to) {
+      // Self conflict: l_i * l_i = l_i — placing i saves the whole term.
+      sp.value[static_cast<std::size_t>(a)] += w;
+      continue;
+    }
+    if (a < 0) {
+      // from is fixed cached; placing `to` still kills the misses of from.
+      sp.value[static_cast<std::size_t>(b)] += w;
+      continue;
+    }
+    if (b < 0) {
+      sp.value[static_cast<std::size_t>(a)] += w;
+      continue;
+    }
+    const auto key = a < b ? std::make_pair(static_cast<std::uint32_t>(a),
+                                            static_cast<std::uint32_t>(b))
+                           : std::make_pair(static_cast<std::uint32_t>(b),
+                                            static_cast<std::uint32_t>(a));
+    pair_weight[key] += w;
+  }
+  sp.edges.reserve(pair_weight.size());
+  for (const auto& [key, w] : pair_weight) {
+    sp.edges.push_back(SavingsProblem::Edge{key.first, key.second, w});
+  }
+  return sp;
+}
+
+std::vector<bool> expand_choice(const CasaProblem& p, const SavingsProblem& sp,
+                                const std::vector<bool>& chosen) {
+  CASA_CHECK(chosen.size() == sp.item_count(), "choice size mismatch");
+  std::vector<bool> on_spm(p.graph->node_count(), false);
+  for (std::size_t k = 0; k < chosen.size(); ++k) {
+    if (chosen[k]) on_spm[sp.object_of[k].index()] = true;
+  }
+  return on_spm;
+}
+
+}  // namespace casa::core

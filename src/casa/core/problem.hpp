@@ -1,0 +1,81 @@
+// CASA problem definition and its presolved "savings" form.
+//
+// The raw problem is the paper's: binary location l(x_i) per memory object,
+// objective eq. (12), capacity constraint eq. (17). Presolve rewrites it as
+// an equivalent maximization of energy *savings* over the objects that can
+// actually fit:
+//   * objects larger than the scratchpad are fixed to l = 1 (cached),
+//   * self-conflict edges m_ii collapse onto the linear term (l_i^2 = l_i),
+//   * edge pairs (i,j)/(j,i) merge — L(x_i,x_j) = L(x_j,x_i) = l_i*l_j,
+//   * edges with a fixed endpoint collapse onto the free endpoint's linear
+//     term or into the constant.
+// Every solver (generic ILP, specialized branch & bound, greedy) consumes
+// the same presolved form, so their optima are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/support/units.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::core {
+
+/// Raw inputs: one conflict graph node per memory object.
+struct CasaProblem {
+  const conflict::ConflictGraph* graph = nullptr;
+  std::vector<Bytes> sizes;  ///< unpadded object sizes (NOPs stripped)
+  Bytes capacity = 0;        ///< scratchpad bytes
+  Energy e_cache_hit = 0;
+  Energy e_cache_miss = 0;
+  Energy e_spm = 0;
+
+  /// Convenience: assemble from the pipeline products.
+  static CasaProblem from(const traceopt::TraceProgram& tp,
+                          const conflict::ConflictGraph& graph,
+                          const energy::EnergyTable& energies, Bytes capacity);
+
+  void validate() const;
+};
+
+/// Presolved form. Item k corresponds to free object `object_of[k]`.
+/// Placing item k on the scratchpad saves `value[k]` plus, for every
+/// incident edge, the edge's `weight` if the edge is not already covered by
+/// the other endpoint.
+struct SavingsProblem {
+  struct Edge {
+    std::uint32_t a = 0;  ///< item index
+    std::uint32_t b = 0;  ///< item index, a != b
+    Energy weight = 0;    ///< (m_ab + m_ba) * (E_miss - E_hit)
+  };
+
+  std::vector<MemoryObjectId> object_of;  ///< item -> object
+  std::vector<Energy> value;              ///< linear saving per item
+  std::vector<Bytes> weight;              ///< size per item
+  std::vector<Edge> edges;
+  Bytes capacity = 0;
+
+  /// Energy of the all-cached assignment as predicted by the paper's model
+  /// (constant + every l_i = 1 term + every conflict term); savings subtract
+  /// from this.
+  Energy all_cached_energy = 0;
+
+  /// Model-predicted total energy for a chosen item set (bit per item).
+  Energy energy_for(const std::vector<bool>& chosen) const;
+
+  /// Total saving for a chosen item set.
+  Energy saving_for(const std::vector<bool>& chosen) const;
+
+  std::size_t item_count() const { return value.size(); }
+};
+
+/// Runs the presolve described above.
+SavingsProblem presolve(const CasaProblem& p);
+
+/// Expands a per-item choice vector back to a per-object scratchpad mask.
+std::vector<bool> expand_choice(const CasaProblem& p, const SavingsProblem& sp,
+                                const std::vector<bool>& chosen);
+
+}  // namespace casa::core

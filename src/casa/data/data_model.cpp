@@ -1,0 +1,97 @@
+#include "casa/data/data_model.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::data {
+
+std::size_t DataSpec::add_object(std::string name, Bytes size) {
+  CASA_CHECK(size >= kWordBytes && size % kWordBytes == 0,
+             "data object size must be a positive word multiple");
+  objects_.push_back(DataObject{std::move(name), size});
+  return objects_.size() - 1;
+}
+
+void DataSpec::bind(std::size_t object, FunctionId fn,
+                    double accesses_per_fetch, bool sequential) {
+  CASA_CHECK(object < objects_.size(), "unknown data object");
+  CASA_CHECK(accesses_per_fetch > 0.0, "binding rate must be positive");
+  bindings_.push_back(DataBinding{object, fn, accesses_per_fetch, sequential});
+}
+
+Bytes DataSpec::total_size() const {
+  Bytes total = 0;
+  for (const DataObject& o : objects_) total += o.size;
+  return total;
+}
+
+namespace {
+
+FunctionId fn_by_name(const prog::Program& p, const std::string& name) {
+  for (const prog::Function& f : p.functions()) {
+    if (f.name() == name) return f.id();
+  }
+  CASA_CHECK(false, "data spec references unknown function: " + name);
+  return FunctionId();
+}
+
+DataSpec adpcm_spec(const prog::Program& p) {
+  DataSpec s;
+  const auto samples = s.add_object("sample_buf", 2048);
+  const auto codes = s.add_object("code_buf", 512);
+  const auto step_tab = s.add_object("step_table", 356);
+  const auto index_tab = s.add_object("index_table", 64);
+  const auto state = s.add_object("codec_state", 32);
+  s.bind(samples, fn_by_name(p, "main"), 0.35);
+  s.bind(codes, fn_by_name(p, "main"), 0.18);
+  s.bind(step_tab, fn_by_name(p, "step_update"), 0.5, /*sequential=*/false);
+  s.bind(index_tab, fn_by_name(p, "step_update"), 0.3, false);
+  s.bind(state, fn_by_name(p, "encode_sample"), 0.6, false);
+  s.bind(state, fn_by_name(p, "decode_sample"), 0.6, false);
+  return s;
+}
+
+DataSpec g721_spec(const prog::Program& p) {
+  DataSpec s;
+  const auto samples = s.add_object("sample_buf", 4096);
+  const auto delay_b = s.add_object("delay_bn", 96);
+  const auto delay_a = s.add_object("delay_an", 32);
+  const auto quan_tab = s.add_object("quan_table", 128);
+  const auto wi_tab = s.add_object("witab", 64);
+  const auto state = s.add_object("g72x_state", 96);
+  s.bind(samples, fn_by_name(p, "main"), 0.25);
+  s.bind(delay_b, fn_by_name(p, "predictor_zero"), 0.45, false);
+  s.bind(delay_a, fn_by_name(p, "predictor_pole"), 0.5, false);
+  s.bind(quan_tab, fn_by_name(p, "quan"), 0.6, false);
+  s.bind(wi_tab, fn_by_name(p, "step_size"), 0.4, false);
+  s.bind(state, fn_by_name(p, "update_state"), 0.55, false);
+  return s;
+}
+
+DataSpec gsm_spec(const prog::Program& p) {
+  DataSpec s;
+  const auto frame = s.add_object("frame_buf", 640);
+  const auto acf = s.add_object("acf_buf", 72);
+  const auto dmax = s.add_object("ltp_window", 512);
+  const auto rpe = s.add_object("rpe_buf", 208);
+  const auto state = s.add_object("gsm_state", 648);
+  s.bind(frame, fn_by_name(p, "preprocess"), 0.4);
+  s.bind(frame, fn_by_name(p, "autocorr"), 0.45);
+  s.bind(acf, fn_by_name(p, "reflection"), 0.5, false);
+  s.bind(dmax, fn_by_name(p, "ltp_dist"), 0.55);
+  s.bind(rpe, fn_by_name(p, "rpe_encode"), 0.5);
+  s.bind(state, fn_by_name(p, "short_term_filter"), 0.45, false);
+  return s;
+}
+
+}  // namespace
+
+DataSpec data_spec_for(const prog::Program& program,
+                       const std::string& name) {
+  if (name == "adpcm") return adpcm_spec(program);
+  if (name == "g721") return g721_spec(program);
+  if (name == "gsm") return gsm_spec(program);
+  CASA_CHECK(false, "no data spec for workload: " + name);
+  return DataSpec();
+}
+
+}  // namespace casa::data

@@ -1,0 +1,57 @@
+// Data-side model (paper §7 future work: "preloading of data").
+//
+// The code path models instruction fetches; this module adds the data side:
+// named data objects (arrays, state structs, tables) bound to the functions
+// that access them. Replaying the block walk with these bindings yields a
+// deterministic data-access stream — the input for D-cache simulation, the
+// data conflict graph, and unified code+data scratchpad allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::data {
+
+struct DataObject {
+  std::string name;
+  Bytes size = 0;  ///< bytes, word multiple
+};
+
+/// While executing a block of function `fn`, every fetched instruction word
+/// issues `accesses_per_fetch` accesses to `object` (fractional rates
+/// accumulate across fetches and emit on overflow). `sequential` objects
+/// are streamed with a per-binding cursor (arrays); non-sequential ones
+/// hammer a hot scalar region at the object's start.
+struct DataBinding {
+  std::size_t object = 0;
+  FunctionId fn;
+  double accesses_per_fetch = 0.0;
+  bool sequential = true;
+};
+
+class DataSpec {
+ public:
+  std::size_t add_object(std::string name, Bytes size);
+  void bind(std::size_t object, FunctionId fn, double accesses_per_fetch,
+            bool sequential = true);
+
+  const std::vector<DataObject>& objects() const { return objects_; }
+  const std::vector<DataBinding>& bindings() const { return bindings_; }
+  Bytes total_size() const;
+
+ private:
+  std::vector<DataObject> objects_;
+  std::vector<DataBinding> bindings_;
+};
+
+/// Ready-made data specs for the bundled workloads ("adpcm", "g721",
+/// "gsm"): state arrays, sample buffers and lookup tables shaped after the
+/// originals. Throws for workloads without a spec.
+DataSpec data_spec_for(const prog::Program& program,
+                       const std::string& name);
+
+}  // namespace casa::data

@@ -1,0 +1,154 @@
+#include "casa/data/data_sim.hpp"
+
+#include <unordered_map>
+
+#include "casa/energy/cache_energy.hpp"
+#include "casa/energy/spm_energy.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::data {
+
+DataEnergy DataEnergy::build(const cachesim::CacheConfig& dcache,
+                             Bytes spm_size) {
+  DataEnergy e;
+  const energy::CacheEnergyModel cm(dcache);
+  e.dcache_hit = cm.hit_energy();
+  e.dcache_miss = cm.miss_energy();
+  if (spm_size > 0) {
+    e.spm_access = energy::SpmEnergyModel(spm_size).access_energy();
+  }
+  return e;
+}
+
+namespace {
+
+/// Shared replay engine. The `sink` receives (object, address) per access.
+template <typename Sink>
+void replay(const prog::Program& program, const trace::BlockWalk& walk,
+            const DataSpec& spec, Sink&& sink) {
+  // Data layout: objects packed line-aligned from a distinct base.
+  constexpr Addr kDataBase = 0x40000000;
+  std::vector<Addr> base(spec.objects().size());
+  Addr cursor = kDataBase;
+  for (std::size_t d = 0; d < spec.objects().size(); ++d) {
+    base[d] = cursor;
+    cursor += align_up(spec.objects()[d].size, 16);
+  }
+
+  // Per-function binding lists for O(1) dispatch in the hot loop.
+  std::vector<std::vector<std::size_t>> by_fn(program.function_count());
+  for (std::size_t b = 0; b < spec.bindings().size(); ++b) {
+    by_fn[spec.bindings()[b].fn.index()].push_back(b);
+  }
+
+  std::vector<double> accum(spec.bindings().size(), 0.0);
+  std::vector<Bytes> seq_cursor(spec.bindings().size(), 0);
+
+  for (const BasicBlockId bb : walk.seq) {
+    const prog::BasicBlock& blk = program.block(bb);
+    const auto& bindings = by_fn[blk.function.index()];
+    if (bindings.empty()) continue;
+    const double words = static_cast<double>(blk.size / kWordBytes);
+    for (const std::size_t bi : bindings) {
+      const DataBinding& bind = spec.bindings()[bi];
+      accum[bi] += bind.accesses_per_fetch * words;
+      while (accum[bi] >= 1.0) {
+        accum[bi] -= 1.0;
+        const DataObject& obj = spec.objects()[bind.object];
+        Addr addr;
+        if (bind.sequential) {
+          addr = base[bind.object] + seq_cursor[bi];
+          seq_cursor[bi] = (seq_cursor[bi] + kWordBytes) % obj.size;
+        } else {
+          // Hot scalar region: cycle the first 32 bytes (or whole object).
+          const Bytes hot = std::min<Bytes>(32, obj.size);
+          addr = base[bind.object] + seq_cursor[bi];
+          seq_cursor[bi] = (seq_cursor[bi] + kWordBytes) % hot;
+        }
+        sink(bind.object, addr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DataProfile profile_data(const prog::Program& program,
+                         const trace::BlockWalk& walk, const DataSpec& spec,
+                         const cachesim::CacheConfig& dcache,
+                         std::uint64_t seed) {
+  const std::size_t n = spec.objects().size();
+  cachesim::Cache cache(dcache, seed);
+
+  std::vector<std::uint64_t> accesses(n, 0), cold(n, 0), hits(n, 0);
+  std::unordered_map<std::uint64_t, std::uint64_t> m;  // (i<<32|j) -> misses
+  std::unordered_map<std::uint64_t, std::uint32_t> evicted_by;
+  std::uint64_t total = 0;
+
+  replay(program, walk, spec, [&](std::size_t obj, Addr addr) {
+    ++accesses[obj];
+    ++total;
+    const cachesim::AccessResult r = cache.access(addr);
+    if (r.hit) {
+      ++hits[obj];
+      return;
+    }
+    const std::uint64_t line = cache.line_of(addr);
+    auto ev = evicted_by.find(line);
+    if (ev == evicted_by.end()) {
+      ++cold[obj];
+    } else {
+      ++m[(static_cast<std::uint64_t>(obj) << 32) | ev->second];
+      evicted_by.erase(ev);
+    }
+    if (r.evicted_line.has_value()) {
+      evicted_by[*r.evicted_line] = static_cast<std::uint32_t>(obj);
+    }
+  });
+
+  std::vector<conflict::Edge> edges;
+  edges.reserve(m.size());
+  for (const auto& [key, misses] : m) {
+    edges.push_back(conflict::Edge{
+        MemoryObjectId(static_cast<std::uint32_t>(key >> 32)),
+        MemoryObjectId(static_cast<std::uint32_t>(key)), misses});
+  }
+  std::vector<std::uint64_t> per_object = accesses;
+  DataProfile profile{
+      std::move(per_object),
+      conflict::ConflictGraph(n, std::move(accesses), std::move(cold),
+                              std::move(hits), std::move(edges)),
+      total};
+  return profile;
+}
+
+DataSimReport simulate_data(const prog::Program& program,
+                            const trace::BlockWalk& walk,
+                            const DataSpec& spec,
+                            const std::vector<bool>& on_spm,
+                            const cachesim::CacheConfig& dcache,
+                            const DataEnergy& energy, std::uint64_t seed) {
+  CASA_CHECK(on_spm.size() == spec.objects().size(), "on_spm size mismatch");
+  cachesim::Cache cache(dcache, seed);
+  DataSimReport rep;
+
+  replay(program, walk, spec, [&](std::size_t obj, Addr addr) {
+    ++rep.total_accesses;
+    if (on_spm[obj]) {
+      ++rep.spm_accesses;
+      rep.total_energy += energy.spm_access;
+      return;
+    }
+    const cachesim::AccessResult r = cache.access(addr);
+    if (r.hit) {
+      ++rep.dcache_hits;
+      rep.total_energy += energy.dcache_hit;
+    } else {
+      ++rep.dcache_misses;
+      rep.total_energy += energy.dcache_miss;
+    }
+  });
+  return rep;
+}
+
+}  // namespace casa::data

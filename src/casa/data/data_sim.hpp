@@ -1,0 +1,56 @@
+// Data-side simulation: access-stream generation, D-cache profiling with
+// evictor attribution (data conflict graph), and energy accounting under a
+// data scratchpad assignment.
+#pragma once
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/data/data_model.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/trace/executor.hpp"
+
+namespace casa::data {
+
+/// Per-event energies for the data side.
+struct DataEnergy {
+  Energy dcache_hit = 0;
+  Energy dcache_miss = 0;
+  Energy spm_access = 0;
+
+  /// D-cache from the analytical model, SPM at `spm_size` (0 = no SPM).
+  static DataEnergy build(const cachesim::CacheConfig& dcache,
+                          Bytes spm_size);
+};
+
+struct DataProfile {
+  std::vector<std::uint64_t> accesses;  ///< per data object
+  conflict::ConflictGraph graph;        ///< nodes = data objects
+  std::uint64_t total_accesses = 0;
+};
+
+/// Replays `walk`, generating the deterministic access stream of `spec`
+/// through the D-cache; returns per-object counts and the data conflict
+/// graph.
+DataProfile profile_data(const prog::Program& program,
+                         const trace::BlockWalk& walk, const DataSpec& spec,
+                         const cachesim::CacheConfig& dcache,
+                         std::uint64_t seed = 1);
+
+struct DataSimReport {
+  std::uint64_t total_accesses = 0;
+  std::uint64_t spm_accesses = 0;
+  std::uint64_t dcache_hits = 0;
+  std::uint64_t dcache_misses = 0;
+  Energy total_energy = 0;
+};
+
+/// Same replay with `on_spm[object]` accesses served by the scratchpad.
+DataSimReport simulate_data(const prog::Program& program,
+                            const trace::BlockWalk& walk,
+                            const DataSpec& spec,
+                            const std::vector<bool>& on_spm,
+                            const cachesim::CacheConfig& dcache,
+                            const DataEnergy& energy,
+                            std::uint64_t seed = 1);
+
+}  // namespace casa::data

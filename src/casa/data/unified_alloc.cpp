@@ -1,0 +1,152 @@
+#include "casa/data/unified_alloc.hpp"
+
+#include <map>
+
+#include "casa/core/problem.hpp"
+#include "casa/ilp/knapsack.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::data {
+
+void UnifiedProblem::validate() const {
+  CASA_CHECK(code_graph != nullptr && data_graph != nullptr,
+             "UnifiedProblem needs both graphs");
+  CASA_CHECK(code_sizes.size() == code_graph->node_count(),
+             "code sizes mismatch");
+  CASA_CHECK(data_sizes.size() == data_graph->node_count(),
+             "data sizes mismatch");
+  CASA_CHECK(e_icache_miss > e_icache_hit && e_dcache_miss > e_dcache_hit,
+             "miss must cost more than hit");
+  CASA_CHECK(e_icache_hit > e_spm && e_dcache_hit > e_spm,
+             "scratchpad must beat both caches per access");
+}
+
+namespace {
+
+/// Appends one side's items/edges to the shared savings problem.
+/// `item_of` receives, per node, the item index or -1 (oversized).
+void append_side(core::SavingsProblem& sp, const conflict::ConflictGraph& g,
+                 const std::vector<Bytes>& sizes, Energy e_hit,
+                 Energy d_hit_sp, Energy d_miss_hit, bool allowed,
+                 std::vector<std::int32_t>& item_of) {
+  const std::size_t n = g.node_count();
+  item_of.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    if (allowed && sizes[i] <= sp.capacity) {
+      item_of[i] = static_cast<std::int32_t>(sp.object_of.size());
+      sp.object_of.push_back(
+          MemoryObjectId(static_cast<std::uint32_t>(sp.object_of.size())));
+      sp.value.push_back(static_cast<Energy>(g.fetches(mo)) * d_hit_sp);
+      sp.weight.push_back(sizes[i]);
+    }
+    sp.all_cached_energy += static_cast<Energy>(g.fetches(mo)) * e_hit;
+  }
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Energy> pair_w;
+  for (const conflict::Edge& e : g.edges()) {
+    const Energy w = static_cast<Energy>(e.misses) * d_miss_hit;
+    sp.all_cached_energy += w;
+    if (w <= 0) continue;  // conflict-blind mode folds no edge terms
+    const std::int32_t a = item_of[e.from.index()];
+    const std::int32_t b = item_of[e.to.index()];
+    if (a < 0 && b < 0) continue;
+    if (e.from == e.to) {
+      sp.value[static_cast<std::size_t>(a)] += w;
+      continue;
+    }
+    if (a < 0) {
+      sp.value[static_cast<std::size_t>(b)] += w;
+    } else if (b < 0) {
+      sp.value[static_cast<std::size_t>(a)] += w;
+    } else {
+      const auto key =
+          a < b ? std::make_pair(static_cast<std::uint32_t>(a),
+                                 static_cast<std::uint32_t>(b))
+                : std::make_pair(static_cast<std::uint32_t>(b),
+                                 static_cast<std::uint32_t>(a));
+      pair_w[key] += w;
+    }
+  }
+  for (const auto& [key, w] : pair_w) {
+    sp.edges.push_back(core::SavingsProblem::Edge{key.first, key.second, w});
+  }
+}
+
+UnifiedResult solve(const UnifiedProblem& p, bool code_allowed,
+                    bool data_allowed, bool cache_aware) {
+  p.validate();
+  const std::size_t nc = p.code_graph->node_count();
+  const std::size_t nd = p.data_graph->node_count();
+
+  core::SavingsProblem sp;
+  sp.capacity = p.capacity;
+  std::vector<std::int32_t> code_item, data_item;
+  append_side(sp, *p.code_graph, p.code_sizes, p.e_icache_hit,
+              p.e_icache_hit - p.e_spm,
+              cache_aware ? p.e_icache_miss - p.e_icache_hit : 0.0,
+              code_allowed, code_item);
+  append_side(sp, *p.data_graph, p.data_sizes, p.e_dcache_hit,
+              p.e_dcache_hit - p.e_spm,
+              cache_aware ? p.e_dcache_miss - p.e_dcache_hit : 0.0,
+              data_allowed, data_item);
+
+  std::vector<bool> chosen;
+  UnifiedResult r;
+  if (cache_aware) {
+    const core::CasaBranchBoundResult res = core::CasaBranchBound().solve(sp);
+    chosen = res.chosen;
+    r.exact = res.exact;
+  } else {
+    // Steinke: knapsack over the linear values only.
+    std::vector<ilp::KnapsackItem> items;
+    items.reserve(sp.item_count());
+    for (std::size_t k = 0; k < sp.item_count(); ++k) {
+      items.push_back(ilp::KnapsackItem{sp.weight[k], sp.value[k]});
+    }
+    const ilp::KnapsackResult res = ilp::solve_knapsack(items, p.capacity);
+    chosen.assign(sp.item_count(), false);
+    for (std::size_t k = 0; k < res.taken.size(); ++k) {
+      chosen[k] = res.taken[k];
+    }
+    r.exact = true;  // optimal for its own (conflict-blind) objective
+  }
+
+  r.code_on_spm.assign(nc, false);
+  r.data_on_spm.assign(nd, false);
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (code_item[i] >= 0 && chosen[static_cast<std::size_t>(code_item[i])]) {
+      r.code_on_spm[i] = true;
+      r.used_bytes += p.code_sizes[i];
+    }
+  }
+  for (std::size_t i = 0; i < nd; ++i) {
+    if (data_item[i] >= 0 &&
+        chosen[static_cast<std::size_t>(data_item[i]) ]) {
+      r.data_on_spm[i] = true;
+      r.used_bytes += p.data_sizes[i];
+    }
+  }
+  r.predicted_saving = sp.saving_for(chosen);
+  return r;
+}
+
+}  // namespace
+
+UnifiedResult allocate_unified(const UnifiedProblem& p) {
+  return solve(p, true, true, /*cache_aware=*/true);
+}
+
+UnifiedResult allocate_unified_steinke(const UnifiedProblem& p) {
+  return solve(p, true, true, /*cache_aware=*/false);
+}
+
+UnifiedResult allocate_code_only(const UnifiedProblem& p) {
+  return solve(p, true, false, /*cache_aware=*/true);
+}
+
+UnifiedResult allocate_data_only(const UnifiedProblem& p) {
+  return solve(p, false, true, /*cache_aware=*/true);
+}
+
+}  // namespace casa::data

@@ -1,0 +1,53 @@
+// Unified code+data scratchpad allocation.
+//
+// Both sides reduce to the same savings structure (linear per-item saving
+// plus once-per-edge conflict bonuses, edges only within a side — Harvard
+// split means code and data never evict each other), so the merged problem
+// is one core::SavingsProblem over code objects followed by data objects,
+// solved by the existing exact machinery. The Steinke-style unified
+// baseline (his DATE'02 paper allocates "program and data objects" by
+// access counts) is a plain knapsack over both item kinds.
+#pragma once
+
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/core/casa_branch_bound.hpp"
+#include "casa/data/data_model.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::data {
+
+struct UnifiedProblem {
+  const conflict::ConflictGraph* code_graph = nullptr;
+  std::vector<Bytes> code_sizes;
+  const conflict::ConflictGraph* data_graph = nullptr;
+  std::vector<Bytes> data_sizes;
+  Bytes capacity = 0;
+  Energy e_icache_hit = 0;
+  Energy e_icache_miss = 0;
+  Energy e_dcache_hit = 0;
+  Energy e_dcache_miss = 0;
+  Energy e_spm = 0;
+
+  void validate() const;
+};
+
+struct UnifiedResult {
+  std::vector<bool> code_on_spm;
+  std::vector<bool> data_on_spm;
+  Bytes used_bytes = 0;
+  Energy predicted_saving = 0;
+  bool exact = true;
+};
+
+/// Exact cache-aware unified allocation (CASA objective on both sides).
+UnifiedResult allocate_unified(const UnifiedProblem& p);
+
+/// Steinke-style unified baseline: knapsack by access counts, no conflict
+/// terms.
+UnifiedResult allocate_unified_steinke(const UnifiedProblem& p);
+
+/// Restricted variants for ablation: only one side may use the scratchpad.
+UnifiedResult allocate_code_only(const UnifiedProblem& p);
+UnifiedResult allocate_data_only(const UnifiedProblem& p);
+
+}  // namespace casa::data

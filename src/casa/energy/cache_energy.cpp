@@ -1,0 +1,50 @@
+#include "casa/energy/cache_energy.hpp"
+
+#include "casa/energy/main_memory.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::energy {
+
+CacheEnergyModel::CacheEnergyModel(const cachesim::CacheConfig& cfg,
+                                   const TechnologyParams& tech)
+    : cfg_(cfg) {
+  cfg_.validate();
+  const unsigned sets = cfg_.sets();
+  const unsigned line_bits = static_cast<unsigned>(cfg_.line_size * 8);
+
+  const unsigned index_bits = cfg_.index_bits();
+  const unsigned offset_bits = cfg_.offset_bits();
+  CASA_CHECK(tech.address_bits > index_bits + offset_bits,
+             "address too narrow for this cache");
+  tag_bits_ = tech.address_bits - index_bits - offset_bits;
+
+  // Data array: one row per set, all ways side by side.
+  const SramArray data{sets,
+                       static_cast<std::uint64_t>(line_bits) *
+                           cfg_.associativity};
+  // Tag array: tag + valid bit per way.
+  const SramArray tags{sets, static_cast<std::uint64_t>(tag_bits_ + 1) *
+                                 cfg_.associativity};
+
+  const double compare =
+      static_cast<double>(tag_bits_) * cfg_.associativity *
+          tech.e_comparator_per_bit * 1e-3 +
+      static_cast<double>(cfg_.associativity) * tech.e_valid_check * 1e-3;
+
+  // Hit: read set (data + tag), compare, drive one 32-bit word out.
+  hit_energy_ = data.read_energy(tech, 32) + tags.read_energy(tech, 0) +
+                compare;
+
+  // Miss: the probe (same as a hit minus the word that never comes out of
+  // the array), the off-chip burst for the line, the data-array fill and
+  // the tag write.
+  const MainMemoryModel mm(tech);
+  probe_energy_ = data.read_energy(tech, 0) + tags.read_energy(tech, 0) +
+                  compare;
+  refill_energy_ = data.write_energy(tech, line_bits) +
+                   tags.write_energy(tech, tag_bits_ + 1);
+  miss_energy_ =
+      probe_energy_ + mm.burst_read_energy(cfg_.line_size) + refill_energy_;
+}
+
+}  // namespace casa::energy

@@ -1,0 +1,47 @@
+// I-cache energy model.
+//
+// A hit reads the full selected set (all ways, data + tag) and muxes one
+// word out — the parallel-read organization CACTI assumes for low-latency
+// caches. A miss pays the probe, the off-chip line transfer, and the line
+// fill write into the data array (plus the tag write).
+#pragma once
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/energy/sram_array.hpp"
+#include "casa/energy/technology.hpp"
+
+namespace casa::energy {
+
+class CacheEnergyModel {
+ public:
+  CacheEnergyModel(const cachesim::CacheConfig& cfg,
+                   const TechnologyParams& tech = arm7_tech());
+
+  /// E_Cache_hit — energy of one word fetch that hits.
+  Energy hit_energy() const { return hit_energy_; }
+
+  /// E_Cache_miss — energy of one word fetch that misses: probe + off-chip
+  /// line read + array fill. (The paper's E_Cache_miss >> E_Cache_hit.)
+  Energy miss_energy() const { return miss_energy_; }
+
+  /// The tag+data lookup that discovers a miss (no word delivered).
+  Energy probe_energy() const { return probe_energy_; }
+
+  /// Writing one line (data + tag) into the arrays.
+  Energy linefill_energy() const { return refill_energy_; }
+
+  /// Tag bits per line for this configuration.
+  unsigned tag_bits() const { return tag_bits_; }
+
+  const cachesim::CacheConfig& config() const { return cfg_; }
+
+ private:
+  cachesim::CacheConfig cfg_;
+  unsigned tag_bits_ = 0;
+  Energy hit_energy_ = 0;
+  Energy miss_energy_ = 0;
+  Energy probe_energy_ = 0;
+  Energy refill_energy_ = 0;
+};
+
+}  // namespace casa::energy

@@ -1,0 +1,30 @@
+#include "casa/energy/energy_table.hpp"
+
+#include "casa/energy/cache_energy.hpp"
+#include "casa/energy/loopcache_energy.hpp"
+#include "casa/energy/main_memory.hpp"
+#include "casa/energy/spm_energy.hpp"
+
+namespace casa::energy {
+
+EnergyTable EnergyTable::build(const cachesim::CacheConfig& cache,
+                               Bytes spm_size, Bytes lc_size,
+                               unsigned lc_regions,
+                               const TechnologyParams& tech) {
+  EnergyTable t;
+  const CacheEnergyModel cm(cache, tech);
+  t.cache_hit = cm.hit_energy();
+  t.cache_miss = cm.miss_energy();
+  if (spm_size > 0) {
+    t.spm_access = SpmEnergyModel(spm_size, tech).access_energy();
+  }
+  if (lc_size > 0) {
+    const LoopCacheEnergyModel lc(lc_size, lc_regions, tech);
+    t.lc_access = lc.access_energy();
+    t.lc_controller = lc.controller_energy();
+  }
+  t.mainmem_word = MainMemoryModel(tech).word_read_energy();
+  return t;
+}
+
+}  // namespace casa::energy

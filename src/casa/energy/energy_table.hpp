@@ -1,0 +1,28 @@
+// Aggregated per-event energies for one memory-subsystem configuration.
+//
+// This is the "energy cost model" input of the paper's workflow (fig. 3):
+// every simulator event maps to exactly one of these constants.
+#pragma once
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/energy/technology.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::energy {
+
+struct EnergyTable {
+  Energy cache_hit = 0;      ///< E_Cache_hit per word fetch
+  Energy cache_miss = 0;     ///< E_Cache_miss per missing word fetch
+  Energy spm_access = 0;     ///< E_SP_hit per word fetch (0 if no SPM)
+  Energy lc_access = 0;      ///< loop-cache fetch incl. controller
+  Energy lc_controller = 0;  ///< loop-cache controller-only (fetch not served)
+  Energy mainmem_word = 0;   ///< uncached word fetch from main memory
+
+  /// Builds the table for an I-cache plus optional scratchpad (spm_size > 0)
+  /// and optional loop cache (lc_size > 0 with lc_regions bound registers).
+  static EnergyTable build(const cachesim::CacheConfig& cache, Bytes spm_size,
+                           Bytes lc_size, unsigned lc_regions,
+                           const TechnologyParams& tech = arm7_tech());
+};
+
+}  // namespace casa::energy

@@ -1,0 +1,22 @@
+#include "casa/energy/loopcache_energy.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::energy {
+
+LoopCacheEnergyModel::LoopCacheEnergyModel(Bytes size, unsigned max_regions,
+                                           const TechnologyParams& tech)
+    : size_(size), max_regions_(max_regions) {
+  CASA_CHECK(max_regions >= 1, "loop cache needs at least one region");
+  CASA_CHECK(size >= 2 * kWordBytes, "loop cache too small");
+  const std::uint64_t rows = size / kWordBytes;
+  const SramArray array{rows, 32};
+  array_energy_ = array.read_energy(tech, 32);
+
+  // Two 32-bit magnitude comparators (start/end bound) per region, every
+  // fetch. This is why real devices keep the region count at 2-6.
+  const double bits = 2.0 * 32.0 * static_cast<double>(max_regions);
+  controller_energy_ = bits * tech.e_comparator_per_bit * 1e-3;
+}
+
+}  // namespace casa::energy

@@ -1,0 +1,37 @@
+// Preloaded loop cache energy model (Gordon-Ross & Vahid style).
+//
+// Same SRAM array as a scratchpad of equal size, plus a controller that on
+// *every* instruction fetch compares the PC against the start/end bounds of
+// each preloadable region to decide whether the fetch is served by the loop
+// cache — this controller energy is the architectural overhead the paper
+// contrasts with the software-managed scratchpad.
+#pragma once
+
+#include "casa/energy/sram_array.hpp"
+#include "casa/energy/technology.hpp"
+
+namespace casa::energy {
+
+class LoopCacheEnergyModel {
+ public:
+  LoopCacheEnergyModel(Bytes size, unsigned max_regions,
+                       const TechnologyParams& tech = arm7_tech());
+
+  /// Energy of a fetch served by the loop cache (array read + controller).
+  Energy access_energy() const { return array_energy_ + controller_energy_; }
+
+  /// Controller energy charged on every fetch NOT served by the loop cache
+  /// (the range checks still run).
+  Energy controller_energy() const { return controller_energy_; }
+
+  Bytes size() const { return size_; }
+  unsigned max_regions() const { return max_regions_; }
+
+ private:
+  Bytes size_;
+  unsigned max_regions_;
+  Energy array_energy_ = 0;
+  Energy controller_energy_ = 0;
+};
+
+}  // namespace casa::energy

@@ -1,0 +1,3 @@
+#include "casa/energy/main_memory.hpp"
+
+// Header-only model; translation unit anchors the library target.

@@ -1,0 +1,34 @@
+// Off-chip main memory energy.
+//
+// The paper measured this from the ARM7T evaluation board; here it is a
+// constant-per-burst plus per-word model (row activation + word transfers +
+// pad/bus driving).
+#pragma once
+
+#include "casa/energy/technology.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::energy {
+
+class MainMemoryModel {
+ public:
+  explicit MainMemoryModel(const TechnologyParams& tech = arm7_tech())
+      : tech_(tech) {}
+
+  /// Energy of reading `bytes` as one burst (e.g. a cache line fill).
+  Energy burst_read_energy(Bytes bytes) const {
+    const double words =
+        static_cast<double>((bytes + kWordBytes - 1) / kWordBytes);
+    return tech_.e_mainmem_fixed_nj +
+           words * (tech_.e_mainmem_per_word_nj +
+                    tech_.e_offchip_bus_per_word_nj);
+  }
+
+  /// Energy of a single uncached word fetch from main memory.
+  Energy word_read_energy() const { return burst_read_energy(kWordBytes); }
+
+ private:
+  TechnologyParams tech_;
+};
+
+}  // namespace casa::energy

@@ -1,0 +1,16 @@
+#include "casa/energy/spm_energy.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::energy {
+
+SpmEnergyModel::SpmEnergyModel(Bytes size, const TechnologyParams& tech)
+    : size_(size) {
+  CASA_CHECK(size >= 2 * kWordBytes, "scratchpad too small");
+  CASA_CHECK(size % kWordBytes == 0, "scratchpad size must be word multiple");
+  const std::uint64_t rows = size / kWordBytes;
+  const SramArray array{rows, 32};
+  access_energy_ = array.read_energy(tech, 32);
+}
+
+}  // namespace casa::energy

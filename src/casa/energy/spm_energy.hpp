@@ -1,0 +1,29 @@
+// Scratchpad energy model (Banakar et al., CODES 2002 style).
+//
+// A scratchpad is a plain SRAM array: no tags, no comparators, word-wide
+// read. This is why E_SP_hit < E_Cache_hit at equal capacity — the whole
+// point of the architecture.
+#pragma once
+
+#include "casa/energy/sram_array.hpp"
+#include "casa/energy/technology.hpp"
+
+namespace casa::energy {
+
+class SpmEnergyModel {
+ public:
+  /// `size` bytes of scratchpad, organized as 32-bit words.
+  explicit SpmEnergyModel(Bytes size,
+                          const TechnologyParams& tech = arm7_tech());
+
+  /// E_SP_hit — one word fetch from the scratchpad.
+  Energy access_energy() const { return access_energy_; }
+
+  Bytes size() const { return size_; }
+
+ private:
+  Bytes size_;
+  Energy access_energy_ = 0;
+};
+
+}  // namespace casa::energy

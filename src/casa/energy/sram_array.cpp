@@ -1,0 +1,69 @@
+#include "casa/energy/sram_array.hpp"
+
+#include <cmath>
+
+#include "casa/support/error.hpp"
+
+namespace casa::energy {
+
+namespace {
+// femtofarads * volts^2 -> nanojoules  (fF * V^2 = 1e-15 J = 1e-6 nJ)
+constexpr double kFFV2ToNano = 1e-6;
+// picojoules -> nanojoules
+constexpr double kPicoToNano = 1e-3;
+}  // namespace
+
+Energy SramArray::decode_energy(const TechnologyParams& t) const {
+  CASA_CHECK(rows > 0, "array needs rows");
+  const double addr_bits = std::log2(static_cast<double>(rows));
+  // Predecoders plus the selected row driver; fanout grows with the tree.
+  const double cap = t.c_decoder_per_bit * (addr_bits + 2.0);
+  return cap * t.vdd * t.vdd * kFFV2ToNano;
+}
+
+Energy SramArray::wordline_energy(const TechnologyParams& t) const {
+  const double cap =
+      t.c_wordline_driver + t.c_wordline_per_cell * static_cast<double>(cols);
+  return cap * t.vdd * t.vdd * kFFV2ToNano;
+}
+
+Energy SramArray::bitline_read_energy(const TechnologyParams& t) const {
+  // Differential pair per column: precharge then partial swing discharge.
+  const double cap_per_col =
+      t.c_bitline_base + t.c_bitline_per_cell * static_cast<double>(rows);
+  const double pair_factor = 2.0;
+  return pair_factor * static_cast<double>(cols) * cap_per_col * t.vdd *
+         t.bitline_swing * kFFV2ToNano;
+}
+
+Energy SramArray::sense_energy(const TechnologyParams& t) const {
+  return static_cast<double>(cols) * t.e_senseamp_per_bit * kPicoToNano;
+}
+
+Energy SramArray::output_energy(const TechnologyParams& t,
+                                std::uint64_t bits_out) const {
+  return static_cast<double>(bits_out) * t.c_output_per_bit * t.vdd * t.vdd *
+         kFFV2ToNano;
+}
+
+Energy SramArray::read_energy(const TechnologyParams& t,
+                              std::uint64_t bits_out) const {
+  return decode_energy(t) + wordline_energy(t) + bitline_read_energy(t) +
+         sense_energy(t) + output_energy(t, bits_out);
+}
+
+Energy SramArray::write_energy(const TechnologyParams& t,
+                               std::uint64_t bits) const {
+  // Written columns swing rail to rail; the rest of the row is half-selected
+  // and still pays the read-style partial swing.
+  const double cap_per_col =
+      t.c_bitline_base + t.c_bitline_per_cell * static_cast<double>(rows);
+  const double full = static_cast<double>(bits) * cap_per_col * t.vdd * t.vdd;
+  const double half_cols =
+      cols > bits ? static_cast<double>(cols - bits) : 0.0;
+  const double half = half_cols * cap_per_col * t.vdd * t.bitline_swing;
+  return decode_energy(t) + wordline_energy(t) +
+         (full + half) * kFFV2ToNano;
+}
+
+}  // namespace casa::energy

@@ -1,0 +1,38 @@
+// Analytical SRAM array energy (CACTI-style stage decomposition).
+//
+// An array of `rows` wordlines by `cols` bit cells. A read fires the
+// decoder, one wordline, all column bitline pairs (partial swing), and one
+// sense amplifier per column; a write drives the written columns rail to
+// rail. All energies are returned in nanojoules.
+#pragma once
+
+#include <cstdint>
+
+#include "casa/energy/technology.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::energy {
+
+struct SramArray {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;  ///< bit columns
+
+  /// Energy to decode one of `rows` wordlines.
+  Energy decode_energy(const TechnologyParams& t) const;
+  /// Energy to raise one wordline across `cols` cells.
+  Energy wordline_energy(const TechnologyParams& t) const;
+  /// Energy of a partial-swing read on all columns (differential pairs).
+  Energy bitline_read_energy(const TechnologyParams& t) const;
+  /// Energy of sensing all columns.
+  Energy sense_energy(const TechnologyParams& t) const;
+  /// Energy to drive `bits_out` bits off the array.
+  Energy output_energy(const TechnologyParams& t, std::uint64_t bits_out) const;
+
+  /// Full read access delivering `bits_out` bits.
+  Energy read_energy(const TechnologyParams& t, std::uint64_t bits_out) const;
+
+  /// Full-swing write of `bits` columns (line fill / store).
+  Energy write_energy(const TechnologyParams& t, std::uint64_t bits) const;
+};
+
+}  // namespace casa::energy

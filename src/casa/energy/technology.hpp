@@ -1,0 +1,46 @@
+// Technology parameters for the analytical energy models.
+//
+// The paper used CACTI (Wilton & Jouppi) at 0.5 µm for the on-chip arrays,
+// the Banakar et al. model for the scratchpad, and board measurements for
+// off-chip main memory. We re-implement the same *structure*: per-stage
+// SRAM-array terms (decoder, wordline, bitline, sense, output) driven by a
+// small set of capacitance/voltage constants. The defaults below are tuned
+// to the 0.5 µm / 3.3 V era so that the energy *ratios* that drive the
+// allocation (E_miss >> E_hit > E_spm) match the regime of the paper.
+#pragma once
+
+namespace casa::energy {
+
+struct TechnologyParams {
+  double vdd = 3.3;            ///< supply voltage (V)
+  double bitline_swing = 0.45;  ///< read swing on the bitlines (V)
+
+  // Capacitances in femtofarads (0.5 µm-era cell and driver loads).
+  double c_bitline_per_cell = 6.5;   ///< drain load each cell adds to a bitline
+  double c_bitline_base = 220.0;     ///< precharge/IO fixed bitline load
+  double c_wordline_per_cell = 4.0;  ///< gate load each cell adds to a wordline
+  double c_wordline_driver = 60.0;   ///< wordline driver self-load
+  double c_decoder_per_bit = 260.0;  ///< predecode/drive per address bit
+  double c_output_per_bit = 260.0;   ///< output driver + mux per data bit read
+
+  // Fixed per-operation energies in picojoules.
+  double e_senseamp_per_bit = 1.1;    ///< differential sense amplifier fire
+  double e_comparator_per_bit = 0.45; ///< tag comparator per tag bit per way
+  double e_valid_check = 0.50;        ///< valid/status bit handling per way
+
+  // Off-chip main memory (measured constants in the paper's setup).
+  double e_mainmem_fixed_nj = 12.0;      ///< per-burst: control + row activate
+  double e_mainmem_per_word_nj = 6.0;   ///< per 32-bit word transferred
+  double e_offchip_bus_per_word_nj = 1.1;  ///< pad/bus driving per word
+
+  /// Physical address width used for tag sizing.
+  unsigned address_bits = 32;
+};
+
+/// The constant set used by all ARM7T experiments in this repo.
+inline const TechnologyParams& arm7_tech() {
+  static const TechnologyParams t{};
+  return t;
+}
+
+}  // namespace casa::energy

@@ -1,0 +1,121 @@
+#include "casa/ilp/branch_bound.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "casa/support/error.hpp"
+
+namespace casa::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+}  // namespace
+
+Solution BranchAndBound::solve(const Model& m) const {
+  const bool maximize = m.sense() == Sense::kMaximize;
+  // Internally we compare as minimization: better == smaller key.
+  const auto key = [maximize](double obj) { return maximize ? -obj : obj; };
+
+  SimplexSolver lp(opt_.lp);
+
+  Node root;
+  root.lower.resize(m.var_count());
+  root.upper.resize(m.var_count());
+  for (std::size_t j = 0; j < m.var_count(); ++j) {
+    const Variable& v = m.var(VarId(static_cast<std::uint32_t>(j)));
+    root.lower[j] = v.lower;
+    root.upper[j] = v.upper;
+  }
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_key = kInfinity;
+  bool hit_limit = false;
+
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+  last_nodes_ = 0;
+
+  while (!stack.empty()) {
+    if (last_nodes_ >= opt_.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    ++last_nodes_;
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    const Solution relax = lp.solve_relaxation(m, node.lower, node.upper);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // A bounded-binary model relaxation can be unbounded only through
+      // continuous vars; integrality cannot repair that.
+      Solution s;
+      s.status = SolveStatus::kUnbounded;
+      return s;
+    }
+    if (relax.status == SolveStatus::kLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (key(relax.objective) >= incumbent_key - opt_.gap_tol) continue;
+
+    // Find the most fractional binary among the highest-priority tier.
+    int branch_var = -1;
+    int best_prio = 0;
+    double worst = opt_.int_tol;
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type !=
+          VarType::kBinary) {
+        continue;
+      }
+      const double x = relax.values[j];
+      const double frac = std::abs(x - std::round(x));
+      if (frac <= opt_.int_tol) continue;
+      const int prio =
+          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
+      if (branch_var < 0 || prio > best_prio ||
+          (prio == best_prio && frac > worst)) {
+        worst = frac;
+        best_prio = prio;
+        branch_var = static_cast<int>(j);
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = relax;
+      incumbent_key = key(relax.objective);
+      continue;
+    }
+
+    const auto b = static_cast<std::size_t>(branch_var);
+    const double x = relax.values[b];
+    Node down = node;   // x_b = 0 side (floor)
+    down.upper[b] = std::floor(x);
+    down.lower[b] = node.lower[b];
+    Node up = std::move(node);  // x_b = 1 side (ceil)
+    up.lower[b] = std::ceil(x);
+
+    // DFS explores the rounding-toward x side first for faster incumbents.
+    if (x - std::floor(x) > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (incumbent.status == SolveStatus::kOptimal && hit_limit) {
+    incumbent.status = SolveStatus::kLimit;
+  }
+  return incumbent;
+}
+
+}  // namespace casa::ilp

@@ -1,0 +1,48 @@
+#include "casa/ilp/knapsack.hpp"
+
+#include <algorithm>
+
+#include "casa/support/error.hpp"
+
+namespace casa::ilp {
+
+KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
+                              std::uint64_t capacity) {
+  CASA_CHECK(capacity < (1u << 26), "knapsack capacity too large for DP");
+  const std::size_t n = items.size();
+  const std::size_t cap = static_cast<std::size_t>(capacity);
+
+  // dp[w] = best profit with weight budget exactly <= w, take[i][w] records
+  // the decision for backtracking.
+  std::vector<double> dp(cap + 1, 0.0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t w = items[i].weight;
+    const double p = items[i].profit;
+    if (p <= 0.0 || w > capacity) continue;
+    CASA_CHECK(w > 0, "knapsack item with zero weight and positive profit");
+    for (std::size_t budget = cap; budget >= w; --budget) {
+      const double with = dp[budget - w] + p;
+      if (with > dp[budget]) {
+        dp[budget] = with;
+        take[i][budget] = true;
+      }
+    }
+  }
+
+  KnapsackResult result;
+  result.total_profit = dp[cap];
+  result.taken.assign(n, false);
+  std::size_t budget = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][budget]) {
+      result.taken[i] = true;
+      result.used_capacity += items[i].weight;
+      budget -= static_cast<std::size_t>(items[i].weight);
+    }
+  }
+  return result;
+}
+
+}  // namespace casa::ilp

@@ -1,0 +1,30 @@
+// Exact 0/1 knapsack by dynamic programming over capacity.
+//
+// Steinke's DATE 2002 allocator reduces scratchpad allocation to exactly
+// this problem (profit = execution-count energy saving, weight = object
+// size); capacities are small (<= a few KiB), so the DP is effectively free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace casa::ilp {
+
+struct KnapsackItem {
+  std::uint64_t weight = 0;
+  double profit = 0.0;
+};
+
+struct KnapsackResult {
+  double total_profit = 0.0;
+  std::uint64_t used_capacity = 0;
+  std::vector<bool> taken;  ///< per input item
+};
+
+/// Maximizes total profit subject to total weight <= capacity. Items with
+/// non-positive profit are never taken; items heavier than the capacity are
+/// skipped.
+KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
+                              std::uint64_t capacity);
+
+}  // namespace casa::ilp

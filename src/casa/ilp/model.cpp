@@ -1,0 +1,106 @@
+#include "casa/ilp/model.hpp"
+
+#include <sstream>
+
+namespace casa::ilp {
+
+VarId Model::add_var(std::string name, VarType type, double lower,
+                     double upper) {
+  CASA_CHECK(lower <= upper, "variable bounds crossed: " + name);
+  if (type == VarType::kBinary) {
+    CASA_CHECK(lower >= 0.0 && upper <= 1.0, "binary bounds must be in [0,1]");
+  }
+  const VarId id(static_cast<std::uint32_t>(vars_.size()));
+  vars_.push_back(Variable{std::move(name), type, lower, upper});
+  return id;
+}
+
+ConstraintId Model::add_constraint(std::string name, LinExpr expr, Rel rel,
+                                   double rhs) {
+  for (const Term& t : expr.terms()) {
+    CASA_CHECK(t.var.index() < vars_.size(),
+               "constraint references unknown variable: " + name);
+  }
+  const ConstraintId id(static_cast<std::uint32_t>(constraints_.size()));
+  constraints_.push_back(
+      Constraint{std::move(name), std::move(expr), rel, rhs});
+  return id;
+}
+
+void Model::set_objective(Sense sense, LinExpr expr) {
+  for (const Term& t : expr.terms()) {
+    CASA_CHECK(t.var.index() < vars_.size(),
+               "objective references unknown variable");
+  }
+  sense_ = sense;
+  objective_ = std::move(expr);
+}
+
+bool Model::has_integers() const {
+  for (const auto& v : vars_) {
+    if (v.type == VarType::kBinary) return true;
+  }
+  return false;
+}
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kLimit:
+      return "limit";
+  }
+  return "?";
+}
+
+namespace {
+void print_expr(std::ostringstream& os, const Model& m, const LinExpr& e) {
+  bool first = true;
+  for (const Term& t : e.terms()) {
+    if (!first) os << (t.coef >= 0 ? " + " : " - ");
+    if (first && t.coef < 0) os << "-";
+    const double mag = t.coef >= 0 ? t.coef : -t.coef;
+    os << mag << ' ' << m.var(t.var).name;
+    first = false;
+  }
+  if (e.constant() != 0.0 || first) {
+    if (!first) os << (e.constant() >= 0 ? " + " : " - ");
+    os << (e.constant() >= 0 ? e.constant() : -e.constant());
+  }
+}
+}  // namespace
+
+std::string Model::to_string() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::kMinimize ? "minimize " : "maximize ");
+  print_expr(os, *this, objective_);
+  os << "\nsubject to\n";
+  for (const auto& c : constraints_) {
+    os << "  " << c.name << ": ";
+    print_expr(os, *this, c.expr);
+    switch (c.rel) {
+      case Rel::kLessEq:
+        os << " <= ";
+        break;
+      case Rel::kGreaterEq:
+        os << " >= ";
+        break;
+      case Rel::kEqual:
+        os << " = ";
+        break;
+    }
+    os << c.rhs << '\n';
+  }
+  os << "bounds\n";
+  for (const auto& v : vars_) {
+    os << "  " << v.lower << " <= " << v.name << " <= " << v.upper
+       << (v.type == VarType::kBinary ? " (binary)" : "") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace casa::ilp

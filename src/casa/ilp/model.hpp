@@ -1,0 +1,122 @@
+// Linear / integer linear program model builder.
+//
+// The CASA formulation (paper §4) is expressed against this interface and
+// handed to the solvers. The model is solver-agnostic: SimplexSolver
+// consumes the continuous relaxation, BranchAndBound enforces integrality.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "casa/support/error.hpp"
+#include "casa/support/ids.hpp"
+
+namespace casa::ilp {
+
+enum class VarType { kContinuous, kBinary };
+enum class Sense { kMinimize, kMaximize };
+enum class Rel { kLessEq, kGreaterEq, kEqual };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One linear term, coef * var.
+struct Term {
+  VarId var;
+  double coef = 0.0;
+};
+
+/// Linear expression Σ coef_k · var_k + constant.
+class LinExpr {
+ public:
+  LinExpr() = default;
+
+  LinExpr& add(VarId var, double coef) {
+    if (coef != 0.0) terms_.push_back(Term{var, coef});
+    return *this;
+  }
+  LinExpr& add_constant(double c) {
+    constant_ += c;
+    return *this;
+  }
+
+  const std::vector<Term>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+ private:
+  std::vector<Term> terms_;
+  double constant_ = 0.0;
+};
+
+struct Variable {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+struct Constraint {
+  std::string name;
+  LinExpr expr;
+  Rel rel = Rel::kLessEq;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  VarId add_var(std::string name, VarType type, double lower, double upper);
+  /// Convenience: binary variable in [0, 1].
+  VarId add_binary(std::string name) {
+    return add_var(std::move(name), VarType::kBinary, 0.0, 1.0);
+  }
+  VarId add_continuous(std::string name, double lower, double upper) {
+    return add_var(std::move(name), VarType::kContinuous, lower, upper);
+  }
+
+  ConstraintId add_constraint(std::string name, LinExpr expr, Rel rel,
+                              double rhs);
+
+  void set_objective(Sense sense, LinExpr expr);
+
+  std::size_t var_count() const { return vars_.size(); }
+  std::size_t constraint_count() const { return constraints_.size(); }
+  const Variable& var(VarId id) const { return vars_[id.index()]; }
+  const Constraint& constraint(ConstraintId id) const {
+    return constraints_[id.index()];
+  }
+  const std::vector<Variable>& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  Sense sense() const { return sense_; }
+  const LinExpr& objective() const { return objective_; }
+
+  /// True when any variable is integral.
+  bool has_integers() const;
+
+  /// Human-readable LP-format-ish dump (debugging / tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+  Sense sense_ = Sense::kMinimize;
+  LinExpr objective_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+
+const char* to_string(SolveStatus s);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< indexed by VarId
+
+  double value(VarId v) const {
+    CASA_CHECK(v.index() < values.size(), "no value for variable");
+    return values[v.index()];
+  }
+  /// Rounds a relaxed binary to bool.
+  bool value_as_bool(VarId v) const { return value(v) > 0.5; }
+};
+
+}  // namespace casa::ilp

@@ -1,0 +1,49 @@
+// Bounded-variable primal simplex (dense tableau, two-phase).
+//
+// Solves the continuous relaxation of a Model: all variables are treated as
+// continuous within their bounds. Upper bounds are handled with the classic
+// complemented-variable technique (a nonbasic variable always sits at its
+// lower bound in tableau space; reaching its upper bound flips it to its
+// complement), so bound rows never enter the tableau. Phase 1 drives
+// artificial variables of >= and = rows to zero; phase 2 optimizes the real
+// objective. Dantzig pricing with a Bland fallback guards against cycling.
+//
+// Intended problem scale: hundreds of rows by a few thousand columns — the
+// size of the paper's CASA instances after presolve. This is a substrate for
+// exactness, not a large-scale LP code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/ilp/model.hpp"
+
+namespace casa::ilp {
+
+struct SimplexOptions {
+  double tol = 1e-9;
+  std::uint64_t max_iters = 500000;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  unsigned bland_trigger = 64;
+};
+
+class SimplexSolver {
+ public:
+  using Options = SimplexOptions;
+
+  explicit SimplexSolver(Options opt = {}) : opt_(opt) {}
+
+  /// Solves the LP relaxation of `m`.
+  Solution solve_relaxation(const Model& m) const;
+
+  /// Solves the LP relaxation with per-variable bound overrides (used by
+  /// branch & bound to fix binaries without copying the model). Vectors must
+  /// be empty or sized var_count().
+  Solution solve_relaxation(const Model& m, const std::vector<double>& lower,
+                            const std::vector<double>& upper) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace casa::ilp

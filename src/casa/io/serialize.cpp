@@ -1,0 +1,218 @@
+#include "casa/io/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "casa/support/error.hpp"
+
+namespace casa::io {
+
+namespace {
+
+/// Reads one non-empty line; empty result signals end of stream.
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) return line;
+  }
+  return {};
+}
+
+/// Tokenizes a line and checks the leading keyword.
+std::vector<std::string> expect_tokens(const std::string& line,
+                                       const std::string& keyword,
+                                       std::size_t count) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (ss >> t) tokens.push_back(t);
+  CASA_CHECK(!tokens.empty() && tokens[0] == keyword,
+             "serialized data: expected '" + keyword + "', got: " + line);
+  CASA_CHECK(tokens.size() == count,
+             "serialized data: wrong field count in: " + line);
+  return tokens;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw PreconditionError("serialized data: expected integer, got: " + s);
+  }
+}
+
+double to_double(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw PreconditionError("serialized data: expected number, got: " + s);
+  }
+}
+
+struct GraphData {
+  std::vector<std::uint64_t> fetches, cold, hits;
+  std::vector<conflict::Edge> edges;
+};
+
+void write_graph_body(std::ostream& os, const conflict::ConflictGraph& g) {
+  os << "nodes " << g.node_count() << "\n";
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    os << "node " << i << " fetches " << g.fetches(mo) << " cold "
+       << g.cold_misses(mo) << " hits " << g.hits(mo) << "\n";
+  }
+  for (const conflict::Edge& e : g.edges()) {
+    os << "edge " << e.from.value() << " " << e.to.value() << " " << e.misses
+       << "\n";
+  }
+}
+
+/// Parses `nodes` + `node`/`edge` lines until (and consuming) `end`.
+GraphData read_graph_body(std::istream& is) {
+  GraphData d;
+  const auto header = expect_tokens(next_line(is), "nodes", 2);
+  const std::uint64_t n = to_u64(header[1]);
+  d.fetches.assign(n, 0);
+  d.cold.assign(n, 0);
+  d.hits.assign(n, 0);
+
+  std::size_t nodes_seen = 0;
+  for (;;) {
+    const std::string line = next_line(is);
+    CASA_CHECK(!line.empty(), "serialized data: missing 'end'");
+    if (line == "end") break;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "node") {
+      const auto t = expect_tokens(line, "node", 8);
+      const std::uint64_t idx = to_u64(t[1]);
+      CASA_CHECK(idx < n, "serialized data: node index out of range");
+      CASA_CHECK(t[2] == "fetches" && t[4] == "cold" && t[6] == "hits",
+                 "serialized data: malformed node line: " + line);
+      d.fetches[idx] = to_u64(t[3]);
+      d.cold[idx] = to_u64(t[5]);
+      d.hits[idx] = to_u64(t[7]);
+      ++nodes_seen;
+    } else if (kind == "edge") {
+      const auto t = expect_tokens(line, "edge", 4);
+      const std::uint64_t from = to_u64(t[1]);
+      const std::uint64_t to = to_u64(t[2]);
+      CASA_CHECK(from < n && to < n,
+                 "serialized data: edge endpoint out of range");
+      d.edges.push_back(
+          conflict::Edge{MemoryObjectId(static_cast<std::uint32_t>(from)),
+                         MemoryObjectId(static_cast<std::uint32_t>(to)),
+                         to_u64(t[3])});
+    } else {
+      CASA_CHECK(false, "serialized data: unexpected line: " + line);
+    }
+  }
+  CASA_CHECK(nodes_seen == n, "serialized data: node count mismatch");
+  return d;
+}
+
+conflict::ConflictGraph graph_from(GraphData d) {
+  const std::size_t n = d.fetches.size();
+  return conflict::ConflictGraph(n, std::move(d.fetches), std::move(d.cold),
+                                 std::move(d.hits), std::move(d.edges));
+}
+
+}  // namespace
+
+void write_conflict_graph(std::ostream& os,
+                          const conflict::ConflictGraph& graph) {
+  os << "casa-conflict-graph v1\n";
+  write_graph_body(os, graph);
+  os << "end\n";
+}
+
+conflict::ConflictGraph read_conflict_graph(std::istream& is) {
+  const std::string header = next_line(is);
+  CASA_CHECK(header == "casa-conflict-graph v1",
+             "serialized data: bad header: " + header);
+  return graph_from(read_graph_body(is));
+}
+
+void write_problem(std::ostream& os, const core::CasaProblem& problem) {
+  problem.validate();
+  os << "casa-problem v1\n";
+  os << "capacity " << problem.capacity << "\n";
+  os << "energy hit " << problem.e_cache_hit << " miss "
+     << problem.e_cache_miss << " spm " << problem.e_spm << "\n";
+  os << "sizes";
+  for (const Bytes s : problem.sizes) os << " " << s;
+  os << "\n";
+  write_graph_body(os, *problem.graph);
+  os << "end\n";
+}
+
+LoadedProblem read_problem(std::istream& is) {
+  const std::string header = next_line(is);
+  CASA_CHECK(header == "casa-problem v1",
+             "serialized data: bad header: " + header);
+
+  const auto cap = expect_tokens(next_line(is), "capacity", 2);
+  const auto energy_line = next_line(is);
+  const auto e = expect_tokens(energy_line, "energy", 7);
+  CASA_CHECK(e[1] == "hit" && e[3] == "miss" && e[5] == "spm",
+             "serialized data: malformed energy line: " + energy_line);
+
+  const std::string sizes_line = next_line(is);
+  std::istringstream ss(sizes_line);
+  std::string kw;
+  ss >> kw;
+  CASA_CHECK(kw == "sizes", "serialized data: expected sizes line");
+  std::vector<Bytes> sizes;
+  std::string tok;
+  while (ss >> tok) sizes.push_back(to_u64(tok));
+
+  LoadedProblem loaded;
+  loaded.graph = std::make_unique<conflict::ConflictGraph>(
+      graph_from(read_graph_body(is)));
+  loaded.problem.graph = loaded.graph.get();
+  loaded.problem.sizes = std::move(sizes);
+  loaded.problem.capacity = to_u64(cap[1]);
+  loaded.problem.e_cache_hit = to_double(e[2]);
+  loaded.problem.e_cache_miss = to_double(e[4]);
+  loaded.problem.e_spm = to_double(e[6]);
+  loaded.problem.validate();
+  return loaded;
+}
+
+void write_allocation(std::ostream& os, const std::vector<bool>& on_spm) {
+  os << "casa-allocation v1\n";
+  os << "objects " << on_spm.size() << "\n";
+  os << "spm";
+  for (std::size_t i = 0; i < on_spm.size(); ++i) {
+    if (on_spm[i]) os << " " << i;
+  }
+  os << "\nend\n";
+}
+
+std::vector<bool> read_allocation(std::istream& is) {
+  const std::string header = next_line(is);
+  CASA_CHECK(header == "casa-allocation v1",
+             "serialized data: bad header: " + header);
+  const auto n_line = expect_tokens(next_line(is), "objects", 2);
+  std::vector<bool> on_spm(to_u64(n_line[1]), false);
+
+  const std::string spm_line = next_line(is);
+  std::istringstream ss(spm_line);
+  std::string kw;
+  ss >> kw;
+  CASA_CHECK(kw == "spm", "serialized data: expected spm line");
+  std::string tok;
+  while (ss >> tok) {
+    const std::uint64_t idx = to_u64(tok);
+    CASA_CHECK(idx < on_spm.size(),
+               "serialized data: allocation index out of range");
+    on_spm[idx] = true;
+  }
+  CASA_CHECK(next_line(is) == "end", "serialized data: missing 'end'");
+  return on_spm;
+}
+
+}  // namespace casa::io

@@ -1,0 +1,54 @@
+// Text serialization of the allocator's inputs and outputs.
+//
+// Enables the split workflow real deployments use: profile on the target
+// (or a big simulation box), ship the conflict graph + problem description
+// as a small text artifact, solve and inspect anywhere. The format is
+// line-based, versioned, and deliberately human-readable:
+//
+//   casa-problem v1
+//   capacity 512
+//   energy hit 0.793 miss 42.88 spm 0.211
+//   nodes 3
+//   node 0 size 64 fetches 1000 cold 2 hits 900
+//   edge 0 1 49
+//   end
+//
+// Loading validates structure and re-establishes every invariant through
+// the normal constructors (a malformed file throws PreconditionError, it
+// cannot produce a half-built object).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/core/problem.hpp"
+
+namespace casa::io {
+
+/// Writes graph-only data (`casa-conflict-graph v1`).
+void write_conflict_graph(std::ostream& os,
+                          const conflict::ConflictGraph& graph);
+
+/// Reads a graph written by write_conflict_graph.
+conflict::ConflictGraph read_conflict_graph(std::istream& is);
+
+/// A loaded problem owns its graph (CasaProblem only references it).
+struct LoadedProblem {
+  std::unique_ptr<conflict::ConflictGraph> graph;
+  core::CasaProblem problem;
+};
+
+/// Writes the complete allocator input (`casa-problem v1`).
+void write_problem(std::ostream& os, const core::CasaProblem& problem);
+
+/// Reads a problem written by write_problem.
+LoadedProblem read_problem(std::istream& is);
+
+/// Writes an allocation mask (`casa-allocation v1`).
+void write_allocation(std::ostream& os, const std::vector<bool>& on_spm);
+
+/// Reads an allocation written by write_allocation.
+std::vector<bool> read_allocation(std::istream& is);
+
+}  // namespace casa::io

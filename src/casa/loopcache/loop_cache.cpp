@@ -1,0 +1,93 @@
+#include "casa/loopcache/loop_cache.hpp"
+
+#include <algorithm>
+
+#include "casa/support/error.hpp"
+
+namespace casa::loopcache {
+
+namespace {
+
+/// Builds the covering address range of a block set; returns false when the
+/// blocks are not placed contiguously (cannot be preloaded as one region).
+bool range_of_blocks(const prog::Program& program,
+                     const traceopt::TraceProgram& tp,
+                     const traceopt::Layout& layout,
+                     const std::vector<BasicBlockId>& blocks, Addr& lo,
+                     Addr& hi) {
+  if (blocks.empty()) return false;
+  lo = ~Addr{0};
+  hi = 0;
+  Bytes covered = 0;
+  for (const BasicBlockId bb : blocks) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    if (!layout.placed(mo)) return false;
+    const Addr a = layout.block_addr(bb);
+    const Bytes sz = program.block(bb).size;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a + sz);
+    covered += sz;
+  }
+  // Gaps from NOP padding between objects are fine (they are part of the
+  // image); gaps larger than the total padding of the span are not expected
+  // with contiguous layouts but guard anyway.
+  return covered > 0 && lo < hi;
+}
+
+}  // namespace
+
+std::vector<Region> enumerate_regions(const traceopt::TraceProgram& tp,
+                                      const traceopt::Layout& layout,
+                                      const trace::Profile& profile) {
+  const prog::Program& program = tp.program();
+  std::vector<Region> out;
+
+  for (const prog::LoopRegion& lr : program.loop_regions()) {
+    Region r;
+    if (!range_of_blocks(program, tp, layout, lr.blocks, r.lo, r.hi)) continue;
+    for (const BasicBlockId bb : lr.blocks) {
+      r.fetches += profile.fetches(program, bb);
+    }
+    r.label = "loop@" + program.function(lr.function).name();
+    out.push_back(std::move(r));
+  }
+  for (const prog::Function& fn : program.functions()) {
+    Region r;
+    if (!range_of_blocks(program, tp, layout, fn.blocks(), r.lo, r.hi)) {
+      continue;
+    }
+    for (const BasicBlockId bb : fn.blocks()) {
+      r.fetches += profile.fetches(program, bb);
+    }
+    r.label = "func:" + fn.name();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+RegionSet::RegionSet(std::vector<Region> regions)
+    : regions_(std::move(regions)) {
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.lo < b.lo; });
+  for (std::size_t i = 1; i < regions_.size(); ++i) {
+    CASA_CHECK(regions_[i - 1].hi <= regions_[i].lo,
+               "RegionSet regions overlap");
+  }
+}
+
+bool RegionSet::contains(Addr a) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr addr, const Region& r) { return addr < r.lo; });
+  if (it == regions_.begin()) return false;
+  --it;
+  return a < it->hi;
+}
+
+Bytes RegionSet::total_size() const {
+  Bytes total = 0;
+  for (const Region& r : regions_) total += r.size();
+  return total;
+}
+
+}  // namespace casa::loopcache

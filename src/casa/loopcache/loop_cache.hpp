@@ -1,0 +1,57 @@
+// Preloaded loop cache model (Gordon-Ross & Vahid, CAL 2002).
+//
+// The loop cache sits where the scratchpad sits (paper fig. 1b) but is
+// managed by a controller holding start/end bounds for a small fixed number
+// of regions; on every fetch the controller decides loop-cache vs. L1. Only
+// whole loops or functions can be preloaded, and at most `max_regions` of
+// them — the architectural inflexibility the paper exploits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+#include "casa/support/units.hpp"
+#include "casa/trace/profile.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::loopcache {
+
+struct LoopCacheConfig {
+  Bytes size = 256;
+  unsigned max_regions = 4;  ///< the paper's experiments preload <= 4 loops
+};
+
+/// A preloadable candidate: a contiguous address range covering one loop or
+/// one whole function, with its dynamic fetch count.
+struct Region {
+  Addr lo = 0;             ///< inclusive
+  Addr hi = 0;             ///< exclusive
+  std::uint64_t fetches = 0;
+  std::string label;
+
+  Bytes size() const { return hi - lo; }
+  bool contains(Addr a) const { return a >= lo && a < hi; }
+  bool overlaps(const Region& o) const { return lo < o.hi && o.lo < hi; }
+};
+
+/// Enumerates candidates (every static loop region and every function) for
+/// `tp` under `layout`, with fetch counts from `profile`.
+std::vector<Region> enumerate_regions(const traceopt::TraceProgram& tp,
+                                      const traceopt::Layout& layout,
+                                      const trace::Profile& profile);
+
+/// Fast membership test over a set of selected (non-overlapping) regions.
+class RegionSet {
+ public:
+  explicit RegionSet(std::vector<Region> regions);
+  bool contains(Addr a) const;
+  const std::vector<Region>& regions() const { return regions_; }
+  Bytes total_size() const;
+
+ private:
+  std::vector<Region> regions_;  ///< sorted by lo
+};
+
+}  // namespace casa::loopcache

@@ -1,0 +1,43 @@
+#include "casa/loopcache/ross_allocator.hpp"
+
+#include <algorithm>
+
+namespace casa::loopcache {
+
+RossResult allocate_ross(const std::vector<Region>& candidates,
+                         const LoopCacheConfig& config) {
+  std::vector<Region> ranked = candidates;
+  std::sort(ranked.begin(), ranked.end(), [](const Region& a,
+                                             const Region& b) {
+    const double da = static_cast<double>(a.fetches) /
+                      static_cast<double>(a.size());
+    const double db = static_cast<double>(b.fetches) /
+                      static_cast<double>(b.size());
+    if (da != db) return da > db;
+    return a.lo < b.lo;
+  });
+
+  std::vector<Region> selected;
+  Bytes used = 0;
+  std::uint64_t covered = 0;
+  for (const Region& r : ranked) {
+    if (selected.size() >= config.max_regions) break;
+    if (r.fetches == 0) continue;
+    if (used + r.size() > config.size) continue;
+    const bool overlap =
+        std::any_of(selected.begin(), selected.end(),
+                    [&r](const Region& s) { return s.overlaps(r); });
+    if (overlap) continue;
+    used += r.size();
+    covered += r.fetches;
+    selected.push_back(r);
+  }
+
+  RossResult result;
+  result.selected = RegionSet(std::move(selected));
+  result.used_bytes = used;
+  result.covered_fetches = covered;
+  return result;
+}
+
+}  // namespace casa::loopcache

@@ -1,0 +1,23 @@
+// Gordon-Ross / Vahid preloading heuristic.
+//
+// Candidates (loops and functions) are ranked by execution-time density —
+// fetches per byte — and greedily packed into the loop cache, skipping
+// candidates that overlap an already-selected region (a nested loop inside a
+// selected outer loop is already covered), until the region-count or
+// capacity limit is hit.
+#pragma once
+
+#include "casa/loopcache/loop_cache.hpp"
+
+namespace casa::loopcache {
+
+struct RossResult {
+  RegionSet selected{std::vector<Region>{}};
+  Bytes used_bytes = 0;
+  std::uint64_t covered_fetches = 0;  ///< static estimate from the profile
+};
+
+RossResult allocate_ross(const std::vector<Region>& candidates,
+                         const LoopCacheConfig& config);
+
+}  // namespace casa::loopcache

@@ -1,0 +1,109 @@
+#include "casa/memsim/hierarchy.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::memsim {
+
+namespace {
+
+/// Shared inner loop. `spm_mo` marks scratchpad-resident objects (empty =
+/// none); `regions` enables the loop-cache path (nullptr = none).
+SimReport run(const traceopt::TraceProgram& tp,
+              const traceopt::Layout& layout, const trace::BlockWalk& walk,
+              const std::vector<bool>& spm_mo,
+              const loopcache::RegionSet* regions,
+              const cachesim::CacheConfig& cache_cfg,
+              const energy::EnergyTable& energies, const SimOptions& opt) {
+  const prog::Program& program = tp.program();
+  cachesim::Cache cache(cache_cfg, opt.seed);
+  const std::uint64_t line_words = cache_cfg.line_size / kWordBytes;
+  const LatencyParams& lat = opt.latency;
+
+  SimReport rep;
+  SimCounters& c = rep.counters;
+
+  for (const BasicBlockId bb : walk.seq) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    const Bytes size = program.block(bb).size;
+    const std::uint64_t words = size / kWordBytes;
+
+    if (!spm_mo.empty() && spm_mo[mo.index()]) {
+      // Whole block fetched from the scratchpad.
+      c.total_fetches += words;
+      c.spm_accesses += words;
+      c.cycles += words * lat.spm_access;
+      rep.spm_energy += static_cast<double>(words) * energies.spm_access;
+      continue;
+    }
+
+    const Addr base = layout.block_addr(bb);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      const Addr addr = base + w * kWordBytes;
+      ++c.total_fetches;
+
+      if (regions != nullptr && regions->contains(addr)) {
+        ++c.lc_accesses;
+        c.cycles += lat.lc_access;
+        rep.lc_energy += energies.lc_access;
+        continue;
+      }
+      if (regions != nullptr) {
+        // The controller compares bounds on every fetch it does not serve.
+        rep.lc_energy += energies.lc_controller;
+      }
+
+      const cachesim::AccessResult r = cache.access(addr);
+      ++c.cache_accesses;
+      if (r.hit) {
+        ++c.cache_hits;
+        c.cycles += lat.cache_hit;
+        rep.cache_energy += energies.cache_hit;
+      } else {
+        ++c.cache_misses;
+        c.mainmem_words += line_words;
+        c.cycles += lat.cache_hit + lat.miss_base_penalty +
+                    line_words * lat.miss_per_word;
+        rep.cache_energy += energies.cache_miss;
+      }
+    }
+  }
+
+  rep.total_energy = rep.spm_energy + rep.cache_energy + rep.lc_energy;
+  return rep;
+}
+
+}  // namespace
+
+SimReport simulate_spm_system(const traceopt::TraceProgram& tp,
+                              const traceopt::Layout& layout,
+                              const trace::BlockWalk& walk,
+                              const std::vector<bool>& on_spm,
+                              const cachesim::CacheConfig& cache_cfg,
+                              const energy::EnergyTable& energies,
+                              const SimOptions& opt) {
+  CASA_CHECK(on_spm.size() == tp.object_count(), "on_spm mask size mismatch");
+  CASA_CHECK(energies.spm_access > 0, "energy table lacks an SPM entry");
+  return run(tp, layout, walk, on_spm, nullptr, cache_cfg, energies, opt);
+}
+
+SimReport simulate_loopcache_system(const traceopt::TraceProgram& tp,
+                                    const traceopt::Layout& layout,
+                                    const trace::BlockWalk& walk,
+                                    const loopcache::RegionSet& regions,
+                                    const cachesim::CacheConfig& cache_cfg,
+                                    const energy::EnergyTable& energies,
+                                    const SimOptions& opt) {
+  CASA_CHECK(energies.lc_access > 0, "energy table lacks a loop-cache entry");
+  return run(tp, layout, walk, {}, &regions, cache_cfg, energies, opt);
+}
+
+SimReport simulate_cache_only(const traceopt::TraceProgram& tp,
+                              const traceopt::Layout& layout,
+                              const trace::BlockWalk& walk,
+                              const cachesim::CacheConfig& cache_cfg,
+                              const energy::EnergyTable& energies,
+                              const SimOptions& opt) {
+  return run(tp, layout, walk, {}, nullptr, cache_cfg, energies, opt);
+}
+
+}  // namespace casa::memsim

@@ -1,0 +1,85 @@
+#include "casa/memsim/two_level.hpp"
+
+#include "casa/energy/cache_energy.hpp"
+#include "casa/energy/main_memory.hpp"
+#include "casa/energy/spm_energy.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::memsim {
+
+TwoLevelEnergies TwoLevelEnergies::build(
+    const cachesim::CacheConfig& l1, const cachesim::CacheConfig& l2,
+    Bytes spm_size, const energy::TechnologyParams& tech) {
+  const energy::CacheEnergyModel m1(l1, tech);
+  const energy::CacheEnergyModel m2(l2, tech);
+  const energy::MainMemoryModel mm(tech);
+
+  TwoLevelEnergies e;
+  if (spm_size > 0) {
+    e.spm_access = energy::SpmEnergyModel(spm_size, tech).access_energy();
+  }
+  e.l1_hit = m1.hit_energy();
+  e.l1_miss_l2_hit =
+      m1.probe_energy() + m2.hit_energy() + m1.linefill_energy();
+  e.l1_miss_l2_miss = m1.probe_energy() + m2.probe_energy() +
+                      mm.burst_read_energy(l2.line_size) +
+                      m2.linefill_energy() + m1.linefill_energy();
+  return e;
+}
+
+TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
+                                      const traceopt::Layout& layout,
+                                      const trace::BlockWalk& walk,
+                                      const std::vector<bool>& on_spm,
+                                      const cachesim::CacheConfig& l1_cfg,
+                                      const cachesim::CacheConfig& l2_cfg,
+                                      const TwoLevelEnergies& energies,
+                                      std::uint64_t seed) {
+  CASA_CHECK(on_spm.size() == tp.object_count(), "on_spm size mismatch");
+  CASA_CHECK(l2_cfg.line_size >= l1_cfg.line_size &&
+                 l2_cfg.line_size % l1_cfg.line_size == 0,
+             "L2 line must be a multiple of the L1 line");
+  CASA_CHECK(l2_cfg.size >= l1_cfg.size, "L2 must not be smaller than L1");
+
+  const prog::Program& program = tp.program();
+  cachesim::Cache l1(l1_cfg, seed);
+  cachesim::Cache l2(l2_cfg, seed + 1);
+
+  TwoLevelReport rep;
+  TwoLevelCounters& c = rep.counters;
+
+  for (const BasicBlockId bb : walk.seq) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    const Bytes size = program.block(bb).size;
+    const std::uint64_t words = size / kWordBytes;
+
+    if (on_spm[mo.index()]) {
+      c.total_fetches += words;
+      c.spm_accesses += words;
+      rep.total_energy += static_cast<double>(words) * energies.spm_access;
+      continue;
+    }
+
+    const Addr base = layout.block_addr(bb);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      const Addr addr = base + w * kWordBytes;
+      ++c.total_fetches;
+      if (l1.access(addr).hit) {
+        ++c.l1_hits;
+        rep.total_energy += energies.l1_hit;
+        continue;
+      }
+      ++c.l1_misses;
+      if (l2.access(addr).hit) {
+        ++c.l2_hits;
+        rep.total_energy += energies.l1_miss_l2_hit;
+      } else {
+        ++c.l2_misses;
+        rep.total_energy += energies.l1_miss_l2_miss;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace casa::memsim

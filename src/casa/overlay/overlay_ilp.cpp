@@ -1,0 +1,525 @@
+#include "casa/overlay/overlay_ilp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "casa/core/casa_branch_bound.hpp"
+#include "casa/core/greedy.hpp"
+#include "casa/core/problem.hpp"
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::overlay {
+
+void OverlayProblem::validate() const {
+  CASA_CHECK(profile != nullptr, "OverlayProblem needs a phase profile");
+  CASA_CHECK(sizes.size() == profile->object_count(), "sizes size mismatch");
+  CASA_CHECK(e_cache_miss > e_cache_hit, "miss must cost more than hit");
+  CASA_CHECK(e_cache_hit > e_spm, "scratchpad must beat the cache");
+  CASA_CHECK(e_copy_word > 0, "copy cost must be positive");
+}
+
+OverlayProblem OverlayProblem::from(const PhaseProfile& profile,
+                                    const traceopt::TraceProgram& tp,
+                                    const energy::EnergyTable& energies,
+                                    Bytes capacity) {
+  OverlayProblem p;
+  p.profile = &profile;
+  for (const auto& mo : tp.objects()) p.sizes.push_back(mo.raw_size);
+  p.capacity = capacity;
+  p.e_cache_hit = energies.cache_hit;
+  p.e_cache_miss = energies.cache_miss;
+  p.e_spm = energies.spm_access;
+  // Word copy: read from off-chip memory, write into the scratchpad array.
+  p.e_copy_word = energies.mainmem_word + energies.spm_access;
+  p.validate();
+  return p;
+}
+
+namespace {
+
+Energy copy_cost(const OverlayProblem& p, std::size_t i) {
+  return static_cast<double>(p.sizes[i] / kWordBytes) * p.e_copy_word;
+}
+
+/// Optimistic per-object total saving, used to pick ILP candidates.
+std::vector<std::size_t> pick_candidates(const OverlayProblem& p,
+                                         std::size_t max_candidates) {
+  const PhaseProfile& prof = *p.profile;
+  const std::size_t n = prof.object_count();
+  const Energy d_hit_sp = p.e_cache_hit - p.e_spm;
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+
+  std::vector<Energy> score(n, 0);
+  for (const Phase& ph : prof.phases()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += static_cast<Energy>(ph.fetches[i]) * d_hit_sp;
+    }
+    for (const PhaseEdge& e : ph.edges) {
+      score[e.a] += static_cast<Energy>(e.misses) * d_miss_hit;
+      score[e.b] += static_cast<Energy>(e.misses) * d_miss_hit;
+    }
+  }
+
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p.sizes[i] <= p.capacity && score[i] > 0) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [&score](std::size_t a, std::size_t b) {
+    return score[a] > score[b];
+  });
+  if (idx.size() > max_candidates) idx.resize(max_candidates);
+  return idx;
+}
+
+/// Fills result bookkeeping (copies, copy energy) from a residency matrix.
+void account_copies(const OverlayProblem& p, OverlayResult& r) {
+  r.copies = 0;
+  r.copy_energy = 0;
+  const std::size_t n = p.profile->object_count();
+  for (std::size_t ph = 0; ph < r.residency.size(); ++ph) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool now = r.residency[ph][i];
+      const bool before = ph > 0 && r.residency[ph - 1][i];
+      if (now && !before) {
+        ++r.copies;
+        r.copy_energy += copy_cost(p, i);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Monolithic ILP over candidates x phases (exact on the candidate set).
+OverlayResult allocate_overlay_ilp(const OverlayProblem& p,
+                                   const std::vector<std::size_t>& cand,
+                                   OverlayOptions opt);
+
+/// Beam-DP decomposition: per-phase residency pools (specialized exact
+/// solver + greedy + continuations), then DP over phases with copy costs.
+OverlayResult allocate_overlay_beam(const OverlayProblem& p,
+                                    const std::vector<std::size_t>& cand);
+
+}  // namespace
+
+OverlayResult allocate_overlay(const OverlayProblem& p, OverlayOptions opt) {
+  p.validate();
+  const std::vector<std::size_t> cand =
+      pick_candidates(p, opt.max_candidates);
+  if (cand.size() * p.profile->phase_count() <= opt.ilp_budget) {
+    return allocate_overlay_ilp(p, cand, opt);
+  }
+  return allocate_overlay_beam(p, cand);
+}
+
+namespace {
+
+OverlayResult allocate_overlay_ilp(const OverlayProblem& p,
+                                   const std::vector<std::size_t>& cand,
+                                   OverlayOptions opt) {
+  const PhaseProfile& prof = *p.profile;
+  const std::size_t pcount = prof.phase_count();
+  const std::size_t n = prof.object_count();
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+
+  std::vector<std::int32_t> cand_of(n, -1);
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    cand_of[cand[c]] = static_cast<std::int32_t>(c);
+  }
+
+  ilp::Model m;
+  // a[c][ph] — candidate c resident in phase ph.
+  std::vector<std::vector<VarId>> a(cand.size(),
+                                    std::vector<VarId>(pcount));
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    for (std::size_t ph = 0; ph < pcount; ++ph) {
+      a[c][ph] = m.add_binary("a_" + std::to_string(c) + "_" +
+                              std::to_string(ph));
+    }
+  }
+
+  ilp::LinExpr obj;
+  Energy offset = 0;
+
+  // Fetch energy: candidates pay E_hit when cached, E_sp when resident;
+  // everything else always pays E_hit.
+  for (std::size_t ph = 0; ph < pcount; ++ph) {
+    const Phase& phase = prof.phases()[ph];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto f = static_cast<Energy>(phase.fetches[i]);
+      offset += f * p.e_cache_hit;
+      if (cand_of[i] >= 0) {
+        obj.add(a[static_cast<std::size_t>(cand_of[i])][ph],
+                f * (p.e_spm - p.e_cache_hit));
+      }
+    }
+    // Conflict terms.
+    for (const PhaseEdge& e : phase.edges) {
+      const Energy d = static_cast<Energy>(e.misses) * d_miss_hit;
+      const std::int32_t ca = cand_of[e.a];
+      const std::int32_t cb = cand_of[e.b];
+      if (ca < 0 && cb < 0) {
+        offset += d;  // unavoidable
+      } else if (ca >= 0 && cb < 0) {
+        // Saved iff a is resident: d * (1 - a).
+        offset += d;
+        obj.add(a[static_cast<std::size_t>(ca)][ph], -d);
+      } else if (cb >= 0 && ca < 0) {
+        offset += d;
+        obj.add(a[static_cast<std::size_t>(cb)][ph], -d);
+      } else {
+        // Both candidates: L >= 1 - a_a - a_b (tight; L in [0,1]).
+        const VarId L = m.add_continuous(
+            "L_" + std::to_string(ph) + "_" + std::to_string(e.a) + "_" +
+                std::to_string(e.b),
+            0.0, 1.0);
+        ilp::LinExpr lin;
+        lin.add(a[static_cast<std::size_t>(ca)][ph], 1.0)
+            .add(a[static_cast<std::size_t>(cb)][ph], 1.0)
+            .add(L, 1.0);
+        m.add_constraint("lin_" + std::to_string(ph), std::move(lin),
+                         ilp::Rel::kGreaterEq, 1.0);
+        obj.add(L, d);
+      }
+    }
+    // Capacity (paper eq. 17, one per phase).
+    ilp::LinExpr cap;
+    for (std::size_t c = 0; c < cand.size(); ++c) {
+      cap.add(a[c][ph], static_cast<double>(p.sizes[cand[c]]));
+    }
+    m.add_constraint("cap_" + std::to_string(ph), std::move(cap),
+                     ilp::Rel::kLessEq, static_cast<double>(p.capacity));
+  }
+
+  // Copy-in transitions.
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    const Energy cost = copy_cost(p, cand[c]);
+    for (std::size_t ph = 0; ph < pcount; ++ph) {
+      const VarId t = m.add_continuous(
+          "t_" + std::to_string(c) + "_" + std::to_string(ph), 0.0, 1.0);
+      ilp::LinExpr tr;
+      tr.add(t, 1.0).add(a[c][ph], -1.0);
+      if (ph > 0) tr.add(a[c][ph - 1], 1.0);
+      m.add_constraint("copy_" + std::to_string(c) + "_" +
+                           std::to_string(ph),
+                       std::move(tr), ilp::Rel::kGreaterEq, 0.0);
+      obj.add(t, cost);
+    }
+  }
+
+  m.set_objective(ilp::Sense::kMinimize, std::move(obj));
+
+  ilp::BranchAndBoundOptions bopt;
+  bopt.max_nodes = opt.max_nodes;
+  ilp::BranchAndBound solver(bopt);
+  const ilp::Solution sol = solver.solve(m);
+  CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal ||
+                 sol.status == ilp::SolveStatus::kLimit,
+             "overlay ILP produced no solution");
+
+  OverlayResult r;
+  r.exact = sol.status == ilp::SolveStatus::kOptimal;
+  r.residency.assign(pcount, std::vector<bool>(n, false));
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    for (std::size_t ph = 0; ph < pcount; ++ph) {
+      r.residency[ph][cand[c]] = sol.value_as_bool(a[c][ph]);
+    }
+  }
+  r.predicted_energy = offset + sol.objective;
+  account_copies(p, r);
+  return r;
+}
+
+/// Model energy of one phase under a full residency vector.
+Energy phase_energy(const OverlayProblem& p, const Phase& phase,
+                    const std::vector<bool>& resident) {
+  Energy energy = 0;
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+  for (std::size_t i = 0; i < resident.size(); ++i) {
+    energy += static_cast<Energy>(phase.fetches[i]) *
+              (resident[i] ? p.e_spm : p.e_cache_hit);
+  }
+  for (const PhaseEdge& e : phase.edges) {
+    if (!resident[e.a] && !resident[e.b]) {
+      energy += static_cast<Energy>(e.misses) * d_miss_hit;
+    }
+  }
+  return energy;
+}
+
+OverlayResult allocate_overlay_beam(const OverlayProblem& p,
+                                    const std::vector<std::size_t>& cand) {
+  const PhaseProfile& prof = *p.profile;
+  const std::size_t pcount = prof.phase_count();
+  const std::size_t n = prof.object_count();
+  const Energy d_hit_sp = p.e_cache_hit - p.e_spm;
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+
+  std::vector<std::int32_t> cand_of(n, -1);
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    cand_of[cand[c]] = static_cast<std::int32_t>(c);
+  }
+
+  // Whole-run (static) residency, computed over the merged profile; seeding
+  // every phase pool with it guarantees the DP never loses to the static
+  // allocation (it can always pick this residency in every phase, paying
+  // its copies exactly once).
+  std::vector<bool> static_residency(n, false);
+  {
+    core::SavingsProblem sp;
+    sp.capacity = p.capacity;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Energy> pair_w;
+    for (const std::size_t i : cand) {
+      sp.object_of.push_back(MemoryObjectId(static_cast<std::uint32_t>(i)));
+      Energy value = 0;
+      for (const Phase& ph : prof.phases()) {
+        value += static_cast<Energy>(ph.fetches[i]) * d_hit_sp;
+      }
+      sp.value.push_back(value);
+      sp.weight.push_back(p.sizes[i]);
+    }
+    for (const Phase& ph : prof.phases()) {
+      for (const PhaseEdge& e : ph.edges) {
+        const std::int32_t a = cand_of[e.a];
+        const std::int32_t b = cand_of[e.b];
+        const Energy w = static_cast<Energy>(e.misses) * d_miss_hit;
+        if (a < 0 && b < 0) continue;
+        if (a < 0) {
+          sp.value[static_cast<std::size_t>(b)] += w;
+        } else if (b < 0) {
+          sp.value[static_cast<std::size_t>(a)] += w;
+        } else {
+          pair_w[{static_cast<std::uint32_t>(std::min(a, b)),
+                  static_cast<std::uint32_t>(std::max(a, b))}] += w;
+        }
+      }
+    }
+    for (const auto& [key, w] : pair_w) {
+      sp.edges.push_back(core::SavingsProblem::Edge{
+          static_cast<std::uint32_t>(key.first),
+          static_cast<std::uint32_t>(key.second), w});
+    }
+    const auto res = core::CasaBranchBound().solve(sp);
+    for (std::size_t c = 0; c < cand.size(); ++c) {
+      if (res.chosen[c]) static_residency[cand[c]] = true;
+    }
+  }
+
+  // Per-phase residency pools.
+  std::vector<std::vector<std::vector<bool>>> pools(pcount);
+  for (std::size_t ph = 0; ph < pcount; ++ph) {
+    const Phase& phase = prof.phases()[ph];
+    core::SavingsProblem sp;
+    sp.capacity = p.capacity;
+    for (const std::size_t i : cand) {
+      sp.object_of.push_back(MemoryObjectId(static_cast<std::uint32_t>(i)));
+      sp.value.push_back(static_cast<Energy>(phase.fetches[i]) * d_hit_sp);
+      sp.weight.push_back(p.sizes[i]);
+    }
+    for (const PhaseEdge& e : phase.edges) {
+      const std::int32_t a = cand_of[e.a];
+      const std::int32_t b = cand_of[e.b];
+      const Energy w = static_cast<Energy>(e.misses) * d_miss_hit;
+      if (a < 0 && b < 0) continue;
+      if (a < 0) {
+        sp.value[static_cast<std::size_t>(b)] += w;
+      } else if (b < 0) {
+        sp.value[static_cast<std::size_t>(a)] += w;
+      } else {
+        sp.edges.push_back(core::SavingsProblem::Edge{
+            static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b), w});
+      }
+    }
+
+    auto to_resident = [&](const std::vector<bool>& chosen) {
+      std::vector<bool> r(n, false);
+      for (std::size_t c = 0; c < cand.size(); ++c) {
+        if (chosen[c]) r[cand[c]] = true;
+      }
+      return r;
+    };
+
+    std::vector<std::vector<bool>> pool;
+    const core::CasaBranchBoundResult exact = core::CasaBranchBound().solve(sp);
+    pool.push_back(to_resident(exact.chosen));
+    const core::GreedyResult greedy = core::solve_greedy(sp);
+    pool.push_back(to_resident(greedy.chosen));
+    pool.push_back(static_residency);
+    pool.emplace_back(n, false);  // empty residency
+    if (ph > 0) {
+      // Continuations: everything the previous phase could hold.
+      for (const auto& prev : pools[ph - 1]) pool.push_back(prev);
+    }
+    // Deduplicate.
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    pools[ph] = std::move(pool);
+  }
+
+  // DP over phases.
+  auto transition_cost = [&](const std::vector<bool>& from,
+                             const std::vector<bool>& to) {
+    Energy cost = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (to[i] && !from[i]) cost += copy_cost(p, i);
+    }
+    return cost;
+  };
+
+  const std::vector<bool> nothing(n, false);
+  std::vector<std::vector<Energy>> best(pcount);
+  std::vector<std::vector<int>> parent(pcount);
+  for (std::size_t ph = 0; ph < pcount; ++ph) {
+    best[ph].assign(pools[ph].size(), 0);
+    parent[ph].assign(pools[ph].size(), -1);
+    for (std::size_t k = 0; k < pools[ph].size(); ++k) {
+      const Energy local = phase_energy(p, prof.phases()[ph], pools[ph][k]);
+      if (ph == 0) {
+        best[ph][k] = local + transition_cost(nothing, pools[ph][k]);
+        continue;
+      }
+      Energy best_prev = 0;
+      int arg = -1;
+      for (std::size_t q = 0; q < pools[ph - 1].size(); ++q) {
+        const Energy cost = best[ph - 1][q] +
+                            transition_cost(pools[ph - 1][q], pools[ph][k]);
+        if (arg < 0 || cost < best_prev) {
+          best_prev = cost;
+          arg = static_cast<int>(q);
+        }
+      }
+      best[ph][k] = best_prev + local;
+      parent[ph][k] = arg;
+    }
+  }
+
+  // Trace back the best chain.
+  std::size_t pick = 0;
+  for (std::size_t k = 1; k < pools[pcount - 1].size(); ++k) {
+    if (best[pcount - 1][k] < best[pcount - 1][pick]) pick = k;
+  }
+  OverlayResult r;
+  r.exact = false;
+  r.residency.assign(pcount, std::vector<bool>(n, false));
+  r.predicted_energy = best[pcount - 1][pick];
+  for (std::size_t ph = pcount; ph-- > 0;) {
+    r.residency[ph] = pools[ph][pick];
+    if (ph > 0) pick = static_cast<std::size_t>(parent[ph][pick]);
+  }
+  account_copies(p, r);
+  return r;
+}
+
+}  // namespace
+
+OverlayResult allocate_static(const OverlayProblem& p, OverlayOptions opt) {
+  p.validate();
+  // Collapse all phases into one, solve, then replicate the residency.
+  const PhaseProfile& prof = *p.profile;
+  const std::size_t n = prof.object_count();
+
+  Phase merged;
+  merged.begin = 0;
+  merged.end = 0;
+  merged.fetches.assign(n, 0);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> pairs;
+  for (const Phase& ph : prof.phases()) {
+    merged.end = ph.end;
+    for (std::size_t i = 0; i < n; ++i) merged.fetches[i] += ph.fetches[i];
+    for (const PhaseEdge& e : ph.edges) pairs[{e.a, e.b}] += e.misses;
+  }
+  for (const auto& [key, misses] : pairs) {
+    merged.edges.push_back(PhaseEdge{key.first, key.second, misses});
+  }
+  PhaseProfile single({merged}, n);
+
+  OverlayProblem sp = p;
+  sp.profile = &single;
+  OverlayResult one = allocate_overlay(sp, opt);
+
+  OverlayResult r;
+  r.exact = one.exact;
+  r.residency.assign(prof.phase_count(), one.residency[0]);
+  // Energy: re-derive against the real phase profile (identical, since the
+  // model is linear in per-phase counts), keep the single-load copy cost.
+  r.predicted_energy = one.predicted_energy;
+  account_copies(p, r);
+  return r;
+}
+
+OverlayResult allocate_overlay_greedy(const OverlayProblem& p) {
+  p.validate();
+  const PhaseProfile& prof = *p.profile;
+  const std::size_t pcount = prof.phase_count();
+  const std::size_t n = prof.object_count();
+  const Energy d_hit_sp = p.e_cache_hit - p.e_spm;
+  const Energy d_miss_hit = p.e_cache_miss - p.e_cache_hit;
+
+  OverlayResult r;
+  r.residency.assign(pcount, std::vector<bool>(n, false));
+
+  for (std::size_t ph = 0; ph < pcount; ++ph) {
+    const Phase& phase = prof.phases()[ph];
+    core::SavingsProblem sp;
+    sp.capacity = p.capacity;
+    std::vector<std::int32_t> item_of(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.sizes[i] > p.capacity) continue;
+      item_of[i] = static_cast<std::int32_t>(sp.object_of.size());
+      sp.object_of.push_back(
+          MemoryObjectId(static_cast<std::uint32_t>(i)));
+      Energy value = static_cast<Energy>(phase.fetches[i]) * d_hit_sp;
+      // Hysteresis: an object already resident needs no copy; a new one
+      // must earn its transfer first.
+      if (ph == 0 || !r.residency[ph - 1][i]) {
+        value -= copy_cost(p, i);
+      }
+      sp.value.push_back(value);
+      sp.weight.push_back(p.sizes[i]);
+    }
+    for (const PhaseEdge& e : phase.edges) {
+      const std::int32_t a = item_of[e.a];
+      const std::int32_t b = item_of[e.b];
+      const Energy w = static_cast<Energy>(e.misses) * d_miss_hit;
+      if (a < 0 && b < 0) continue;
+      if (a < 0) {
+        sp.value[static_cast<std::size_t>(b)] += w;
+      } else if (b < 0) {
+        sp.value[static_cast<std::size_t>(a)] += w;
+      } else {
+        sp.edges.push_back(core::SavingsProblem::Edge{
+            static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
+            w});
+      }
+    }
+    const core::GreedyResult g = core::solve_greedy(sp);
+    for (std::size_t k = 0; k < sp.object_of.size(); ++k) {
+      if (g.chosen[k]) r.residency[ph][sp.object_of[k].index()] = true;
+    }
+  }
+
+  // Model-energy accounting for the chosen residency.
+  Energy energy = 0;
+  for (std::size_t ph = 0; ph < pcount; ++ph) {
+    const Phase& phase = prof.phases()[ph];
+    for (std::size_t i = 0; i < n; ++i) {
+      energy += static_cast<Energy>(phase.fetches[i]) *
+                (r.residency[ph][i] ? p.e_spm : p.e_cache_hit);
+    }
+    for (const PhaseEdge& e : phase.edges) {
+      if (!r.residency[ph][e.a] && !r.residency[ph][e.b]) {
+        energy += static_cast<Energy>(e.misses) * d_miss_hit;
+      }
+    }
+  }
+  account_copies(p, r);
+  r.predicted_energy = energy + r.copy_energy;
+  r.exact = false;
+  return r;
+}
+
+}  // namespace casa::overlay

@@ -1,0 +1,77 @@
+// Overlay allocation ILP.
+//
+// Extends the CASA formulation with time: a_{i,p} = 1 places object i on
+// the scratchpad during phase p. Per-phase capacity rows repeat eq. (17);
+// per-phase conflict terms use the tight linearization (an edge costs its
+// misses when both endpoints are cached in that phase); copying an object
+// in at a phase boundary pays an explicit per-byte transfer cost
+// (main-memory read + scratchpad write per word), captured by transition
+// variables t_{i,p} >= a_{i,p} - a_{i,p-1}.
+//
+// Candidate reduction keeps the ILP small: only the `max_candidates`
+// objects with the highest optimistic savings participate; the rest stay
+// cached. A greedy per-phase fallback handles arbitrary sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/energy/energy_table.hpp"
+#include "casa/overlay/phase_profile.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::overlay {
+
+struct OverlayProblem {
+  const PhaseProfile* profile = nullptr;
+  std::vector<Bytes> sizes;  ///< unpadded, per object
+  Bytes capacity = 0;
+  Energy e_cache_hit = 0;
+  Energy e_cache_miss = 0;
+  Energy e_spm = 0;
+  /// Energy to copy one word main memory -> scratchpad.
+  Energy e_copy_word = 0;
+
+  void validate() const;
+
+  static OverlayProblem from(const PhaseProfile& profile,
+                             const traceopt::TraceProgram& tp,
+                             const energy::EnergyTable& energies,
+                             Bytes capacity);
+};
+
+struct OverlayResult {
+  /// residency[p][i]: object i on the scratchpad during phase p.
+  std::vector<std::vector<bool>> residency;
+  Energy predicted_energy = 0;  ///< model objective incl. copy costs
+  Energy copy_energy = 0;       ///< predicted copy traffic share
+  std::uint64_t copies = 0;     ///< object copy-ins over the run
+  bool exact = true;
+};
+
+struct OverlayOptions {
+  std::size_t max_candidates = 12;
+  std::uint64_t max_nodes = 200000;
+  /// The monolithic ILP couples candidates x phases binaries; beyond this
+  /// product the solver switches to the beam-DP decomposition (per-phase
+  /// exact residencies + dynamic programming over transitions).
+  std::size_t ilp_budget = 30;
+};
+
+/// Overlay allocation. Small instances (candidates x phases <= ilp_budget)
+/// are solved exactly through the generic ILP; larger ones by beam-DP
+/// (result.exact = false — optimal per phase and over the generated pool,
+/// not globally proven).
+OverlayResult allocate_overlay(const OverlayProblem& p,
+                               OverlayOptions opt = {});
+
+/// Greedy baseline: solves each phase independently with the static CASA
+/// greedy, then keeps an object resident across adjacent phases when that
+/// avoids a copy whose cost exceeds the phase saving.
+OverlayResult allocate_overlay_greedy(const OverlayProblem& p);
+
+/// Static reference through the same machinery: one residency for all
+/// phases (aggregated counts), no copies except the initial load.
+OverlayResult allocate_static(const OverlayProblem& p, OverlayOptions opt = {});
+
+}  // namespace casa::overlay

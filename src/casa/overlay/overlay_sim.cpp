@@ -1,0 +1,87 @@
+#include "casa/overlay/overlay_sim.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::overlay {
+
+OverlaySimReport simulate_overlay(
+    const traceopt::TraceProgram& tp, const traceopt::Layout& layout,
+    const trace::BlockWalk& walk, const PhaseProfile& profile,
+    const std::vector<std::vector<bool>>& residency,
+    const cachesim::CacheConfig& cache_cfg,
+    const energy::EnergyTable& energies, const memsim::SimOptions& opt) {
+  CASA_CHECK(residency.size() == profile.phase_count(),
+             "residency / phase count mismatch");
+  for (const auto& r : residency) {
+    CASA_CHECK(r.size() == tp.object_count(), "residency size mismatch");
+  }
+  CASA_CHECK(energies.spm_access > 0, "energy table lacks an SPM entry");
+
+  const prog::Program& program = tp.program();
+  cachesim::Cache cache(cache_cfg, opt.seed);
+  const std::uint64_t line_words = cache_cfg.line_size / kWordBytes;
+  const memsim::LatencyParams& lat = opt.latency;
+  const Energy copy_word_energy =
+      energies.mainmem_word + energies.spm_access;
+
+  OverlaySimReport rep;
+  memsim::SimCounters& c = rep.sim.counters;
+
+  std::size_t phase_idx = static_cast<std::size_t>(-1);
+  for (std::size_t w = 0; w < walk.seq.size(); ++w) {
+    // Phase entry: swap residency, pay the copies.
+    while (phase_idx == static_cast<std::size_t>(-1) ||
+           (phase_idx + 1 < profile.phase_count() &&
+            w >= profile.phases()[phase_idx].end)) {
+      ++phase_idx;
+      for (std::size_t i = 0; i < tp.object_count(); ++i) {
+        const bool now = residency[phase_idx][i];
+        const bool before = phase_idx > 0 && residency[phase_idx - 1][i];
+        if (now && !before) {
+          const std::uint64_t words = tp.objects()[i].raw_size / kWordBytes;
+          ++rep.copies;
+          rep.copy_words += words;
+          rep.copy_energy += static_cast<double>(words) * copy_word_energy;
+          c.cycles += lat.miss_base_penalty +
+                      words * (lat.miss_per_word + lat.spm_access);
+        }
+      }
+    }
+
+    const BasicBlockId bb = walk.seq[w];
+    const MemoryObjectId mo = tp.object_of(bb);
+    const Bytes size = program.block(bb).size;
+    const std::uint64_t words = size / kWordBytes;
+
+    if (residency[phase_idx][mo.index()]) {
+      c.total_fetches += words;
+      c.spm_accesses += words;
+      c.cycles += words * lat.spm_access;
+      rep.sim.spm_energy += static_cast<double>(words) * energies.spm_access;
+      continue;
+    }
+
+    const Addr base = layout.block_addr(bb);
+    for (std::uint64_t k = 0; k < words; ++k) {
+      ++c.total_fetches;
+      const cachesim::AccessResult r = cache.access(base + k * kWordBytes);
+      ++c.cache_accesses;
+      if (r.hit) {
+        ++c.cache_hits;
+        c.cycles += lat.cache_hit;
+        rep.sim.cache_energy += energies.cache_hit;
+      } else {
+        ++c.cache_misses;
+        c.mainmem_words += line_words;
+        c.cycles += lat.cache_hit + lat.miss_base_penalty +
+                    line_words * lat.miss_per_word;
+        rep.sim.cache_energy += energies.cache_miss;
+      }
+    }
+  }
+
+  rep.sim.total_energy = rep.sim.spm_energy + rep.sim.cache_energy;
+  return rep;
+}
+
+}  // namespace casa::overlay

@@ -1,0 +1,33 @@
+// Overlay hierarchy simulation: like memsim's scratchpad system, but the
+// scratchpad residency switches at phase boundaries and each copy-in is
+// charged (energy and cycles) explicitly.
+#pragma once
+
+#include "casa/energy/energy_table.hpp"
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/overlay/phase_profile.hpp"
+
+namespace casa::overlay {
+
+struct OverlaySimReport {
+  memsim::SimReport sim;       ///< fetch-path counters and energy
+  Energy copy_energy = 0;      ///< explicit transfer energy
+  std::uint64_t copies = 0;    ///< object copy-ins performed
+  std::uint64_t copy_words = 0;
+
+  Energy total_energy() const { return sim.total_energy + copy_energy; }
+};
+
+/// Replays `walk` with residency[p] active inside phase p (phase boundaries
+/// from `profile`). Residency changes are applied, and paid for, at the
+/// phase entry.
+OverlaySimReport simulate_overlay(const traceopt::TraceProgram& tp,
+                                  const traceopt::Layout& layout,
+                                  const trace::BlockWalk& walk,
+                                  const PhaseProfile& profile,
+                                  const std::vector<std::vector<bool>>& residency,
+                                  const cachesim::CacheConfig& cache_cfg,
+                                  const energy::EnergyTable& energies,
+                                  const memsim::SimOptions& opt = {});
+
+}  // namespace casa::overlay

@@ -1,0 +1,66 @@
+// Phase-resolved profiling for scratchpad overlay (paper §7 future work:
+// "dynamic copying (overlay) of memory objects on the scratchpad").
+//
+// The dynamic walk is split into a fixed number of temporal phases; for
+// each phase we record per-object fetch counts and the conflict-miss edges
+// observed inside it (cache state flows across phase boundaries — a miss is
+// charged to the phase in which it occurs). An overlay allocator may then
+// give each phase its own scratchpad residency, paying an explicit copy
+// cost at phase changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::overlay {
+
+/// One merged (undirected) conflict pair within a phase.
+struct PhaseEdge {
+  std::uint32_t a = 0;  ///< object index
+  std::uint32_t b = 0;  ///< object index (a < b)
+  std::uint64_t misses = 0;
+};
+
+struct Phase {
+  std::size_t begin = 0;  ///< walk index, inclusive
+  std::size_t end = 0;    ///< walk index, exclusive
+  std::vector<std::uint64_t> fetches;  ///< per object
+  std::vector<PhaseEdge> edges;        ///< merged conflict pairs
+};
+
+class PhaseProfile {
+ public:
+  PhaseProfile(std::vector<Phase> phases, std::size_t object_count)
+      : phases_(std::move(phases)), object_count_(object_count) {}
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  std::size_t phase_count() const { return phases_.size(); }
+  std::size_t object_count() const { return object_count_; }
+
+  /// Total fetches of object i across all phases.
+  std::uint64_t total_fetches(std::size_t i) const;
+
+ private:
+  std::vector<Phase> phases_;
+  std::size_t object_count_;
+};
+
+struct PhaseProfileOptions {
+  unsigned phase_count = 4;
+  cachesim::CacheConfig cache;
+  std::uint64_t seed = 1;
+};
+
+/// Profiles `walk` through the cache, bucketing counts into equal-length
+/// walk windows.
+PhaseProfile build_phase_profile(const traceopt::TraceProgram& tp,
+                                 const traceopt::Layout& layout,
+                                 const trace::BlockWalk& walk,
+                                 const PhaseProfileOptions& opt);
+
+}  // namespace casa::overlay

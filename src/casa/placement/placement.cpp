@@ -1,0 +1,149 @@
+#include "casa/placement/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "casa/support/error.hpp"
+
+namespace casa::placement {
+
+namespace {
+
+/// Set-interval of an object placed at `base`: [first_set, first_set+sets)
+/// modulo the set count (objects are line-aligned and padded, so the span
+/// is exact in lines).
+struct SetSpan {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;  ///< in sets; may exceed set count (wraps fully)
+};
+
+SetSpan span_of(Addr base, Bytes padded_size,
+                const cachesim::CacheConfig& cache) {
+  SetSpan s;
+  s.first = (base / cache.line_size) % cache.sets();
+  s.count = padded_size / cache.line_size;
+  return s;
+}
+
+/// Number of cache sets two spans share.
+std::uint64_t overlap_sets(const SetSpan& a, const SetSpan& b,
+                           std::uint64_t sets) {
+  if (a.count >= sets || b.count >= sets) {
+    return std::min({a.count, b.count, sets});
+  }
+  // Wrap-around interval intersection on the set ring.
+  std::uint64_t total = 0;
+  // Intersect [a.first, a.first+a.count) with b shifted by 0 and ±sets.
+  const std::int64_t a0 = static_cast<std::int64_t>(a.first);
+  const std::int64_t a1 = a0 + static_cast<std::int64_t>(a.count);
+  for (const std::int64_t shift : {-1, 0, 1}) {
+    const std::int64_t b0 =
+        static_cast<std::int64_t>(b.first) +
+        shift * static_cast<std::int64_t>(sets);
+    const std::int64_t b1 = b0 + static_cast<std::int64_t>(b.count);
+    const std::int64_t lo = std::max(a0, b0);
+    const std::int64_t hi = std::min(a1, b1);
+    if (hi > lo) total += static_cast<std::uint64_t>(hi - lo);
+  }
+  return total;
+}
+
+}  // namespace
+
+PlacementResult place_conflict_aware(const traceopt::TraceProgram& tp,
+                                     const conflict::ConflictGraph& graph,
+                                     const PlacementOptions& opt) {
+  opt.cache.validate();
+  CASA_CHECK(graph.node_count() == tp.object_count(),
+             "conflict graph does not match trace program");
+  const std::uint64_t sets = opt.cache.sets();
+  const Bytes line = opt.cache.line_size;
+  const std::size_t n = tp.object_count();
+
+  // Symmetric affinity weights: measured conflicts plus a temporal
+  // co-activity floor between all executed pairs (see PlacementOptions).
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const conflict::Edge& e : graph.edges()) {
+    if (e.from == e.to) continue;
+    w[e.from.index()][e.to.index()] += static_cast<double>(e.misses);
+    w[e.to.index()][e.from.index()] += static_cast<double>(e.misses);
+  }
+  if (opt.coactivity_scale > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto fi = static_cast<double>(
+          graph.fetches(MemoryObjectId(static_cast<std::uint32_t>(i))));
+      if (fi <= 0) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto fj = static_cast<double>(
+            graph.fetches(MemoryObjectId(static_cast<std::uint32_t>(j))));
+        if (fj <= 0) continue;
+        const double co = opt.coactivity_scale * std::min(fi, fj);
+        w[i][j] += co;
+        w[j][i] += co;
+      }
+    }
+  }
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> affinity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (w[i][j] > 0) {
+        affinity[i].emplace_back(static_cast<std::uint32_t>(j), w[i][j]);
+      }
+    }
+  }
+
+  // Placement priority: heaviest total incident conflict weight first;
+  // cold, conflict-free objects go last in natural order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [j, w] : affinity[i]) degree[i] += w;
+  }
+  if (opt.reorder) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&degree](std::size_t a, std::size_t b) {
+                       return degree[a] > degree[b];
+                     });
+  }
+
+  std::vector<Addr> base(n, traceopt::Layout::kUnplaced);
+  std::vector<SetSpan> spans(n);
+  Addr cursor = 0;
+  Bytes padding = 0;
+  double residual = 0;
+
+  for (const std::size_t i : order) {
+    const Bytes size = tp.objects()[i].padded_size;
+    double best_cost = -1.0;
+    Addr best_addr = cursor;
+    const unsigned window = degree[i] > 0 ? opt.max_padding_lines : 0;
+    for (unsigned pad = 0; pad <= window; ++pad) {
+      const Addr addr = cursor + static_cast<Addr>(pad) * line;
+      const SetSpan span = span_of(addr, size, opt.cache);
+      double cost = 0;
+      for (const auto& [j, w] : affinity[i]) {
+        if (base[j] == traceopt::Layout::kUnplaced) continue;
+        cost += w * static_cast<double>(overlap_sets(span, spans[j], sets));
+      }
+      // Small tie-break toward less padding.
+      cost += 1e-9 * pad;
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_addr = addr;
+      }
+      if (cost <= 1e-12) break;  // perfect slot, stop early
+    }
+    base[i] = best_addr;
+    spans[i] = span_of(best_addr, size, opt.cache);
+    padding += best_addr - cursor;
+    residual += std::max(0.0, best_cost);
+    cursor = best_addr + size;
+  }
+
+  PlacementResult result{traceopt::Layout(tp, std::move(base), 0, cursor), padding,
+                         residual};
+  return result;
+}
+
+}  // namespace casa::placement

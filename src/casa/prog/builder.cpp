@@ -1,0 +1,285 @@
+#include "casa/prog/builder.hpp"
+
+#include <utility>
+
+namespace casa::prog {
+
+// ---------------------------------------------------------------- scope ---
+
+FunctionScope& FunctionScope::code(Bytes size, std::string label) {
+  const BasicBlockId bb = pb_.new_block(fn_, size, std::move(label));
+  items_.push_back(std::make_unique<BlockStmt>(bb));
+  return *this;
+}
+
+FunctionScope& FunctionScope::loop(std::int64_t trips, const Body& body) {
+  return loop_between(trips, trips, body);
+}
+
+FunctionScope& FunctionScope::loop_between(std::int64_t trips_min,
+                                           std::int64_t trips_max,
+                                           const Body& body) {
+  CASA_CHECK(trips_min >= 0 && trips_min <= trips_max,
+             "loop trip bounds must satisfy 0 <= min <= max");
+  const BasicBlockId header =
+      pb_.new_block(fn_, pb_.cfg_.loop_header_size, "loop.header");
+  FunctionScope inner(pb_, fn_);
+  body(inner);
+  CASA_CHECK(!inner.items_.empty(), "loop body must not be empty");
+  const BasicBlockId latch =
+      pb_.new_block(fn_, pb_.cfg_.loop_latch_size, "loop.latch");
+  items_.push_back(std::make_unique<LoopStmt>(
+      header, latch, trips_min, trips_max,
+      std::make_unique<SeqStmt>(std::move(inner.items_))));
+  return *this;
+}
+
+FunctionScope& FunctionScope::if_then(double p_then, const Body& then_arm) {
+  CASA_CHECK(p_then >= 0.0 && p_then <= 1.0, "branch probability out of range");
+  const BasicBlockId cond = pb_.new_block(fn_, pb_.cfg_.cond_size, "if.cond");
+  FunctionScope inner(pb_, fn_);
+  then_arm(inner);
+  CASA_CHECK(!inner.items_.empty(), "then-arm must not be empty");
+  items_.push_back(std::make_unique<IfStmt>(
+      cond, p_then, std::make_unique<SeqStmt>(std::move(inner.items_)),
+      nullptr));
+  return *this;
+}
+
+FunctionScope& FunctionScope::if_else(double p_then, const Body& then_arm,
+                                      const Body& else_arm) {
+  CASA_CHECK(p_then >= 0.0 && p_then <= 1.0, "branch probability out of range");
+  const BasicBlockId cond = pb_.new_block(fn_, pb_.cfg_.cond_size, "if.cond");
+  FunctionScope then_scope(pb_, fn_);
+  then_arm(then_scope);
+  CASA_CHECK(!then_scope.items_.empty(), "then-arm must not be empty");
+  FunctionScope else_scope(pb_, fn_);
+  else_arm(else_scope);
+  CASA_CHECK(!else_scope.items_.empty(), "else-arm must not be empty");
+  items_.push_back(std::make_unique<IfStmt>(
+      cond, p_then, std::make_unique<SeqStmt>(std::move(then_scope.items_)),
+      std::make_unique<SeqStmt>(std::move(else_scope.items_))));
+  return *this;
+}
+
+FunctionScope& FunctionScope::call(const std::string& callee) {
+  const BasicBlockId site =
+      pb_.new_block(fn_, pb_.cfg_.call_site_size, "call." + callee);
+  const FunctionId callee_id = pb_.intern_function(callee);
+  items_.push_back(std::make_unique<CallStmt>(site, callee_id));
+  return *this;
+}
+
+FunctionScope& FunctionScope::switch_of(std::vector<double> weights,
+                                        std::vector<Body> arms) {
+  CASA_CHECK(!arms.empty(), "switch needs at least one arm");
+  CASA_CHECK(weights.size() == arms.size(),
+             "switch weights/arms size mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    CASA_CHECK(w >= 0.0, "switch weight must be non-negative");
+    total += w;
+  }
+  CASA_CHECK(total > 0.0, "switch weights must not all be zero");
+  const BasicBlockId sel =
+      pb_.new_block(fn_, pb_.cfg_.selector_size, "switch.sel");
+  std::vector<StmtPtr> lowered_arms;
+  lowered_arms.reserve(arms.size());
+  for (auto& arm : arms) {
+    FunctionScope inner(pb_, fn_);
+    arm(inner);
+    CASA_CHECK(!inner.items_.empty(), "switch arm must not be empty");
+    lowered_arms.push_back(
+        std::make_unique<SeqStmt>(std::move(inner.items_)));
+  }
+  items_.push_back(std::make_unique<SwitchStmt>(sel, std::move(weights),
+                                                std::move(lowered_arms)));
+  return *this;
+}
+
+// --------------------------------------------------------------- builder ---
+
+ProgramBuilder::ProgramBuilder(std::string program_name, BuilderConfig cfg)
+    : cfg_(cfg) {
+  CASA_CHECK(cfg_.loop_header_size % kWordBytes == 0 &&
+                 cfg_.loop_latch_size % kWordBytes == 0 &&
+                 cfg_.cond_size % kWordBytes == 0 &&
+                 cfg_.call_site_size % kWordBytes == 0 &&
+                 cfg_.selector_size % kWordBytes == 0,
+             "control block sizes must be word multiples");
+  prog_.name_ = std::move(program_name);
+}
+
+BasicBlockId ProgramBuilder::new_block(FunctionId fn, Bytes size,
+                                       std::string label) {
+  CASA_CHECK(size > 0, "basic block must have positive size");
+  CASA_CHECK(size % kWordBytes == 0, "basic block size must be word multiple");
+  const BasicBlockId id(static_cast<std::uint32_t>(prog_.blocks_.size()));
+  BasicBlock b;
+  b.id = id;
+  b.function = fn;
+  b.size = size;
+  b.layout_index = next_layout_index_[fn.index()]++;
+  b.label = std::move(label);
+  prog_.blocks_.push_back(std::move(b));
+  prog_.functions_[fn.index()].blocks_.push_back(id);
+  return id;
+}
+
+FunctionId ProgramBuilder::intern_function(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const FunctionId id(static_cast<std::uint32_t>(prog_.functions_.size()));
+  by_name_.emplace(name, id);
+  prog_.functions_.emplace_back(id, name);
+  defined_.push_back(false);
+  next_layout_index_.push_back(0);
+  return id;
+}
+
+void ProgramBuilder::add_edge(BasicBlockId from, BasicBlockId to,
+                              bool fallthrough) {
+  prog_.edges_.push_back(CfgEdge{from, to, fallthrough});
+}
+
+ProgramBuilder& ProgramBuilder::function(const std::string& name,
+                                         const FunctionScope::Body& body) {
+  const FunctionId id = intern_function(name);
+  CASA_CHECK(!defined_[id.index()], "function defined twice: " + name);
+  defined_[id.index()] = true;
+
+  FunctionScope scope(*this, id);
+  body(scope);
+  CASA_CHECK(!scope.items_.empty(), "function body must not be empty: " + name);
+  prog_.functions_[id.index()].body_ =
+      std::make_unique<SeqStmt>(std::move(scope.items_));
+
+  loop_depth_ = 0;
+  lower(prog_.functions_[id.index()].body());
+  return *this;
+}
+
+ProgramBuilder::Lowered ProgramBuilder::lower(const Stmt& s) {
+  // Local visitor that dispatches back into lower-rules per node type.
+  struct V : StmtVisitor {
+    ProgramBuilder& pb;
+    Lowered out;
+    explicit V(ProgramBuilder& p) : pb(p) {}
+
+    void visit(const BlockStmt& b) override {
+      out = Lowered{b.bb(), {{b.bb(), true}}};
+    }
+
+    void visit(const SeqStmt& seq) override {
+      Lowered acc;
+      bool first = true;
+      for (const auto& item : seq.items()) {
+        Lowered cur = pb.lower(*item);
+        if (first) {
+          acc.entry = cur.entry;
+          first = false;
+        } else {
+          for (const Exit& e : acc.exits) {
+            pb.add_edge(e.bb, cur.entry, e.fallthrough);
+          }
+        }
+        acc.exits = std::move(cur.exits);
+      }
+      out = std::move(acc);
+    }
+
+    void visit(const LoopStmt& l) override {
+      ++pb.loop_depth_;
+      Lowered body = pb.lower(l.body());
+      --pb.loop_depth_;
+      pb.add_edge(l.header(), body.entry, /*fallthrough=*/true);
+      for (const Exit& e : body.exits) {
+        pb.add_edge(e.bb, l.latch(), e.fallthrough);
+      }
+      pb.add_edge(l.latch(), body.entry, /*fallthrough=*/false);  // back edge
+
+      // Record the static loop region: header..latch span the loop's blocks
+      // because block ids are assigned in creation (= layout) order and a
+      // nested function definition cannot interleave.
+      LoopRegion region;
+      region.function = pb.prog_.blocks_[l.header().index()].function;
+      region.depth = pb.loop_depth_ + 1;
+      region.header = l.header();
+      region.latch = l.latch();
+      region.trips_min = l.trips_min();
+      region.trips_max = l.trips_max();
+      for (std::uint32_t v = l.header().value(); v <= l.latch().value(); ++v) {
+        region.blocks.push_back(BasicBlockId(v));
+      }
+      pb.prog_.loop_regions_.push_back(std::move(region));
+
+      out = Lowered{l.header(), {{l.latch(), true}}};
+    }
+
+    void visit(const IfStmt& i) override {
+      Lowered then_l = pb.lower(i.then_arm());
+      pb.add_edge(i.cond(), then_l.entry, /*fallthrough=*/true);
+      Lowered result;
+      result.entry = i.cond();
+      if (i.else_arm() != nullptr) {
+        Lowered else_l = pb.lower(*i.else_arm());
+        pb.add_edge(i.cond(), else_l.entry, /*fallthrough=*/false);
+        // then-arm exits jump over the else-arm: never fallthrough.
+        for (Exit e : then_l.exits) {
+          e.fallthrough = false;
+          result.exits.push_back(e);
+        }
+        for (const Exit& e : else_l.exits) result.exits.push_back(e);
+      } else {
+        result.exits = then_l.exits;
+        // cond's false-edge skips the then-arm (forward taken branch).
+        result.exits.push_back(Exit{i.cond(), false});
+      }
+      out = std::move(result);
+    }
+
+    void visit(const CallStmt& c) override {
+      pb.pending_calls_.emplace_back(c.site(), c.callee());
+      out = Lowered{c.site(), {{c.site(), true}}};
+    }
+
+    void visit(const SwitchStmt& sw) override {
+      Lowered result;
+      result.entry = sw.selector();
+      const std::size_t n = sw.arms().size();
+      for (std::size_t a = 0; a < n; ++a) {
+        Lowered arm = pb.lower(*sw.arms()[a]);
+        // Dispatch is a computed jump: no arm entry is a fallthrough target.
+        pb.add_edge(sw.selector(), arm.entry, /*fallthrough=*/false);
+        const bool last = (a + 1 == n);
+        for (Exit e : arm.exits) {
+          if (!last) e.fallthrough = false;  // jumps over the later arms
+          result.exits.push_back(e);
+        }
+      }
+      out = std::move(result);
+    }
+  };
+
+  V v(*this);
+  s.accept(v);
+  return std::move(v.out);
+}
+
+Program ProgramBuilder::build(const std::string& entry) {
+  auto it = by_name_.find(entry);
+  CASA_CHECK(it != by_name_.end(), "entry function not found: " + entry);
+  for (const auto& [name, id] : by_name_) {
+    CASA_CHECK(defined_[id.index()], "function called but never defined: " + name);
+  }
+  for (const auto& [site, callee] : pending_calls_) {
+    const Function& f = prog_.functions_[callee.index()];
+    CASA_CHECK(!f.blocks().empty(), "callee has no blocks: " + f.name());
+    add_edge(site, f.blocks().front(), /*fallthrough=*/false);
+  }
+  pending_calls_.clear();
+  prog_.entry_ = it->second;
+  return std::move(prog_);
+}
+
+}  // namespace casa::prog

@@ -1,0 +1,120 @@
+// ProgramBuilder: fluent construction of synthetic programs.
+//
+// The builder creates basic blocks in code-layout order, derives CFG edges
+// (marking which edges are fallthrough and therefore fusable into traces)
+// and records static loop regions for the loop-cache allocator.
+//
+// Lowering shapes:
+//   loop:    header; body...; latch        (do-while: latch branches back)
+//   if/else: cond; then...; else...; join  (then-exit jumps over else)
+//   if:      cond; then...; join           (cond false-edge jumps to join)
+//   switch:  selector; arm0...; arm1...;   (computed jumps between arms)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+
+namespace casa::prog {
+
+/// Sizes (bytes) of the control blocks the builder synthesizes. All must be
+/// multiples of the 4-byte word.
+struct BuilderConfig {
+  Bytes loop_header_size = 8;
+  Bytes loop_latch_size = 8;
+  Bytes cond_size = 8;
+  Bytes call_site_size = 8;
+  Bytes selector_size = 12;
+};
+
+class ProgramBuilder;
+
+/// Scope in which one function body (or nested region) is described.
+/// Obtained from ProgramBuilder::function(); nested scopes are passed to the
+/// body callbacks of loop()/if_then()/etc.
+class FunctionScope {
+ public:
+  using Body = std::function<void(FunctionScope&)>;
+
+  /// Appends a straight-line block of `size` bytes.
+  FunctionScope& code(Bytes size, std::string label = "");
+
+  /// Counted loop with fixed trip count.
+  FunctionScope& loop(std::int64_t trips, const Body& body);
+
+  /// Counted loop; trip count drawn uniformly in [trips_min, trips_max] at
+  /// every loop entry.
+  FunctionScope& loop_between(std::int64_t trips_min, std::int64_t trips_max,
+                              const Body& body);
+
+  /// Branch without else-arm; then-arm runs with probability p_then.
+  FunctionScope& if_then(double p_then, const Body& then_arm);
+
+  /// Two-armed branch.
+  FunctionScope& if_else(double p_then, const Body& then_arm,
+                         const Body& else_arm);
+
+  /// Direct call to a (possibly not yet defined) function.
+  FunctionScope& call(const std::string& callee);
+
+  /// Weighted N-way dispatch; arm i taken with weights[i]/sum(weights).
+  FunctionScope& switch_of(std::vector<double> weights,
+                           std::vector<Body> arms);
+
+ private:
+  friend class ProgramBuilder;
+  FunctionScope(ProgramBuilder& pb, FunctionId fn) : pb_(pb), fn_(fn) {}
+
+  ProgramBuilder& pb_;
+  FunctionId fn_;
+  std::vector<StmtPtr> items_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string program_name, BuilderConfig cfg = {});
+
+  /// Defines a function by running `body` in a fresh scope. Each name may be
+  /// defined once; calls may reference names defined later.
+  ProgramBuilder& function(const std::string& name,
+                           const FunctionScope::Body& body);
+
+  /// Finalizes the program. Checks that every called function was defined
+  /// and that `entry` exists.
+  Program build(const std::string& entry = "main");
+
+ private:
+  friend class FunctionScope;
+
+  struct Exit {
+    BasicBlockId bb;
+    bool fallthrough;
+  };
+  struct Lowered {
+    BasicBlockId entry;
+    std::vector<Exit> exits;
+  };
+
+  BasicBlockId new_block(FunctionId fn, Bytes size, std::string label);
+  FunctionId intern_function(const std::string& name);
+  void add_edge(BasicBlockId from, BasicBlockId to, bool fallthrough);
+
+  /// Lowers one statement into CFG blocks/edges. Returns entry/exits used to
+  /// stitch the parent sequence together. Called during construction, when
+  /// blocks already exist (builder creates blocks eagerly inside the
+  /// FunctionScope methods); lower() only wires edges.
+  Lowered lower(const Stmt& s);
+
+  BuilderConfig cfg_;
+  Program prog_;
+  std::unordered_map<std::string, FunctionId> by_name_;
+  std::vector<bool> defined_;
+  std::vector<std::pair<BasicBlockId, FunctionId>> pending_calls_;
+  std::vector<std::uint32_t> next_layout_index_;  // per function
+  std::uint32_t loop_depth_ = 0;
+};
+
+}  // namespace casa::prog

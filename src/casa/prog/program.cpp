@@ -1,0 +1,26 @@
+#include "casa/prog/program.hpp"
+
+namespace casa::prog {
+
+Bytes Program::code_size() const {
+  Bytes total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+std::vector<CfgEdge> Program::out_edges(BasicBlockId bb) const {
+  std::vector<CfgEdge> out;
+  for (const auto& e : edges_) {
+    if (e.from == bb) out.push_back(e);
+  }
+  return out;
+}
+
+BasicBlockId Program::fallthrough_successor(BasicBlockId bb) const {
+  for (const auto& e : edges_) {
+    if (e.from == bb && e.fallthrough) return e.to;
+  }
+  return BasicBlockId::invalid();
+}
+
+}  // namespace casa::prog

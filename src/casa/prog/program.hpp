@@ -1,0 +1,110 @@
+// Program model: functions, basic blocks, CFG edges, loop regions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "casa/prog/stmt.hpp"
+#include "casa/support/error.hpp"
+#include "casa/support/ids.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::prog {
+
+/// A basic block: straight-line instruction run of `size` bytes (multiple of
+/// the 4-byte ARM word). `layout_index` is the block's position in the
+/// function's natural code layout; trace formation walks blocks in this
+/// order.
+struct BasicBlock {
+  BasicBlockId id;
+  FunctionId function;
+  Bytes size = 0;
+  std::uint32_t layout_index = 0;
+  std::string label;
+};
+
+/// CFG edge. `fallthrough` edges connect blocks adjacent in layout where
+/// control can fall through without a jump — only these may be fused into a
+/// trace (Tomiyama-style).
+struct CfgEdge {
+  BasicBlockId from;
+  BasicBlockId to;
+  bool fallthrough = false;
+};
+
+/// Static loop extent: candidate region for preloaded loop caches
+/// (Gordon-Ross & Vahid preload whole loops or functions) and loop-bound
+/// source for WCET analysis.
+struct LoopRegion {
+  FunctionId function;
+  std::vector<BasicBlockId> blocks;  ///< header, body blocks, latch
+  std::uint32_t depth = 1;           ///< nesting depth (1 = outermost)
+  BasicBlockId header;
+  BasicBlockId latch;
+  std::int64_t trips_min = 0;  ///< static trip-count bounds
+  std::int64_t trips_max = 0;
+};
+
+/// Function: a named statement tree plus its blocks in layout order.
+class Function {
+ public:
+  Function(FunctionId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  FunctionId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Stmt& body() const {
+    CASA_CHECK(body_ != nullptr, "function body not set");
+    return *body_;
+  }
+  const std::vector<BasicBlockId>& blocks() const { return blocks_; }
+
+ private:
+  friend class ProgramBuilder;
+  FunctionId id_;
+  std::string name_;
+  StmtPtr body_;
+  std::vector<BasicBlockId> blocks_;  ///< layout order
+};
+
+/// Immutable whole-program container produced by ProgramBuilder.
+class Program {
+ public:
+  const std::string& name() const { return name_; }
+  FunctionId entry() const { return entry_; }
+
+  std::size_t function_count() const { return functions_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  const Function& function(FunctionId id) const {
+    CASA_CHECK(id.index() < functions_.size(), "bad FunctionId");
+    return functions_[id.index()];
+  }
+  const BasicBlock& block(BasicBlockId id) const {
+    CASA_CHECK(id.index() < blocks_.size(), "bad BasicBlockId");
+    return blocks_[id.index()];
+  }
+  const std::vector<Function>& functions() const { return functions_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const std::vector<CfgEdge>& edges() const { return edges_; }
+  const std::vector<LoopRegion>& loop_regions() const { return loop_regions_; }
+
+  /// Sum of basic-block sizes (no padding) — the paper's "program size".
+  Bytes code_size() const;
+
+  /// Outgoing edges of `bb`.
+  std::vector<CfgEdge> out_edges(BasicBlockId bb) const;
+
+  /// Fallthrough successor of `bb` if one exists.
+  BasicBlockId fallthrough_successor(BasicBlockId bb) const;
+
+ private:
+  friend class ProgramBuilder;
+  std::string name_;
+  FunctionId entry_;
+  std::vector<Function> functions_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<CfgEdge> edges_;
+  std::vector<LoopRegion> loop_regions_;
+};
+
+}  // namespace casa::prog

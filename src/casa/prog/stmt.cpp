@@ -1,0 +1,12 @@
+#include "casa/prog/stmt.hpp"
+
+namespace casa::prog {
+
+void BlockStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+void SeqStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+void LoopStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+void IfStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+void CallStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+void SwitchStmt::accept(StmtVisitor& v) const { v.visit(*this); }
+
+}  // namespace casa::prog

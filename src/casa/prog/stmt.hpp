@@ -1,0 +1,152 @@
+// Structured program AST.
+//
+// The reproduction replaces the paper's compiled Mediabench binaries with
+// synthetic programs. A program is a set of functions, each with a
+// structured statement tree; the tree is the single source of truth from
+// which both the CFG (for trace formation) and the dynamic basic-block walk
+// (for profiling / cache simulation) are derived, so the two can never
+// disagree.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "casa/support/ids.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::prog {
+
+class StmtVisitor;
+
+/// Base of all statement nodes. Nodes are owned by their parent via
+/// unique_ptr; the tree is immutable once the Program is built.
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  virtual void accept(StmtVisitor& v) const = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Straight-line code: exactly one basic block.
+class BlockStmt final : public Stmt {
+ public:
+  explicit BlockStmt(BasicBlockId bb) : bb_(bb) {}
+  BasicBlockId bb() const { return bb_; }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  BasicBlockId bb_;
+};
+
+/// Sequential composition.
+class SeqStmt final : public Stmt {
+ public:
+  explicit SeqStmt(std::vector<StmtPtr> items) : items_(std::move(items)) {}
+  const std::vector<StmtPtr>& items() const { return items_; }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  std::vector<StmtPtr> items_;
+};
+
+/// Counted loop in do-while shape: `header` runs once on entry, then the
+/// body runs `trips` times, each iteration ending in `latch` which branches
+/// back. Trip count is drawn uniformly from [trips_min, trips_max] on every
+/// loop entry (fixed count when equal).
+class LoopStmt final : public Stmt {
+ public:
+  LoopStmt(BasicBlockId header, BasicBlockId latch, std::int64_t trips_min,
+           std::int64_t trips_max, StmtPtr body)
+      : header_(header),
+        latch_(latch),
+        trips_min_(trips_min),
+        trips_max_(trips_max),
+        body_(std::move(body)) {}
+
+  BasicBlockId header() const { return header_; }
+  BasicBlockId latch() const { return latch_; }
+  std::int64_t trips_min() const { return trips_min_; }
+  std::int64_t trips_max() const { return trips_max_; }
+  const Stmt& body() const { return *body_; }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  BasicBlockId header_;
+  BasicBlockId latch_;
+  std::int64_t trips_min_;
+  std::int64_t trips_max_;
+  StmtPtr body_;
+};
+
+/// Two-way branch: `cond` evaluates, then-arm taken with probability
+/// p_then; the else-arm may be empty (nullptr).
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(BasicBlockId cond, double p_then, StmtPtr then_arm, StmtPtr else_arm)
+      : cond_(cond),
+        p_then_(p_then),
+        then_(std::move(then_arm)),
+        else_(std::move(else_arm)) {}
+
+  BasicBlockId cond() const { return cond_; }
+  double p_then() const { return p_then_; }
+  const Stmt& then_arm() const { return *then_; }
+  const Stmt* else_arm() const { return else_.get(); }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  BasicBlockId cond_;
+  double p_then_;
+  StmtPtr then_;
+  StmtPtr else_;
+};
+
+/// Direct call; the callee body is inlined into the dynamic walk at this
+/// point. `site` is the basic block containing the call instruction.
+class CallStmt final : public Stmt {
+ public:
+  CallStmt(BasicBlockId site, FunctionId callee)
+      : site_(site), callee_(callee) {}
+  BasicBlockId site() const { return site_; }
+  FunctionId callee() const { return callee_; }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  BasicBlockId site_;
+  FunctionId callee_;
+};
+
+/// N-way weighted dispatch (switch / indirect branch). Arm i is selected
+/// with probability weight[i] / sum(weights).
+class SwitchStmt final : public Stmt {
+ public:
+  SwitchStmt(BasicBlockId selector, std::vector<double> weights,
+             std::vector<StmtPtr> arms)
+      : selector_(selector), weights_(std::move(weights)),
+        arms_(std::move(arms)) {}
+
+  BasicBlockId selector() const { return selector_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<StmtPtr>& arms() const { return arms_; }
+  void accept(StmtVisitor& v) const override;
+
+ private:
+  BasicBlockId selector_;
+  std::vector<double> weights_;
+  std::vector<StmtPtr> arms_;
+};
+
+/// Visitor over the statement tree.
+class StmtVisitor {
+ public:
+  virtual ~StmtVisitor() = default;
+  virtual void visit(const BlockStmt&) = 0;
+  virtual void visit(const SeqStmt&) = 0;
+  virtual void visit(const LoopStmt&) = 0;
+  virtual void visit(const IfStmt&) = 0;
+  virtual void visit(const CallStmt&) = 0;
+  virtual void visit(const SwitchStmt&) = 0;
+};
+
+}  // namespace casa::prog

@@ -1,0 +1,128 @@
+#include "casa/report/workbench.hpp"
+
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/traceopt/layout.hpp"
+
+namespace casa::report {
+
+namespace {
+trace::ExecutorOptions exec_opts(const WorkbenchOptions& o) {
+  trace::ExecutorOptions e;
+  e.seed = o.exec_seed;
+  return e;
+}
+}  // namespace
+
+Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
+    : program_(&program),
+      opt_(opt),
+      exec_(trace::Executor::run(program, exec_opts(opt))) {}
+
+traceopt::TraceProgram Workbench::form(const cachesim::CacheConfig& cache,
+                                       Bytes max_trace) const {
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache.line_size;
+  // Traces must stay individually placeable (paper §3.2) but never smaller
+  // than one line.
+  topt.max_trace_size = std::max<Bytes>(max_trace, cache.line_size);
+  topt.fuse_ratio = opt_.fuse_ratio;
+  return traceopt::form_traces(*program_, exec_.profile, topt);
+}
+
+Outcome Workbench::run_casa(const cachesim::CacheConfig& cache,
+                            Bytes spm_size,
+                            const core::CasaOptions& copt) const {
+  const traceopt::TraceProgram tp = form(cache, spm_size);
+  const traceopt::Layout layout = traceopt::layout_all(tp);
+
+  conflict::BuildOptions bopt;
+  bopt.cache = cache;
+  const conflict::ConflictGraph graph =
+      conflict::build_conflict_graph(tp, layout, exec_.walk, bopt);
+
+  const energy::EnergyTable energies =
+      energy::EnergyTable::build(cache, spm_size, 0, 0);
+  const core::CasaProblem problem =
+      core::CasaProblem::from(tp, graph, energies, spm_size);
+
+  const core::CasaAllocator allocator(copt);
+  Outcome out;
+  out.alloc = allocator.allocate(problem);
+  out.object_count = tp.object_count();
+  out.conflict_edges = graph.edge_count();
+  out.spm_used = out.alloc.used_bytes;
+  // Copy semantics: the main-memory image keeps every object; fetches of
+  // scratchpad objects simply go to the scratchpad.
+  out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk,
+                                        out.alloc.on_spm, cache, energies);
+  return out;
+}
+
+Outcome Workbench::run_steinke(const cachesim::CacheConfig& cache,
+                               Bytes spm_size) const {
+  const traceopt::TraceProgram tp = form(cache, spm_size);
+  const energy::EnergyTable energies =
+      energy::EnergyTable::build(cache, spm_size, 0, 0);
+
+  const baseline::SteinkeResult sel = baseline::allocate_steinke(
+      tp, spm_size, energies.cache_hit - energies.spm_access);
+
+  Outcome out;
+  out.object_count = tp.object_count();
+  out.spm_used = sel.used_bytes;
+  if (opt_.steinke_moves) {
+    // Move semantics: scratchpad objects leave the image; the residue is
+    // compacted, changing every remaining object's cache mapping.
+    std::vector<bool> excluded(sel.on_spm.begin(), sel.on_spm.end());
+    const traceopt::Layout layout = traceopt::layout_excluding(tp, excluded);
+    out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, sel.on_spm,
+                                          cache, energies);
+  } else {
+    const traceopt::Layout layout = traceopt::layout_all(tp);
+    out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, sel.on_spm,
+                                          cache, energies);
+  }
+  return out;
+}
+
+Outcome Workbench::run_loopcache(const cachesim::CacheConfig& cache,
+                                 Bytes lc_size, unsigned max_regions) const {
+  // Fair comparison (paper §5): the loop-cache flow also runs on the
+  // trace-formed program, laid out in full (nothing leaves the image).
+  const traceopt::TraceProgram tp = form(cache, lc_size);
+  const traceopt::Layout layout = traceopt::layout_all(tp);
+  const energy::EnergyTable energies =
+      energy::EnergyTable::build(cache, 0, lc_size, max_regions);
+
+  const std::vector<loopcache::Region> candidates =
+      loopcache::enumerate_regions(tp, layout, exec_.profile);
+  loopcache::LoopCacheConfig lcfg;
+  lcfg.size = lc_size;
+  lcfg.max_regions = max_regions;
+  const loopcache::RossResult sel = loopcache::allocate_ross(candidates, lcfg);
+
+  Outcome out;
+  out.object_count = tp.object_count();
+  out.spm_used = sel.used_bytes;
+  out.lc_regions = static_cast<unsigned>(sel.selected.regions().size());
+  out.sim = memsim::simulate_loopcache_system(tp, layout, exec_.walk,
+                                              sel.selected, cache, energies);
+  return out;
+}
+
+Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
+  const traceopt::TraceProgram tp = form(cache, 1_KiB);
+  const traceopt::Layout layout = traceopt::layout_all(tp);
+  const energy::EnergyTable energies = energy::EnergyTable::build(
+      cache, /*spm_size=*/kWordBytes * 2, 0, 0);
+
+  Outcome out;
+  out.object_count = tp.object_count();
+  const std::vector<bool> none(tp.object_count(), false);
+  out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, none, cache,
+                                        energies);
+  return out;
+}
+
+}  // namespace casa::report

@@ -1,0 +1,73 @@
+// Workbench: the paper's experimental workflow (fig. 3) as one object.
+//
+// Construction runs the program once (profiling + dynamic walk). Each run_*
+// method then executes the full flow for one configuration:
+//   trace formation -> layout -> [conflict graph] -> allocation ->
+//   hierarchy simulation -> energy report.
+// Benches, examples and integration tests all drive experiments through
+// this type so the methodology is identical everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "casa/baseline/steinke.hpp"
+#include "casa/cachesim/cache.hpp"
+#include "casa/core/allocator.hpp"
+#include "casa/loopcache/ross_allocator.hpp"
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/prog/program.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::report {
+
+struct WorkbenchOptions {
+  std::uint64_t exec_seed = 42;
+  double fuse_ratio = 0.5;
+  /// Steinke moves objects (paper-faithful). Setting this to false gives
+  /// Steinke CASA's copy semantics — the move-vs-copy ablation.
+  bool steinke_moves = true;
+};
+
+/// One scratchpad (or loop-cache) experiment outcome.
+struct Outcome {
+  memsim::SimReport sim;
+  std::size_t object_count = 0;
+  std::size_t conflict_edges = 0;   ///< 0 for cache-oblivious flows
+  Bytes spm_used = 0;
+  unsigned lc_regions = 0;
+  core::AllocationResult alloc;     ///< CASA runs only
+};
+
+class Workbench {
+ public:
+  Workbench(const prog::Program& program, WorkbenchOptions opt = {});
+
+  const prog::Program& program() const { return *program_; }
+  const trace::ExecutionResult& execution() const { return exec_; }
+
+  /// CASA: conflict-graph ILP allocation, copy semantics.
+  Outcome run_casa(const cachesim::CacheConfig& cache, Bytes spm_size,
+                   const core::CasaOptions& copt = {}) const;
+
+  /// Steinke DATE'02: fetch-count knapsack, move semantics (see options).
+  Outcome run_steinke(const cachesim::CacheConfig& cache,
+                      Bytes spm_size) const;
+
+  /// Gordon-Ross/Vahid preloaded loop cache.
+  Outcome run_loopcache(const cachesim::CacheConfig& cache, Bytes lc_size,
+                        unsigned max_regions = 4) const;
+
+  /// Reference: I-cache only.
+  Outcome run_cache_only(const cachesim::CacheConfig& cache) const;
+
+ private:
+  traceopt::TraceProgram form(const cachesim::CacheConfig& cache,
+                              Bytes max_trace) const;
+
+  const prog::Program* program_;
+  WorkbenchOptions opt_;
+  trace::ExecutionResult exec_;
+};
+
+}  // namespace casa::report

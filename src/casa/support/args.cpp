@@ -1,0 +1,89 @@
+#include "casa/support/args.hpp"
+
+#include <sstream>
+
+#include "casa/support/error.hpp"
+
+namespace casa {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    CASA_CHECK(a.rfind("--", 0) == 0, "arguments must start with --: " + a);
+    std::string key = a.substr(2);
+    std::string value;
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[++i];
+    } else {
+      value = "true";  // bare flag
+    }
+    if (key == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    values_[key] = value;
+  }
+}
+
+std::string ArgParser::get(const std::string& key, const std::string& def,
+                           const std::string& help) {
+  declared_.insert(key);
+  help_lines_.emplace_back(key, help + " (default: " + def + ")");
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& key, std::uint64_t def,
+                                 const std::string& help) {
+  const std::string v = get(key, std::to_string(def), help);
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("--" + key + " expects an integer, got: " + v);
+  }
+}
+
+double ArgParser::get_double(const std::string& key, double def,
+                             const std::string& help) {
+  const std::string v = get(key, std::to_string(def), help);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("--" + key + " expects a number, got: " + v);
+  }
+}
+
+bool ArgParser::get_flag(const std::string& key, const std::string& help) {
+  const std::string v = get(key, "false", help);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::string> ArgParser::unknown_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (declared_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  for (const auto& [key, text] : help_lines_) {
+    os << "  --" << key << "  " << text << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace casa

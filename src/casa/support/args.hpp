@@ -1,0 +1,49 @@
+// Minimal command-line argument parser for the repo's tools.
+//
+// Accepts --key=value, --key value, and boolean --flag forms. Unknown keys
+// are collected as errors so tools can fail fast with a usage message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace casa {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  /// Declares a key as known (with a help line) and returns its value.
+  std::string get(const std::string& key, const std::string& def,
+                  const std::string& help = "");
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def,
+                        const std::string& help = "");
+  double get_double(const std::string& key, double def,
+                    const std::string& help = "");
+  /// Boolean flag: present (with no value or "true"/"1") => true.
+  bool get_flag(const std::string& key, const std::string& help = "");
+
+  /// Keys provided on the command line but never declared. Call after all
+  /// get* declarations.
+  std::vector<std::string> unknown_keys() const;
+
+  /// Formatted help text of everything declared so far.
+  std::string help() const;
+
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> declared_;
+  std::vector<std::pair<std::string, std::string>> help_lines_;
+  bool help_requested_ = false;
+};
+
+}  // namespace casa

@@ -1,0 +1,15 @@
+#include "casa/support/error.hpp"
+
+#include <sstream>
+
+namespace casa::detail {
+
+void raise_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "CASA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace casa::detail

@@ -1,0 +1,60 @@
+// Strong identifier types.
+//
+// The library passes many small integer ids around (basic blocks, functions,
+// memory objects, ILP variables). Wrapping them in distinct types prevents
+// accidental cross-domain mixing at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace casa {
+
+/// CRTP-free strong id: distinct Tag types produce unrelated id types.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  constexpr value_type value() const { return value_; }
+  constexpr std::size_t index() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr Id invalid() { return Id(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct BasicBlockTag {};
+struct FunctionTag {};
+struct MemoryObjectTag {};
+struct VarTag {};
+struct ConstraintTag {};
+
+using BasicBlockId = Id<BasicBlockTag>;
+using FunctionId = Id<FunctionTag>;
+using MemoryObjectId = Id<MemoryObjectTag>;
+using VarId = Id<VarTag>;
+using ConstraintId = Id<ConstraintTag>;
+
+}  // namespace casa
+
+namespace std {
+template <typename Tag>
+struct hash<casa::Id<Tag>> {
+  size_t operator()(casa::Id<Tag> id) const noexcept {
+    return std::hash<typename casa::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,71 @@
+// Address-range to value mapping.
+//
+// Used to resolve a fetched instruction address to the memory object that
+// owns it. Ranges are half-open [lo, hi), non-overlapping, and queried far
+// more often than they are built, so lookups are a binary search over a
+// sorted flat vector.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "casa/support/error.hpp"
+
+namespace casa {
+
+template <typename Value>
+class IntervalMap {
+ public:
+  struct Entry {
+    std::uint64_t lo = 0;  ///< inclusive
+    std::uint64_t hi = 0;  ///< exclusive
+    Value value{};
+  };
+
+  /// Inserts [lo, hi) -> value. Ranges must not overlap existing entries.
+  void insert(std::uint64_t lo, std::uint64_t hi, Value value) {
+    CASA_CHECK(lo < hi, "IntervalMap range must be non-empty");
+    Entry e{lo, hi, std::move(value)};
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), e,
+        [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+    if (it != entries_.end()) {
+      CASA_CHECK(e.hi <= it->lo, "IntervalMap ranges overlap");
+    }
+    if (it != entries_.begin()) {
+      CASA_CHECK(std::prev(it)->hi <= e.lo, "IntervalMap ranges overlap");
+    }
+    entries_.insert(it, std::move(e));
+  }
+
+  /// Returns the value covering addr, or nullopt.
+  std::optional<Value> find(std::uint64_t addr) const {
+    const Entry* e = find_entry(addr);
+    if (e == nullptr) return std::nullopt;
+    return e->value;
+  }
+
+  /// Returns the full entry covering addr, or nullptr.
+  const Entry* find_entry(std::uint64_t addr) const {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), addr,
+        [](std::uint64_t a, const Entry& e) { return a < e.lo; });
+    if (it == entries_.begin()) return nullptr;
+    --it;
+    if (addr < it->hi) return &*it;
+    return nullptr;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace casa

@@ -1,0 +1,46 @@
+#include "casa/support/rng.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa {
+
+Rng::Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CASA_CHECK(bound > 0, "next_below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+double Rng::next_unit() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_unit() < p;
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  CASA_CHECK(lo <= hi, "next_in requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace casa

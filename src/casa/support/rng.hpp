@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (branch outcomes in the executor,
+// random cache replacement, workload shape jitter) draws from an explicitly
+// seeded Xorshift64* stream so that experiments are bit-reproducible across
+// platforms; std::mt19937 distributions are not portable across standard
+// library implementations, ours are.
+#pragma once
+
+#include <cstdint>
+
+namespace casa {
+
+/// Xorshift64* generator. Small, fast, and fully portable.
+class Rng {
+ public:
+  /// Seeds the stream. A zero seed is remapped to a fixed odd constant
+  /// because xorshift has a fixed point at zero state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_unit();
+
+  /// Bernoulli draw with probability p of returning true (p clamped to
+  /// [0, 1]).
+  bool next_bool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Forks an independent stream; the child is seeded from this stream's
+  /// output so sub-components can be given private streams deterministically.
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace casa

@@ -1,0 +1,120 @@
+#include "casa/support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "casa/support/error.hpp"
+
+namespace casa {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[i] == '-' || s[i] == '+') ++i;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] != '.' && s[i] != '%' && s[i] != ',') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CASA_CHECK(!header_.empty(), "Table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  CASA_CHECK(!rows_.empty(), "call row() before cell()");
+  CASA_CHECK(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::separator() {
+  separators_.push_back(rows_.size());
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 < header_.size()) os << '+';
+    }
+    os << '\n';
+  };
+
+  auto emit_row = [&](const std::vector<std::string>& r, bool align) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string();
+      const bool right = align && looks_numeric(s);
+      os << ' ';
+      if (right) {
+        os << std::string(width[c] - s.size(), ' ') << s;
+      } else {
+        os << s << std::string(width[c] - s.size(), ' ');
+      }
+      os << ' ';
+      if (c + 1 < header_.size()) os << '|';
+    }
+    os << '\n';
+  };
+
+  emit_row(header_, /*align=*/false);
+  rule();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) !=
+            separators_.end() &&
+        i != 0) {
+      rule();
+    }
+    emit_row(rows_[i], /*align=*/true);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string percent_of(double value, double base, int precision) {
+  if (base == 0.0) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (100.0 * value / base)
+     << '%';
+  return os.str();
+}
+
+}  // namespace casa

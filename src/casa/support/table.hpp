@@ -1,0 +1,47 @@
+// Plain-text table rendering for experiment reports.
+//
+// The bench binaries print paper-style tables; this is the single formatter
+// they share so column alignment and number formatting stay uniform.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace casa {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering right-aligns cells that parse as numbers
+/// and left-aligns everything else.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+
+  /// Inserts a horizontal separator line after the current row.
+  Table& separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices after which to draw
+};
+
+/// Formats `value` as a percentage of `base` ("87.3%"); returns "n/a" when
+/// base is zero.
+std::string percent_of(double value, double base, int precision = 1);
+
+}  // namespace casa

@@ -1,0 +1,42 @@
+// Units used throughout the library.
+//
+// Energies are carried as double nanojoules (nJ); sizes as byte counts.
+// Helper literals keep constants in source code legible.
+#pragma once
+
+#include <cstdint>
+
+namespace casa {
+
+using Energy = double;  ///< nanojoules
+using Addr = std::uint64_t;
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024; }
+
+/// ARM7T fetches 32-bit words.
+constexpr Bytes kWordBytes = 4;
+
+/// Converts nanojoules to microjoules for paper-style reporting.
+constexpr double to_micro_joules(Energy nj) { return nj / 1000.0; }
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Rounds v up to the next multiple of align (align must be a power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Integer log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace casa

@@ -1,0 +1,98 @@
+#include "casa/trace/executor.hpp"
+
+#include "casa/support/error.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::trace {
+
+namespace {
+
+class Interp final : public prog::StmtVisitor {
+ public:
+  Interp(const prog::Program& p, const Executor::Options& opt,
+         ExecutionResult& out)
+      : p_(p), opt_(opt), out_(out), rng_(opt.seed) {}
+
+  void run() {
+    const prog::Function& entry = p_.function(p_.entry());
+    entry.body().accept(*this);
+  }
+
+ private:
+  void emit(BasicBlockId bb) {
+    CASA_CHECK(out_.total_blocks < opt_.max_blocks,
+               "executor exceeded max_blocks — runaway workload?");
+    out_.profile.record(bb);
+    if (prev_.valid()) out_.profile.record_edge(prev_, bb);
+    prev_ = bb;
+    if (opt_.record_walk) out_.walk.seq.push_back(bb);
+    ++out_.total_blocks;
+    out_.total_fetches += p_.block(bb).size / kWordBytes;
+  }
+
+  void visit(const prog::BlockStmt& s) override { emit(s.bb()); }
+
+  void visit(const prog::SeqStmt& s) override {
+    for (const auto& item : s.items()) item->accept(*this);
+  }
+
+  void visit(const prog::LoopStmt& s) override {
+    emit(s.header());
+    const std::int64_t trips =
+        s.trips_min() == s.trips_max()
+            ? s.trips_min()
+            : rng_.next_in(s.trips_min(), s.trips_max());
+    for (std::int64_t t = 0; t < trips; ++t) {
+      s.body().accept(*this);
+      emit(s.latch());
+    }
+  }
+
+  void visit(const prog::IfStmt& s) override {
+    emit(s.cond());
+    if (rng_.next_bool(s.p_then())) {
+      s.then_arm().accept(*this);
+    } else if (s.else_arm() != nullptr) {
+      s.else_arm()->accept(*this);
+    }
+  }
+
+  void visit(const prog::CallStmt& s) override {
+    emit(s.site());
+    CASA_CHECK(depth_ < opt_.max_call_depth, "call depth limit exceeded");
+    ++depth_;
+    p_.function(s.callee()).body().accept(*this);
+    --depth_;
+  }
+
+  void visit(const prog::SwitchStmt& s) override {
+    emit(s.selector());
+    double total = 0.0;
+    for (double w : s.weights()) total += w;
+    double pick = rng_.next_unit() * total;
+    std::size_t arm = 0;
+    for (; arm + 1 < s.weights().size(); ++arm) {
+      pick -= s.weights()[arm];
+      if (pick < 0.0) break;
+    }
+    s.arms()[arm]->accept(*this);
+  }
+
+  const prog::Program& p_;
+  const Executor::Options& opt_;
+  ExecutionResult& out_;
+  Rng rng_;
+  BasicBlockId prev_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace
+
+ExecutionResult Executor::run(const prog::Program& program, Options opt) {
+  ExecutionResult result{BlockWalk{}, Profile(program.block_count()), 0, 0};
+  Interp interp(program, opt, result);
+  interp.run();
+  return result;
+}
+
+}  // namespace trace

@@ -1,0 +1,48 @@
+// Deterministic program executor (the repo's ARMulator substitute).
+//
+// Interprets the structured AST with a seeded RNG for branch outcomes and
+// variable trip counts, producing (a) the dynamic basic-block walk — from
+// which any memory layout can later derive the exact instruction fetch
+// stream — and (b) the execution profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+#include "casa/trace/profile.hpp"
+
+namespace casa::trace {
+
+/// The dynamic sequence of executed basic blocks.
+struct BlockWalk {
+  std::vector<BasicBlockId> seq;
+};
+
+struct ExecutionResult {
+  BlockWalk walk;
+  Profile profile;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_fetches = 0;
+};
+
+struct ExecutorOptions {
+  std::uint64_t seed = 1;
+  /// Hard stop to guard against mis-specified huge workloads.
+  std::uint64_t max_blocks = 400'000'000;
+  /// When false, only the profile is produced (saves memory for
+  /// profile-only passes).
+  bool record_walk = true;
+  /// Maximum call depth (recursion guard).
+  std::uint32_t max_call_depth = 256;
+};
+
+class Executor {
+ public:
+  using Options = ExecutorOptions;
+
+  /// Runs `program` from its entry function.
+  static ExecutionResult run(const prog::Program& program, Options opt = {});
+};
+
+}  // namespace casa::trace

@@ -1,0 +1,13 @@
+#include "casa/trace/profile.hpp"
+
+namespace casa::trace {
+
+std::uint64_t Profile::total_fetches(const prog::Program& p) const {
+  std::uint64_t total = 0;
+  for (const auto& b : p.blocks()) {
+    total += fetches(p, b.id);
+  }
+  return total;
+}
+
+}  // namespace casa::trace

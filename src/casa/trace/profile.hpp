@@ -1,0 +1,59 @@
+// Execution profile: per-block and per-edge dynamic counts.
+//
+// The profile plays the role of the paper's profiling run: it weights the
+// conflict-graph vertices (instruction fetches f_i) and drives hot-path
+// trace formation (edge counts).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+#include "casa/support/ids.hpp"
+
+namespace casa::trace {
+
+class Profile {
+ public:
+  explicit Profile(std::size_t block_count)
+      : block_count_(block_count, 0) {}
+
+  void record(BasicBlockId bb) { ++block_count_[bb.index()]; }
+  void record_edge(BasicBlockId from, BasicBlockId to) {
+    ++edge_count_[key(from, to)];
+  }
+
+  /// Dynamic executions of `bb`.
+  std::uint64_t count(BasicBlockId bb) const {
+    return block_count_[bb.index()];
+  }
+
+  /// Dynamic traversals of CFG edge from -> to.
+  std::uint64_t edge_count(BasicBlockId from, BasicBlockId to) const {
+    auto it = edge_count_.find(key(from, to));
+    return it == edge_count_.end() ? 0 : it->second;
+  }
+
+  /// Instruction fetches issued while executing `bb` over the whole run
+  /// (executions x words in block). This is the paper's f_i restricted to
+  /// one block.
+  std::uint64_t fetches(const prog::Program& p, BasicBlockId bb) const {
+    return count(bb) * (p.block(bb).size / kWordBytes);
+  }
+
+  /// Total instruction fetches of the run.
+  std::uint64_t total_fetches(const prog::Program& p) const;
+
+  std::size_t block_slots() const { return block_count_.size(); }
+
+ private:
+  static std::uint64_t key(BasicBlockId from, BasicBlockId to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+  }
+
+  std::vector<std::uint64_t> block_count_;
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_count_;
+};
+
+}  // namespace casa::trace

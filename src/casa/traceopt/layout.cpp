@@ -1,0 +1,36 @@
+#include "casa/traceopt/layout.hpp"
+
+namespace casa::traceopt {
+
+Layout::Layout(const TraceProgram& tp, std::vector<Addr> object_base,
+               Addr base, Bytes span)
+    : tp_(&tp), object_base_(std::move(object_base)), base_(base), span_(span) {
+  CASA_CHECK(object_base_.size() == tp.object_count(),
+             "layout object count mismatch");
+}
+
+Addr Layout::block_addr(BasicBlockId bb) const {
+  const MemoryObjectId mo = tp_->object_of(bb);
+  return object_base(mo) + tp_->block_offset(bb);
+}
+
+Layout layout_all(const TraceProgram& tp, Addr base) {
+  const std::vector<bool> none(tp.object_count(), false);
+  return layout_excluding(tp, none, base);
+}
+
+Layout layout_excluding(const TraceProgram& tp,
+                        const std::vector<bool>& excluded, Addr base) {
+  CASA_CHECK(excluded.size() == tp.object_count(),
+             "excluded mask size mismatch");
+  std::vector<Addr> object_base(tp.object_count(), Layout::kUnplaced);
+  Addr cursor = base;
+  for (const MemoryObject& mo : tp.objects()) {
+    if (excluded[mo.id.index()]) continue;
+    object_base[mo.id.index()] = cursor;
+    cursor += mo.padded_size;
+  }
+  return Layout(tp, std::move(object_base), base, cursor - base);
+}
+
+}  // namespace casa::traceopt

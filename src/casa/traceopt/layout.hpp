@@ -1,0 +1,59 @@
+// Program layout: assignment of main-memory addresses to memory objects.
+//
+// Two entry points mirror the paper's two allocation semantics:
+//  * layout_all      — every object gets a main-memory slot (CASA *copies*
+//                      objects to the scratchpad, leaving the layout of the
+//                      remaining program untouched);
+//  * layout_excluding — scratchpad-resident objects are removed and the rest
+//                      is compacted (Steinke's allocator *moves* objects,
+//                      which re-maps every remaining object in the cache —
+//                      the source of the erratic behaviour the paper
+//                      criticizes).
+#pragma once
+
+#include <vector>
+
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::traceopt {
+
+class Layout {
+ public:
+  Layout(const TraceProgram& tp, std::vector<Addr> object_base, Addr base,
+         Bytes span);
+
+  /// Main-memory base address of `mo`. Must only be queried for placed
+  /// objects.
+  Addr object_base(MemoryObjectId mo) const {
+    CASA_CHECK(placed(mo), "object not placed in this layout");
+    return object_base_[mo.index()];
+  }
+
+  bool placed(MemoryObjectId mo) const {
+    return object_base_[mo.index()] != kUnplaced;
+  }
+
+  /// Address of the first instruction of `bb` (owning object must be
+  /// placed).
+  Addr block_addr(BasicBlockId bb) const;
+
+  Addr base() const { return base_; }
+  Bytes span() const { return span_; }
+
+  static constexpr Addr kUnplaced = ~Addr{0};
+
+ private:
+  const TraceProgram* tp_;
+  std::vector<Addr> object_base_;
+  Addr base_;
+  Bytes span_;
+};
+
+/// Lays out every memory object contiguously from `base` in object order.
+Layout layout_all(const TraceProgram& tp, Addr base = 0);
+
+/// Lays out only objects with excluded[mo] == false, compacted from `base`.
+Layout layout_excluding(const TraceProgram& tp,
+                        const std::vector<bool>& excluded, Addr base = 0);
+
+}  // namespace casa::traceopt

@@ -1,0 +1,35 @@
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::traceopt {
+
+TraceProgram::TraceProgram(const prog::Program& program,
+                           std::vector<MemoryObject> objects,
+                           std::vector<MemoryObjectId> object_of_block,
+                           std::vector<Bytes> block_offset)
+    : program_(&program),
+      objects_(std::move(objects)),
+      object_of_block_(std::move(object_of_block)),
+      block_offset_(std::move(block_offset)) {
+  CASA_CHECK(object_of_block_.size() == program.block_count(),
+             "object_of_block size mismatch");
+  CASA_CHECK(block_offset_.size() == program.block_count(),
+             "block_offset size mismatch");
+  for (const auto& mo : objects_) {
+    CASA_CHECK(!mo.blocks.empty(), "memory object with no blocks");
+    CASA_CHECK(mo.padded_size >= mo.raw_size, "padding must not shrink");
+  }
+}
+
+Bytes TraceProgram::padded_code_size() const {
+  Bytes total = 0;
+  for (const auto& mo : objects_) total += mo.padded_size;
+  return total;
+}
+
+Bytes TraceProgram::raw_code_size() const {
+  Bytes total = 0;
+  for (const auto& mo : objects_) total += mo.raw_size;
+  return total;
+}
+
+}  // namespace casa::traceopt

@@ -1,0 +1,67 @@
+// Memory objects (traces) — the allocation unit of the paper.
+//
+// A memory object is a straight-line trace of basic blocks, padded with NOPs
+// to the next I-cache line boundary so that every cache miss is attributable
+// to exactly one object. The scratchpad capacity check uses the *unpadded*
+// size (the paper strips the NOPs before copying to the scratchpad).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+#include "casa/support/ids.hpp"
+#include "casa/support/units.hpp"
+#include "casa/trace/profile.hpp"
+
+namespace casa::traceopt {
+
+struct MemoryObject {
+  MemoryObjectId id;
+  FunctionId function;
+  std::vector<BasicBlockId> blocks;  ///< in trace layout order
+  Bytes raw_size = 0;     ///< real instructions incl. exit jump, no NOP pad
+  Bytes padded_size = 0;  ///< raw_size aligned up to the cache line
+  std::uint64_t fetches = 0;  ///< dynamic instruction fetches f_i
+};
+
+/// The program partitioned into memory objects, with intra-object block
+/// placement resolved.
+class TraceProgram {
+ public:
+  TraceProgram(const prog::Program& program,
+               std::vector<MemoryObject> objects,
+               std::vector<MemoryObjectId> object_of_block,
+               std::vector<Bytes> block_offset);
+
+  const prog::Program& program() const { return *program_; }
+  const std::vector<MemoryObject>& objects() const { return objects_; }
+  const MemoryObject& object(MemoryObjectId id) const {
+    CASA_CHECK(id.index() < objects_.size(), "bad MemoryObjectId");
+    return objects_[id.index()];
+  }
+  std::size_t object_count() const { return objects_.size(); }
+
+  /// Memory object that owns basic block `bb`.
+  MemoryObjectId object_of(BasicBlockId bb) const {
+    return object_of_block_[bb.index()];
+  }
+
+  /// Byte offset of `bb` inside its owning object.
+  Bytes block_offset(BasicBlockId bb) const {
+    return block_offset_[bb.index()];
+  }
+
+  /// Total padded code size (what main memory layout occupies).
+  Bytes padded_code_size() const;
+  /// Total unpadded code size.
+  Bytes raw_code_size() const;
+
+ private:
+  const prog::Program* program_;
+  std::vector<MemoryObject> objects_;
+  std::vector<MemoryObjectId> object_of_block_;
+  std::vector<Bytes> block_offset_;
+};
+
+}  // namespace casa::traceopt

@@ -1,0 +1,91 @@
+#include "casa/traceopt/trace_formation.hpp"
+
+#include <algorithm>
+
+#include "casa/support/error.hpp"
+
+namespace casa::traceopt {
+
+namespace {
+
+/// True when the fallthrough edge b -> n is hot enough to fuse.
+bool hot_enough(const trace::Profile& profile, BasicBlockId b, BasicBlockId n,
+                double fuse_ratio) {
+  const std::uint64_t cb = profile.count(b);
+  const std::uint64_t cn = profile.count(n);
+  if (cb == 0 && cn == 0) return true;  // cold chunks stay together
+  const std::uint64_t edge = profile.edge_count(b, n);
+  const double need = fuse_ratio * static_cast<double>(std::max(cb, cn));
+  return static_cast<double>(edge) >= need;
+}
+
+}  // namespace
+
+TraceProgram form_traces(const prog::Program& program,
+                         const trace::Profile& profile,
+                         const TraceFormationOptions& opt) {
+  CASA_CHECK(is_pow2(opt.cache_line_size), "cache line size must be pow2");
+  CASA_CHECK(opt.max_trace_size >= opt.cache_line_size,
+             "max trace size must hold at least one cache line");
+  CASA_CHECK(profile.block_slots() == program.block_count(),
+             "profile does not match program");
+
+  std::vector<MemoryObject> objects;
+  std::vector<MemoryObjectId> object_of_block(program.block_count());
+  std::vector<Bytes> block_offset(program.block_count(), 0);
+
+  for (const prog::Function& fn : program.functions()) {
+    const auto& blocks = fn.blocks();
+    std::size_t i = 0;
+    while (i < blocks.size()) {
+      MemoryObject mo;
+      mo.id = MemoryObjectId(static_cast<std::uint32_t>(objects.size()));
+      mo.function = fn.id();
+
+      // Greedily extend the trace along hot fallthrough edges.
+      Bytes size = 0;
+      std::size_t j = i;
+      for (;;) {
+        const BasicBlockId bb = blocks[j];
+        const Bytes bsize = program.block(bb).size;
+        mo.blocks.push_back(bb);
+        block_offset[bb.index()] = size;
+        object_of_block[bb.index()] = mo.id;
+        size += bsize;
+        mo.fetches += profile.fetches(program, bb);
+        ++j;
+        if (j >= blocks.size()) break;
+        const BasicBlockId next = blocks[j];
+        const BasicBlockId ft = program.fallthrough_successor(bb);
+        if (ft != next) break;  // layout successor is not a fallthrough
+        // Reserve room for the exit jump we would need if we cut later.
+        if (size + program.block(next).size + opt.exit_jump_size >
+            opt.max_trace_size) {
+          break;
+        }
+        if (!hot_enough(profile, bb, next, opt.fuse_ratio)) break;
+      }
+
+      mo.raw_size = size;
+      // If the trace's last block originally fell through to the next block
+      // in layout, the cut point needs an explicit unconditional jump to
+      // keep the trace relocatable (paper §3.2: traces end with a jump).
+      if (j < blocks.size() &&
+          program.fallthrough_successor(blocks[j - 1]) == blocks[j]) {
+        mo.raw_size += opt.exit_jump_size;
+      }
+      mo.padded_size = align_up(mo.raw_size, opt.cache_line_size);
+      CASA_CHECK(mo.raw_size <= opt.max_trace_size ||
+                     mo.blocks.size() == 1,
+                 "formed trace exceeds max size");
+
+      objects.push_back(std::move(mo));
+      i = j;
+    }
+  }
+
+  return TraceProgram(program, std::move(objects), std::move(object_of_block),
+                      std::move(block_offset));
+}
+
+}  // namespace casa::traceopt

@@ -1,0 +1,42 @@
+// Trace formation (Tomiyama/Yasuura-style, adapted per the paper §3.2).
+//
+// Partitions every basic block of the program into traces:
+//  * only fallthrough CFG edges may be fused,
+//  * fusion follows hot paths (profile-driven),
+//  * a trace never exceeds max_trace_size bytes so it stays placeable on the
+//    scratchpad as a whole,
+//  * a trace whose last block originally fell through now needs an explicit
+//    unconditional exit jump (one word) so the trace is relocatable,
+//  * traces are NOP-padded to the I-cache line size.
+#pragma once
+
+#include "casa/prog/program.hpp"
+#include "casa/trace/profile.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::traceopt {
+
+struct TraceFormationOptions {
+  /// Upper bound on the unpadded trace size. The paper keeps traces smaller
+  /// than the scratchpad so each one is individually placeable.
+  Bytes max_trace_size = 1024;
+
+  /// I-cache line size; traces are padded to this alignment.
+  Bytes cache_line_size = 16;
+
+  /// A fallthrough edge b->n is fused only when its dynamic count is at
+  /// least fuse_ratio * max(count(b), count(n)). 0 fuses every fallthrough
+  /// chain (size permitting); values > 1 disable fusion entirely.
+  double fuse_ratio = 0.5;
+
+  /// Size in bytes of the unconditional jump appended when a trace is cut
+  /// at a point where control used to fall through.
+  Bytes exit_jump_size = kWordBytes;
+};
+
+/// Forms the memory objects for `program` under `profile`.
+TraceProgram form_traces(const prog::Program& program,
+                         const trace::Profile& profile,
+                         const TraceFormationOptions& opt = {});
+
+}  // namespace casa::traceopt

@@ -1,0 +1,47 @@
+#include "casa/wcet/block_costs.hpp"
+
+#include "casa/support/error.hpp"
+
+namespace casa::wcet {
+
+const char* to_string(CacheAssumption a) {
+  switch (a) {
+    case CacheAssumption::kAlwaysMiss:
+      return "always-miss";
+    case CacheAssumption::kAlwaysHit:
+      return "always-hit";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> block_cycle_costs(
+    const traceopt::TraceProgram& tp, const traceopt::Layout& layout,
+    const std::vector<bool>& on_spm, const BlockCostOptions& opt) {
+  CASA_CHECK(on_spm.size() == tp.object_count(), "on_spm size mismatch");
+  const prog::Program& program = tp.program();
+  const memsim::LatencyParams& lat = opt.latency;
+  const std::uint64_t line_words = opt.cache.line_size / kWordBytes;
+
+  std::vector<std::uint64_t> cost(program.block_count(), 0);
+  for (const prog::BasicBlock& bb : program.blocks()) {
+    const MemoryObjectId mo = tp.object_of(bb.id);
+    const std::uint64_t words = bb.size / kWordBytes;
+    if (on_spm[mo.index()]) {
+      cost[bb.id.index()] = words * lat.spm_access;
+      continue;
+    }
+    std::uint64_t c = words * lat.cache_hit;
+    if (opt.assumption == CacheAssumption::kAlwaysMiss) {
+      const Addr lo = layout.block_addr(bb.id);
+      const Addr hi = lo + bb.size;
+      const std::uint64_t lines =
+          (hi + opt.cache.line_size - 1) / opt.cache.line_size -
+          lo / opt.cache.line_size;
+      c += lines * (lat.miss_base_penalty + line_words * lat.miss_per_word);
+    }
+    cost[bb.id.index()] = c;
+  }
+  return cost;
+}
+
+}  // namespace casa::wcet

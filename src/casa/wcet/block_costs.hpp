@@ -1,0 +1,45 @@
+// Per-block worst-case cycle costs under a memory configuration.
+//
+// The paper's introduction argues that scratchpads "allow tighter bounds on
+// WCET prediction": a scratchpad fetch takes a fixed cycle count, while a
+// sound cache bound must assume misses unless proven otherwise. This module
+// quantifies that: every basic block gets a worst-case cost depending on
+// where its memory object lives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::wcet {
+
+/// How the analysis treats fetches served by the I-cache.
+enum class CacheAssumption {
+  /// Sound without cache analysis: every line the block touches misses on
+  /// every execution.
+  kAlwaysMiss,
+  /// Oracle floor (unsound as a bound — reference only): every fetch hits.
+  kAlwaysHit,
+};
+
+const char* to_string(CacheAssumption a);
+
+struct BlockCostOptions {
+  cachesim::CacheConfig cache;
+  memsim::LatencyParams latency;
+  CacheAssumption assumption = CacheAssumption::kAlwaysMiss;
+};
+
+/// Worst-case cycles for one execution of every basic block. Objects with
+/// on_spm[mo] set cost spm_access cycles per word; cached blocks cost one
+/// hit per word plus, under kAlwaysMiss, a refill penalty for every line
+/// the block spans in `layout`.
+std::vector<std::uint64_t> block_cycle_costs(
+    const traceopt::TraceProgram& tp, const traceopt::Layout& layout,
+    const std::vector<bool>& on_spm, const BlockCostOptions& opt);
+
+}  // namespace casa::wcet

@@ -1,0 +1,319 @@
+#include "casa/wcet/wcet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "casa/ilp/model.hpp"
+#include "casa/ilp/simplex.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::wcet {
+
+namespace {
+
+/// Callee-first ordering of functions; rejects recursion.
+std::vector<FunctionId> callee_first_order(const prog::Program& program) {
+  const std::size_t n = program.function_count();
+
+  // Call graph from the statement trees.
+  std::vector<std::vector<FunctionId>> callees(n);
+  struct CallCollector : prog::StmtVisitor {
+    std::vector<FunctionId>* out;
+    void visit(const prog::BlockStmt&) override {}
+    void visit(const prog::SeqStmt& s) override {
+      for (const auto& item : s.items()) item->accept(*this);
+    }
+    void visit(const prog::LoopStmt& s) override { s.body().accept(*this); }
+    void visit(const prog::IfStmt& s) override {
+      s.then_arm().accept(*this);
+      if (s.else_arm() != nullptr) s.else_arm()->accept(*this);
+    }
+    void visit(const prog::CallStmt& s) override {
+      out->push_back(s.callee());
+    }
+    void visit(const prog::SwitchStmt& s) override {
+      for (const auto& arm : s.arms()) arm->accept(*this);
+    }
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    CallCollector c;
+    c.out = &callees[f];
+    program.functions()[f].body().accept(c);
+  }
+
+  std::vector<FunctionId> order;
+  std::vector<std::uint8_t> mark(n, 0);  // 0 new, 1 in progress, 2 done
+  const std::function<void(FunctionId)> dfs = [&](FunctionId f) {
+    CASA_CHECK(mark[f.index()] != 1,
+               "recursive call graph — WCET analysis unsupported");
+    if (mark[f.index()] == 2) return;
+    mark[f.index()] = 1;
+    for (const FunctionId callee : callees[f.index()]) dfs(callee);
+    mark[f.index()] = 2;
+    order.push_back(f);
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    dfs(FunctionId(static_cast<std::uint32_t>(f)));
+  }
+  return order;
+}
+
+/// Per-block cost with callee WCET folded into call-site blocks.
+std::vector<std::uint64_t> folded_costs(
+    const prog::Function& fn, const std::vector<std::uint64_t>& block_cost,
+    const std::vector<std::uint64_t>& fn_wcet) {
+  std::vector<std::uint64_t> cost = block_cost;
+  struct Folder : prog::StmtVisitor {
+    std::vector<std::uint64_t>* cost;
+    const std::vector<std::uint64_t>* fn_wcet;
+    void visit(const prog::BlockStmt&) override {}
+    void visit(const prog::SeqStmt& s) override {
+      for (const auto& item : s.items()) item->accept(*this);
+    }
+    void visit(const prog::LoopStmt& s) override { s.body().accept(*this); }
+    void visit(const prog::IfStmt& s) override {
+      s.then_arm().accept(*this);
+      if (s.else_arm() != nullptr) s.else_arm()->accept(*this);
+    }
+    void visit(const prog::CallStmt& s) override {
+      (*cost)[s.site().index()] += (*fn_wcet)[s.callee().index()];
+    }
+    void visit(const prog::SwitchStmt& s) override {
+      for (const auto& arm : s.arms()) arm->accept(*this);
+    }
+  };
+  Folder folder;
+  folder.cost = &cost;
+  folder.fn_wcet = &fn_wcet;
+  fn.body().accept(folder);
+  return cost;
+}
+
+// ------------------------------------------------------------ structural ---
+
+class StructuralVisitor : public prog::StmtVisitor {
+ public:
+  StructuralVisitor(const std::vector<std::uint64_t>& cost,
+                    const std::vector<std::uint64_t>& fn_wcet)
+      : cost_(cost), fn_wcet_(fn_wcet) {}
+
+  std::uint64_t result = 0;
+
+  void visit(const prog::BlockStmt& s) override {
+    result += cost_[s.bb().index()];
+  }
+  void visit(const prog::SeqStmt& s) override {
+    for (const auto& item : s.items()) item->accept(*this);
+  }
+  void visit(const prog::LoopStmt& s) override {
+    result += cost_[s.header().index()];
+    StructuralVisitor body(cost_, fn_wcet_);
+    s.body().accept(body);
+    const auto trips = static_cast<std::uint64_t>(s.trips_max());
+    result += trips * (body.result + cost_[s.latch().index()]);
+  }
+  void visit(const prog::IfStmt& s) override {
+    result += cost_[s.cond().index()];
+    StructuralVisitor then_v(cost_, fn_wcet_);
+    s.then_arm().accept(then_v);
+    std::uint64_t worst = then_v.result;
+    if (s.else_arm() != nullptr) {
+      StructuralVisitor else_v(cost_, fn_wcet_);
+      s.else_arm()->accept(else_v);
+      worst = std::max(worst, else_v.result);
+    }
+    result += worst;
+  }
+  void visit(const prog::CallStmt& s) override {
+    result += cost_[s.site().index()] + fn_wcet_[s.callee().index()];
+  }
+  void visit(const prog::SwitchStmt& s) override {
+    result += cost_[s.selector().index()];
+    std::uint64_t worst = 0;
+    for (const auto& arm : s.arms()) {
+      StructuralVisitor v(cost_, fn_wcet_);
+      arm->accept(v);
+      worst = std::max(worst, v.result);
+    }
+    result += worst;
+  }
+
+ private:
+  const std::vector<std::uint64_t>& cost_;
+  const std::vector<std::uint64_t>& fn_wcet_;
+};
+
+// ------------------------------------------------------------------ IPET ---
+
+/// Blocks after which control can leave the statement (mirrors the exit
+/// rules of ProgramBuilder's lowering). Applied to a function body it
+/// yields the blocks from which the function returns.
+class ExitCollector : public prog::StmtVisitor {
+ public:
+  std::vector<BasicBlockId> exits;
+
+  void visit(const prog::BlockStmt& s) override { exits = {s.bb()}; }
+  void visit(const prog::SeqStmt& s) override {
+    CASA_CHECK(!s.items().empty(), "empty sequence");
+    s.items().back()->accept(*this);
+  }
+  void visit(const prog::LoopStmt& s) override { exits = {s.latch()}; }
+  void visit(const prog::IfStmt& s) override {
+    ExitCollector then_c;
+    s.then_arm().accept(then_c);
+    exits = std::move(then_c.exits);
+    if (s.else_arm() != nullptr) {
+      ExitCollector else_c;
+      s.else_arm()->accept(else_c);
+      exits.insert(exits.end(), else_c.exits.begin(), else_c.exits.end());
+    } else {
+      exits.push_back(s.cond());
+    }
+  }
+  void visit(const prog::CallStmt& s) override { exits = {s.site()}; }
+  void visit(const prog::SwitchStmt& s) override {
+    std::vector<BasicBlockId> all;
+    for (const auto& arm : s.arms()) {
+      ExitCollector c;
+      arm->accept(c);
+      all.insert(all.end(), c.exits.begin(), c.exits.end());
+    }
+    exits = std::move(all);
+  }
+};
+
+/// IPET bound for one function, callee costs pre-folded into `cost`.
+std::uint64_t ipet_function(const prog::Program& program,
+                            const prog::Function& fn,
+                            const std::vector<std::uint64_t>& cost) {
+  // Intra-function edges only (call/return edges never appear between
+  // blocks of the same function).
+  struct E {
+    BasicBlockId from, to;
+    VarId var;
+  };
+  std::vector<E> edges;
+  ilp::Model m;
+  for (const prog::CfgEdge& e : program.edges()) {
+    if (program.block(e.from).function != fn.id() ||
+        program.block(e.to).function != fn.id()) {
+      continue;
+    }
+    edges.push_back(
+        E{e.from, e.to,
+          m.add_continuous("e" + std::to_string(edges.size()), 0.0,
+                           ilp::kInfinity)});
+  }
+  const VarId entry = m.add_continuous("entry", 1.0, 1.0);
+
+  // Block execution counts as expressions over incoming edges.
+  std::unordered_map<std::uint32_t, ilp::LinExpr> in_expr, out_expr;
+  for (const BasicBlockId bb : fn.blocks()) {
+    in_expr[bb.value()] = ilp::LinExpr();
+    out_expr[bb.value()] = ilp::LinExpr();
+  }
+  for (const E& e : edges) {
+    in_expr[e.to.value()].add(e.var, 1.0);
+    out_expr[e.from.value()].add(e.var, 1.0);
+  }
+  CASA_CHECK(!fn.blocks().empty(), "function without blocks");
+  in_expr[fn.blocks().front().value()].add(entry, 1.0);
+
+  // Function-return points get sink variables (a loop latch can be both a
+  // back-edge source and the block that returns, so "no successors" is not
+  // the right criterion — the structured exit rule is).
+  ExitCollector exit_collector;
+  fn.body().accept(exit_collector);
+  std::unordered_map<std::uint32_t, VarId> sink_of;
+  for (const BasicBlockId bb : exit_collector.exits) {
+    if (sink_of.count(bb.value()) != 0) continue;
+    sink_of.emplace(bb.value(),
+                    m.add_continuous("sink" + std::to_string(bb.value()),
+                                     0.0, ilp::kInfinity));
+  }
+
+  // Flow conservation: in = out (+ sink at return points).
+  for (const BasicBlockId bb : fn.blocks()) {
+    ilp::LinExpr flow = in_expr[bb.value()];
+    for (const ilp::Term& t : out_expr[bb.value()].terms()) {
+      flow.add(t.var, -1.0);
+    }
+    auto s = sink_of.find(bb.value());
+    if (s != sink_of.end()) flow.add(s->second, -1.0);
+    m.add_constraint("flow" + std::to_string(bb.value()), std::move(flow),
+                     ilp::Rel::kEqual, 0.0);
+  }
+
+  // Loop bounds: back-edge count <= (trips_max - 1) * loop-entry-edge count.
+  for (const prog::LoopRegion& lr : program.loop_regions()) {
+    if (lr.function != fn.id()) continue;
+    const BasicBlockId body_entry =
+        program.fallthrough_successor(lr.header);
+    CASA_CHECK(body_entry.valid(), "loop header without body");
+    ilp::LinExpr bound;
+    bool have_back = false, have_entry = false;
+    const double k =
+        static_cast<double>(std::max<std::int64_t>(lr.trips_max, 1) - 1);
+    for (const E& e : edges) {
+      if (e.from == lr.latch && e.to == body_entry) {
+        bound.add(e.var, 1.0);
+        have_back = true;
+      } else if (e.from == lr.header && e.to == body_entry) {
+        bound.add(e.var, -k);
+        have_entry = true;
+      }
+    }
+    CASA_CHECK(have_back && have_entry, "loop edges missing in CFG");
+    m.add_constraint("loop" + std::to_string(lr.header.value()),
+                     std::move(bound), ilp::Rel::kLessEq, 0.0);
+  }
+
+  // Objective: sum over blocks of cost * execution count.
+  ilp::LinExpr obj;
+  for (const BasicBlockId bb : fn.blocks()) {
+    const double c = static_cast<double>(cost[bb.index()]);
+    if (c == 0.0) continue;
+    for (const ilp::Term& t : in_expr[bb.value()].terms()) {
+      obj.add(t.var, c);
+    }
+  }
+  m.set_objective(ilp::Sense::kMaximize, std::move(obj));
+
+  const ilp::Solution sol = ilp::SimplexSolver().solve_relaxation(m);
+  CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal,
+             "IPET LP did not solve");
+  return static_cast<std::uint64_t>(std::llround(sol.objective));
+}
+
+}  // namespace
+
+std::uint64_t structural_wcet(const prog::Program& program,
+                              const std::vector<std::uint64_t>& block_cost) {
+  CASA_CHECK(block_cost.size() == program.block_count(),
+             "block cost size mismatch");
+  std::vector<std::uint64_t> fn_wcet(program.function_count(), 0);
+  for (const FunctionId f : callee_first_order(program)) {
+    StructuralVisitor v(block_cost, fn_wcet);
+    program.function(f).body().accept(v);
+    fn_wcet[f.index()] = v.result;
+  }
+  return fn_wcet[program.entry().index()];
+}
+
+std::uint64_t ipet_wcet(const prog::Program& program,
+                        const std::vector<std::uint64_t>& block_cost) {
+  CASA_CHECK(block_cost.size() == program.block_count(),
+             "block cost size mismatch");
+  std::vector<std::uint64_t> fn_wcet(program.function_count(), 0);
+  for (const FunctionId f : callee_first_order(program)) {
+    const prog::Function& fn = program.function(f);
+    const std::vector<std::uint64_t> cost =
+        folded_costs(fn, block_cost, fn_wcet);
+    fn_wcet[f.index()] = ipet_function(program, fn, cost);
+  }
+  return fn_wcet[program.entry().index()];
+}
+
+}  // namespace casa::wcet

@@ -1,0 +1,35 @@
+// Worst-case execution time bounds.
+//
+// Two independent analyses over the same per-block costs:
+//  * structural_wcet — recursion over the structured AST (Seq: sum, If/
+//    Switch: max over arms, Loop: trips_max iterations, Call: callee bound
+//    folded in). Exact for this repo's structured programs.
+//  * ipet_wcet — Implicit Path Enumeration (Li/Malik): per function,
+//    maximize sum(cost_b * x_b) over CFG edge counts subject to flow
+//    conservation and loop-bound constraints, solved as an LP with the
+//    repo's simplex. The standard technique for arbitrary CFGs.
+//
+// The two must agree on structured programs — the test suite uses that as
+// a differential oracle. Combined with block_costs this quantifies the
+// paper's claim that scratchpads "allow tighter bounds on WCET prediction":
+// swap cache-pessimistic costs for scratchpad costs and watch the bound
+// drop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/prog/program.hpp"
+
+namespace casa::wcet {
+
+/// AST-recursive WCET bound (cycles). `block_cost` indexed by basic block.
+/// Throws on (unsupported) recursive call graphs.
+std::uint64_t structural_wcet(const prog::Program& program,
+                              const std::vector<std::uint64_t>& block_cost);
+
+/// IPET WCET bound (cycles), LP per function in callee-first order.
+std::uint64_t ipet_wcet(const prog::Program& program,
+                        const std::vector<std::uint64_t>& block_cost);
+
+}  // namespace casa::wcet

@@ -1,0 +1,861 @@
+#include "casa/workloads/workloads.hpp"
+
+#include <algorithm>
+
+#include "casa/prog/builder.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::workloads {
+
+using prog::FunctionScope;
+using prog::Program;
+using prog::ProgramBuilder;
+
+namespace {
+
+/// Emits `total` bytes of straight-line code as a fallthrough chain of
+/// compiler-realistic basic blocks (<= 96 B). Trace formation re-fuses hot
+/// chains up to the scratchpad-size bound, so this sets the allocation
+/// granularity without distorting totals.
+void straightline(FunctionScope& f, Bytes total, const std::string& label) {
+  total = align_up(total, kWordBytes);
+  int part = 0;
+  while (total > 0) {
+    const Bytes chunk = std::min<Bytes>(total, 96);
+    f.code(chunk, label + "." + std::to_string(part++));
+    total -= chunk;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- adpcm ---
+//
+// IMA-ADPCM style encoder, ~1 kB of code. The per-sample hot core
+// (difference/quantize/step-update, ~300 B) is ~2.3x the paper's 128 B
+// cache, so hot lines evict each other every sample; slow paths (range
+// rescale, clamp repair, decoder verification) are reached with low
+// probability and make up the rest of the footprint.
+Program make_adpcm() {
+  ProgramBuilder b("adpcm");
+
+  b.function("step_update", [](FunctionScope& f) {
+    f.code(36, "index.adjust");
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(24, "clamp.hi"); },
+        [](FunctionScope& e) { e.code(24, "clamp.lo"); });
+    f.code(32, "step.lookup");
+    f.if_then(0.05, [](FunctionScope& t) { t.code(68, "range.rescale"); });
+  });
+
+  b.function("encode_sample", [](FunctionScope& f) {
+    f.code(24, "diff.compute");
+    f.code(32, "quant.core");
+    f.if_then(0.08, [](FunctionScope& t) { t.code(84, "quant.slowpath"); });
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(20, "sign.pos"); },
+        [](FunctionScope& e) { e.code(20, "sign.neg"); });
+    f.code(24, "delta.encode");
+    f.call("step_update");
+    f.if_then(0.06, [](FunctionScope& t) { t.code(76, "clamp.slow"); });
+    f.code(16, "state.store");
+  });
+
+  b.function("decode_sample", [](FunctionScope& f) {
+    f.code(28, "delta.fetch");
+    f.code(40, "rebuild.core");
+    f.if_then(0.2, [](FunctionScope& t) { t.code(72, "rebuild.slow"); });
+    f.call("step_update");
+    f.if_then(0.1, [](FunctionScope& t) { t.code(56, "valpred.clamp"); });
+    f.code(16, "sample.store");
+  });
+
+  b.function("init_tables", [](FunctionScope& f) {
+    f.code(96, "tables.init");
+    f.loop(4, [](FunctionScope& l) { l.code(20, "tables.fill"); });
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    f.code(32, "argv.setup");
+    f.call("init_tables");
+    f.loop(20000, [](FunctionScope& l) {
+      l.code(12, "sample.load");
+      l.call("encode_sample");
+      l.code(8, "bits.pack");
+      // Decoder runs only on the verification path.
+      l.if_then(0.1, [](FunctionScope& t) { t.call("decode_sample"); });
+      l.if_then(0.05, [](FunctionScope& t) { t.code(36, "buffer.flush"); });
+    });
+    f.code(24, "teardown");
+  });
+
+  return b.build();
+}
+
+// ---------------------------------------------------------------- g721 ---
+//
+// G.721 ADPCM, ~4.7 kB. The per-sample pipeline's hot cores sum to ~1.4 kB
+// against the paper's 1 kB cache — most sets hold one or two hot lines, so
+// conflicts are concentrated and pairwise. Each stage carries low-probability
+// slow paths (the bulk of the static code). A tight per-sample checksum loop
+// is hot but conflict-light: high fetch density with almost no misses — the
+// kind of object Steinke's execution-count knapsack overvalues.
+Program make_g721() {
+  ProgramBuilder b("g721");
+
+  b.function("quan", [](FunctionScope& f) {
+    f.code(48, "table.base");
+    f.loop_between(2, 7, [](FunctionScope& l) { l.code(20, "cmp.step"); });
+    f.code(32, "level.out");
+  });
+
+  b.function("checksum", [](FunctionScope& f) {
+    f.code(24, "crc.init");
+    f.loop(10, [](FunctionScope& l) { l.code(56, "crc.word"); });
+    f.code(20, "crc.fold");
+  });
+
+  b.function("predictor_zero", [](FunctionScope& f) {
+    f.code(48, "sez.init");
+    f.loop(6, [](FunctionScope& l) {
+      l.code(24, "coeff.load");
+      l.call("fmult");
+      l.code(20, "acc.add");
+    });
+    f.code(36, "sez.scale");
+  });
+
+  b.function("predictor_pole", [](FunctionScope& f) {
+    f.code(40, "pole.load");
+    f.call("fmult");
+    f.code(32, "pole.acc");
+    f.call("fmult");
+    f.code(36, "se.combine");
+  });
+
+  b.function("step_size", [](FunctionScope& f) {
+    f.code(48, "al.check");
+    f.if_else(
+        0.3,
+        [](FunctionScope& t) {
+          straightline(t, 280, "unlocked.mix");
+          t.code(64, "y.scale");
+        },
+        [](FunctionScope& e) { e.code(64, "locked.fast"); });
+    f.code(36, "y.clamp");
+  });
+
+  b.function("quantize", [](FunctionScope& f) {
+    f.code(96, "log.convert");
+    f.call("quan");
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(36, "ihat.pos"); },
+        [](FunctionScope& e) { e.code(36, "ihat.neg"); });
+    f.code(48, "dq.scale");
+    f.if_then(0.15, [](FunctionScope& t) { straightline(t, 200, "dq.slow"); });
+  });
+
+  b.function("reconstruct", [](FunctionScope& f) {
+    f.code(80, "dqln.add");
+    f.if_then(0.5, [](FunctionScope& t) { t.code(48, "sign.fold"); });
+    f.code(64, "antilog.core");
+    f.if_then(0.1, [](FunctionScope& t) { straightline(t, 180, "antilog.slow"); });
+  });
+
+  b.function("update_state", [](FunctionScope& f) {
+    f.code(80, "pk.core");
+    f.if_else(
+        0.5,
+        [](FunctionScope& t) {
+          straightline(t, 220, "a2.up");
+          t.if_then(0.3, [](FunctionScope& u) { u.code(52, "a2.clamp"); });
+        },
+        [](FunctionScope& e) { straightline(e, 180, "a2.down"); });
+    f.loop(6, [](FunctionScope& l) {
+      l.code(40, "bn.update");
+      l.if_then(0.25, [](FunctionScope& t) { t.code(24, "bn.leak"); });
+    });
+    f.code(64, "delay.core");
+    f.if_then(0.2, [](FunctionScope& t) { straightline(t, 200, "delay.slow"); });
+    f.code(40, "tone.detect");
+  });
+
+  b.function("fmult", [](FunctionScope& f) {
+    f.code(40, "mantissa.split");
+    f.code(88, "mult.core");
+    f.if_then(0.3, [](FunctionScope& t) { t.code(96, "norm.slow"); });
+    f.code(28, "result.pack");
+  });
+
+  b.function("tandem_adjust", [](FunctionScope& f) {
+    f.code(88, "sr.diff");
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(72, "adjust.up"); },
+        [](FunctionScope& e) { e.code(72, "adjust.none"); });
+    f.code(56, "sd.out");
+  });
+
+  b.function("format_convert", [](FunctionScope& f) {
+    straightline(f, 230, "alaw.expand");
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(88, "ulaw.path"); },
+        [](FunctionScope& e) { e.code(88, "alaw.path"); });
+    straightline(f, 140, "pcm.pack");
+  });
+
+  b.function("init_state", [](FunctionScope& f) {
+    straightline(f, 340, "state.zero");
+    f.loop(6, [](FunctionScope& l) { l.code(32, "delay.zero"); });
+    straightline(f, 220, "tables.setup");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    f.code(72, "args.parse");
+    f.call("init_state");
+    f.loop(6000, [](FunctionScope& l) {
+      l.code(24, "sample.read");
+      l.call("predictor_zero");
+      l.call("predictor_pole");
+      l.code(20, "se.sum");
+      l.call("step_size");
+      l.call("quantize");
+      l.call("reconstruct");
+      l.call("update_state");
+      l.call("checksum");
+      l.if_then(0.15, [](FunctionScope& t) { t.call("tandem_adjust"); });
+      l.if_then(0.03, [](FunctionScope& t) { t.call("format_convert"); });
+      l.code(20, "code.emit");
+    });
+    f.code(56, "stream.close");
+  });
+
+  return b.build();
+}
+
+// ---------------------------------------------------------------- mpeg ---
+//
+// MPEG-2 style encoder, ~19.5 kB. The macroblock loop's always-executed
+// cores (SAD search + its pixel-distance helper, DCT butterflies, quantizer
+// and VLC inner loops) total ~2.7 kB against the paper's 2 kB cache —
+// conflicts are concentrated: the SAD core and pix_dist ping-pong on every
+// search point, and whichever kernels the layout maps onto the same sets
+// thrash once per macroblock. Everything else (half-pel refinement, IDCT /
+// reconstruction on reference frames, rate control, headers, init, error
+// recovery) is warm or cold and supplies the remaining footprint.
+Program make_mpeg() {
+  ProgramBuilder b("mpeg");
+
+  b.function("motion_est", [](FunctionScope& f) {
+    f.code(96, "search.setup");
+    f.if_then(0.06,
+              [](FunctionScope& t) { straightline(t, 560, "window.rebuild"); });
+    f.loop(9, [](FunctionScope& row) {
+      row.code(48, "row.setup");
+      row.loop(9, [](FunctionScope& col) {
+        straightline(col, 240, "sad.core");
+        col.call("pix_dist");
+        col.if_then(0.15,
+                    [](FunctionScope& t) { t.code(64, "best.update"); });
+      });
+    });
+    f.code(80, "mv.pick");
+    f.if_then(0.1,
+              [](FunctionScope& t) { straightline(t, 420, "search.fixup"); });
+    f.if_then(0.12, [](FunctionScope& t) { t.call("me_halfpel"); });
+    f.code(48, "mv.store");
+    f.if_then(0.08,
+              [](FunctionScope& t) { straightline(t, 320, "mv.predict.slow"); });
+  });
+
+  b.function("me_halfpel", [](FunctionScope& f) {
+    straightline(f, 420, "halfpel.setup");
+    f.loop(8, [](FunctionScope& l) {
+      straightline(l, 320, "interp.sad");
+      l.if_then(0.25, [](FunctionScope& t) { t.code(88, "best.hp"); });
+    });
+    straightline(f, 260, "mv.refine");
+  });
+
+  b.function("dct_8x8", [](FunctionScope& f) {
+    f.code(64, "block.load");
+    f.if_then(0.1,
+              [](FunctionScope& t) { straightline(t, 300, "load.unpack"); });
+    f.loop(8, [](FunctionScope& l) { straightline(l, 480, "row.fly"); });
+    f.loop(8, [](FunctionScope& l) { straightline(l, 480, "col.fly"); });
+    f.code(64, "coeff.store");
+    f.if_then(0.1,
+              [](FunctionScope& t) { straightline(t, 280, "store.saturate"); });
+  });
+
+  b.function("idct_8x8", [](FunctionScope& f) {
+    straightline(f, 300, "coeff.load");
+    f.loop(8, [](FunctionScope& l) { straightline(l, 460, "col.inv"); });
+    f.loop(8, [](FunctionScope& l) { straightline(l, 460, "row.inv"); });
+    straightline(f, 260, "pixel.clip");
+  });
+
+  b.function("zigzag_scan", [](FunctionScope& f) {
+    f.code(20, "zz.setup");
+    f.loop(12, [](FunctionScope& l) { l.code(28, "zz.copy"); });
+    f.code(16, "zz.finish");
+  });
+
+  b.function("quantize_blk", [](FunctionScope& f) {
+    f.code(64, "qscale.setup");
+    f.if_then(0.15,
+              [](FunctionScope& t) { straightline(t, 260, "qmatrix.reload"); });
+    f.loop(6, [](FunctionScope& l) {
+      straightline(l, 260, "coeff.core");
+      l.if_then(0.12,
+                [](FunctionScope& t) { straightline(t, 240, "deadzone.slow"); });
+    });
+    f.code(48, "cbp.update");
+  });
+
+  b.function("vlc_encode", [](FunctionScope& f) {
+    f.code(72, "runlevel.scan");
+    f.if_then(0.1,
+              [](FunctionScope& t) { straightline(t, 300, "scan.rescan"); });
+    f.loop(6, [](FunctionScope& l) {
+      l.code(112, "token.next");
+      l.switch_of(
+          {0.7, 0.22, 0.08},
+          {[](FunctionScope& a) { straightline(a, 160, "code.table0"); },
+           [](FunctionScope& a) { straightline(a, 260, "code.table1"); },
+           [](FunctionScope& a) {
+             straightline(a, 360, "code.escape");
+             a.if_then(0.5, [](FunctionScope& t) { t.code(96, "stuff"); });
+           }});
+      l.code(36, "bits.put");
+    });
+    f.code(48, "block.finish");
+    f.if_then(0.1,
+              [](FunctionScope& t) { straightline(t, 220, "finish.flush"); });
+  });
+
+  b.function("pix_dist", [](FunctionScope& f) {
+    straightline(f, 200, "absdiff.acc");
+    f.if_then(0.1, [](FunctionScope& t) { straightline(t, 120, "unaligned.fix"); });
+  });
+
+  b.function("reconstruct_mb", [](FunctionScope& f) {
+    straightline(f, 300, "pred.fetch");
+    f.loop(4, [](FunctionScope& l) {
+      straightline(l, 380, "add.clip");
+      l.if_then(0.2, [](FunctionScope& t) { t.code(96, "edge.pad"); });
+    });
+    straightline(f, 240, "frame.store");
+  });
+
+  b.function("rate_control", [](FunctionScope& f) {
+    straightline(f, 540, "buffer.model");
+    f.if_else(
+        0.5,
+        [](FunctionScope& t) { straightline(t, 380, "qscale.raise"); },
+        [](FunctionScope& e) { straightline(e, 380, "qscale.lower"); });
+    straightline(f, 480, "vbv.update");
+  });
+
+  b.function("header_gen", [](FunctionScope& f) {
+    straightline(f, 480, "seq.header");
+    f.if_then(0.3, [](FunctionScope& t) { straightline(t, 360, "gop.hdr"); });
+    straightline(f, 440, "pic.header");
+    f.loop(2, [](FunctionScope& l) { l.code(96, "slice.header"); });
+  });
+
+  b.function("input_read", [](FunctionScope& f) {
+    straightline(f, 360, "file.seek");
+    f.loop(16, [](FunctionScope& l) {
+      straightline(l, 240, "luma.copy");
+      l.code(96, "chroma.copy");
+    });
+    straightline(f, 300, "border.extend");
+  });
+
+  b.function("init_tables", [](FunctionScope& f) {
+    straightline(f, 680, "qmatrix.init");
+    f.loop(8, [](FunctionScope& l) { l.code(96, "vlc.table.build"); });
+    straightline(f, 560, "me.threshold.init");
+    straightline(f, 420, "gop.structure");
+  });
+
+  b.function("error_recover", [](FunctionScope& f) {
+    straightline(f, 840, "bitstream.resync");
+    f.loop(4, [](FunctionScope& l) { straightline(l, 320, "mb.conceal"); });
+    straightline(f, 640, "state.rebuild");
+    straightline(f, 520, "log.report");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    f.code(96, "cmdline.parse");
+    f.call("init_tables");
+    f.loop(12, [](FunctionScope& frame) {
+      frame.call("input_read");
+      frame.loop(24, [](FunctionScope& mb) {
+        mb.code(32, "mb.setup");
+        mb.call("motion_est");
+        // One luma/chroma 8x8 block at a time: the transform/quant/VLC
+        // kernels alternate six times per macroblock, so any pair of them
+        // (or of their helpers) that the layout maps onto the same cache
+        // sets thrashes once per block, not once per macroblock.
+        mb.loop(6, [](FunctionScope& blk) {
+          blk.call("dct_8x8");
+          blk.call("zigzag_scan");
+          blk.call("quantize_blk");
+          blk.call("vlc_encode");
+        });
+        mb.if_then(0.15, [](FunctionScope& t) {
+          t.call("idct_8x8");
+          t.call("reconstruct_mb");
+        });
+        mb.if_then(0.002, [](FunctionScope& t) { t.call("error_recover"); });
+      });
+      frame.call("rate_control");
+      frame.call("header_gen");
+      frame.code(48, "frame.flush");
+    });
+    f.code(96, "trailer.write");
+  });
+
+  return b.build();
+}
+
+// ---------------------------------------------------------------- epic ---
+//
+// EPIC image codec stand-in, ~3.3 kB: wavelet-style filter pyramid with a
+// quantizer and entropy packer.
+Program make_epic() {
+  ProgramBuilder b("epic");
+
+  b.function("filter_row", [](FunctionScope& f) {
+    f.code(96, "taps.load");
+    f.loop(12, [](FunctionScope& l) { straightline(l, 240, "conv.row"); });
+    f.code(88, "edge.reflect");
+  });
+
+  b.function("filter_col", [](FunctionScope& f) {
+    f.code(96, "taps.load");
+    f.loop(12, [](FunctionScope& l) { straightline(l, 240, "conv.col"); });
+    f.code(88, "edge.reflect");
+  });
+
+  b.function("quantize_band", [](FunctionScope& f) {
+    straightline(f, 240, "binsize.calc");
+    f.loop(10, [](FunctionScope& l) {
+      straightline(l, 190, "coeff.bin");
+      l.if_then(0.3, [](FunctionScope& t) { t.code(48, "zero.run"); });
+    });
+    f.code(80, "band.stats");
+  });
+
+  b.function("dpcm_encode", [](FunctionScope& f) {
+    straightline(f, 260, "pred.delta");
+    f.loop(6, [](FunctionScope& l) {
+      l.code(72, "delta.map");
+      l.if_then(0.35, [](FunctionScope& t) { t.code(40, "overflow.fix"); });
+    });
+    straightline(f, 180, "band.emit");
+  });
+
+  b.function("huffman_pack", [](FunctionScope& f) {
+    straightline(f, 280, "tree.walk");
+    f.loop(8, [](FunctionScope& l) {
+      straightline(l, 170, "symbol.emit");
+      l.if_else(
+          0.5, [](FunctionScope& t) { t.code(56, "short.code"); },
+          [](FunctionScope& e) { e.code(80, "long.code"); });
+    });
+    f.code(96, "stream.align");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    straightline(f, 150, "image.load");
+    f.loop(4, [](FunctionScope& level) {
+      level.code(56, "level.setup");
+      level.loop(40, [](FunctionScope& l) {
+        l.call("filter_row");
+        l.call("filter_col");
+      });
+      level.call("quantize_band");
+      level.call("dpcm_encode");
+    });
+    f.loop(48, [](FunctionScope& l) { l.call("huffman_pack"); });
+    f.code(96, "file.write");
+  });
+
+  return b.build();
+}
+
+// -------------------------------------------------------------- pegwit ---
+//
+// Pegwit public-key stand-in, ~7 kB: wide call tree over field arithmetic,
+// elliptic-curve steps and a hash core.
+Program make_pegwit() {
+  ProgramBuilder b("pegwit");
+
+  b.function("gf_mult", [](FunctionScope& f) {
+    straightline(f, 280, "operand.align");
+    f.loop(8, [](FunctionScope& l) {
+      straightline(l, 180, "shift.xor");
+      l.if_then(0.5, [](FunctionScope& t) { t.code(72, "reduce.poly"); });
+    });
+    straightline(f, 210, "result.mask");
+  });
+
+  b.function("gf_square", [](FunctionScope& f) {
+    straightline(f, 240, "bit.spread");
+    f.loop(4, [](FunctionScope& l) { straightline(l, 210, "table.fold"); });
+    f.code(96, "reduce");
+  });
+
+  b.function("gf_invert", [](FunctionScope& f) {
+    straightline(f, 300, "chain.init");
+    f.loop(10, [](FunctionScope& l) {
+      l.call("gf_square");
+      l.if_then(0.4, [](FunctionScope& t) { t.call("gf_mult"); });
+    });
+    straightline(f, 220, "chain.final");
+  });
+
+  b.function("ec_add", [](FunctionScope& f) {
+    straightline(f, 340, "lambda.num");
+    f.call("gf_invert");
+    f.call("gf_mult");
+    straightline(f, 300, "x3.compute");
+    f.call("gf_mult");
+    straightline(f, 260, "y3.compute");
+  });
+
+  b.function("ec_double", [](FunctionScope& f) {
+    straightline(f, 300, "slope.setup");
+    f.call("gf_square");
+    f.call("gf_invert");
+    straightline(f, 210, "x3.compute");
+    f.call("gf_mult");
+    straightline(f, 170, "y3.compute");
+  });
+
+  b.function("sha_block", [](FunctionScope& f) {
+    straightline(f, 400, "schedule.expand");
+    f.loop(20, [](FunctionScope& l) { straightline(l, 230, "round.mix"); });
+    straightline(f, 310, "digest.add");
+  });
+
+  b.function("key_schedule", [](FunctionScope& f) {
+    straightline(f, 440, "seed.expand");
+    f.loop(6, [](FunctionScope& l) {
+      l.call("sha_block");
+      l.code(88, "chunk.fold");
+    });
+    straightline(f, 280, "key.finalize");
+  });
+
+  b.function("io_stream", [](FunctionScope& f) {
+    straightline(f, 360, "buffer.fill");
+    f.loop(6, [](FunctionScope& l) { l.code(96, "byte.swab"); });
+    straightline(f, 220, "crc.update");
+  });
+
+  b.function("octet_encode", [](FunctionScope& f) {
+    straightline(f, 240, "radix.split");
+    f.loop(5, [](FunctionScope& l) {
+      l.code(64, "digit.emit");
+      l.if_then(0.4, [](FunctionScope& t) { t.code(32, "pad.adjust"); });
+    });
+    straightline(f, 150, "checksum.mix");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    straightline(f, 170, "options.parse");
+    f.call("key_schedule");
+    f.loop(128, [](FunctionScope& bit) {
+      bit.call("ec_double");
+      bit.if_then(0.5, [](FunctionScope& t) { t.call("ec_add"); });
+      bit.code(24, "bit.next");
+    });
+    f.loop(48, [](FunctionScope& l) {
+      l.call("io_stream");
+      l.call("sha_block");
+      l.call("octet_encode");
+    });
+    f.code(96, "signature.write");
+  });
+
+  return b.build();
+}
+
+
+// ----------------------------------------------------------------- gsm ---
+//
+// GSM 06.10 full-rate codec stand-in, ~6 kB: per-frame LPC analysis, a hot
+// long-term-predictor lag search (the dominant kernel, called per
+// sub-block), and RPE encoding. Hot set ~1.5 kB vs a 1 kB cache.
+Program make_gsm() {
+  ProgramBuilder b("gsm");
+
+  b.function("autocorr", [](FunctionScope& f) {
+    f.code(64, "acf.init");
+    f.loop(9, [](FunctionScope& l) { straightline(l, 150, "acf.lag"); });
+    f.code(56, "acf.scale");
+    f.if_then(0.15, [](FunctionScope& t) { straightline(t, 180, "acf.renorm"); });
+  });
+
+  b.function("reflection", [](FunctionScope& f) {
+    straightline(f, 140, "schur.init");
+    f.loop(8, [](FunctionScope& l) {
+      l.code(88, "schur.step");
+      l.if_then(0.3, [](FunctionScope& t) { t.code(44, "schur.clamp"); });
+    });
+    straightline(f, 120, "larc.quant");
+  });
+
+  b.function("ltp_dist", [](FunctionScope& f) {
+    straightline(f, 170, "xcorr.acc");
+    f.if_then(0.12, [](FunctionScope& t) { t.code(60, "xcorr.sat"); });
+  });
+
+  b.function("ltp_search", [](FunctionScope& f) {
+    f.code(72, "search.init");
+    f.loop(40, [](FunctionScope& l) {
+      l.code(40, "lag.setup");
+      l.call("ltp_dist");
+      l.if_then(0.2, [](FunctionScope& t) { t.code(36, "best.lag"); });
+    });
+    straightline(f, 240, "gain.quant");
+  });
+
+  b.function("rpe_encode", [](FunctionScope& f) {
+    straightline(f, 280, "weighting.filter");
+    f.loop(13, [](FunctionScope& l) { l.code(52, "grid.sample"); });
+    f.if_else(
+        0.5,
+        [](FunctionScope& t) { straightline(t, 130, "apcm.quant"); },
+        [](FunctionScope& e) { straightline(e, 130, "apcm.quant.alt"); });
+    f.code(72, "grid.select");
+  });
+
+  b.function("short_term_filter", [](FunctionScope& f) {
+    f.code(56, "st.init");
+    f.loop(10, [](FunctionScope& l) { l.code(68, "lattice.stage"); });
+    f.code(48, "st.flush");
+  });
+
+  b.function("preprocess", [](FunctionScope& f) {
+    straightline(f, 300, "offset.comp");
+    straightline(f, 240, "preemph");
+  });
+
+  b.function("frame_pack", [](FunctionScope& f) {
+    straightline(f, 380, "bitpack");
+    f.if_then(0.1, [](FunctionScope& t) { straightline(t, 160, "crc.frame"); });
+  });
+
+  b.function("init_codec", [](FunctionScope& f) {
+    straightline(f, 560, "state.init");
+    f.loop(8, [](FunctionScope& l) { l.code(48, "table.fill"); });
+    straightline(f, 380, "config.parse");
+  });
+
+  b.function("error_conceal", [](FunctionScope& f) {
+    straightline(f, 680, "bad.frame");
+    f.loop(4, [](FunctionScope& l) { straightline(l, 160, "interpolate"); });
+    straightline(f, 460, "mute.ramp");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    f.code(64, "args");
+    f.call("init_codec");
+    f.loop(120, [](FunctionScope& frame) {
+      frame.call("preprocess");
+      frame.call("autocorr");
+      frame.call("reflection");
+      frame.call("short_term_filter");
+      frame.loop(4, [](FunctionScope& sub) {
+        sub.call("ltp_search");
+        sub.call("rpe_encode");
+      });
+      frame.call("frame_pack");
+      frame.if_then(0.004, [](FunctionScope& t) { t.call("error_conceal"); });
+      frame.code(24, "frame.emit");
+    });
+    f.code(48, "flush");
+  });
+
+  return b.build();
+}
+
+// ---------------------------------------------------------------- jpeg ---
+//
+// Baseline JPEG encoder stand-in, ~11 kB: per-MCU color conversion,
+// forward DCT, quantization and Huffman coding (the DCT/Huffman pair
+// alternating per block is the conflict hot spot), plus cold marker/io
+// code. Pairs with a 2 kB cache.
+Program make_jpeg() {
+  ProgramBuilder b("jpeg");
+
+  b.function("color_convert", [](FunctionScope& f) {
+    f.code(72, "rgb.load");
+    f.loop(8, [](FunctionScope& l) { straightline(l, 280, "ycc.row"); });
+    f.code(64, "chroma.subsample");
+  });
+
+  b.function("fdct", [](FunctionScope& f) {
+    f.code(64, "dct.load");
+    f.loop(8, [](FunctionScope& l) { straightline(l, 560, "dct.row"); });
+    f.loop(8, [](FunctionScope& l) { straightline(l, 560, "dct.col"); });
+    straightline(f, 260, "dct.descale");
+  });
+
+  b.function("quant_block", [](FunctionScope& f) {
+    f.code(56, "q.setup");
+    f.loop(6, [](FunctionScope& l) {
+      straightline(l, 300, "q.coef");
+      l.if_then(0.15, [](FunctionScope& t) { t.code(64, "q.round.slow"); });
+    });
+  });
+
+  b.function("huff_encode", [](FunctionScope& f) {
+    f.code(80, "dc.diff");
+    f.loop(8, [](FunctionScope& l) {
+      l.code(96, "run.scan");
+      l.switch_of(
+          {0.75, 0.25},
+          {[](FunctionScope& a) { straightline(a, 200, "code.short"); },
+           [](FunctionScope& a) {
+             straightline(a, 320, "code.long");
+             a.if_then(0.3, [](FunctionScope& t) { t.code(48, "byte.stuff"); });
+           }});
+      l.code(32, "bits.emit");
+    });
+    f.code(56, "eob.mark");
+  });
+
+  b.function("downsample_edge", [](FunctionScope& f) {
+    straightline(f, 440, "edge.expand");
+    f.loop(6, [](FunctionScope& l) { l.code(72, "edge.avg"); });
+  });
+
+  b.function("marker_write", [](FunctionScope& f) {
+    straightline(f, 560, "dqt.emit");
+    straightline(f, 520, "dht.emit");
+    f.if_then(0.5, [](FunctionScope& t) { straightline(t, 340, "sof.emit"); });
+    straightline(f, 280, "sos.emit");
+  });
+
+  b.function("io_flush", [](FunctionScope& f) {
+    straightline(f, 360, "buffer.drain");
+    f.loop(4, [](FunctionScope& l) { l.code(56, "swab.word"); });
+    f.code(48, "fwrite.call");
+  });
+
+  b.function("init_tables", [](FunctionScope& f) {
+    straightline(f, 720, "qtable.scale");
+    f.loop(8, [](FunctionScope& l) { l.code(64, "huff.derive"); });
+    straightline(f, 580, "comp.layout");
+  });
+
+  b.function("error_exit", [](FunctionScope& f) {
+    straightline(f, 680, "msg.format");
+    straightline(f, 480, "cleanup");
+  });
+
+  b.function("progressive_scan", [](FunctionScope& f) {
+    straightline(f, 560, "spectral.select");
+    f.loop(4, [](FunctionScope& l) { straightline(l, 200, "refine.pass"); });
+    straightline(f, 420, "scan.script");
+  });
+
+  b.function("entropy_opt", [](FunctionScope& f) {
+    straightline(f, 480, "freq.gather");
+    f.loop(6, [](FunctionScope& l) { l.code(72, "code.assign"); });
+    straightline(f, 360, "table.emit");
+  });
+
+  b.function("main", [](FunctionScope& f) {
+    f.code(72, "cmdline");
+    f.call("init_tables");
+    f.if_then(0.02, [](FunctionScope& t) {
+      t.call("progressive_scan");
+      t.call("entropy_opt");
+    });
+    f.call("marker_write");
+    f.loop(20, [](FunctionScope& row) {
+      row.loop(16, [](FunctionScope& mcu) {
+        mcu.call("color_convert");
+        // 3 blocks per MCU (Y, Cb, Cr after subsampling): the transform /
+        // quant / Huffman cycle repeats, amplifying whichever pair of
+        // kernels the layout maps onto the same sets.
+        mcu.loop(3, [](FunctionScope& blk) {
+          blk.call("fdct");
+          blk.call("quant_block");
+          blk.call("huff_encode");
+        });
+        mcu.if_then(0.06,
+                    [](FunctionScope& t) { t.call("downsample_edge"); });
+        mcu.if_then(0.001, [](FunctionScope& t) { t.call("error_exit"); });
+      });
+      row.call("io_flush");
+    });
+    f.call("marker_write");
+    f.code(64, "trailer");
+  });
+
+  return b.build();
+}
+
+// ------------------------------------------------------------- factory ---
+
+Program by_name(const std::string& name) {
+  if (name == "adpcm") return make_adpcm();
+  if (name == "g721") return make_g721();
+  if (name == "mpeg") return make_mpeg();
+  if (name == "epic") return make_epic();
+  if (name == "pegwit") return make_pegwit();
+  if (name == "gsm") return make_gsm();
+  if (name == "jpeg") return make_jpeg();
+  CASA_CHECK(false, "unknown workload: " + name);
+  return make_adpcm();  // unreachable
+}
+
+std::vector<std::string> names() {
+  return {"adpcm", "g721", "mpeg", "epic", "pegwit", "gsm", "jpeg"};
+}
+
+cachesim::CacheConfig paper_cache_for(const std::string& name) {
+  cachesim::CacheConfig cfg;
+  cfg.line_size = 16;
+  cfg.associativity = 1;
+  cfg.policy = cachesim::ReplacementPolicy::kLru;
+  if (name == "adpcm") {
+    cfg.size = 128;
+  } else if (name == "g721") {
+    cfg.size = 1_KiB;
+  } else if (name == "mpeg") {
+    cfg.size = 2_KiB;
+  } else if (name == "epic") {
+    cfg.size = 512;
+  } else if (name == "pegwit") {
+    cfg.size = 1_KiB;
+  } else if (name == "gsm") {
+    cfg.size = 1_KiB;
+  } else if (name == "jpeg") {
+    cfg.size = 2_KiB;
+  } else {
+    CASA_CHECK(false, "unknown workload: " + name);
+  }
+  return cfg;
+}
+
+std::vector<Bytes> paper_spm_sizes_for(const std::string& name) {
+  if (name == "adpcm") return {64, 128, 256};
+  if (name == "g721") return {128, 256, 512, 1024};
+  if (name == "mpeg") return {128, 256, 512, 1024};
+  if (name == "epic") return {64, 128, 256, 512};
+  if (name == "pegwit") return {128, 256, 512, 1024};
+  if (name == "gsm") return {128, 256, 512, 1024};
+  if (name == "jpeg") return {128, 256, 512, 1024};
+  CASA_CHECK(false, "unknown workload: " + name);
+  return {};
+}
+
+}  // namespace casa::workloads

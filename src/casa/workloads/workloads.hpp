@@ -1,0 +1,63 @@
+// Synthetic Mediabench-shaped workloads.
+//
+// The paper evaluates on adpcm (1 kB of code), g721 (4.7 kB) and mpeg
+// (19.5 kB) compiled for ARM7T. We cannot redistribute or compile the
+// originals here, so each generator builds a program whose *shape* matches
+// the original: code footprint, function decomposition, loop nesting, hot
+// path working-set size relative to the paper's I-cache, and call/branch
+// mix. The CASA pipeline consumes nothing but that shape (CFG, profile,
+// sizes), so these stand-ins exercise the identical code paths (see
+// DESIGN.md §2).
+//
+// Two extra programs (epic, pegwit) extend the suite for examples and
+// robustness tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/prog/program.hpp"
+
+namespace casa::workloads {
+
+/// ADPCM speech codec: ~1 kB of code, one dominant sample loop calling
+/// encoder and decoder kernels. Paper pairs it with a 128 B I-cache.
+prog::Program make_adpcm();
+
+/// G.721 voice codec: ~4.7 kB, call-heavy predictor/quantizer pipeline.
+/// Paper pairs it with a 1 kB I-cache.
+prog::Program make_g721();
+
+/// MPEG video encoder: ~19.5 kB, frame/macroblock loop nest over DCT,
+/// motion estimation, quantization and VLC kernels whose combined hot set
+/// far exceeds the paper's 2 kB I-cache.
+prog::Program make_mpeg();
+
+/// EPIC image codec stand-in (~3.3 kB): wavelet-style filter pyramid.
+prog::Program make_epic();
+
+/// Pegwit public-key stand-in (~7 kB): wide flat call tree, modest loops.
+prog::Program make_pegwit();
+
+/// GSM 06.10 codec stand-in (~6 kB): hot long-term-predictor lag search.
+prog::Program make_gsm();
+
+/// Baseline JPEG encoder stand-in (~11 kB): per-MCU DCT/quant/Huffman.
+prog::Program make_jpeg();
+
+/// Lookup by name ("adpcm", "g721", "mpeg", "epic", "pegwit",
+/// "gsm", "jpeg").
+prog::Program by_name(const std::string& name);
+
+/// All generator names.
+std::vector<std::string> names();
+
+/// The I-cache configuration the paper's Table 1 uses for this benchmark
+/// (direct-mapped, 16-byte lines; 128 B / 1 kB / 2 kB).
+cachesim::CacheConfig paper_cache_for(const std::string& name);
+
+/// The scratchpad sizes the paper sweeps for this benchmark.
+std::vector<Bytes> paper_spm_sizes_for(const std::string& name);
+
+}  // namespace casa::workloads

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "casa/support/args.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa {
+namespace {
+
+TEST(Args, KeyEqualsValue) {
+  ArgParser a({"--workload=mpeg"});
+  EXPECT_EQ(a.get("workload", "adpcm"), "mpeg");
+}
+
+TEST(Args, KeySpaceValue) {
+  ArgParser a({"--spm", "512"});
+  EXPECT_EQ(a.get_u64("spm", 0), 512u);
+}
+
+TEST(Args, DefaultWhenAbsent) {
+  ArgParser a({});
+  EXPECT_EQ(a.get("workload", "adpcm"), "adpcm");
+  EXPECT_EQ(a.get_u64("spm", 256), 256u);
+  EXPECT_DOUBLE_EQ(a.get_double("ratio", 0.5), 0.5);
+  EXPECT_FALSE(a.get_flag("csv"));
+}
+
+TEST(Args, BareFlagIsTrue) {
+  ArgParser a({"--csv"});
+  EXPECT_TRUE(a.get_flag("csv"));
+}
+
+TEST(Args, FlagFollowedByAnotherFlag) {
+  ArgParser a({"--csv", "--verbose"});
+  EXPECT_TRUE(a.get_flag("csv"));
+  EXPECT_TRUE(a.get_flag("verbose"));
+}
+
+TEST(Args, NumericValidation) {
+  ArgParser a({"--spm=banana"});
+  EXPECT_THROW(a.get_u64("spm", 0), PreconditionError);
+  ArgParser b({"--ratio=x"});
+  EXPECT_THROW(b.get_double("ratio", 0.0), PreconditionError);
+}
+
+TEST(Args, DoubleParsing) {
+  ArgParser a({"--ratio=0.75"});
+  EXPECT_DOUBLE_EQ(a.get_double("ratio", 0.0), 0.75);
+}
+
+TEST(Args, UnknownKeysReported) {
+  ArgParser a({"--known=1", "--mystery=2"});
+  a.get_u64("known", 0);
+  const auto unknown = a.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "mystery");
+}
+
+TEST(Args, HelpRequested) {
+  ArgParser a({"--help"});
+  EXPECT_TRUE(a.help_requested());
+}
+
+TEST(Args, HelpTextListsDeclaredKeys) {
+  ArgParser a({});
+  a.get("workload", "adpcm", "which benchmark");
+  const std::string h = a.help();
+  EXPECT_NE(h.find("--workload"), std::string::npos);
+  EXPECT_NE(h.find("which benchmark"), std::string::npos);
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  EXPECT_THROW(ArgParser({"mpeg"}), PreconditionError);
+}
+
+TEST(Args, LastValueWins) {
+  ArgParser a({"--spm=128", "--spm=512"});
+  EXPECT_EQ(a.get_u64("spm", 0), 512u);
+}
+
+}  // namespace
+}  // namespace casa

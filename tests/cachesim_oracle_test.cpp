@@ -1,0 +1,122 @@
+// Differential oracle for the cache simulator: an independent, naive
+// reference model (per-set vectors with explicit recency/insertion lists)
+// must agree with casa::cachesim::Cache on every access of random and
+// structured address streams, across geometries and policies.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::cachesim {
+namespace {
+
+/// Deliberately simple reference: correctness over speed, written against
+/// the textbook definitions rather than the production code's structure.
+class ReferenceCache {
+ public:
+  ReferenceCache(const CacheConfig& cfg) : cfg_(cfg), sets_(cfg.sets()) {}
+
+  struct Result {
+    bool hit;
+    std::optional<std::uint64_t> evicted;
+  };
+
+  Result access(Addr addr) {
+    const std::uint64_t line = addr / cfg_.line_size;
+    auto& set = sets_[line % sets_.size()];
+
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (set[i] == line) {
+        if (cfg_.policy == ReplacementPolicy::kLru) {
+          // Move to the back (most recently used).
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+          set.push_back(line);
+        }
+        return {true, std::nullopt};
+      }
+    }
+    // Miss: fill, evicting the front (LRU or FIFO order) when full.
+    std::optional<std::uint64_t> evicted;
+    if (set.size() == cfg_.associativity) {
+      evicted = set.front();
+      set.pop_front();
+    }
+    set.push_back(line);
+    return {false, evicted};
+  }
+
+ private:
+  CacheConfig cfg_;
+  std::vector<std::deque<std::uint64_t>> sets_;
+};
+
+using Param = std::tuple<Bytes, Bytes, unsigned, ReplacementPolicy>;
+
+class CacheOracleTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CacheOracleTest, AgreesOnRandomStream) {
+  const auto [size, line, assoc, policy] = GetParam();
+  CacheConfig cfg;
+  cfg.size = size;
+  cfg.line_size = line;
+  cfg.associativity = assoc;
+  cfg.policy = policy;
+
+  Cache dut(cfg);
+  ReferenceCache ref(cfg);
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const Addr addr = rng.next_below(16 * size) & ~3ull;
+    const AccessResult a = dut.access(addr);
+    const ReferenceCache::Result b = ref.access(addr);
+    ASSERT_EQ(a.hit, b.hit) << "access " << i << " addr " << addr;
+    ASSERT_EQ(a.evicted_line.has_value(), b.evicted.has_value())
+        << "access " << i;
+    if (a.evicted_line.has_value()) {
+      ASSERT_EQ(*a.evicted_line, *b.evicted) << "access " << i;
+    }
+  }
+}
+
+TEST_P(CacheOracleTest, AgreesOnLoopingStream) {
+  const auto [size, line, assoc, policy] = GetParam();
+  CacheConfig cfg;
+  cfg.size = size;
+  cfg.line_size = line;
+  cfg.associativity = assoc;
+  cfg.policy = policy;
+
+  Cache dut(cfg);
+  ReferenceCache ref(cfg);
+  // Instruction-like: a loop slightly larger than the cache, repeated.
+  const Addr span = size + 3 * line;
+  for (int pass = 0; pass < 50; ++pass) {
+    for (Addr a = 0; a < span; a += 4) {
+      const AccessResult x = dut.access(a);
+      const ReferenceCache::Result y = ref.access(a);
+      ASSERT_EQ(x.hit, y.hit) << "pass " << pass << " addr " << a;
+    }
+  }
+  EXPECT_EQ(dut.hits() + dut.misses(), 50ull * (span / 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheOracleTest,
+    ::testing::Combine(::testing::Values<Bytes>(128, 512, 2_KiB),
+                       ::testing::Values<Bytes>(16, 32),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(ReplacementPolicy::kLru,
+                                         ReplacementPolicy::kFifo)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_l" +
+             std::to_string(std::get<1>(info.param)) + "_a" +
+             std::to_string(std::get<2>(info.param)) + "_" +
+             to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace casa::cachesim

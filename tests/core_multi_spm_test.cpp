@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "casa/core/multi_spm.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::core {
+namespace {
+
+conflict::ConflictGraph graph3() {
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(0), MemoryObjectId(1), 40},
+      {MemoryObjectId(1), MemoryObjectId(0), 40}};
+  return conflict::ConflictGraph(3, {1000, 900, 100}, {0, 0, 0},
+                                 {960, 860, 100}, std::move(edges));
+}
+
+MultiSpmProblem problem(const conflict::ConflictGraph& g) {
+  MultiSpmProblem p;
+  p.graph = &g;
+  p.sizes = {40, 40, 40};
+  p.capacities = {40, 40};
+  p.e_spm = {0.3, 0.5};
+  p.e_cache_hit = 1.0;
+  p.e_cache_miss = 25.0;
+  return p;
+}
+
+TEST(MultiSpm, AssignsAtMostOnePadPerObject) {
+  const auto g = graph3();
+  const MultiSpmResult r = allocate_multi_spm(problem(g));
+  EXPECT_TRUE(r.exact);
+  for (const int pad : r.pad_of) {
+    EXPECT_GE(pad, -1);
+    EXPECT_LE(pad, 1);
+  }
+}
+
+TEST(MultiSpm, RespectsPerPadCapacity) {
+  const auto g = graph3();
+  const MultiSpmProblem p = problem(g);
+  const MultiSpmResult r = allocate_multi_spm(p);
+  ASSERT_EQ(r.used_bytes.size(), 2u);
+  EXPECT_LE(r.used_bytes[0], p.capacities[0]);
+  EXPECT_LE(r.used_bytes[1], p.capacities[1]);
+}
+
+TEST(MultiSpm, UsesBothPadsWhenBeneficial) {
+  const auto g = graph3();
+  const MultiSpmResult r = allocate_multi_spm(problem(g));
+  // Two hot conflicting objects, two pads of one-object size each: the
+  // optimum parks both (kills the conflict and saves fetch energy).
+  int placed = 0;
+  for (const int pad : r.pad_of) placed += pad >= 0 ? 1 : 0;
+  EXPECT_EQ(placed, 2);
+  EXPECT_NE(r.pad_of[0], -1);
+  EXPECT_NE(r.pad_of[1], -1);
+}
+
+TEST(MultiSpm, HottestObjectGetsCheapestPad) {
+  const auto g = graph3();
+  const MultiSpmResult r = allocate_multi_spm(problem(g));
+  // Object 0 has the most fetches; pad 0 is the cheaper one.
+  EXPECT_EQ(r.pad_of[0], 0);
+  EXPECT_EQ(r.pad_of[1], 1);
+}
+
+TEST(MultiSpm, OversizedObjectStaysCached) {
+  const auto g = graph3();
+  MultiSpmProblem p = problem(g);
+  p.sizes = {80, 40, 40};  // object 0 fits no pad
+  const MultiSpmResult r = allocate_multi_spm(p);
+  EXPECT_EQ(r.pad_of[0], -1);
+}
+
+TEST(MultiSpm, SinglePadReducesToClassicCasa) {
+  const auto g = graph3();
+  MultiSpmProblem p = problem(g);
+  p.capacities = {80};
+  p.e_spm = {0.4};
+  const MultiSpmResult r = allocate_multi_spm(p);
+  int placed = 0;
+  for (const int pad : r.pad_of) placed += pad >= 0 ? 1 : 0;
+  EXPECT_EQ(placed, 2);  // the two hot objects fill 80 bytes
+}
+
+TEST(MultiSpm, ValidationCatchesMismatches) {
+  const auto g = graph3();
+  MultiSpmProblem p = problem(g);
+  p.e_spm = {0.3};  // size mismatch with capacities
+  EXPECT_THROW(allocate_multi_spm(p), PreconditionError);
+  p = problem(g);
+  p.e_spm = {0.3, 2.0};  // pad worse than cache
+  EXPECT_THROW(allocate_multi_spm(p), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::core

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "casa/core/problem.hpp"
+
+namespace casa::core {
+namespace {
+
+/// Builds a conflict graph directly from edge triples.
+conflict::ConflictGraph make_graph(
+    std::size_t nodes, std::vector<std::uint64_t> fetches,
+    std::vector<conflict::Edge> edges) {
+  std::vector<std::uint64_t> cold(nodes, 0), hits(nodes, 0);
+  for (std::size_t i = 0; i < nodes; ++i) hits[i] = fetches[i];
+  for (const auto& e : edges) hits[e.from.index()] -= e.misses;
+  return conflict::ConflictGraph(nodes, std::move(fetches), std::move(cold),
+                                 std::move(hits), std::move(edges));
+}
+
+CasaProblem make_problem(const conflict::ConflictGraph& g,
+                         std::vector<Bytes> sizes, Bytes cap) {
+  CasaProblem p;
+  p.graph = &g;
+  p.sizes = std::move(sizes);
+  p.capacity = cap;
+  p.e_cache_hit = 1.0;
+  p.e_cache_miss = 21.0;
+  p.e_spm = 0.5;
+  return p;
+}
+
+TEST(Presolve, LinearValuesFromFetches) {
+  const auto g = make_graph(2, {1000, 500}, {});
+  const CasaProblem p = make_problem(g, {64, 32}, 128);
+  const SavingsProblem sp = presolve(p);
+  ASSERT_EQ(sp.item_count(), 2u);
+  EXPECT_DOUBLE_EQ(sp.value[0], 1000 * 0.5);
+  EXPECT_DOUBLE_EQ(sp.value[1], 500 * 0.5);
+  EXPECT_TRUE(sp.edges.empty());
+}
+
+TEST(Presolve, OversizedObjectFixedCached) {
+  const auto g = make_graph(2, {1000, 500}, {});
+  const CasaProblem p = make_problem(g, {256, 32}, 128);
+  const SavingsProblem sp = presolve(p);
+  ASSERT_EQ(sp.item_count(), 1u);
+  EXPECT_EQ(sp.object_of[0], MemoryObjectId(1));
+}
+
+TEST(Presolve, SymmetricEdgesMerged) {
+  const auto g = make_graph(
+      2, {1000, 500},
+      {{MemoryObjectId(0), MemoryObjectId(1), 10},
+       {MemoryObjectId(1), MemoryObjectId(0), 5}});
+  const CasaProblem p = make_problem(g, {64, 32}, 128);
+  const SavingsProblem sp = presolve(p);
+  ASSERT_EQ(sp.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(sp.edges[0].weight, 15 * 20.0);  // (m_ij+m_ji)*(21-1)
+}
+
+TEST(Presolve, SelfEdgeFoldsIntoLinearTerm) {
+  const auto g = make_graph(1, {1000},
+                            {{MemoryObjectId(0), MemoryObjectId(0), 7}});
+  const CasaProblem p = make_problem(g, {64}, 128);
+  const SavingsProblem sp = presolve(p);
+  EXPECT_TRUE(sp.edges.empty());
+  EXPECT_DOUBLE_EQ(sp.value[0], 1000 * 0.5 + 7 * 20.0);
+}
+
+TEST(Presolve, EdgeToFixedEndpointFoldsOntoFreeOne) {
+  const auto g = make_graph(
+      2, {1000, 500},
+      {{MemoryObjectId(0), MemoryObjectId(1), 10}});  // 0 misses due to 1
+  // Object 0 is oversized -> fixed cached; placing 1 still saves the edge.
+  const CasaProblem p = make_problem(g, {999, 32}, 128);
+  const SavingsProblem sp = presolve(p);
+  ASSERT_EQ(sp.item_count(), 1u);
+  EXPECT_DOUBLE_EQ(sp.value[0], 500 * 0.5 + 10 * 20.0);
+}
+
+TEST(Presolve, BothEndpointsFixedIsConstant) {
+  const auto g = make_graph(
+      2, {1000, 500}, {{MemoryObjectId(0), MemoryObjectId(1), 10}});
+  const CasaProblem p = make_problem(g, {999, 999}, 128);
+  const SavingsProblem sp = presolve(p);
+  EXPECT_EQ(sp.item_count(), 0u);
+  EXPECT_TRUE(sp.edges.empty());
+  // All-cached energy still accounts for the unavoidable conflict.
+  EXPECT_DOUBLE_EQ(sp.all_cached_energy, 1500 * 1.0 + 10 * 20.0);
+}
+
+TEST(SavingsProblem, SavingForCoversEdgesOnce) {
+  const auto g = make_graph(
+      2, {100, 100},
+      {{MemoryObjectId(0), MemoryObjectId(1), 10},
+       {MemoryObjectId(1), MemoryObjectId(0), 10}});
+  const CasaProblem p = make_problem(g, {32, 32}, 64);
+  const SavingsProblem sp = presolve(p);
+
+  std::vector<bool> none{false, false}, one{true, false}, both{true, true};
+  EXPECT_DOUBLE_EQ(sp.saving_for(none), 0.0);
+  EXPECT_DOUBLE_EQ(sp.saving_for(one), 100 * 0.5 + 20 * 20.0);
+  EXPECT_DOUBLE_EQ(sp.saving_for(both), 2 * 100 * 0.5 + 20 * 20.0);
+}
+
+TEST(SavingsProblem, EnergyForIsComplementOfSaving) {
+  const auto g = make_graph(
+      2, {100, 100}, {{MemoryObjectId(0), MemoryObjectId(1), 10}});
+  const CasaProblem p = make_problem(g, {32, 32}, 64);
+  const SavingsProblem sp = presolve(p);
+  const std::vector<bool> choice{true, false};
+  EXPECT_DOUBLE_EQ(sp.energy_for(choice),
+                   sp.all_cached_energy - sp.saving_for(choice));
+}
+
+TEST(SavingsProblem, AllCachedEnergyMatchesPaperModel) {
+  const auto g = make_graph(
+      2, {100, 200}, {{MemoryObjectId(0), MemoryObjectId(1), 10}});
+  const CasaProblem p = make_problem(g, {32, 32}, 64);
+  const SavingsProblem sp = presolve(p);
+  // sum f_i * E_hit + sum m_ij * (E_miss - E_hit)
+  EXPECT_DOUBLE_EQ(sp.all_cached_energy, 300 * 1.0 + 10 * 20.0);
+}
+
+TEST(ExpandChoice, MapsItemsBackToObjects) {
+  const auto g = make_graph(3, {100, 200, 300}, {});
+  const CasaProblem p = make_problem(g, {999, 32, 32}, 64);
+  const SavingsProblem sp = presolve(p);
+  ASSERT_EQ(sp.item_count(), 2u);
+  const std::vector<bool> chosen{false, true};
+  const std::vector<bool> on_spm = expand_choice(p, sp, chosen);
+  EXPECT_FALSE(on_spm[0]);
+  EXPECT_FALSE(on_spm[1]);
+  EXPECT_TRUE(on_spm[2]);
+}
+
+TEST(CasaProblem, ValidationCatchesBadEnergies) {
+  const auto g = make_graph(1, {100}, {});
+  CasaProblem p = make_problem(g, {32}, 64);
+  p.e_spm = 2.0;  // SPM worse than cache hit
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = make_problem(g, {32}, 64);
+  p.e_cache_miss = 0.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(CasaProblem, ValidationCatchesSizeMismatch) {
+  const auto g = make_graph(2, {100, 100}, {});
+  CasaProblem p = make_problem(g, {32}, 64);
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::core

@@ -1,0 +1,270 @@
+// Cross-validation of the three CASA solving engines.
+//
+// The specialized branch & bound, the generic ILP (both linearizations) and
+// a brute-force enumerator must agree on the optimal saving for random
+// instances; the greedy heuristic must be feasible and never better than
+// the optimum.
+#include <gtest/gtest.h>
+
+#include "casa/core/allocator.hpp"
+#include "casa/core/casa_branch_bound.hpp"
+#include "casa/core/formulation.hpp"
+#include "casa/core/greedy.hpp"
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::core {
+namespace {
+
+SavingsProblem random_instance(std::uint64_t seed, std::size_t items,
+                               std::size_t edges, Bytes capacity) {
+  Rng rng(seed);
+  SavingsProblem sp;
+  sp.capacity = capacity;
+  for (std::size_t k = 0; k < items; ++k) {
+    sp.object_of.push_back(MemoryObjectId(static_cast<std::uint32_t>(k)));
+    sp.value.push_back(rng.next_unit() * 50.0);
+    sp.weight.push_back(4 * (1 + rng.next_below(24)));
+    sp.all_cached_energy += sp.value.back() * 2.0;
+  }
+  for (std::size_t e = 0; e < edges && items >= 2; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(items));
+    auto b = static_cast<std::uint32_t>(rng.next_below(items));
+    if (b == a) b = (b + 1) % items;
+    sp.edges.push_back(SavingsProblem::Edge{std::min(a, b), std::max(a, b),
+                                            rng.next_unit() * 120.0});
+    sp.all_cached_energy += sp.edges.back().weight;
+  }
+  return sp;
+}
+
+Energy brute_force(const SavingsProblem& sp) {
+  const std::size_t n = sp.item_count();
+  Energy best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Bytes w = 0;
+    std::vector<bool> chosen(n, false);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mask & (1u << k)) {
+        chosen[k] = true;
+        w += sp.weight[k];
+      }
+    }
+    if (w > sp.capacity) continue;
+    best = std::max(best, sp.saving_for(chosen));
+  }
+  return best;
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineAgreementTest, SpecializedMatchesBruteForce) {
+  const SavingsProblem sp =
+      random_instance(GetParam() * 41 + 1, 12, 16, 160);
+  const CasaBranchBoundResult r = CasaBranchBound().solve(sp);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.saving, brute_force(sp), 1e-6);
+}
+
+TEST_P(EngineAgreementTest, GenericTightMatchesBruteForce) {
+  const SavingsProblem sp =
+      random_instance(GetParam() * 43 + 2, 9, 10, 120);
+  const CasaModel cm = build_casa_model(sp, Linearization::kTight);
+  const ilp::Solution sol = ilp::BranchAndBound().solve(cm.model);
+  ASSERT_EQ(sol.status, ilp::SolveStatus::kOptimal);
+  const Energy energy = cm.objective_offset + sol.objective;
+  EXPECT_NEAR(energy, sp.all_cached_energy - brute_force(sp), 1e-6);
+}
+
+TEST_P(EngineAgreementTest, PaperLinearizationMatchesTight) {
+  const SavingsProblem sp = random_instance(GetParam() * 47 + 3, 7, 8, 100);
+
+  const CasaModel paper = build_casa_model(sp, Linearization::kPaper);
+  ilp::BranchAndBoundOptions opt;
+  opt.branch_priority.assign(paper.model.var_count(), 0);
+  for (const VarId l : paper.l_vars) opt.branch_priority[l.index()] = 1;
+  const ilp::Solution ps = ilp::BranchAndBound(opt).solve(paper.model);
+  ASSERT_EQ(ps.status, ilp::SolveStatus::kOptimal);
+
+  const CasaModel tight = build_casa_model(sp, Linearization::kTight);
+  const ilp::Solution ts = ilp::BranchAndBound().solve(tight.model);
+  ASSERT_EQ(ts.status, ilp::SolveStatus::kOptimal);
+
+  EXPECT_NEAR(paper.objective_offset + ps.objective,
+              tight.objective_offset + ts.objective, 1e-6);
+}
+
+TEST_P(EngineAgreementTest, GreedyFeasibleAndNotAboveOptimum) {
+  const SavingsProblem sp =
+      random_instance(GetParam() * 53 + 4, 14, 20, 200);
+  const GreedyResult g = solve_greedy(sp);
+  Bytes w = 0;
+  for (std::size_t k = 0; k < sp.item_count(); ++k) {
+    if (g.chosen[k]) w += sp.weight[k];
+  }
+  EXPECT_LE(w, sp.capacity);
+  const CasaBranchBoundResult exact = CasaBranchBound().solve(sp);
+  EXPECT_LE(g.saving, exact.saving + 1e-9);
+  // Density greedy should be at least half decent on these instances.
+  EXPECT_GE(g.saving, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementTest, ::testing::Range(0, 12));
+
+// ------------------------------------------------------- CasaBranchBound ---
+
+TEST(CasaBranchBound, EmptyProblem) {
+  SavingsProblem sp;
+  sp.capacity = 128;
+  const CasaBranchBoundResult r = CasaBranchBound().solve(sp);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.saving, 0.0);
+}
+
+TEST(CasaBranchBound, EdgeCoveredByEitherEndpoint) {
+  SavingsProblem sp;
+  sp.capacity = 10;
+  sp.object_of = {MemoryObjectId(0), MemoryObjectId(1)};
+  sp.value = {0.0, 0.0};
+  sp.weight = {10, 10};  // only one fits
+  sp.edges = {{0, 1, 100.0}};
+  sp.all_cached_energy = 100.0;
+  const CasaBranchBoundResult r = CasaBranchBound().solve(sp);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.saving, 100.0);  // one endpoint suffices
+  EXPECT_NE(r.chosen[0], r.chosen[1]);
+}
+
+TEST(CasaBranchBound, PrefersEdgeCoverOverLinearValue) {
+  // Item 0: linear 10. Items 1,2: tiny linear but heavy mutual edge; only
+  // two of the three fit. Optimal: item 0 plus one edge endpoint.
+  SavingsProblem sp;
+  sp.capacity = 20;
+  sp.object_of = {MemoryObjectId(0), MemoryObjectId(1), MemoryObjectId(2)};
+  sp.value = {10.0, 1.0, 1.0};
+  sp.weight = {10, 10, 10};
+  sp.edges = {{1, 2, 50.0}};
+  sp.all_cached_energy = 62.0;
+  const CasaBranchBoundResult r = CasaBranchBound().solve(sp);
+  EXPECT_DOUBLE_EQ(r.saving, 10.0 + 1.0 + 50.0);
+  EXPECT_TRUE(r.chosen[0]);
+}
+
+TEST(CasaBranchBound, NodeLimitFlagsInexact) {
+  const SavingsProblem sp = random_instance(99, 20, 40, 400);
+  CasaBranchBoundOptions opt;
+  opt.max_nodes = 2;
+  const CasaBranchBoundResult r = CasaBranchBound(opt).solve(sp);
+  EXPECT_FALSE(r.exact);
+  // Incumbent is still feasible.
+  Bytes w = 0;
+  for (std::size_t k = 0; k < sp.item_count(); ++k) {
+    if (r.chosen[k]) w += sp.weight[k];
+  }
+  EXPECT_LE(w, sp.capacity);
+}
+
+// ------------------------------------------------------------- Allocator ---
+
+conflict::ConflictGraph tiny_graph() {
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(0), MemoryObjectId(1), 50},
+      {MemoryObjectId(1), MemoryObjectId(0), 60}};
+  return conflict::ConflictGraph(3, {1000, 800, 10}, {0, 0, 0},
+                                 {950, 740, 10}, std::move(edges));
+}
+
+CasaProblem tiny_problem(const conflict::ConflictGraph& g) {
+  CasaProblem p;
+  p.graph = &g;
+  p.sizes = {40, 44, 48};
+  p.capacity = 64;
+  p.e_cache_hit = 1.0;
+  p.e_cache_miss = 25.0;
+  p.e_spm = 0.4;
+  return p;
+}
+
+class AllocatorEngineTest : public ::testing::TestWithParam<CasaEngine> {};
+
+TEST_P(AllocatorEngineTest, RespectsCapacityAndReportsSaving) {
+  const auto g = tiny_graph();
+  const CasaProblem p = tiny_problem(g);
+  CasaOptions opt;
+  opt.engine = GetParam();
+  const AllocationResult r = CasaAllocator(opt).allocate(p);
+  EXPECT_LE(r.used_bytes, p.capacity);
+  EXPECT_EQ(r.on_spm.size(), 3u);
+  EXPECT_GE(r.predicted_saving, 0.0);
+  EXPECT_DOUBLE_EQ(r.predicted_energy + r.predicted_saving,
+                   presolve(p).all_cached_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, AllocatorEngineTest,
+                         ::testing::Values(CasaEngine::kSpecializedBnB,
+                                           CasaEngine::kGenericIlp,
+                                           CasaEngine::kGreedy));
+
+TEST(Allocator, ExactEnginesAgree) {
+  const auto g = tiny_graph();
+  const CasaProblem p = tiny_problem(g);
+  CasaOptions a, b;
+  a.engine = CasaEngine::kSpecializedBnB;
+  b.engine = CasaEngine::kGenericIlp;
+  const AllocationResult ra = CasaAllocator(a).allocate(p);
+  const AllocationResult rb = CasaAllocator(b).allocate(p);
+  EXPECT_NEAR(ra.predicted_energy, rb.predicted_energy, 1e-6);
+  EXPECT_TRUE(ra.exact);
+  EXPECT_TRUE(rb.exact);
+}
+
+TEST(Allocator, AutoSwitchesOnEdgeCount) {
+  const auto g = tiny_graph();
+  const CasaProblem p = tiny_problem(g);
+  CasaOptions opt;
+  opt.engine = CasaEngine::kAuto;
+  opt.generic_ilp_max_edges = 0;  // force specialized
+  EXPECT_EQ(CasaAllocator(opt).allocate(p).engine_used,
+            CasaEngine::kSpecializedBnB);
+  opt.generic_ilp_max_edges = 100;
+  EXPECT_EQ(CasaAllocator(opt).allocate(p).engine_used,
+            CasaEngine::kGenericIlp);
+}
+
+TEST(Allocator, PaperLinearizationOptionWorks) {
+  const auto g = tiny_graph();
+  const CasaProblem p = tiny_problem(g);
+  CasaOptions opt;
+  opt.engine = CasaEngine::kGenericIlp;
+  opt.linearization = Linearization::kPaper;
+  const AllocationResult r = CasaAllocator(opt).allocate(p);
+  EXPECT_TRUE(r.exact);
+  CasaOptions tight = opt;
+  tight.linearization = Linearization::kTight;
+  EXPECT_NEAR(r.predicted_energy,
+              CasaAllocator(tight).allocate(p).predicted_energy, 1e-6);
+}
+
+TEST(Allocator, ZeroCapacityPlacesNothing) {
+  const auto g = tiny_graph();
+  CasaProblem p = tiny_problem(g);
+  p.capacity = 0;
+  // All objects oversized -> fixed cached; empty savings problem.
+  const AllocationResult r = CasaAllocator().allocate(p);
+  EXPECT_EQ(r.used_bytes, 0u);
+  for (const bool b : r.on_spm) EXPECT_FALSE(b);
+}
+
+TEST(Allocator, HugeCapacityTakesAllBeneficialObjects) {
+  const auto g = tiny_graph();
+  CasaProblem p = tiny_problem(g);
+  p.capacity = 4096;
+  const AllocationResult r = CasaAllocator().allocate(p);
+  // Everything has positive fetch count -> everything saves energy.
+  EXPECT_TRUE(r.on_spm[0]);
+  EXPECT_TRUE(r.on_spm[1]);
+  EXPECT_TRUE(r.on_spm[2]);
+}
+
+}  // namespace
+}  // namespace casa::core

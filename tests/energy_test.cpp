@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "casa/energy/cache_energy.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/energy/loopcache_energy.hpp"
+#include "casa/energy/main_memory.hpp"
+#include "casa/energy/spm_energy.hpp"
+#include "casa/energy/sram_array.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::energy {
+namespace {
+
+cachesim::CacheConfig cache_cfg(Bytes size, unsigned assoc = 1) {
+  cachesim::CacheConfig c;
+  c.size = size;
+  c.line_size = 16;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(SramArray, AllStagesPositive) {
+  const SramArray a{128, 128};
+  const auto& t = arm7_tech();
+  EXPECT_GT(a.decode_energy(t), 0.0);
+  EXPECT_GT(a.wordline_energy(t), 0.0);
+  EXPECT_GT(a.bitline_read_energy(t), 0.0);
+  EXPECT_GT(a.sense_energy(t), 0.0);
+  EXPECT_GT(a.read_energy(t, 32), 0.0);
+}
+
+TEST(SramArray, ReadEnergyGrowsWithRows) {
+  const auto& t = arm7_tech();
+  const SramArray small{64, 128}, big{512, 128};
+  EXPECT_LT(small.read_energy(t, 32), big.read_energy(t, 32));
+}
+
+TEST(SramArray, ReadEnergyGrowsWithCols) {
+  const auto& t = arm7_tech();
+  const SramArray narrow{128, 32}, wide{128, 256};
+  EXPECT_LT(narrow.read_energy(t, 32), wide.read_energy(t, 32));
+}
+
+TEST(SramArray, WriteCostsMoreThanReadPerBit) {
+  const auto& t = arm7_tech();
+  const SramArray a{128, 128};
+  EXPECT_GT(a.write_energy(t, 128), a.bitline_read_energy(t));
+}
+
+TEST(CacheEnergy, MissMuchMoreExpensiveThanHit) {
+  const CacheEnergyModel m(cache_cfg(2_KiB));
+  EXPECT_GT(m.miss_energy(), 10.0 * m.hit_energy());
+  EXPECT_LT(m.miss_energy(), 200.0 * m.hit_energy());
+}
+
+TEST(CacheEnergy, HitEnergyGrowsWithSize) {
+  EXPECT_LT(CacheEnergyModel(cache_cfg(128)).hit_energy(),
+            CacheEnergyModel(cache_cfg(2_KiB)).hit_energy());
+  EXPECT_LT(CacheEnergyModel(cache_cfg(2_KiB)).hit_energy(),
+            CacheEnergyModel(cache_cfg(16_KiB)).hit_energy());
+}
+
+TEST(CacheEnergy, AssociativityCostsEnergy) {
+  EXPECT_LT(CacheEnergyModel(cache_cfg(2_KiB, 1)).hit_energy(),
+            CacheEnergyModel(cache_cfg(2_KiB, 4)).hit_energy());
+}
+
+TEST(CacheEnergy, TagBitsShrinkWithBiggerCache) {
+  const CacheEnergyModel small(cache_cfg(128));
+  const CacheEnergyModel big(cache_cfg(8_KiB));
+  EXPECT_GT(small.tag_bits(), big.tag_bits());
+}
+
+TEST(SpmEnergy, CheaperThanEqualSizedCacheHit) {
+  // The architectural claim (Banakar et al.): no tags, no comparators.
+  for (const Bytes size : {256u, 1024u, 2048u}) {
+    const SpmEnergyModel spm(size);
+    const CacheEnergyModel cache(cache_cfg(size));
+    EXPECT_LT(spm.access_energy(), cache.hit_energy())
+        << "size " << size;
+  }
+}
+
+TEST(SpmEnergy, GrowsWithSize) {
+  EXPECT_LT(SpmEnergyModel(128).access_energy(),
+            SpmEnergyModel(2_KiB).access_energy());
+}
+
+TEST(SpmEnergy, RejectsBadSizes) {
+  EXPECT_THROW(SpmEnergyModel(4), PreconditionError);
+  EXPECT_THROW(SpmEnergyModel(130), PreconditionError);
+}
+
+TEST(LoopCacheEnergy, CostsMoreThanSpmOfSameSize) {
+  // Same array + bound-comparator controller.
+  const LoopCacheEnergyModel lc(512, 4);
+  const SpmEnergyModel spm(512);
+  EXPECT_GT(lc.access_energy(), spm.access_energy());
+  EXPECT_GT(lc.controller_energy(), 0.0);
+}
+
+TEST(LoopCacheEnergy, ControllerScalesWithRegions) {
+  EXPECT_LT(LoopCacheEnergyModel(512, 2).controller_energy(),
+            LoopCacheEnergyModel(512, 8).controller_energy());
+}
+
+TEST(MainMemory, BurstScalesWithBytes) {
+  const MainMemoryModel m;
+  EXPECT_LT(m.burst_read_energy(16), m.burst_read_energy(32));
+  EXPECT_GT(m.word_read_energy(), 0.0);
+}
+
+TEST(MainMemory, DominatesOnChipAccess) {
+  const MainMemoryModel m;
+  const CacheEnergyModel cache(cache_cfg(2_KiB));
+  EXPECT_GT(m.burst_read_energy(16), 5.0 * cache.hit_energy());
+}
+
+TEST(EnergyTable, BuildsAllEntries) {
+  const EnergyTable t = EnergyTable::build(cache_cfg(2_KiB), 512, 256, 4);
+  EXPECT_GT(t.cache_hit, 0.0);
+  EXPECT_GT(t.cache_miss, t.cache_hit);
+  EXPECT_GT(t.spm_access, 0.0);
+  EXPECT_LT(t.spm_access, t.cache_hit);
+  EXPECT_GT(t.lc_access, t.spm_access);  // controller overhead
+  EXPECT_GT(t.lc_controller, 0.0);
+  EXPECT_GT(t.mainmem_word, t.cache_hit);
+}
+
+TEST(EnergyTable, OmitsAbsentComponents) {
+  const EnergyTable t = EnergyTable::build(cache_cfg(2_KiB), 0, 0, 0);
+  EXPECT_EQ(t.spm_access, 0.0);
+  EXPECT_EQ(t.lc_access, 0.0);
+}
+
+TEST(EnergyTable, PaperRegimeRatios) {
+  // The ratios the reproduction depends on (DESIGN.md §5): for the mpeg
+  // configuration, E_miss/E_hit within [20, 100] and E_sp/E_hit in
+  // [0.2, 0.8] at the paper's sizes.
+  const EnergyTable t = EnergyTable::build(cache_cfg(2_KiB), 1_KiB, 0, 0);
+  EXPECT_GE(t.cache_miss / t.cache_hit, 20.0);
+  EXPECT_LE(t.cache_miss / t.cache_hit, 100.0);
+  EXPECT_GE(t.spm_access / t.cache_hit, 0.2);
+  EXPECT_LE(t.spm_access / t.cache_hit, 0.8);
+}
+
+// Parameterized monotonicity sweep: scratchpad energy strictly increases
+// with capacity across the whole sweep range.
+class SpmSweep : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(SpmSweep, MonotoneInSize) {
+  const Bytes size = GetParam();
+  EXPECT_LT(SpmEnergyModel(size).access_energy(),
+            SpmEnergyModel(size * 2).access_energy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpmSweep,
+                         ::testing::Values<Bytes>(64, 128, 256, 512, 1024,
+                                                  2048, 4096));
+
+}  // namespace
+}  // namespace casa::energy

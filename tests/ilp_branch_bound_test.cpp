@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/ilp/model.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::ilp {
+namespace {
+
+/// Brute force over all binary assignments (for small var counts).
+double brute_force_knapsack(const std::vector<double>& profit,
+                            const std::vector<double>& weight, double cap) {
+  const std::size_t n = profit.size();
+  double best = 0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    double p = 0, w = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (1u << j)) {
+        p += profit[j];
+        w += weight[j];
+      }
+    }
+    if (w <= cap) best = std::max(best, p);
+  }
+  return best;
+}
+
+TEST(BranchAndBound, PureLpPassesThrough) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 4);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 2.0));
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-7);
+}
+
+TEST(BranchAndBound, IntegralityEnforced) {
+  // LP relaxation puts x at 0.5; ILP must pick 0 or 1.
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.add_constraint("c", LinExpr().add(x, 2.0), Rel::kLessEq, 1.0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1.0));
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 0.0, 1e-9);
+}
+
+TEST(BranchAndBound, SmallKnapsackExact) {
+  // Classic: weights 2,3,4,5 values 3,4,5,6 cap 5 -> best = 7 (2+3).
+  Model m;
+  std::vector<VarId> x;
+  const double w[] = {2, 3, 4, 5}, v[] = {3, 4, 5, 6};
+  LinExpr cap, obj;
+  for (int j = 0; j < 4; ++j) {
+    x.push_back(m.add_binary("x" + std::to_string(j)));
+    cap.add(x[j], w[j]);
+    obj.add(x[j], v[j]);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 5);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-7);
+  EXPECT_TRUE(s.value_as_bool(x[0]));
+  EXPECT_TRUE(s.value_as_bool(x[1]));
+}
+
+TEST(BranchAndBound, InfeasibleIntegerProblem) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("c1", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq, 2);
+  m.add_constraint("c2", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 1);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1));
+  EXPECT_EQ(BranchAndBound().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, MinimizationWithCover) {
+  // min x+y+z s.t. pairwise covers -> vertex cover of a triangle = 2.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  const VarId z = m.add_binary("z");
+  m.add_constraint("xy", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq, 1);
+  m.add_constraint("yz", LinExpr().add(y, 1).add(z, 1), Rel::kGreaterEq, 1);
+  m.add_constraint("xz", LinExpr().add(x, 1).add(z, 1), Rel::kGreaterEq, 1);
+  m.set_objective(Sense::kMinimize,
+                  LinExpr().add(x, 1).add(y, 1).add(z, 1));
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // Binary gate y opens capacity for continuous x: max x s.t. x <= 3y.
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 10);
+  const VarId y = m.add_binary("y");
+  m.add_constraint("gate", LinExpr().add(x, 1).add(y, -3), Rel::kLessEq, 0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, -0.5));
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-7);
+  EXPECT_TRUE(s.value_as_bool(y));
+}
+
+TEST(BranchAndBound, NodeLimitReturnsLimitStatus) {
+  Model m;
+  Rng rng(5);
+  LinExpr cap, obj;
+  std::vector<VarId> x;
+  for (int j = 0; j < 18; ++j) {
+    x.push_back(m.add_binary("x" + std::to_string(j)));
+    cap.add(x[j], 3.0 + rng.next_unit());
+    obj.add(x[j], 1.0 + rng.next_unit());
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 30);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  BranchAndBoundOptions opt;
+  opt.max_nodes = 2;
+  const Solution s = BranchAndBound(opt).solve(m);
+  EXPECT_NE(s.status, SolveStatus::kOptimal);
+}
+
+TEST(BranchAndBound, BranchPriorityStillExact) {
+  Model m;
+  std::vector<VarId> x;
+  const double w[] = {2, 3, 4, 5}, v[] = {3, 4, 5, 6};
+  LinExpr cap, obj;
+  for (int j = 0; j < 4; ++j) {
+    x.push_back(m.add_binary("x" + std::to_string(j)));
+    cap.add(x[j], w[j]);
+    obj.add(x[j], v[j]);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 7);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  BranchAndBoundOptions opt;
+  opt.branch_priority = {0, 3, 1, 2};
+  const Solution s = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-7);  // items 2+5 -> 3+6
+}
+
+/// Random knapsacks cross-checked against brute force.
+class RandomMipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMipTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const int n = 10;
+  std::vector<double> profit(n), weight(n);
+  Model m;
+  std::vector<VarId> x;
+  LinExpr cap, obj;
+  for (int j = 0; j < n; ++j) {
+    profit[j] = 1.0 + rng.next_unit() * 9.0;
+    weight[j] = 1.0 + rng.next_unit() * 9.0;
+    x.push_back(m.add_binary("x" + std::to_string(j)));
+    cap.add(x[j], weight[j]);
+    obj.add(x[j], profit[j]);
+  }
+  const double capacity = 15.0 + rng.next_unit() * 10.0;
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, capacity);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, brute_force_knapsack(profit, weight, capacity),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMipTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace casa::ilp

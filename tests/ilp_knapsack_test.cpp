@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "casa/ilp/knapsack.hpp"
+#include "casa/support/error.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::ilp {
+namespace {
+
+TEST(Knapsack, EmptyItems) {
+  const KnapsackResult r = solve_knapsack({}, 100);
+  EXPECT_EQ(r.total_profit, 0.0);
+  EXPECT_EQ(r.used_capacity, 0u);
+}
+
+TEST(Knapsack, ZeroCapacityTakesNothing) {
+  const KnapsackResult r = solve_knapsack({{5, 10.0}}, 0);
+  EXPECT_EQ(r.total_profit, 0.0);
+  EXPECT_FALSE(r.taken[0]);
+}
+
+TEST(Knapsack, ClassicInstance) {
+  const std::vector<KnapsackItem> items{{2, 3}, {3, 4}, {4, 5}, {5, 6}};
+  const KnapsackResult r = solve_knapsack(items, 5);
+  EXPECT_EQ(r.total_profit, 7.0);
+  EXPECT_TRUE(r.taken[0]);
+  EXPECT_TRUE(r.taken[1]);
+  EXPECT_EQ(r.used_capacity, 5u);
+}
+
+TEST(Knapsack, SkipsOversizedAndWorthless) {
+  const std::vector<KnapsackItem> items{
+      {100, 999.0},  // too heavy
+      {1, 0.0},      // worthless
+      {1, -5.0},     // negative
+      {2, 4.0}};
+  const KnapsackResult r = solve_knapsack(items, 10);
+  EXPECT_EQ(r.total_profit, 4.0);
+  EXPECT_FALSE(r.taken[0]);
+  EXPECT_FALSE(r.taken[1]);
+  EXPECT_FALSE(r.taken[2]);
+  EXPECT_TRUE(r.taken[3]);
+}
+
+TEST(Knapsack, TakesEverythingWhenItFits) {
+  const std::vector<KnapsackItem> items{{2, 1}, {3, 1}, {4, 1}};
+  const KnapsackResult r = solve_knapsack(items, 100);
+  EXPECT_EQ(r.total_profit, 3.0);
+  EXPECT_EQ(r.used_capacity, 9u);
+}
+
+TEST(Knapsack, BacktrackedChoiceIsConsistent) {
+  Rng rng(21);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 30; ++i) {
+    items.push_back(
+        {1 + rng.next_below(20), 1.0 + rng.next_unit() * 10.0});
+  }
+  const KnapsackResult r = solve_knapsack(items, 64);
+  double p = 0;
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (r.taken[i]) {
+      p += items[i].profit;
+      w += items[i].weight;
+    }
+  }
+  EXPECT_DOUBLE_EQ(p, r.total_profit);
+  EXPECT_EQ(w, r.used_capacity);
+  EXPECT_LE(w, 64u);
+}
+
+TEST(Knapsack, RejectsHugeCapacity) {
+  EXPECT_THROW(solve_knapsack({{1, 1.0}}, 1u << 27), PreconditionError);
+}
+
+/// Brute-force cross-check on random instances.
+class KnapsackRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = 12;
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({1 + rng.next_below(15), rng.next_unit() * 20.0 - 2.0});
+  }
+  const std::uint64_t cap = 20 + rng.next_below(20);
+  const KnapsackResult r = solve_knapsack(items, cap);
+
+  double best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double p = 0;
+    std::uint64_t w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        p += items[i].profit;
+        w += items[i].weight;
+      }
+    }
+    if (w <= cap) best = std::max(best, p);
+  }
+  EXPECT_NEAR(r.total_profit, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace casa::ilp

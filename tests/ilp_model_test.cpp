@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "casa/ilp/model.hpp"
+
+namespace casa::ilp {
+namespace {
+
+TEST(Model, VariablesGetSequentialIds) {
+  Model m;
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_continuous("b", 0, 5);
+  EXPECT_EQ(a.index(), 0u);
+  EXPECT_EQ(b.index(), 1u);
+  EXPECT_EQ(m.var_count(), 2u);
+  EXPECT_EQ(m.var(a).type, VarType::kBinary);
+  EXPECT_EQ(m.var(b).upper, 5.0);
+}
+
+TEST(Model, CrossedBoundsRejected) {
+  Model m;
+  EXPECT_THROW(m.add_continuous("x", 3, 2), PreconditionError);
+}
+
+TEST(Model, BinaryBoundsValidated) {
+  Model m;
+  EXPECT_THROW(m.add_var("x", VarType::kBinary, 0, 2), PreconditionError);
+}
+
+TEST(Model, ConstraintReferencesChecked) {
+  Model m;
+  m.add_binary("a");
+  LinExpr bad;
+  bad.add(VarId(7), 1.0);
+  EXPECT_THROW(m.add_constraint("c", std::move(bad), Rel::kLessEq, 1),
+               PreconditionError);
+}
+
+TEST(Model, ObjectiveReferencesChecked) {
+  Model m;
+  LinExpr bad;
+  bad.add(VarId(0), 1.0);
+  EXPECT_THROW(m.set_objective(Sense::kMinimize, std::move(bad)),
+               PreconditionError);
+}
+
+TEST(Model, HasIntegersDetection) {
+  Model m;
+  m.add_continuous("x", 0, 1);
+  EXPECT_FALSE(m.has_integers());
+  m.add_binary("b");
+  EXPECT_TRUE(m.has_integers());
+}
+
+TEST(LinExpr, DropsZeroCoefficients) {
+  LinExpr e;
+  e.add(VarId(0), 0.0).add(VarId(1), 2.0);
+  EXPECT_EQ(e.terms().size(), 1u);
+}
+
+TEST(LinExpr, AccumulatesConstant) {
+  LinExpr e;
+  e.add_constant(2.0).add_constant(3.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 5.0);
+}
+
+TEST(Model, ToStringContainsStructure) {
+  Model m;
+  const VarId x = m.add_binary("alloc_x");
+  m.add_constraint("cap", LinExpr().add(x, 4.0), Rel::kLessEq, 10.0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 2.5));
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("maximize"), std::string::npos);
+  EXPECT_NE(s.find("alloc_x"), std::string::npos);
+  EXPECT_NE(s.find("cap"), std::string::npos);
+  EXPECT_NE(s.find("<="), std::string::npos);
+  EXPECT_NE(s.find("(binary)"), std::string::npos);
+}
+
+TEST(Model, SolveStatusNames) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kLimit), "limit");
+}
+
+TEST(Solution, ValueAccessChecked) {
+  Solution s;
+  s.values = {0.25};
+  EXPECT_DOUBLE_EQ(s.value(VarId(0)), 0.25);
+  EXPECT_FALSE(s.value_as_bool(VarId(0)));
+  EXPECT_THROW(s.value(VarId(3)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::ilp

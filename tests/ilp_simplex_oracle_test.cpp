@@ -1,0 +1,145 @@
+// Differential oracle for the simplex: brute-force vertex enumeration.
+//
+// For random 3-variable LPs with box bounds and <= constraints, the optimum
+// (if bounded and feasible) lies at an intersection of 3 active hyperplanes
+// drawn from {constraints, bound faces}. Enumerating all such intersections,
+// filtering by feasibility and taking the best objective gives an exact
+// reference optimum to compare the simplex against.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "casa/ilp/model.hpp"
+#include "casa/ilp/simplex.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::ilp {
+namespace {
+
+constexpr int kN = 3;
+
+struct Lp {
+  // rows: a.x <= b
+  std::vector<std::array<double, kN>> a;
+  std::vector<double> b;
+  std::array<double, kN> lo{}, hi{}, c{};
+};
+
+/// Solves the 3x3 system M x = r by Cramer's rule; nullopt if singular.
+std::optional<std::array<double, kN>> solve3(
+    const std::array<std::array<double, kN>, kN>& m,
+    const std::array<double, kN>& r) {
+  const auto det3 = [](const std::array<std::array<double, kN>, kN>& q) {
+    return q[0][0] * (q[1][1] * q[2][2] - q[1][2] * q[2][1]) -
+           q[0][1] * (q[1][0] * q[2][2] - q[1][2] * q[2][0]) +
+           q[0][2] * (q[1][0] * q[2][1] - q[1][1] * q[2][0]);
+  };
+  const double d = det3(m);
+  if (std::abs(d) < 1e-9) return std::nullopt;
+  std::array<double, kN> x{};
+  for (int col = 0; col < kN; ++col) {
+    auto mc = m;
+    for (int row = 0; row < kN; ++row) mc[row][col] = r[row];
+    x[col] = det3(mc) / d;
+  }
+  return x;
+}
+
+/// Exact optimum by vertex enumeration (maximization).
+std::optional<double> brute_force_max(const Lp& lp) {
+  // Hyperplane list: constraints, then lower/upper bound faces per var.
+  std::vector<std::array<double, kN>> planes;
+  std::vector<double> rhs;
+  for (std::size_t i = 0; i < lp.a.size(); ++i) {
+    planes.push_back(lp.a[i]);
+    rhs.push_back(lp.b[i]);
+  }
+  for (int j = 0; j < kN; ++j) {
+    std::array<double, kN> e{};
+    e[j] = 1.0;
+    planes.push_back(e);
+    rhs.push_back(lp.hi[j]);
+    e[j] = -1.0;
+    planes.push_back(e);
+    rhs.push_back(-lp.lo[j]);
+  }
+
+  const auto feasible = [&lp](const std::array<double, kN>& x) {
+    for (int j = 0; j < kN; ++j) {
+      if (x[j] < lp.lo[j] - 1e-7 || x[j] > lp.hi[j] + 1e-7) return false;
+    }
+    for (std::size_t i = 0; i < lp.a.size(); ++i) {
+      double dot = 0;
+      for (int j = 0; j < kN; ++j) dot += lp.a[i][j] * x[j];
+      if (dot > lp.b[i] + 1e-7) return false;
+    }
+    return true;
+  };
+
+  std::optional<double> best;
+  const std::size_t m = planes.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      for (std::size_t k = j + 1; k < m; ++k) {
+        const auto x = solve3({planes[i], planes[j], planes[k]},
+                              {rhs[i], rhs[j], rhs[k]});
+        if (!x.has_value() || !feasible(*x)) continue;
+        double val = 0;
+        for (int v = 0; v < kN; ++v) val += lp.c[v] * (*x)[v];
+        if (!best.has_value() || val > *best) best = val;
+      }
+    }
+  }
+  return best;  // nullopt only if infeasible (box ensures boundedness)
+}
+
+class SimplexOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexOracleTest, MatchesVertexEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  Lp lp;
+  for (int j = 0; j < kN; ++j) {
+    lp.lo[j] = 0.0;
+    lp.hi[j] = 1.0 + rng.next_unit() * 9.0;
+    lp.c[j] = rng.next_unit() * 6.0 - 2.0;
+  }
+  const int rows = 2 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < rows; ++i) {
+    std::array<double, kN> a{};
+    for (int j = 0; j < kN; ++j) a[j] = rng.next_unit() * 4.0 - 1.0;
+    lp.a.push_back(a);
+    // Keep the origin feasible so the instance cannot be infeasible.
+    lp.b.push_back(0.5 + rng.next_unit() * 10.0);
+  }
+
+  Model m;
+  std::vector<VarId> x;
+  for (int j = 0; j < kN; ++j) {
+    x.push_back(m.add_continuous("x" + std::to_string(j), lp.lo[j],
+                                 lp.hi[j]));
+  }
+  for (std::size_t i = 0; i < lp.a.size(); ++i) {
+    LinExpr e;
+    for (int j = 0; j < kN; ++j) e.add(x[j], lp.a[i][j]);
+    m.add_constraint("r" + std::to_string(i), std::move(e), Rel::kLessEq,
+                     lp.b[i]);
+  }
+  LinExpr obj;
+  for (int j = 0; j < kN; ++j) obj.add(x[j], lp.c[j]);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  const Solution sol = SimplexSolver().solve_relaxation(m);
+  const std::optional<double> expected = brute_force_max(lp);
+  ASSERT_TRUE(expected.has_value());
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, *expected, 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexOracleTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace casa::ilp

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "casa/ilp/model.hpp"
+#include "casa/ilp/simplex.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::ilp {
+namespace {
+
+TEST(Simplex, TrivialBoundedMaximum) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 10);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1.0));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 10.0, 1e-9);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+}
+
+TEST(Simplex, TextbookTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj=36.
+  Model m;
+  const VarId x = m.add_continuous("x", 0, kInfinity);
+  const VarId y = m.add_continuous("y", 0, kInfinity);
+  m.add_constraint("c1", LinExpr().add(x, 1), Rel::kLessEq, 4);
+  m.add_constraint("c2", LinExpr().add(y, 2), Rel::kLessEq, 12);
+  m.add_constraint("c3", LinExpr().add(x, 3).add(y, 2), Rel::kLessEq, 18);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 3).add(y, 5));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-7);
+  EXPECT_NEAR(s.value(y), 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGreaterEq) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=8 or x in [2,10]... optimum:
+  // put everything on the cheaper x: x=10 minus... x+y>=10, minimize
+  // 2x+3y -> all x: x=10, y=0, obj=20 (x unbounded above).
+  Model m;
+  const VarId x = m.add_continuous("x", 2, kInfinity);
+  const VarId y = m.add_continuous("y", 0, kInfinity);
+  m.add_constraint("cover", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq,
+                   10);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 2).add(y, 3));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 20.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, kInfinity);
+  const VarId y = m.add_continuous("y", 0, kInfinity);
+  m.add_constraint("eq", LinExpr().add(x, 1).add(y, 1), Rel::kEqual, 7);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 2).add(y, 1));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 7.0, 1e-7);
+  EXPECT_NEAR(s.objective, 14.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 5);
+  m.add_constraint("lo", LinExpr().add(x, 1), Rel::kGreaterEq, 10);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1));
+  EXPECT_EQ(SimplexSolver().solve_relaxation(m).status,
+            SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, kInfinity);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1.0));
+  EXPECT_EQ(SimplexSolver().solve_relaxation(m).status,
+            SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NonZeroLowerBoundsShifted) {
+  Model m;
+  const VarId x = m.add_continuous("x", 3, 8);
+  const VarId y = m.add_continuous("y", 1, 4);
+  m.add_constraint("c", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 9);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, 2));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // y at 4, then x at 5.
+  EXPECT_NEAR(s.value(y), 4.0, 1e-7);
+  EXPECT_NEAR(s.value(x), 5.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y <= -2 with 0 <= x,y <= 10: feasible; max x -> x = 8 at y = 10.
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 10);
+  const VarId y = m.add_continuous("y", 0, 10);
+  m.add_constraint("c", LinExpr().add(x, 1).add(y, -1), Rel::kLessEq, -2);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 8.0, 1e-7);
+}
+
+TEST(Simplex, UpperBoundFlipPath) {
+  // Optimum requires a nonbasic variable at its upper bound.
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 3);
+  const VarId y = m.add_continuous("y", 0, 3);
+  m.add_constraint("c", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 4);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 5).add(y, 4));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 3.0, 1e-7);
+  EXPECT_NEAR(s.value(y), 1.0, 1e-7);
+  EXPECT_NEAR(s.objective, 19.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariableViaEqualBounds) {
+  Model m;
+  const VarId x = m.add_continuous("x", 2, 2);
+  const VarId y = m.add_continuous("y", 0, 10);
+  m.add_constraint("c", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 6);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, 1));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-9);
+  EXPECT_NEAR(s.value(y), 4.0, 1e-7);
+}
+
+TEST(Simplex, BoundOverridesRespected) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1.0));
+  std::vector<double> lo{1.0}, hi{1.0};
+  const Solution s = SimplexSolver().solve_relaxation(m, lo, hi);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 1.0, 1e-9);
+}
+
+TEST(Simplex, ConstraintWithConstantTerm) {
+  // (x + 3) <= 5 expressed via expr constant.
+  Model m;
+  const VarId x = m.add_continuous("x", 0, kInfinity);
+  m.add_constraint("c", LinExpr().add(x, 1).add_constant(3), Rel::kLessEq, 5);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-9);
+}
+
+TEST(Simplex, ObjectiveConstantCarried) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0, 1);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add_constant(100));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 101.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints at the same vertex (degeneracy stress).
+  Model m;
+  const VarId x = m.add_continuous("x", 0, kInfinity);
+  const VarId y = m.add_continuous("y", 0, kInfinity);
+  for (int i = 0; i < 6; ++i) {
+    m.add_constraint("r" + std::to_string(i),
+                     LinExpr().add(x, 1.0 + i * 0.0).add(y, 1.0),
+                     Rel::kLessEq, 10);
+  }
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, 1));
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-7);
+}
+
+/// Randomized LPs verified against feasibility + weak-duality style checks:
+/// the reported optimum must be feasible and no trivial improvement may
+/// exist (we verify against a dense grid of random feasible points).
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, OptimalBeatsRandomFeasiblePoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  Model m;
+  const int nv = 4;
+  std::vector<VarId> vars;
+  std::vector<double> c(nv);
+  for (int j = 0; j < nv; ++j) {
+    vars.push_back(m.add_continuous("x" + std::to_string(j), 0, 5));
+    c[j] = rng.next_unit() * 4.0 - 1.0;
+  }
+  const int nc = 3;
+  std::vector<std::vector<double>> a(nc, std::vector<double>(nv));
+  std::vector<double> b(nc);
+  for (int i = 0; i < nc; ++i) {
+    LinExpr e;
+    for (int j = 0; j < nv; ++j) {
+      a[i][j] = rng.next_unit() * 2.0;  // nonnegative -> x=0 feasible
+      e.add(vars[j], a[i][j]);
+    }
+    b[i] = 2.0 + rng.next_unit() * 8.0;
+    m.add_constraint("c" + std::to_string(i), std::move(e), Rel::kLessEq,
+                     b[i]);
+  }
+  LinExpr obj;
+  for (int j = 0; j < nv; ++j) obj.add(vars[j], c[j]);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  const Solution s = SimplexSolver().solve_relaxation(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+
+  // Feasibility of the reported point.
+  for (int i = 0; i < nc; ++i) {
+    double lhs = 0;
+    for (int j = 0; j < nv; ++j) lhs += a[i][j] * s.value(vars[j]);
+    EXPECT_LE(lhs, b[i] + 1e-6);
+  }
+  for (int j = 0; j < nv; ++j) {
+    EXPECT_GE(s.value(vars[j]), -1e-9);
+    EXPECT_LE(s.value(vars[j]), 5.0 + 1e-9);
+  }
+
+  // No random feasible point may beat it.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(nv);
+    for (int j = 0; j < nv; ++j) x[j] = rng.next_unit() * 5.0;
+    bool feasible = true;
+    for (int i = 0; i < nc && feasible; ++i) {
+      double lhs = 0;
+      for (int j = 0; j < nv; ++j) lhs += a[i][j] * x[j];
+      feasible = lhs <= b[i];
+    }
+    if (!feasible) continue;
+    double val = 0;
+    for (int j = 0; j < nv; ++j) val += c[j] * x[j];
+    EXPECT_LE(val, s.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace casa::ilp

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casa/core/allocator.hpp"
+#include "casa/io/serialize.hpp"
+
+namespace casa::io {
+namespace {
+
+conflict::ConflictGraph sample_graph() {
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(0), MemoryObjectId(1), 42},
+      {MemoryObjectId(1), MemoryObjectId(0), 17},
+      {MemoryObjectId(2), MemoryObjectId(0), 5}};
+  return conflict::ConflictGraph(3, {1000, 800, 60}, {3, 1, 2},
+                                 {955, 782, 53}, std::move(edges));
+}
+
+core::CasaProblem sample_problem(const conflict::ConflictGraph& g) {
+  core::CasaProblem p;
+  p.graph = &g;
+  p.sizes = {64, 96, 32};
+  p.capacity = 128;
+  p.e_cache_hit = 0.8;
+  p.e_cache_miss = 31.5;
+  p.e_spm = 0.3;
+  return p;
+}
+
+TEST(IoGraph, RoundTripPreservesEverything) {
+  const auto g = sample_graph();
+  std::stringstream ss;
+  write_conflict_graph(ss, g);
+  const auto g2 = read_conflict_graph(ss);
+
+  ASSERT_EQ(g2.node_count(), g.node_count());
+  ASSERT_EQ(g2.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(g2.fetches(mo), g.fetches(mo));
+    EXPECT_EQ(g2.cold_misses(mo), g.cold_misses(mo));
+    EXPECT_EQ(g2.hits(mo), g.hits(mo));
+  }
+  EXPECT_EQ(g2.miss_weight(MemoryObjectId(0), MemoryObjectId(1)), 42u);
+  EXPECT_EQ(g2.miss_weight(MemoryObjectId(1), MemoryObjectId(0)), 17u);
+}
+
+TEST(IoGraph, RejectsBadHeader) {
+  std::stringstream ss("casa-conflict-graph v999\nnodes 0\nend\n");
+  EXPECT_THROW(read_conflict_graph(ss), PreconditionError);
+}
+
+TEST(IoGraph, RejectsOutOfRangeEdge) {
+  std::stringstream ss(
+      "casa-conflict-graph v1\nnodes 1\n"
+      "node 0 fetches 1 cold 0 hits 1\nedge 0 7 3\nend\n");
+  EXPECT_THROW(read_conflict_graph(ss), PreconditionError);
+}
+
+TEST(IoGraph, RejectsMissingEnd) {
+  std::stringstream ss(
+      "casa-conflict-graph v1\nnodes 1\nnode 0 fetches 1 cold 0 hits 1\n");
+  EXPECT_THROW(read_conflict_graph(ss), PreconditionError);
+}
+
+TEST(IoGraph, RejectsNodeCountMismatch) {
+  std::stringstream ss("casa-conflict-graph v1\nnodes 2\n"
+                       "node 0 fetches 1 cold 0 hits 1\nend\n");
+  EXPECT_THROW(read_conflict_graph(ss), PreconditionError);
+}
+
+TEST(IoProblem, RoundTripSolvesIdentically) {
+  const auto g = sample_graph();
+  const auto p = sample_problem(g);
+
+  std::stringstream ss;
+  write_problem(ss, p);
+  const LoadedProblem loaded = read_problem(ss);
+
+  EXPECT_EQ(loaded.problem.capacity, p.capacity);
+  EXPECT_EQ(loaded.problem.sizes, p.sizes);
+  EXPECT_DOUBLE_EQ(loaded.problem.e_cache_hit, p.e_cache_hit);
+
+  const core::AllocationResult a = core::CasaAllocator().allocate(p);
+  const core::AllocationResult b =
+      core::CasaAllocator().allocate(loaded.problem);
+  EXPECT_EQ(a.on_spm, b.on_spm);
+  EXPECT_NEAR(a.predicted_energy, b.predicted_energy, 1e-6);
+}
+
+TEST(IoProblem, LoadedProblemOwnsItsGraph) {
+  std::stringstream ss;
+  {
+    const auto g = sample_graph();
+    write_problem(ss, sample_problem(g));
+  }  // original graph destroyed
+  const LoadedProblem loaded = read_problem(ss);
+  EXPECT_EQ(loaded.problem.graph, loaded.graph.get());
+  EXPECT_EQ(loaded.graph->node_count(), 3u);
+}
+
+TEST(IoProblem, RejectsCorruptEnergyLine) {
+  const auto g = sample_graph();
+  std::stringstream ss;
+  write_problem(ss, sample_problem(g));
+  std::string text = ss.str();
+  const auto pos = text.find("energy hit");
+  text.replace(pos, 10, "energy pot");
+  std::stringstream bad(text);
+  EXPECT_THROW(read_problem(bad), PreconditionError);
+}
+
+TEST(IoAllocation, RoundTrip) {
+  const std::vector<bool> mask{true, false, true, false, false, true};
+  std::stringstream ss;
+  write_allocation(ss, mask);
+  EXPECT_EQ(read_allocation(ss), mask);
+}
+
+TEST(IoAllocation, EmptyMask) {
+  const std::vector<bool> mask(4, false);
+  std::stringstream ss;
+  write_allocation(ss, mask);
+  EXPECT_EQ(read_allocation(ss), mask);
+}
+
+TEST(IoAllocation, RejectsIndexOutOfRange) {
+  std::stringstream ss("casa-allocation v1\nobjects 2\nspm 5\nend\n");
+  EXPECT_THROW(read_allocation(ss), PreconditionError);
+}
+
+TEST(Io, WhitespaceAndBlankLinesTolerated) {
+  const auto g = sample_graph();
+  std::stringstream ss;
+  write_conflict_graph(ss, g);
+  std::stringstream padded("\n\n" + ss.str());
+  EXPECT_NO_THROW(read_conflict_graph(padded));
+}
+
+}  // namespace
+}  // namespace casa::io

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "casa/loopcache/ross_allocator.hpp"
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::loopcache {
+namespace {
+
+using prog::FunctionScope;
+using prog::ProgramBuilder;
+
+struct TestRig {
+  prog::Program program;
+  trace::ExecutionResult exec;
+  traceopt::TraceProgram tp;
+  traceopt::Layout layout;
+  std::vector<Region> regions;
+
+  explicit TestRig(prog::Program p)
+      : program(std::move(p)),
+        exec(trace::Executor::run(program)),
+        tp(traceopt::form_traces(program, exec.profile, topts())),
+        layout(traceopt::layout_all(tp)),
+        regions(enumerate_regions(tp, layout, exec.profile)) {}
+
+  static traceopt::TraceFormationOptions topts() {
+    traceopt::TraceFormationOptions o;
+    o.max_trace_size = 256;
+    return o;
+  }
+};
+
+TestRig two_loops() {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "pre");
+    f.loop(1000, [](FunctionScope& l) { l.code(64, "hot"); });
+    f.loop(10, [](FunctionScope& l) { l.code(64, "warm"); });
+    f.call("helper");
+  });
+  b.function("helper", [](FunctionScope& f) {
+    f.loop(5, [](FunctionScope& l) { l.code(32, "h"); });
+  });
+  return TestRig(b.build());
+}
+
+TEST(Regions, EnumeratesLoopsAndFunctions) {
+  const TestRig s = two_loops();
+  // 3 loops + 2 functions.
+  EXPECT_EQ(s.regions.size(), 5u);
+  int loops = 0, funcs = 0;
+  for (const Region& r : s.regions) {
+    if (r.label.rfind("loop@", 0) == 0) ++loops;
+    if (r.label.rfind("func:", 0) == 0) ++funcs;
+  }
+  EXPECT_EQ(loops, 3);
+  EXPECT_EQ(funcs, 2);
+}
+
+TEST(Regions, FetchCountsMatchProfile) {
+  const TestRig s = two_loops();
+  for (const Region& r : s.regions) {
+    if (r.label == "func:helper") {
+      // helper: header 2w + 5*(body 8w + latch 2w) = 52 words
+      EXPECT_EQ(r.fetches, 52u);
+    }
+  }
+}
+
+TEST(Regions, RangesAreWithinLayout) {
+  const TestRig s = two_loops();
+  for (const Region& r : s.regions) {
+    EXPECT_LT(r.lo, r.hi);
+    EXPECT_LE(r.hi, s.layout.base() + s.layout.span());
+  }
+}
+
+TEST(Ross, SelectsHottestDensityFirst) {
+  const TestRig s = two_loops();
+  LoopCacheConfig cfg;
+  cfg.size = 128;
+  cfg.max_regions = 1;
+  const RossResult r = allocate_ross(s.regions, cfg);
+  ASSERT_EQ(r.selected.regions().size(), 1u);
+  // The 1000-trip loop dominates density.
+  EXPECT_GT(r.covered_fetches, 10000u);
+}
+
+TEST(Ross, RespectsRegionCountLimit) {
+  const TestRig s = two_loops();
+  LoopCacheConfig cfg;
+  cfg.size = 4096;
+  cfg.max_regions = 2;
+  const RossResult r = allocate_ross(s.regions, cfg);
+  EXPECT_LE(r.selected.regions().size(), 2u);
+}
+
+TEST(Ross, RespectsCapacity) {
+  const TestRig s = two_loops();
+  LoopCacheConfig cfg;
+  cfg.size = 96;
+  cfg.max_regions = 4;
+  const RossResult r = allocate_ross(s.regions, cfg);
+  EXPECT_LE(r.used_bytes, 96u);
+}
+
+TEST(Ross, SkipsOverlappingNestedRegions) {
+  // A function region overlaps its loops; selecting both is invalid.
+  const TestRig s = two_loops();
+  LoopCacheConfig cfg;
+  cfg.size = 8192;
+  cfg.max_regions = 8;
+  const RossResult r = allocate_ross(s.regions, cfg);
+  const auto& sel = r.selected.regions();
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    for (std::size_t j = i + 1; j < sel.size(); ++j) {
+      EXPECT_FALSE(sel[i].overlaps(sel[j]));
+    }
+  }
+}
+
+TEST(Ross, IgnoresColdRegions) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "x");
+    f.if_then(0.0, [](FunctionScope& t) {
+      t.loop(100, [](FunctionScope& l) { l.code(32, "dead"); });
+    });
+  });
+  const TestRig s{b.build()};
+  LoopCacheConfig cfg;
+  cfg.size = 4096;
+  cfg.max_regions = 4;
+  const RossResult r = allocate_ross(s.regions, cfg);
+  for (const Region& sel : r.selected.regions()) {
+    EXPECT_GT(sel.fetches, 0u);
+  }
+}
+
+TEST(RegionSet, MembershipQueries) {
+  RegionSet set({Region{0, 32, 1, "a"}, Region{64, 96, 1, "b"}});
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(31));
+  EXPECT_FALSE(set.contains(32));
+  EXPECT_FALSE(set.contains(63));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_FALSE(set.contains(96));
+  EXPECT_EQ(set.total_size(), 64u);
+}
+
+TEST(RegionSet, RejectsOverlaps) {
+  EXPECT_THROW(RegionSet({Region{0, 32, 1, "a"}, Region{16, 48, 1, "b"}}),
+               PreconditionError);
+}
+
+TEST(Region, OverlapPredicate) {
+  const Region a{0, 32, 1, "a"};
+  const Region b{32, 64, 1, "b"};
+  const Region c{16, 48, 1, "c"};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+}  // namespace
+}  // namespace casa::loopcache

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "casa/prog/builder.hpp"
+#include "casa/prog/program.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::prog {
+namespace {
+
+Program linear_program() {
+  ProgramBuilder b("linear");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "a").code(32, "b").code(48, "c");
+  });
+  return b.build();
+}
+
+TEST(Builder, LinearSequenceBlocksAndSizes) {
+  const Program p = linear_program();
+  EXPECT_EQ(p.block_count(), 3u);
+  EXPECT_EQ(p.code_size(), 96u);
+  EXPECT_EQ(p.function_count(), 1u);
+}
+
+TEST(Builder, LinearSequenceFallthroughEdges) {
+  const Program p = linear_program();
+  const auto& blocks = p.function(p.entry()).blocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(p.fallthrough_successor(blocks[0]), blocks[1]);
+  EXPECT_EQ(p.fallthrough_successor(blocks[1]), blocks[2]);
+  EXPECT_FALSE(p.fallthrough_successor(blocks[2]).valid());
+}
+
+TEST(Builder, LayoutIndexFollowsCreationOrder) {
+  const Program p = linear_program();
+  const auto& blocks = p.function(p.entry()).blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(p.block(blocks[i]).layout_index, i);
+  }
+}
+
+TEST(Builder, LoopCreatesHeaderAndLatch) {
+  ProgramBuilder b("loops");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(3, [](FunctionScope& l) { l.code(16, "body"); });
+  });
+  const Program p = b.build();
+  // header + body + latch
+  EXPECT_EQ(p.block_count(), 3u);
+  ASSERT_EQ(p.loop_regions().size(), 1u);
+  EXPECT_EQ(p.loop_regions()[0].blocks.size(), 3u);
+  EXPECT_EQ(p.loop_regions()[0].depth, 1u);
+}
+
+TEST(Builder, LoopBackEdgeIsNotFallthrough) {
+  ProgramBuilder b("loops");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(3, [](FunctionScope& l) { l.code(16, "body"); });
+  });
+  const Program p = b.build();
+  const auto& blocks = p.function(p.entry()).blocks();
+  const BasicBlockId header = blocks[0], body = blocks[1], latch = blocks[2];
+  EXPECT_EQ(p.fallthrough_successor(header), body);
+  bool found_back_edge = false;
+  for (const CfgEdge& e : p.edges()) {
+    if (e.from == latch && e.to == body) {
+      EXPECT_FALSE(e.fallthrough);
+      found_back_edge = true;
+    }
+  }
+  EXPECT_TRUE(found_back_edge);
+}
+
+TEST(Builder, NestedLoopDepths) {
+  ProgramBuilder b("nest");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(2, [](FunctionScope& outer) {
+      outer.loop(2, [](FunctionScope& inner) { inner.code(8, "x"); });
+    });
+  });
+  const Program p = b.build();
+  ASSERT_EQ(p.loop_regions().size(), 2u);
+  // Inner loop lowered first (post-order recursion).
+  EXPECT_EQ(p.loop_regions()[0].depth, 2u);
+  EXPECT_EQ(p.loop_regions()[1].depth, 1u);
+  EXPECT_GT(p.loop_regions()[1].blocks.size(),
+            p.loop_regions()[0].blocks.size());
+}
+
+TEST(Builder, IfElseEdges) {
+  ProgramBuilder b("cond");
+  b.function("main", [](FunctionScope& f) {
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(16, "then"); },
+        [](FunctionScope& e) { e.code(16, "else"); });
+    f.code(16, "join");
+  });
+  const Program p = b.build();
+  const auto& blocks = p.function(p.entry()).blocks();
+  ASSERT_EQ(blocks.size(), 4u);  // cond, then, else, join
+  const BasicBlockId cond = blocks[0], then_b = blocks[1], else_b = blocks[2],
+                     join = blocks[3];
+  EXPECT_EQ(p.fallthrough_successor(cond), then_b);
+  // then jumps over else (not fallthrough); else falls through to join.
+  for (const CfgEdge& e : p.edges()) {
+    if (e.from == then_b && e.to == join) {
+      EXPECT_FALSE(e.fallthrough);
+    }
+    if (e.from == else_b && e.to == join) {
+      EXPECT_TRUE(e.fallthrough);
+    }
+    if (e.from == cond && e.to == else_b) {
+      EXPECT_FALSE(e.fallthrough);
+    }
+  }
+}
+
+TEST(Builder, IfWithoutElseSkipEdge) {
+  ProgramBuilder b("cond");
+  b.function("main", [](FunctionScope& f) {
+    f.if_then(0.5, [](FunctionScope& t) { t.code(16, "then"); });
+    f.code(16, "join");
+  });
+  const Program p = b.build();
+  const auto& blocks = p.function(p.entry()).blocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  bool skip_edge = false;
+  for (const CfgEdge& e : p.edges()) {
+    if (e.from == blocks[0] && e.to == blocks[2]) {
+      EXPECT_FALSE(e.fallthrough);
+      skip_edge = true;
+    }
+  }
+  EXPECT_TRUE(skip_edge);
+}
+
+TEST(Builder, CallCreatesSiteAndCrossFunctionEdge) {
+  ProgramBuilder b("calls");
+  b.function("main", [](FunctionScope& f) { f.call("helper"); });
+  b.function("helper", [](FunctionScope& f) { f.code(16, "h"); });
+  const Program p = b.build();
+  EXPECT_EQ(p.function_count(), 2u);
+  const auto& main_blocks = p.function(p.entry()).blocks();
+  ASSERT_EQ(main_blocks.size(), 1u);
+  bool call_edge = false;
+  for (const CfgEdge& e : p.edges()) {
+    if (e.from == main_blocks[0] &&
+        p.block(e.to).function != p.entry()) {
+      EXPECT_FALSE(e.fallthrough);
+      call_edge = true;
+    }
+  }
+  EXPECT_TRUE(call_edge);
+}
+
+TEST(Builder, ForwardCallResolvedAtBuild) {
+  ProgramBuilder b("fwd");
+  b.function("main", [](FunctionScope& f) { f.call("later"); });
+  b.function("later", [](FunctionScope& f) { f.code(8, "x"); });
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Builder, UndefinedCalleeRejected) {
+  ProgramBuilder b("bad");
+  b.function("main", [](FunctionScope& f) { f.call("ghost"); });
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Builder, MissingEntryRejected) {
+  ProgramBuilder b("bad");
+  b.function("not_main", [](FunctionScope& f) { f.code(8, "x"); });
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Builder, DoubleDefinitionRejected) {
+  ProgramBuilder b("bad");
+  b.function("main", [](FunctionScope& f) { f.code(8, "x"); });
+  EXPECT_THROW(
+      b.function("main", [](FunctionScope& f) { f.code(8, "y"); }),
+      PreconditionError);
+}
+
+TEST(Builder, NonWordBlockSizeRejected) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(
+      b.function("main", [](FunctionScope& f) { f.code(10, "x"); }),
+      PreconditionError);
+}
+
+TEST(Builder, ZeroBlockSizeRejected) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(
+      b.function("main", [](FunctionScope& f) { f.code(0, "x"); }),
+      PreconditionError);
+}
+
+TEST(Builder, EmptyLoopBodyRejected) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(b.function("main",
+                          [](FunctionScope& f) {
+                            f.loop(3, [](FunctionScope&) {});
+                          }),
+               PreconditionError);
+}
+
+TEST(Builder, BadBranchProbabilityRejected) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(
+      b.function("main",
+                 [](FunctionScope& f) {
+                   f.if_then(1.5,
+                             [](FunctionScope& t) { t.code(8, "x"); });
+                 }),
+      PreconditionError);
+}
+
+TEST(Builder, SwitchWeightsValidated) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(
+      b.function("main",
+                 [](FunctionScope& f) {
+                   f.switch_of({0.0, 0.0},
+                               {[](FunctionScope& a) { a.code(8, "x"); },
+                                [](FunctionScope& a) { a.code(8, "y"); }});
+                 }),
+      PreconditionError);
+}
+
+TEST(Builder, SwitchArmEdgesNotFallthrough) {
+  ProgramBuilder b("sw");
+  b.function("main", [](FunctionScope& f) {
+    f.switch_of({0.5, 0.5}, {[](FunctionScope& a) { a.code(8, "a0"); },
+                             [](FunctionScope& a) { a.code(8, "a1"); }});
+    f.code(8, "join");
+  });
+  const Program p = b.build();
+  const auto& blocks = p.function(p.entry()).blocks();
+  // selector, arm0, arm1, join
+  ASSERT_EQ(blocks.size(), 4u);
+  for (const CfgEdge& e : p.edges()) {
+    if (e.from == blocks[0]) {
+      EXPECT_FALSE(e.fallthrough);
+    }
+  }
+}
+
+TEST(Builder, ControlBlockSizesConfigurable) {
+  BuilderConfig cfg;
+  cfg.loop_header_size = 16;
+  cfg.loop_latch_size = 12;
+  ProgramBuilder b("cfg", cfg);
+  b.function("main", [](FunctionScope& f) {
+    f.loop(2, [](FunctionScope& l) { l.code(8, "x"); });
+  });
+  const Program p = b.build();
+  EXPECT_EQ(p.code_size(), 16u + 12u + 8u);
+}
+
+TEST(Builder, BadControlBlockConfigRejected) {
+  BuilderConfig cfg;
+  cfg.cond_size = 10;  // not a word multiple
+  EXPECT_THROW(ProgramBuilder("bad", cfg), PreconditionError);
+}
+
+TEST(Program, OutEdgesQuery) {
+  ProgramBuilder b("q");
+  b.function("main", [](FunctionScope& f) {
+    f.if_then(0.5, [](FunctionScope& t) { t.code(8, "t"); });
+    f.code(8, "j");
+  });
+  const Program p = b.build();
+  const auto& blocks = p.function(p.entry()).blocks();
+  EXPECT_EQ(p.out_edges(blocks[0]).size(), 2u);  // then + skip
+}
+
+TEST(Program, BlockLookupBoundsChecked) {
+  const Program p = linear_program();
+  EXPECT_THROW(p.block(BasicBlockId(99)), PreconditionError);
+  EXPECT_THROW(p.function(FunctionId(99)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::prog

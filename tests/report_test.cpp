@@ -1,0 +1,106 @@
+// Workbench behaviour knobs (beyond what integration_test covers).
+#include <gtest/gtest.h>
+
+#include "casa/report/workbench.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa::report {
+namespace {
+
+TEST(Workbench, FuseRatioChangesObjectGranularity) {
+  const prog::Program program = workloads::make_adpcm();
+  WorkbenchOptions fine;
+  fine.fuse_ratio = 1.5;  // never fuse
+  WorkbenchOptions coarse;
+  coarse.fuse_ratio = 0.0;  // fuse every fallthrough
+  const Workbench wb_fine(program, fine);
+  const Workbench wb_coarse(program, coarse);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  const Outcome f = wb_fine.run_casa(cache, 128);
+  const Outcome c = wb_coarse.run_casa(cache, 128);
+  EXPECT_GT(f.object_count, c.object_count);
+}
+
+TEST(Workbench, ExecutionExposedAndStable) {
+  const prog::Program program = workloads::make_adpcm();
+  const Workbench wb(program);
+  EXPECT_GT(wb.execution().total_fetches, 0u);
+  EXPECT_EQ(wb.execution().walk.seq.size(), wb.execution().total_blocks);
+  EXPECT_EQ(&wb.program(), &program);
+}
+
+TEST(Workbench, CacheOnlyHasNoSpmTraffic) {
+  const prog::Program program = workloads::make_adpcm();
+  const Workbench wb(program);
+  const Outcome o = wb.run_cache_only(workloads::paper_cache_for("adpcm"));
+  EXPECT_EQ(o.sim.counters.spm_accesses, 0u);
+  EXPECT_EQ(o.sim.counters.lc_accesses, 0u);
+}
+
+TEST(Workbench, LoopCacheOutcomeReportsRegions) {
+  const prog::Program program = workloads::make_g721();
+  const Workbench wb(program);
+  const Outcome o =
+      wb.run_loopcache(workloads::paper_cache_for("g721"), 512, 4);
+  EXPECT_GE(o.lc_regions, 1u);
+  EXPECT_LE(o.lc_regions, 4u);
+  EXPECT_GT(o.sim.counters.lc_accesses, 0u);
+}
+
+TEST(Workbench, CasaOutcomeInternallyConsistent) {
+  const prog::Program program = workloads::make_adpcm();
+  const Workbench wb(program);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  const Outcome o = wb.run_casa(cache, 128);
+  // Objects marked on-SPM together account for the used bytes.
+  Bytes used = 0;
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < o.alloc.on_spm.size(); ++i) {
+    if (o.alloc.on_spm[i]) ++placed;
+  }
+  EXPECT_GT(placed, 0u);
+  EXPECT_EQ(o.alloc.on_spm.size(), o.object_count);
+  used = o.alloc.used_bytes;
+  EXPECT_LE(used, 128u);
+  // Energy identity against counters.
+  EXPECT_GT(o.sim.counters.spm_accesses, 0u);
+}
+
+TEST(Workbench, SteinkeCopySemanticsOptionKeepsLayout) {
+  // With steinke_moves=false the residual program is NOT compacted, so the
+  // cache-path miss pattern of untouched objects matches CASA's layout.
+  const prog::Program program = workloads::make_adpcm();
+  WorkbenchOptions copy_opt;
+  copy_opt.steinke_moves = false;
+  const Workbench wb(program, copy_opt);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  const Outcome s = wb.run_steinke(cache, 128);
+  EXPECT_EQ(s.sim.counters.total_fetches, wb.execution().total_fetches);
+}
+
+TEST(Workbench, SeedChangesProfileButNotStructure) {
+  const prog::Program program = workloads::make_adpcm();
+  WorkbenchOptions a, b;
+  a.exec_seed = 1;
+  b.exec_seed = 2;
+  const Workbench wa(program, a);
+  const Workbench wbb(program, b);
+  EXPECT_NE(wa.execution().total_fetches, wbb.execution().total_fetches);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  EXPECT_EQ(wa.run_casa(cache, 128).object_count,
+            wa.run_casa(cache, 128).object_count);
+}
+
+TEST(Workbench, SmallSpmStillWorks) {
+  // Scratchpad of a single cache line: nearly nothing fits, but the
+  // pipeline must not degenerate.
+  const prog::Program program = workloads::make_adpcm();
+  const Workbench wb(program);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  const Outcome o = wb.run_casa(cache, 16);
+  EXPECT_LE(o.alloc.used_bytes, 16u);
+  EXPECT_EQ(o.sim.counters.total_fetches, wb.execution().total_fetches);
+}
+
+}  // namespace
+}  // namespace casa::report

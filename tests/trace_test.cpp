@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+
+namespace casa::trace {
+namespace {
+
+using prog::FunctionScope;
+using prog::Program;
+using prog::ProgramBuilder;
+
+Program loop_program(std::int64_t trips) {
+  ProgramBuilder b("p");
+  b.function("main", [trips](FunctionScope& f) {
+    f.code(16, "pre");
+    f.loop(trips, [](FunctionScope& l) { l.code(32, "body"); });
+    f.code(16, "post");
+  });
+  return b.build();
+}
+
+TEST(Executor, LoopTripCountExact) {
+  const Program p = loop_program(5);
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // pre, header, body, latch, post
+  EXPECT_EQ(r.profile.count(blocks[0]), 1u);  // pre
+  EXPECT_EQ(r.profile.count(blocks[1]), 1u);  // header
+  EXPECT_EQ(r.profile.count(blocks[2]), 5u);  // body
+  EXPECT_EQ(r.profile.count(blocks[3]), 5u);  // latch
+  EXPECT_EQ(r.profile.count(blocks[4]), 1u);  // post
+}
+
+TEST(Executor, ZeroTripLoopSkipsBody) {
+  const Program p = loop_program(0);
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  EXPECT_EQ(r.profile.count(blocks[2]), 0u);
+  EXPECT_EQ(r.profile.count(blocks[1]), 1u);  // header still runs
+}
+
+TEST(Executor, FetchCountMatchesBlockSizes) {
+  const Program p = loop_program(5);
+  const ExecutionResult r = Executor::run(p);
+  // pre 4w + header 2w + 5*(body 8w + latch 2w) + post 4w = 60 words
+  EXPECT_EQ(r.total_fetches, 4u + 2u + 5u * 10u + 4u);
+  EXPECT_EQ(r.total_fetches, r.profile.total_fetches(p));
+}
+
+TEST(Executor, WalkMatchesProfile) {
+  const Program p = loop_program(7);
+  const ExecutionResult r = Executor::run(p);
+  std::vector<std::uint64_t> counts(p.block_count(), 0);
+  for (const BasicBlockId bb : r.walk.seq) ++counts[bb.index()];
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i],
+              r.profile.count(BasicBlockId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+TEST(Executor, DeterministicAcrossRuns) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(100, [](FunctionScope& l) {
+      l.if_then(0.5, [](FunctionScope& t) { t.code(8, "t"); });
+      l.code(8, "x");
+    });
+  });
+  const Program p = b.build();
+  ExecutorOptions opt;
+  opt.seed = 99;
+  const ExecutionResult a = Executor::run(p, opt);
+  const ExecutionResult bres = Executor::run(p, opt);
+  EXPECT_EQ(a.walk.seq, bres.walk.seq);
+}
+
+TEST(Executor, SeedChangesBranchOutcomes) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(200, [](FunctionScope& l) {
+      l.if_then(0.5, [](FunctionScope& t) { t.code(8, "t"); });
+      l.code(8, "x");
+    });
+  });
+  const Program p = b.build();
+  ExecutorOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  EXPECT_NE(Executor::run(p, o1).walk.seq, Executor::run(p, o2).walk.seq);
+}
+
+TEST(Executor, BranchProbabilityRespected) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(10000, [](FunctionScope& l) {
+      l.if_then(0.25, [](FunctionScope& t) { t.code(8, "taken"); });
+      l.code(8, "always");
+    });
+  });
+  const Program p = b.build();
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // blocks: header, cond, taken, always, latch
+  const double rate =
+      static_cast<double>(r.profile.count(blocks[2])) / 10000.0;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(Executor, IfElseArmsPartition) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(5000, [](FunctionScope& l) {
+      l.if_else(
+          0.6, [](FunctionScope& t) { t.code(8, "t"); },
+          [](FunctionScope& e) { e.code(8, "e"); });
+    });
+  });
+  const Program p = b.build();
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // header, cond, then, else, latch
+  EXPECT_EQ(r.profile.count(blocks[2]) + r.profile.count(blocks[3]), 5000u);
+}
+
+TEST(Executor, VariableTripLoopWithinBounds) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(50, [](FunctionScope& outer) {
+      outer.loop_between(2, 6, [](FunctionScope& l) { l.code(8, "x"); });
+    });
+  });
+  const Program p = b.build();
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // outer header, inner header, body, inner latch, outer latch
+  const std::uint64_t body = r.profile.count(blocks[2]);
+  EXPECT_GE(body, 50u * 2u);
+  EXPECT_LE(body, 50u * 6u);
+}
+
+TEST(Executor, CallsInlineCalleeWalk) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(10, [](FunctionScope& l) { l.call("helper"); });
+  });
+  b.function("helper", [](FunctionScope& f) { f.code(16, "h"); });
+  const Program p = b.build();
+  const ExecutionResult r = Executor::run(p);
+  const auto& helper_blocks = p.function(FunctionId(1)).blocks();
+  EXPECT_EQ(r.profile.count(helper_blocks[0]), 10u);
+}
+
+TEST(Executor, SwitchWeightsRoughlyRespected) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(9000, [](FunctionScope& l) {
+      l.switch_of({2.0, 1.0}, {[](FunctionScope& a) { a.code(8, "a0"); },
+                               [](FunctionScope& a) { a.code(8, "a1"); }});
+    });
+  });
+  const Program p = b.build();
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // header, selector, arm0, arm1, latch
+  const double frac =
+      static_cast<double>(r.profile.count(blocks[2])) / 9000.0;
+  EXPECT_NEAR(frac, 2.0 / 3.0, 0.03);
+}
+
+TEST(Executor, EdgeCountsConsistent) {
+  const Program p = loop_program(5);
+  const ExecutionResult r = Executor::run(p);
+  const auto& blocks = p.function(p.entry()).blocks();
+  // body -> latch traversed 5 times, latch -> body 4 times (last latch goes
+  // to post).
+  EXPECT_EQ(r.profile.edge_count(blocks[2], blocks[3]), 5u);
+  EXPECT_EQ(r.profile.edge_count(blocks[3], blocks[2]), 4u);
+  EXPECT_EQ(r.profile.edge_count(blocks[3], blocks[4]), 1u);
+}
+
+TEST(Executor, MaxBlocksGuard) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(1000000, [](FunctionScope& l) { l.code(8, "x"); });
+  });
+  const Program p = b.build();
+  ExecutorOptions opt;
+  opt.max_blocks = 1000;
+  EXPECT_THROW(Executor::run(p, opt), PreconditionError);
+}
+
+TEST(Executor, RecordWalkOffStillProfiles) {
+  const Program p = loop_program(5);
+  ExecutorOptions opt;
+  opt.record_walk = false;
+  const ExecutionResult r = Executor::run(p, opt);
+  EXPECT_TRUE(r.walk.seq.empty());
+  EXPECT_GT(r.total_fetches, 0u);
+}
+
+}  // namespace
+}  // namespace casa::trace

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::traceopt {
+namespace {
+
+using prog::FunctionScope;
+using prog::Program;
+using prog::ProgramBuilder;
+
+struct Pipeline {
+  Program program;
+  trace::ExecutionResult exec;
+
+  explicit Pipeline(Program p)
+      : program(std::move(p)), exec(trace::Executor::run(program)) {}
+
+  TraceProgram form(TraceFormationOptions opt = {}) const {
+    return form_traces(program, exec.profile, opt);
+  }
+};
+
+Pipeline hot_chain() {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(100, [](FunctionScope& l) {
+      l.code(32, "a").code(32, "b").code(32, "c");
+    });
+  });
+  return Pipeline(b.build());
+}
+
+TEST(TraceFormation, EveryBlockAssignedExactlyOnce) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  std::vector<int> seen(p.program.block_count(), 0);
+  for (const MemoryObject& mo : tp.objects()) {
+    for (const BasicBlockId bb : mo.blocks) ++seen[bb.index()];
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(TraceFormation, HotFallthroughChainFused) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  const auto& blocks = p.program.function(p.program.entry()).blocks();
+  // a, b, c all in one object (the loop body chain).
+  EXPECT_EQ(tp.object_of(blocks[1]), tp.object_of(blocks[2]));
+  EXPECT_EQ(tp.object_of(blocks[2]), tp.object_of(blocks[3]));
+}
+
+TEST(TraceFormation, PaddedToLineBoundary) {
+  const Pipeline p = hot_chain();
+  TraceFormationOptions opt;
+  opt.cache_line_size = 16;
+  const TraceProgram tp = p.form(opt);
+  for (const MemoryObject& mo : tp.objects()) {
+    EXPECT_EQ(mo.padded_size % 16, 0u);
+    EXPECT_GE(mo.padded_size, mo.raw_size);
+    EXPECT_LT(mo.padded_size - mo.raw_size, 16u);
+  }
+}
+
+TEST(TraceFormation, MaxTraceSizeRespected) {
+  const Pipeline p = hot_chain();
+  TraceFormationOptions opt;
+  opt.max_trace_size = 64;
+  const TraceProgram tp = p.form(opt);
+  for (const MemoryObject& mo : tp.objects()) {
+    if (mo.blocks.size() > 1) {
+      EXPECT_LE(mo.raw_size, 64u);
+    }
+  }
+}
+
+TEST(TraceFormation, OversizedSingleBlockBecomesOwnTrace) {
+  ProgramBuilder b("big");
+  b.function("main", [](FunctionScope& f) { f.code(256, "huge"); });
+  const Pipeline p{b.build()};
+  TraceFormationOptions opt;
+  opt.max_trace_size = 64;
+  const TraceProgram tp = p.form(opt);
+  ASSERT_EQ(tp.object_count(), 1u);
+  EXPECT_EQ(tp.objects()[0].raw_size, 256u);
+}
+
+TEST(TraceFormation, ExitJumpAddedAtCutFallthrough) {
+  // Force a cut inside a hot fallthrough chain by a tiny max trace size.
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(10, [](FunctionScope& l) { l.code(60, "a").code(60, "b"); });
+  });
+  const Pipeline p{b.build()};
+  TraceFormationOptions opt;
+  opt.max_trace_size = 64;
+  opt.cache_line_size = 16;
+  const TraceProgram tp = p.form(opt);
+  // Find the object holding "a": it was cut from its fallthrough successor,
+  // so its raw size must include the 4-byte exit jump.
+  const auto& blocks = p.program.function(p.program.entry()).blocks();
+  const MemoryObject& mo_a = tp.object(tp.object_of(blocks[1]));
+  ASSERT_EQ(mo_a.blocks.size(), 1u);
+  EXPECT_EQ(mo_a.raw_size, 64u);  // 60 + exit jump
+}
+
+TEST(TraceFormation, ColdBlocksGroupTogether) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "hot");
+    f.if_then(0.0, [](FunctionScope& t) {
+      t.code(32, "cold1").code(32, "cold2");
+    });
+    f.code(16, "hot2");
+  });
+  const Pipeline p{b.build()};
+  const TraceProgram tp = p.form();
+  const auto& blocks = p.program.function(p.program.entry()).blocks();
+  // cold1 and cold2 (never executed) fuse.
+  EXPECT_EQ(tp.object_of(blocks[2]), tp.object_of(blocks[3]));
+}
+
+TEST(TraceFormation, FuseRatioOneSplitsUnbiasedBranches) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(1000, [](FunctionScope& l) {
+      l.if_then(0.5, [](FunctionScope& t) { t.code(16, "rare"); });
+      l.code(16, "always");
+    });
+  });
+  const Pipeline p{b.build()};
+  TraceFormationOptions strict;
+  strict.fuse_ratio = 0.99;
+  TraceFormationOptions loose;
+  loose.fuse_ratio = 0.0;
+  EXPECT_GT(p.form(strict).object_count(), p.form(loose).object_count());
+}
+
+TEST(TraceFormation, FetchesAggregatePerObject) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  std::uint64_t total = 0;
+  for (const MemoryObject& mo : tp.objects()) total += mo.fetches;
+  EXPECT_EQ(total, p.exec.total_fetches);
+}
+
+TEST(TraceFormation, BlockOffsetsAreSequentialWithinObject) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  for (const MemoryObject& mo : tp.objects()) {
+    Bytes expected = 0;
+    for (const BasicBlockId bb : mo.blocks) {
+      EXPECT_EQ(tp.block_offset(bb), expected);
+      expected += p.program.block(bb).size;
+    }
+  }
+}
+
+TEST(TraceFormation, TracesNeverCrossFunctions) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "m");
+    f.call("helper");
+  });
+  b.function("helper", [](FunctionScope& f) { f.code(16, "h"); });
+  const Pipeline p{b.build()};
+  const TraceProgram tp = p.form();
+  for (const MemoryObject& mo : tp.objects()) {
+    for (const BasicBlockId bb : mo.blocks) {
+      EXPECT_EQ(p.program.block(bb).function, mo.function);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Layout ---
+
+TEST(Layout, AllObjectsPlacedContiguously) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  const Layout layout = layout_all(tp);
+  Addr cursor = 0;
+  for (const MemoryObject& mo : tp.objects()) {
+    EXPECT_EQ(layout.object_base(mo.id), cursor);
+    cursor += mo.padded_size;
+  }
+  EXPECT_EQ(layout.span(), tp.padded_code_size());
+}
+
+TEST(Layout, BlockAddressesWithinObject) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  const Layout layout = layout_all(tp);
+  for (const MemoryObject& mo : tp.objects()) {
+    for (const BasicBlockId bb : mo.blocks) {
+      const Addr a = layout.block_addr(bb);
+      EXPECT_GE(a, layout.object_base(mo.id));
+      EXPECT_LT(a, layout.object_base(mo.id) + mo.raw_size);
+    }
+  }
+}
+
+TEST(Layout, ExclusionCompacts) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  std::vector<bool> excluded(tp.object_count(), false);
+  excluded[0] = true;
+  const Layout layout = layout_excluding(tp, excluded);
+  EXPECT_FALSE(layout.placed(MemoryObjectId(0)));
+  EXPECT_EQ(layout.span(),
+            tp.padded_code_size() - tp.objects()[0].padded_size);
+  if (tp.object_count() > 1) {
+    EXPECT_EQ(layout.object_base(MemoryObjectId(1)), 0u);
+  }
+}
+
+TEST(Layout, QueryingUnplacedObjectThrows) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  std::vector<bool> excluded(tp.object_count(), false);
+  excluded[0] = true;
+  const Layout layout = layout_excluding(tp, excluded);
+  EXPECT_THROW(layout.object_base(MemoryObjectId(0)), PreconditionError);
+}
+
+TEST(Layout, NonZeroBase) {
+  const Pipeline p = hot_chain();
+  const TraceProgram tp = p.form();
+  const Layout layout = layout_all(tp, 0x8000);
+  EXPECT_EQ(layout.object_base(MemoryObjectId(0)), 0x8000u);
+}
+
+TEST(Layout, LineAlignmentPreserved) {
+  const Pipeline p = hot_chain();
+  TraceFormationOptions opt;
+  opt.cache_line_size = 16;
+  const TraceProgram tp = p.form(opt);
+  const Layout layout = layout_all(tp);
+  for (const MemoryObject& mo : tp.objects()) {
+    EXPECT_EQ(layout.object_base(mo.id) % 16, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace casa::traceopt

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "casa/memsim/two_level.hpp"
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa::memsim {
+namespace {
+
+struct Rig {
+  prog::Program program;
+  trace::ExecutionResult exec;
+  traceopt::TraceProgram tp;
+  traceopt::Layout layout;
+  cachesim::CacheConfig l1, l2;
+  TwoLevelEnergies energies;
+
+  Rig()
+      : program(workloads::make_adpcm()),
+        exec(trace::Executor::run(program)),
+        tp(traceopt::form_traces(program, exec.profile, topts())),
+        layout(traceopt::layout_all(tp)),
+        l1(workloads::paper_cache_for("adpcm")),
+        l2(make_l2()),
+        energies(TwoLevelEnergies::build(l1, l2, 128)) {}
+
+  static traceopt::TraceFormationOptions topts() {
+    traceopt::TraceFormationOptions o;
+    o.max_trace_size = 128;
+    return o;
+  }
+  static cachesim::CacheConfig make_l2() {
+    cachesim::CacheConfig c;
+    c.size = 8_KiB;
+    c.line_size = 32;
+    c.associativity = 4;
+    return c;
+  }
+};
+
+TEST(TwoLevel, CounterIdentities) {
+  const Rig rig;
+  const std::vector<bool> none(rig.tp.object_count(), false);
+  const TwoLevelReport r = simulate_spm_two_level(
+      rig.tp, rig.layout, rig.exec.walk, none, rig.l1, rig.l2, rig.energies);
+  const TwoLevelCounters& c = r.counters;
+  EXPECT_EQ(c.total_fetches, rig.exec.total_fetches);
+  EXPECT_EQ(c.total_fetches, c.spm_accesses + c.l1_hits + c.l1_misses);
+  EXPECT_EQ(c.l1_misses, c.l2_hits + c.l2_misses);
+}
+
+TEST(TwoLevel, L2MissesAreSubsetOfL1Misses) {
+  // The paper's §4 subset claim, verified literally.
+  const Rig rig;
+  const std::vector<bool> none(rig.tp.object_count(), false);
+  const TwoLevelReport r = simulate_spm_two_level(
+      rig.tp, rig.layout, rig.exec.walk, none, rig.l1, rig.l2, rig.energies);
+  EXPECT_LE(r.counters.l2_misses, r.counters.l1_misses);
+  EXPECT_GT(r.counters.l2_hits, 0u);  // the L2 actually absorbs traffic
+}
+
+TEST(TwoLevel, ReducingL1MissesReducesL2Traffic) {
+  // Place the hottest object on the SPM: L1 misses drop, and because L2
+  // accesses are exactly the L1 misses, L2 traffic drops with them.
+  const Rig rig;
+  const std::vector<bool> none(rig.tp.object_count(), false);
+  const TwoLevelReport base = simulate_spm_two_level(
+      rig.tp, rig.layout, rig.exec.walk, none, rig.l1, rig.l2, rig.energies);
+
+  std::size_t hottest = 0;
+  for (std::size_t i = 1; i < rig.tp.object_count(); ++i) {
+    if (rig.tp.objects()[i].fetches > rig.tp.objects()[hottest].fetches) {
+      hottest = i;
+    }
+  }
+  std::vector<bool> on_spm(rig.tp.object_count(), false);
+  on_spm[hottest] = true;
+  const TwoLevelReport better = simulate_spm_two_level(
+      rig.tp, rig.layout, rig.exec.walk, on_spm, rig.l1, rig.l2,
+      rig.energies);
+  EXPECT_LT(better.counters.l1_misses, base.counters.l1_misses);
+  EXPECT_LE(better.counters.l2_hits + better.counters.l2_misses,
+            base.counters.l2_hits + base.counters.l2_misses);
+  EXPECT_LT(better.total_energy, base.total_energy);
+}
+
+TEST(TwoLevel, EnergyOrdering) {
+  const Rig rig;
+  const TwoLevelEnergies& e = rig.energies;
+  EXPECT_GT(e.l1_hit, e.spm_access);
+  EXPECT_GT(e.l1_miss_l2_hit, e.l1_hit);
+  EXPECT_GT(e.l1_miss_l2_miss, e.l1_miss_l2_hit);
+  // An L2 hit must be far cheaper than going off-chip.
+  EXPECT_LT(e.l1_miss_l2_hit, 0.5 * e.l1_miss_l2_miss);
+}
+
+TEST(TwoLevel, ValidatesGeometry) {
+  const Rig rig;
+  const std::vector<bool> none(rig.tp.object_count(), false);
+  cachesim::CacheConfig bad_l2 = rig.l2;
+  bad_l2.size = 64;  // smaller than L1
+  EXPECT_THROW(
+      simulate_spm_two_level(rig.tp, rig.layout, rig.exec.walk, none, rig.l1,
+                             bad_l2, rig.energies),
+      PreconditionError);
+}
+
+TEST(TwoLevel, BigL2AbsorbsAlmostEverything) {
+  // An L2 big enough to hold the whole program leaves only cold misses.
+  const Rig rig;
+  cachesim::CacheConfig huge = rig.l2;
+  huge.size = 64_KiB;
+  const std::vector<bool> none(rig.tp.object_count(), false);
+  const TwoLevelReport r = simulate_spm_two_level(
+      rig.tp, rig.layout, rig.exec.walk, none, rig.l1, huge, rig.energies);
+  // Cold misses only: bounded by the number of L2 lines the image spans.
+  EXPECT_LE(r.counters.l2_misses, rig.layout.span() / huge.line_size + 1);
+}
+
+}  // namespace
+}  // namespace casa::memsim

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/wcet/block_costs.hpp"
+#include "casa/wcet/wcet.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa::wcet {
+namespace {
+
+using prog::FunctionScope;
+using prog::ProgramBuilder;
+
+std::vector<std::uint64_t> unit_costs(const prog::Program& p) {
+  std::vector<std::uint64_t> c(p.block_count());
+  for (const auto& b : p.blocks()) c[b.id.index()] = b.size / kWordBytes;
+  return c;
+}
+
+TEST(Structural, StraightLine) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) { f.code(16, "a").code(32, "b"); });
+  const prog::Program p = b.build();
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 4u + 8u);
+}
+
+TEST(Structural, LoopMultipliesBody) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(10, [](FunctionScope& l) { l.code(40, "body"); });
+  });
+  const prog::Program p = b.build();
+  // header 2w + 10 * (body 10w + latch 2w)
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 2u + 10u * 12u);
+}
+
+TEST(Structural, VariableTripUsesMax) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop_between(2, 7, [](FunctionScope& l) { l.code(40, "body"); });
+  });
+  const prog::Program p = b.build();
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 2u + 7u * 12u);
+}
+
+TEST(Structural, BranchTakesWorstArm) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.if_else(
+        0.5, [](FunctionScope& t) { t.code(16, "small"); },
+        [](FunctionScope& e) { e.code(160, "big"); });
+  });
+  const prog::Program p = b.build();
+  // cond 2w + max(4, 40)
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 2u + 40u);
+}
+
+TEST(Structural, SwitchTakesWorstArm) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.switch_of({0.9, 0.1}, {[](FunctionScope& a) { a.code(8, "s"); },
+                             [](FunctionScope& a) { a.code(80, "l"); }});
+  });
+  const prog::Program p = b.build();
+  // selector 3w + max(2, 20)
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 3u + 20u);
+}
+
+TEST(Structural, CallsFoldCalleeBound) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.loop(5, [](FunctionScope& l) { l.call("helper"); });
+  });
+  b.function("helper", [](FunctionScope& f) { f.code(40, "h"); });
+  const prog::Program p = b.build();
+  // header 2 + 5 * (site 2 + helper 10 + latch 2)
+  EXPECT_EQ(structural_wcet(p, unit_costs(p)), 2u + 5u * 14u);
+}
+
+TEST(Ipet, MatchesStructuralOnHandBuiltPrograms) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) {
+    f.code(16, "pre");
+    f.loop(8, [](FunctionScope& l) {
+      l.if_else(
+          0.5, [](FunctionScope& t) { t.code(64, "t"); },
+          [](FunctionScope& e) { e.code(16, "e"); });
+      l.call("leaf");
+    });
+    f.switch_of({1.0, 1.0, 1.0},
+                {[](FunctionScope& a) { a.code(8, "a0"); },
+                 [](FunctionScope& a) { a.code(24, "a1"); },
+                 [](FunctionScope& a) { a.code(16, "a2"); }});
+  });
+  b.function("leaf", [](FunctionScope& f) {
+    f.loop_between(1, 3, [](FunctionScope& l) { l.code(20, "x"); });
+  });
+  const prog::Program p = b.build();
+  const auto costs = unit_costs(p);
+  EXPECT_EQ(ipet_wcet(p, costs), structural_wcet(p, costs));
+}
+
+class WorkloadDifferentialTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadDifferentialTest, IpetEqualsStructural) {
+  // Differential oracle on real-sized programs: the LP path enumeration and
+  // the AST recursion must produce the same bound.
+  const prog::Program p = workloads::by_name(GetParam());
+  const auto costs = unit_costs(p);
+  EXPECT_EQ(ipet_wcet(p, costs), structural_wcet(p, costs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadDifferentialTest,
+                         ::testing::Values("adpcm", "g721", "epic",
+                                           "pegwit"));
+
+TEST(Wcet, BoundDominatesObservedExecution) {
+  // Soundness: the always-miss WCET bound must exceed the cycles of any
+  // simulated run (which enjoys cache hits).
+  const prog::Program p = workloads::make_adpcm();
+  const auto exec = trace::Executor::run(p);
+  traceopt::TraceFormationOptions topt;
+  topt.max_trace_size = 128;
+  const auto tp = traceopt::form_traces(p, exec.profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  const auto energies = energy::EnergyTable::build(cache, 128, 0, 0);
+
+  const std::vector<bool> none(tp.object_count(), false);
+  const memsim::SimReport sim = memsim::simulate_spm_system(
+      tp, layout, exec.walk, none, cache, energies);
+
+  BlockCostOptions opt;
+  opt.cache = cache;
+  const auto costs = block_cycle_costs(tp, layout, none, opt);
+  EXPECT_GE(structural_wcet(p, costs), sim.counters.cycles);
+}
+
+TEST(Wcet, ScratchpadTightensTheBound) {
+  // The paper's motivation: SPM-resident code has deterministic latency, so
+  // a sound bound drops when hot objects move to the scratchpad.
+  const prog::Program p = workloads::make_adpcm();
+  const auto exec = trace::Executor::run(p);
+  traceopt::TraceFormationOptions topt;
+  topt.max_trace_size = 256;
+  const auto tp = traceopt::form_traces(p, exec.profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  const auto cache = workloads::paper_cache_for("adpcm");
+
+  BlockCostOptions opt;
+  opt.cache = cache;
+  const std::vector<bool> none(tp.object_count(), false);
+  const auto base = block_cycle_costs(tp, layout, none, opt);
+
+  std::vector<bool> all(tp.object_count(), true);
+  const auto spm = block_cycle_costs(tp, layout, all, opt);
+
+  EXPECT_LT(structural_wcet(p, spm), structural_wcet(p, base));
+}
+
+TEST(Wcet, AlwaysHitIsFloor) {
+  const prog::Program p = workloads::make_epic();
+  const auto exec = trace::Executor::run(p);
+  traceopt::TraceFormationOptions topt;
+  const auto tp = traceopt::form_traces(p, exec.profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  BlockCostOptions opt;
+  opt.cache = workloads::paper_cache_for("epic");
+  const std::vector<bool> none(tp.object_count(), false);
+  opt.assumption = CacheAssumption::kAlwaysHit;
+  const auto hit = block_cycle_costs(tp, layout, none, opt);
+  opt.assumption = CacheAssumption::kAlwaysMiss;
+  const auto miss = block_cycle_costs(tp, layout, none, opt);
+  EXPECT_LT(structural_wcet(p, hit), structural_wcet(p, miss));
+}
+
+TEST(BlockCosts, SpmCostIsPerWord) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) { f.code(64, "x"); });
+  const prog::Program p = b.build();
+  const auto exec = trace::Executor::run(p);
+  const auto tp = traceopt::form_traces(p, exec.profile, {});
+  const auto layout = traceopt::layout_all(tp);
+  BlockCostOptions opt;
+  opt.cache.size = 128;
+  opt.cache.line_size = 16;
+  const std::vector<bool> all(tp.object_count(), true);
+  const auto costs = block_cycle_costs(tp, layout, all, opt);
+  EXPECT_EQ(costs[0], 16u * opt.latency.spm_access);
+}
+
+TEST(BlockCosts, AlwaysMissChargesPerLine) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) { f.code(64, "x"); });
+  const prog::Program p = b.build();
+  const auto exec = trace::Executor::run(p);
+  const auto tp = traceopt::form_traces(p, exec.profile, {});
+  const auto layout = traceopt::layout_all(tp);
+  BlockCostOptions opt;
+  opt.cache.size = 128;
+  opt.cache.line_size = 16;
+  const std::vector<bool> none(tp.object_count(), false);
+  const auto costs = block_cycle_costs(tp, layout, none, opt);
+  const memsim::LatencyParams lat;
+  // 16 words hit cost + 4 lines * (base + 4 words transfer)
+  EXPECT_EQ(costs[0], 16u * lat.cache_hit +
+                          4u * (lat.miss_base_penalty +
+                                4u * lat.miss_per_word));
+}
+
+TEST(Wcet, RejectsRecursion) {
+  ProgramBuilder b("p");
+  b.function("main", [](FunctionScope& f) { f.call("a"); });
+  b.function("a", [](FunctionScope& f) {
+    f.code(8, "x");
+    f.if_then(0.1, [](FunctionScope& t) { t.call("a"); });
+  });
+  const prog::Program p = b.build();
+  std::vector<std::uint64_t> costs(p.block_count(), 1);
+  EXPECT_THROW(structural_wcet(p, costs), PreconditionError);
+  EXPECT_THROW(ipet_wcet(p, costs), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::wcet

@@ -1,0 +1,187 @@
+// casa_cli — run any allocation experiment from the command line.
+//
+//   casa_cli --workload=mpeg --technique=casa --spm=512
+//   casa_cli --workload=g721 --cache=1024 --assoc=2 --policy=fifo
+//            --technique=steinke --spm=256 --csv
+//   casa_cli --workload=adpcm --technique=loopcache --spm=256 --lc-regions=4
+//   casa_cli --workload=mpeg --technique=casa --spm=512 --dot=conflicts.dot
+//
+// Techniques: none (cache only), casa, greedy (CASA objective, heuristic
+// solver), steinke, loopcache. Prints a human-readable report or, with
+// --csv, a single comma-separated row (with a header comment) suitable for
+// scripting sweeps.
+#include <fstream>
+#include <iostream>
+
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/io/serialize.hpp"
+#include "casa/report/workbench.hpp"
+#include "casa/support/args.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+using namespace casa;
+
+namespace {
+
+cachesim::ReplacementPolicy policy_from(const std::string& name) {
+  if (name == "lru") return cachesim::ReplacementPolicy::kLru;
+  if (name == "fifo") return cachesim::ReplacementPolicy::kFifo;
+  if (name == "rr") return cachesim::ReplacementPolicy::kRoundRobin;
+  if (name == "random") return cachesim::ReplacementPolicy::kRandom;
+  throw PreconditionError("unknown --policy: " + name +
+                          " (lru|fifo|rr|random)");
+}
+
+int run(ArgParser& args) {
+  const std::string workload =
+      args.get("workload", "adpcm", "adpcm|g721|mpeg|epic|pegwit|gsm|jpeg");
+  const std::string technique =
+      args.get("technique", "casa", "none|casa|greedy|steinke|loopcache");
+  const std::uint64_t cache_size =
+      args.get_u64("cache", 0, "I-cache bytes (0 = paper default)");
+  const std::uint64_t assoc = args.get_u64("assoc", 1, "associativity");
+  const std::string policy =
+      args.get("policy", "lru", "replacement: lru|fifo|rr|random");
+  const std::uint64_t spm =
+      args.get_u64("spm", 256, "scratchpad / loop-cache bytes");
+  const std::uint64_t lc_regions =
+      args.get_u64("lc-regions", 4, "loop-cache preloadable regions");
+  const std::uint64_t seed = args.get_u64("seed", 42, "profiling seed");
+  const double fuse = args.get_double("fuse-ratio", 0.5,
+                                      "trace formation fusion threshold");
+  const bool csv = args.get_flag("csv", "emit one CSV row");
+  const std::string dot =
+      args.get("dot", "", "write the conflict graph to this DOT file");
+  const std::string save_problem = args.get(
+      "save-problem", "",
+      "write the allocator input (casa-problem v1) to this file");
+
+  if (args.help_requested()) {
+    std::cout << "casa_cli options:\n" << args.help();
+    return 0;
+  }
+  const auto unknown = args.unknown_keys();
+  if (!unknown.empty()) {
+    std::cerr << "unknown options:";
+    for (const auto& k : unknown) std::cerr << " --" << k;
+    std::cerr << "\nrun with --help for usage\n";
+    return 2;
+  }
+
+  const prog::Program program = workloads::by_name(workload);
+  report::WorkbenchOptions wopt;
+  wopt.exec_seed = seed;
+  wopt.fuse_ratio = fuse;
+  const report::Workbench bench(program, wopt);
+
+  cachesim::CacheConfig cache = workloads::paper_cache_for(workload);
+  if (cache_size != 0) cache.size = cache_size;
+  cache.associativity = static_cast<unsigned>(assoc);
+  cache.policy = policy_from(policy);
+  cache.validate();
+
+  report::Outcome outcome;
+  if (technique == "none") {
+    outcome = bench.run_cache_only(cache);
+  } else if (technique == "casa") {
+    outcome = bench.run_casa(cache, spm);
+  } else if (technique == "greedy") {
+    core::CasaOptions copt;
+    copt.engine = core::CasaEngine::kGreedy;
+    outcome = bench.run_casa(cache, spm, copt);
+  } else if (technique == "steinke") {
+    outcome = bench.run_steinke(cache, spm);
+  } else if (technique == "loopcache") {
+    outcome = bench.run_loopcache(cache, spm,
+                                  static_cast<unsigned>(lc_regions));
+  } else {
+    throw PreconditionError("unknown --technique: " + technique);
+  }
+
+  if (!save_problem.empty()) {
+    traceopt::TraceFormationOptions topt;
+    topt.cache_line_size = cache.line_size;
+    topt.max_trace_size = std::max<Bytes>(spm, cache.line_size);
+    topt.fuse_ratio = fuse;
+    const auto tp =
+        traceopt::form_traces(program, bench.execution().profile, topt);
+    const auto layout = traceopt::layout_all(tp);
+    conflict::BuildOptions bopt;
+    bopt.cache = cache;
+    const auto graph = conflict::build_conflict_graph(
+        tp, layout, bench.execution().walk, bopt);
+    const auto energies = energy::EnergyTable::build(cache, spm, 0, 0);
+    const auto problem = core::CasaProblem::from(tp, graph, energies, spm);
+    std::ofstream out(save_problem);
+    CASA_CHECK(out.good(), "cannot open output file: " + save_problem);
+    io::write_problem(out, problem);
+    std::cerr << "allocator input written to " << save_problem << "\n";
+  }
+
+  if (!dot.empty()) {
+    traceopt::TraceFormationOptions topt;
+    topt.cache_line_size = cache.line_size;
+    topt.max_trace_size = std::max<Bytes>(spm, cache.line_size);
+    topt.fuse_ratio = fuse;
+    const auto tp =
+        traceopt::form_traces(program, bench.execution().profile, topt);
+    const auto layout = traceopt::layout_all(tp);
+    conflict::BuildOptions bopt;
+    bopt.cache = cache;
+    const auto graph = conflict::build_conflict_graph(
+        tp, layout, bench.execution().walk, bopt);
+    std::ofstream out(dot);
+    CASA_CHECK(out.good(), "cannot open DOT output file: " + dot);
+    out << graph.to_dot();
+    std::cerr << "conflict graph (" << graph.node_count() << " nodes, "
+              << graph.edge_count() << " edges) written to " << dot << "\n";
+  }
+
+  const auto& c = outcome.sim.counters;
+  if (csv) {
+    std::cout << "# workload,technique,cache,assoc,policy,spm,energy_uJ,"
+                 "fetches,spm_acc,lc_acc,hits,misses,cycles\n"
+              << workload << ',' << technique << ',' << cache.size << ','
+              << cache.associativity << ',' << policy << ',' << spm << ','
+              << to_micro_joules(outcome.sim.total_energy) << ','
+              << c.total_fetches << ',' << c.spm_accesses << ','
+              << c.lc_accesses << ',' << c.cache_hits << ','
+              << c.cache_misses << ',' << c.cycles << '\n';
+    return 0;
+  }
+
+  std::cout << workload << " / " << technique << " — cache " << cache.size
+            << "B " << cache.associativity << "-way "
+            << cachesim::to_string(cache.policy) << ", spm/lc " << spm
+            << "B\n"
+            << "  energy        " << to_micro_joules(outcome.sim.total_energy)
+            << " uJ\n"
+            << "  fetches       " << c.total_fetches << " (spm "
+            << c.spm_accesses << ", lc " << c.lc_accesses << ", cache "
+            << c.cache_accesses << ")\n"
+            << "  cache misses  " << c.cache_misses << "\n"
+            << "  cycles        " << c.cycles << "\n";
+  if (technique == "casa" || technique == "greedy") {
+    std::cout << "  allocation    " << outcome.alloc.used_bytes << "/" << spm
+              << " B via " << core::to_string(outcome.alloc.engine_used)
+              << " (" << (outcome.alloc.exact ? "optimal" : "heuristic")
+              << ", " << outcome.alloc.solver_nodes << " nodes, "
+              << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
