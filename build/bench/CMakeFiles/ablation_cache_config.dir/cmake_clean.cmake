@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_config.dir/ablation_cache_config.cpp.o"
+  "CMakeFiles/ablation_cache_config.dir/ablation_cache_config.cpp.o.d"
+  "ablation_cache_config"
+  "ablation_cache_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loopcache_capacity.dir/ablation_loopcache_capacity.cpp.o"
+  "CMakeFiles/ablation_loopcache_capacity.dir/ablation_loopcache_capacity.cpp.o.d"
+  "ablation_loopcache_capacity"
+  "ablation_loopcache_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loopcache_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

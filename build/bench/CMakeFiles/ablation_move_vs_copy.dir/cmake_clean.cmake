@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_move_vs_copy.dir/ablation_move_vs_copy.cpp.o"
+  "CMakeFiles/ablation_move_vs_copy.dir/ablation_move_vs_copy.cpp.o.d"
+  "ablation_move_vs_copy"
+  "ablation_move_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_move_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_throughput.dir/cachesim_throughput.cpp.o"
+  "CMakeFiles/cachesim_throughput.dir/cachesim_throughput.cpp.o.d"
+  "cachesim_throughput"
+  "cachesim_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

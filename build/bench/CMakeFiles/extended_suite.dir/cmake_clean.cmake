@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_suite.dir/extended_suite.cpp.o"
+  "CMakeFiles/extended_suite.dir/extended_suite.cpp.o.d"
+  "extended_suite"
+  "extended_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_casa_vs_steinke.dir/fig4_casa_vs_steinke.cpp.o"
+  "CMakeFiles/fig4_casa_vs_steinke.dir/fig4_casa_vs_steinke.cpp.o.d"
+  "fig4_casa_vs_steinke"
+  "fig4_casa_vs_steinke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_casa_vs_steinke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

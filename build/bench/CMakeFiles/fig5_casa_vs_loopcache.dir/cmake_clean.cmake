@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_casa_vs_loopcache.dir/fig5_casa_vs_loopcache.cpp.o"
+  "CMakeFiles/fig5_casa_vs_loopcache.dir/fig5_casa_vs_loopcache.cpp.o.d"
+  "fig5_casa_vs_loopcache"
+  "fig5_casa_vs_loopcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_casa_vs_loopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ilp_runtime.cpp" "bench/CMakeFiles/ilp_runtime.dir/ilp_runtime.cpp.o" "gcc" "bench/CMakeFiles/ilp_runtime.dir/ilp_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/report/CMakeFiles/casa_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/core/CMakeFiles/casa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/conflict/CMakeFiles/casa_conflict.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/baseline/CMakeFiles/casa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/ilp/CMakeFiles/casa_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/memsim/CMakeFiles/casa_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/loopcache/CMakeFiles/casa_loopcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/energy/CMakeFiles/casa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/traceopt/CMakeFiles/casa_traceopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/trace/CMakeFiles/casa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/workloads/CMakeFiles/casa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/prog/CMakeFiles/casa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/cachesim/CMakeFiles/casa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_runtime.dir/ilp_runtime.cpp.o"
+  "CMakeFiles/ilp_runtime.dir/ilp_runtime.cpp.o.d"
+  "ilp_runtime"
+  "ilp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

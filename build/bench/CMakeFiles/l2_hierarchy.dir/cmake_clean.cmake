@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2_hierarchy.dir/l2_hierarchy.cpp.o"
+  "CMakeFiles/l2_hierarchy.dir/l2_hierarchy.cpp.o.d"
+  "l2_hierarchy"
+  "l2_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_vs_static.dir/overlay_vs_static.cpp.o"
+  "CMakeFiles/overlay_vs_static.dir/overlay_vs_static.cpp.o.d"
+  "overlay_vs_static"
+  "overlay_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

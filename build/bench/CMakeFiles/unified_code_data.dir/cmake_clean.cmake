@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_code_data.dir/unified_code_data.cpp.o"
+  "CMakeFiles/unified_code_data.dir/unified_code_data.cpp.o.d"
+  "unified_code_data"
+  "unified_code_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_code_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_bound.dir/wcet_bound.cpp.o"
+  "CMakeFiles/wcet_bound.dir/wcet_bound.cpp.o.d"
+  "wcet_bound"
+  "wcet_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

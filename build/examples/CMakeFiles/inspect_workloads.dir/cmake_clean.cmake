@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_workloads.dir/inspect_workloads.cpp.o"
+  "CMakeFiles/inspect_workloads.dir/inspect_workloads.cpp.o.d"
+  "inspect_workloads"
+  "inspect_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

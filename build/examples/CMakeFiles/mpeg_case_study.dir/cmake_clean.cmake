@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_case_study.dir/mpeg_case_study.cpp.o"
+  "CMakeFiles/mpeg_case_study.dir/mpeg_case_study.cpp.o.d"
+  "mpeg_case_study"
+  "mpeg_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_scratchpad.dir/multi_scratchpad.cpp.o"
+  "CMakeFiles/multi_scratchpad.dir/multi_scratchpad.cpp.o.d"
+  "multi_scratchpad"
+  "multi_scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_phases.dir/overlay_phases.cpp.o"
+  "CMakeFiles/overlay_phases.dir/overlay_phases.cpp.o.d"
+  "overlay_phases"
+  "overlay_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

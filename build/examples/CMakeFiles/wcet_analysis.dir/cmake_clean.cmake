@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_analysis.dir/wcet_analysis.cpp.o"
+  "CMakeFiles/wcet_analysis.dir/wcet_analysis.cpp.o.d"
+  "wcet_analysis"
+  "wcet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("casa/support")
+subdirs("casa/prog")
+subdirs("casa/trace")
+subdirs("casa/traceopt")
+subdirs("casa/cachesim")
+subdirs("casa/conflict")
+subdirs("casa/energy")
+subdirs("casa/placement")
+subdirs("casa/ilp")
+subdirs("casa/core")
+subdirs("casa/io")
+subdirs("casa/baseline")
+subdirs("casa/loopcache")
+subdirs("casa/memsim")
+subdirs("casa/data")
+subdirs("casa/overlay")
+subdirs("casa/wcet")
+subdirs("casa/workloads")
+subdirs("casa/report")

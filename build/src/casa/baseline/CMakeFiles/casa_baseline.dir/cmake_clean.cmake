@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_baseline.dir/steinke.cpp.o"
+  "CMakeFiles/casa_baseline.dir/steinke.cpp.o.d"
+  "libcasa_baseline.a"
+  "libcasa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

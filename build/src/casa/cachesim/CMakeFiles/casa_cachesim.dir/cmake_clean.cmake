@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/casa_cachesim.dir/cache.cpp.o.d"
+  "libcasa_cachesim.a"
+  "libcasa_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_conflict.dir/conflict_graph.cpp.o"
+  "CMakeFiles/casa_conflict.dir/conflict_graph.cpp.o.d"
+  "CMakeFiles/casa_conflict.dir/graph_builder.cpp.o"
+  "CMakeFiles/casa_conflict.dir/graph_builder.cpp.o.d"
+  "libcasa_conflict.a"
+  "libcasa_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

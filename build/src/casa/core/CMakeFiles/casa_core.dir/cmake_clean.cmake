@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_core.dir/allocator.cpp.o"
+  "CMakeFiles/casa_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/casa_core.dir/casa_branch_bound.cpp.o"
+  "CMakeFiles/casa_core.dir/casa_branch_bound.cpp.o.d"
+  "CMakeFiles/casa_core.dir/formulation.cpp.o"
+  "CMakeFiles/casa_core.dir/formulation.cpp.o.d"
+  "CMakeFiles/casa_core.dir/greedy.cpp.o"
+  "CMakeFiles/casa_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/casa_core.dir/multi_spm.cpp.o"
+  "CMakeFiles/casa_core.dir/multi_spm.cpp.o.d"
+  "CMakeFiles/casa_core.dir/problem.cpp.o"
+  "CMakeFiles/casa_core.dir/problem.cpp.o.d"
+  "libcasa_core.a"
+  "libcasa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_data.dir/data_model.cpp.o"
+  "CMakeFiles/casa_data.dir/data_model.cpp.o.d"
+  "CMakeFiles/casa_data.dir/data_sim.cpp.o"
+  "CMakeFiles/casa_data.dir/data_sim.cpp.o.d"
+  "CMakeFiles/casa_data.dir/unified_alloc.cpp.o"
+  "CMakeFiles/casa_data.dir/unified_alloc.cpp.o.d"
+  "libcasa_data.a"
+  "libcasa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

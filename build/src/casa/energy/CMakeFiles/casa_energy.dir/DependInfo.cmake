@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/energy/cache_energy.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/cache_energy.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/cache_energy.cpp.o.d"
+  "/root/repo/src/casa/energy/energy_table.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/energy_table.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/energy_table.cpp.o.d"
+  "/root/repo/src/casa/energy/loopcache_energy.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/loopcache_energy.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/loopcache_energy.cpp.o.d"
+  "/root/repo/src/casa/energy/main_memory.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/main_memory.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/main_memory.cpp.o.d"
+  "/root/repo/src/casa/energy/spm_energy.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/spm_energy.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/spm_energy.cpp.o.d"
+  "/root/repo/src/casa/energy/sram_array.cpp" "src/casa/energy/CMakeFiles/casa_energy.dir/sram_array.cpp.o" "gcc" "src/casa/energy/CMakeFiles/casa_energy.dir/sram_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/cachesim/CMakeFiles/casa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_energy.dir/cache_energy.cpp.o"
+  "CMakeFiles/casa_energy.dir/cache_energy.cpp.o.d"
+  "CMakeFiles/casa_energy.dir/energy_table.cpp.o"
+  "CMakeFiles/casa_energy.dir/energy_table.cpp.o.d"
+  "CMakeFiles/casa_energy.dir/loopcache_energy.cpp.o"
+  "CMakeFiles/casa_energy.dir/loopcache_energy.cpp.o.d"
+  "CMakeFiles/casa_energy.dir/main_memory.cpp.o"
+  "CMakeFiles/casa_energy.dir/main_memory.cpp.o.d"
+  "CMakeFiles/casa_energy.dir/spm_energy.cpp.o"
+  "CMakeFiles/casa_energy.dir/spm_energy.cpp.o.d"
+  "CMakeFiles/casa_energy.dir/sram_array.cpp.o"
+  "CMakeFiles/casa_energy.dir/sram_array.cpp.o.d"
+  "libcasa_energy.a"
+  "libcasa_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

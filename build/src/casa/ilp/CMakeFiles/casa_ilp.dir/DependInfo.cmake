@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/ilp/branch_bound.cpp" "src/casa/ilp/CMakeFiles/casa_ilp.dir/branch_bound.cpp.o" "gcc" "src/casa/ilp/CMakeFiles/casa_ilp.dir/branch_bound.cpp.o.d"
+  "/root/repo/src/casa/ilp/knapsack.cpp" "src/casa/ilp/CMakeFiles/casa_ilp.dir/knapsack.cpp.o" "gcc" "src/casa/ilp/CMakeFiles/casa_ilp.dir/knapsack.cpp.o.d"
+  "/root/repo/src/casa/ilp/model.cpp" "src/casa/ilp/CMakeFiles/casa_ilp.dir/model.cpp.o" "gcc" "src/casa/ilp/CMakeFiles/casa_ilp.dir/model.cpp.o.d"
+  "/root/repo/src/casa/ilp/simplex.cpp" "src/casa/ilp/CMakeFiles/casa_ilp.dir/simplex.cpp.o" "gcc" "src/casa/ilp/CMakeFiles/casa_ilp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/casa_ilp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/casa_ilp.dir/knapsack.cpp.o"
+  "CMakeFiles/casa_ilp.dir/knapsack.cpp.o.d"
+  "CMakeFiles/casa_ilp.dir/model.cpp.o"
+  "CMakeFiles/casa_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/casa_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/casa_ilp.dir/simplex.cpp.o.d"
+  "libcasa_ilp.a"
+  "libcasa_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_io.dir/serialize.cpp.o"
+  "CMakeFiles/casa_io.dir/serialize.cpp.o.d"
+  "libcasa_io.a"
+  "libcasa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

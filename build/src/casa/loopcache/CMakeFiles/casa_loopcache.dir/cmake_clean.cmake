@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_loopcache.dir/loop_cache.cpp.o"
+  "CMakeFiles/casa_loopcache.dir/loop_cache.cpp.o.d"
+  "CMakeFiles/casa_loopcache.dir/ross_allocator.cpp.o"
+  "CMakeFiles/casa_loopcache.dir/ross_allocator.cpp.o.d"
+  "libcasa_loopcache.a"
+  "libcasa_loopcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_loopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/casa_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/casa_memsim.dir/two_level.cpp.o"
+  "CMakeFiles/casa_memsim.dir/two_level.cpp.o.d"
+  "libcasa_memsim.a"
+  "libcasa_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

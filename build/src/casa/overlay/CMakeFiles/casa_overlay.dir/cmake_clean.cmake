@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_overlay.dir/overlay_ilp.cpp.o"
+  "CMakeFiles/casa_overlay.dir/overlay_ilp.cpp.o.d"
+  "CMakeFiles/casa_overlay.dir/overlay_sim.cpp.o"
+  "CMakeFiles/casa_overlay.dir/overlay_sim.cpp.o.d"
+  "CMakeFiles/casa_overlay.dir/phase_profile.cpp.o"
+  "CMakeFiles/casa_overlay.dir/phase_profile.cpp.o.d"
+  "libcasa_overlay.a"
+  "libcasa_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

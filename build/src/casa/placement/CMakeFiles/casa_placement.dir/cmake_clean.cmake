@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_placement.dir/placement.cpp.o"
+  "CMakeFiles/casa_placement.dir/placement.cpp.o.d"
+  "libcasa_placement.a"
+  "libcasa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_prog.dir/builder.cpp.o"
+  "CMakeFiles/casa_prog.dir/builder.cpp.o.d"
+  "CMakeFiles/casa_prog.dir/program.cpp.o"
+  "CMakeFiles/casa_prog.dir/program.cpp.o.d"
+  "CMakeFiles/casa_prog.dir/stmt.cpp.o"
+  "CMakeFiles/casa_prog.dir/stmt.cpp.o.d"
+  "libcasa_prog.a"
+  "libcasa_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

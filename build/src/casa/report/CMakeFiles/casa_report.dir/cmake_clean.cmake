@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_report.dir/workbench.cpp.o"
+  "CMakeFiles/casa_report.dir/workbench.cpp.o.d"
+  "libcasa_report.a"
+  "libcasa_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/support/args.cpp" "src/casa/support/CMakeFiles/casa_support.dir/args.cpp.o" "gcc" "src/casa/support/CMakeFiles/casa_support.dir/args.cpp.o.d"
+  "/root/repo/src/casa/support/error.cpp" "src/casa/support/CMakeFiles/casa_support.dir/error.cpp.o" "gcc" "src/casa/support/CMakeFiles/casa_support.dir/error.cpp.o.d"
+  "/root/repo/src/casa/support/rng.cpp" "src/casa/support/CMakeFiles/casa_support.dir/rng.cpp.o" "gcc" "src/casa/support/CMakeFiles/casa_support.dir/rng.cpp.o.d"
+  "/root/repo/src/casa/support/table.cpp" "src/casa/support/CMakeFiles/casa_support.dir/table.cpp.o" "gcc" "src/casa/support/CMakeFiles/casa_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_support.dir/args.cpp.o"
+  "CMakeFiles/casa_support.dir/args.cpp.o.d"
+  "CMakeFiles/casa_support.dir/error.cpp.o"
+  "CMakeFiles/casa_support.dir/error.cpp.o.d"
+  "CMakeFiles/casa_support.dir/rng.cpp.o"
+  "CMakeFiles/casa_support.dir/rng.cpp.o.d"
+  "CMakeFiles/casa_support.dir/table.cpp.o"
+  "CMakeFiles/casa_support.dir/table.cpp.o.d"
+  "libcasa_support.a"
+  "libcasa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/trace/executor.cpp" "src/casa/trace/CMakeFiles/casa_trace.dir/executor.cpp.o" "gcc" "src/casa/trace/CMakeFiles/casa_trace.dir/executor.cpp.o.d"
+  "/root/repo/src/casa/trace/profile.cpp" "src/casa/trace/CMakeFiles/casa_trace.dir/profile.cpp.o" "gcc" "src/casa/trace/CMakeFiles/casa_trace.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/prog/CMakeFiles/casa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_trace.dir/executor.cpp.o"
+  "CMakeFiles/casa_trace.dir/executor.cpp.o.d"
+  "CMakeFiles/casa_trace.dir/profile.cpp.o"
+  "CMakeFiles/casa_trace.dir/profile.cpp.o.d"
+  "libcasa_trace.a"
+  "libcasa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

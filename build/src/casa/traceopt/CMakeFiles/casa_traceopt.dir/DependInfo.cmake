@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/traceopt/layout.cpp" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/layout.cpp.o" "gcc" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/layout.cpp.o.d"
+  "/root/repo/src/casa/traceopt/memory_object.cpp" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/memory_object.cpp.o" "gcc" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/memory_object.cpp.o.d"
+  "/root/repo/src/casa/traceopt/trace_formation.cpp" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/trace_formation.cpp.o" "gcc" "src/casa/traceopt/CMakeFiles/casa_traceopt.dir/trace_formation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/trace/CMakeFiles/casa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/prog/CMakeFiles/casa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

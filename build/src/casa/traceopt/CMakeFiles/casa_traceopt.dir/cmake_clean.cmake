@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_traceopt.dir/layout.cpp.o"
+  "CMakeFiles/casa_traceopt.dir/layout.cpp.o.d"
+  "CMakeFiles/casa_traceopt.dir/memory_object.cpp.o"
+  "CMakeFiles/casa_traceopt.dir/memory_object.cpp.o.d"
+  "CMakeFiles/casa_traceopt.dir/trace_formation.cpp.o"
+  "CMakeFiles/casa_traceopt.dir/trace_formation.cpp.o.d"
+  "libcasa_traceopt.a"
+  "libcasa_traceopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_traceopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

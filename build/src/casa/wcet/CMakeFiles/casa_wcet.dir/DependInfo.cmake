@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casa/wcet/block_costs.cpp" "src/casa/wcet/CMakeFiles/casa_wcet.dir/block_costs.cpp.o" "gcc" "src/casa/wcet/CMakeFiles/casa_wcet.dir/block_costs.cpp.o.d"
+  "/root/repo/src/casa/wcet/wcet.cpp" "src/casa/wcet/CMakeFiles/casa_wcet.dir/wcet.cpp.o" "gcc" "src/casa/wcet/CMakeFiles/casa_wcet.dir/wcet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/prog/CMakeFiles/casa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/traceopt/CMakeFiles/casa_traceopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/memsim/CMakeFiles/casa_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/ilp/CMakeFiles/casa_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/energy/CMakeFiles/casa_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/cachesim/CMakeFiles/casa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/loopcache/CMakeFiles/casa_loopcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/trace/CMakeFiles/casa_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

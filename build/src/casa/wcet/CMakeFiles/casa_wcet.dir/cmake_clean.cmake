@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_wcet.dir/block_costs.cpp.o"
+  "CMakeFiles/casa_wcet.dir/block_costs.cpp.o.d"
+  "CMakeFiles/casa_wcet.dir/wcet.cpp.o"
+  "CMakeFiles/casa_wcet.dir/wcet.cpp.o.d"
+  "libcasa_wcet.a"
+  "libcasa_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/casa_workloads.dir/workloads.cpp.o.d"
+  "libcasa_workloads.a"
+  "libcasa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

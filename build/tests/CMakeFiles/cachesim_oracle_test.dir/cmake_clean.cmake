@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_oracle_test.dir/cachesim_oracle_test.cpp.o"
+  "CMakeFiles/cachesim_oracle_test.dir/cachesim_oracle_test.cpp.o.d"
+  "cachesim_oracle_test"
+  "cachesim_oracle_test.pdb"
+  "cachesim_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_branch_bound_test.dir/ilp_branch_bound_test.cpp.o"
+  "CMakeFiles/ilp_branch_bound_test.dir/ilp_branch_bound_test.cpp.o.d"
+  "ilp_branch_bound_test"
+  "ilp_branch_bound_test.pdb"
+  "ilp_branch_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_branch_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

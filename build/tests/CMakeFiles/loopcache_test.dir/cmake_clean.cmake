@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopcache_test.dir/loopcache_test.cpp.o"
+  "CMakeFiles/loopcache_test.dir/loopcache_test.cpp.o.d"
+  "loopcache_test"
+  "loopcache_test.pdb"
+  "loopcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

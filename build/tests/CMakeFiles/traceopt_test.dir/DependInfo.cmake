@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/traceopt_test.cpp" "tests/CMakeFiles/traceopt_test.dir/traceopt_test.cpp.o" "gcc" "tests/CMakeFiles/traceopt_test.dir/traceopt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/casa/traceopt/CMakeFiles/casa_traceopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/trace/CMakeFiles/casa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/prog/CMakeFiles/casa_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/casa/support/CMakeFiles/casa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

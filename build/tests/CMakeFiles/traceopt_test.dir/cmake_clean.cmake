@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceopt_test.dir/traceopt_test.cpp.o"
+  "CMakeFiles/traceopt_test.dir/traceopt_test.cpp.o.d"
+  "traceopt_test"
+  "traceopt_test.pdb"
+  "traceopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

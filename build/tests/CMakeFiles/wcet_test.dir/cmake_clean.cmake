@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_test.dir/wcet_test.cpp.o"
+  "CMakeFiles/wcet_test.dir/wcet_test.cpp.o.d"
+  "wcet_test"
+  "wcet_test.pdb"
+  "wcet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casa_cli.dir/casa_cli.cpp.o"
+  "CMakeFiles/casa_cli.dir/casa_cli.cpp.o.d"
+  "casa_cli"
+  "casa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
