@@ -2,6 +2,14 @@
 // and full hierarchy simulation on the MPEG workload. These bound the cost
 // of every experiment in the repo (items/second = simulated fetches/s for
 // the cache-level benchmarks).
+//
+// The compiled-stream pairs (BM_ConflictGraphBuild vs …WordRef,
+// BM_HierarchySimulation vs …WordRef) measure the line-granular fetch
+// stream against the word-granular reference on identical inputs; their
+// items/sec ratio is the compiled-stream speedup. BM_ParallelSweep runs a
+// fixed CASA design-space sweep through Workbench::run_many at 1/2/4
+// threads; on a multi-core host items/sec should scale near-linearly.
+// tools/bench_check.sh compares all of these against BENCH_cachesim.json.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -10,6 +18,7 @@
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/memsim/hierarchy.hpp"
+#include "casa/report/workbench.hpp"
 #include "casa/support/rng.hpp"
 #include "casa/trace/executor.hpp"
 #include "casa/traceopt/layout.hpp"
@@ -63,6 +72,36 @@ void BM_RawCacheAccess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// Line-granular access over the same kind of stream: one access_line call
+// per 4-word run. Items = simulated word fetches, so the items/sec gap to
+// BM_RawCacheAccess is the per-call amortization win.
+void BM_RawCacheAccessLine(benchmark::State& state) {
+  cachesim::CacheConfig cfg;
+  cfg.size = 2_KiB;
+  cfg.line_size = 16;
+  cfg.associativity = static_cast<unsigned>(state.range(0));
+  cachesim::Cache cache(cfg);
+  Rng rng(1);
+  const std::uint32_t words = static_cast<std::uint32_t>(cfg.line_size / 4);
+  std::vector<Addr> stream(1 << 14);
+  Addr pc = 0;
+  for (auto& a : stream) {
+    if (rng.next_bool(0.1)) {
+      pc = rng.next_below(32 * 1024) & ~(cfg.line_size - 1);
+    }
+    a = pc;
+    pc += cfg.line_size;
+  }
+  std::size_t i = 0;
+  std::uint64_t fetched = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access_line(stream[i], words));
+    fetched += words;
+    i = (i + 1) & (stream.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fetched));
+}
+
 void BM_Executor(benchmark::State& state) {
   const prog::Program program = workloads::make_mpeg();
   for (auto _ : state) {
@@ -75,10 +114,36 @@ void BM_Executor(benchmark::State& state) {
       static_cast<std::int64_t>(pipeline().exec.total_fetches));
 }
 
+// Lowering a layout into line runs — the fixed cost the compiled-stream
+// consumers pay per simulation call. O(static code), not O(trace).
+void BM_CompiledStreamBuild(benchmark::State& state) {
+  const Pipeline& p = pipeline();
+  const auto cache = workloads::paper_cache_for("mpeg");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        traceopt::compile_fetch_stream(p.tp, p.layout, cache.line_size));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_ConflictGraphBuild(benchmark::State& state) {
   const Pipeline& p = pipeline();
   conflict::BuildOptions opt;
   opt.cache = workloads::paper_cache_for("mpeg");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conflict::build_conflict_graph(p.tp, p.layout, p.exec.walk, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(p.exec.total_fetches));
+}
+
+void BM_ConflictGraphBuildWordRef(benchmark::State& state) {
+  const Pipeline& p = pipeline();
+  conflict::BuildOptions opt;
+  opt.cache = workloads::paper_cache_for("mpeg");
+  opt.use_compiled_stream = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         conflict::build_conflict_graph(p.tp, p.layout, p.exec.walk, opt));
@@ -102,11 +167,60 @@ void BM_HierarchySimulation(benchmark::State& state) {
       static_cast<std::int64_t>(p.exec.total_fetches));
 }
 
+void BM_HierarchySimulationWordRef(benchmark::State& state) {
+  const Pipeline& p = pipeline();
+  const auto cache = workloads::paper_cache_for("mpeg");
+  const auto energies = energy::EnergyTable::build(cache, 512, 0, 0);
+  const std::vector<bool> none(p.tp.object_count(), false);
+  memsim::SimOptions opt;
+  opt.use_compiled_stream = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memsim::simulate_spm_system(
+        p.tp, p.layout, p.exec.walk, none, cache, energies, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(p.exec.total_fetches));
+}
+
+// A fixed 8-point CASA sweep on adpcm through Workbench::run_many; the
+// thread count is the benchmark argument. Items = sweep points evaluated;
+// on a multi-core host items/sec should rise near-linearly with the
+// argument (a single-core host shows flat numbers — the determinism test
+// still covers correctness there).
+void BM_ParallelSweep(benchmark::State& state) {
+  static const prog::Program program = workloads::make_adpcm();
+  static const report::Workbench bench(program);
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+
+  std::vector<report::Workbench::Job> jobs;
+  for (const Bytes spm : {64u, 128u, 256u, 512u}) {
+    for (const Bytes cache_size : {128u, 256u}) {
+      cachesim::CacheConfig cache;
+      cache.size = cache_size;
+      cache.line_size = 16;
+      jobs.push_back(report::Workbench::Job::casa_job(cache, spm));
+    }
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.run_many(jobs, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_RawCacheAccess)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_RawCacheAccessLine)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(BM_Executor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompiledStreamBuild);
 BENCHMARK(BM_ConflictGraphBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConflictGraphBuildWordRef)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HierarchySimulation)->Unit(benchmark::kMillisecond);
-
+BENCHMARK(BM_HierarchySimulationWordRef)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 BENCHMARK_MAIN();

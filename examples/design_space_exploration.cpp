@@ -5,14 +5,23 @@
 // of on-chip memory, how much should be cache and how much CASA-managed
 // scratchpad? Sweeps the split for g721 under a total budget of 1.25 kB and
 // reports energy and cycle counts per split.
+//
+// The sweep points are independent, so they are evaluated as one
+// Workbench::run_many batch fanned out across cores (pass a thread count as
+// argv[1]; default = hardware concurrency). Results are ordered and
+// identical for any thread count.
+#include <cstdlib>
 #include <iostream>
 
 #include "casa/report/workbench.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace casa;
+
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
 
   const prog::Program program = workloads::make_g721();
   const report::Workbench bench(program);
@@ -20,32 +29,32 @@ int main() {
   std::cout << "Design-space exploration — g721, on-chip budget split\n"
                "between direct-mapped I-cache and scratchpad\n\n";
 
-  Table table({"cache B", "SPM B", "energy uJ", "cache miss %", "SPM fetch %",
-               "cycles M", "best?"});
-
-  struct Row {
-    Bytes cache, spm;
-    double energy;
-  };
-  std::vector<Row> rows;
-
   // Power-of-two cache sizes with the rest of the budget as scratchpad.
   const std::pair<Bytes, Bytes> splits[] = {
       {2048, 0}, {1024, 1024}, {1024, 512}, {512, 512},
       {512, 256}, {256, 256},  {256, 128},  {128, 128}};
 
+  std::vector<report::Workbench::Job> jobs;
   for (const auto& [cache_size, spm] : splits) {
     cachesim::CacheConfig cache;
     cache.size = cache_size;
     cache.line_size = 16;
+    jobs.push_back(spm == 0
+                       ? report::Workbench::Job::cache_only_job(cache)
+                       : report::Workbench::Job::casa_job(cache, spm));
+  }
 
-    const report::Outcome o =
-        spm == 0 ? bench.run_cache_only(cache) : bench.run_casa(cache, spm);
-    rows.push_back(Row{cache_size, spm, o.sim.total_energy});
+  const std::vector<report::Outcome> outcomes = bench.run_many(jobs, threads);
 
+  Table table({"cache B", "SPM B", "energy uJ", "cache miss %", "SPM fetch %",
+               "cycles M", "best?"});
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const report::Outcome& o = outcomes[i];
+    if (o.sim.total_energy < outcomes[best].sim.total_energy) best = i;
     table.row()
-        .cell(cache_size)
-        .cell(spm)
+        .cell(splits[i].first)
+        .cell(splits[i].second)
         .cell(to_micro_joules(o.sim.total_energy), 1)
         .cell(100.0 * static_cast<double>(o.sim.counters.cache_misses) /
                   static_cast<double>(std::max<std::uint64_t>(
@@ -58,16 +67,12 @@ int main() {
         .cell("");
   }
 
-  // Mark the winner.
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].energy < rows[best].energy) best = i;
-  }
   table.print(std::cout);
-  std::cout << "\nbest split: " << rows[best].cache << " B cache + "
-            << rows[best].spm << " B scratchpad ("
-            << to_micro_joules(rows[best].energy) << " uJ; "
-            << 100.0 * (1.0 - rows[best].energy / rows[0].energy)
+  std::cout << "\nbest split: " << splits[best].first << " B cache + "
+            << splits[best].second << " B scratchpad ("
+            << to_micro_joules(outcomes[best].sim.total_energy) << " uJ; "
+            << 100.0 * (1.0 - outcomes[best].sim.total_energy /
+                                  outcomes[0].sim.total_energy)
             << "% below the all-cache design)\n";
   return 0;
 }

@@ -30,38 +30,50 @@ void CacheConfig::validate() const {
 Cache::Cache(CacheConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {
   config_.validate();
+  offset_shift_ = config_.offset_bits();
+  set_mask_ = config_.sets() - 1;
+  lru_mask_ = config_.policy == ReplacementPolicy::kLru ? ~std::uint64_t{0} : 0;
   ways_.resize(static_cast<std::size_t>(config_.sets()) *
                config_.associativity);
   rr_next_.resize(config_.sets(), 0);
 }
 
-AccessResult Cache::access(Addr addr) {
-  ++tick_;
+AccessResult Cache::access(Addr addr) { return access_line(addr, 1); }
+
+AccessResult Cache::access_line(Addr addr, std::uint32_t words) {
+  tick_ += words;
   const std::uint64_t line = line_of(addr);
-  const unsigned set = static_cast<unsigned>(line % config_.sets());
-  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  const unsigned set = set_of(line);
+  Way* base = set_base(set);
 
   for (unsigned w = 0; w < config_.associativity; ++w) {
     if (base[w].valid && base[w].line == line) {
-      if (config_.policy == ReplacementPolicy::kLru) base[w].stamp = tick_;
-      ++hits_;
+      // LRU refreshes the stamp on every hit; other policies leave it at
+      // fill time. Selecting with a mask keeps the hot path branch-free.
+      base[w].stamp = (base[w].stamp & ~lru_mask_) | (tick_ & lru_mask_);
+      hits_ += words;
       return AccessResult{true, std::nullopt};
     }
   }
 
+  // Only the first word of a same-line run can miss; the trailing words hit
+  // the line just filled.
   ++misses_;
+  hits_ += words - 1;
   const unsigned victim = pick_victim(set);
   Way& v = base[victim];
   AccessResult result{false, std::nullopt};
   if (v.valid) result.evicted_line = v.line;
   v.valid = true;
   v.line = line;
-  v.stamp = tick_;  // fill time serves both LRU and FIFO ordering
+  // Fill happens at the first (missing) word's tick; under LRU the trailing
+  // hits then advance the stamp to the run's last tick.
+  v.stamp = (tick_ & lru_mask_) | ((tick_ - words + 1) & ~lru_mask_);
   return result;
 }
 
 unsigned Cache::pick_victim(unsigned set) {
-  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  Way* base = set_base(set);
   for (unsigned w = 0; w < config_.associativity; ++w) {
     if (!base[w].valid) return w;
   }
@@ -91,10 +103,8 @@ void Cache::flush() {
 }
 
 bool Cache::contains(Addr addr) const {
-  const std::uint64_t line = addr / config_.line_size;
-  const unsigned set = static_cast<unsigned>(line % config_.sets());
-  const Way* base =
-      &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  const std::uint64_t line = line_of(addr);
+  const Way* base = set_base(set_of(line));
   for (unsigned w = 0; w < config_.associativity; ++w) {
     if (base[w].valid && base[w].line == line) return true;
   }

@@ -3,6 +3,15 @@
 // Word-granular accesses; line-granular state. The model reports, for every
 // miss, which memory line (if any) was evicted — the hook the conflict-graph
 // builder uses to attribute conflict misses to their evictor (paper §3.3).
+//
+// Two access granularities share all replacement state:
+//  * access()      — one word fetch (the original, fully general path);
+//  * access_line() — a run of consecutive word fetches that all fall into
+//    one memory line (what sequential instruction fetch produces). One
+//    lookup stands in for the whole run; hit/miss counters, LRU/FIFO
+//    stamps, round-robin cursors and the random-replacement RNG stream all
+//    advance exactly as if each word had been accessed individually, so the
+//    two paths are bit-for-bit interchangeable.
 #pragma once
 
 #include <cstdint>
@@ -49,11 +58,17 @@ class Cache {
   /// One word fetch at byte address `addr`.
   AccessResult access(Addr addr);
 
+  /// `words` consecutive word fetches starting at `addr`, all within the
+  /// memory line containing `addr` (the caller guarantees this — see
+  /// trace::CompiledStream). Equivalent to `words` access() calls: at most
+  /// the first word can miss, the rest are guaranteed same-line hits.
+  AccessResult access_line(Addr addr, std::uint32_t words);
+
   /// Invalidates all lines.
   void flush();
 
   const CacheConfig& config() const { return config_; }
-  std::uint64_t line_of(Addr addr) const { return addr / config_.line_size; }
+  std::uint64_t line_of(Addr addr) const { return addr >> offset_shift_; }
 
   /// True when the line containing `addr` is currently resident (test hook;
   /// does not affect replacement state).
@@ -70,10 +85,24 @@ class Cache {
     bool valid = false;
   };
 
+  unsigned set_of(std::uint64_t line) const {
+    return static_cast<unsigned>(line) & set_mask_;
+  }
+  Way* set_base(unsigned set) {
+    return &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  }
+  const Way* set_base(unsigned set) const {
+    return &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  }
+
   unsigned pick_victim(unsigned set);
 
   CacheConfig config_;
-  std::vector<Way> ways_;  ///< sets * associativity, set-major
+  unsigned offset_shift_ = 0;   ///< log2(line_size)
+  unsigned set_mask_ = 0;       ///< sets - 1
+  std::uint64_t lru_mask_ = 0;  ///< all-ones iff policy == kLru (branchless
+                                ///< hit-stamp update)
+  std::vector<Way> ways_;       ///< sets * associativity, set-major
   std::vector<unsigned> rr_next_;
   Rng rng_;
   std::uint64_t tick_ = 0;

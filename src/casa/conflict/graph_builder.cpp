@@ -6,23 +6,59 @@
 
 namespace casa::conflict {
 
-ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
-                                   const traceopt::Layout& layout,
-                                   const trace::BlockWalk& walk,
-                                   const BuildOptions& opt) {
-  CASA_CHECK(opt.cache.line_size > 0, "cache line size must be positive");
-  const std::size_t n = tp.object_count();
-  const prog::Program& program = tp.program();
+namespace {
 
-  cachesim::Cache cache(opt.cache, opt.seed);
-
-  std::vector<std::uint64_t> fetches(n, 0);
-  std::vector<std::uint64_t> cold(n, 0);
-  std::vector<std::uint64_t> hits(n, 0);
+/// Mutable build state shared by both replay granularities.
+struct BuildState {
+  std::vector<std::uint64_t> fetches;
+  std::vector<std::uint64_t> cold;
+  std::vector<std::uint64_t> hits;
   // (i << 32 | j) -> m_ij
   std::unordered_map<std::uint64_t, std::uint64_t> m;
   // line number -> object whose fill evicted it
   std::unordered_map<std::uint64_t, MemoryObjectId> evicted_by;
+
+  explicit BuildState(std::size_t n) : fetches(n, 0), cold(n, 0), hits(n, 0) {}
+
+  /// Miss bookkeeping for one missing line access by `mo` (paper eq. 5/6):
+  /// attribute the miss to its recorded evictor, or count it cold.
+  void on_miss(MemoryObjectId mo, std::uint64_t line,
+               const cachesim::AccessResult& r) {
+    auto ev = evicted_by.find(line);
+    if (ev == evicted_by.end()) {
+      ++cold[mo.index()];
+    } else {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(mo.value()) << 32) | ev->second.value();
+      ++m[key];
+      evicted_by.erase(ev);
+    }
+    if (r.evicted_line.has_value()) {
+      evicted_by[*r.evicted_line] = mo;
+    }
+  }
+
+  ConflictGraph finish(std::size_t n) {
+    std::vector<Edge> edges;
+    edges.reserve(m.size());
+    for (const auto& [key, weight] : m) {
+      edges.push_back(
+          Edge{MemoryObjectId(static_cast<std::uint32_t>(key >> 32)),
+               MemoryObjectId(static_cast<std::uint32_t>(key)), weight});
+    }
+    return ConflictGraph(n, std::move(fetches), std::move(cold),
+                         std::move(hits), std::move(edges));
+  }
+};
+
+ConflictGraph replay_words(const traceopt::TraceProgram& tp,
+                           const traceopt::Layout& layout,
+                           const trace::BlockWalk& walk,
+                           const BuildOptions& opt) {
+  const std::size_t n = tp.object_count();
+  const prog::Program& program = tp.program();
+  cachesim::Cache cache(opt.cache, opt.seed);
+  BuildState st(n);
 
   for (const BasicBlockId bb : walk.seq) {
     const MemoryObjectId mo = tp.object_of(bb);
@@ -30,38 +66,66 @@ ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
     const Bytes size = program.block(bb).size;
     for (Bytes off = 0; off < size; off += kWordBytes) {
       const Addr addr = base + off;
-      ++fetches[mo.index()];
+      ++st.fetches[mo.index()];
       const cachesim::AccessResult r = cache.access(addr);
       if (r.hit) {
-        ++hits[mo.index()];
+        ++st.hits[mo.index()];
         continue;
       }
-      const std::uint64_t line = cache.line_of(addr);
-      auto ev = evicted_by.find(line);
-      if (ev == evicted_by.end()) {
-        ++cold[mo.index()];
-      } else {
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(mo.value()) << 32) |
-            ev->second.value();
-        ++m[key];
-        evicted_by.erase(ev);
-      }
-      if (r.evicted_line.has_value()) {
-        evicted_by[*r.evicted_line] = mo;
-      }
+      st.on_miss(mo, cache.line_of(addr), r);
     }
   }
+  return st.finish(n);
+}
 
-  std::vector<Edge> edges;
-  edges.reserve(m.size());
-  for (const auto& [key, weight] : m) {
-    edges.push_back(Edge{MemoryObjectId(static_cast<std::uint32_t>(key >> 32)),
-                         MemoryObjectId(static_cast<std::uint32_t>(key)),
-                         weight});
+ConflictGraph replay_lines(const traceopt::TraceProgram& tp,
+                           const trace::CompiledStream& stream,
+                           const trace::BlockWalk& walk,
+                           const BuildOptions& opt) {
+  const std::size_t n = tp.object_count();
+  cachesim::Cache cache(opt.cache, opt.seed);
+  BuildState st(n);
+
+  for (const BasicBlockId bb : walk.seq) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    const std::size_t moi = mo.index();
+    CASA_CHECK(stream.cached(bb),
+               "conflict build needs every executed block in the layout");
+    for (const trace::LineRun& run : stream.runs(bb)) {
+      st.fetches[moi] += run.words;
+      const cachesim::AccessResult r = cache.access_line(run.addr, run.words);
+      if (r.hit) {
+        st.hits[moi] += run.words;
+        continue;
+      }
+      // Same-line run: only the first word can miss, the rest hit.
+      st.hits[moi] += run.words - 1;
+      st.on_miss(mo, run.line, r);
+    }
   }
-  return ConflictGraph(n, std::move(fetches), std::move(cold),
-                       std::move(hits), std::move(edges));
+  return st.finish(n);
+}
+
+}  // namespace
+
+ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
+                                   const traceopt::Layout& layout,
+                                   const trace::BlockWalk& walk,
+                                   const BuildOptions& opt) {
+  CASA_CHECK(opt.cache.line_size > 0, "cache line size must be positive");
+  if (!opt.use_compiled_stream) return replay_words(tp, layout, walk, opt);
+  const trace::CompiledStream stream =
+      traceopt::compile_fetch_stream(tp, layout, opt.cache.line_size);
+  return replay_lines(tp, stream, walk, opt);
+}
+
+ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
+                                   const trace::CompiledStream& stream,
+                                   const trace::BlockWalk& walk,
+                                   const BuildOptions& opt) {
+  CASA_CHECK(stream.line_size() == opt.cache.line_size,
+             "stream was compiled for a different line size");
+  return replay_lines(tp, stream, walk, opt);
 }
 
 }  // namespace casa::conflict

@@ -5,10 +5,17 @@
 // allocation). For each miss the previously recorded evictor of the missing
 // line determines the conflict edge; fills record the current object as the
 // future evictor of whatever line they displaced.
+//
+// By default the walk is replayed at line granularity through a pre-compiled
+// fetch stream (trace::CompiledStream) — one cache lookup per same-line run
+// of word fetches instead of one per word, with bit-identical counters. The
+// word-granular reference path survives behind BuildOptions for oracle
+// testing and A/B benchmarking.
 #pragma once
 
 #include "casa/cachesim/cache.hpp"
 #include "casa/conflict/conflict_graph.hpp"
+#include "casa/trace/compiled_stream.hpp"
 #include "casa/trace/executor.hpp"
 #include "casa/traceopt/layout.hpp"
 #include "casa/traceopt/memory_object.hpp"
@@ -19,11 +26,22 @@ struct BuildOptions {
   cachesim::CacheConfig cache;
   /// Seed for the cache's random replacement policy (unused otherwise).
   std::uint64_t seed = 1;
+  /// Replay at line granularity (fast path). The word-granular reference is
+  /// kept for oracle tests; both produce identical graphs.
+  bool use_compiled_stream = true;
 };
 
 /// Builds G for `tp` laid out by `layout` over the dynamic `walk`.
 ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
                                    const traceopt::Layout& layout,
+                                   const trace::BlockWalk& walk,
+                                   const BuildOptions& opt);
+
+/// As above but replaying a caller-compiled stream (must have been compiled
+/// from the same layout with opt.cache.line_size lines); lets sweeps reuse
+/// one compilation across builds.
+ConflictGraph build_conflict_graph(const traceopt::TraceProgram& tp,
+                                   const trace::CompiledStream& stream,
                                    const trace::BlockWalk& walk,
                                    const BuildOptions& opt);
 

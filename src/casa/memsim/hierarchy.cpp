@@ -6,14 +6,37 @@ namespace casa::memsim {
 
 namespace {
 
-/// Shared inner loop. `spm_mo` marks scratchpad-resident objects (empty =
-/// none); `regions` enables the loop-cache path (nullptr = none).
-SimReport run(const traceopt::TraceProgram& tp,
-              const traceopt::Layout& layout, const trace::BlockWalk& walk,
-              const std::vector<bool>& spm_mo,
-              const loopcache::RegionSet* regions,
-              const cachesim::CacheConfig& cache_cfg,
-              const energy::EnergyTable& energies, const SimOptions& opt) {
+/// Derives the energy report from event counters. Both replay granularities
+/// share this, so energies are byte-identical whenever counters are — and
+/// the hot loops carry no floating-point accumulation at all.
+void finish(SimReport& rep, const energy::EnergyTable& energies,
+            bool loop_cache) {
+  const SimCounters& c = rep.counters;
+  rep.spm_energy =
+      static_cast<double>(c.spm_accesses) * energies.spm_access;
+  rep.cache_energy =
+      static_cast<double>(c.cache_hits) * energies.cache_hit +
+      static_cast<double>(c.cache_misses) * energies.cache_miss;
+  if (loop_cache) {
+    // The controller compares bounds on every fetch it does not serve.
+    rep.lc_energy =
+        static_cast<double>(c.lc_accesses) * energies.lc_access +
+        static_cast<double>(c.cache_accesses) * energies.lc_controller;
+  }
+  rep.total_energy = rep.spm_energy + rep.cache_energy + rep.lc_energy;
+}
+
+/// Word-granular reference inner loop. `spm_mo` marks scratchpad-resident
+/// objects (empty = none); `regions` enables the loop-cache path (nullptr =
+/// none).
+SimReport run_words(const traceopt::TraceProgram& tp,
+                    const traceopt::Layout& layout,
+                    const trace::BlockWalk& walk,
+                    const std::vector<bool>& spm_mo,
+                    const loopcache::RegionSet* regions,
+                    const cachesim::CacheConfig& cache_cfg,
+                    const energy::EnergyTable& energies,
+                    const SimOptions& opt) {
   const prog::Program& program = tp.program();
   cachesim::Cache cache(cache_cfg, opt.seed);
   const std::uint64_t line_words = cache_cfg.line_size / kWordBytes;
@@ -32,7 +55,6 @@ SimReport run(const traceopt::TraceProgram& tp,
       c.total_fetches += words;
       c.spm_accesses += words;
       c.cycles += words * lat.spm_access;
-      rep.spm_energy += static_cast<double>(words) * energies.spm_access;
       continue;
     }
 
@@ -44,12 +66,7 @@ SimReport run(const traceopt::TraceProgram& tp,
       if (regions != nullptr && regions->contains(addr)) {
         ++c.lc_accesses;
         c.cycles += lat.lc_access;
-        rep.lc_energy += energies.lc_access;
         continue;
-      }
-      if (regions != nullptr) {
-        // The controller compares bounds on every fetch it does not serve.
-        rep.lc_energy += energies.lc_controller;
       }
 
       const cachesim::AccessResult r = cache.access(addr);
@@ -57,19 +74,83 @@ SimReport run(const traceopt::TraceProgram& tp,
       if (r.hit) {
         ++c.cache_hits;
         c.cycles += lat.cache_hit;
-        rep.cache_energy += energies.cache_hit;
       } else {
         ++c.cache_misses;
         c.mainmem_words += line_words;
         c.cycles += lat.cache_hit + lat.miss_base_penalty +
                     line_words * lat.miss_per_word;
-        rep.cache_energy += energies.cache_miss;
       }
     }
   }
 
-  rep.total_energy = rep.spm_energy + rep.cache_energy + rep.lc_energy;
+  finish(rep, energies, regions != nullptr);
   return rep;
+}
+
+/// Line-granular inner loop over a compiled stream (no loop-cache path; see
+/// SimOptions::use_compiled_stream).
+SimReport run_lines(const traceopt::TraceProgram& tp,
+                    const trace::CompiledStream& stream,
+                    const trace::BlockWalk& walk,
+                    const std::vector<bool>& spm_mo,
+                    const cachesim::CacheConfig& cache_cfg,
+                    const energy::EnergyTable& energies,
+                    const SimOptions& opt) {
+  cachesim::Cache cache(cache_cfg, opt.seed);
+  const std::uint64_t line_words = cache_cfg.line_size / kWordBytes;
+  const LatencyParams& lat = opt.latency;
+  const std::uint64_t miss_cycles =
+      lat.cache_hit + lat.miss_base_penalty + line_words * lat.miss_per_word;
+
+  SimReport rep;
+  SimCounters& c = rep.counters;
+
+  for (const BasicBlockId bb : walk.seq) {
+    const MemoryObjectId mo = tp.object_of(bb);
+    const std::uint64_t words = stream.words_of(bb);
+
+    if (!spm_mo.empty() && spm_mo[mo.index()]) {
+      c.total_fetches += words;
+      c.spm_accesses += words;
+      c.cycles += words * lat.spm_access;
+      continue;
+    }
+
+    CASA_CHECK(stream.cached(bb),
+               "cached block missing from the compiled layout");
+    for (const trace::LineRun& run : stream.runs(bb)) {
+      c.total_fetches += run.words;
+      c.cache_accesses += run.words;
+      const cachesim::AccessResult r = cache.access_line(run.addr, run.words);
+      if (r.hit) {
+        c.cache_hits += run.words;
+        c.cycles += run.words * lat.cache_hit;
+      } else {
+        // Same-line run: the first word misses, the rest hit.
+        c.cache_hits += run.words - 1;
+        ++c.cache_misses;
+        c.mainmem_words += line_words;
+        c.cycles += (run.words - 1) * lat.cache_hit + miss_cycles;
+      }
+    }
+  }
+
+  finish(rep, energies, /*loop_cache=*/false);
+  return rep;
+}
+
+SimReport run(const traceopt::TraceProgram& tp, const traceopt::Layout& layout,
+              const trace::BlockWalk& walk, const std::vector<bool>& spm_mo,
+              const loopcache::RegionSet* regions,
+              const cachesim::CacheConfig& cache_cfg,
+              const energy::EnergyTable& energies, const SimOptions& opt) {
+  if (regions == nullptr && opt.use_compiled_stream) {
+    const trace::CompiledStream stream =
+        traceopt::compile_fetch_stream(tp, layout, cache_cfg.line_size);
+    return run_lines(tp, stream, walk, spm_mo, cache_cfg, energies, opt);
+  }
+  return run_words(tp, layout, walk, spm_mo, regions, cache_cfg, energies,
+                   opt);
 }
 
 }  // namespace

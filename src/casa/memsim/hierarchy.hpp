@@ -50,6 +50,13 @@ struct SimReport {
 struct SimOptions {
   std::uint64_t seed = 1;  ///< for random cache replacement only
   LatencyParams latency;
+  /// Replay the walk at line granularity via a pre-compiled fetch stream
+  /// (trace::CompiledStream) — ~line_size/4 fewer cache calls, identical
+  /// counters and (counter-derived) energies. The word-granular reference
+  /// path is kept for oracle tests. Loop-cache simulation always replays
+  /// words: preloaded regions bound by loop/function extents need not align
+  /// to cache lines, so a line run may straddle a region edge.
+  bool use_compiled_stream = true;
 };
 
 /// Scratchpad system: objects with on_spm[mo] set are fetched from the

@@ -27,6 +27,20 @@ TwoLevelEnergies TwoLevelEnergies::build(
   return e;
 }
 
+namespace {
+
+/// Energy falls out of the counters (identically for both granularities).
+void finish(TwoLevelReport& rep, const TwoLevelEnergies& e) {
+  const TwoLevelCounters& c = rep.counters;
+  rep.total_energy =
+      static_cast<double>(c.spm_accesses) * e.spm_access +
+      static_cast<double>(c.l1_hits) * e.l1_hit +
+      static_cast<double>(c.l2_hits) * e.l1_miss_l2_hit +
+      static_cast<double>(c.l2_misses) * e.l1_miss_l2_miss;
+}
+
+}  // namespace
+
 TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
                                       const traceopt::Layout& layout,
                                       const trace::BlockWalk& walk,
@@ -34,7 +48,8 @@ TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
                                       const cachesim::CacheConfig& l1_cfg,
                                       const cachesim::CacheConfig& l2_cfg,
                                       const TwoLevelEnergies& energies,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      bool use_compiled_stream) {
   CASA_CHECK(on_spm.size() == tp.object_count(), "on_spm size mismatch");
   CASA_CHECK(l2_cfg.line_size >= l1_cfg.line_size &&
                  l2_cfg.line_size % l1_cfg.line_size == 0,
@@ -48,6 +63,39 @@ TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
   TwoLevelReport rep;
   TwoLevelCounters& c = rep.counters;
 
+  if (use_compiled_stream) {
+    // Line runs are bounded by the (smaller) L1 line, so each run touches
+    // one line at both levels; the single L2 access per L1-missing run
+    // matches the word path, where only the run's first word can miss L1.
+    const trace::CompiledStream stream =
+        traceopt::compile_fetch_stream(tp, layout, l1_cfg.line_size);
+    for (const BasicBlockId bb : walk.seq) {
+      const MemoryObjectId mo = tp.object_of(bb);
+      const std::uint64_t words = stream.words_of(bb);
+      if (on_spm[mo.index()]) {
+        c.total_fetches += words;
+        c.spm_accesses += words;
+        continue;
+      }
+      for (const trace::LineRun& run : stream.runs(bb)) {
+        c.total_fetches += run.words;
+        if (l1.access_line(run.addr, run.words).hit) {
+          c.l1_hits += run.words;
+          continue;
+        }
+        c.l1_hits += run.words - 1;
+        ++c.l1_misses;
+        if (l2.access(run.addr).hit) {
+          ++c.l2_hits;
+        } else {
+          ++c.l2_misses;
+        }
+      }
+    }
+    finish(rep, energies);
+    return rep;
+  }
+
   for (const BasicBlockId bb : walk.seq) {
     const MemoryObjectId mo = tp.object_of(bb);
     const Bytes size = program.block(bb).size;
@@ -56,7 +104,6 @@ TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
     if (on_spm[mo.index()]) {
       c.total_fetches += words;
       c.spm_accesses += words;
-      rep.total_energy += static_cast<double>(words) * energies.spm_access;
       continue;
     }
 
@@ -66,19 +113,17 @@ TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
       ++c.total_fetches;
       if (l1.access(addr).hit) {
         ++c.l1_hits;
-        rep.total_energy += energies.l1_hit;
         continue;
       }
       ++c.l1_misses;
       if (l2.access(addr).hit) {
         ++c.l2_hits;
-        rep.total_energy += energies.l1_miss_l2_hit;
       } else {
         ++c.l2_misses;
-        rep.total_energy += energies.l1_miss_l2_miss;
       }
     }
   }
+  finish(rep, energies);
   return rep;
 }
 

@@ -49,6 +49,8 @@ struct TwoLevelReport {
 
 /// Replays the walk through SPM / L1 / L2 (inclusive; both levels use their
 /// own geometry, L2 line size must be >= L1 line size and a multiple).
+/// `use_compiled_stream` selects the line-granular fast path (identical
+/// counters; the word-granular reference is kept for oracle tests).
 TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
                                       const traceopt::Layout& layout,
                                       const trace::BlockWalk& walk,
@@ -56,6 +58,7 @@ TwoLevelReport simulate_spm_two_level(const traceopt::TraceProgram& tp,
                                       const cachesim::CacheConfig& l1_cfg,
                                       const cachesim::CacheConfig& l2_cfg,
                                       const TwoLevelEnergies& energies,
-                                      std::uint64_t seed = 1);
+                                      std::uint64_t seed = 1,
+                                      bool use_compiled_stream = true);
 
 }  // namespace casa::memsim

@@ -2,6 +2,7 @@
 
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/sim/parallel_runner.hpp"
 #include "casa/traceopt/layout.hpp"
 
 namespace casa::report {
@@ -109,6 +110,32 @@ Outcome Workbench::run_loopcache(const cachesim::CacheConfig& cache,
   out.sim = memsim::simulate_loopcache_system(tp, layout, exec_.walk,
                                               sel.selected, cache, energies);
   return out;
+}
+
+std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
+                                         unsigned threads) const {
+  sim::RunnerOptions ropt;
+  ropt.threads = threads;
+  const sim::ParallelRunner runner(ropt);
+  return runner.map<Outcome>(
+      jobs.size(), [this, &jobs](std::size_t i, std::uint64_t) {
+        // Every flow is internally seeded (executor seed fixed at
+        // construction, cache seeds fixed per run_*), so the per-task seed
+        // is deliberately unused: a job must produce the same outcome
+        // whether it runs in a batch or alone.
+        const Job& job = jobs[i];
+        switch (job.kind) {
+          case Job::Kind::kCasa:
+            return run_casa(job.cache, job.size, job.casa);
+          case Job::Kind::kSteinke:
+            return run_steinke(job.cache, job.size);
+          case Job::Kind::kLoopCache:
+            return run_loopcache(job.cache, job.size, job.max_regions);
+          case Job::Kind::kCacheOnly:
+            return run_cache_only(job.cache);
+        }
+        return Outcome{};
+      });
 }
 
 Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "casa/baseline/steinke.hpp"
 #include "casa/cachesim/cache.hpp"
@@ -60,6 +61,38 @@ class Workbench {
 
   /// Reference: I-cache only.
   Outcome run_cache_only(const cachesim::CacheConfig& cache) const;
+
+  /// One point of a batched sweep: which flow to run and its parameters.
+  struct Job {
+    enum class Kind { kCasa, kSteinke, kLoopCache, kCacheOnly };
+    Kind kind = Kind::kCasa;
+    cachesim::CacheConfig cache;
+    Bytes size = 0;  ///< scratchpad (CASA/Steinke) or loop-cache capacity
+    unsigned max_regions = 4;  ///< loop-cache flow only
+    core::CasaOptions casa;    ///< CASA flow only
+
+    static Job casa_job(const cachesim::CacheConfig& c, Bytes spm,
+                        const core::CasaOptions& o = {}) {
+      return Job{Kind::kCasa, c, spm, 4, o};
+    }
+    static Job steinke_job(const cachesim::CacheConfig& c, Bytes spm) {
+      return Job{Kind::kSteinke, c, spm, 4, {}};
+    }
+    static Job loopcache_job(const cachesim::CacheConfig& c, Bytes lc,
+                             unsigned regions = 4) {
+      return Job{Kind::kLoopCache, c, lc, regions, {}};
+    }
+    static Job cache_only_job(const cachesim::CacheConfig& c) {
+      return Job{Kind::kCacheOnly, c, 0, 4, {}};
+    }
+  };
+
+  /// Evaluates every job, fanning out across `threads` workers (0 =
+  /// hardware concurrency, 1 = serial). Jobs are independent — every run_*
+  /// method is const over shared read-only state — and results come back
+  /// in job order, identical for any thread count.
+  std::vector<Outcome> run_many(const std::vector<Job>& jobs,
+                                unsigned threads = 0) const;
 
  private:
   traceopt::TraceProgram form(const cachesim::CacheConfig& cache,

@@ -1,0 +1,58 @@
+// Minimal fixed-size worker pool.
+//
+// The simulation layer's unit of work is coarse (one full hierarchy
+// simulation or allocation per task), so a plain mutex-guarded queue is
+// entirely sufficient — no work stealing, no lock-free cleverness. Tasks
+// are arbitrary void() callables; completion is observed with wait().
+// Exceptions thrown by tasks are captured and rethrown from wait() (first
+// one wins) so callers never lose a CASA_CHECK failure to a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace casa::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Must not be called concurrently with wait().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception (if any). The pool is reusable afterwards.
+  void wait();
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Resolves a thread-count request: 0 -> hardware concurrency, floor 1.
+  static unsigned resolve(unsigned threads);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace casa::support

@@ -33,4 +33,19 @@ Layout layout_excluding(const TraceProgram& tp,
   return Layout(tp, std::move(object_base), base, cursor - base);
 }
 
+trace::CompiledStream compile_fetch_stream(const TraceProgram& tp,
+                                           const Layout& layout,
+                                           Bytes line_size) {
+  const prog::Program& program = tp.program();
+  std::vector<Addr> block_addr(program.block_count(),
+                               trace::CompiledStream::kNotCached);
+  for (std::size_t i = 0; i < program.block_count(); ++i) {
+    const BasicBlockId bb(static_cast<std::uint32_t>(i));
+    const MemoryObjectId mo = tp.object_of(bb);
+    if (!mo.valid() || !layout.placed(mo)) continue;
+    block_addr[i] = layout.block_addr(bb);
+  }
+  return trace::CompiledStream(program, block_addr, line_size);
+}
+
 }  // namespace casa::traceopt

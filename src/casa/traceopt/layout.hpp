@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "casa/trace/compiled_stream.hpp"
 #include "casa/traceopt/memory_object.hpp"
 
 namespace casa::traceopt {
@@ -55,5 +56,12 @@ Layout layout_all(const TraceProgram& tp, Addr base = 0);
 /// Lays out only objects with excluded[mo] == false, compacted from `base`.
 Layout layout_excluding(const TraceProgram& tp,
                         const std::vector<bool>& excluded, Addr base = 0);
+
+/// Lowers `layout` into a line-granular fetch stream for `line_size`-byte
+/// cache lines. Blocks of unplaced objects compile as not-cached (their
+/// fetches never reach the cache).
+trace::CompiledStream compile_fetch_stream(const TraceProgram& tp,
+                                           const Layout& layout,
+                                           Bytes line_size);
 
 }  // namespace casa::traceopt

@@ -1,0 +1,284 @@
+// Oracle tests for the line-granular compiled fetch stream.
+//
+// The compiled stream (trace::CompiledStream + Cache::access_line) claims
+// bit-for-bit equivalence with the word-granular reference replay. These
+// tests assert exactly that, end to end, over real workloads: identical
+// conflict graphs (fetches / cold / hits / every edge), identical hierarchy
+// counters, byte-identical energy totals, and identical two-level counters
+// — across associativities, replacement policies (including Random with a
+// fixed seed), and move-semantics layouts with unplaced objects.
+#include <gtest/gtest.h>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/memsim/hierarchy.hpp"
+#include "casa/memsim/two_level.hpp"
+#include "casa/support/rng.hpp"
+#include "casa/trace/compiled_stream.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace {
+
+using namespace casa;
+
+// TraceProgram and Layout hold pointers into the program / trace program,
+// so the rig is built member-by-member in place and never moved.
+struct Rig {
+  prog::Program program;
+  trace::ExecutionResult exec;
+  traceopt::TraceProgram tp;
+  traceopt::Layout layout;
+
+  Rig(const std::string& workload, Bytes line_size)
+      : program(workloads::by_name(workload)),
+        exec(trace::Executor::run(program)),
+        tp(traceopt::form_traces(program, exec.profile, topt(line_size))),
+        layout(traceopt::layout_all(tp)) {}
+
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  static traceopt::TraceFormationOptions topt(Bytes line_size) {
+    traceopt::TraceFormationOptions o;
+    o.cache_line_size = line_size;
+    o.max_trace_size = 256;
+    return o;
+  }
+};
+
+/// The three cache shapes the oracle sweeps: direct-mapped LRU, 2-way LRU,
+/// 4-way Random (seeded). Random is the adversarial case — any divergence
+/// in miss count or RNG draw order desynchronizes the streams instantly.
+std::vector<cachesim::CacheConfig> oracle_configs() {
+  std::vector<cachesim::CacheConfig> configs;
+  {
+    cachesim::CacheConfig c;
+    c.size = 512;
+    c.line_size = 16;
+    configs.push_back(c);
+  }
+  {
+    cachesim::CacheConfig c;
+    c.size = 512;
+    c.line_size = 16;
+    c.associativity = 2;
+    configs.push_back(c);
+  }
+  {
+    cachesim::CacheConfig c;
+    c.size = 1_KiB;
+    c.line_size = 32;
+    c.associativity = 4;
+    c.policy = cachesim::ReplacementPolicy::kRandom;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+void expect_same_graph(const conflict::ConflictGraph& a,
+                       const conflict::ConflictGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(a.fetches(mo), b.fetches(mo));
+    EXPECT_EQ(a.cold_misses(mo), b.cold_misses(mo));
+    EXPECT_EQ(a.hits(mo), b.hits(mo));
+  }
+  for (std::size_t e = 0; e < a.edges().size(); ++e) {
+    EXPECT_EQ(a.edges()[e].from, b.edges()[e].from);
+    EXPECT_EQ(a.edges()[e].to, b.edges()[e].to);
+    EXPECT_EQ(a.edges()[e].misses, b.edges()[e].misses);
+  }
+}
+
+void expect_same_report(const memsim::SimReport& a,
+                        const memsim::SimReport& b) {
+  EXPECT_EQ(a.counters.total_fetches, b.counters.total_fetches);
+  EXPECT_EQ(a.counters.spm_accesses, b.counters.spm_accesses);
+  EXPECT_EQ(a.counters.lc_accesses, b.counters.lc_accesses);
+  EXPECT_EQ(a.counters.cache_accesses, b.counters.cache_accesses);
+  EXPECT_EQ(a.counters.cache_hits, b.counters.cache_hits);
+  EXPECT_EQ(a.counters.cache_misses, b.counters.cache_misses);
+  EXPECT_EQ(a.counters.mainmem_words, b.counters.mainmem_words);
+  EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+  // Energies are derived from the counters identically on both paths, so
+  // equality here is exact (byte-identical doubles), not approximate.
+  EXPECT_EQ(a.spm_energy, b.spm_energy);
+  EXPECT_EQ(a.cache_energy, b.cache_energy);
+  EXPECT_EQ(a.lc_energy, b.lc_energy);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+}
+
+TEST(CompiledStream, RunsCoverEveryWordExactlyOnce) {
+  const Rig r("adpcm", 16);
+  const trace::CompiledStream stream =
+      traceopt::compile_fetch_stream(r.tp, r.layout, 16);
+  for (std::size_t i = 0; i < r.program.block_count(); ++i) {
+    const BasicBlockId bb(static_cast<std::uint32_t>(i));
+    const MemoryObjectId mo = r.tp.object_of(bb);
+    if (!mo.valid() || !r.layout.placed(mo)) continue;
+    ASSERT_TRUE(stream.cached(bb));
+    Addr expect_addr = r.layout.block_addr(bb);
+    std::uint64_t words = 0;
+    for (const trace::LineRun& run : stream.runs(bb)) {
+      EXPECT_EQ(run.addr, expect_addr);
+      EXPECT_EQ(run.line, run.addr / 16);
+      // A run never crosses its line's end.
+      EXPECT_LE(run.addr % 16 + run.words * kWordBytes, 16u);
+      EXPECT_GT(run.words, 0u);
+      expect_addr += run.words * kWordBytes;
+      words += run.words;
+    }
+    EXPECT_EQ(words, r.program.block(bb).size / kWordBytes);
+    EXPECT_EQ(words, stream.words_of(bb));
+  }
+}
+
+TEST(CompiledStream, AccessLineMatchesWordAccesses) {
+  // Direct cache-level oracle: random line runs through access_line vs the
+  // same runs replayed word by word, all four policies.
+  for (const auto policy :
+       {cachesim::ReplacementPolicy::kLru, cachesim::ReplacementPolicy::kFifo,
+        cachesim::ReplacementPolicy::kRoundRobin,
+        cachesim::ReplacementPolicy::kRandom}) {
+    cachesim::CacheConfig cfg;
+    cfg.size = 256;
+    cfg.line_size = 16;
+    cfg.associativity = 2;
+    cfg.policy = policy;
+    cachesim::Cache line_cache(cfg, 7);
+    cachesim::Cache word_cache(cfg, 7);
+
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+      const Addr line_base = rng.next_below(1 << 12) * cfg.line_size;
+      const std::uint32_t max_words =
+          static_cast<std::uint32_t>(cfg.line_size / kWordBytes);
+      const std::uint32_t first =
+          static_cast<std::uint32_t>(rng.next_below(max_words));
+      const std::uint32_t words = static_cast<std::uint32_t>(
+          1 + rng.next_below(max_words - first));
+      const Addr addr = line_base + first * kWordBytes;
+
+      const cachesim::AccessResult lr = line_cache.access_line(addr, words);
+      cachesim::AccessResult wr = word_cache.access(addr);
+      for (std::uint32_t w = 1; w < words; ++w) {
+        const cachesim::AccessResult follow =
+            word_cache.access(addr + w * kWordBytes);
+        EXPECT_TRUE(follow.hit);  // same-line trailing words always hit
+      }
+      EXPECT_EQ(lr.hit, wr.hit);
+      EXPECT_EQ(lr.evicted_line, wr.evicted_line);
+      EXPECT_EQ(line_cache.hits(), word_cache.hits());
+      EXPECT_EQ(line_cache.misses(), word_cache.misses());
+    }
+  }
+}
+
+TEST(CompiledStream, ConflictGraphOracle) {
+  for (const std::string workload : {"adpcm", "g721"}) {
+    for (const cachesim::CacheConfig& cache : oracle_configs()) {
+      const Rig r(workload, cache.line_size);
+      conflict::BuildOptions opt;
+      opt.cache = cache;
+      opt.seed = 3;
+      opt.use_compiled_stream = true;
+      const conflict::ConflictGraph fast =
+          conflict::build_conflict_graph(r.tp, r.layout, r.exec.walk, opt);
+      opt.use_compiled_stream = false;
+      const conflict::ConflictGraph ref =
+          conflict::build_conflict_graph(r.tp, r.layout, r.exec.walk, opt);
+      expect_same_graph(fast, ref);
+    }
+  }
+}
+
+TEST(CompiledStream, HierarchySimulationOracle) {
+  for (const std::string workload : {"adpcm", "g721"}) {
+    for (const cachesim::CacheConfig& cache : oracle_configs()) {
+      const Rig r(workload, cache.line_size);
+      const auto energies = energy::EnergyTable::build(cache, 256, 0, 0);
+
+      // Alternate objects on the scratchpad to exercise both paths.
+      std::vector<bool> on_spm(r.tp.object_count(), false);
+      for (std::size_t i = 0; i < on_spm.size(); i += 2) on_spm[i] = true;
+
+      memsim::SimOptions fast_opt;
+      fast_opt.seed = 5;
+      memsim::SimOptions ref_opt = fast_opt;
+      ref_opt.use_compiled_stream = false;
+
+      expect_same_report(
+          memsim::simulate_spm_system(r.tp, r.layout, r.exec.walk, on_spm,
+                                      cache, energies, fast_opt),
+          memsim::simulate_spm_system(r.tp, r.layout, r.exec.walk, on_spm,
+                                      cache, energies, ref_opt));
+      expect_same_report(
+          memsim::simulate_cache_only(r.tp, r.layout, r.exec.walk, cache,
+                                      energies, fast_opt),
+          memsim::simulate_cache_only(r.tp, r.layout, r.exec.walk, cache,
+                                      energies, ref_opt));
+    }
+  }
+}
+
+TEST(CompiledStream, MoveSemanticsLayoutOracle) {
+  // Steinke-style compacted layout: scratchpad objects are absent from the
+  // image, so their blocks compile as not-cached.
+  const Rig r("g721", 16);
+  cachesim::CacheConfig cache;
+  cache.size = 1_KiB;
+  cache.line_size = 16;
+  const auto energies = energy::EnergyTable::build(cache, 256, 0, 0);
+
+  std::vector<bool> on_spm(r.tp.object_count(), false);
+  for (std::size_t i = 0; i < on_spm.size(); i += 3) on_spm[i] = true;
+  const traceopt::Layout compacted = traceopt::layout_excluding(r.tp, on_spm);
+
+  memsim::SimOptions fast_opt;
+  memsim::SimOptions ref_opt;
+  ref_opt.use_compiled_stream = false;
+
+  expect_same_report(
+      memsim::simulate_spm_system(r.tp, compacted, r.exec.walk, on_spm,
+                                  cache, energies, fast_opt),
+      memsim::simulate_spm_system(r.tp, compacted, r.exec.walk, on_spm,
+                                  cache, energies, ref_opt));
+}
+
+TEST(CompiledStream, TwoLevelOracle) {
+  const Rig r("g721", 16);
+  cachesim::CacheConfig l1;
+  l1.size = 512;
+  l1.line_size = 16;
+  cachesim::CacheConfig l2;
+  l2.size = 4_KiB;
+  l2.line_size = 32;
+  l2.associativity = 2;
+  const auto energies = memsim::TwoLevelEnergies::build(l1, l2, 256);
+
+  std::vector<bool> on_spm(r.tp.object_count(), false);
+  on_spm[0] = true;
+
+  const memsim::TwoLevelReport fast = memsim::simulate_spm_two_level(
+      r.tp, r.layout, r.exec.walk, on_spm, l1, l2, energies, 1,
+      /*use_compiled_stream=*/true);
+  const memsim::TwoLevelReport ref = memsim::simulate_spm_two_level(
+      r.tp, r.layout, r.exec.walk, on_spm, l1, l2, energies, 1,
+      /*use_compiled_stream=*/false);
+
+  EXPECT_EQ(fast.counters.total_fetches, ref.counters.total_fetches);
+  EXPECT_EQ(fast.counters.spm_accesses, ref.counters.spm_accesses);
+  EXPECT_EQ(fast.counters.l1_hits, ref.counters.l1_hits);
+  EXPECT_EQ(fast.counters.l1_misses, ref.counters.l1_misses);
+  EXPECT_EQ(fast.counters.l2_hits, ref.counters.l2_hits);
+  EXPECT_EQ(fast.counters.l2_misses, ref.counters.l2_misses);
+  EXPECT_EQ(fast.total_energy, ref.total_energy);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// ThreadPool / ParallelRunner / Workbench::run_many determinism tests.
+//
+// The contract under test: a sweep evaluated on 1 thread and on N threads
+// returns identical result vectors — same order, same values — because
+// results are stored by index and every task derives randomness only from
+// its own (base seed, index) pair.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "casa/report/workbench.hpp"
+#include "casa/sim/parallel_runner.hpp"
+#include "casa/support/thread_pool.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace {
+
+using namespace casa;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after wait().
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  support::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelRunner, ResultsComeBackInIndexOrder) {
+  sim::RunnerOptions opt;
+  opt.threads = 4;
+  const sim::ParallelRunner runner(opt);
+  const std::vector<std::size_t> out = runner.map<std::size_t>(
+      257, [](std::size_t i, std::uint64_t) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, TaskSeedsAreStableAndDistinct) {
+  // Seeds depend only on (base, index) — never on schedule or thread count.
+  EXPECT_EQ(sim::task_seed(1, 0), sim::task_seed(1, 0));
+  EXPECT_NE(sim::task_seed(1, 0), sim::task_seed(1, 1));
+  EXPECT_NE(sim::task_seed(1, 0), sim::task_seed(2, 0));
+  EXPECT_NE(sim::task_seed(1, 0), 0u);
+
+  sim::RunnerOptions serial;
+  serial.threads = 1;
+  serial.seed = 42;
+  sim::RunnerOptions wide = serial;
+  wide.threads = 8;
+  const auto seeds_of = [](const sim::RunnerOptions& o) {
+    return sim::ParallelRunner(o).map<std::uint64_t>(
+        64, [](std::size_t, std::uint64_t seed) { return seed; });
+  };
+  EXPECT_EQ(seeds_of(serial), seeds_of(wide));
+}
+
+TEST(ParallelRunner, SweepIsThreadCountInvariant) {
+  // The satellite determinism test: same CASA sweep, 1 thread vs 4 threads,
+  // bit-identical outcome vectors.
+  const prog::Program program = workloads::make_adpcm();
+  const report::Workbench bench(program);
+
+  std::vector<report::Workbench::Job> jobs;
+  for (const Bytes spm : {64u, 128u, 256u}) {
+    cachesim::CacheConfig cache = workloads::paper_cache_for("adpcm");
+    jobs.push_back(report::Workbench::Job::casa_job(cache, spm));
+    jobs.push_back(report::Workbench::Job::steinke_job(cache, spm));
+    jobs.push_back(report::Workbench::Job::loopcache_job(cache, spm, 4));
+  }
+  {
+    cachesim::CacheConfig cache = workloads::paper_cache_for("adpcm");
+    jobs.push_back(report::Workbench::Job::cache_only_job(cache));
+  }
+
+  const std::vector<report::Outcome> serial = bench.run_many(jobs, 1);
+  const std::vector<report::Outcome> parallel = bench.run_many(jobs, 4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const report::Outcome& a = serial[i];
+    const report::Outcome& b = parallel[i];
+    EXPECT_EQ(a.object_count, b.object_count) << "job " << i;
+    EXPECT_EQ(a.conflict_edges, b.conflict_edges) << "job " << i;
+    EXPECT_EQ(a.spm_used, b.spm_used) << "job " << i;
+    EXPECT_EQ(a.lc_regions, b.lc_regions) << "job " << i;
+    EXPECT_EQ(a.sim.counters.total_fetches, b.sim.counters.total_fetches)
+        << "job " << i;
+    EXPECT_EQ(a.sim.counters.spm_accesses, b.sim.counters.spm_accesses)
+        << "job " << i;
+    EXPECT_EQ(a.sim.counters.cache_hits, b.sim.counters.cache_hits)
+        << "job " << i;
+    EXPECT_EQ(a.sim.counters.cache_misses, b.sim.counters.cache_misses)
+        << "job " << i;
+    EXPECT_EQ(a.sim.counters.cycles, b.sim.counters.cycles) << "job " << i;
+    EXPECT_EQ(a.sim.total_energy, b.sim.total_energy) << "job " << i;
+    EXPECT_EQ(a.sim.spm_energy, b.sim.spm_energy) << "job " << i;
+    EXPECT_EQ(a.sim.cache_energy, b.sim.cache_energy) << "job " << i;
+    EXPECT_EQ(a.sim.lc_energy, b.sim.lc_energy) << "job " << i;
+  }
+
+  // And batch results match the one-at-a-time entry points.
+  const report::Outcome alone = bench.run_casa(
+      workloads::paper_cache_for("adpcm"), 64);
+  EXPECT_EQ(alone.sim.total_energy, serial[0].sim.total_energy);
+  EXPECT_EQ(alone.sim.counters.cache_misses,
+            serial[0].sim.counters.cache_misses);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+# Runs build/bench/cachesim_throughput with a short measurement window and
+# compares every benchmark's items_per_second against the checked-in
+# baseline (BENCH_cachesim.json at the repo root). Fails when any benchmark
+# regresses by more than TOLERANCE (default 20%). Also asserts the
+# compiled-stream speedup invariant: BM_ConflictGraphBuild must stay >= 2x
+# BM_ConflictGraphBuildWordRef.
+#
+# BM_ParallelSweep is measured but only reported, never gated — its
+# items/sec depends on the host's core count, which the baseline can't know.
+#
+# Usage:
+#   tools/bench_check.sh [--update] [--build-dir DIR]
+#     --update      rewrite BENCH_cachesim.json from this run instead of
+#                   comparing (use after an intentional perf change)
+#     --build-dir   where the bench binary lives (default: build)
+#
+# Environment:
+#   BENCH_MIN_TIME  --benchmark_min_time value (default 0.2; this repo's
+#                   google-benchmark wants a plain double, no "s" suffix)
+#   BENCH_TOLERANCE allowed fractional regression (default 0.20)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+update=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update) update=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench_bin="$build_dir/bench/cachesim_throughput"
+baseline="$repo_root/BENCH_cachesim.json"
+min_time="${BENCH_MIN_TIME:-0.2}"
+tolerance="${BENCH_TOLERANCE:-0.20}"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "bench_check: $bench_bin not found — build first:" >&2
+  echo "  cmake -B build -G Ninja && cmake --build build" >&2
+  exit 2
+fi
+
+run_json="$(mktemp /tmp/bench_check.XXXXXX.json)"
+trap 'rm -f "$run_json"' EXIT
+
+echo "bench_check: running $bench_bin (--benchmark_min_time=$min_time)"
+"$bench_bin" --benchmark_min_time="$min_time" \
+             --benchmark_format=json \
+             --benchmark_out="$run_json" \
+             --benchmark_out_format=json > /dev/null
+
+if [[ "$update" -eq 1 ]]; then
+  python3 - "$run_json" "$baseline" <<'EOF'
+import json, sys
+run = json.load(open(sys.argv[1]))
+out = {
+    "_comment": ("Throughput baseline for tools/bench_check.sh. "
+                 "items_per_second from ./build/bench/cachesim_throughput on "
+                 "the recording host; regenerate with tools/bench_check.sh "
+                 "--update after intentional perf changes."),
+    "context": {
+        "host_cpus": run["context"]["num_cpus"],
+        "build_type": run["context"].get("library_build_type", ""),
+    },
+    "benchmarks": {
+        b["name"]: round(b["items_per_second"], 1)
+        for b in run["benchmarks"] if "items_per_second" in b
+    },
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"bench_check: baseline updated ({len(out['benchmarks'])} entries)")
+EOF
+  exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+  echo "bench_check: no baseline at $baseline — run with --update first" >&2
+  exit 2
+fi
+
+python3 - "$run_json" "$baseline" "$tolerance" <<'EOF'
+import json, sys
+
+run = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+current = {b["name"]: b["items_per_second"]
+           for b in run["benchmarks"] if "items_per_second" in b}
+
+failures = []
+print(f"{'benchmark':44} {'baseline':>14} {'current':>14} {'ratio':>7}")
+for name, expected in base["benchmarks"].items():
+    got = current.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from this run")
+        continue
+    ratio = got / expected
+    gated = not name.startswith("BM_ParallelSweep")
+    note = "" if gated else "  (informational — host-core dependent)"
+    print(f"{name:44} {expected:14.3e} {got:14.3e} {ratio:6.2f}x{note}")
+    if gated and ratio < 1.0 - tol:
+        failures.append(
+            f"{name}: {got:.3e} items/s is {100 * (1 - ratio):.1f}% below "
+            f"baseline {expected:.3e} (tolerance {100 * tol:.0f}%)")
+
+# Compiled-stream invariant: the line-granular path must keep its >= 2x
+# advantage over the word-granular reference on the same inputs.
+fast = current.get("BM_ConflictGraphBuild")
+ref = current.get("BM_ConflictGraphBuildWordRef")
+if fast and ref:
+    speedup = fast / ref
+    print(f"\ncompiled-stream speedup (conflict build): {speedup:.2f}x")
+    if speedup < 2.0:
+        failures.append(
+            f"compiled-stream speedup {speedup:.2f}x < 2.0x required")
+
+if failures:
+    print("\nbench_check: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("\nbench_check: OK")
+EOF
