@@ -9,17 +9,25 @@
 // The 9 configurations × 3 flows are evaluated as one Workbench::run_many
 // batch across all cores; per-row outputs are unchanged from the serial
 // formulation.
+#include <fstream>
 #include <iostream>
 
+#include "casa/obs/export.hpp"
+#include "casa/obs/metrics.hpp"
 #include "casa/report/workbench.hpp"
+#include "casa/sim/parallel_runner.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
 int main() {
   using namespace casa;
 
+  obs::MetricsRegistry metrics;
+  metrics.set_config("workload", "g721");
   const prog::Program program = workloads::make_g721();
-  const report::Workbench bench(program);
+  report::WorkbenchOptions wopt;
+  wopt.metrics = &metrics;
+  const report::Workbench bench(program, wopt);
   const Bytes spm = 256;
 
   std::cout << "Ablation C — CASA vs Steinke on g721 across cache"
@@ -42,7 +50,9 @@ int main() {
       jobs.push_back(report::Workbench::Job::cache_only_job(cache));
     }
   }
-  const std::vector<report::Outcome> outcomes = bench.run_many(jobs);
+  sim::MetricsShards shards(jobs.size());
+  const std::vector<report::Outcome> outcomes =
+      bench.run_many(jobs, 0, &shards);
 
   Table table({"assoc", "policy", "conflict edges", "CASA uJ", "Steinke uJ",
                "improv %", "CASA miss %", "cache-only uJ"});
@@ -56,7 +66,7 @@ int main() {
       table.row()
           .cell(static_cast<std::uint64_t>(assoc))
           .cell(cachesim::to_string(policy))
-          .cell(static_cast<std::uint64_t>(c.conflict_edges))
+          .cell(static_cast<std::uint64_t>(c.conflict_edges.value_or(0)))
           .cell(to_micro_joules(c.sim.total_energy), 1)
           .cell(to_micro_joules(s.sim.total_energy), 1)
           .cell(100.0 * (1.0 - c.sim.total_energy / s.sim.total_energy), 1)
@@ -69,5 +79,17 @@ int main() {
   }
 
   table.print(std::cout);
+
+  const std::vector<obs::MetricsSnapshot> tasks = shards.snapshots();
+  obs::ArtifactOptions aopt;
+  aopt.tool = "ablation_cache_config";
+  aopt.tasks = &tasks;
+  const char* artifact = "ablation_cache_config_metrics.json";
+  std::ofstream out(artifact);
+  if (out.good()) {
+    obs::write_artifact_json(out, metrics.snapshot(), aopt);
+    std::cout << "\ntelemetry artifact (" << tasks.size()
+              << " tasks) written to " << artifact << "\n";
+  }
   return 0;
 }

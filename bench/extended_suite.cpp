@@ -6,9 +6,13 @@
 // Per workload, all (spm size × flow) points go through one
 // Workbench::run_many batch across cores — the suite is the repo's largest
 // sweep and the main beneficiary of the parallel evaluation engine.
+#include <fstream>
 #include <iostream>
 
+#include "casa/obs/export.hpp"
+#include "casa/obs/metrics.hpp"
 #include "casa/report/workbench.hpp"
+#include "casa/sim/parallel_runner.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
@@ -21,11 +25,18 @@ int main() {
   Table table({"workload", "cache B", "SPM B", "CASA uJ", "Steinke uJ",
                "LC uJ", "vsSteinke %", "vsLC %"});
 
+  // Suite-wide telemetry: every workload's sweep merges in here, and each
+  // job keeps its own per-task snapshot for the artifact's "tasks" array.
+  obs::MetricsRegistry metrics;
+  std::vector<obs::MetricsSnapshot> task_snapshots;
+
   double sum_st = 0, sum_lc = 0;
   int rows = 0;
   for (const std::string& name : workloads::names()) {
     const prog::Program program = workloads::by_name(name);
-    const report::Workbench bench(program);
+    report::WorkbenchOptions wopt;
+    wopt.metrics = &metrics;
+    const report::Workbench bench(program, wopt);
     const auto cache = workloads::paper_cache_for(name);
     const std::vector<Bytes> spm_sizes = workloads::paper_spm_sizes_for(name);
 
@@ -35,7 +46,13 @@ int main() {
       jobs.push_back(report::Workbench::Job::steinke_job(cache, spm));
       jobs.push_back(report::Workbench::Job::loopcache_job(cache, spm, 4));
     }
-    const std::vector<report::Outcome> outcomes = bench.run_many(jobs);
+    sim::MetricsShards shards(jobs.size());
+    const std::vector<report::Outcome> outcomes =
+        bench.run_many(jobs, 0, &shards);
+    for (obs::MetricsSnapshot& task : shards.snapshots()) {
+      task.config["workload"] = name;
+      task_snapshots.push_back(std::move(task));
+    }
 
     std::size_t j = 0;
     for (const Bytes spm : spm_sizes) {
@@ -66,5 +83,16 @@ int main() {
   std::cout << "\naverages over " << rows << " configurations: CASA vs"
             << " Steinke " << sum_st / rows << "%, CASA vs loop cache "
             << sum_lc / rows << "%\n";
+
+  obs::ArtifactOptions aopt;
+  aopt.tool = "extended_suite";
+  aopt.tasks = &task_snapshots;
+  const char* artifact = "extended_suite_metrics.json";
+  std::ofstream out(artifact);
+  if (out.good()) {
+    obs::write_artifact_json(out, metrics.snapshot(), aopt);
+    std::cout << "telemetry artifact (" << task_snapshots.size()
+              << " tasks) written to " << artifact << "\n";
+  }
   return 0;
 }

@@ -64,7 +64,7 @@ int main() {
   show("CASA          ", casa_run);
 
   std::cout << "CASA solved " << casa_run.object_count << " objects / "
-            << casa_run.conflict_edges << " conflict edges with the "
+            << casa_run.conflict_edges.value_or(0) << " conflict edges with the "
             << core::to_string(casa_run.alloc.engine_used) << " engine in "
             << casa_run.alloc.solve_seconds * 1000 << " ms; placed "
             << casa_run.alloc.used_bytes << "/" << spm << " bytes\n";

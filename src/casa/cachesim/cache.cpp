@@ -63,7 +63,10 @@ AccessResult Cache::access_line(Addr addr, std::uint32_t words) {
   const unsigned victim = pick_victim(set);
   Way& v = base[victim];
   AccessResult result{false, std::nullopt};
-  if (v.valid) result.evicted_line = v.line;
+  if (v.valid) {
+    result.evicted_line = v.line;
+    ++evictions_;
+  }
   v.valid = true;
   v.line = line;
   // Fill happens at the first (missing) word's tick; under LRU the trailing

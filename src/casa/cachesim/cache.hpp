@@ -77,6 +77,8 @@ class Cache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t accesses() const { return hits_ + misses_; }
+  /// Misses that displaced a valid line (== misses - cold fills).
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   struct Way {
@@ -108,6 +110,7 @@ class Cache {
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace casa::cachesim

@@ -36,6 +36,8 @@ AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
 
   AllocationResult result;
   result.engine_used = engine;
+  result.presolved_items = sp.item_count();
+  result.presolved_edges = sp.edges.size();
   std::vector<bool> chosen;
 
   switch (engine) {
@@ -54,7 +56,8 @@ AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
                  "CASA ILP did not produce a solution");
       chosen = choice_from_solution(cm, sol);
       result.exact = sol.status == ilp::SolveStatus::kOptimal;
-      result.solver_nodes = solver.last_node_count();
+      result.solver_stats = solver.last_stats();
+      result.solver_nodes = result.solver_stats.nodes;
       break;
     }
     case CasaEngine::kSpecializedBnB: {
@@ -64,6 +67,7 @@ AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
       CasaBranchBoundResult r = solver.solve(sp);
       chosen = std::move(r.chosen);
       result.exact = r.exact;
+      result.solver_stats = r.stats;
       result.solver_nodes = r.nodes;
       break;
     }

@@ -19,6 +19,7 @@
 
 #include "casa/core/formulation.hpp"
 #include "casa/core/problem.hpp"
+#include "casa/ilp/solve_stats.hpp"
 
 namespace casa::core {
 
@@ -43,10 +44,15 @@ struct AllocationResult {
   Bytes used_bytes = 0;        ///< unpadded bytes placed on the scratchpad
   Energy predicted_energy = 0; ///< paper model (eq. 16; cold misses excl.)
   Energy predicted_saving = 0; ///< vs. the all-cached assignment
-  std::uint64_t solver_nodes = 0;
+  std::uint64_t solver_nodes = 0;  ///< == solver_stats.nodes (convenience)
   bool exact = true;
   double solve_seconds = 0.0;
   CasaEngine engine_used = CasaEngine::kAuto;
+  /// Exploration statistics of the engine that ran (all 0 for greedy).
+  ilp::SolveStats solver_stats;
+  /// Presolve reductions: items/edges that survived into the solved form.
+  std::size_t presolved_items = 0;
+  std::size_t presolved_edges = 0;
 };
 
 class CasaAllocator {

@@ -117,12 +117,14 @@ class Search {
   }
 
   CasaBranchBoundResult run() {
-    dfs();
+    dfs(0);
     CasaBranchBoundResult r;
     r.chosen = std::move(best_chosen_);
     r.saving = sp_.saving_for(r.chosen);
     r.nodes = nodes_;
     r.exact = !aborted_;
+    r.stats = stats_;
+    r.stats.nodes = nodes_;
     return r;
   }
 
@@ -242,18 +244,20 @@ class Search {
     }
   }
 
-  void dfs() {
+  void dfs(std::uint64_t depth) {
     if (aborted_) return;
     if (++nodes_ > opt_.max_nodes) {
       aborted_ = true;
       return;
     }
+    if (depth > stats_.max_depth) stats_.max_depth = depth;
     if (cur_saving_ > best_saving_) {
       best_saving_ = cur_saving_;
       best_chosen_.assign(state_.size(), false);
       for (std::size_t k = 0; k < state_.size(); ++k) {
         best_chosen_[k] = state_[k] == kIncluded;
       }
+      ++stats_.incumbent_updates;
     }
 
     // Branch variable: densest undecided item that still fits.
@@ -271,15 +275,18 @@ class Search {
       }
     }
     if (pick < 0) return;  // nothing can be added
-    if (bound() <= best_saving_ + opt_.eps) return;
+    if (bound() <= best_saving_ + opt_.eps) {
+      ++stats_.bound_prunes;
+      return;
+    }
 
     const auto k = static_cast<std::size_t>(pick);
     include(k);
-    dfs();
+    dfs(depth + 1);
     undo_include(k);
 
     exclude(k);
-    dfs();
+    dfs(depth + 1);
     undo_exclude(k);
   }
 
@@ -299,6 +306,7 @@ class Search {
   std::vector<bool> best_chosen_;
   Energy best_saving_ = 0;
   std::uint64_t nodes_ = 0;
+  ilp::SolveStats stats_;
   bool aborted_ = false;
 };
 

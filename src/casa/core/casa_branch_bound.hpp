@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "casa/core/problem.hpp"
+#include "casa/ilp/solve_stats.hpp"
 
 namespace casa::core {
 
@@ -28,8 +29,10 @@ struct CasaBranchBoundOptions {
 struct CasaBranchBoundResult {
   std::vector<bool> chosen;  ///< per presolved item
   Energy saving = 0;
-  std::uint64_t nodes = 0;
+  std::uint64_t nodes = 0;   ///< == stats.nodes (kept for existing callers)
   bool exact = true;  ///< false when max_nodes aborted the proof
+  /// Exploration statistics (simplex_iterations stays 0 — no LPs here).
+  ilp::SolveStats stats;
 };
 
 class CasaBranchBound {

@@ -12,6 +12,7 @@ namespace {
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
+  std::uint64_t depth = 0;
 };
 
 }  // namespace
@@ -39,19 +40,26 @@ Solution BranchAndBound::solve(const Model& m) const {
 
   std::vector<Node> stack;
   stack.push_back(std::move(root));
-  last_nodes_ = 0;
+  last_stats_ = SolveStats{};
 
   while (!stack.empty()) {
-    if (last_nodes_ >= opt_.max_nodes) {
+    if (last_stats_.nodes >= opt_.max_nodes) {
       hit_limit = true;
       break;
     }
-    ++last_nodes_;
+    ++last_stats_.nodes;
     Node node = std::move(stack.back());
     stack.pop_back();
+    if (node.depth > last_stats_.max_depth) {
+      last_stats_.max_depth = node.depth;
+    }
 
     const Solution relax = lp.solve_relaxation(m, node.lower, node.upper);
-    if (relax.status == SolveStatus::kInfeasible) continue;
+    last_stats_.simplex_iterations += relax.iterations;
+    if (relax.status == SolveStatus::kInfeasible) {
+      ++last_stats_.infeasible_prunes;
+      continue;
+    }
     if (relax.status == SolveStatus::kUnbounded) {
       // A bounded-binary model relaxation can be unbounded only through
       // continuous vars; integrality cannot repair that.
@@ -63,7 +71,10 @@ Solution BranchAndBound::solve(const Model& m) const {
       hit_limit = true;
       continue;
     }
-    if (key(relax.objective) >= incumbent_key - opt_.gap_tol) continue;
+    if (key(relax.objective) >= incumbent_key - opt_.gap_tol) {
+      ++last_stats_.bound_prunes;
+      continue;
+    }
 
     // Find the most fractional binary among the highest-priority tier.
     int branch_var = -1;
@@ -91,6 +102,7 @@ Solution BranchAndBound::solve(const Model& m) const {
       // Integral: new incumbent.
       incumbent = relax;
       incumbent_key = key(relax.objective);
+      ++last_stats_.incumbent_updates;
       continue;
     }
 
@@ -99,8 +111,10 @@ Solution BranchAndBound::solve(const Model& m) const {
     Node down = node;   // x_b = 0 side (floor)
     down.upper[b] = std::floor(x);
     down.lower[b] = node.lower[b];
+    ++down.depth;
     Node up = std::move(node);  // x_b = 1 side (ceil)
     up.lower[b] = std::ceil(x);
+    ++up.depth;
 
     // DFS explores the rounding-toward x side first for faster incumbents.
     if (x - std::floor(x) > 0.5) {

@@ -11,6 +11,7 @@
 
 #include "casa/ilp/model.hpp"
 #include "casa/ilp/simplex.hpp"
+#include "casa/ilp/solve_stats.hpp"
 
 namespace casa::ilp {
 
@@ -39,11 +40,14 @@ class BranchAndBound {
   Solution solve(const Model& m) const;
 
   /// Nodes explored by the most recent solve() (observability hook).
-  std::uint64_t last_node_count() const { return last_nodes_; }
+  std::uint64_t last_node_count() const { return last_stats_.nodes; }
+
+  /// Full exploration statistics of the most recent solve().
+  const SolveStats& last_stats() const { return last_stats_; }
 
  private:
   Options opt_;
-  mutable std::uint64_t last_nodes_ = 0;
+  mutable SolveStats last_stats_;
 };
 
 }  // namespace casa::ilp

@@ -110,6 +110,9 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< indexed by VarId
+  /// Simplex pivots spent producing this solution (both phases;
+  /// observability only, set on every status).
+  std::uint64_t iterations = 0;
 
   double value(VarId v) const {
     CASA_CHECK(v.index() < values.size(), "no value for variable");

@@ -312,6 +312,7 @@ double Tableau::phase1_infeasibility() const {
 Solution Tableau::extract(SolveStatus status) {
   Solution sol;
   sol.status = status;
+  sol.iterations = iters_;
   if (status != SolveStatus::kOptimal) return sol;
 
   sol.values.assign(model_.var_count(), 0.0);

@@ -1,0 +1,23 @@
+// Exploration statistics every exact solver reports.
+//
+// Returned unconditionally (no metrics registry required) so callers and
+// tests can reason about solver effort — e.g. asserting that the
+// specialized CASA branch & bound explores no more nodes than the generic
+// ILP on the same instance. Fields that a solver has no notion of stay 0
+// (the combinatorial solver never solves LPs, so simplex_iterations = 0).
+#pragma once
+
+#include <cstdint>
+
+namespace casa::ilp {
+
+struct SolveStats {
+  std::uint64_t nodes = 0;              ///< branch & bound nodes expanded
+  std::uint64_t max_depth = 0;          ///< deepest node expanded
+  std::uint64_t incumbent_updates = 0;  ///< times the best solution improved
+  std::uint64_t bound_prunes = 0;       ///< subtrees cut by the dual bound
+  std::uint64_t infeasible_prunes = 0;  ///< subtrees cut by LP infeasibility
+  std::uint64_t simplex_iterations = 0; ///< pivots across all LP solves
+};
+
+}  // namespace casa::ilp

@@ -23,6 +23,7 @@
 
 #include "casa/conflict/conflict_graph.hpp"
 #include "casa/core/problem.hpp"
+#include "casa/obs/export.hpp"
 
 namespace casa::io {
 
@@ -50,5 +51,17 @@ void write_allocation(std::ostream& os, const std::vector<bool>& on_spm);
 
 /// Reads an allocation written by write_allocation.
 std::vector<bool> read_allocation(std::istream& is);
+
+/// Writes the `casa-metrics v1` JSON artifact (delegates to the obs
+/// exporter; listed here so telemetry rides the same save/load surface as
+/// problems and allocations).
+void write_metrics_json(std::ostream& os, const obs::MetricsSnapshot& snap,
+                        const obs::ArtifactOptions& opt = {});
+
+/// Reads an artifact written by write_metrics_json back into a snapshot.
+/// Restores config/phases/counters/gauges/distributions bit-for-bit; run
+/// provenance and the per-task array have no snapshot representation and
+/// are validated but dropped.
+obs::MetricsSnapshot read_metrics_json(std::istream& is);
 
 }  // namespace casa::io

@@ -26,6 +26,22 @@ void finish(SimReport& rep, const energy::EnergyTable& energies,
   rep.total_energy = rep.spm_energy + rep.cache_energy + rep.lc_energy;
 }
 
+/// Records the finished replay's counters into the attached registry (a
+/// handful of adds per *simulation*, never per access — the instrumentation
+/// stays off the hot path entirely).
+void record_metrics(obs::MetricsRegistry* reg, const SimCounters& c) {
+  if (reg == nullptr) return;
+  reg->add("sim.fetches", c.total_fetches);
+  reg->add("sim.spm_accesses", c.spm_accesses);
+  reg->add("sim.lc_accesses", c.lc_accesses);
+  reg->add("cache.accesses", c.cache_accesses);
+  reg->add("cache.hits", c.cache_hits);
+  reg->add("cache.misses", c.cache_misses);
+  reg->add("cache.evictions", c.cache_evictions);
+  reg->add("sim.mainmem_words", c.mainmem_words);
+  reg->add("sim.cycles", c.cycles);
+}
+
 /// Word-granular reference inner loop. `spm_mo` marks scratchpad-resident
 /// objects (empty = none); `regions` enables the loop-cache path (nullptr =
 /// none).
@@ -83,7 +99,9 @@ SimReport run_words(const traceopt::TraceProgram& tp,
     }
   }
 
+  c.cache_evictions = cache.evictions();
   finish(rep, energies, regions != nullptr);
+  record_metrics(opt.metrics, c);
   return rep;
 }
 
@@ -104,6 +122,7 @@ SimReport run_lines(const traceopt::TraceProgram& tp,
 
   SimReport rep;
   SimCounters& c = rep.counters;
+  std::uint64_t runs_replayed = 0;
 
   for (const BasicBlockId bb : walk.seq) {
     const MemoryObjectId mo = tp.object_of(bb);
@@ -118,6 +137,7 @@ SimReport run_lines(const traceopt::TraceProgram& tp,
 
     CASA_CHECK(stream.cached(bb),
                "cached block missing from the compiled layout");
+    runs_replayed += stream.runs(bb).size();
     for (const trace::LineRun& run : stream.runs(bb)) {
       c.total_fetches += run.words;
       c.cache_accesses += run.words;
@@ -135,7 +155,17 @@ SimReport run_lines(const traceopt::TraceProgram& tp,
     }
   }
 
+  c.cache_evictions = cache.evictions();
   finish(rep, energies, /*loop_cache=*/false);
+  record_metrics(opt.metrics, c);
+  if (opt.metrics != nullptr) {
+    // Compiled-stream run-length telemetry: static runs in the compiled
+    // image, dynamic runs replayed, and the words they collapsed.
+    opt.metrics->add("stream.compiled_runs", stream.total_runs());
+    opt.metrics->add("stream.replayed_runs", runs_replayed);
+    opt.metrics->add("stream.replayed_words",
+                     c.cache_hits + c.cache_misses);
+  }
   return rep;
 }
 

@@ -13,6 +13,7 @@
 #include "casa/cachesim/cache.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/loopcache/loop_cache.hpp"
+#include "casa/obs/metrics.hpp"
 #include "casa/trace/executor.hpp"
 #include "casa/traceopt/layout.hpp"
 #include "casa/traceopt/memory_object.hpp"
@@ -35,6 +36,7 @@ struct SimCounters {
   std::uint64_t cache_accesses = 0;  ///< hits + misses
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0; ///< misses displacing a valid line
   std::uint64_t mainmem_words = 0;   ///< words transferred on line fills
   std::uint64_t cycles = 0;
 };
@@ -57,6 +59,11 @@ struct SimOptions {
   /// words: preloaded regions bound by loop/function extents need not align
   /// to cache lines, so a line run may straddle a region edge.
   bool use_compiled_stream = true;
+  /// When set, the final counters (sim.* / cache.* / stream.* — see
+  /// docs/metrics.md) are recorded here after the replay finishes. Recording
+  /// happens once per simulation, outside the hot loop, so the null default
+  /// costs nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Scratchpad system: objects with on_spm[mo] set are fetched from the

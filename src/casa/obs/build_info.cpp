@@ -1,0 +1,24 @@
+#include "casa/obs/build_info.hpp"
+
+#ifndef CASA_GIT_DESCRIBE
+#define CASA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CASA_BUILD_TYPE
+#define CASA_BUILD_TYPE "unknown"
+#endif
+#ifndef CASA_CXX_FLAGS
+#define CASA_CXX_FLAGS ""
+#endif
+#ifndef CASA_COMPILER
+#define CASA_COMPILER "unknown"
+#endif
+
+namespace casa::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{CASA_GIT_DESCRIBE, CASA_BUILD_TYPE,
+                              CASA_CXX_FLAGS, CASA_COMPILER};
+  return info;
+}
+
+}  // namespace casa::obs

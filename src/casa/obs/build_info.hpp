@@ -1,0 +1,23 @@
+// Build provenance embedded in every run artifact.
+//
+// Values are injected at compile time by src/casa/obs/CMakeLists.txt
+// (git describe at configure time, the active build type and flags); a
+// build outside git falls back to "unknown". Artifacts carry these so a
+// metrics JSON can always be traced back to the exact code and compiler
+// configuration that produced it.
+#pragma once
+
+#include <string>
+
+namespace casa::obs {
+
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty`
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string cxx_flags;     ///< CMAKE_CXX_FLAGS (may be empty)
+  std::string compiler;      ///< compiler id + version
+};
+
+const BuildInfo& build_info();
+
+}  // namespace casa::obs

@@ -1,0 +1,168 @@
+#include "casa/obs/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "casa/obs/build_info.hpp"
+
+namespace casa::obs {
+
+namespace {
+
+/// Shortest representation that parses back to the same double.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try to shorten: %.17g is sufficient but often not necessary.
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+void write_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+void write_summary(std::ostream& os, const DistSummary& d,
+                   const char* sum_key) {
+  os << "{\"count\": " << d.count << ", \"" << sum_key
+     << "\": " << fmt_double(d.sum) << ", \"min\": " << fmt_double(d.min)
+     << ", \"max\": " << fmt_double(d.max) << "}";
+}
+
+template <typename M, typename F>
+void write_object(std::ostream& os, const M& map, const std::string& outer,
+                  F&& write_value) {
+  const std::string inner = outer + "  ";
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    os << (first ? "\n" : ",\n") << inner;
+    write_string(os, key);
+    os << ": ";
+    write_value(value);
+    first = false;
+  }
+  if (!first) os << "\n" << outer;
+  os << "}";
+}
+
+void write_snapshot_body(std::ostream& os, const MetricsSnapshot& snap,
+                         const std::string& indent) {
+  os << indent << "\"config\": ";
+  write_object(os, snap.config, indent,
+               [&os](const std::string& v) { write_string(os, v); });
+  os << ",\n" << indent << "\"phases\": ";
+  write_object(os, snap.spans, indent, [&os](const DistSummary& d) {
+    write_summary(os, d, "seconds");
+  });
+  os << ",\n" << indent << "\"counters\": ";
+  write_object(os, snap.counters, indent,
+               [&os](std::uint64_t v) { os << v; });
+  os << ",\n" << indent << "\"gauges\": ";
+  write_object(os, snap.gauges, indent,
+               [&os](double v) { os << fmt_double(v); });
+  os << ",\n" << indent << "\"distributions\": ";
+  write_object(os, snap.distributions, indent,
+               [&os](const DistSummary& d) { write_summary(os, d, "sum"); });
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_artifact_json(std::ostream& os, const MetricsSnapshot& snap,
+                         const ArtifactOptions& opt) {
+  const BuildInfo& build = build_info();
+  os << "{\n";
+  os << "  \"schema\": \"casa-metrics v1\",\n";
+  os << "  \"run\": {\n";
+  os << "    \"tool\": ";
+  write_string(os, opt.tool);
+  os << ",\n    \"git\": ";
+  write_string(os, build.git_describe);
+  os << ",\n    \"build_type\": ";
+  write_string(os, build.build_type);
+  os << ",\n    \"cxx_flags\": ";
+  write_string(os, build.cxx_flags);
+  os << ",\n    \"compiler\": ";
+  write_string(os, build.compiler);
+  os << "\n  },\n";
+  write_snapshot_body(os, snap, "  ");
+  if (opt.tasks != nullptr) {
+    os << ",\n  \"tasks\": [";
+    for (std::size_t i = 0; i < opt.tasks->size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    {\n";
+      write_snapshot_body(os, (*opt.tasks)[i], "      ");
+      os << "\n    }";
+    }
+    if (!opt.tasks->empty()) os << "\n  ";
+    os << "]";
+  }
+  os << "\n}\n";
+}
+
+void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "kind,name,value\n";
+  for (const auto& [k, v] : snap.config) {
+    os << "config," << k << "," << v << "\n";
+  }
+  const auto emit_summary = [&os](const char* kind, const std::string& name,
+                                  const DistSummary& d) {
+    os << kind << "," << name << ".count," << d.count << "\n";
+    os << kind << "," << name << ".sum," << fmt_double(d.sum) << "\n";
+    os << kind << "," << name << ".min," << fmt_double(d.min) << "\n";
+    os << kind << "," << name << ".max," << fmt_double(d.max) << "\n";
+  };
+  for (const auto& [k, d] : snap.spans) emit_summary("phase", k, d);
+  for (const auto& [k, v] : snap.counters) {
+    os << "counter," << k << "," << v << "\n";
+  }
+  for (const auto& [k, v] : snap.gauges) {
+    os << "gauge," << k << "," << fmt_double(v) << "\n";
+  }
+  for (const auto& [k, d] : snap.distributions) {
+    emit_summary("distribution", k, d);
+  }
+}
+
+}  // namespace casa::obs

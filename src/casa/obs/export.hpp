@@ -1,0 +1,50 @@
+// Structured run artifacts: JSON (machines, jq) and CSV (spreadsheets).
+//
+// One artifact = one run. The JSON layout ("casa-metrics v1", documented
+// key-by-key in docs/metrics.md) is:
+//
+//   {
+//     "schema": "casa-metrics v1",
+//     "run":    { "tool", "git", "build_type", "cxx_flags", "compiler" },
+//     "config": { "workload": "mpeg", ... },
+//     "phases": { "run_casa/allocation": {"count","seconds","min","max"} },
+//     "counters": { "cache.hits": 123, ... },
+//     "gauges":   { "runner.threads": 4.0, ... },
+//     "distributions": { "job.seconds": {"count","sum","min","max"} },
+//     "tasks": [ { per-task phases/counters... } ]   // only when provided
+//   }
+//
+// Doubles are written with round-trip precision so that
+// io::read_metrics_json(write) reproduces the snapshot bit-for-bit. Maps
+// iterate in sorted order, so artifacts are byte-stable across runs with
+// equal contents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "casa/obs/metrics.hpp"
+
+namespace casa::obs {
+
+struct ArtifactOptions {
+  /// Name of the producing binary, written to run.tool.
+  std::string tool = "casa";
+  /// Optional per-task snapshots (e.g. one per run_many job); exported as
+  /// the "tasks" array in index order.
+  const std::vector<MetricsSnapshot>* tasks = nullptr;
+};
+
+/// Writes the full "casa-metrics v1" artifact.
+void write_artifact_json(std::ostream& os, const MetricsSnapshot& snap,
+                         const ArtifactOptions& opt = {});
+
+/// Writes one flat `kind,name,value` row per metric (distribution and span
+/// summaries expand to .count/.sum/.min/.max rows).
+void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+/// JSON string escaping (shared with io::serialize's reader tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace casa::obs

@@ -1,0 +1,95 @@
+#include "casa/obs/metrics.hpp"
+
+namespace casa::obs {
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, d] : other.distributions) {
+    distributions[name].merge(d);
+  }
+  for (const auto& [name, d] : other.spans) spans[name].merge(d);
+  for (const auto& [k, v] : other.config) config[k] = v;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counter(name).add(delta);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = dists_.find(name);
+  if (it == dists_.end()) {
+    it = dists_.emplace(std::string(name), DistSummary{}).first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::record_span(std::string_view path, double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(path);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(path), DistSummary{}).first;
+  }
+  it->second.observe(seconds);
+}
+
+void MetricsRegistry::set_config(std::string_view key, std::string_view value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = config_.find(key);
+  if (it == config_.end()) {
+    config_.emplace(std::string(key), std::string(value));
+  } else {
+    it->second = std::string(value);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace(name, cell->load(std::memory_order_relaxed));
+  }
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  snap.distributions.insert(dists_.begin(), dists_.end());
+  snap.spans.insert(spans_.begin(), spans_.end());
+  snap.config.insert(config_.begin(), config_.end());
+  return snap;
+}
+
+void MetricsRegistry::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    if (v != 0) counter(name).add(v);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, v] : other.gauges) {
+    gauges_.insert_or_assign(name, v);
+  }
+  for (const auto& [name, d] : other.distributions) dists_[name].merge(d);
+  for (const auto& [name, d] : other.spans) spans_[name].merge(d);
+  for (const auto& [k, v] : other.config) config_.insert_or_assign(k, v);
+}
+
+}  // namespace casa::obs

@@ -1,0 +1,147 @@
+// Pipeline telemetry: thread-safe metrics registry with handle-based
+// recording and a null-sink default.
+//
+// Three metric kinds cover everything the pipeline emits:
+//  * counters       — monotonic uint64 (cache hits, solver nodes, ...);
+//  * gauges         — last-written double (thread count, capacity, ...);
+//  * distributions  — count/sum/min/max summaries (per-job wall time, ...).
+// Completed obs::Span timings land in a fourth, structurally identical map
+// keyed by slash-joined phase path ("run_casa/allocation").
+//
+// Cost model: recording through a Counter handle is one relaxed atomic add,
+// and a default-constructed (null) handle is a no-op — instrumented code
+// compiles to ~nothing when no registry is attached. Registration
+// (name -> handle) takes a mutex; resolve handles once, outside hot loops.
+// Snapshots copy all state under the lock; exporters and merging operate on
+// snapshots, never on the live registry, so a registry can keep recording
+// while another thread exports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace casa::obs {
+
+class MetricsRegistry;
+
+/// Cheap recording handle for one monotonic counter. Default-constructed
+/// handles are null sinks: add() does nothing. Handles stay valid for the
+/// lifetime of the registry that issued them.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t delta = 1) const {
+    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// count/sum/min/max summary of an observed value stream.
+struct DistSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void observe(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    sum += v;
+  }
+  void merge(const DistSummary& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
+    }
+    count += o.count;
+    sum += o.sum;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+};
+
+/// Point-in-time copy of a registry's contents. All maps are ordered, so a
+/// snapshot (and anything exported from it) has deterministic iteration
+/// order independent of registration order or thread schedule.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, DistSummary> distributions;
+  /// Completed spans aggregated by slash-joined path; values are seconds.
+  std::map<std::string, DistSummary> spans;
+  /// Free-form run configuration (workload=mpeg, spm=512, ...).
+  std::map<std::string, std::string> config;
+
+  /// Accumulates `other`: counters sum, distributions/spans merge
+  /// (count/sum add, min/max widen), gauges and config last-write-win.
+  /// Merging task snapshots in index order therefore yields identical
+  /// counter values for any thread count.
+  void merge_from(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolves (registering on first use) the counter named `name`.
+  Counter counter(std::string_view name);
+
+  /// One-shot counter add (registration cost every call — fine outside hot
+  /// loops, wrong inside them; keep a Counter handle there instead).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  void set_gauge(std::string_view name, double value);
+
+  /// Folds `value` into the distribution named `name`.
+  void observe(std::string_view name, double value);
+
+  /// Folds a completed span's duration into the span summary at `path`.
+  /// Normally called by obs::Span, not directly.
+  void record_span(std::string_view path, double seconds);
+
+  void set_config(std::string_view key, std::string_view value);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Accumulates a snapshot (see MetricsSnapshot::merge_from) — how
+  /// per-task registries fold into a run-level one.
+  void merge_from(const MetricsSnapshot& other);
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr keeps each atomic's address stable across map rebalancing.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
+           std::less<>>
+      counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, DistSummary, std::less<>> dists_;
+  std::map<std::string, DistSummary, std::less<>> spans_;
+  std::map<std::string, std::string, std::less<>> config_;
+};
+
+/// Null-safe handle lookup: returns a null-sink Counter when reg is null.
+inline Counter counter_or_null(MetricsRegistry* reg, std::string_view name) {
+  return reg != nullptr ? reg->counter(name) : Counter();
+}
+
+}  // namespace casa::obs

@@ -1,0 +1,54 @@
+#include "casa/obs/span.hpp"
+
+#include <chrono>
+
+namespace casa::obs {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Innermost live span on this thread (nesting is a per-thread property).
+thread_local Span* g_current_span = nullptr;
+
+}  // namespace
+
+const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+Span::Span(MetricsRegistry* reg, std::string_view name, const Clock* clock)
+    : reg_(reg) {
+  if (reg_ == nullptr) return;  // inert: no clock read, no TLS push
+  clock_ = clock != nullptr ? clock : &obs::steady_clock();
+  parent_ = g_current_span;
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + name.size());
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = std::string(name);
+  }
+  g_current_span = this;
+  start_ns_ = clock_->now_ns();
+}
+
+Span::~Span() {
+  if (reg_ == nullptr) return;
+  const std::uint64_t end_ns = clock_->now_ns();
+  g_current_span = parent_;
+  reg_->record_span(path_,
+                    static_cast<double>(end_ns - start_ns_) / 1e9);
+}
+
+}  // namespace casa::obs

@@ -1,0 +1,79 @@
+// Scoped phase timers with an injectable clock.
+//
+// A Span measures the wall time between its construction and destruction
+// and records it into a MetricsRegistry under a slash-joined path built
+// from the spans enclosing it on the same thread:
+//
+//   obs::Span run(reg, "run_casa");
+//   { obs::Span s(reg, "allocation"); ... }   // -> "run_casa/allocation"
+//
+// The clock is injectable (tests pass a FakeClock and advance it by hand,
+// so timing assertions are deterministic); the default is the process
+// steady clock. A Span given a null registry is fully inert: no clock
+// reads, no nesting bookkeeping — the null-sink guarantee that lets
+// instrumentation stay compiled into release binaries.
+//
+// Nesting is tracked per thread, which matches how the pipeline runs: one
+// flow per task, one task per thread. Spans on different threads never see
+// each other as parents (their paths simply start at their own roots).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "casa/obs/metrics.hpp"
+
+namespace casa::obs {
+
+/// Nanosecond time source for Span. Implementations must be monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// The process-wide std::chrono::steady_clock adapter.
+const Clock& steady_clock();
+
+/// Manually advanced clock for deterministic tests.
+class FakeClock : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t ns) {
+    now_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void advance_seconds(double s) {
+    advance_ns(static_cast<std::uint64_t>(s * 1e9));
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_{0};
+};
+
+class Span {
+ public:
+  /// Starts timing `name` against `reg` (null = inert). `clock` defaults to
+  /// the steady clock.
+  Span(MetricsRegistry* reg, std::string_view name,
+       const Clock* clock = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Full slash-joined path ("run_casa/allocation"); empty when inert.
+  const std::string& path() const { return path_; }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  const Clock* clock_ = nullptr;
+  std::string path_;
+  std::uint64_t start_ns_ = 0;
+  Span* parent_ = nullptr;
+};
+
+}  // namespace casa::obs

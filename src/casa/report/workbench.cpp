@@ -1,18 +1,48 @@
 #include "casa/report/workbench.hpp"
 
+#include <memory>
+
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/obs/span.hpp"
 #include "casa/sim/parallel_runner.hpp"
+#include "casa/support/error.hpp"
 #include "casa/traceopt/layout.hpp"
 
 namespace casa::report {
 
 namespace {
+
 trace::ExecutorOptions exec_opts(const WorkbenchOptions& o) {
   trace::ExecutorOptions e;
   e.seed = o.exec_seed;
   return e;
 }
+
+memsim::SimOptions sim_opts(obs::MetricsRegistry* reg) {
+  memsim::SimOptions s;
+  s.metrics = reg;
+  return s;
+}
+
+/// Allocation telemetry shared by every solving flow. Counters sum across
+/// run_many jobs; per-run quantities (tree depth, solve time) go in as
+/// distributions so merging keeps min/max instead of a meaningless sum.
+void record_alloc(obs::MetricsRegistry* reg, const core::AllocationResult& a) {
+  if (reg == nullptr) return;
+  reg->add("solver.nodes", a.solver_stats.nodes);
+  reg->add("solver.incumbent_updates", a.solver_stats.incumbent_updates);
+  reg->add("solver.bound_prunes", a.solver_stats.bound_prunes);
+  reg->add("solver.infeasible_prunes", a.solver_stats.infeasible_prunes);
+  reg->add("solver.simplex_iterations", a.solver_stats.simplex_iterations);
+  reg->add("solver.presolved_items", a.presolved_items);
+  reg->add("solver.presolved_edges", a.presolved_edges);
+  reg->observe("solver.max_depth",
+               static_cast<double>(a.solver_stats.max_depth));
+  reg->observe("solver.seconds", a.solve_seconds);
+  reg->observe("alloc.spm_used_bytes", static_cast<double>(a.used_bytes));
+}
+
 }  // namespace
 
 Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
@@ -34,122 +64,256 @@ traceopt::TraceProgram Workbench::form(const cachesim::CacheConfig& cache,
 Outcome Workbench::run_casa(const cachesim::CacheConfig& cache,
                             Bytes spm_size,
                             const core::CasaOptions& copt) const {
-  const traceopt::TraceProgram tp = form(cache, spm_size);
-  const traceopt::Layout layout = traceopt::layout_all(tp);
+  return run_casa_into(opt_.metrics, cache, spm_size, copt);
+}
 
-  conflict::BuildOptions bopt;
-  bopt.cache = cache;
-  const conflict::ConflictGraph graph =
-      conflict::build_conflict_graph(tp, layout, exec_.walk, bopt);
+Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
+                                 const cachesim::CacheConfig& cache,
+                                 Bytes spm_size,
+                                 const core::CasaOptions& copt) const {
+  const obs::Span flow(reg, "run_casa");
 
-  const energy::EnergyTable energies =
-      energy::EnergyTable::build(cache, spm_size, 0, 0);
-  const core::CasaProblem problem =
-      core::CasaProblem::from(tp, graph, energies, spm_size);
+  std::unique_ptr<traceopt::TraceProgram> tp;
+  {
+    const obs::Span s(reg, "trace_formation");
+    tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+  }
 
-  const core::CasaAllocator allocator(copt);
+  std::unique_ptr<traceopt::Layout> layout;
+  {
+    const obs::Span s(reg, "layout");
+    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+  }
+
+  std::unique_ptr<conflict::ConflictGraph> graph;
+  {
+    const obs::Span s(reg, "conflict_graph");
+    conflict::BuildOptions bopt;
+    bopt.cache = cache;
+    graph = std::make_unique<conflict::ConflictGraph>(
+        conflict::build_conflict_graph(*tp, *layout, exec_.walk, bopt));
+    if (reg != nullptr) {
+      reg->add("conflict.nodes", graph->node_count());
+      reg->add("conflict.edges", graph->edge_count());
+    }
+  }
+
   Outcome out;
-  out.alloc = allocator.allocate(problem);
-  out.object_count = tp.object_count();
-  out.conflict_edges = graph.edge_count();
+  {
+    const obs::Span s(reg, "allocation");
+    const energy::EnergyTable energies =
+        energy::EnergyTable::build(cache, spm_size, 0, 0);
+    const core::CasaProblem problem =
+        core::CasaProblem::from(*tp, *graph, energies, spm_size);
+    const core::CasaAllocator allocator(copt);
+    out.alloc = allocator.allocate(problem);
+    record_alloc(reg, out.alloc);
+  }
+  out.object_count = tp->object_count();
+  out.conflict_edges = graph->edge_count();
   out.spm_used = out.alloc.used_bytes;
-  // Copy semantics: the main-memory image keeps every object; fetches of
-  // scratchpad objects simply go to the scratchpad.
-  out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk,
-                                        out.alloc.on_spm, cache, energies);
+
+  {
+    const obs::Span s(reg, "simulation");
+    const energy::EnergyTable energies =
+        energy::EnergyTable::build(cache, spm_size, 0, 0);
+    // Copy semantics: the main-memory image keeps every object; fetches of
+    // scratchpad objects simply go to the scratchpad.
+    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk,
+                                          out.alloc.on_spm, cache, energies,
+                                          sim_opts(reg));
+  }
   return out;
 }
 
 Outcome Workbench::run_steinke(const cachesim::CacheConfig& cache,
                                Bytes spm_size) const {
-  const traceopt::TraceProgram tp = form(cache, spm_size);
+  return run_steinke_into(opt_.metrics, cache, spm_size);
+}
+
+Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
+                                    const cachesim::CacheConfig& cache,
+                                    Bytes spm_size) const {
+  const obs::Span flow(reg, "run_steinke");
+
+  std::unique_ptr<traceopt::TraceProgram> tp;
+  {
+    const obs::Span s(reg, "trace_formation");
+    tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+  }
   const energy::EnergyTable energies =
       energy::EnergyTable::build(cache, spm_size, 0, 0);
 
-  const baseline::SteinkeResult sel = baseline::allocate_steinke(
-      tp, spm_size, energies.cache_hit - energies.spm_access);
-
   Outcome out;
-  out.object_count = tp.object_count();
+  baseline::SteinkeResult sel;
+  {
+    const obs::Span s(reg, "allocation");
+    sel = baseline::allocate_steinke(
+        *tp, spm_size, energies.cache_hit - energies.spm_access);
+  }
+  out.object_count = tp->object_count();
   out.spm_used = sel.used_bytes;
-  if (opt_.steinke_moves) {
-    // Move semantics: scratchpad objects leave the image; the residue is
-    // compacted, changing every remaining object's cache mapping.
-    std::vector<bool> excluded(sel.on_spm.begin(), sel.on_spm.end());
-    const traceopt::Layout layout = traceopt::layout_excluding(tp, excluded);
-    out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, sel.on_spm,
-                                          cache, energies);
-  } else {
-    const traceopt::Layout layout = traceopt::layout_all(tp);
-    out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, sel.on_spm,
-                                          cache, energies);
+
+  std::unique_ptr<traceopt::Layout> layout;
+  {
+    const obs::Span s(reg, "layout");
+    if (opt_.steinke_moves) {
+      // Move semantics: scratchpad objects leave the image; the residue is
+      // compacted, changing every remaining object's cache mapping.
+      const std::vector<bool> excluded(sel.on_spm.begin(), sel.on_spm.end());
+      layout = std::make_unique<traceopt::Layout>(
+          traceopt::layout_excluding(*tp, excluded));
+    } else {
+      layout =
+          std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    }
+  }
+  {
+    const obs::Span s(reg, "simulation");
+    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk,
+                                          sel.on_spm, cache, energies,
+                                          sim_opts(reg));
   }
   return out;
 }
 
 Outcome Workbench::run_loopcache(const cachesim::CacheConfig& cache,
                                  Bytes lc_size, unsigned max_regions) const {
+  return run_loopcache_into(opt_.metrics, cache, lc_size, max_regions);
+}
+
+Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
+                                      const cachesim::CacheConfig& cache,
+                                      Bytes lc_size,
+                                      unsigned max_regions) const {
+  const obs::Span flow(reg, "run_loopcache");
+
   // Fair comparison (paper §5): the loop-cache flow also runs on the
   // trace-formed program, laid out in full (nothing leaves the image).
-  const traceopt::TraceProgram tp = form(cache, lc_size);
-  const traceopt::Layout layout = traceopt::layout_all(tp);
+  std::unique_ptr<traceopt::TraceProgram> tp;
+  {
+    const obs::Span s(reg, "trace_formation");
+    tp = std::make_unique<traceopt::TraceProgram>(form(cache, lc_size));
+  }
+  std::unique_ptr<traceopt::Layout> layout;
+  {
+    const obs::Span s(reg, "layout");
+    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+  }
   const energy::EnergyTable energies =
       energy::EnergyTable::build(cache, 0, lc_size, max_regions);
 
-  const std::vector<loopcache::Region> candidates =
-      loopcache::enumerate_regions(tp, layout, exec_.profile);
-  loopcache::LoopCacheConfig lcfg;
-  lcfg.size = lc_size;
-  lcfg.max_regions = max_regions;
-  const loopcache::RossResult sel = loopcache::allocate_ross(candidates, lcfg);
-
   Outcome out;
-  out.object_count = tp.object_count();
+  loopcache::RossResult sel;
+  {
+    const obs::Span s(reg, "allocation");
+    const std::vector<loopcache::Region> candidates =
+        loopcache::enumerate_regions(*tp, *layout, exec_.profile);
+    loopcache::LoopCacheConfig lcfg;
+    lcfg.size = lc_size;
+    lcfg.max_regions = max_regions;
+    sel = loopcache::allocate_ross(candidates, lcfg);
+  }
+  out.object_count = tp->object_count();
   out.spm_used = sel.used_bytes;
   out.lc_regions = static_cast<unsigned>(sel.selected.regions().size());
-  out.sim = memsim::simulate_loopcache_system(tp, layout, exec_.walk,
-                                              sel.selected, cache, energies);
+  if (reg != nullptr) reg->add("lc.regions", out.lc_regions);
+
+  {
+    const obs::Span s(reg, "simulation");
+    out.sim = memsim::simulate_loopcache_system(*tp, *layout, exec_.walk,
+                                                sel.selected, cache, energies,
+                                                sim_opts(reg));
+  }
   return out;
 }
 
-std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
-                                         unsigned threads) const {
-  sim::RunnerOptions ropt;
-  ropt.threads = threads;
-  const sim::ParallelRunner runner(ropt);
-  return runner.map<Outcome>(
-      jobs.size(), [this, &jobs](std::size_t i, std::uint64_t) {
-        // Every flow is internally seeded (executor seed fixed at
-        // construction, cache seeds fixed per run_*), so the per-task seed
-        // is deliberately unused: a job must produce the same outcome
-        // whether it runs in a batch or alone.
-        const Job& job = jobs[i];
-        switch (job.kind) {
-          case Job::Kind::kCasa:
-            return run_casa(job.cache, job.size, job.casa);
-          case Job::Kind::kSteinke:
-            return run_steinke(job.cache, job.size);
-          case Job::Kind::kLoopCache:
-            return run_loopcache(job.cache, job.size, job.max_regions);
-          case Job::Kind::kCacheOnly:
-            return run_cache_only(job.cache);
-        }
-        return Outcome{};
-      });
+Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
+  return run_cache_only_into(opt_.metrics, cache);
 }
 
-Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
-  const traceopt::TraceProgram tp = form(cache, 1_KiB);
-  const traceopt::Layout layout = traceopt::layout_all(tp);
+Outcome Workbench::run_cache_only_into(
+    obs::MetricsRegistry* reg, const cachesim::CacheConfig& cache) const {
+  const obs::Span flow(reg, "run_cache_only");
+
+  std::unique_ptr<traceopt::TraceProgram> tp;
+  {
+    const obs::Span s(reg, "trace_formation");
+    tp = std::make_unique<traceopt::TraceProgram>(form(cache, 1_KiB));
+  }
+  std::unique_ptr<traceopt::Layout> layout;
+  {
+    const obs::Span s(reg, "layout");
+    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+  }
   const energy::EnergyTable energies = energy::EnergyTable::build(
       cache, /*spm_size=*/kWordBytes * 2, 0, 0);
 
   Outcome out;
-  out.object_count = tp.object_count();
-  const std::vector<bool> none(tp.object_count(), false);
-  out.sim = memsim::simulate_spm_system(tp, layout, exec_.walk, none, cache,
-                                        energies);
+  out.object_count = tp->object_count();
+  {
+    const obs::Span s(reg, "simulation");
+    const std::vector<bool> none(tp->object_count(), false);
+    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk, none,
+                                          cache, energies, sim_opts(reg));
+  }
   return out;
+}
+
+Outcome Workbench::run_job(const Job& job, obs::MetricsRegistry* reg) const {
+  switch (job.kind) {
+    case Job::Kind::kCasa:
+      return run_casa_into(reg, job.cache, job.size, job.casa);
+    case Job::Kind::kSteinke:
+      return run_steinke_into(reg, job.cache, job.size);
+    case Job::Kind::kLoopCache:
+      return run_loopcache_into(reg, job.cache, job.size, job.max_regions);
+    case Job::Kind::kCacheOnly:
+      return run_cache_only_into(reg, job.cache);
+  }
+  return Outcome{};
+}
+
+std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
+                                         unsigned threads) const {
+  return run_many(jobs, threads, nullptr);
+}
+
+std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
+                                         unsigned threads,
+                                         sim::MetricsShards* shards) const {
+  CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
+             "MetricsShards size must match the job count");
+  sim::RunnerOptions ropt;
+  ropt.threads = threads;
+  const sim::ParallelRunner runner(ropt);
+
+  // Tasks never record into opt_.metrics directly: each gets a private
+  // shard, and the shards merge in job order afterwards — that is what
+  // keeps merged counters identical on 1 thread and on N.
+  std::unique_ptr<sim::MetricsShards> local;
+  sim::MetricsShards* sh = shards;
+  if (sh == nullptr && opt_.metrics != nullptr) {
+    local = std::make_unique<sim::MetricsShards>(jobs.size());
+    sh = local.get();
+  }
+
+  std::vector<Outcome> results = runner.map<Outcome>(
+      jobs.size(), [this, &jobs, sh](std::size_t i, std::uint64_t) {
+        // Every flow is internally seeded (executor seed fixed at
+        // construction, cache seeds fixed per run_*), so the per-task seed
+        // is deliberately unused: a job must produce the same outcome
+        // whether it runs in a batch or alone.
+        return run_job(jobs[i], sh != nullptr ? &sh->shard(i) : nullptr);
+      });
+
+  if (opt_.metrics != nullptr && sh != nullptr) {
+    opt_.metrics->merge_from(sh->merged());
+    opt_.metrics->add("runner.jobs", jobs.size());
+    opt_.metrics->set_gauge("runner.threads",
+                            static_cast<double>(runner.threads()));
+  }
+  return results;
 }
 
 }  // namespace casa::report

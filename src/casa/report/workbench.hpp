@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "casa/baseline/steinke.hpp"
@@ -16,9 +17,14 @@
 #include "casa/core/allocator.hpp"
 #include "casa/loopcache/ross_allocator.hpp"
 #include "casa/memsim/hierarchy.hpp"
+#include "casa/obs/metrics.hpp"
 #include "casa/prog/program.hpp"
 #include "casa/trace/executor.hpp"
 #include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::sim {
+class MetricsShards;
+}  // namespace casa::sim
 
 namespace casa::report {
 
@@ -28,13 +34,24 @@ struct WorkbenchOptions {
   /// Steinke moves objects (paper-faithful). Setting this to false gives
   /// Steinke CASA's copy semantics — the move-vs-copy ablation.
   bool steinke_moves = true;
+  /// Telemetry sink. When set, every run_* records per-stage spans
+  /// (trace_formation / layout / conflict_graph / allocation / simulation)
+  /// and pipeline counters here; run_many records per job into a private
+  /// shard and folds the shards in job order, so merged counters are
+  /// thread-count invariant. Null (the default) disables all recording —
+  /// the instrumented paths cost nothing beyond a pointer test.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One scratchpad (or loop-cache) experiment outcome.
 struct Outcome {
   memsim::SimReport sim;
   std::size_t object_count = 0;
-  std::size_t conflict_edges = 0;   ///< 0 for cache-oblivious flows
+  /// Conflict-graph edge count. Engaged only by flows that build a conflict
+  /// graph (CASA); cache-oblivious flows (Steinke, loop cache, cache-only)
+  /// leave it nullopt. An engaged value of 0 means the graph was built and
+  /// genuinely has no edges — a legal graph, distinct from "never built".
+  std::optional<std::size_t> conflict_edges;
   Bytes spm_used = 0;
   unsigned lc_regions = 0;
   core::AllocationResult alloc;     ///< CASA runs only
@@ -94,9 +111,30 @@ class Workbench {
   std::vector<Outcome> run_many(const std::vector<Job>& jobs,
                                 unsigned threads = 0) const;
 
+  /// run_many with caller-owned per-task metrics: job i records into
+  /// shards->shard(i) (shards->size() must equal jobs.size()). The merged
+  /// view still folds into options().metrics when that is set; the caller
+  /// keeps the per-task breakdown. Pass shards = nullptr for the plain
+  /// behaviour.
+  std::vector<Outcome> run_many(const std::vector<Job>& jobs, unsigned threads,
+                                sim::MetricsShards* shards) const;
+
  private:
   traceopt::TraceProgram form(const cachesim::CacheConfig& cache,
                               Bytes max_trace) const;
+
+  Outcome run_casa_into(obs::MetricsRegistry* reg,
+                        const cachesim::CacheConfig& cache, Bytes spm_size,
+                        const core::CasaOptions& copt) const;
+  Outcome run_steinke_into(obs::MetricsRegistry* reg,
+                           const cachesim::CacheConfig& cache,
+                           Bytes spm_size) const;
+  Outcome run_loopcache_into(obs::MetricsRegistry* reg,
+                             const cachesim::CacheConfig& cache, Bytes lc_size,
+                             unsigned max_regions) const;
+  Outcome run_cache_only_into(obs::MetricsRegistry* reg,
+                              const cachesim::CacheConfig& cache) const;
+  Outcome run_job(const Job& job, obs::MetricsRegistry* reg) const;
 
   const prog::Program* program_;
   WorkbenchOptions opt_;

@@ -19,4 +19,21 @@ ParallelRunner::ParallelRunner(RunnerOptions opt)
   }
 }
 
+std::vector<obs::MetricsSnapshot> MetricsShards::snapshots() const {
+  std::vector<obs::MetricsSnapshot> out;
+  out.reserve(shards_.size());
+  for (const obs::MetricsRegistry& shard : shards_) {
+    out.push_back(shard.snapshot());
+  }
+  return out;
+}
+
+obs::MetricsSnapshot MetricsShards::merged() const {
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsRegistry& shard : shards_) {
+    merged.merge_from(shard.snapshot());
+  }
+  return merged;
+}
+
 }  // namespace casa::sim

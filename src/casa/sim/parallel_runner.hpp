@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "casa/obs/metrics.hpp"
 #include "casa/support/thread_pool.hpp"
 
 namespace casa::sim {
@@ -30,6 +32,33 @@ struct RunnerOptions {
 
 /// Deterministic per-task seed: SplitMix64 of base ^ index. Never 0.
 std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t index);
+
+/// One metrics registry per parallel task.
+///
+/// Tasks record into their own shard with no cross-thread contention; after
+/// the fan-out completes, merged() folds the shards together **in index
+/// order**, so the merged counters are identical for any thread count (the
+/// same invariance ParallelRunner::map gives results). Span timings merge
+/// too — their sums depend on wall time, not on the merge, so only the
+/// counter part of the merged view is schedule-invariant.
+class MetricsShards {
+ public:
+  explicit MetricsShards(std::size_t count) : shards_(count) {}
+
+  std::size_t size() const { return shards_.size(); }
+  obs::MetricsRegistry& shard(std::size_t i) { return shards_[i]; }
+
+  /// Per-shard snapshots, in index order (the artifact "tasks" array).
+  std::vector<obs::MetricsSnapshot> snapshots() const;
+
+  /// All shards folded together in index order.
+  obs::MetricsSnapshot merged() const;
+
+ private:
+  // deque: MetricsRegistry is not movable, and shard addresses must stay
+  // stable while worker threads hold them.
+  std::deque<obs::MetricsRegistry> shards_;
+};
 
 class ParallelRunner {
  public:

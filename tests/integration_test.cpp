@@ -173,7 +173,8 @@ TEST(Pipeline, ConflictEdgesExistOnEveryPaperBenchmark) {
     const Workbench& wb = WorkbenchFor::get(name);
     const auto cache = workloads::paper_cache_for(name);
     const Outcome c = wb.run_casa(cache, 256);
-    EXPECT_GT(c.conflict_edges, 10u) << name;
+    ASSERT_TRUE(c.conflict_edges.has_value()) << name;
+    EXPECT_GT(*c.conflict_edges, 10u) << name;
     EXPECT_GT(c.object_count, 10u) << name;
   }
 }

@@ -1,0 +1,147 @@
+// End-to-end telemetry: the workbench's per-stage spans, the pipeline
+// counters mirroring simulation results, and the thread-count invariance
+// of merged run_many counters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "casa/obs/metrics.hpp"
+#include "casa/report/workbench.hpp"
+#include "casa/sim/parallel_runner.hpp"
+#include "casa/support/error.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa::report {
+namespace {
+
+const prog::Program& adpcm() {
+  static const prog::Program program = workloads::make_adpcm();
+  return program;
+}
+
+Workbench instrumented_bench(obs::MetricsRegistry* reg) {
+  WorkbenchOptions opt;
+  opt.metrics = reg;
+  return Workbench(adpcm(), opt);
+}
+
+TEST(PipelineMetrics, CasaRecordsAllFiveStages) {
+  obs::MetricsRegistry reg;
+  const Workbench wb = instrumented_bench(&reg);
+  const Outcome out =
+      wb.run_casa(workloads::paper_cache_for("adpcm"), 256);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  for (const char* phase :
+       {"run_casa", "run_casa/trace_formation", "run_casa/layout",
+        "run_casa/conflict_graph", "run_casa/allocation",
+        "run_casa/simulation"}) {
+    ASSERT_TRUE(snap.spans.count(phase) == 1) << phase;
+    EXPECT_EQ(snap.spans.at(phase).count, 1u) << phase;
+    EXPECT_GE(snap.spans.at(phase).sum, 0.0) << phase;
+  }
+
+  // Counters are not a parallel bookkeeping system: they must equal the
+  // simulation counters the Outcome already reports.
+  EXPECT_EQ(snap.counters.at("sim.fetches"), out.sim.counters.total_fetches);
+  EXPECT_EQ(snap.counters.at("cache.accesses"),
+            out.sim.counters.cache_accesses);
+  EXPECT_EQ(snap.counters.at("cache.hits"), out.sim.counters.cache_hits);
+  EXPECT_EQ(snap.counters.at("cache.misses"), out.sim.counters.cache_misses);
+  EXPECT_EQ(snap.counters.at("cache.evictions"),
+            out.sim.counters.cache_evictions);
+
+  ASSERT_TRUE(out.conflict_edges.has_value());
+  EXPECT_EQ(snap.counters.at("conflict.edges"), *out.conflict_edges);
+  EXPECT_EQ(snap.counters.at("solver.nodes"), out.alloc.solver_stats.nodes);
+}
+
+TEST(PipelineMetrics, EveryFlowRecordsItsRootSpan) {
+  obs::MetricsRegistry reg;
+  const Workbench wb = instrumented_bench(&reg);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  wb.run_casa(cache, 256);
+  wb.run_steinke(cache, 256);
+  wb.run_loopcache(cache, 256);
+  wb.run_cache_only(cache);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  for (const char* flow :
+       {"run_casa", "run_steinke", "run_loopcache", "run_cache_only"}) {
+    EXPECT_TRUE(snap.spans.count(flow) == 1) << flow;
+  }
+  // Cache-oblivious flows must not have invented a conflict graph.
+  EXPECT_EQ(snap.spans.count("run_steinke/conflict_graph"), 0u);
+  EXPECT_EQ(snap.spans.count("run_cache_only/conflict_graph"), 0u);
+}
+
+TEST(PipelineMetrics, ConflictEdgesOptionalEngagedOnlyForCasa) {
+  const Workbench wb = instrumented_bench(nullptr);
+  const auto cache = workloads::paper_cache_for("adpcm");
+  EXPECT_TRUE(wb.run_casa(cache, 256).conflict_edges.has_value());
+  EXPECT_FALSE(wb.run_steinke(cache, 256).conflict_edges.has_value());
+  EXPECT_FALSE(wb.run_loopcache(cache, 256).conflict_edges.has_value());
+  EXPECT_FALSE(wb.run_cache_only(cache).conflict_edges.has_value());
+}
+
+std::vector<Workbench::Job> sweep_jobs() {
+  const auto cache = workloads::paper_cache_for("adpcm");
+  std::vector<Workbench::Job> jobs;
+  for (const Bytes spm : {128u, 256u, 512u}) {
+    jobs.push_back(Workbench::Job::casa_job(cache, spm));
+    jobs.push_back(Workbench::Job::steinke_job(cache, spm));
+  }
+  jobs.push_back(Workbench::Job::loopcache_job(cache, 256));
+  jobs.push_back(Workbench::Job::cache_only_job(cache));
+  return jobs;
+}
+
+obs::MetricsSnapshot sweep_with_threads(unsigned threads) {
+  obs::MetricsRegistry reg;
+  const Workbench wb = instrumented_bench(&reg);
+  wb.run_many(sweep_jobs(), threads);
+  return reg.snapshot();
+}
+
+TEST(PipelineMetrics, MergedCountersAreThreadCountInvariant) {
+  const obs::MetricsSnapshot serial = sweep_with_threads(1);
+  const obs::MetricsSnapshot parallel = sweep_with_threads(4);
+
+  // The acceptance bar for the whole telemetry design: identical counter
+  // values — not approximately, identical — on 1 thread and on 4. (Span
+  // timings are wall-clock and may of course differ.)
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_GT(serial.counters.at("runner.jobs"), 0u);
+}
+
+TEST(PipelineMetrics, ShardsExposePerTaskBreakdown) {
+  obs::MetricsRegistry reg;
+  const Workbench wb = instrumented_bench(&reg);
+  const std::vector<Workbench::Job> jobs = sweep_jobs();
+  sim::MetricsShards shards(jobs.size());
+  const std::vector<Outcome> outcomes = wb.run_many(jobs, 2, &shards);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+
+  // Each job's fetch counter sits in its own shard and matches its outcome.
+  const std::vector<obs::MetricsSnapshot> tasks = shards.snapshots();
+  ASSERT_EQ(tasks.size(), jobs.size());
+  std::uint64_t fetch_sum = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(tasks[i].counters.count("sim.fetches")) << "job " << i;
+    EXPECT_EQ(tasks[i].counters.at("sim.fetches"),
+              outcomes[i].sim.counters.total_fetches)
+        << "job " << i;
+    fetch_sum += tasks[i].counters.at("sim.fetches");
+  }
+  EXPECT_EQ(shards.merged().counters.at("sim.fetches"), fetch_sum);
+  EXPECT_EQ(reg.snapshot().counters.at("sim.fetches"), fetch_sum);
+}
+
+TEST(PipelineMetrics, ShardSizeMismatchIsRejected) {
+  const Workbench wb = instrumented_bench(nullptr);
+  sim::MetricsShards wrong(1);
+  EXPECT_THROW(wb.run_many(sweep_jobs(), 1, &wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casa::report

@@ -1,0 +1,296 @@
+// Telemetry foundations: registry thread-safety, null-sink handles,
+// deterministic fake-clock spans, snapshot merging, and the JSON artifact
+// round-trip through io::serialize.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "casa/io/serialize.hpp"
+#include "casa/obs/export.hpp"
+#include "casa/obs/metrics.hpp"
+#include "casa/obs/span.hpp"
+#include "casa/support/error.hpp"
+#include "casa/support/thread_pool.hpp"
+
+namespace casa::obs {
+namespace {
+
+TEST(Counter, NullHandleIsInert) {
+  const Counter null;
+  EXPECT_FALSE(null.attached());
+  null.add();      // must not crash
+  null.add(1000);  // and must not record anywhere
+}
+
+TEST(Counter, HandleRecordsIntoRegistry) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("x");
+  EXPECT_TRUE(c.attached());
+  c.add();
+  c.add(41);
+  EXPECT_EQ(reg.snapshot().counters.at("x"), 42u);
+}
+
+TEST(Counter, SameNameResolvesToSameCell) {
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  reg.counter("x").add(2);
+  reg.add("x", 3);
+  EXPECT_EQ(reg.snapshot().counters.at("x"), 6u);
+}
+
+TEST(Counter, NullSafeLookupHelper) {
+  EXPECT_FALSE(counter_or_null(nullptr, "x").attached());
+  MetricsRegistry reg;
+  EXPECT_TRUE(counter_or_null(&reg, "x").attached());
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsSumExactly) {
+  // The registry's core guarantee: counts survive contention losslessly.
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerTask = 10'000;
+  MetricsRegistry reg;
+  const Counter c = reg.counter("contended");
+
+  support::ThreadPool pool(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.submit([&reg, c] {
+      // Half via the shared handle, half via name lookup — both paths must
+      // land on the same cell.
+      for (std::uint64_t i = 0; i < kPerTask; ++i) c.add();
+      reg.add("contended", kPerTask);
+    });
+  }
+  pool.wait();
+
+  EXPECT_EQ(reg.snapshot().counters.at("contended"),
+            2 * kThreads * kPerTask);
+}
+
+TEST(MetricsRegistry, GaugesLastWriteWins) {
+  MetricsRegistry reg;
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", -2.5);
+  EXPECT_EQ(reg.snapshot().gauges.at("g"), -2.5);
+}
+
+TEST(DistSummary, ObserveTracksCountSumMinMax) {
+  MetricsRegistry reg;
+  reg.observe("d", 3.0);
+  reg.observe("d", -1.0);
+  reg.observe("d", 2.0);
+  const DistSummary d = reg.snapshot().distributions.at("d");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_EQ(d.sum, 4.0);
+  EXPECT_EQ(d.min, -1.0);
+  EXPECT_EQ(d.max, 3.0);
+}
+
+TEST(DistSummary, MergeWidensAndSums) {
+  DistSummary a;
+  a.observe(1.0);
+  a.observe(5.0);
+  DistSummary b;
+  b.observe(-2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 4.0);
+  EXPECT_EQ(a.min, -2.0);
+  EXPECT_EQ(a.max, 5.0);
+
+  DistSummary empty;
+  a.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(a.count, 3u);
+  empty.merge(a);  // merging into nothing copies
+  EXPECT_EQ(empty.count, 3u);
+  EXPECT_EQ(empty.min, -2.0);
+}
+
+TEST(Span, NullRegistryIsFullyInert) {
+  FakeClock clock;
+  const Span s(nullptr, "phase", &clock);
+  EXPECT_TRUE(s.path().empty());
+}
+
+TEST(Span, FakeClockDurationsAreExact) {
+  MetricsRegistry reg;
+  FakeClock clock;
+  {
+    const Span s(&reg, "phase", &clock);
+    clock.advance_seconds(1.25);
+  }
+  const DistSummary d = reg.snapshot().spans.at("phase");
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_DOUBLE_EQ(d.sum, 1.25);
+}
+
+TEST(Span, NestingBuildsSlashJoinedPaths) {
+  MetricsRegistry reg;
+  FakeClock clock;
+  {
+    const Span outer(&reg, "run_casa", &clock);
+    clock.advance_seconds(1.0);
+    {
+      const Span inner(&reg, "allocation", &clock);
+      EXPECT_EQ(inner.path(), "run_casa/allocation");
+      clock.advance_seconds(2.0);
+    }
+    {
+      const Span inner(&reg, "simulation", &clock);
+      clock.advance_seconds(4.0);
+    }
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.spans.at("run_casa").sum, 7.0);
+  EXPECT_DOUBLE_EQ(snap.spans.at("run_casa/allocation").sum, 2.0);
+  EXPECT_DOUBLE_EQ(snap.spans.at("run_casa/simulation").sum, 4.0);
+}
+
+TEST(Span, SiblingScopesAggregateUnderOnePath) {
+  MetricsRegistry reg;
+  FakeClock clock;
+  for (int i = 0; i < 3; ++i) {
+    const Span s(&reg, "phase", &clock);
+    clock.advance_seconds(1.0);
+  }
+  const DistSummary d = reg.snapshot().spans.at("phase");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 3.0);
+}
+
+TEST(Span, RealClockMeasuresSomethingNonNegative) {
+  MetricsRegistry reg;
+  { const Span s(&reg, "real"); }
+  const DistSummary d = reg.snapshot().spans.at("real");
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_GE(d.sum, 0.0);
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersAndKeepsDisjointKeys) {
+  MetricsRegistry a;
+  a.add("shared", 10);
+  a.add("only_a", 1);
+  a.set_gauge("g", 1.0);
+  MetricsRegistry b;
+  b.add("shared", 32);
+  b.add("only_b", 2);
+  b.set_gauge("g", 2.0);
+
+  MetricsRegistry total;
+  total.merge_from(a.snapshot());
+  total.merge_from(b.snapshot());
+  const MetricsSnapshot snap = total.snapshot();
+  EXPECT_EQ(snap.counters.at("shared"), 42u);
+  EXPECT_EQ(snap.counters.at("only_a"), 1u);
+  EXPECT_EQ(snap.counters.at("only_b"), 2u);
+  EXPECT_EQ(snap.gauges.at("g"), 2.0);  // last write wins
+}
+
+MetricsSnapshot populated_snapshot() {
+  MetricsRegistry reg;
+  reg.set_config("workload", "mpeg");
+  reg.set_config("notes", "quotes \" and \\ and\nnewlines\tsurvive");
+  reg.add("cache.hits", 123456789);
+  reg.add("solver.nodes", 1);
+  reg.set_gauge("runner.threads", 4.0);
+  reg.set_gauge("awkward", 0.1);  // not exactly representable
+  reg.observe("job.seconds", 0.25);
+  reg.observe("job.seconds", 1.0 / 3.0);
+  FakeClock clock;
+  {
+    const Span outer(&reg, "run_casa", &clock);
+    const Span inner(&reg, "allocation", &clock);
+    clock.advance_ns(123456789);
+  }
+  return reg.snapshot();
+}
+
+void expect_snapshots_equal(const MetricsSnapshot& got,
+                            const MetricsSnapshot& want) {
+  EXPECT_EQ(got.config, want.config);
+  EXPECT_EQ(got.counters, want.counters);
+  EXPECT_EQ(got.gauges, want.gauges);
+  ASSERT_EQ(got.distributions.size(), want.distributions.size());
+  for (const auto& [k, d] : want.distributions) {
+    ASSERT_TRUE(got.distributions.count(k)) << k;
+    const DistSummary& g = got.distributions.at(k);
+    EXPECT_EQ(g.count, d.count) << k;
+    EXPECT_EQ(g.sum, d.sum) << k;
+    EXPECT_EQ(g.min, d.min) << k;
+    EXPECT_EQ(g.max, d.max) << k;
+  }
+  ASSERT_EQ(got.spans.size(), want.spans.size());
+  for (const auto& [k, d] : want.spans) {
+    ASSERT_TRUE(got.spans.count(k)) << k;
+    EXPECT_EQ(got.spans.at(k).count, d.count) << k;
+    EXPECT_EQ(got.spans.at(k).sum, d.sum) << k;
+  }
+}
+
+TEST(Artifact, JsonRoundTripsThroughIoSerialize) {
+  const MetricsSnapshot snap = populated_snapshot();
+
+  std::stringstream ss;
+  io::write_metrics_json(ss, snap);
+  const MetricsSnapshot back = io::read_metrics_json(ss);
+
+  expect_snapshots_equal(back, snap);
+}
+
+TEST(Artifact, JsonIsByteStableAcrossWrites) {
+  const MetricsSnapshot snap = populated_snapshot();
+  std::ostringstream a, b;
+  io::write_metrics_json(a, snap);
+  io::write_metrics_json(b, snap);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Artifact, TasksArrayExportsPerTaskSnapshots) {
+  MetricsRegistry t0, t1;
+  t0.add("cache.hits", 7);
+  t1.add("cache.hits", 35);
+  const std::vector<MetricsSnapshot> tasks = {t0.snapshot(), t1.snapshot()};
+
+  MetricsRegistry merged;
+  for (const MetricsSnapshot& t : tasks) merged.merge_from(t);
+
+  ArtifactOptions opt;
+  opt.tasks = &tasks;
+  std::ostringstream os;
+  write_artifact_json(os, merged.snapshot(), opt);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"tasks\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"cache.hits\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"cache.hits\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"cache.hits\": 35"), std::string::npos);
+}
+
+TEST(Artifact, ReaderRejectsWrongSchema) {
+  std::istringstream is(R"({"schema": "something-else v9"})");
+  EXPECT_THROW(io::read_metrics_json(is), PreconditionError);
+}
+
+TEST(Artifact, ReaderRejectsMalformedJson) {
+  std::istringstream is("{\"schema\": \"casa-metrics v1\", ");
+  EXPECT_THROW(io::read_metrics_json(is), PreconditionError);
+}
+
+TEST(Artifact, CsvListsEveryMetricKind) {
+  const MetricsSnapshot snap = populated_snapshot();
+  std::ostringstream os;
+  write_artifact_csv(os, snap);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("kind,name,value"), std::string::npos);
+  EXPECT_NE(text.find("counter,cache.hits,123456789"), std::string::npos);
+  EXPECT_NE(text.find("config,workload,mpeg"), std::string::npos);
+  EXPECT_NE(text.find("phase,run_casa/allocation.count,1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge,runner.threads,4"), std::string::npos);
+  EXPECT_NE(text.find("distribution,job.seconds.count,2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace casa::obs

@@ -39,10 +39,13 @@ baseline="$repo_root/BENCH_cachesim.json"
 min_time="${BENCH_MIN_TIME:-0.2}"
 tolerance="${BENCH_TOLERANCE:-0.20}"
 
+# Missing prerequisites are gate failures, not soft skips: a CI lane that
+# forgets to build the bench binary or check in the baseline must go red,
+# loudly, naming what is missing.
 if [[ ! -x "$bench_bin" ]]; then
-  echo "bench_check: $bench_bin not found — build first:" >&2
-  echo "  cmake -B build -G Ninja && cmake --build build" >&2
-  exit 2
+  echo "bench_check: FAIL — benchmark binary missing: $bench_bin" >&2
+  echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
 fi
 
 run_json="$(mktemp /tmp/bench_check.XXXXXX.json)"
@@ -79,8 +82,9 @@ EOF
 fi
 
 if [[ ! -f "$baseline" ]]; then
-  echo "bench_check: no baseline at $baseline — run with --update first" >&2
-  exit 2
+  echo "bench_check: FAIL — baseline missing: $baseline" >&2
+  echo "  record one with: tools/bench_check.sh --update" >&2
+  exit 1
 fi
 
 python3 - "$run_json" "$baseline" "$tolerance" <<'EOF'
@@ -94,6 +98,12 @@ current = {b["name"]: b["items_per_second"]
            for b in run["benchmarks"] if "items_per_second" in b}
 
 failures = []
+# An empty side means the gate cannot gate anything — that is a failure
+# (a crashed bench run or a gutted baseline must not read as "all clear").
+if not base.get("benchmarks"):
+    failures.append(f"baseline {sys.argv[2]} contains no benchmarks")
+if not current:
+    failures.append("benchmark run produced no items_per_second entries")
 print(f"{'benchmark':44} {'baseline':>14} {'current':>14} {'ratio':>7}")
 for name, expected in base["benchmarks"].items():
     got = current.get(name)
@@ -119,6 +129,13 @@ if fast and ref:
     if speedup < 2.0:
         failures.append(
             f"compiled-stream speedup {speedup:.2f}x < 2.0x required")
+elif current:
+    # The invariant's inputs disappearing is itself a regression signal.
+    for name in ("BM_ConflictGraphBuild", "BM_ConflictGraphBuildWordRef"):
+        if not current.get(name):
+            failures.append(
+                f"{name}: required by the compiled-stream speedup "
+                "invariant but absent from this run")
 
 if failures:
     print("\nbench_check: FAIL")

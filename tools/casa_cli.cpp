@@ -12,10 +12,13 @@
 // scripting sweeps.
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/io/serialize.hpp"
+#include "casa/obs/metrics.hpp"
+#include "casa/obs/span.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/support/args.hpp"
 #include "casa/traceopt/layout.hpp"
@@ -58,6 +61,11 @@ int run(ArgParser& args) {
   const std::string save_problem = args.get(
       "save-problem", "",
       "write the allocator input (casa-problem v1) to this file");
+  const std::string metrics_json = args.get(
+      "metrics-json", "",
+      "write a casa-metrics v1 telemetry artifact to this file ('-' = stdout)");
+  const bool metrics_stdout =
+      args.get_flag("metrics-stdout", "print the telemetry artifact to stdout");
 
   if (args.help_requested()) {
     std::cout << "casa_cli options:\n" << args.help();
@@ -71,17 +79,39 @@ int run(ArgParser& args) {
     return 2;
   }
 
+  const bool want_metrics = metrics_stdout || !metrics_json.empty();
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = want_metrics ? &registry : nullptr;
+  if (reg != nullptr) {
+    reg->set_config("workload", workload);
+    reg->set_config("technique", technique);
+    reg->set_config("assoc", std::to_string(assoc));
+    reg->set_config("policy", policy);
+    reg->set_config("spm", std::to_string(spm));
+    reg->set_config("seed", std::to_string(seed));
+    reg->set_config("fuse_ratio", std::to_string(fuse));
+  }
+
   const prog::Program program = workloads::by_name(workload);
   report::WorkbenchOptions wopt;
   wopt.exec_seed = seed;
   wopt.fuse_ratio = fuse;
-  const report::Workbench bench(program, wopt);
+  wopt.metrics = reg;
+  // The constructor profiles the workload — that is pipeline work too, so
+  // it gets a span alongside the run_* flow phases.
+  std::optional<report::Workbench> bench_storage;
+  {
+    const obs::Span s(reg, "profiling");
+    bench_storage.emplace(program, wopt);
+  }
+  const report::Workbench& bench = *bench_storage;
 
   cachesim::CacheConfig cache = workloads::paper_cache_for(workload);
   if (cache_size != 0) cache.size = cache_size;
   cache.associativity = static_cast<unsigned>(assoc);
   cache.policy = policy_from(policy);
   cache.validate();
+  if (reg != nullptr) reg->set_config("cache", std::to_string(cache.size));
 
   report::Outcome outcome;
   if (technique == "none") {
@@ -140,6 +170,21 @@ int run(ArgParser& args) {
               << graph.edge_count() << " edges) written to " << dot << "\n";
   }
 
+  if (want_metrics) {
+    obs::ArtifactOptions aopt;
+    aopt.tool = "casa_cli";
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    if (!metrics_json.empty() && metrics_json != "-") {
+      std::ofstream out(metrics_json);
+      CASA_CHECK(out.good(), "cannot open metrics output file: " + metrics_json);
+      io::write_metrics_json(out, snap, aopt);
+      std::cerr << "metrics artifact written to " << metrics_json << "\n";
+    }
+    if (metrics_stdout || metrics_json == "-") {
+      io::write_metrics_json(std::cout, snap, aopt);
+    }
+  }
+
   const auto& c = outcome.sim.counters;
   if (csv) {
     std::cout << "# workload,technique,cache,assoc,policy,spm,energy_uJ,"
@@ -169,7 +214,9 @@ int run(ArgParser& args) {
               << " B via " << core::to_string(outcome.alloc.engine_used)
               << " (" << (outcome.alloc.exact ? "optimal" : "heuristic")
               << ", " << outcome.alloc.solver_nodes << " nodes, "
-              << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
+              << outcome.alloc.solver_stats.bound_prunes +
+                     outcome.alloc.solver_stats.infeasible_prunes
+              << " prunes, " << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
   }
   return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Telemetry artifact schema gate.
+#
+# Runs casa_cli with --metrics-json on the quickstart workload (adpcm /
+# CASA) and validates the emitted "casa-metrics v1" artifact:
+#   * every top-level key is present and the schema string matches;
+#   * run provenance fields are non-empty strings;
+#   * every counter is a non-negative integer, every phase/distribution
+#     summary has count >= 1 and min <= max;
+#   * all five pipeline phases appear under run_casa and their wall times
+#     sum to no more than the enclosing run_casa span;
+#   * the headline counters the paper's tables are built from exist
+#     (cache hits/misses, solver nodes, conflict edges).
+# Failures name the violated key. Registered as a ctest (metrics_check) so
+# schema drift fails the suite, not just downstream scripts.
+#
+# Usage:
+#   tools/metrics_check.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cli="$build_dir/tools/casa_cli"
+if [[ ! -x "$cli" ]]; then
+  echo "metrics_check: FAIL — casa_cli binary missing: $cli" >&2
+  echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+artifact="$(mktemp /tmp/metrics_check.XXXXXX.json)"
+trap 'rm -f "$artifact"' EXIT
+
+echo "metrics_check: running $cli --workload=adpcm --technique=casa"
+"$cli" --workload=adpcm --technique=casa --spm=256 \
+       --metrics-json "$artifact" > /dev/null
+
+python3 - "$artifact" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+failures = []
+
+
+def fail(key, why):
+    failures.append(f"{key}: {why}")
+
+
+try:
+    doc = json.load(open(path))
+except (OSError, json.JSONDecodeError) as e:
+    print(f"metrics_check: FAIL\n  - artifact {path} unreadable: {e}")
+    sys.exit(1)
+
+for key in ("schema", "run", "config", "phases", "counters", "gauges",
+            "distributions"):
+    if key not in doc:
+        fail(key, "missing from artifact")
+if doc.get("schema") != "casa-metrics v1":
+    fail("schema", f"expected 'casa-metrics v1', got {doc.get('schema')!r}")
+
+for key in ("tool", "git", "build_type", "compiler"):
+    v = doc.get("run", {}).get(key)
+    if not isinstance(v, str) or not v:
+        fail(f"run.{key}", f"must be a non-empty string, got {v!r}")
+
+for key, v in doc.get("counters", {}).items():
+    if not isinstance(v, int) or v < 0:
+        fail(f"counters.{key}", f"must be a non-negative integer, got {v!r}")
+
+for kind in ("phases", "distributions"):
+    for key, s in doc.get(kind, {}).items():
+        sum_key = "seconds" if kind == "phases" else "sum"
+        for field in ("count", sum_key, "min", "max"):
+            if field not in s:
+                fail(f"{kind}.{key}.{field}", "missing")
+        if s.get("count", 0) < 1:
+            fail(f"{kind}.{key}.count", f"must be >= 1, got {s.get('count')!r}")
+        if s.get("min", 0) > s.get("max", 0):
+            fail(f"{kind}.{key}", f"min {s['min']} > max {s['max']}")
+        if s.get(sum_key, 0) < 0:
+            fail(f"{kind}.{key}.{sum_key}", f"negative: {s.get(sum_key)!r}")
+
+phases = doc.get("phases", {})
+stage_names = ("trace_formation", "layout", "conflict_graph", "allocation",
+               "simulation")
+for stage in stage_names:
+    if f"run_casa/{stage}" not in phases:
+        fail(f"phases.run_casa/{stage}", "pipeline stage missing")
+if "run_casa" in phases:
+    child_sum = sum(phases[f"run_casa/{s}"]["seconds"]
+                    for s in stage_names if f"run_casa/{s}" in phases)
+    total = phases["run_casa"]["seconds"]
+    # 1ms slack: the parent span also covers inter-stage glue, so children
+    # must never exceed it by more than clock resolution.
+    if child_sum > total + 1e-3:
+        fail("phases.run_casa",
+             f"child phases sum to {child_sum:.6f}s > total {total:.6f}s")
+else:
+    fail("phases.run_casa", "flow span missing")
+
+for key in ("cache.hits", "cache.misses", "solver.nodes", "conflict.edges",
+            "sim.fetches"):
+    if key not in doc.get("counters", {}):
+        fail(f"counters.{key}", "headline counter missing")
+
+if failures:
+    print("metrics_check: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+n = len(doc["counters"])
+print(f"metrics_check: OK ({n} counters, {len(phases)} phase summaries)")
+EOF
