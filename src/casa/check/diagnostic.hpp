@@ -1,0 +1,41 @@
+// Structured diagnostics for the artifact analyzer (casa::check).
+//
+// Every rule violation becomes one Diagnostic record: machine-readable rule
+// id ("conflict.edge.cross-set"), the artifact it was found in, a location
+// string precise enough to find the offending element, the human message,
+// and a fix hint. Rule ids are stable API — docs/checks.md catalogues each
+// one with its paper-equation anchor — so CI greps and tests can assert on
+// them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "casa/support/error.hpp"
+
+namespace casa::check {
+
+enum class Severity { kError, kWarning };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;      ///< stable id, e.g. "ilp.capacity.mismatch"
+  std::string artifact;  ///< artifact kind: "ilp-model", "conflict-graph", ...
+  std::string location;  ///< element inside the artifact, e.g. "edge[3] x1->x4"
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< how to fix it (may be empty)
+
+  /// "error[ilp.capacity.mismatch] ilp-model capacity: <message> (hint: ...)"
+  std::string to_string() const;
+};
+
+/// Thrown by CheckRunner::throw_if_errors when any error-severity
+/// diagnostic was collected; what() lists every error.
+class CheckError : public Error {
+ public:
+  explicit CheckError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace casa::check

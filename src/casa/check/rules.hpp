@@ -1,0 +1,90 @@
+// Semantic invariant rules over the CASA pipeline's inter-stage artifacts.
+//
+// Each function analyzes one artifact kind and reports violations into a
+// CheckRunner; none of them throws on a bad artifact (collection is the
+// runner's job, escalation the caller's). The rules encode what the paper's
+// formulation guarantees only implicitly:
+//
+//  * check_casa_model       — ILP well-formedness: every linearization
+//    variable L(x_i,x_j) carries its constraints (13)-(15) (paper mode) or
+//    the tight single-row form, the capacity row (17) is present and
+//    consistent with the memory-object sizes, no orphan variables or
+//    degenerate rows.
+//  * check_conflict_graph   — edges only between objects that can actually
+//    alias in the cache (share a set under the layout), m_ij <= f_i,
+//    self-edges only on objects long enough to evict their own lines,
+//    hit/cold/conflict-miss bookkeeping sums back to the fetch count, and
+//    vertex weights agree with the trace profile.
+//  * check_trace_program /  — placement legality: cache-line-aligned
+//    check_layout             padding, no address overlap, span containment.
+//  * check_allocation       — scratchpad capacity (17) respected by the
+//    final mask; used-byte accounting consistent.
+//  * check_energy_table /   — E_miss > E_hit > E_SP_hit ordering, finite
+//    check_energy_scaling     non-negative entries, monotone SRAM-array
+//                             scaling of the analytical models.
+//
+// Rule ids, severities and paper anchors are catalogued in docs/checks.md.
+#pragma once
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/check/runner.hpp"
+#include "casa/conflict/conflict_graph.hpp"
+#include "casa/core/allocator.hpp"
+#include "casa/core/formulation.hpp"
+#include "casa/core/problem.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/energy/technology.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/memory_object.hpp"
+
+namespace casa::check {
+
+/// Trace-formation output: every memory object NOP-padded to a whole number
+/// of `line_size`-byte cache lines, raw sizes positive and never larger
+/// than the pad.
+void check_trace_program(const traceopt::TraceProgram& tp, Bytes line_size,
+                         CheckRunner& runner);
+
+/// Layout legality: placed objects line-aligned, mutually non-overlapping,
+/// and contained in the layout's [base, base + span) window.
+void check_layout(const traceopt::TraceProgram& tp,
+                  const traceopt::Layout& layout, Bytes line_size,
+                  CheckRunner& runner);
+
+/// Conflict-graph invariants under the layout it was built from.
+void check_conflict_graph(const traceopt::TraceProgram& tp,
+                          const traceopt::Layout& layout,
+                          const conflict::ConflictGraph& graph,
+                          const cachesim::CacheConfig& cache,
+                          CheckRunner& runner);
+
+/// ILP well-formedness of a built CasaModel against its SavingsProblem.
+void check_casa_model(const core::CasaModel& cm,
+                      const core::SavingsProblem& sp, core::Linearization lin,
+                      CheckRunner& runner);
+
+/// Final allocation legality against the problem it solved: mask size,
+/// capacity constraint (17) over unpadded sizes, used-byte accounting.
+void check_allocation(const core::CasaProblem& problem,
+                      const core::AllocationResult& result,
+                      CheckRunner& runner);
+
+/// As above for any plain scratchpad selection mask (Steinke baseline).
+void check_spm_selection(const std::vector<Bytes>& sizes, Bytes capacity,
+                         const std::vector<bool>& on_spm, Bytes used_bytes,
+                         CheckRunner& runner);
+
+/// Energy-table sanity: finite non-negative entries, E_miss > E_hit, and
+/// (when a scratchpad / loop cache is configured) E_hit > E_SP_hit and
+/// positive loop-cache energies.
+void check_energy_table(const energy::EnergyTable& table, bool has_spm,
+                        bool has_lc, CheckRunner& runner);
+
+/// Analytical-model scaling: scratchpad and cache per-access energies must
+/// grow monotonically with capacity (the SRAM-array decomposition adds
+/// rows, never removes cost). Configuration-independent; run once per
+/// check invocation, not per flow.
+void check_energy_scaling(const energy::TechnologyParams& tech,
+                          CheckRunner& runner);
+
+}  // namespace casa::check

@@ -1,0 +1,107 @@
+#include "casa/check/runner.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "casa/obs/export.hpp"
+#include "casa/obs/metrics.hpp"
+
+namespace casa::check {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << check::to_string(severity) << '[' << rule << "] " << artifact;
+  if (!location.empty()) os << ' ' << location;
+  os << ": " << message;
+  if (!hint.empty()) os << " (hint: " << hint << ')';
+  return os.str();
+}
+
+void CheckRunner::report(Diagnostic d) {
+  if (d.severity == Severity::kError) ++errors_;
+  if (metrics_ != nullptr) {
+    metrics_->add("check.diagnostics");
+    metrics_->add(d.severity == Severity::kError ? "check.errors"
+                                                 : "check.warnings");
+  }
+  diags_.push_back(std::move(d));
+}
+
+void CheckRunner::error(std::string rule, std::string artifact,
+                        std::string location, std::string message,
+                        std::string hint) {
+  report(Diagnostic{Severity::kError, std::move(rule), std::move(artifact),
+                    std::move(location), std::move(message), std::move(hint)});
+}
+
+void CheckRunner::warn(std::string rule, std::string artifact,
+                       std::string location, std::string message,
+                       std::string hint) {
+  report(Diagnostic{Severity::kWarning, std::move(rule), std::move(artifact),
+                    std::move(location), std::move(message), std::move(hint)});
+}
+
+void CheckRunner::mark_evaluated(std::size_t count) {
+  rules_evaluated_ += count;
+  if (metrics_ != nullptr) metrics_->add("check.rules_evaluated", count);
+}
+
+void CheckRunner::throw_if_errors() const {
+  if (errors_ == 0) return;
+  std::ostringstream os;
+  os << "artifact check failed with " << errors_ << " error"
+     << (errors_ == 1 ? "" : "s") << ":";
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) os << "\n  " << d.to_string();
+  }
+  throw CheckError(os.str());
+}
+
+std::string CheckRunner::summary() const {
+  std::ostringstream os;
+  os << "casa-check: ";
+  if (diags_.empty()) {
+    os << "OK";
+  } else {
+    os << errors_ << (errors_ == 1 ? " error, " : " errors, ")
+       << warning_count() << (warning_count() == 1 ? " warning" : " warnings");
+  }
+  os << " (" << rules_evaluated_ << " rules evaluated)";
+  return os.str();
+}
+
+void write_check_json(std::ostream& os, const CheckRunner& runner,
+                      const std::string& tool) {
+  os << "{\n"
+     << "  \"schema\": \"casa-check v1\",\n"
+     << "  \"tool\": \"" << obs::json_escape(tool) << "\",\n"
+     << "  \"rules_evaluated\": " << runner.rules_evaluated() << ",\n"
+     << "  \"errors\": " << runner.error_count() << ",\n"
+     << "  \"warnings\": " << runner.warning_count() << ",\n"
+     << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : runner.diagnostics()) {
+    os << (first ? "" : ",") << "\n    {\"severity\": \""
+       << to_string(d.severity) << "\", \"rule\": \""
+       << obs::json_escape(d.rule) << "\", \"artifact\": \""
+       << obs::json_escape(d.artifact) << "\", \"location\": \""
+       << obs::json_escape(d.location) << "\", \"message\": \""
+       << obs::json_escape(d.message) << "\", \"hint\": \""
+       << obs::json_escape(d.hint) << "\"}";
+    first = false;
+  }
+  if (!runner.diagnostics().empty()) os << "\n  ";
+  os << "]\n}\n";
+}
+
+}  // namespace casa::check

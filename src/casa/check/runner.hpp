@@ -1,0 +1,74 @@
+// CheckRunner — collects Diagnostics from the rule functions in rules.hpp.
+//
+// One runner covers one analysis scope (a pipeline flow, a standalone
+// --check invocation). Rule functions report into it; the owner then asks
+// for the verdict (ok / error_count), throws on errors (the Workbench's
+// fatal-on-error mode), or serializes the collected diagnostics as a
+// "casa-check v1" JSON artifact. When a MetricsRegistry is attached, every
+// report and every evaluated rule family is mirrored into the "check.*"
+// counters so run artifacts record how much validation actually happened.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "casa/check/diagnostic.hpp"
+
+namespace casa::obs {
+class MetricsRegistry;
+}  // namespace casa::obs
+
+namespace casa::check {
+
+class CheckRunner {
+ public:
+  /// `metrics` may be null (no telemetry mirroring).
+  explicit CheckRunner(obs::MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  /// Records one rule violation.
+  void report(Diagnostic d);
+
+  /// Convenience for the common error/warning cases.
+  void error(std::string rule, std::string artifact, std::string location,
+             std::string message, std::string hint = "");
+  void warn(std::string rule, std::string artifact, std::string location,
+            std::string message, std::string hint = "");
+
+  /// Called by each rule function after evaluating `count` rules, violated
+  /// or not — the "check.rules_evaluated" counter distinguishes a clean run
+  /// from a run where no analysis happened at all.
+  void mark_evaluated(std::size_t count);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return diags_.size() - errors_; }
+  std::size_t rules_evaluated() const { return rules_evaluated_; }
+  bool ok() const { return errors_ == 0; }
+
+  /// Throws CheckError listing every error diagnostic (no-op when ok()).
+  void throw_if_errors() const;
+
+  /// One line: "casa-check: OK (37 rules evaluated)" or
+  /// "casa-check: 2 errors, 1 warning (37 rules evaluated)".
+  std::string summary() const;
+
+ private:
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t rules_evaluated_ = 0;
+};
+
+/// Writes the "casa-check v1" JSON artifact:
+///   { "schema": "casa-check v1", "tool": ..., "rules_evaluated": N,
+///     "errors": N, "warnings": N, "diagnostics": [ {severity, rule,
+///     artifact, location, message, hint}, ... ] }
+/// Diagnostics appear in report order; strings are JSON-escaped with the
+/// same escaper the metrics artifact uses.
+void write_check_json(std::ostream& os, const CheckRunner& runner,
+                      const std::string& tool = "casa");
+
+}  // namespace casa::check

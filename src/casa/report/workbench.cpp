@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/obs/span.hpp"
@@ -43,6 +44,15 @@ void record_alloc(obs::MetricsRegistry* reg, const core::AllocationResult& a) {
   reg->observe("alloc.spm_used_bytes", static_cast<double>(a.used_bytes));
 }
 
+/// Inter-stage analyzer handle: null when checking is disabled. Stages
+/// validate their freshly produced artifact and escalate immediately, so a
+/// broken artifact never reaches the next stage.
+std::unique_ptr<check::CheckRunner> make_checker(const WorkbenchOptions& o,
+                                                 obs::MetricsRegistry* reg) {
+  if (!o.check_artifacts) return nullptr;
+  return std::make_unique<check::CheckRunner>(reg);
+}
+
 }  // namespace
 
 Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
@@ -72,17 +82,26 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
                                  Bytes spm_size,
                                  const core::CasaOptions& copt) const {
   const obs::Span flow(reg, "run_casa");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
 
   std::unique_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
     tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+    if (chk) {
+      check::check_trace_program(*tp, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
 
   std::unique_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
     layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    if (chk) {
+      check::check_layout(*tp, *layout, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
 
   std::unique_ptr<conflict::ConflictGraph> graph;
@@ -96,6 +115,10 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
       reg->add("conflict.nodes", graph->node_count());
       reg->add("conflict.edges", graph->edge_count());
     }
+    if (chk) {
+      check::check_conflict_graph(*tp, *layout, *graph, cache, *chk);
+      chk->throw_if_errors();
+    }
   }
 
   Outcome out;
@@ -105,9 +128,23 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
         energy::EnergyTable::build(cache, spm_size, 0, 0);
     const core::CasaProblem problem =
         core::CasaProblem::from(*tp, *graph, energies, spm_size);
+    if (chk) {
+      check::check_energy_table(energies, spm_size > 0, false, *chk);
+      // The model the generic solver would consume must be well-formed no
+      // matter which engine actually runs — the formulation stage is an
+      // artifact in its own right.
+      const core::SavingsProblem sp = core::presolve(problem);
+      const core::CasaModel cm = core::build_casa_model(sp, copt.linearization);
+      check::check_casa_model(cm, sp, copt.linearization, *chk);
+      chk->throw_if_errors();
+    }
     const core::CasaAllocator allocator(copt);
     out.alloc = allocator.allocate(problem);
     record_alloc(reg, out.alloc);
+    if (chk) {
+      check::check_allocation(problem, out.alloc, *chk);
+      chk->throw_if_errors();
+    }
   }
   out.object_count = tp->object_count();
   out.conflict_edges = graph->edge_count();
@@ -135,14 +172,23 @@ Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
                                     const cachesim::CacheConfig& cache,
                                     Bytes spm_size) const {
   const obs::Span flow(reg, "run_steinke");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
 
   std::unique_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
     tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+    if (chk) {
+      check::check_trace_program(*tp, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
   const energy::EnergyTable energies =
       energy::EnergyTable::build(cache, spm_size, 0, 0);
+  if (chk) {
+    check::check_energy_table(energies, spm_size > 0, false, *chk);
+    chk->throw_if_errors();
+  }
 
   Outcome out;
   baseline::SteinkeResult sel;
@@ -150,6 +196,14 @@ Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
     const obs::Span s(reg, "allocation");
     sel = baseline::allocate_steinke(
         *tp, spm_size, energies.cache_hit - energies.spm_access);
+    if (chk) {
+      std::vector<Bytes> sizes;
+      sizes.reserve(tp->object_count());
+      for (const auto& mo : tp->objects()) sizes.push_back(mo.raw_size);
+      check::check_spm_selection(sizes, spm_size, sel.on_spm, sel.used_bytes,
+                                 *chk);
+      chk->throw_if_errors();
+    }
   }
   out.object_count = tp->object_count();
   out.spm_used = sel.used_bytes;
@@ -166,6 +220,10 @@ Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
     } else {
       layout =
           std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    }
+    if (chk) {
+      check::check_layout(*tp, *layout, cache.line_size, *chk);
+      chk->throw_if_errors();
     }
   }
   {
@@ -187,6 +245,7 @@ Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
                                       Bytes lc_size,
                                       unsigned max_regions) const {
   const obs::Span flow(reg, "run_loopcache");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
 
   // Fair comparison (paper §5): the loop-cache flow also runs on the
   // trace-formed program, laid out in full (nothing leaves the image).
@@ -194,14 +253,26 @@ Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
   {
     const obs::Span s(reg, "trace_formation");
     tp = std::make_unique<traceopt::TraceProgram>(form(cache, lc_size));
+    if (chk) {
+      check::check_trace_program(*tp, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
   std::unique_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
     layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    if (chk) {
+      check::check_layout(*tp, *layout, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
   const energy::EnergyTable energies =
       energy::EnergyTable::build(cache, 0, lc_size, max_regions);
+  if (chk) {
+    check::check_energy_table(energies, false, lc_size > 0, *chk);
+    chk->throw_if_errors();
+  }
 
   Outcome out;
   loopcache::RossResult sel;
@@ -235,19 +306,32 @@ Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
 Outcome Workbench::run_cache_only_into(
     obs::MetricsRegistry* reg, const cachesim::CacheConfig& cache) const {
   const obs::Span flow(reg, "run_cache_only");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
 
   std::unique_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
     tp = std::make_unique<traceopt::TraceProgram>(form(cache, 1_KiB));
+    if (chk) {
+      check::check_trace_program(*tp, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
   std::unique_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
     layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    if (chk) {
+      check::check_layout(*tp, *layout, cache.line_size, *chk);
+      chk->throw_if_errors();
+    }
   }
   const energy::EnergyTable energies = energy::EnergyTable::build(
       cache, /*spm_size=*/kWordBytes * 2, 0, 0);
+  if (chk) {
+    check::check_energy_table(energies, true, false, *chk);
+    chk->throw_if_errors();
+  }
 
   Outcome out;
   out.object_count = tp->object_count();

@@ -41,6 +41,14 @@ struct WorkbenchOptions {
   /// thread-count invariant. Null (the default) disables all recording —
   /// the instrumented paths cost nothing beyond a pointer test.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Run the casa::check artifact analyzer between pipeline stages in every
+  /// flow: trace padding and layout legality after layout, conflict-graph
+  /// invariants after the build, ILP well-formedness plus capacity/energy
+  /// sanity around allocation. Any error-severity diagnostic throws
+  /// check::CheckError (fatal); diagnostics and evaluated rules are counted
+  /// into `metrics` under "check.*" when that is set. On by default — the
+  /// rules are linear scans over artifacts the stages just produced.
+  bool check_artifacts = true;
 };
 
 /// One scratchpad (or loop-cache) experiment outcome.

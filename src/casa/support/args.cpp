@@ -1,10 +1,33 @@
 #include "casa/support/args.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "casa/support/error.hpp"
 
 namespace casa {
+
+namespace {
+
+/// Levenshtein edit distance — small strings only, O(|a|*|b|).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      const std::size_t next =
+          std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   std::vector<std::string> args;
@@ -76,6 +99,31 @@ std::vector<std::string> ArgParser::unknown_keys() const {
     if (declared_.count(key) == 0) out.push_back(key);
   }
   return out;
+}
+
+void ArgParser::reject_unknown() const {
+  if (help_requested_) return;
+  const std::vector<std::string> unknown = unknown_keys();
+  if (unknown.empty()) return;
+  std::ostringstream os;
+  os << "unknown option" << (unknown.size() == 1 ? "" : "s") << ':';
+  for (const std::string& key : unknown) {
+    os << " --" << key;
+    // Suggest the closest declared key when it is plausibly a typo (edit
+    // distance no more than 2, or a third of the key for long names).
+    const std::size_t budget = std::max<std::size_t>(2, key.size() / 3);
+    std::size_t best = budget + 1;
+    std::string suggestion;
+    for (const std::string& candidate : declared_) {
+      const std::size_t d = edit_distance(key, candidate);
+      if (d < best) {
+        best = d;
+        suggestion = candidate;
+      }
+    }
+    if (!suggestion.empty()) os << " (did you mean --" << suggestion << "?)";
+  }
+  throw PreconditionError(os.str());
 }
 
 std::string ArgParser::help() const {

@@ -1,7 +1,10 @@
 // Minimal command-line argument parser for the repo's tools.
 //
 // Accepts --key=value, --key value, and boolean --flag forms. Unknown keys
-// are collected as errors so tools can fail fast with a usage message.
+// are rejected: after declaring every option via get*, a tool calls
+// reject_unknown(), which throws a PreconditionError naming each stray
+// flag together with its closest declared key ("did you mean --spm?"), so
+// a typo can never silently fall back to a default value.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,13 @@ class ArgParser {
   /// Keys provided on the command line but never declared. Call after all
   /// get* declarations.
   std::vector<std::string> unknown_keys() const;
+
+  /// Throws PreconditionError when any undeclared --flag was supplied,
+  /// listing every stray key with a near-miss suggestion from the declared
+  /// set. Call after all get* declarations; no-op when everything matched
+  /// (or when --help was requested — a typo next to --help should still
+  /// show the usage text, not die).
+  void reject_unknown() const;
 
   /// Formatted help text of everything declared so far.
   std::string help() const;

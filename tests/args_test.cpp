@@ -55,6 +55,54 @@ TEST(Args, UnknownKeysReported) {
   EXPECT_EQ(unknown[0], "mystery");
 }
 
+TEST(Args, RejectUnknownAcceptsCleanCommandLine) {
+  ArgParser a({"--spm=512"});
+  a.get_u64("spm", 0);
+  EXPECT_NO_THROW(a.reject_unknown());
+}
+
+TEST(Args, RejectUnknownThrowsNamingTheStray) {
+  ArgParser a({"--spm=512", "--mystery=2"});
+  a.get_u64("spm", 0);
+  try {
+    a.reject_unknown();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--mystery"), std::string::npos);
+  }
+}
+
+TEST(Args, RejectUnknownSuggestsNearMiss) {
+  ArgParser a({"--workloda=mpeg"});  // transposition of --workload
+  a.get("workload", "adpcm");
+  a.get_u64("spm", 0);
+  try {
+    a.reject_unknown();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --workload?"),
+              std::string::npos);
+  }
+}
+
+TEST(Args, RejectUnknownOmitsFarFetchedSuggestions) {
+  ArgParser a({"--zzzzzzzzzz=1"});
+  a.get("workload", "adpcm");
+  try {
+    a.reject_unknown();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(Args, RejectUnknownIsSilencedByHelp) {
+  ArgParser a({"--help", "--mystery=2"});
+  a.get("workload", "adpcm");
+  EXPECT_TRUE(a.help_requested());
+  EXPECT_NO_THROW(a.reject_unknown());
+}
+
 TEST(Args, HelpRequested) {
   ArgParser a({"--help"});
   EXPECT_TRUE(a.help_requested());

@@ -1,0 +1,593 @@
+// casa::check — one deliberately corrupted fixture per rule family, each
+// asserting the exact rule id it must trigger, plus clean-artifact runs
+// proving the analyzer stays silent on well-formed pipeline products.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "casa/check/rules.hpp"
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/core/formulation.hpp"
+#include "casa/prog/builder.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::check {
+namespace {
+
+using prog::FunctionScope;
+using prog::ProgramBuilder;
+
+bool has_rule(const CheckRunner& r, const std::string& rule) {
+  return std::any_of(r.diagnostics().begin(), r.diagnostics().end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+/// Small three-object program (main + two leaf bodies) with its real
+/// pipeline products; the corruption tests mutate copies of these.
+struct Fixture {
+  prog::Program program;
+  trace::ExecutionResult exec;
+  traceopt::TraceProgram tp;
+  traceopt::Layout layout;
+
+  Fixture()
+      : program(make()),
+        exec(trace::Executor::run(program)),
+        tp(traceopt::form_traces(program, exec.profile, topts())),
+        layout(traceopt::layout_all(tp)) {}
+
+  static prog::Program make() {
+    ProgramBuilder b("fx");
+    b.function("main", [](FunctionScope& f) {
+      f.loop(100, [](FunctionScope& l) {
+        l.call("f1");
+        l.call("f2");
+      });
+    });
+    b.function("f1", [](FunctionScope& f) { f.code(64, "body1"); });
+    b.function("f2", [](FunctionScope& f) { f.code(64, "body2"); });
+    return b.build();
+  }
+  static traceopt::TraceFormationOptions topts() {
+    traceopt::TraceFormationOptions o;
+    o.cache_line_size = 16;
+    o.max_trace_size = 64;
+    return o;
+  }
+  /// Plenty of sets: with layout_all the whole program spans fewer lines
+  /// than this cache has sets, so no two objects share a set.
+  static cachesim::CacheConfig big_cache() {
+    cachesim::CacheConfig c;
+    c.size = 4096;
+    c.line_size = 16;
+    c.associativity = 1;
+    return c;
+  }
+  /// Tiny direct-mapped cache that real conflict graphs are built against.
+  static cachesim::CacheConfig small_cache() {
+    cachesim::CacheConfig c;
+    c.size = 128;
+    c.line_size = 16;
+    c.associativity = 1;
+    return c;
+  }
+
+  /// Rebuilds a TraceProgram over the same program with replaced objects.
+  traceopt::TraceProgram with_objects(
+      std::vector<traceopt::MemoryObject> objects) const {
+    std::vector<MemoryObjectId> object_of;
+    std::vector<Bytes> offsets;
+    object_of.reserve(program.block_count());
+    offsets.reserve(program.block_count());
+    for (std::size_t bb = 0; bb < program.block_count(); ++bb) {
+      const BasicBlockId id(static_cast<std::uint32_t>(bb));
+      object_of.push_back(tp.object_of(id));
+      offsets.push_back(tp.block_offset(id));
+    }
+    return traceopt::TraceProgram(program, std::move(objects),
+                                  std::move(object_of), std::move(offsets));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Trace-program rules.
+
+TEST(CheckTrace, CleanProgramPasses) {
+  const Fixture fx;
+  CheckRunner r;
+  check_trace_program(fx.tp, 16, r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.diagnostics().empty());
+  EXPECT_EQ(r.rules_evaluated(), 3u);
+}
+
+TEST(CheckTrace, MisalignedPadTriggersRule) {
+  const Fixture fx;
+  auto objects = fx.tp.objects();
+  objects[1].padded_size = objects[1].raw_size + 3;  // not a line multiple
+  const traceopt::TraceProgram bad = fx.with_objects(std::move(objects));
+  CheckRunner r;
+  check_trace_program(bad, 16, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_rule(r, "trace.pad.misaligned"));
+}
+
+TEST(CheckTrace, OverPaddedObjectTriggersRule) {
+  const Fixture fx;
+  auto objects = fx.tp.objects();
+  objects[1].padded_size += 32;  // aligned, but two lines more than needed
+  const traceopt::TraceProgram bad = fx.with_objects(std::move(objects));
+  CheckRunner r;
+  check_trace_program(bad, 16, r);
+  EXPECT_TRUE(has_rule(r, "trace.pad.inconsistent"));
+  EXPECT_FALSE(has_rule(r, "trace.pad.misaligned"));
+}
+
+TEST(CheckTrace, EmptyObjectTriggersRule) {
+  const Fixture fx;
+  auto objects = fx.tp.objects();
+  objects[0].raw_size = 0;
+  objects[0].padded_size = 0;
+  const traceopt::TraceProgram bad = fx.with_objects(std::move(objects));
+  CheckRunner r;
+  check_trace_program(bad, 16, r);
+  EXPECT_TRUE(has_rule(r, "trace.size.zero"));
+}
+
+// ---------------------------------------------------------------------------
+// Layout rules.
+
+TEST(CheckLayout, CleanLayoutPasses) {
+  const Fixture fx;
+  CheckRunner r;
+  check_layout(fx.tp, fx.layout, 16, r);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CheckLayout, OverlappingObjectsTriggerRule) {
+  const Fixture fx;
+  std::vector<Addr> bases(fx.tp.object_count());
+  for (std::size_t i = 0; i < bases.size(); ++i) bases[i] = 0;  // all collide
+  const traceopt::Layout bad(fx.tp, std::move(bases), 0,
+                             fx.tp.padded_code_size());
+  CheckRunner r;
+  check_layout(fx.tp, bad, 16, r);
+  EXPECT_TRUE(has_rule(r, "layout.overlap"));
+}
+
+TEST(CheckLayout, MisalignedBaseTriggersRule) {
+  const Fixture fx;
+  std::vector<Addr> bases;
+  Addr next = 8;  // off the 16-byte line grid
+  for (const auto& mo : fx.tp.objects()) {
+    bases.push_back(next);
+    next += mo.padded_size;
+  }
+  const traceopt::Layout bad(fx.tp, std::move(bases), 0, next);
+  CheckRunner r;
+  check_layout(fx.tp, bad, 16, r);
+  EXPECT_TRUE(has_rule(r, "layout.alignment"));
+}
+
+TEST(CheckLayout, ObjectOutsideWindowTriggersRule) {
+  const Fixture fx;
+  std::vector<Addr> bases;
+  Addr next = 0;
+  for (const auto& mo : fx.tp.objects()) {
+    bases.push_back(next);
+    next += mo.padded_size;
+  }
+  const traceopt::Layout bad(fx.tp, std::move(bases), 0, 16);  // tiny window
+  CheckRunner r;
+  check_layout(fx.tp, bad, 16, r);
+  EXPECT_TRUE(has_rule(r, "layout.span.inconsistent"));
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-graph rules.
+
+TEST(CheckConflict, RealGraphPasses) {
+  const Fixture fx;
+  conflict::BuildOptions opt;
+  opt.cache = Fixture::small_cache();
+  const conflict::ConflictGraph g =
+      conflict::build_conflict_graph(fx.tp, fx.layout, fx.exec.walk, opt);
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, opt.cache, r);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+/// Hand-builds a graph whose per-node bookkeeping is consistent (hits +
+/// cold + sum m_ij == fetches) so only the deliberately planted defect
+/// fires.
+conflict::ConflictGraph consistent_graph(const Fixture& fx,
+                                         std::vector<conflict::Edge> edges) {
+  const std::size_t n = fx.tp.object_count();
+  std::vector<std::uint64_t> fetches(n), cold(n, 0), hits(n);
+  std::vector<std::uint64_t> conflict_misses(n, 0);
+  for (const conflict::Edge& e : edges) {
+    conflict_misses[e.from.index()] += e.misses;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemoryObjectId mo(static_cast<std::uint32_t>(i));
+    fetches[i] = fx.tp.object(mo).fetches;
+    hits[i] = fetches[i] - conflict_misses[i];  // underflow-free by fixture
+  }
+  return conflict::ConflictGraph(n, std::move(fetches), std::move(cold),
+                                 std::move(hits), std::move(edges));
+}
+
+TEST(CheckConflict, CrossSetEdgeTriggersRule) {
+  const Fixture fx;
+  // Under big_cache every object owns private sets, so any edge is bogus.
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(1), MemoryObjectId(2), 5}};
+  const conflict::ConflictGraph g = consistent_graph(fx, std::move(edges));
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::big_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.edge.cross-set"));
+  EXPECT_FALSE(has_rule(r, "conflict.counts.inconsistent"));
+}
+
+TEST(CheckConflict, ImpossibleSelfEdgeTriggersRule) {
+  const Fixture fx;
+  // Object 1 spans far fewer lines than big_cache has sets: it can never
+  // evict itself.
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(1), MemoryObjectId(1), 3}};
+  const conflict::ConflictGraph g = consistent_graph(fx, std::move(edges));
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::big_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.edge.self"));
+}
+
+TEST(CheckConflict, EdgeWeightAboveFetchesTriggersRule) {
+  const Fixture fx;
+  const std::uint64_t f1 = fx.tp.object(MemoryObjectId(1)).fetches;
+  std::vector<conflict::Edge> edges{
+      {MemoryObjectId(1), MemoryObjectId(2), f1 + 1}};
+  const std::size_t n = fx.tp.object_count();
+  std::vector<std::uint64_t> fetches(n), cold(n, 0), hits(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    fetches[i] = fx.tp.object(MemoryObjectId(static_cast<std::uint32_t>(i)))
+                     .fetches;
+    hits[i] = fetches[i];
+  }
+  const conflict::ConflictGraph g(n, std::move(fetches), std::move(cold),
+                                  std::move(hits), std::move(edges));
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::small_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.edge.exceeds-fetches"));
+}
+
+TEST(CheckConflict, BrokenBookkeepingTriggersRule) {
+  const Fixture fx;
+  const std::size_t n = fx.tp.object_count();
+  std::vector<std::uint64_t> fetches(n), cold(n, 0), hits(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    fetches[i] = fx.tp.object(MemoryObjectId(static_cast<std::uint32_t>(i)))
+                     .fetches;
+    hits[i] = fetches[i];
+  }
+  hits[0] -= 1;  // one fetch vanishes from the books
+  const conflict::ConflictGraph g(n, std::move(fetches), std::move(cold),
+                                  std::move(hits), {});
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::small_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.counts.inconsistent"));
+}
+
+TEST(CheckConflict, ProfileMismatchTriggersRule) {
+  const Fixture fx;
+  const std::size_t n = fx.tp.object_count();
+  std::vector<std::uint64_t> fetches(n), cold(n, 0), hits(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    fetches[i] = fx.tp.object(MemoryObjectId(static_cast<std::uint32_t>(i)))
+                     .fetches;
+    hits[i] = fetches[i];
+  }
+  fetches[1] += 7;  // vertex weight drifts from the profile
+  hits[1] += 7;     // keep the books internally consistent
+  const conflict::ConflictGraph g(n, std::move(fetches), std::move(cold),
+                                  std::move(hits), {});
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::small_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.fetches.profile-mismatch"));
+  EXPECT_FALSE(has_rule(r, "conflict.counts.inconsistent"));
+}
+
+TEST(CheckConflict, NodeCountMismatchTriggersRule) {
+  const Fixture fx;
+  const conflict::ConflictGraph g(1, {10}, {0}, {10}, {});
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, Fixture::small_cache(), r);
+  EXPECT_TRUE(has_rule(r, "conflict.nodes.count"));
+}
+
+TEST(CheckConflict, DegenerateCacheTriggersRule) {
+  const Fixture fx;
+  const std::size_t n = fx.tp.object_count();
+  const conflict::ConflictGraph g(n, std::vector<std::uint64_t>(n, 1),
+                                  std::vector<std::uint64_t>(n, 0),
+                                  std::vector<std::uint64_t>(n, 1), {});
+  cachesim::CacheConfig degenerate;
+  degenerate.size = 8;  // below line_size * associativity
+  degenerate.line_size = 16;
+  degenerate.associativity = 1;
+  CheckRunner r;
+  check_conflict_graph(fx.tp, fx.layout, g, degenerate, r);
+  EXPECT_TRUE(has_rule(r, "conflict.cache.degenerate"));
+}
+
+// ---------------------------------------------------------------------------
+// ILP-model rules.
+
+/// Two items (100 B and 50 B) with one conflict edge; capacity 120 B.
+core::SavingsProblem two_item_problem() {
+  core::SavingsProblem sp;
+  sp.object_of = {MemoryObjectId(0), MemoryObjectId(1)};
+  sp.value = {10.0, 5.0};
+  sp.weight = {100, 50};
+  sp.edges = {{0, 1, 4.0}};
+  sp.capacity = 120;
+  return sp;
+}
+
+TEST(CheckModel, BuiltModelsPassBothLinearizations) {
+  const core::SavingsProblem sp = two_item_problem();
+  for (const auto lin :
+       {core::Linearization::kPaper, core::Linearization::kTight}) {
+    const core::CasaModel cm = core::build_casa_model(sp, lin);
+    CheckRunner r;
+    check_casa_model(cm, sp, lin, r);
+    EXPECT_TRUE(r.ok()) << r.summary();
+  }
+}
+
+/// Hand-built paper-mode model; `skip` names a linearization row to omit.
+core::CasaModel handmade_model(const core::SavingsProblem& sp,
+                               bool binary_L, bool with_cap, double cap_rhs,
+                               int skip_lin_row = -1) {
+  core::CasaModel cm;
+  ilp::Model& m = cm.model;
+  const VarId l0 = m.add_binary("l0");
+  const VarId l1 = m.add_binary("l1");
+  const VarId L = binary_L ? m.add_binary("L01")
+                           : m.add_continuous("L01", 0.0, 1.0);
+  cm.l_vars = {l0, l1};
+  cm.L_vars = {L};
+  ilp::LinExpr obj;
+  obj.add(l0, 1.0).add(l1, 1.0).add(L, 1.0);
+  m.set_objective(ilp::Sense::kMinimize, obj);
+  if (skip_lin_row != 0) {
+    m.add_constraint("lin13", ilp::LinExpr().add(l0, 1.0).add(L, -1.0),
+                     ilp::Rel::kGreaterEq, 0.0);
+  }
+  if (skip_lin_row != 1) {
+    m.add_constraint("lin14", ilp::LinExpr().add(l1, 1.0).add(L, -1.0),
+                     ilp::Rel::kGreaterEq, 0.0);
+  }
+  if (skip_lin_row != 2) {
+    m.add_constraint("lin15",
+                     ilp::LinExpr().add(l0, 1.0).add(l1, 1.0).add(L, -2.0),
+                     ilp::Rel::kLessEq, 1.0);
+  }
+  if (with_cap) {
+    m.add_constraint("capacity",
+                     ilp::LinExpr()
+                         .add(l0, static_cast<double>(sp.weight[0]))
+                         .add(l1, static_cast<double>(sp.weight[1])),
+                     ilp::Rel::kGreaterEq, cap_rhs);
+  }
+  return cm;
+}
+
+TEST(CheckModel, HandmadeWellFormedModelPasses) {
+  const core::SavingsProblem sp = two_item_problem();
+  const core::CasaModel cm = handmade_model(sp, true, true, 30.0);
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CheckModel, MissingLinearizationRowTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  for (int skip = 0; skip < 3; ++skip) {
+    const core::CasaModel cm = handmade_model(sp, true, true, 30.0, skip);
+    CheckRunner r;
+    check_casa_model(cm, sp, core::Linearization::kPaper, r);
+    EXPECT_TRUE(has_rule(r, "ilp.lin.missing")) << "skipped row " << skip;
+  }
+}
+
+TEST(CheckModel, ContinuousLUnderPaperModeTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  const core::CasaModel cm = handmade_model(sp, false, true, 30.0);
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.lin.malformed"));
+}
+
+TEST(CheckModel, MissingCapacityRowTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  const core::CasaModel cm = handmade_model(sp, true, false, 0.0);
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.capacity.missing"));
+}
+
+TEST(CheckModel, WrongCapacityRhsTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  const core::CasaModel cm = handmade_model(sp, true, true, 29.0);
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.capacity.mismatch"));
+}
+
+TEST(CheckModel, OrphanVariableTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  core::CasaModel cm = handmade_model(sp, true, true, 30.0);
+  cm.model.add_binary("stray");
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.var.orphan"));
+}
+
+TEST(CheckModel, EmptyConstraintTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  core::CasaModel cm = handmade_model(sp, true, true, 30.0);
+  cm.model.add_constraint("ghost", ilp::LinExpr().add_constant(1.0),
+                          ilp::Rel::kLessEq, 2.0);
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.row.degenerate"));
+}
+
+TEST(CheckModel, VariableCountMismatchTriggersRule) {
+  const core::SavingsProblem sp = two_item_problem();
+  core::CasaModel cm = handmade_model(sp, true, true, 30.0);
+  cm.L_vars.clear();  // claims zero edges for a one-edge problem
+  CheckRunner r;
+  check_casa_model(cm, sp, core::Linearization::kPaper, r);
+  EXPECT_TRUE(has_rule(r, "ilp.var.count-mismatch"));
+}
+
+// ---------------------------------------------------------------------------
+// Allocation rules.
+
+TEST(CheckAllocation, CleanSelectionPasses) {
+  CheckRunner r;
+  check_spm_selection({100, 50}, 120, {false, true}, 50, r);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CheckAllocation, OverCapacityTriggersRule) {
+  CheckRunner r;
+  check_spm_selection({100, 50}, 120, {true, true}, 150, r);
+  EXPECT_TRUE(has_rule(r, "alloc.capacity.exceeded"));
+  EXPECT_FALSE(has_rule(r, "alloc.used-bytes.mismatch"));
+}
+
+TEST(CheckAllocation, WrongUsedBytesTriggersRule) {
+  CheckRunner r;
+  check_spm_selection({100, 50}, 120, {false, true}, 49, r);
+  EXPECT_TRUE(has_rule(r, "alloc.used-bytes.mismatch"));
+}
+
+TEST(CheckAllocation, MaskSizeMismatchTriggersRule) {
+  CheckRunner r;
+  check_spm_selection({100, 50}, 120, {true}, 100, r);
+  EXPECT_TRUE(has_rule(r, "alloc.mask.size"));
+}
+
+// ---------------------------------------------------------------------------
+// Energy rules.
+
+energy::EnergyTable sane_table() {
+  energy::EnergyTable t;
+  t.cache_hit = 0.5;
+  t.cache_miss = 12.0;
+  t.spm_access = 0.2;
+  t.mainmem_word = 8.0;
+  return t;
+}
+
+TEST(CheckEnergy, SaneTablePasses) {
+  CheckRunner r;
+  check_energy_table(sane_table(), true, false, r);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CheckEnergy, InvertedMissHitTriggersRule) {
+  energy::EnergyTable t = sane_table();
+  t.cache_miss = t.cache_hit / 2;  // a miss cheaper than a hit
+  CheckRunner r;
+  check_energy_table(t, true, false, r);
+  EXPECT_TRUE(has_rule(r, "energy.order.miss-hit"));
+}
+
+TEST(CheckEnergy, ScratchpadAboveCacheHitTriggersRule) {
+  energy::EnergyTable t = sane_table();
+  t.spm_access = t.cache_hit * 2;
+  CheckRunner r;
+  check_energy_table(t, true, false, r);
+  EXPECT_TRUE(has_rule(r, "energy.order.hit-spm"));
+}
+
+TEST(CheckEnergy, ScratchpadOrderIgnoredWithoutSpm) {
+  energy::EnergyTable t = sane_table();
+  t.spm_access = t.cache_hit * 2;
+  CheckRunner r;
+  check_energy_table(t, false, false, r);
+  EXPECT_FALSE(has_rule(r, "energy.order.hit-spm"));
+}
+
+TEST(CheckEnergy, NonFiniteEntryTriggersRule) {
+  energy::EnergyTable t = sane_table();
+  t.mainmem_word = std::nan("");
+  CheckRunner r;
+  check_energy_table(t, true, false, r);
+  EXPECT_TRUE(has_rule(r, "energy.value.invalid"));
+}
+
+TEST(CheckEnergy, MissingLoopCacheEnergiesTriggerRule) {
+  CheckRunner r;
+  check_energy_table(sane_table(), false, true, r);  // lc energies left at 0
+  EXPECT_TRUE(has_rule(r, "energy.value.invalid"));
+}
+
+TEST(CheckEnergy, DefaultTechnologyScalesMonotonically) {
+  CheckRunner r;
+  check_energy_scaling(energy::TechnologyParams{}, r);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(CheckEnergy, BrokenTechnologyTriggersMonotoneRule) {
+  energy::TechnologyParams tech;
+  tech.c_bitline_per_cell = -50.0;  // capacity now *reduces* bitline cost
+  CheckRunner r;
+  check_energy_scaling(tech, r);
+  EXPECT_TRUE(has_rule(r, "energy.sram.non-monotone"));
+}
+
+// ---------------------------------------------------------------------------
+// Runner mechanics and the JSON artifact.
+
+TEST(CheckRunnerTest, ThrowIfErrorsThrowsOnlyOnErrors) {
+  CheckRunner r;
+  r.warn("demo.warn", "artifact", "loc", "message");
+  EXPECT_NO_THROW(r.throw_if_errors());
+  r.error("demo.error", "artifact", "loc", "message");
+  EXPECT_FALSE(r.ok());
+  EXPECT_THROW(r.throw_if_errors(), CheckError);
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 1u);
+}
+
+TEST(CheckRunnerTest, SummaryReportsCounts) {
+  CheckRunner r;
+  r.mark_evaluated(5);
+  EXPECT_EQ(r.summary(), "casa-check: OK (5 rules evaluated)");
+  r.error("demo.error", "a", "l", "m");
+  EXPECT_NE(r.summary().find("1 error"), std::string::npos);
+}
+
+TEST(CheckRunnerTest, JsonArtifactCarriesSchemaAndRuleIds) {
+  CheckRunner r;
+  r.mark_evaluated(2);
+  r.error("demo.rule", "artifact", "x1", "a \"quoted\" message", "fix it");
+  std::ostringstream os;
+  write_check_json(os, r, "check_test");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"casa-check v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"demo.rule\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casa::check

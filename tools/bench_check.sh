@@ -23,13 +23,13 @@
 #   BENCH_TOLERANCE allowed fractional regression (default 0.20)
 set -euo pipefail
 
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+repo_root="$(cd "$(dirname -- "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 update=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --update) update=1; shift ;;
-    --build-dir) build_dir="$2"; shift 2 ;;
+    --build-dir) build_dir="${2:?--build-dir needs a value}"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done

@@ -5,15 +5,21 @@
 //            --technique=steinke --spm=256 --csv
 //   casa_cli --workload=adpcm --technique=loopcache --spm=256 --lc-regions=4
 //   casa_cli --workload=mpeg --technique=casa --spm=512 --dot=conflicts.dot
+//   casa_cli --workload=g721 --spm=512 --check
 //
 // Techniques: none (cache only), casa, greedy (CASA objective, heuristic
 // solver), steinke, loopcache. Prints a human-readable report or, with
 // --csv, a single comma-separated row (with a header comment) suitable for
-// scripting sweeps.
+// scripting sweeps. --check skips the experiment and instead runs the
+// casa::check semantic analyzer over every inter-stage artifact the
+// configuration produces (trace program, layout, conflict graph, both ILP
+// linearizations, allocation, energy tables), printing each diagnostic and
+// exiting non-zero on errors.
 #include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/io/serialize.hpp"
@@ -36,6 +42,70 @@ cachesim::ReplacementPolicy policy_from(const std::string& name) {
   if (name == "random") return cachesim::ReplacementPolicy::kRandom;
   throw PreconditionError("unknown --policy: " + name +
                           " (lru|fifo|rr|random)");
+}
+
+/// Standalone analyzer (--check): rebuild every inter-stage artifact for
+/// the configuration and run the full rule catalogue over it. Returns the
+/// process exit code (0 clean, 1 when any error-severity diagnostic fired).
+int run_check(const prog::Program& program, const report::Workbench& bench,
+              const cachesim::CacheConfig& cache, Bytes spm, double fuse,
+              obs::MetricsRegistry* reg, const std::string& check_json) {
+  check::CheckRunner runner(reg);
+
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache.line_size;
+  topt.max_trace_size = std::max<Bytes>(spm, cache.line_size);
+  topt.fuse_ratio = fuse;
+  const traceopt::TraceProgram tp =
+      traceopt::form_traces(program, bench.execution().profile, topt);
+  check::check_trace_program(tp, cache.line_size, runner);
+
+  const traceopt::Layout layout = traceopt::layout_all(tp);
+  check::check_layout(tp, layout, cache.line_size, runner);
+
+  conflict::BuildOptions bopt;
+  bopt.cache = cache;
+  const conflict::ConflictGraph graph =
+      conflict::build_conflict_graph(tp, layout, bench.execution().walk, bopt);
+  check::check_conflict_graph(tp, layout, graph, cache, runner);
+
+  const energy::EnergyTable energies =
+      energy::EnergyTable::build(cache, spm, 0, 0);
+  check::check_energy_table(energies, spm > 0, false, runner);
+  check::check_energy_scaling(energy::arm7_tech(), runner);
+
+  const core::CasaProblem problem =
+      core::CasaProblem::from(tp, graph, energies, spm);
+  const core::SavingsProblem sp = core::presolve(problem);
+  for (const auto lin :
+       {core::Linearization::kPaper, core::Linearization::kTight}) {
+    const core::CasaModel cm = core::build_casa_model(sp, lin);
+    check::check_casa_model(cm, sp, lin, runner);
+  }
+
+  const core::CasaAllocator allocator;
+  const core::AllocationResult alloc = allocator.allocate(problem);
+  check::check_allocation(problem, alloc, runner);
+
+  for (const check::Diagnostic& d : runner.diagnostics()) {
+    std::cout << d.to_string() << "\n";
+  }
+  std::cout << runner.summary() << " — " << tp.object_count() << " objects, "
+            << graph.edge_count() << " conflict edges, "
+            << sp.item_count() << " items / " << sp.edges.size()
+            << " presolved edges\n";
+
+  if (!check_json.empty()) {
+    if (check_json == "-") {
+      check::write_check_json(std::cout, runner, "casa_cli");
+    } else {
+      std::ofstream out(check_json);
+      CASA_CHECK(out.good(), "cannot open check output file: " + check_json);
+      check::write_check_json(out, runner, "casa_cli");
+      std::cerr << "check artifact written to " << check_json << "\n";
+    }
+  }
+  return runner.ok() ? 0 : 1;
 }
 
 int run(ArgParser& args) {
@@ -66,16 +136,21 @@ int run(ArgParser& args) {
       "write a casa-metrics v1 telemetry artifact to this file ('-' = stdout)");
   const bool metrics_stdout =
       args.get_flag("metrics-stdout", "print the telemetry artifact to stdout");
+  const bool do_check = args.get_flag(
+      "check", "run the artifact analyzer instead of the experiment");
+  const std::string check_json = args.get(
+      "check-json", "",
+      "write a casa-check v1 diagnostics artifact to this file ('-' = "
+      "stdout; implies --check)");
 
   if (args.help_requested()) {
     std::cout << "casa_cli options:\n" << args.help();
     return 0;
   }
-  const auto unknown = args.unknown_keys();
-  if (!unknown.empty()) {
-    std::cerr << "unknown options:";
-    for (const auto& k : unknown) std::cerr << " --" << k;
-    std::cerr << "\nrun with --help for usage\n";
+  try {
+    args.reject_unknown();
+  } catch (const PreconditionError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
     return 2;
   }
 
@@ -112,6 +187,10 @@ int run(ArgParser& args) {
   cache.policy = policy_from(policy);
   cache.validate();
   if (reg != nullptr) reg->set_config("cache", std::to_string(cache.size));
+
+  if (do_check || !check_json.empty()) {
+    return run_check(program, bench, cache, spm, fuse, reg, check_json);
+  }
 
   report::Outcome outcome;
   if (technique == "none") {

@@ -18,11 +18,11 @@
 #   tools/metrics_check.sh [--build-dir DIR]
 set -euo pipefail
 
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+repo_root="$(cd "$(dirname -- "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --build-dir) build_dir="$2"; shift 2 ;;
+    --build-dir) build_dir="${2:?--build-dir needs a value}"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done

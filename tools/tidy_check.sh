@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# clang-tidy lint gate.
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit listed in the build tree's
+# compile_commands.json. Any warning fails the gate (WarningsAsErrors is
+# '*' in the config). On hosts without clang-tidy the script exits 77 —
+# ctest registers that as SKIP via SKIP_RETURN_CODE, so the lane is
+# visibly skipped instead of silently green.
+#
+# Usage:
+#   tools/tidy_check.sh [--build-dir DIR]
+# Environment:
+#   CLANG_TIDY  explicit clang-tidy binary (overrides PATH lookup)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname -- "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="${2:?--build-dir needs a value}"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "tidy_check: clang-tidy not found (set CLANG_TIDY to override); skipping" >&2
+  exit 77
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "tidy_check: $db not found; configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# First-party sources only: the compilation database also lists GTest /
+# benchmark glue we do not own.
+mapfile -t sources < <(
+  cd "$repo_root" &&
+  find src tools examples -name '*.cpp' | sort
+)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "tidy_check: no sources found" >&2
+  exit 2
+fi
+
+echo "tidy_check: $tidy over ${#sources[@]} files"
+status=0
+for rel in "${sources[@]}"; do
+  if ! "$tidy" --quiet -p "$build_dir" "$repo_root/$rel"; then
+    status=1
+    echo "tidy_check: FAIL $rel" >&2
+  fi
+done
+if [[ "$status" -ne 0 ]]; then
+  echo "tidy_check: clang-tidy reported findings" >&2
+  exit 1
+fi
+echo "tidy_check: OK"
