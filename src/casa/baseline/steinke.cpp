@@ -5,6 +5,20 @@
 
 namespace casa::baseline {
 
+std::vector<bool> knapsack_seed(const std::vector<Bytes>& weights,
+                                const std::vector<Energy>& profits,
+                                Bytes capacity) {
+  CASA_CHECK(weights.size() == profits.size(),
+             "knapsack seed needs one profit per weight");
+  std::vector<ilp::KnapsackItem> items;
+  items.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    items.push_back(ilp::KnapsackItem{weights[i], profits[i]});
+  }
+  const ilp::KnapsackResult k = ilp::solve_knapsack(items, capacity);
+  return k.taken;
+}
+
 SteinkeResult allocate_steinke(const traceopt::TraceProgram& tp,
                                Bytes capacity, Energy per_access_saving) {
   CASA_CHECK(per_access_saving > 0, "per-access saving must be positive");

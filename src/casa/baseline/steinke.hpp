@@ -29,4 +29,14 @@ SteinkeResult allocate_steinke(const traceopt::TraceProgram& tp,
                                Bytes capacity,
                                Energy per_access_saving = 1.0);
 
+/// The Steinke decision rule factored out over explicit per-item weights
+/// and profits: the exact 0/1 knapsack selection under `capacity`.
+/// Deterministic for fixed inputs. This is also the warm-start seed the
+/// exact CASA solvers use — a knapsack over the linear savings is always
+/// feasible for the full model (conflict edges only add savings), so it
+/// gives branch & bound a sound incumbent before node 1.
+std::vector<bool> knapsack_seed(const std::vector<Bytes>& weights,
+                                const std::vector<Energy>& profits,
+                                Bytes capacity);
+
 }  // namespace casa::baseline

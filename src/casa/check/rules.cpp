@@ -501,6 +501,21 @@ void check_allocation(const core::CasaProblem& problem,
                       CheckRunner& runner) {
   check_spm_selection(problem.sizes, problem.capacity, result.on_spm,
                       result.used_bytes, runner);
+  // Status soundness: a truncated search (max_nodes, LP iteration limit)
+  // must never flow downstream as an allocation — an empty incumbent would
+  // read as "nothing fits" and a partial one as the optimum. Greedy is a
+  // deliberate heuristic (exact == false, status kOptimal = it completed);
+  // only a non-completed exact search trips this rule.
+  if (result.solver_status != ilp::SolveStatus::kOptimal) {
+    runner.error("alloc.solver.truncated", kAllocArtifact,
+                 core::to_string(result.engine_used),
+                 std::string("allocation comes from a truncated solve "
+                             "(solver_status == ") +
+                     ilp::to_string(result.solver_status) + ")",
+                 "raise max_nodes (or the LP iteration budget) and re-solve; "
+                 "never report a truncated search as an allocation");
+  }
+  runner.mark_evaluated(1);
 }
 
 void check_energy_table(const energy::EnergyTable& table, bool has_spm,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "casa/baseline/steinke.hpp"
 #include "casa/core/casa_branch_bound.hpp"
 #include "casa/core/greedy.hpp"
 #include "casa/ilp/branch_bound.hpp"
@@ -45,16 +46,42 @@ AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
       const CasaModel cm = build_casa_model(sp, opt_.linearization);
       ilp::BranchAndBoundOptions bopt;
       bopt.max_nodes = opt_.max_nodes;
+      bopt.threads = opt_.ilp_threads;
+      // Pin the fan-out depth to a thread-count-independent constant so the
+      // allocation is bit-identical whatever ilp_threads is (the B&B derives
+      // depth from the thread count when left at 0, which would tie results
+      // to the machine).
+      bopt.subtree_depth =
+          opt_.ilp_subtree_depth != 0 ? opt_.ilp_subtree_depth : 3;
+      bopt.presolve = opt_.ilp_presolve;
+      bopt.warm_start = opt_.ilp_warm_start;
+      if (opt_.ilp_warm_start && sp.item_count() > 0) {
+        // Steinke's knapsack over the linear savings is capacity-feasible
+        // for the full model (edges only add savings), so its lift is a
+        // sound incumbent before node 1.
+        bopt.warm_hint = warm_assignment(
+            cm, sp, baseline::knapsack_seed(sp.weight, sp.value, sp.capacity));
+      }
       // Location variables decide the allocation; the linearization
       // variables L are implied once the l are fixed — branch l first.
       bopt.branch_priority.assign(cm.model.var_count(), 0);
       for (const VarId l : cm.l_vars) bopt.branch_priority[l.index()] = 1;
       ilp::BranchAndBound solver(bopt);
       const ilp::Solution sol = solver.solve(cm.model);
+      // The all-cached point always satisfies (13)-(17), so a well-formed
+      // CASA model can never be infeasible or unbounded.
       CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal ||
                      sol.status == ilp::SolveStatus::kLimit,
                  "CASA ILP did not produce a solution");
-      chosen = choice_from_solution(cm, sol);
+      result.solver_status = sol.status;
+      if (sol.values.empty()) {
+        // Truncated with no incumbent: the search proved nothing. Report
+        // the all-cached assignment, but keep the kLimit status so
+        // downstream consumers refuse to present it as an allocation.
+        chosen.assign(sp.item_count(), false);
+      } else {
+        chosen = choice_from_solution(cm, sol);
+      }
       result.exact = sol.status == ilp::SolveStatus::kOptimal;
       result.solver_stats = solver.last_stats();
       result.solver_nodes = result.solver_stats.nodes;
@@ -67,6 +94,8 @@ AllocationResult CasaAllocator::allocate(const CasaProblem& p) const {
       CasaBranchBoundResult r = solver.solve(sp);
       chosen = std::move(r.chosen);
       result.exact = r.exact;
+      result.solver_status =
+          r.exact ? ilp::SolveStatus::kOptimal : ilp::SolveStatus::kLimit;
       result.solver_stats = r.stats;
       result.solver_nodes = r.nodes;
       break;

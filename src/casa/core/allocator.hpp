@@ -19,6 +19,7 @@
 
 #include "casa/core/formulation.hpp"
 #include "casa/core/problem.hpp"
+#include "casa/ilp/model.hpp"
 #include "casa/ilp/solve_stats.hpp"
 
 namespace casa::core {
@@ -37,6 +38,20 @@ struct CasaOptions {
   /// presolved edge count exceeds this.
   std::size_t generic_ilp_max_edges = 120;
   std::uint64_t max_nodes = 50'000'000;
+  /// Generic-ILP engine tuning (ignored by the specialized/greedy engines).
+  /// Worker threads for the branch & bound subtree fan-out (0 = hardware
+  /// concurrency, 1 = serial). Results are thread-count-invariant; see
+  /// docs/solver.md.
+  unsigned ilp_threads = 1;
+  /// Pin the subtree fan-out depth explicitly (0 = allocator default of 3,
+  /// deliberately independent of ilp_threads so the allocation never
+  /// depends on the machine's core count).
+  unsigned ilp_subtree_depth = 0;
+  /// Seed the incumbent from the Steinke knapsack selection and a rounded
+  /// root LP before node 1 (SolveStats::warm_start_used).
+  bool ilp_warm_start = true;
+  /// Run the bound-box presolve before search (SolveStats::presolve_fixed).
+  bool ilp_presolve = true;
 };
 
 struct AllocationResult {
@@ -46,6 +61,14 @@ struct AllocationResult {
   Energy predicted_saving = 0; ///< vs. the all-cached assignment
   std::uint64_t solver_nodes = 0;  ///< == solver_stats.nodes (convenience)
   bool exact = true;
+  /// Termination status of the engine that ran. kOptimal means the search
+  /// ran to completion (for greedy: the heuristic finished — `exact` stays
+  /// false there, status only reports termination); kLimit means the search
+  /// was truncated (max_nodes / LP iteration limit) and the allocation is a
+  /// best-effort incumbent, or empty when none was found. Downstream
+  /// reporting (Workbench, check_allocation) refuses truncated results
+  /// rather than presenting them as "nothing fits".
+  ilp::SolveStatus solver_status = ilp::SolveStatus::kOptimal;
   double solve_seconds = 0.0;
   CasaEngine engine_used = CasaEngine::kAuto;
   /// Exploration statistics of the engine that ran (all 0 for greedy).

@@ -82,6 +82,23 @@ CasaModel build_casa_model(const SavingsProblem& sp, Linearization lin) {
   return cm;
 }
 
+std::vector<double> warm_assignment(const CasaModel& cm,
+                                    const SavingsProblem& sp,
+                                    const std::vector<bool>& chosen) {
+  CASA_CHECK(chosen.size() == cm.l_vars.size(),
+             "warm assignment needs one choice per item");
+  std::vector<double> x(cm.model.var_count(), 0.0);
+  for (std::size_t k = 0; k < cm.l_vars.size(); ++k) {
+    x[cm.l_vars[k].index()] = chosen[k] ? 0.0 : 1.0;
+  }
+  for (std::size_t p = 0; p < cm.L_vars.size(); ++p) {
+    const auto& e = sp.edges[p];
+    x[cm.L_vars[p].index()] =
+        x[cm.l_vars[e.a].index()] * x[cm.l_vars[e.b].index()];
+  }
+  return x;
+}
+
 std::vector<bool> choice_from_solution(const CasaModel& cm,
                                        const ilp::Solution& sol) {
   CASA_CHECK(sol.status == ilp::SolveStatus::kOptimal ||

@@ -33,4 +33,13 @@ CasaModel build_casa_model(const SavingsProblem& sp, Linearization lin);
 std::vector<bool> choice_from_solution(const CasaModel& cm,
                                        const ilp::Solution& sol);
 
+/// Lifts a per-item scratchpad choice into a full model assignment
+/// (l_k = 0 when chosen, 1 when cached; L_p = l_a * l_b), sized
+/// cm.model.var_count(). Any capacity-feasible choice yields a feasible
+/// point of either linearization, so the result is a sound warm-start hint
+/// for ilp::BranchAndBound.
+std::vector<double> warm_assignment(const CasaModel& cm,
+                                    const SavingsProblem& sp,
+                                    const std::vector<bool>& chosen);
+
 }  // namespace casa::core

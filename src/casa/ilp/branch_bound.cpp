@@ -1,13 +1,23 @@
 #include "casa/ilp/branch_bound.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "casa/ilp/presolve.hpp"
 #include "casa/support/error.hpp"
+#include "casa/support/thread_pool.hpp"
 
 namespace casa::ilp {
 
 namespace {
+
+/// Feasibility tolerance for validating externally supplied assignments
+/// (warm hints); looser than the LP pivot tolerance on purpose.
+constexpr double kFeasTol = 1e-6;
 
 struct Node {
   std::vector<double> lower;
@@ -15,71 +25,136 @@ struct Node {
   std::uint64_t depth = 0;
 };
 
-}  // namespace
+double key_of(bool maximize, double obj) { return maximize ? -obj : obj; }
 
-Solution BranchAndBound::solve(const Model& m) const {
-  const bool maximize = m.sense() == Sense::kMaximize;
-  // Internally we compare as minimization: better == smaller key.
-  const auto key = [maximize](double obj) { return maximize ? -obj : obj; };
+double objective_value(const Model& m, const std::vector<double>& x) {
+  double v = m.objective().constant();
+  for (const Term& t : m.objective().terms()) {
+    v += t.coef * x[t.var.index()];
+  }
+  return v;
+}
 
-  SimplexSolver lp(opt_.lp);
-
-  Node root;
-  root.lower.resize(m.var_count());
-  root.upper.resize(m.var_count());
+/// True when `x` satisfies the model's bounds, binary integrality and every
+/// constraint within kFeasTol.
+bool satisfies(const Model& m, const std::vector<double>& x) {
+  if (x.size() != m.var_count()) return false;
   for (std::size_t j = 0; j < m.var_count(); ++j) {
     const Variable& v = m.var(VarId(static_cast<std::uint32_t>(j)));
-    root.lower[j] = v.lower;
-    root.upper[j] = v.upper;
+    if (x[j] < v.lower - kFeasTol || x[j] > v.upper + kFeasTol) return false;
+    if (v.type == VarType::kBinary &&
+        std::abs(x[j] - std::round(x[j])) > kFeasTol) {
+      return false;
+    }
   }
+  for (std::size_t r = 0; r < m.constraint_count(); ++r) {
+    const Constraint& c =
+        m.constraint(ConstraintId(static_cast<std::uint32_t>(r)));
+    double lhs = c.expr.constant();
+    for (const Term& t : c.expr.terms()) {
+      lhs += t.coef * x[t.var.index()];
+    }
+    switch (c.rel) {
+      case Rel::kLessEq:
+        if (lhs > c.rhs + kFeasTol) return false;
+        break;
+      case Rel::kGreaterEq:
+        if (lhs < c.rhs - kFeasTol) return false;
+        break;
+      case Rel::kEqual:
+        if (std::abs(lhs - c.rhs) > kFeasTol) return false;
+        break;
+    }
+  }
+  return true;
+}
 
-  Solution incumbent;
-  incumbent.status = SolveStatus::kInfeasible;
-  double incumbent_key = kInfinity;
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct SubtreeResult {
+  Solution best;  ///< best.values empty when the subtree found no incumbent
+  double best_key = kInfinity;
   bool hit_limit = false;
+  bool unbounded = false;
+  SolveStats stats;
+};
+
+/// Serial DFS over one bound box — the classic node loop, parameterized by
+/// the pruning key it starts from (warm start) and an optional shared
+/// incumbent key (opportunistic cross-subtree pruning).
+SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
+                              Node root, std::uint64_t node_budget,
+                              double seed_key,
+                              std::atomic<double>* shared_key) {
+  const bool maximize = m.sense() == Sense::kMaximize;
+  const SimplexSolver lp(opt.lp);
+  SimplexOptions retry_opt = opt.lp;
+  retry_opt.max_iters = static_cast<std::uint64_t>(
+      static_cast<double>(opt.lp.max_iters) *
+      std::max(1.0, opt.lp_retry_factor));
+  const SimplexSolver retry_lp(retry_opt);
+
+  SubtreeResult out;
+  double incumbent_key = seed_key;
 
   std::vector<Node> stack;
   stack.push_back(std::move(root));
-  last_stats_ = SolveStats{};
 
   while (!stack.empty()) {
-    if (last_stats_.nodes >= opt_.max_nodes) {
-      hit_limit = true;
+    if (out.stats.nodes >= node_budget) {
+      out.hit_limit = true;
       break;
     }
-    ++last_stats_.nodes;
+    ++out.stats.nodes;
     Node node = std::move(stack.back());
     stack.pop_back();
-    if (node.depth > last_stats_.max_depth) {
-      last_stats_.max_depth = node.depth;
+    if (node.depth > out.stats.max_depth) {
+      out.stats.max_depth = node.depth;
     }
 
-    const Solution relax = lp.solve_relaxation(m, node.lower, node.upper);
-    last_stats_.simplex_iterations += relax.iterations;
+    Solution relax = lp.solve_relaxation(m, node.lower, node.upper);
+    out.stats.simplex_iterations += relax.iterations;
+    if (relax.status == SolveStatus::kLimit) {
+      // One retry with a raised pivot budget before giving up on the node.
+      ++out.stats.lp_limit_retries;
+      relax = retry_lp.solve_relaxation(m, node.lower, node.upper);
+      out.stats.simplex_iterations += relax.iterations;
+    }
     if (relax.status == SolveStatus::kInfeasible) {
-      ++last_stats_.infeasible_prunes;
+      ++out.stats.infeasible_prunes;
       continue;
     }
     if (relax.status == SolveStatus::kUnbounded) {
       // A bounded-binary model relaxation can be unbounded only through
       // continuous vars; integrality cannot repair that.
-      Solution s;
-      s.status = SolveStatus::kUnbounded;
-      return s;
+      out.unbounded = true;
+      return out;
     }
     if (relax.status == SolveStatus::kLimit) {
-      hit_limit = true;
+      // Still truncated after the retry: the subtree's bound is unknown, so
+      // the overall search result must report kLimit, never optimality.
+      out.hit_limit = true;
       continue;
     }
-    if (key(relax.objective) >= incumbent_key - opt_.gap_tol) {
-      ++last_stats_.bound_prunes;
+    double prune_key = incumbent_key;
+    if (shared_key != nullptr) {
+      prune_key =
+          std::min(prune_key, shared_key->load(std::memory_order_relaxed));
+    }
+    if (key_of(maximize, relax.objective) >= prune_key - opt.gap_tol) {
+      ++out.stats.bound_prunes;
       continue;
     }
 
     // Find the most fractional binary among the highest-priority tier.
     int branch_var = -1;
     int best_prio = 0;
-    double worst = opt_.int_tol;
+    double worst = opt.int_tol;
     for (std::size_t j = 0; j < m.var_count(); ++j) {
       if (m.var(VarId(static_cast<std::uint32_t>(j))).type !=
           VarType::kBinary) {
@@ -87,9 +162,9 @@ Solution BranchAndBound::solve(const Model& m) const {
       }
       const double x = relax.values[j];
       const double frac = std::abs(x - std::round(x));
-      if (frac <= opt_.int_tol) continue;
+      if (frac <= opt.int_tol) continue;
       const int prio =
-          opt_.branch_priority.empty() ? 0 : opt_.branch_priority[j];
+          opt.branch_priority.empty() ? 0 : opt.branch_priority[j];
       if (branch_var < 0 || prio > best_prio ||
           (prio == best_prio && frac > worst)) {
         worst = frac;
@@ -100,15 +175,19 @@ Solution BranchAndBound::solve(const Model& m) const {
 
     if (branch_var < 0) {
       // Integral: new incumbent.
-      incumbent = relax;
-      incumbent_key = key(relax.objective);
-      ++last_stats_.incumbent_updates;
+      incumbent_key = key_of(maximize, relax.objective);
+      out.best = std::move(relax);
+      out.best_key = incumbent_key;
+      ++out.stats.incumbent_updates;
+      if (shared_key != nullptr) {
+        atomic_min(*shared_key, incumbent_key);
+      }
       continue;
     }
 
     const auto b = static_cast<std::size_t>(branch_var);
     const double x = relax.values[b];
-    Node down = node;   // x_b = 0 side (floor)
+    Node down = node;  // x_b = 0 side (floor)
     down.upper[b] = std::floor(x);
     down.lower[b] = node.lower[b];
     ++down.depth;
@@ -125,9 +204,262 @@ Solution BranchAndBound::solve(const Model& m) const {
       stack.push_back(std::move(down));
     }
   }
+  return out;
+}
 
-  if (incumbent.status == SolveStatus::kOptimal && hit_limit) {
+unsigned ceil_log2(unsigned n) {
+  unsigned d = 0;
+  while ((1u << d) < n) ++d;
+  return d;
+}
+
+}  // namespace
+
+Solution BranchAndBound::solve(const Model& m) const {
+  const bool maximize = m.sense() == Sense::kMaximize;
+  last_stats_ = SolveStats{};
+
+  Node root;
+  root.lower.resize(m.var_count());
+  root.upper.resize(m.var_count());
+  for (std::size_t j = 0; j < m.var_count(); ++j) {
+    const Variable& v = m.var(VarId(static_cast<std::uint32_t>(j)));
+    root.lower[j] = v.lower;
+    root.upper[j] = v.upper;
+  }
+
+  if (opt_.presolve) {
+    const PresolveResult pre = presolve_box(m, root.lower, root.upper);
+    last_stats_.presolve_fixed = pre.fixed;
+    if (!pre.feasible) {
+      // Presolve infeasibility is a complete proof, not a truncation.
+      Solution s;
+      s.status = SolveStatus::kInfeasible;
+      return s;
+    }
+  }
+
+  // Warm-start candidate 1: the caller's hint, validated against the full
+  // model (not the presolved box — duality fixing may discard alternative
+  // optima the hint happens to pick; a feasible hint still prunes soundly).
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_key = kInfinity;
+  if (opt_.warm_start && !opt_.warm_hint.empty() &&
+      satisfies(m, opt_.warm_hint)) {
+    incumbent.values = opt_.warm_hint;
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type ==
+          VarType::kBinary) {
+        incumbent.values[j] = std::round(incumbent.values[j]);
+      }
+    }
+    incumbent.objective = objective_value(m, incumbent.values);
+    incumbent.status = SolveStatus::kOptimal;
+    incumbent_key = key_of(maximize, incumbent.objective);
+    last_stats_.warm_start_used = true;
+  }
+
+  // Root relaxation (with one retried pivot budget, like any node).
+  const SimplexSolver lp(opt_.lp);
+  Solution root_relax = lp.solve_relaxation(m, root.lower, root.upper);
+  last_stats_.simplex_iterations += root_relax.iterations;
+  if (root_relax.status == SolveStatus::kLimit) {
+    ++last_stats_.lp_limit_retries;
+    SimplexOptions retry_opt = opt_.lp;
+    retry_opt.max_iters = static_cast<std::uint64_t>(
+        static_cast<double>(opt_.lp.max_iters) *
+        std::max(1.0, opt_.lp_retry_factor));
+    root_relax =
+        SimplexSolver(retry_opt).solve_relaxation(m, root.lower, root.upper);
+    last_stats_.simplex_iterations += root_relax.iterations;
+  }
+  if (root_relax.status == SolveStatus::kLimit) {
+    // Cannot even bound the root: truncated, never "infeasible".
     incumbent.status = SolveStatus::kLimit;
+    return incumbent;
+  }
+  if (root_relax.status == SolveStatus::kInfeasible) {
+    Solution s;
+    s.status = SolveStatus::kInfeasible;
+    return s;
+  }
+  if (root_relax.status == SolveStatus::kUnbounded) {
+    Solution s;
+    s.status = SolveStatus::kUnbounded;
+    return s;
+  }
+  const double root_key = key_of(maximize, root_relax.objective);
+
+  // Is the root already integral?
+  bool root_integral = true;
+  for (std::size_t j = 0; j < m.var_count() && root_integral; ++j) {
+    if (m.var(VarId(static_cast<std::uint32_t>(j))).type != VarType::kBinary) {
+      continue;
+    }
+    const double x = root_relax.values[j];
+    if (std::abs(x - std::round(x)) > opt_.int_tol) root_integral = false;
+  }
+  if (root_integral) {
+    root_relax.status = SolveStatus::kOptimal;
+    return root_relax;
+  }
+
+  // Warm-start candidate 2: round the root relaxation's binaries and let the
+  // LP complete the continuous variables over the rounded box.
+  if (opt_.warm_start) {
+    std::vector<double> lo = root.lower;
+    std::vector<double> hi = root.upper;
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type !=
+          VarType::kBinary) {
+        continue;
+      }
+      const double v =
+          std::clamp(std::round(root_relax.values[j]), lo[j], hi[j]);
+      lo[j] = v;
+      hi[j] = v;
+    }
+    const Solution rounded = lp.solve_relaxation(m, lo, hi);
+    last_stats_.simplex_iterations += rounded.iterations;
+    if (rounded.status == SolveStatus::kOptimal &&
+        key_of(maximize, rounded.objective) < incumbent_key) {
+      incumbent = rounded;
+      incumbent_key = key_of(maximize, rounded.objective);
+      last_stats_.warm_start_used = true;
+    }
+  }
+  if (last_stats_.warm_start_used) {
+    last_stats_.root_gap = std::max(0.0, incumbent_key - root_key);
+    if (incumbent_key <= root_key + opt_.gap_tol) {
+      // The warm incumbent already meets the root bound: proven optimal.
+      incumbent.status = SolveStatus::kOptimal;
+      return incumbent;
+    }
+  }
+
+  // Reduced-cost fixing against the warm incumbent: a nonbasic binary whose
+  // root reduced cost exceeds the incumbent gap cannot move off its bound in
+  // any solution at least as good as the incumbent, so it is fixed for the
+  // whole search. (The incumbent itself is kept aside and merged at the end,
+  // so discarding its alternative optima is sound.)
+  if (std::isfinite(incumbent_key) &&
+      root_relax.reduced_costs.size() == m.var_count()) {
+    const double gap = incumbent_key - root_key;
+    const double fix_tol = 1e-7 * (1.0 + std::abs(incumbent_key));
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type !=
+          VarType::kBinary) {
+        continue;
+      }
+      if (root.upper[j] - root.lower[j] <= opt_.int_tol) continue;
+      const double rc = root_relax.reduced_costs[j];
+      if (rc > gap + fix_tol) {
+        root.upper[j] = root.lower[j];  // pinned at its lower bound
+        ++last_stats_.rc_fixed;
+      } else if (-rc > gap + fix_tol) {
+        root.lower[j] = root.upper[j];  // pinned at its upper bound
+        ++last_stats_.rc_fixed;
+      }
+    }
+  }
+
+  // Subtree decomposition over the first `depth` free binaries, ordered by
+  // branch priority (desc) then index (asc). The fan-out depends only on
+  // `subtree_depth`, never on the thread count, so solutions and merged
+  // counters are thread-count-invariant.
+  unsigned depth = opt_.subtree_depth;
+  if (depth == 0 && opt_.threads != 1) {
+    depth = ceil_log2(support::ThreadPool::resolve(opt_.threads));
+  }
+  depth = std::min(depth, 6u);  // at most 64 subtrees
+  std::vector<std::size_t> fan_vars;
+  if (depth > 0) {
+    std::vector<std::size_t> free_bins;
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type ==
+              VarType::kBinary &&
+          root.upper[j] - root.lower[j] > opt_.int_tol) {
+        free_bins.push_back(j);
+      }
+    }
+    std::stable_sort(free_bins.begin(), free_bins.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int pa = opt_.branch_priority.empty()
+                                          ? 0
+                                          : opt_.branch_priority[a];
+                       const int pb = opt_.branch_priority.empty()
+                                          ? 0
+                                          : opt_.branch_priority[b];
+                       return pa > pb;
+                     });
+    depth = std::min<unsigned>(depth,
+                               static_cast<unsigned>(free_bins.size()));
+    fan_vars.assign(free_bins.begin(), free_bins.begin() + depth);
+  }
+
+  const std::size_t n_subtrees = std::size_t{1} << depth;
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(1, opt_.max_nodes / n_subtrees);
+  std::atomic<double> shared_key{incumbent_key};
+  std::atomic<double>* shared =
+      opt_.share_incumbent ? &shared_key : nullptr;
+
+  std::vector<SubtreeResult> results(n_subtrees);
+  const auto run_subtree = [&](std::size_t i) {
+    Node sub = root;
+    sub.depth = depth;
+    for (unsigned k = 0; k < depth; ++k) {
+      const std::size_t j = fan_vars[k];
+      const double v = static_cast<double>((i >> k) & 1u);
+      sub.lower[j] = v;
+      sub.upper[j] = v;
+    }
+    results[i] = explore_subtree(m, opt_, std::move(sub), budget,
+                                 incumbent_key, shared);
+  };
+
+  const unsigned workers = support::ThreadPool::resolve(opt_.threads);
+  if (workers > 1 && n_subtrees > 1) {
+    support::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < n_subtrees; ++i) {
+      pool.submit([&run_subtree, i] { run_subtree(i); });
+    }
+    pool.wait();
+  } else {
+    for (std::size_t i = 0; i < n_subtrees; ++i) run_subtree(i);
+  }
+
+  // Deterministic merge in subtree index order: counters sum, the best
+  // strictly-improving incumbent wins, ties keep the earliest subtree.
+  last_stats_.subtrees = depth > 0 ? n_subtrees : 0;
+  bool hit_limit = false;
+  for (std::size_t i = 0; i < n_subtrees; ++i) {
+    SubtreeResult& r = results[i];
+    if (r.unbounded) {
+      Solution s;
+      s.status = SolveStatus::kUnbounded;
+      return s;
+    }
+    last_stats_.nodes += r.stats.nodes;
+    last_stats_.max_depth = std::max(last_stats_.max_depth, r.stats.max_depth);
+    last_stats_.incumbent_updates += r.stats.incumbent_updates;
+    last_stats_.bound_prunes += r.stats.bound_prunes;
+    last_stats_.infeasible_prunes += r.stats.infeasible_prunes;
+    last_stats_.simplex_iterations += r.stats.simplex_iterations;
+    last_stats_.lp_limit_retries += r.stats.lp_limit_retries;
+    hit_limit = hit_limit || r.hit_limit;
+    if (!r.best.values.empty() && r.best_key < incumbent_key) {
+      incumbent = std::move(r.best);
+      incumbent_key = r.best_key;
+    }
+  }
+
+  if (incumbent.values.empty()) {
+    incumbent.status =
+        hit_limit ? SolveStatus::kLimit : SolveStatus::kInfeasible;
+  } else {
+    incumbent.status = hit_limit ? SolveStatus::kLimit : SolveStatus::kOptimal;
   }
   return incumbent;
 }

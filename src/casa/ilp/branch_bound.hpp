@@ -5,9 +5,16 @@
 // plays the role of the paper's commercial ILP solver (CPLEX) for the CASA
 // formulation; instances there solved "in under a second", i.e. they are
 // small — exactness matters, scalability to industrial MIP does not.
+//
+// The search is preceded by a bound-box presolve (presolve.hpp) and a warm
+// start (caller hint and/or rounded root LP), and can fan the first
+// `subtree_depth` branching levels into 2^depth independent subtrees
+// executed on a support::ThreadPool. See docs/solver.md for the status-code
+// and determinism contracts.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "casa/ilp/model.hpp"
 #include "casa/ilp/simplex.hpp"
@@ -26,6 +33,34 @@ struct BranchAndBoundOptions {
   /// formulation's L = l_i*l_j) should get lower priority than the decision
   /// variables that determine them.
   std::vector<int> branch_priority;
+
+  /// Run bound-box presolve before the search (SolveStats::presolve_fixed).
+  bool presolve = true;
+  /// Seed the incumbent before node 1 from `warm_hint` (when valid) and a
+  /// rounded root-LP completion, keeping the better of the two.
+  bool warm_start = true;
+  /// Optional caller-provided full assignment (sized var_count()); it is
+  /// validated against the model's bounds, integrality and constraints and
+  /// silently ignored when invalid or when `warm_start` is false.
+  std::vector<double> warm_hint;
+  /// Worker threads for the subtree fan-out (0 = hardware concurrency,
+  /// 1 = serial). Thread count never changes results or counters — only
+  /// `subtree_depth` does.
+  unsigned threads = 1;
+  /// Fan the first `subtree_depth` free binaries (priority-desc, index-asc)
+  /// into 2^depth independent subtrees. 0 = derive from `threads`
+  /// (ceil(log2(threads)); 0 when serial). Pin this explicitly to make
+  /// solutions and merged SolveStats invariant across thread counts.
+  unsigned subtree_depth = 0;
+  /// Let subtrees publish/read a shared atomic incumbent key while running.
+  /// Faster on unbalanced trees, but bound-prune counters (and, on objective
+  /// ties, the returned solution) then depend on timing — off by default to
+  /// keep the determinism contract.
+  bool share_incumbent = false;
+  /// A node whose LP relaxation hits its iteration limit is re-solved once
+  /// with max_iters scaled by this factor before the truncation is recorded
+  /// (SolveStats::lp_limit_retries).
+  double lp_retry_factor = 8.0;
 };
 
 class BranchAndBound {
@@ -34,9 +69,19 @@ class BranchAndBound {
 
   explicit BranchAndBound(Options opt = {}) : opt_(opt) {}
 
-  /// Solves `m` with all kBinary variables integral. Returns kOptimal with
-  /// the best solution, kInfeasible, or kLimit when max_nodes was hit (the
-  /// incumbent, if any, is returned with kLimit status in that case).
+  /// Solves `m` with all kBinary variables integral.
+  ///
+  /// Status contract:
+  ///  * kOptimal    — search ran to completion; the returned solution is a
+  ///                  true optimum.
+  ///  * kInfeasible — search ran to completion and no feasible point exists.
+  ///                  Never returned for a truncated search.
+  ///  * kLimit      — the search was truncated (max_nodes, or an LP
+  ///                  relaxation that stayed at kLimit after one retry). The
+  ///                  best incumbent found so far is returned if one exists;
+  ///                  otherwise the solution carries empty values and proves
+  ///                  nothing about feasibility.
+  ///  * kUnbounded  — the relaxation is unbounded through continuous vars.
   Solution solve(const Model& m) const;
 
   /// Nodes explored by the most recent solve() (observability hook).

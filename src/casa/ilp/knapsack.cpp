@@ -1,6 +1,7 @@
 #include "casa/ilp/knapsack.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "casa/support/error.hpp"
 
@@ -12,21 +13,30 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
   const std::size_t n = items.size();
   const std::size_t cap = static_cast<std::size_t>(capacity);
 
-  // dp[w] = best profit with weight budget exactly <= w, take[i][w] records
-  // the decision for backtracking.
+  // dp[w] = best profit with weight budget <= w. Backtracking needs one
+  // decision bit per (item, budget); a vector<vector<bool>> here cost one
+  // heap allocation per item and pointer-chasing per probe. One flat
+  // bit-packed buffer (n * (cap+1) bits, single allocation) keeps the
+  // reconstruction exact while shrinking the 64 KiB-capacity ablation
+  // solves from megabytes of row objects to one arena-friendly block.
   std::vector<double> dp(cap + 1, 0.0);
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+  const std::size_t row_words = (cap + 1 + 63) / 64;
+  std::vector<std::uint64_t> take(n * row_words, 0);
+  const auto take_bit = [&](std::size_t i, std::size_t w) {
+    return (take[i * row_words + w / 64] >> (w % 64)) & 1u;
+  };
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t w = items[i].weight;
     const double p = items[i].profit;
     if (p <= 0.0 || w > capacity) continue;
     CASA_CHECK(w > 0, "knapsack item with zero weight and positive profit");
+    std::uint64_t* row = take.data() + i * row_words;
     for (std::size_t budget = cap; budget >= w; --budget) {
       const double with = dp[budget - w] + p;
       if (with > dp[budget]) {
         dp[budget] = with;
-        take[i][budget] = true;
+        row[budget / 64] |= std::uint64_t{1} << (budget % 64);
       }
     }
   }
@@ -36,7 +46,7 @@ KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
   result.taken.assign(n, false);
   std::size_t budget = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][budget]) {
+    if (take_bit(i, budget)) {
       result.taken[i] = true;
       result.used_capacity += items[i].weight;
       budget -= static_cast<std::size_t>(items[i].weight);

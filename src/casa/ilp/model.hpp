@@ -113,6 +113,12 @@ struct Solution {
   /// Simplex pivots spent producing this solution (both phases;
   /// observability only, set on every status).
   std::uint64_t iterations = 0;
+  /// Reduced costs of the final optimal basis, indexed by VarId, in
+  /// minimization space (maximization objectives are negated). A nonbasic
+  /// variable at its lower bound has cost >= 0, one at its upper bound
+  /// <= 0, basic variables 0. Empty unless status == kOptimal and the
+  /// producer is an LP solver (integer solvers leave it empty).
+  std::vector<double> reduced_costs;
 
   double value(VarId v) const {
     CASA_CHECK(v.index() < values.size(), "no value for variable");

@@ -1,0 +1,162 @@
+#include "casa/ilp/presolve.hpp"
+
+#include <cmath>
+
+#include "casa/support/error.hpp"
+
+namespace casa::ilp {
+
+namespace {
+
+struct Activity {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Activity range of a row over the current bound box. Bounds are finite
+/// for every CASA-model variable, but infinities propagate correctly.
+Activity row_activity(const Constraint& c, const std::vector<double>& lower,
+                      const std::vector<double>& upper) {
+  Activity a;
+  a.min = c.expr.constant();
+  a.max = c.expr.constant();
+  for (const Term& t : c.expr.terms()) {
+    const double lo = lower[t.var.index()];
+    const double hi = upper[t.var.index()];
+    if (t.coef > 0.0) {
+      a.min += t.coef * lo;
+      a.max += t.coef * hi;
+    } else {
+      a.min += t.coef * hi;
+      a.max += t.coef * lo;
+    }
+  }
+  return a;
+}
+
+/// Fixes var j at value v; returns true when the box actually narrowed.
+bool fix(std::vector<double>& lower, std::vector<double>& upper,
+         std::size_t j, double v) {
+  const bool changed = lower[j] != v || upper[j] != v;
+  lower[j] = v;
+  upper[j] = v;
+  return changed;
+}
+
+}  // namespace
+
+PresolveResult presolve_box(const Model& m, std::vector<double>& lower,
+                            std::vector<double>& upper, double tol) {
+  CASA_CHECK(lower.size() == m.var_count() && upper.size() == m.var_count(),
+             "presolve bound box must be sized var_count()");
+  PresolveResult result;
+  const bool maximize = m.sense() == Sense::kMaximize;
+
+  // Effective minimization objective coefficient per variable.
+  std::vector<double> obj(m.var_count(), 0.0);
+  for (const Term& t : m.objective().terms()) {
+    obj[t.var.index()] += maximize ? -t.coef : t.coef;
+  }
+
+  std::vector<char> redundant(m.constraint_count(), 0);
+  // rows_of[j]: indices of constraints variable j participates in.
+  std::vector<std::vector<std::uint32_t>> rows_of(m.var_count());
+  for (std::size_t r = 0; r < m.constraint_count(); ++r) {
+    const Constraint& c =
+        m.constraint(ConstraintId(static_cast<std::uint32_t>(r)));
+    for (const Term& t : c.expr.terms()) {
+      rows_of[t.var.index()].push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+
+  constexpr std::size_t kMaxRounds = 16;
+  bool changed = true;
+  while (changed && result.rounds < kMaxRounds) {
+    changed = false;
+    ++result.rounds;
+
+    // Pass 1: classify rows (infeasible / redundant / forcing).
+    for (std::size_t r = 0; r < m.constraint_count(); ++r) {
+      if (redundant[r]) continue;
+      const Constraint& c =
+          m.constraint(ConstraintId(static_cast<std::uint32_t>(r)));
+      const Activity a = row_activity(c, lower, upper);
+
+      const bool le = c.rel != Rel::kGreaterEq;  // kLessEq or kEqual
+      const bool ge = c.rel != Rel::kLessEq;     // kGreaterEq or kEqual
+      if ((le && a.min > c.rhs + tol) || (ge && a.max < c.rhs - tol)) {
+        result.feasible = false;
+        return result;
+      }
+      const bool le_slack = !le || a.max <= c.rhs + tol;
+      const bool ge_slack = !ge || a.min >= c.rhs - tol;
+      if (le_slack && ge_slack) {
+        redundant[r] = 1;
+        changed = true;
+        continue;
+      }
+      // Forcing: the row is satisfiable only at one extreme of its
+      // activity range — pin every participant at the attaining bound.
+      const bool force_min = le && a.min >= c.rhs - tol;
+      const bool force_max = ge && a.max <= c.rhs + tol;
+      if (force_min || force_max) {
+        for (const Term& t : c.expr.terms()) {
+          const std::size_t j = t.var.index();
+          const bool at_lower = (t.coef > 0.0) == force_min;
+          if (fix(lower, upper, j, at_lower ? lower[j] : upper[j])) {
+            ++result.fixed;
+            changed = true;
+          }
+        }
+        redundant[r] = 1;  // now satisfied with equality, nothing left to say
+      }
+    }
+
+    // Pass 2: duality fixing over free binaries, ignoring redundant rows.
+    for (std::size_t j = 0; j < m.var_count(); ++j) {
+      if (m.var(VarId(static_cast<std::uint32_t>(j))).type !=
+          VarType::kBinary) {
+        continue;
+      }
+      if (upper[j] - lower[j] <= tol) continue;  // already fixed
+      bool can_low = obj[j] >= -tol;  // objective never rewards raising it
+      bool can_high = obj[j] <= tol;  // objective never rewards lowering it
+      for (const std::uint32_t r : rows_of[j]) {
+        if (redundant[r]) continue;
+        const Constraint& c = m.constraint(ConstraintId(r));
+        if (c.rel == Rel::kEqual) {
+          can_low = can_high = false;
+          break;
+        }
+        double coef = 0.0;
+        for (const Term& t : c.expr.terms()) {
+          if (t.var.index() == j) coef += t.coef;
+        }
+        if (c.rel == Rel::kLessEq) {
+          // Lowering x_j lowers the LHS only when coef >= 0.
+          if (coef < -tol) can_low = false;
+          if (coef > tol) can_high = false;
+        } else {  // kGreaterEq: raising the LHS is what helps
+          if (coef > tol) can_low = false;
+          if (coef < -tol) can_high = false;
+        }
+        if (!can_low && !can_high) break;
+      }
+      // Prefer the lower bound on a zero-coefficient tie for determinism.
+      if (can_low) {
+        if (fix(lower, upper, j, lower[j])) {
+          ++result.fixed;
+          changed = true;
+        }
+      } else if (can_high) {
+        if (fix(lower, upper, j, upper[j])) {
+          ++result.fixed;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace casa::ilp

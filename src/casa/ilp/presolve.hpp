@@ -1,0 +1,52 @@
+// Bound-box presolve for 0/1 ILP models.
+//
+// Tightens the per-variable bound box a branch & bound starts from, without
+// changing the optimal objective value. Three classic reductions run to a
+// fixpoint:
+//
+//  * redundant rows   — a constraint whose activity range over the current
+//    box can never violate it is ignored by the other rules (it can no
+//    longer "protect" a variable from being fixed);
+//  * forcing rows     — a constraint satisfiable only at one extreme of its
+//    activity range pins every participating variable to the bound that
+//    attains that extreme;
+//  * duality fixing   — a binary variable whose objective coefficient pushes
+//    it toward a bound, and whose column never tightens a (non-redundant)
+//    constraint when moved toward that bound, is fixed there.
+//
+// On the CASA model (eq. 12-17) this fixes exactly the obviously-decided
+// memory objects: zero-fetch objects pin to "cached" (their location
+// variable has no objective pull and only relaxes the capacity row), and
+// when the scratchpad fits every remaining object the capacity row goes
+// redundant and all beneficial objects cascade to "scratchpad", dragging
+// their linearization variables along through the forcing rule.
+//
+// Soundness: every rule preserves at least one optimal solution of the
+// integer program (duality fixing may discard alternative optima, never the
+// optimal value), and a box reported infeasible is genuinely infeasible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "casa/ilp/model.hpp"
+
+namespace casa::ilp {
+
+struct PresolveResult {
+  /// False when presolve proved the model infeasible over the given box
+  /// (some constraint cannot be satisfied by any point in it).
+  bool feasible = true;
+  /// Variables newly fixed (lower == upper) by the reductions.
+  std::size_t fixed = 0;
+  /// Fixpoint rounds executed (diagnostics only).
+  std::size_t rounds = 0;
+};
+
+/// Tightens `lower`/`upper` (sized var_count(), seeded from the model's or
+/// the caller's bounds) in place. Only binary variables are ever fixed by
+/// duality fixing; forcing rows may pin continuous variables too.
+PresolveResult presolve_box(const Model& m, std::vector<double>& lower,
+                            std::vector<double>& upper, double tol = 1e-9);
+
+}  // namespace casa::ilp

@@ -316,6 +316,7 @@ Solution Tableau::extract(SolveStatus status) {
   if (status != SolveStatus::kOptimal) return sol;
 
   sol.values.assign(model_.var_count(), 0.0);
+  sol.reduced_costs.assign(model_.var_count(), 0.0);
   for (std::size_t j = 0; j < n_struct_; ++j) {
     double y = 0.0;
     if (row_of_[j] >= 0) {
@@ -323,6 +324,11 @@ Solution Tableau::extract(SolveStatus status) {
     }
     if (complemented_[j]) y = ubound_[j] - y;
     sol.values[j] = shift_[j] + y;
+    // d_ holds phase-2 reduced costs in tableau space at termination; a
+    // complemented column prices the variable's complement, so flip the
+    // sign to report the original orientation (at upper bound => <= 0).
+    sol.reduced_costs[j] =
+        row_of_[j] >= 0 ? 0.0 : (complemented_[j] ? -d_[j] : d_[j]);
   }
 
   double obj = model_.objective().constant();

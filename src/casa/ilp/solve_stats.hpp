@@ -18,6 +18,24 @@ struct SolveStats {
   std::uint64_t bound_prunes = 0;       ///< subtrees cut by the dual bound
   std::uint64_t infeasible_prunes = 0;  ///< subtrees cut by LP infeasibility
   std::uint64_t simplex_iterations = 0; ///< pivots across all LP solves
+  /// Variables fixed before search by bound-box presolve (0 for solvers
+  /// without a presolve stage).
+  std::uint64_t presolve_fixed = 0;
+  /// Nodes whose LP relaxation hit its iteration limit and were re-solved
+  /// with a raised budget (see BranchAndBoundOptions::lp_retry_factor).
+  std::uint64_t lp_limit_retries = 0;
+  /// Independent subtrees the root was fanned into (0 = plain DFS).
+  std::uint64_t subtrees = 0;
+  /// Binaries fixed at the root by reduced-cost fixing against the
+  /// warm-start incumbent (requires warm_start_used).
+  std::uint64_t rc_fixed = 0;
+  /// True when a warm-start incumbent (caller hint or rounded root LP)
+  /// seeded the search before the first node.
+  bool warm_start_used = false;
+  /// Gap between the warm-start incumbent and the root relaxation bound,
+  /// in minimization-key space (>= 0; 0 when no warm start or the root
+  /// already proved the incumbent optimal).
+  double root_gap = 0.0;
 };
 
 }  // namespace casa::ilp

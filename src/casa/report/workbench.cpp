@@ -42,6 +42,14 @@ void record_alloc(obs::MetricsRegistry* reg, const core::AllocationResult& a) {
                static_cast<double>(a.solver_stats.max_depth));
   reg->observe("solver.seconds", a.solve_seconds);
   reg->observe("alloc.spm_used_bytes", static_cast<double>(a.used_bytes));
+  // Generic-ILP search telemetry: how much work presolve and the warm
+  // start removed, and whether any LP relaxation ran into its pivot budget.
+  reg->add("ilp.presolve.fixed", a.solver_stats.presolve_fixed);
+  reg->add("ilp.warmstart.used", a.solver_stats.warm_start_used ? 1 : 0);
+  reg->add("ilp.warmstart.rc_fixed", a.solver_stats.rc_fixed);
+  reg->observe("ilp.warmstart.root_gap", a.solver_stats.root_gap);
+  reg->add("ilp.lp_limit_retries", a.solver_stats.lp_limit_retries);
+  reg->add("ilp.subtrees", a.solver_stats.subtrees);
 }
 
 /// Inter-stage analyzer handle: null when checking is disabled. Stages
@@ -145,6 +153,14 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
       check::check_allocation(problem, out.alloc, *chk);
       chk->throw_if_errors();
     }
+    // A truncated solve must never be reported as an allocation — an empty
+    // incumbent would masquerade as "nothing fits" and a partial one as the
+    // optimum. This guard also covers runs with check_artifacts disabled.
+    CASA_CHECK(out.alloc.solver_status == ilp::SolveStatus::kOptimal,
+               "CASA solve was truncated (status " +
+                   std::string(ilp::to_string(out.alloc.solver_status)) +
+                   "); raise max_nodes instead of reporting a partial "
+                   "allocation");
   }
   out.object_count = tp->object_count();
   out.conflict_edges = graph->edge_count();

@@ -484,6 +484,24 @@ TEST(CheckAllocation, MaskSizeMismatchTriggersRule) {
   EXPECT_TRUE(has_rule(r, "alloc.mask.size"));
 }
 
+TEST(CheckAllocation, TruncatedSolveTriggersRule) {
+  core::CasaProblem p;
+  p.sizes = {100, 50};
+  p.capacity = 120;
+  core::AllocationResult a;
+  a.on_spm = {false, true};
+  a.used_bytes = 50;
+  a.solver_status = ilp::SolveStatus::kLimit;
+  CheckRunner r;
+  check_allocation(p, a, r);
+  EXPECT_TRUE(has_rule(r, "alloc.solver.truncated"));
+
+  a.solver_status = ilp::SolveStatus::kOptimal;
+  CheckRunner clean;
+  check_allocation(p, a, clean);
+  EXPECT_TRUE(clean.ok());
+}
+
 // ---------------------------------------------------------------------------
 // Energy rules.
 

@@ -170,5 +170,251 @@ TEST_P(RandomMipTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMipTest, ::testing::Range(0, 15));
 
+// ---------------------------------------------------------------------------
+// Truncation status contract: a cut-off search reports kLimit, never a
+// (false) completeness claim. See docs/solver.md.
+// ---------------------------------------------------------------------------
+
+/// Feasible knapsack whose root LP rounds to an infeasible point, so the
+/// rounded-root warm candidate cannot seed an incumbent: eight items of
+/// weight 2 under capacity 9.2 leave the fractional item at 0.6, which
+/// rounds up and overflows the capacity row.
+Model rounding_trap() {
+  Model m;
+  LinExpr cap, obj;
+  for (int j = 0; j < 8; ++j) {
+    cap.add(m.add_binary("x" + std::to_string(j)), 2.0);
+    obj.add(VarId(static_cast<std::uint32_t>(j)), 1.0);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 9.2);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  return m;
+}
+
+TEST(BranchAndBoundTruncation, NoIncumbentReturnsLimitWithEmptySolution) {
+  const Model m = rounding_trap();
+  for (const std::uint64_t budget : {1u, 2u, 3u}) {
+    for (const bool warm : {false, true}) {
+      BranchAndBoundOptions opt;
+      opt.max_nodes = budget;
+      opt.warm_start = warm;
+      const Solution s = BranchAndBound(opt).solve(m);
+      // The instance is feasible, so kInfeasible would be a lie; the budget
+      // is too small to finish, so kOptimal would be one too.
+      EXPECT_EQ(s.status, SolveStatus::kLimit)
+          << "budget=" << budget << " warm=" << warm;
+      EXPECT_TRUE(s.values.empty());
+    }
+  }
+}
+
+TEST(BranchAndBoundTruncation, SameInstanceSolvesWithRealBudget) {
+  const Model m = rounding_trap();
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);  // four items of weight 2 fit in 9.2
+}
+
+TEST(BranchAndBoundTruncation, WarmHintSurvivesTruncationAsIncumbent) {
+  const Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.max_nodes = 1;
+  opt.warm_hint.assign(m.var_count(), 0.0);  // all-out: feasible, profit 0
+  const Solution s = BranchAndBound(opt).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kLimit);
+  ASSERT_EQ(s.values.size(), m.var_count());
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(BranchAndBoundTruncation, RootLpIterationLimitPropagatesAsLimit) {
+  const Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.warm_start = false;
+  opt.lp.max_iters = 1;      // root LP cannot finish...
+  opt.lp_retry_factor = 1.0; // ...and the retry budget is no bigger
+  const Solution s = BranchAndBound(opt).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kLimit);
+  EXPECT_TRUE(s.values.empty());
+}
+
+TEST(BranchAndBoundTruncation, LpIterationLimitRetriedWithRaisedBudget) {
+  // A >= system needs phase-1 pivots, so one iteration is never enough; the
+  // 1000x retry budget is. The search must stay exact and count retries.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  const VarId z = m.add_binary("z");
+  m.add_constraint("xy", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq, 1);
+  m.add_constraint("yz", LinExpr().add(y, 1).add(z, 1), Rel::kGreaterEq, 1);
+  m.add_constraint("xz", LinExpr().add(x, 1).add(z, 1), Rel::kGreaterEq, 1);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1).add(y, 1).add(z, 1));
+  BranchAndBoundOptions opt;
+  opt.lp.max_iters = 1;
+  opt.lp_retry_factor = 1000.0;
+  BranchAndBound solver(opt);
+  const Solution s = solver.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+  EXPECT_GE(solver.last_stats().lp_limit_retries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm start and reduced-cost fixing.
+// ---------------------------------------------------------------------------
+
+TEST(BranchAndBoundWarmStart, ValidHintSeedsIncumbent) {
+  Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.warm_hint = {1, 1, 1, 1, 0, 0, 0, 0};  // four items: feasible, optimal
+  BranchAndBound solver(opt);
+  const Solution s = solver.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+  EXPECT_TRUE(solver.last_stats().warm_start_used);
+  EXPECT_GE(solver.last_stats().root_gap, 0.0);
+}
+
+TEST(BranchAndBoundWarmStart, InfeasibleHintIsIgnored) {
+  Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.warm_hint.assign(m.var_count(), 1.0);  // violates the capacity row
+  const Solution s = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+TEST(BranchAndBoundWarmStart, WrongSizeHintIsIgnored) {
+  Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.warm_hint = {1.0};
+  const Solution s = BranchAndBound(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+/// Every option combination must agree with brute force — warm start,
+/// presolve, reduced-cost fixing and the parallel fan-out change the search
+/// path, never the answer.
+class SolverConfigSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverConfigSweepTest, AllConfigsMatchBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 11);
+  const int n = 12;
+  std::vector<double> profit(n), weight(n);
+  Model m;
+  LinExpr cap, obj;
+  for (int j = 0; j < n; ++j) {
+    profit[j] = 1.0 + rng.next_unit() * 9.0;
+    weight[j] = 1.0 + rng.next_unit() * 9.0;
+    const VarId x = m.add_binary("x" + std::to_string(j));
+    cap.add(x, weight[j]);
+    obj.add(x, profit[j]);
+  }
+  const double capacity = 18.0 + rng.next_unit() * 12.0;
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, capacity);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  const double expect = brute_force_knapsack(profit, weight, capacity);
+
+  struct Config {
+    const char* name;
+    bool warm, presolve;
+    unsigned threads, depth;
+  };
+  const Config configs[] = {
+      {"default", true, true, 1, 0},
+      {"cold", false, true, 1, 0},
+      {"no-presolve", true, false, 1, 0},
+      {"bare", false, false, 1, 0},
+      {"fanned", true, true, 1, 3},
+      {"parallel", true, true, 4, 3},
+  };
+  for (const Config& c : configs) {
+    BranchAndBoundOptions opt;
+    opt.warm_start = c.warm;
+    opt.presolve = c.presolve;
+    opt.threads = c.threads;
+    opt.subtree_depth = c.depth;
+    const Solution s = BranchAndBound(opt).solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << c.name;
+    EXPECT_NEAR(s.objective, expect, 1e-6) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverConfigSweepTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Parallel determinism: thread count never changes anything observable when
+// the fan-out depth is pinned; only subtree_depth shapes the search.
+// ---------------------------------------------------------------------------
+
+TEST(BranchAndBoundParallel, ThreadCountInvariantSolutionsAndStats) {
+  Rng rng(99);
+  Model m;
+  LinExpr cap, cap2, obj;
+  for (int j = 0; j < 16; ++j) {
+    const VarId x = m.add_binary("x" + std::to_string(j));
+    cap.add(x, 2.0 + rng.next_unit() * 6.0);
+    cap2.add(x, 1.0 + rng.next_unit() * 4.0);
+    obj.add(x, 1.0 + rng.next_unit() * 9.0);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 25.0);
+  m.add_constraint("cap2", std::move(cap2), Rel::kLessEq, 15.0);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  std::vector<Solution> sols;
+  std::vector<SolveStats> stats;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    BranchAndBoundOptions opt;
+    opt.threads = threads;
+    opt.subtree_depth = 3;
+    BranchAndBound solver(opt);
+    sols.push_back(solver.solve(m));
+    stats.push_back(solver.last_stats());
+    ASSERT_EQ(sols.back().status, SolveStatus::kOptimal);
+  }
+  for (std::size_t i = 1; i < sols.size(); ++i) {
+    EXPECT_EQ(sols[i].values, sols[0].values);  // bit-identical
+    EXPECT_EQ(sols[i].objective, sols[0].objective);
+    EXPECT_EQ(stats[i].nodes, stats[0].nodes);
+    EXPECT_EQ(stats[i].max_depth, stats[0].max_depth);
+    EXPECT_EQ(stats[i].incumbent_updates, stats[0].incumbent_updates);
+    EXPECT_EQ(stats[i].bound_prunes, stats[0].bound_prunes);
+    EXPECT_EQ(stats[i].infeasible_prunes, stats[0].infeasible_prunes);
+    EXPECT_EQ(stats[i].simplex_iterations, stats[0].simplex_iterations);
+    EXPECT_EQ(stats[i].subtrees, stats[0].subtrees);
+    EXPECT_EQ(stats[i].rc_fixed, stats[0].rc_fixed);
+  }
+  EXPECT_EQ(stats[0].subtrees, 8u);
+}
+
+TEST(BranchAndBoundParallel, DerivedDepthKeepsObjectiveAcrossThreadCounts) {
+  // With subtree_depth left at 0 the fan-out follows the thread count, so
+  // counters may differ — but the optimum must not.
+  Model m = rounding_trap();
+  double first = 0.0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    BranchAndBoundOptions opt;
+    opt.threads = threads;
+    const Solution s = BranchAndBound(opt).solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    if (threads == 1u) {
+      first = s.objective;
+    } else {
+      EXPECT_EQ(s.objective, first);
+    }
+  }
+}
+
+TEST(BranchAndBoundParallel, TruncatedParallelSearchReportsLimit) {
+  Model m = rounding_trap();
+  BranchAndBoundOptions opt;
+  opt.threads = 4;
+  opt.subtree_depth = 2;
+  opt.max_nodes = 4;  // one node per subtree: nobody can finish
+  opt.warm_start = false;
+  const Solution s = BranchAndBound(opt).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kLimit);
+}
+
 }  // namespace
 }  // namespace casa::ilp

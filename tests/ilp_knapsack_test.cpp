@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "casa/ilp/branch_bound.hpp"
 #include "casa/ilp/knapsack.hpp"
 #include "casa/support/error.hpp"
 #include "casa/support/rng.hpp"
@@ -103,6 +104,71 @@ TEST_P(KnapsackRandomTest, MatchesBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest, ::testing::Range(0, 12));
+
+/// Three independent solvers, one answer: the DP, the generic branch &
+/// bound over the same ILP, and exhaustive enumeration must agree on random
+/// instances (the DP's backtrack must also reproduce its own claimed
+/// profit and weight exactly).
+class KnapsackTriangleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackTriangleTest, DpEqualsBranchAndBoundEqualsBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 13);
+  const int n = 11;
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({1 + rng.next_below(12), rng.next_unit() * 18.0 - 3.0});
+  }
+  const std::uint64_t cap = 15 + rng.next_below(25);
+
+  // Solver 1: capacity DP with bit-packed backtracking.
+  const KnapsackResult dp = solve_knapsack(items, cap);
+
+  // Solver 2: the same instance as a 0/1 ILP.
+  Model m;
+  LinExpr row, obj;
+  for (int i = 0; i < n; ++i) {
+    const VarId x = m.add_binary("x" + std::to_string(i));
+    row.add(x, static_cast<double>(items[i].weight));
+    obj.add(x, items[i].profit);
+  }
+  m.add_constraint("cap", std::move(row), Rel::kLessEq,
+                   static_cast<double>(cap));
+  m.set_objective(Sense::kMaximize, std::move(obj));
+  const Solution bb = BranchAndBound().solve(m);
+  ASSERT_EQ(bb.status, SolveStatus::kOptimal);
+
+  // Solver 3: brute force.
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double p = 0;
+    std::uint64_t w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        p += items[i].profit;
+        w += items[i].weight;
+      }
+    }
+    if (w <= cap) best = std::max(best, p);
+  }
+
+  EXPECT_NEAR(dp.total_profit, best, 1e-9);
+  EXPECT_NEAR(bb.objective, best, 1e-6);
+
+  // The DP's reconstructed selection must account for its claimed numbers.
+  double taken_profit = 0.0;
+  std::uint64_t taken_weight = 0;
+  for (int i = 0; i < n; ++i) {
+    if (dp.taken[i]) {
+      taken_profit += items[i].profit;
+      taken_weight += items[i].weight;
+    }
+  }
+  EXPECT_DOUBLE_EQ(taken_profit, dp.total_profit);
+  EXPECT_EQ(taken_weight, dp.used_capacity);
+  EXPECT_LE(taken_weight, cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackTriangleTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace casa::ilp

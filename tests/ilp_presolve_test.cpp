@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/ilp/model.hpp"
+#include "casa/ilp/presolve.hpp"
+#include "casa/support/rng.hpp"
+
+namespace casa::ilp {
+namespace {
+
+/// Seeds the bound box from the model's own variable bounds.
+std::pair<std::vector<double>, std::vector<double>> box_of(const Model& m) {
+  std::vector<double> lo(m.var_count()), hi(m.var_count());
+  for (std::size_t j = 0; j < m.var_count(); ++j) {
+    const Variable& v = m.var(VarId(static_cast<std::uint32_t>(j)));
+    lo[j] = v.lower;
+    hi[j] = v.upper;
+  }
+  return {lo, hi};
+}
+
+TEST(Presolve, UnconstrainedBinariesFixedByDualityFixing) {
+  // min x + 2y with no constraints: both binaries pin to 0.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1).add(y, 2));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 2u);
+  EXPECT_EQ(hi[x.index()], 0.0);
+  EXPECT_EQ(hi[y.index()], 0.0);
+}
+
+TEST(Presolve, MaximizationFixesTowardUpperBound) {
+  // max x with a slack-heavy row: the row is redundant, so duality fixing
+  // pins x at 1.
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.add_constraint("loose", LinExpr().add(x, 1), Rel::kLessEq, 5.0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 1u);
+  EXPECT_EQ(lo[x.index()], 1.0);
+}
+
+TEST(Presolve, BindingRowBlocksDualityFixing) {
+  // max x + y s.t. x + y <= 1: the row can tighten, nothing may be fixed.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("cap", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 1.0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, 1));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 0u);
+}
+
+TEST(Presolve, ForcingRowPinsAllParticipants) {
+  // x + y <= 0 over [0,1]^2 is satisfiable only with both at 0.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("zero", LinExpr().add(x, 1).add(y, 1), Rel::kLessEq, 0.0);
+  m.set_objective(Sense::kMaximize, LinExpr().add(x, 1).add(y, 1));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 2u);
+  EXPECT_EQ(hi[x.index()], 0.0);
+  EXPECT_EQ(hi[y.index()], 0.0);
+}
+
+TEST(Presolve, ForcingRowAtMaxActivityPinsGreaterEq) {
+  // x + y >= 2 over [0,1]^2 forces both to 1.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("all", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq, 2.0);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1).add(y, 1));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 2u);
+  EXPECT_EQ(lo[x.index()], 1.0);
+  EXPECT_EQ(lo[y.index()], 1.0);
+}
+
+TEST(Presolve, InfeasibleRowDetected) {
+  // x + y >= 3 over [0,1]^2 cannot be satisfied.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("imp", LinExpr().add(x, 1).add(y, 1), Rel::kGreaterEq, 3.0);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1));
+  auto [lo, hi] = box_of(m);
+  EXPECT_FALSE(presolve_box(m, lo, hi).feasible);
+}
+
+TEST(Presolve, FixingCascadesThroughRounds) {
+  // Forcing z = 1 consumes the whole capacity row, which then forces x and
+  // y to 0 in a later round: presolve alone decides the model.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  const VarId z = m.add_binary("z");
+  m.add_constraint("need_z", LinExpr().add(z, 1), Rel::kGreaterEq, 1.0);
+  m.add_constraint("cap", LinExpr().add(x, 1).add(y, 1).add(z, 1),
+                   Rel::kLessEq, 1.0);
+  m.set_objective(Sense::kMaximize,
+                  LinExpr().add(x, 1).add(y, 1).add(z, 5));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 3u);
+  EXPECT_EQ(lo[z.index()], 1.0);
+  EXPECT_EQ(hi[x.index()], 0.0);
+  EXPECT_EQ(hi[y.index()], 0.0);
+  EXPECT_GE(r.rounds, 2u);
+}
+
+TEST(Presolve, EqualityRowsNeverDualityFixed) {
+  // min x s.t. x + y = 1: x's objective pull must not override the
+  // equality; only the solver may decide.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint("eq", LinExpr().add(x, 1).add(y, 1), Rel::kEqual, 1.0);
+  m.set_objective(Sense::kMinimize, LinExpr().add(x, 1));
+  auto [lo, hi] = box_of(m);
+  const PresolveResult r = presolve_box(m, lo, hi);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.fixed, 0u);
+}
+
+/// Presolve must preserve the optimal objective value on random knapsacks:
+/// solving over the tightened box matches solving the untouched model.
+class PresolveRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveRandomTest, PreservesOptimalValue) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 5);
+  const int n = 10;
+  Model m;
+  LinExpr cap, obj;
+  for (int j = 0; j < n; ++j) {
+    const VarId x = m.add_binary("x" + std::to_string(j));
+    cap.add(x, 1.0 + rng.next_unit() * 9.0);
+    // Mix in worthless items so duality fixing has something to do.
+    obj.add(x, rng.next_unit() * 10.0 - 2.0);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq,
+                   10.0 + rng.next_unit() * 20.0);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  BranchAndBoundOptions off;
+  off.presolve = false;
+  off.warm_start = false;
+  const Solution plain = BranchAndBound(off).solve(m);
+
+  BranchAndBoundOptions on;
+  on.presolve = true;
+  on.warm_start = false;
+  const Solution pre = BranchAndBound(on).solve(m);
+
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(pre.objective, plain.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveRandomTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace casa::ilp

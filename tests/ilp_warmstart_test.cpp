@@ -1,0 +1,182 @@
+// Workload-level guarantees for the warm-started, presolved branch & bound:
+//
+//  * seeding the search with the Steinke knapsack incumbent (plus root
+//    reduced-cost fixing) cuts the explored node count at least in half on
+//    a bundled workload where the paper linearization makes the search
+//    genuinely hard, without changing the optimum;
+//  * the allocator's answer is bit-identical whatever ilp_threads is.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "casa/baseline/steinke.hpp"
+#include "casa/conflict/graph_builder.hpp"
+#include "casa/core/allocator.hpp"
+#include "casa/core/formulation.hpp"
+#include "casa/energy/energy_table.hpp"
+#include "casa/ilp/branch_bound.hpp"
+#include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
+#include "casa/traceopt/trace_formation.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa {
+namespace {
+
+/// `CasaProblem` keeps a pointer to the conflict graph, so the graph and the
+/// problem live together on the heap: the holder's address never moves and
+/// `problem.graph` stays valid for as long as the caller keeps the pipeline.
+struct Pipeline {
+  conflict::ConflictGraph graph;
+  core::CasaProblem problem;
+};
+
+std::unique_ptr<Pipeline> make_pipeline(const std::string& name, Bytes spm) {
+  const auto program = workloads::by_name(name);
+  const auto exec = trace::Executor::run(program);
+  const auto cache_cfg = workloads::paper_cache_for(name);
+  traceopt::TraceFormationOptions topt;
+  topt.cache_line_size = cache_cfg.line_size;
+  topt.max_trace_size = spm;
+  const auto tp = traceopt::form_traces(program, exec.profile, topt);
+  const auto layout = traceopt::layout_all(tp);
+  conflict::BuildOptions bopt;
+  bopt.cache = cache_cfg;
+  const auto energies = energy::EnergyTable::build(cache_cfg, spm, 0, 0);
+  auto p = std::make_unique<Pipeline>(Pipeline{
+      conflict::build_conflict_graph(tp, layout, exec.walk, bopt),
+      core::CasaProblem{}});
+  p->problem = core::CasaProblem::from(tp, p->graph, energies, spm);
+  return p;
+}
+
+core::SavingsProblem make_sp(const std::string& name, Bytes spm) {
+  return core::presolve(make_pipeline(name, spm)->problem);
+}
+
+/// Solves a workload's CASA model with or without the warm-start/presolve
+/// machinery and returns the solver's statistics alongside the solution.
+struct SolveRun {
+  ilp::Solution sol;
+  ilp::SolveStats stats;
+};
+
+SolveRun solve_generic(const core::SavingsProblem& sp, core::Linearization lin,
+                  bool assisted, std::uint64_t max_nodes = 2'000'000) {
+  const core::CasaModel cm = core::build_casa_model(sp, lin);
+  ilp::BranchAndBoundOptions opt;
+  opt.max_nodes = max_nodes;
+  opt.presolve = assisted;
+  opt.warm_start = assisted;
+  if (assisted && sp.item_count() > 0) {
+    opt.warm_hint = core::warm_assignment(
+        cm, sp, baseline::knapsack_seed(sp.weight, sp.value, sp.capacity));
+  }
+  // Mirror the allocator's branching priorities (l-vars first).
+  opt.branch_priority.assign(cm.model.var_count(), 0);
+  for (const VarId l : cm.l_vars) opt.branch_priority[l.index()] = 1;
+  ilp::BranchAndBound solver(opt);
+  SolveRun r;
+  r.sol = solver.solve(cm.model);
+  r.stats = solver.last_stats();
+  return r;
+}
+
+TEST(WarmStartWorkload, HalvesExploredNodesOnAdpcmPaperLinearization) {
+  // adpcm at a 512 B scratchpad under the paper's weak linearization: the
+  // plain search wanders for thousands of nodes, the knapsack-seeded one
+  // fixes dozens of binaries at the root via reduced costs and finishes in
+  // a fraction of them. This is the PR's headline >= 2x claim.
+  const core::SavingsProblem sp = make_sp("adpcm", 512);
+  const SolveRun warm = solve_generic(sp, core::Linearization::kPaper, true);
+  ASSERT_EQ(warm.sol.status, ilp::SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.stats.warm_start_used);
+  EXPECT_GT(warm.stats.root_gap, 0.0);
+  EXPECT_GT(warm.stats.rc_fixed, 0u);
+
+  // The cold run gets a node budget of 2x the warm count plus slack: either
+  // it finishes within the budget having explored >= 2x the nodes, or it is
+  // truncated at the budget — both prove the >= 2x reduction without paying
+  // for the full cold optimality proof (~5x warm's nodes on this instance).
+  const std::uint64_t budget = 2 * warm.stats.nodes + 256;
+  const SolveRun cold =
+      solve_generic(sp, core::Linearization::kPaper, false, budget);
+  ASSERT_NE(cold.sol.status, ilp::SolveStatus::kInfeasible);
+  if (cold.sol.status == ilp::SolveStatus::kOptimal) {
+    EXPECT_NEAR(warm.sol.objective, cold.sol.objective,
+                1e-6 * (1.0 + std::abs(cold.sol.objective)));
+  } else {
+    EXPECT_EQ(cold.sol.status, ilp::SolveStatus::kLimit);
+  }
+  EXPECT_GE(cold.stats.nodes, 2 * warm.stats.nodes)
+      << "cold=" << cold.stats.nodes << " warm=" << warm.stats.nodes;
+}
+
+TEST(WarmStartWorkload, NeverWorseThanColdOnTightLinearization) {
+  // The default (tight) linearization already solves in a handful of
+  // nodes; the warm machinery must not make it worse.
+  const core::SavingsProblem sp = make_sp("adpcm", 64);
+  const SolveRun cold = solve_generic(sp, core::Linearization::kTight, false);
+  const SolveRun warm = solve_generic(sp, core::Linearization::kTight, true);
+  ASSERT_EQ(cold.sol.status, ilp::SolveStatus::kOptimal);
+  ASSERT_EQ(warm.sol.status, ilp::SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.sol.objective, cold.sol.objective,
+              1e-6 * (1.0 + std::abs(cold.sol.objective)));
+  EXPECT_LE(warm.stats.nodes, cold.stats.nodes);
+}
+
+TEST(WarmStartWorkload, KnapsackSeedIsFeasibleForTheFullModel) {
+  const core::SavingsProblem sp = make_sp("g721", 256);
+  ASSERT_GT(sp.item_count(), 0u);
+  const std::vector<bool> seed =
+      baseline::knapsack_seed(sp.weight, sp.value, sp.capacity);
+  ASSERT_EQ(seed.size(), sp.item_count());
+  // The seed respects the capacity row: scratchpad bytes of the chosen
+  // items (l_k = 0) never exceed the scratchpad.
+  Bytes spm_bytes = 0;
+  for (std::size_t k = 0; k < seed.size(); ++k) {
+    if (seed[k]) spm_bytes += sp.weight[k];
+  }
+  EXPECT_LE(spm_bytes, sp.capacity);
+  // And its lift satisfies the generic model verbatim (the solver would
+  // otherwise reject the hint and the warm start would silently degrade).
+  const core::CasaModel cm =
+      core::build_casa_model(sp, core::Linearization::kTight);
+  const std::vector<double> hint = core::warm_assignment(cm, sp, seed);
+  ilp::BranchAndBoundOptions opt;
+  opt.warm_hint = hint;
+  opt.max_nodes = 1;  // only the seeded incumbent can supply a solution
+  opt.warm_start = true;
+  ilp::BranchAndBound solver(opt);
+  const ilp::Solution s = solver.solve(cm.model);
+  EXPECT_TRUE(solver.last_stats().warm_start_used);
+  EXPECT_FALSE(s.values.empty());
+}
+
+TEST(WarmStartWorkload, AllocatorIsThreadCountInvariant) {
+  const std::unique_ptr<Pipeline> p = make_pipeline("adpcm", 256);
+  core::AllocationResult first;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    core::CasaOptions copt;
+    copt.engine = core::CasaEngine::kGenericIlp;
+    copt.ilp_threads = threads;
+    const core::AllocationResult r =
+        core::CasaAllocator(copt).allocate(p->problem);
+    EXPECT_EQ(r.solver_status, ilp::SolveStatus::kOptimal);
+    if (threads == 1u) {
+      first = r;
+    } else {
+      EXPECT_EQ(r.on_spm, first.on_spm) << "threads=" << threads;
+      EXPECT_EQ(r.used_bytes, first.used_bytes);
+      EXPECT_EQ(r.predicted_energy, first.predicted_energy);
+      EXPECT_EQ(r.solver_stats.nodes, first.solver_stats.nodes);
+      EXPECT_EQ(r.solver_stats.simplex_iterations,
+                first.solver_stats.simplex_iterations);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casa

@@ -8,6 +8,13 @@
 # compiled-stream speedup invariant: BM_ConflictGraphBuild must stay >= 2x
 # BM_ConflictGraphBuildWordRef.
 #
+# Additionally runs the solver benchmark (build/bench/ilp_runtime,
+# BM_GenericIlpWarmStarted — the production solver configuration on the
+# largest bundled workload) and gates it on both wall-clock (same
+# tolerance) and the explored-node counter. Node counts are deterministic,
+# so ANY increase over the baseline fails; an intentional search-strategy
+# change must re-record with --update.
+#
 # BM_ParallelSweep is measured but only reported, never gated — its
 # items/sec depends on the host's core count, which the baseline can't know.
 #
@@ -35,6 +42,8 @@ while [[ $# -gt 0 ]]; do
 done
 
 bench_bin="$build_dir/bench/cachesim_throughput"
+solver_bin="$build_dir/bench/ilp_runtime"
+solver_filter="BM_GenericIlpWarmStarted"
 baseline="$repo_root/BENCH_cachesim.json"
 min_time="${BENCH_MIN_TIME:-0.2}"
 tolerance="${BENCH_TOLERANCE:-0.20}"
@@ -42,14 +51,17 @@ tolerance="${BENCH_TOLERANCE:-0.20}"
 # Missing prerequisites are gate failures, not soft skips: a CI lane that
 # forgets to build the bench binary or check in the baseline must go red,
 # loudly, naming what is missing.
-if [[ ! -x "$bench_bin" ]]; then
-  echo "bench_check: FAIL — benchmark binary missing: $bench_bin" >&2
-  echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
-  exit 1
-fi
+for bin in "$bench_bin" "$solver_bin"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_check: FAIL — benchmark binary missing: $bin" >&2
+    echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
+    exit 1
+  fi
+done
 
 run_json="$(mktemp /tmp/bench_check.XXXXXX.json)"
-trap 'rm -f "$run_json"' EXIT
+solver_json="$(mktemp /tmp/bench_check_solver.XXXXXX.json)"
+trap 'rm -f "$run_json" "$solver_json"' EXIT
 
 echo "bench_check: running $bench_bin (--benchmark_min_time=$min_time)"
 "$bench_bin" --benchmark_min_time="$min_time" \
@@ -57,10 +69,18 @@ echo "bench_check: running $bench_bin (--benchmark_min_time=$min_time)"
              --benchmark_out="$run_json" \
              --benchmark_out_format=json > /dev/null
 
+echo "bench_check: running $solver_bin (--benchmark_filter=$solver_filter)"
+"$solver_bin" --benchmark_filter="$solver_filter" \
+              --benchmark_min_time="$min_time" \
+              --benchmark_format=json \
+              --benchmark_out="$solver_json" \
+              --benchmark_out_format=json > /dev/null
+
 if [[ "$update" -eq 1 ]]; then
-  python3 - "$run_json" "$baseline" <<'EOF'
+  python3 - "$run_json" "$solver_json" "$baseline" <<'EOF'
 import json, sys
 run = json.load(open(sys.argv[1]))
+solver = json.load(open(sys.argv[2]))
 out = {
     "_comment": ("Throughput baseline for tools/bench_check.sh. "
                  "items_per_second from ./build/bench/cachesim_throughput on "
@@ -74,9 +94,17 @@ out = {
         b["name"]: round(b["items_per_second"], 1)
         for b in run["benchmarks"] if "items_per_second" in b
     },
+    "solver": {
+        b["name"]: {
+            "real_time_ns": round(b["real_time"], 1),
+            "nodes": int(b["nodes"]),
+        }
+        for b in solver["benchmarks"] if "nodes" in b
+    },
 }
-json.dump(out, open(sys.argv[2], "w"), indent=2)
-print(f"bench_check: baseline updated ({len(out['benchmarks'])} entries)")
+json.dump(out, open(sys.argv[3], "w"), indent=2)
+print(f"bench_check: baseline updated ({len(out['benchmarks'])} throughput, "
+      f"{len(out['solver'])} solver entries)")
 EOF
   exit 0
 fi
@@ -87,12 +115,13 @@ if [[ ! -f "$baseline" ]]; then
   exit 1
 fi
 
-python3 - "$run_json" "$baseline" "$tolerance" <<'EOF'
+python3 - "$run_json" "$solver_json" "$baseline" "$tolerance" <<'EOF'
 import json, sys
 
 run = json.load(open(sys.argv[1]))
-base = json.load(open(sys.argv[2]))
-tol = float(sys.argv[3])
+solver_run = json.load(open(sys.argv[2]))
+base = json.load(open(sys.argv[3]))
+tol = float(sys.argv[4])
 
 current = {b["name"]: b["items_per_second"]
            for b in run["benchmarks"] if "items_per_second" in b}
@@ -136,6 +165,37 @@ elif current:
             failures.append(
                 f"{name}: required by the compiled-stream speedup "
                 "invariant but absent from this run")
+
+# Solver gate: wall-clock within tolerance, explored nodes never above the
+# recorded baseline (the search is deterministic — more nodes means the
+# search strategy regressed, not the host).
+solver_current = {b["name"]: b for b in solver_run.get("benchmarks", [])
+                  if "nodes" in b}
+solver_base = base.get("solver", {})
+if not solver_base:
+    failures.append(f"baseline {sys.argv[3]} contains no solver entries "
+                    "(record with tools/bench_check.sh --update)")
+if not solver_current:
+    failures.append("solver benchmark run produced no node-counted entries")
+print()
+for name, expected in solver_base.items():
+    got = solver_current.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from the solver run")
+        continue
+    t_ratio = got["real_time"] / expected["real_time_ns"]
+    print(f"{name:44} time {expected['real_time_ns']:12.3e} -> "
+          f"{got['real_time']:12.3e} ns ({t_ratio:.2f}x)   "
+          f"nodes {expected['nodes']} -> {int(got['nodes'])}")
+    if t_ratio > 1.0 + tol:
+        failures.append(
+            f"{name}: {got['real_time']:.3e} ns is "
+            f"{100 * (t_ratio - 1):.1f}% above baseline "
+            f"{expected['real_time_ns']:.3e} (tolerance {100 * tol:.0f}%)")
+    if int(got["nodes"]) > expected["nodes"]:
+        failures.append(
+            f"{name}: explored {int(got['nodes'])} nodes, baseline is "
+            f"{expected['nodes']} — search-effort regression")
 
 if failures:
     print("\nbench_check: FAIL")

@@ -123,6 +123,14 @@ int run(ArgParser& args) {
   const std::uint64_t lc_regions =
       args.get_u64("lc-regions", 4, "loop-cache preloadable regions");
   const std::uint64_t seed = args.get_u64("seed", 42, "profiling seed");
+  const std::uint64_t ilp_threads = args.get_u64(
+      "ilp-threads", 1,
+      "branch & bound worker threads (0 = hardware concurrency; results "
+      "are thread-count-invariant)");
+  const bool no_warm_start = args.get_flag(
+      "no-warm-start", "disable the knapsack/root-LP incumbent seed");
+  const bool no_ilp_presolve = args.get_flag(
+      "no-ilp-presolve", "disable the bound-box presolve before search");
   const double fuse = args.get_double("fuse-ratio", 0.5,
                                       "trace formation fusion threshold");
   const bool csv = args.get_flag("csv", "emit one CSV row");
@@ -192,13 +200,17 @@ int run(ArgParser& args) {
     return run_check(program, bench, cache, spm, fuse, reg, check_json);
   }
 
+  core::CasaOptions copt;
+  copt.ilp_threads = static_cast<unsigned>(ilp_threads);
+  copt.ilp_warm_start = !no_warm_start;
+  copt.ilp_presolve = !no_ilp_presolve;
+
   report::Outcome outcome;
   if (technique == "none") {
     outcome = bench.run_cache_only(cache);
   } else if (technique == "casa") {
-    outcome = bench.run_casa(cache, spm);
+    outcome = bench.run_casa(cache, spm, copt);
   } else if (technique == "greedy") {
-    core::CasaOptions copt;
     copt.engine = core::CasaEngine::kGreedy;
     outcome = bench.run_casa(cache, spm, copt);
   } else if (technique == "steinke") {
@@ -289,13 +301,21 @@ int run(ArgParser& args) {
             << "  cache misses  " << c.cache_misses << "\n"
             << "  cycles        " << c.cycles << "\n";
   if (technique == "casa" || technique == "greedy") {
+    const auto& st = outcome.alloc.solver_stats;
     std::cout << "  allocation    " << outcome.alloc.used_bytes << "/" << spm
               << " B via " << core::to_string(outcome.alloc.engine_used)
               << " (" << (outcome.alloc.exact ? "optimal" : "heuristic")
               << ", " << outcome.alloc.solver_nodes << " nodes, "
-              << outcome.alloc.solver_stats.bound_prunes +
-                     outcome.alloc.solver_stats.infeasible_prunes
-              << " prunes, " << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
+              << st.bound_prunes + st.infeasible_prunes << " prunes, "
+              << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
+    if (outcome.alloc.engine_used == core::CasaEngine::kGenericIlp) {
+      std::cout << "  ilp search    presolve fixed " << st.presolve_fixed
+                << ", warm start "
+                << (st.warm_start_used ? "seeded" : "unused")
+                << " (root gap " << st.root_gap << ", rc-fixed "
+                << st.rc_fixed << "), " << st.subtrees << " subtrees, "
+                << st.lp_limit_retries << " LP retries\n";
+    }
   }
   return 0;
 }
