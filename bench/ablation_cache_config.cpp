@@ -6,9 +6,10 @@
 // associativity reduces conflict misses and with them CASA's edge — the
 // crossover structure is the interesting output.
 //
-// The 9 configurations × 3 flows are evaluated as one Workbench::run_many
-// batch across all cores; per-row outputs are unchanged from the serial
-// formulation.
+// The 9 configurations × 3 flows go through sim::SweepPlanner: jobs that
+// feed the cache the same fetch stream share one stack-distance replay
+// (LRU rows), the rest fall back to per-config simulation — outcomes and
+// per-row outputs are bit-identical to the serial run_many formulation.
 #include <fstream>
 #include <iostream>
 
@@ -16,6 +17,7 @@
 #include "casa/obs/metrics.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/sim/parallel_runner.hpp"
+#include "casa/sim/sweep_planner.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
@@ -52,7 +54,7 @@ int main() {
   }
   sim::MetricsShards shards(jobs.size());
   const std::vector<report::Outcome> outcomes =
-      bench.run_many(jobs, 0, &shards);
+      sim::SweepPlanner(bench).run(jobs, 0, &shards);
 
   Table table({"assoc", "policy", "conflict edges", "CASA uJ", "Steinke uJ",
                "improv %", "CASA miss %", "cache-only uJ"});

@@ -4,8 +4,10 @@
 // the technique's ranking survives programs the algorithm was not tuned on.
 //
 // Per workload, all (spm size × flow) points go through one
-// Workbench::run_many batch across cores — the suite is the repo's largest
-// sweep and the main beneficiary of the parallel evaluation engine.
+// sim::SweepPlanner batch across cores — the suite is the repo's largest
+// sweep; sweep points that feed the cache the same fetch stream share one
+// stack-distance replay, and the outcomes stay bit-identical to
+// Workbench::run_many.
 #include <fstream>
 #include <iostream>
 
@@ -13,6 +15,7 @@
 #include "casa/obs/metrics.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/sim/parallel_runner.hpp"
+#include "casa/sim/sweep_planner.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
@@ -48,7 +51,7 @@ int main() {
     }
     sim::MetricsShards shards(jobs.size());
     const std::vector<report::Outcome> outcomes =
-        bench.run_many(jobs, 0, &shards);
+        sim::SweepPlanner(bench).run(jobs, 0, &shards);
     for (obs::MetricsSnapshot& task : shards.snapshots()) {
       task.config["workload"] = name;
       task_snapshots.push_back(std::move(task));

@@ -7,13 +7,16 @@
 // reports energy and cycle counts per split.
 //
 // The sweep points are independent, so they are evaluated as one
-// Workbench::run_many batch fanned out across cores (pass a thread count as
-// argv[1]; default = hardware concurrency). Results are ordered and
-// identical for any thread count.
+// sim::SweepPlanner batch fanned out across cores (pass a thread count as
+// argv[1]; default = hardware concurrency). Sweep points that feed the
+// cache the same fetch stream share one stack-distance replay; results are
+// ordered, identical for any thread count, and bit-identical to running
+// each point alone.
 #include <cstdlib>
 #include <iostream>
 
 #include "casa/report/workbench.hpp"
+#include "casa/sim/sweep_planner.hpp"
 #include "casa/support/table.hpp"
 #include "casa/workloads/workloads.hpp"
 
@@ -44,7 +47,8 @@ int main(int argc, char** argv) {
                        : report::Workbench::Job::casa_job(cache, spm));
   }
 
-  const std::vector<report::Outcome> outcomes = bench.run_many(jobs, threads);
+  const std::vector<report::Outcome> outcomes =
+      sim::SweepPlanner(bench).run(jobs, threads);
 
   Table table({"cache B", "SPM B", "energy uJ", "cache miss %", "SPM fetch %",
                "cycles M", "best?"});

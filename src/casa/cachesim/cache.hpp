@@ -41,6 +41,8 @@ struct CacheConfig {
 
   /// Validates size/line/associativity divisibility and power-of-two-ness.
   void validate() const;
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
 };
 
 /// Outcome of one access.

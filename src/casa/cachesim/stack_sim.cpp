@@ -1,0 +1,190 @@
+#include "casa/cachesim/stack_sim.hpp"
+
+#include <algorithm>
+
+#include "casa/support/error.hpp"
+
+namespace casa::cachesim {
+
+ConfigFamily ConfigFamily::grid(Bytes line_size, unsigned max_sets,
+                                unsigned max_associativity,
+                                ReplacementPolicy policy) {
+  CASA_CHECK(is_pow2(max_sets), "max_sets must be a power of two");
+  CASA_CHECK(max_associativity >= 1, "max_associativity must be >= 1");
+  ConfigFamily fam;
+  fam.line_size = line_size;
+  fam.policy = policy;
+  for (unsigned sets = 1; sets <= max_sets; sets *= 2) {
+    for (unsigned assoc = 1; assoc <= max_associativity; assoc *= 2) {
+      CacheConfig cfg;
+      cfg.line_size = line_size;
+      cfg.associativity = assoc;
+      cfg.policy = policy;
+      cfg.size = static_cast<Bytes>(sets) * assoc * line_size;
+      fam.configs.push_back(cfg);
+    }
+  }
+  return fam;
+}
+
+void ConfigFamily::validate() const {
+  CASA_CHECK(!configs.empty(), "ConfigFamily has no configurations");
+  CASA_CHECK(is_pow2(line_size), "line size must be a power of two");
+  for (const CacheConfig& cfg : configs) {
+    cfg.validate();
+    CASA_CHECK(cfg.line_size == line_size,
+               "ConfigFamily members must share one line size");
+    CASA_CHECK(cfg.policy == policy,
+               "ConfigFamily members must share one replacement policy");
+  }
+}
+
+unsigned ConfigFamily::max_sets() const {
+  unsigned m = 1;
+  for (const CacheConfig& cfg : configs) m = std::max(m, cfg.sets());
+  return m;
+}
+
+unsigned ConfigFamily::max_associativity() const {
+  unsigned m = 1;
+  for (const CacheConfig& cfg : configs) m = std::max(m, cfg.associativity);
+  return m;
+}
+
+StackSimulator::StackSimulator(ConfigFamily family, std::uint64_t seed)
+    : family_(std::move(family)) {
+  family_.validate();
+  offset_shift_ = log2_pow2(family_.line_size);
+  if (family_.policy != ReplacementPolicy::kLru) {
+    // No stack property -> simulate every member directly. Each bank cache
+    // gets the same seed a standalone per-config simulation would use, so
+    // even kRandom stays bit-identical to the one-config-at-a-time path.
+    fallback_.reserve(family_.configs.size());
+    for (const CacheConfig& cfg : family_.configs) {
+      fallback_.emplace_back(cfg, seed);
+    }
+    return;
+  }
+  k_max_ = log2_pow2(family_.max_sets());
+  a_max_ = family_.max_associativity();
+  heads_.resize(k_max_ + 1);
+  for (unsigned k = 0; k <= k_max_; ++k) {
+    heads_[k].assign(std::size_t{1} << k, kNil);
+  }
+  next_.resize(k_max_ + 1);
+  prev_.resize(k_max_ + 1);
+  reuse_hist_.assign(static_cast<std::size_t>(k_max_ + 1) * (a_max_ + 1), 0);
+  cold_hist_.assign(static_cast<std::size_t>(k_max_ + 1) * (a_max_ + 1), 0);
+}
+
+void StackSimulator::access_line(Addr addr, std::uint32_t words) {
+  if (!fallback_.empty()) {
+    for (Cache& cache : fallback_) cache.access_line(addr, words);
+    return;
+  }
+
+  total_words_ += words;
+  const std::uint64_t line = addr >> offset_shift_;
+
+  if (line >= line_id_.size()) {
+    line_id_.resize(
+        std::max<std::size_t>(line + 1, line_id_.size() * 2), 0);
+  }
+  const std::uint32_t slot = line_id_[line];
+  const bool reuse = slot != 0;
+  std::uint32_t node;
+  if (reuse) {
+    node = slot - 1;
+  } else {
+    // First touch: mint a dense id with unlinked handles at every level.
+    ++cold_runs_;
+    node = static_cast<std::uint32_t>(next_[0].size());
+    line_id_[line] = node + 1;
+    for (unsigned k = 0; k <= k_max_; ++k) {
+      next_[k].push_back(kNil);
+      prev_[k].push_back(kNil);
+    }
+  }
+
+  // At level k the accessed line's set list holds, MRU-first, the distinct
+  // lines of its 2^k-set cache set. Its position there is the per-set stack
+  // distance; positions >= a_max_ miss in every family member, so each walk
+  // stops after at most a_max_ nodes. A first touch's "distance" is the
+  // set's distinct-line count (decides whether the fill still found an
+  // invalid way), equally capped. The splice never needs the walk to reach
+  // the node: its level-k handles unlink it in O(1) from any depth.
+  std::uint64_t* const hist = (reuse ? reuse_hist_ : cold_hist_).data();
+  for (unsigned k = 0; k <= k_max_; ++k) {
+    std::uint32_t* const nxt = next_[k].data();
+    std::uint32_t* const prv = prev_[k].data();
+    std::uint32_t& head =
+        heads_[k][static_cast<std::size_t>(line) & ((std::size_t{1} << k) - 1)];
+
+    unsigned d = 0;
+    std::uint32_t cur = head;
+    while (cur != kNil && cur != node && d < a_max_) {
+      ++d;
+      cur = nxt[cur];
+    }
+    ++hist[static_cast<std::size_t>(k) * (a_max_ + 1) + d];
+
+    if (head == node) continue;  // already MRU
+    if (reuse) {
+      const std::uint32_t p = prv[node];
+      const std::uint32_t n = nxt[node];
+      nxt[p] = n;
+      if (n != kNil) prv[n] = p;
+    }
+    nxt[node] = head;
+    if (head != kNil) prv[head] = node;
+    prv[node] = kNil;
+    head = node;
+  }
+}
+
+StackCounters StackSimulator::counters(const CacheConfig& config) const {
+  CASA_CHECK(config.line_size == family_.line_size,
+             "queried config's line size differs from the family's");
+  CASA_CHECK(config.policy == family_.policy,
+             "queried config's policy differs from the family's");
+
+  if (!fallback_.empty()) {
+    for (std::size_t i = 0; i < family_.configs.size(); ++i) {
+      if (family_.configs[i] == config) {
+        const Cache& c = fallback_[i];
+        return StackCounters{c.hits(), c.misses(), c.evictions()};
+      }
+    }
+    CASA_CHECK(false, "config is not a member of this fallback family");
+  }
+
+  config.validate();
+  const unsigned k = log2_pow2(config.sets());
+  const unsigned assoc = config.associativity;
+  CASA_CHECK(k <= k_max_, "set count exceeds the family's maximum");
+  CASA_CHECK(assoc >= 1 && assoc <= a_max_,
+             "associativity exceeds the family's maximum");
+
+  // A stack-resident access misses iff its per-set distance >= assoc (and
+  // then always evicts: >= assoc distinct lines already filled the set). A
+  // first touch always misses and evicts iff the set had already seen
+  // >= assoc distinct lines (no invalid way left).
+  const std::uint64_t* reuse =
+      reuse_hist_.data() + static_cast<std::size_t>(k) * (a_max_ + 1);
+  const std::uint64_t* cold =
+      cold_hist_.data() + static_cast<std::size_t>(k) * (a_max_ + 1);
+  std::uint64_t reuse_misses = 0;
+  std::uint64_t cold_evictions = 0;
+  for (unsigned d = assoc; d <= a_max_; ++d) {
+    reuse_misses += reuse[d];
+    cold_evictions += cold[d];
+  }
+
+  StackCounters out;
+  out.misses = reuse_misses + cold_runs_;
+  out.hits = total_words_ - out.misses;
+  out.evictions = reuse_misses + cold_evictions;
+  return out;
+}
+
+}  // namespace casa::cachesim

@@ -1,0 +1,129 @@
+// One-pass multi-configuration cache simulation (Mattson stack distances).
+//
+// A design-space sweep evaluates the same fetch stream against many cache
+// geometries. For LRU replacement the stream need only be replayed ONCE:
+// an access hits in an S-set, A-way LRU cache iff fewer than A distinct
+// lines mapping to the same set were touched since the previous access to
+// its line (the stack property — LRU caches of growing associativity are
+// inclusive). With power-of-two set counts the set index is the line
+// number's low bits, so the simulator keeps one LRU recency list per
+// (set-count level k, set index) — 2^k short lists per level — and each
+// access reads its per-set stack distance at every level at once. Two
+// properties keep the per-access cost tiny: distances only matter up to
+// the family's maximum associativity A (everything deeper misses in every
+// member), so each level's walk stops after at most A nodes; and per-level
+// node handles make the move-to-front splice O(1) without ever walking to
+// a deep node. From the per-level distance histograms the exact
+// hit/miss/eviction counters for the whole (set count x associativity)
+// family are read off after the pass — bit-identical to running Cache per
+// configuration (the oracle suite in tests/stack_sim_test.cpp holds this
+// across every bundled workload).
+//
+// Replacement policies without the inclusion property (FIFO, round-robin,
+// random) cannot be folded into one pass; for those the simulator
+// transparently falls back to a bank of per-configuration Cache instances
+// behind the same API, so callers never special-case the policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casa/cachesim/cache.hpp"
+#include "casa/support/units.hpp"
+
+namespace casa::cachesim {
+
+/// A family of configurations evaluated together: fixed line size and
+/// replacement policy, varying (power-of-two) set count and associativity.
+struct ConfigFamily {
+  Bytes line_size = 16;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+  std::vector<CacheConfig> configs;
+
+  /// Full power-of-two grid: set counts {1, 2, ..., max_sets} x
+  /// associativities {1, 2, ..., max_associativity} (CacheConfig requires a
+  /// power-of-two total size, which pins both axes to powers of two).
+  static ConfigFamily grid(Bytes line_size, unsigned max_sets,
+                           unsigned max_associativity,
+                           ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  /// Non-empty, every member validated, line size and policy uniform.
+  void validate() const;
+
+  unsigned max_sets() const;
+  unsigned max_associativity() const;
+};
+
+/// Exact per-configuration counters, in Cache's word-granular accounting:
+/// a run of `words` fetches adds `words` hits on a line hit, and one miss
+/// plus `words - 1` hits on a line miss.
+struct StackCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< misses that displaced a valid line
+
+  std::uint64_t accesses() const { return hits + misses; }
+  friend bool operator==(const StackCounters&, const StackCounters&) = default;
+};
+
+class StackSimulator {
+ public:
+  explicit StackSimulator(ConfigFamily family, std::uint64_t seed = 1);
+
+  /// One word fetch at byte address `addr` (== access_line(addr, 1)).
+  void access(Addr addr) { access_line(addr, 1); }
+
+  /// Same contract as Cache::access_line: `words` consecutive word fetches
+  /// all inside the memory line containing `addr`.
+  void access_line(Addr addr, std::uint32_t words);
+
+  /// Counters for one configuration, as if a fresh Cache had replayed the
+  /// whole access sequence. In one-pass (LRU) mode any configuration with
+  /// the family's line size and policy, a power-of-two set count <= the
+  /// family's maximum and an associativity <= the family's maximum may be
+  /// queried — membership in `family().configs` is not required. In
+  /// fallback mode the configuration must be a family member.
+  StackCounters counters(const CacheConfig& config) const;
+
+  /// True when the single-pass stack engine is active (LRU family); false
+  /// when the per-configuration fallback bank is simulating.
+  bool one_pass() const { return fallback_.empty(); }
+
+  const ConfigFamily& family() const { return family_; }
+
+  /// Total word fetches replayed so far (identical for every config).
+  std::uint64_t total_words() const { return total_words_; }
+
+ private:
+  ConfigFamily family_;
+  unsigned offset_shift_ = 0;  ///< log2(line_size)
+  unsigned k_max_ = 0;         ///< log2(max set count)
+  unsigned a_max_ = 1;         ///< max associativity
+
+  // One-pass engine state. Level k (k in [0, k_max_]) models the 2^k-set
+  // member geometries: one LRU recency list per set, stitched through
+  // per-line node handles (next_[k], prev_[k], indexed by dense line id) so
+  // a move-to-front splice at any depth is O(1). Lines never leave a list,
+  // so each level's lists partition the distinct lines touched so far.
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  std::vector<std::vector<std::uint32_t>> heads_;  ///< [k][set] -> line id
+  std::vector<std::vector<std::uint32_t>> next_;   ///< [k][line id]
+  std::vector<std::vector<std::uint32_t>> prev_;   ///< [k][line id]
+  /// line number -> dense id + 1 (0 = never touched). Line numbers are
+  /// layout offsets / line_size, so this stays small and O(1) beats hashing.
+  std::vector<std::uint32_t> line_id_;
+  /// Distance histograms, (k_max_+1) x (a_max_+1), distances capped at
+  /// a_max_. reuse_: accesses whose line was on the stack; cold_: first
+  /// touches (their "distance" is the set's distinct-line count, which
+  /// decides whether the fill still found an invalid way).
+  std::vector<std::uint64_t> reuse_hist_;
+  std::vector<std::uint64_t> cold_hist_;
+  std::uint64_t cold_runs_ = 0;
+  std::uint64_t total_words_ = 0;
+
+  /// Per-configuration Cache bank for non-LRU policies (index-aligned with
+  /// family_.configs). Empty in one-pass mode.
+  std::vector<Cache> fallback_;
+};
+
+}  // namespace casa::cachesim

@@ -52,6 +52,8 @@ struct CasaOptions {
   bool ilp_warm_start = true;
   /// Run the bound-box presolve before search (SolveStats::presolve_fixed).
   bool ilp_presolve = true;
+
+  friend bool operator==(const CasaOptions&, const CasaOptions&) = default;
 };
 
 struct AllocationResult {

@@ -217,4 +217,18 @@ SimReport simulate_cache_only(const traceopt::TraceProgram& tp,
   return run(tp, layout, walk, {}, nullptr, cache_cfg, energies, opt);
 }
 
+SimReport report_from_counters(const SimCounters& counters,
+                               const energy::EnergyTable& energies,
+                               bool loop_cache) {
+  SimReport rep;
+  rep.counters = counters;
+  finish(rep, energies, loop_cache);
+  return rep;
+}
+
+void record_sim_counters(obs::MetricsRegistry* reg,
+                         const SimCounters& counters) {
+  record_metrics(reg, counters);
+}
+
 }  // namespace casa::memsim

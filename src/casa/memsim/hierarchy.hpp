@@ -97,4 +97,19 @@ SimReport simulate_cache_only(const traceopt::TraceProgram& tp,
                               const energy::EnergyTable& energies,
                               const SimOptions& opt = {});
 
+/// Derives the full report (energies) from externally produced counters —
+/// the exact computation the simulators above apply to their own counters,
+/// so counter-identical inputs yield bit-identical reports. Used by the
+/// one-pass sweep engine (sim::SweepPlanner), which produces counters for
+/// many configurations from a single stack pass.
+SimReport report_from_counters(const SimCounters& counters,
+                               const energy::EnergyTable& energies,
+                               bool loop_cache);
+
+/// Records `counters` into `reg` under the same sim.* / cache.* keys the
+/// simulators use (null registry = no-op). Lets externally derived counters
+/// keep per-job telemetry identical to a direct simulation.
+void record_sim_counters(obs::MetricsRegistry* reg,
+                         const SimCounters& counters);
+
 }  // namespace casa::memsim

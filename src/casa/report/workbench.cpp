@@ -61,6 +61,22 @@ std::unique_ptr<check::CheckRunner> make_checker(const WorkbenchOptions& o,
   return std::make_unique<check::CheckRunner>(reg);
 }
 
+/// Span name of a job kind's flow — identical whether the flow runs whole
+/// (run_*) or staged (prepare_job / finish_*), so dashboards see one path.
+const char* flow_name(Workbench::Job::Kind kind) {
+  switch (kind) {
+    case Workbench::Job::Kind::kCasa:
+      return "run_casa";
+    case Workbench::Job::Kind::kSteinke:
+      return "run_steinke";
+    case Workbench::Job::Kind::kLoopCache:
+      return "run_loopcache";
+    case Workbench::Job::Kind::kCacheOnly:
+      return "run_cache_only";
+  }
+  return "run_unknown";
+}
+
 }  // namespace
 
 Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
@@ -85,27 +101,27 @@ Outcome Workbench::run_casa(const cachesim::CacheConfig& cache,
   return run_casa_into(opt_.metrics, cache, spm_size, copt);
 }
 
-Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
-                                 const cachesim::CacheConfig& cache,
-                                 Bytes spm_size,
-                                 const core::CasaOptions& copt) const {
-  const obs::Span flow(reg, "run_casa");
-  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+Workbench::PreparedJob Workbench::prepare_casa(
+    obs::MetricsRegistry* reg, check::CheckRunner* chk,
+    const cachesim::CacheConfig& cache, Bytes spm_size,
+    const core::CasaOptions& copt) const {
+  PreparedJob pj;
+  pj.job = Job::casa_job(cache, spm_size, copt);
 
-  std::unique_ptr<traceopt::TraceProgram> tp;
+  std::shared_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
-    tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+    tp = std::make_shared<traceopt::TraceProgram>(form(cache, spm_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
 
-  std::unique_ptr<traceopt::Layout> layout;
+  std::shared_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
-    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
       chk->throw_if_errors();
@@ -129,15 +145,14 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
     }
   }
 
-  Outcome out;
+  Outcome& out = pj.partial;
   {
     const obs::Span s(reg, "allocation");
-    const energy::EnergyTable energies =
-        energy::EnergyTable::build(cache, spm_size, 0, 0);
+    pj.energies = energy::EnergyTable::build(cache, spm_size, 0, 0);
     const core::CasaProblem problem =
-        core::CasaProblem::from(*tp, *graph, energies, spm_size);
+        core::CasaProblem::from(*tp, *graph, pj.energies, spm_size);
     if (chk) {
-      check::check_energy_table(energies, spm_size > 0, false, *chk);
+      check::check_energy_table(pj.energies, spm_size > 0, false, *chk);
       // The model the generic solver would consume must be well-formed no
       // matter which engine actually runs — the formulation stage is an
       // artifact in its own right.
@@ -166,17 +181,21 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
   out.conflict_edges = graph->edge_count();
   out.spm_used = out.alloc.used_bytes;
 
-  {
-    const obs::Span s(reg, "simulation");
-    const energy::EnergyTable energies =
-        energy::EnergyTable::build(cache, spm_size, 0, 0);
-    // Copy semantics: the main-memory image keeps every object; fetches of
-    // scratchpad objects simply go to the scratchpad.
-    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk,
-                                          out.alloc.on_spm, cache, energies,
-                                          sim_opts(reg));
-  }
-  return out;
+  // Copy semantics: the main-memory image keeps every object; fetches of
+  // scratchpad objects simply go to the scratchpad.
+  pj.on_spm = out.alloc.on_spm;
+  pj.tp = std::move(tp);
+  pj.layout = std::move(layout);
+  return pj;
+}
+
+Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
+                                 const cachesim::CacheConfig& cache,
+                                 Bytes spm_size,
+                                 const core::CasaOptions& copt) const {
+  const obs::Span flow(reg, "run_casa");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+  return finish_core(prepare_casa(reg, chk.get(), cache, spm_size, copt), reg);
 }
 
 Outcome Workbench::run_steinke(const cachesim::CacheConfig& cache,
@@ -184,34 +203,32 @@ Outcome Workbench::run_steinke(const cachesim::CacheConfig& cache,
   return run_steinke_into(opt_.metrics, cache, spm_size);
 }
 
-Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
-                                    const cachesim::CacheConfig& cache,
-                                    Bytes spm_size) const {
-  const obs::Span flow(reg, "run_steinke");
-  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+Workbench::PreparedJob Workbench::prepare_steinke(
+    obs::MetricsRegistry* reg, check::CheckRunner* chk,
+    const cachesim::CacheConfig& cache, Bytes spm_size) const {
+  PreparedJob pj;
+  pj.job = Job::steinke_job(cache, spm_size);
 
-  std::unique_ptr<traceopt::TraceProgram> tp;
+  std::shared_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
-    tp = std::make_unique<traceopt::TraceProgram>(form(cache, spm_size));
+    tp = std::make_shared<traceopt::TraceProgram>(form(cache, spm_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  const energy::EnergyTable energies =
-      energy::EnergyTable::build(cache, spm_size, 0, 0);
+  pj.energies = energy::EnergyTable::build(cache, spm_size, 0, 0);
   if (chk) {
-    check::check_energy_table(energies, spm_size > 0, false, *chk);
+    check::check_energy_table(pj.energies, spm_size > 0, false, *chk);
     chk->throw_if_errors();
   }
 
-  Outcome out;
   baseline::SteinkeResult sel;
   {
     const obs::Span s(reg, "allocation");
     sel = baseline::allocate_steinke(
-        *tp, spm_size, energies.cache_hit - energies.spm_access);
+        *tp, spm_size, pj.energies.cache_hit - pj.energies.spm_access);
     if (chk) {
       std::vector<Bytes> sizes;
       sizes.reserve(tp->object_count());
@@ -221,34 +238,39 @@ Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
       chk->throw_if_errors();
     }
   }
-  out.object_count = tp->object_count();
-  out.spm_used = sel.used_bytes;
+  pj.partial.object_count = tp->object_count();
+  pj.partial.spm_used = sel.used_bytes;
 
-  std::unique_ptr<traceopt::Layout> layout;
+  std::shared_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
     if (opt_.steinke_moves) {
       // Move semantics: scratchpad objects leave the image; the residue is
       // compacted, changing every remaining object's cache mapping.
       const std::vector<bool> excluded(sel.on_spm.begin(), sel.on_spm.end());
-      layout = std::make_unique<traceopt::Layout>(
+      layout = std::make_shared<traceopt::Layout>(
           traceopt::layout_excluding(*tp, excluded));
     } else {
       layout =
-          std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+          std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     }
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  {
-    const obs::Span s(reg, "simulation");
-    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk,
-                                          sel.on_spm, cache, energies,
-                                          sim_opts(reg));
-  }
-  return out;
+  pj.on_spm = std::move(sel.on_spm);
+  pj.tp = std::move(tp);
+  pj.layout = std::move(layout);
+  return pj;
+}
+
+Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
+                                    const cachesim::CacheConfig& cache,
+                                    Bytes spm_size) const {
+  const obs::Span flow(reg, "run_steinke");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+  return finish_core(prepare_steinke(reg, chk.get(), cache, spm_size), reg);
 }
 
 Outcome Workbench::run_loopcache(const cachesim::CacheConfig& cache,
@@ -256,41 +278,39 @@ Outcome Workbench::run_loopcache(const cachesim::CacheConfig& cache,
   return run_loopcache_into(opt_.metrics, cache, lc_size, max_regions);
 }
 
-Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
-                                      const cachesim::CacheConfig& cache,
-                                      Bytes lc_size,
-                                      unsigned max_regions) const {
-  const obs::Span flow(reg, "run_loopcache");
-  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+Workbench::PreparedJob Workbench::prepare_loopcache(
+    obs::MetricsRegistry* reg, check::CheckRunner* chk,
+    const cachesim::CacheConfig& cache, Bytes lc_size,
+    unsigned max_regions) const {
+  PreparedJob pj;
+  pj.job = Job::loopcache_job(cache, lc_size, max_regions);
 
   // Fair comparison (paper §5): the loop-cache flow also runs on the
   // trace-formed program, laid out in full (nothing leaves the image).
-  std::unique_ptr<traceopt::TraceProgram> tp;
+  std::shared_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
-    tp = std::make_unique<traceopt::TraceProgram>(form(cache, lc_size));
+    tp = std::make_shared<traceopt::TraceProgram>(form(cache, lc_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  std::unique_ptr<traceopt::Layout> layout;
+  std::shared_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
-    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  const energy::EnergyTable energies =
-      energy::EnergyTable::build(cache, 0, lc_size, max_regions);
+  pj.energies = energy::EnergyTable::build(cache, 0, lc_size, max_regions);
   if (chk) {
-    check::check_energy_table(energies, false, lc_size > 0, *chk);
+    check::check_energy_table(pj.energies, false, lc_size > 0, *chk);
     chk->throw_if_errors();
   }
 
-  Outcome out;
   loopcache::RossResult sel;
   {
     const obs::Span s(reg, "allocation");
@@ -301,62 +321,133 @@ Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
     lcfg.max_regions = max_regions;
     sel = loopcache::allocate_ross(candidates, lcfg);
   }
-  out.object_count = tp->object_count();
-  out.spm_used = sel.used_bytes;
-  out.lc_regions = static_cast<unsigned>(sel.selected.regions().size());
-  if (reg != nullptr) reg->add("lc.regions", out.lc_regions);
+  pj.partial.object_count = tp->object_count();
+  pj.partial.spm_used = sel.used_bytes;
+  pj.partial.lc_regions =
+      static_cast<unsigned>(sel.selected.regions().size());
+  if (reg != nullptr) reg->add("lc.regions", pj.partial.lc_regions);
 
-  {
-    const obs::Span s(reg, "simulation");
-    out.sim = memsim::simulate_loopcache_system(*tp, *layout, exec_.walk,
-                                                sel.selected, cache, energies,
-                                                sim_opts(reg));
-  }
-  return out;
+  pj.regions =
+      std::make_shared<const loopcache::RegionSet>(std::move(sel.selected));
+  pj.tp = std::move(tp);
+  pj.layout = std::move(layout);
+  return pj;
+}
+
+Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
+                                      const cachesim::CacheConfig& cache,
+                                      Bytes lc_size,
+                                      unsigned max_regions) const {
+  const obs::Span flow(reg, "run_loopcache");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+  return finish_core(
+      prepare_loopcache(reg, chk.get(), cache, lc_size, max_regions), reg);
 }
 
 Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
   return run_cache_only_into(opt_.metrics, cache);
 }
 
-Outcome Workbench::run_cache_only_into(
-    obs::MetricsRegistry* reg, const cachesim::CacheConfig& cache) const {
-  const obs::Span flow(reg, "run_cache_only");
-  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+Workbench::PreparedJob Workbench::prepare_cache_only(
+    obs::MetricsRegistry* reg, check::CheckRunner* chk,
+    const cachesim::CacheConfig& cache) const {
+  PreparedJob pj;
+  pj.job = Job::cache_only_job(cache);
 
-  std::unique_ptr<traceopt::TraceProgram> tp;
+  std::shared_ptr<traceopt::TraceProgram> tp;
   {
     const obs::Span s(reg, "trace_formation");
-    tp = std::make_unique<traceopt::TraceProgram>(form(cache, 1_KiB));
+    tp = std::make_shared<traceopt::TraceProgram>(form(cache, 1_KiB));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  std::unique_ptr<traceopt::Layout> layout;
+  std::shared_ptr<traceopt::Layout> layout;
   {
     const obs::Span s(reg, "layout");
-    layout = std::make_unique<traceopt::Layout>(traceopt::layout_all(*tp));
+    layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
       chk->throw_if_errors();
     }
   }
-  const energy::EnergyTable energies = energy::EnergyTable::build(
+  pj.energies = energy::EnergyTable::build(
       cache, /*spm_size=*/kWordBytes * 2, 0, 0);
   if (chk) {
-    check::check_energy_table(energies, true, false, *chk);
+    check::check_energy_table(pj.energies, true, false, *chk);
     chk->throw_if_errors();
   }
 
-  Outcome out;
-  out.object_count = tp->object_count();
-  {
-    const obs::Span s(reg, "simulation");
-    const std::vector<bool> none(tp->object_count(), false);
-    out.sim = memsim::simulate_spm_system(*tp, *layout, exec_.walk, none,
-                                          cache, energies, sim_opts(reg));
+  pj.partial.object_count = tp->object_count();
+  pj.on_spm.assign(tp->object_count(), false);
+  pj.tp = std::move(tp);
+  pj.layout = std::move(layout);
+  return pj;
+}
+
+Outcome Workbench::run_cache_only_into(
+    obs::MetricsRegistry* reg, const cachesim::CacheConfig& cache) const {
+  const obs::Span flow(reg, "run_cache_only");
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+  return finish_core(prepare_cache_only(reg, chk.get(), cache), reg);
+}
+
+Workbench::PreparedJob Workbench::prepare_core(const Job& job,
+                                               obs::MetricsRegistry* reg,
+                                               check::CheckRunner* chk) const {
+  switch (job.kind) {
+    case Job::Kind::kCasa:
+      return prepare_casa(reg, chk, job.cache, job.size, job.casa);
+    case Job::Kind::kSteinke:
+      return prepare_steinke(reg, chk, job.cache, job.size);
+    case Job::Kind::kLoopCache:
+      return prepare_loopcache(reg, chk, job.cache, job.size,
+                               job.max_regions);
+    case Job::Kind::kCacheOnly:
+      return prepare_cache_only(reg, chk, job.cache);
   }
+  return PreparedJob{};
+}
+
+Outcome Workbench::finish_core(const PreparedJob& pj,
+                               obs::MetricsRegistry* reg) const {
+  Outcome out = pj.partial;
+  const obs::Span s(reg, "simulation");
+  if (pj.regions != nullptr) {
+    out.sim = memsim::simulate_loopcache_system(*pj.tp, *pj.layout, exec_.walk,
+                                                *pj.regions, pj.job.cache,
+                                                pj.energies, sim_opts(reg));
+  } else {
+    out.sim = memsim::simulate_spm_system(*pj.tp, *pj.layout, exec_.walk,
+                                          pj.on_spm, pj.job.cache,
+                                          pj.energies, sim_opts(reg));
+  }
+  return out;
+}
+
+Workbench::PreparedJob Workbench::prepare_job(const Job& job,
+                                              obs::MetricsRegistry* reg) const {
+  const obs::Span flow(reg, flow_name(job.kind));
+  const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
+  return prepare_core(job, reg, chk.get());
+}
+
+Outcome Workbench::finish_job(const PreparedJob& pj,
+                              obs::MetricsRegistry* reg) const {
+  const obs::Span flow(reg, flow_name(pj.job.kind));
+  return finish_core(pj, reg);
+}
+
+Outcome Workbench::finish_with_counters(const PreparedJob& pj,
+                                        const memsim::SimCounters& counters,
+                                        obs::MetricsRegistry* reg) const {
+  const obs::Span flow(reg, flow_name(pj.job.kind));
+  Outcome out = pj.partial;
+  const obs::Span s(reg, "simulation");
+  out.sim = memsim::report_from_counters(counters, pj.energies,
+                                         pj.regions != nullptr);
+  memsim::record_sim_counters(reg, counters);
   return out;
 }
 
@@ -388,6 +479,23 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
   ropt.threads = threads;
   const sim::ParallelRunner runner(ropt);
 
+  // Identical jobs produce identical outcomes (flows are deterministic), so
+  // repeated sweep points run once: each job maps to the index of its first
+  // equal occurrence, duplicates copy that Outcome and record nothing.
+  std::vector<std::size_t> unique;
+  std::vector<std::size_t> rep_of(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::size_t rep = i;
+    for (const std::size_t u : unique) {
+      if (jobs[u] == jobs[i]) {
+        rep = u;
+        break;
+      }
+    }
+    rep_of[i] = rep;
+    if (rep == i) unique.push_back(i);
+  }
+
   // Tasks never record into opt_.metrics directly: each gets a private
   // shard, and the shards merge in job order afterwards — that is what
   // keeps merged counters identical on 1 thread and on N.
@@ -398,18 +506,29 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
     sh = local.get();
   }
 
-  std::vector<Outcome> results = runner.map<Outcome>(
-      jobs.size(), [this, &jobs, sh](std::size_t i, std::uint64_t) {
+  const std::vector<Outcome> evaluated = runner.map<Outcome>(
+      unique.size(), [this, &jobs, &unique, sh](std::size_t i, std::uint64_t) {
         // Every flow is internally seeded (executor seed fixed at
         // construction, cache seeds fixed per run_*), so the per-task seed
         // is deliberately unused: a job must produce the same outcome
         // whether it runs in a batch or alone.
-        return run_job(jobs[i], sh != nullptr ? &sh->shard(i) : nullptr);
+        const std::size_t job_idx = unique[i];
+        return run_job(jobs[job_idx],
+                       sh != nullptr ? &sh->shard(job_idx) : nullptr);
       });
+
+  std::vector<std::size_t> unique_pos(jobs.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) unique_pos[unique[i]] = i;
+  std::vector<Outcome> results;
+  results.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    results.push_back(evaluated[unique_pos[rep_of[i]]]);
+  }
 
   if (opt_.metrics != nullptr && sh != nullptr) {
     opt_.metrics->merge_from(sh->merged());
     opt_.metrics->add("runner.jobs", jobs.size());
+    opt_.metrics->add("runner.dedup_hits", jobs.size() - unique.size());
     opt_.metrics->set_gauge("runner.threads",
                             static_cast<double>(runner.threads()));
   }

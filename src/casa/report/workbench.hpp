@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -20,7 +21,12 @@
 #include "casa/obs/metrics.hpp"
 #include "casa/prog/program.hpp"
 #include "casa/trace/executor.hpp"
+#include "casa/traceopt/layout.hpp"
 #include "casa/traceopt/trace_formation.hpp"
+
+namespace casa::check {
+class CheckRunner;
+}  // namespace casa::check
 
 namespace casa::sim {
 class MetricsShards;
@@ -110,12 +116,61 @@ class Workbench {
     static Job cache_only_job(const cachesim::CacheConfig& c) {
       return Job{Kind::kCacheOnly, c, 0, 4, {}};
     }
+
+    /// Field-wise equality — two equal jobs provably produce the same
+    /// Outcome (every flow is deterministic given its parameters), which is
+    /// what lets run_many and the sweep planner deduplicate repeated sweep
+    /// points.
+    friend bool operator==(const Job&, const Job&) = default;
   };
+
+  /// A job carried through every pipeline stage except the final hierarchy
+  /// replay: trace formation, layout, conflict graph + allocation (flow
+  /// permitting), energy table — with the same artifact checks and
+  /// per-stage spans the run_* methods record. `partial` holds every
+  /// Outcome field but `.sim`; finish_job / finish_with_counters complete
+  /// it. The split exists for sim::SweepPlanner, which prepares many jobs,
+  /// replaces their per-config replays with one shared stack pass, and
+  /// finishes each from externally derived counters.
+  struct PreparedJob {
+    Job job;
+    std::shared_ptr<const traceopt::TraceProgram> tp;
+    std::shared_ptr<const traceopt::Layout> layout;
+    energy::EnergyTable energies;
+    /// Scratchpad mask over tp's objects. Loop-cache flows leave it empty
+    /// and carry `regions` instead.
+    std::vector<bool> on_spm;
+    std::shared_ptr<const loopcache::RegionSet> regions;
+    Outcome partial;
+  };
+
+  /// Runs every stage of `job`'s flow except the hierarchy replay,
+  /// recording the flow's spans and stage counters into `reg` (null = no
+  /// telemetry). prepare_job + finish_job ≡ the matching run_* method.
+  PreparedJob prepare_job(const Job& job, obs::MetricsRegistry* reg) const;
+
+  /// Completes a prepared job by direct hierarchy simulation — the exact
+  /// replay the matching run_* method would have performed.
+  Outcome finish_job(const PreparedJob& pj, obs::MetricsRegistry* reg) const;
+
+  /// Completes a prepared job from externally produced counters (the
+  /// one-pass sweep engine): derives energies via
+  /// memsim::report_from_counters and records the same sim.* / cache.*
+  /// telemetry a direct replay would. Counter-identical inputs therefore
+  /// yield bit-identical Outcomes.
+  Outcome finish_with_counters(const PreparedJob& pj,
+                               const memsim::SimCounters& counters,
+                               obs::MetricsRegistry* reg) const;
+
+  const WorkbenchOptions& options() const { return opt_; }
 
   /// Evaluates every job, fanning out across `threads` workers (0 =
   /// hardware concurrency, 1 = serial). Jobs are independent — every run_*
   /// method is const over shared read-only state — and results come back
-  /// in job order, identical for any thread count.
+  /// in job order, identical for any thread count. Identical jobs are
+  /// evaluated once: duplicates share the first occurrence's Outcome (and
+  /// record nothing of their own), with "runner.dedup_hits" counting the
+  /// jobs skipped.
   std::vector<Outcome> run_many(const std::vector<Job>& jobs,
                                 unsigned threads = 0) const;
 
@@ -130,6 +185,24 @@ class Workbench {
  private:
   traceopt::TraceProgram form(const cachesim::CacheConfig& cache,
                               Bytes max_trace) const;
+
+  PreparedJob prepare_casa(obs::MetricsRegistry* reg, check::CheckRunner* chk,
+                           const cachesim::CacheConfig& cache, Bytes spm_size,
+                           const core::CasaOptions& copt) const;
+  PreparedJob prepare_steinke(obs::MetricsRegistry* reg,
+                              check::CheckRunner* chk,
+                              const cachesim::CacheConfig& cache,
+                              Bytes spm_size) const;
+  PreparedJob prepare_loopcache(obs::MetricsRegistry* reg,
+                                check::CheckRunner* chk,
+                                const cachesim::CacheConfig& cache,
+                                Bytes lc_size, unsigned max_regions) const;
+  PreparedJob prepare_cache_only(obs::MetricsRegistry* reg,
+                                 check::CheckRunner* chk,
+                                 const cachesim::CacheConfig& cache) const;
+  PreparedJob prepare_core(const Job& job, obs::MetricsRegistry* reg,
+                           check::CheckRunner* chk) const;
+  Outcome finish_core(const PreparedJob& pj, obs::MetricsRegistry* reg) const;
 
   Outcome run_casa_into(obs::MetricsRegistry* reg,
                         const cachesim::CacheConfig& cache, Bytes spm_size,

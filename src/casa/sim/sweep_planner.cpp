@@ -1,0 +1,278 @@
+#include "casa/sim/sweep_planner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "casa/cachesim/stack_sim.hpp"
+#include "casa/check/rules.hpp"
+#include "casa/check/runner.hpp"
+#include "casa/support/error.hpp"
+#include "casa/trace/compiled_stream.hpp"
+#include "casa/traceopt/layout.hpp"
+
+namespace casa::sim {
+
+namespace {
+
+using report::Outcome;
+using report::Workbench;
+
+/// What the I-cache actually sees during a job's replay. Two prepared jobs
+/// with equal keys feed the cache the same line-run sequence: the trace
+/// program is a deterministic function of (line size, trace budget, fuse
+/// ratio — bench-wide), the layout of (trace program, mode, mask), the
+/// compiled stream of (trace program, layout, line size), and the walk is
+/// shared. Only the cache geometry differs inside a group.
+struct StreamKey {
+  Bytes line_size = 0;
+  cachesim::ReplacementPolicy policy = cachesim::ReplacementPolicy::kLru;
+  Bytes max_trace = 0;          ///< effective trace-formation budget
+  bool excluding_layout = false;  ///< Steinke move semantics
+  bool loop_cache = false;        ///< region replay — never groupable
+  std::vector<bool> on_spm;
+
+  friend bool operator==(const StreamKey&, const StreamKey&) = default;
+};
+
+StreamKey key_of(const Workbench::PreparedJob& pj, bool steinke_moves) {
+  StreamKey key;
+  key.line_size = pj.job.cache.line_size;
+  key.policy = pj.job.cache.policy;
+  // Mirrors Workbench::form's budget: the cache-only flow forms with 1 KiB,
+  // every other flow with its scratchpad / loop-cache capacity, floored at
+  // one line.
+  const Bytes budget = pj.job.kind == Workbench::Job::Kind::kCacheOnly
+                           ? 1_KiB
+                           : pj.job.size;
+  key.max_trace = std::max<Bytes>(budget, key.line_size);
+  key.excluding_layout =
+      pj.job.kind == Workbench::Job::Kind::kSteinke && steinke_moves;
+  key.loop_cache = pj.regions != nullptr;
+  key.on_spm = pj.on_spm;
+  return key;
+}
+
+/// Counters a direct line-granular replay (memsim's compiled-stream path)
+/// would have produced, reconstructed from one configuration's slice of the
+/// stack pass. `spm_words` and the latency table are group-wide; everything
+/// else follows from the per-config hit/miss/eviction counts.
+memsim::SimCounters counters_from_stack(const cachesim::StackCounters& sc,
+                                        std::uint64_t spm_words,
+                                        Bytes line_size,
+                                        const memsim::LatencyParams& lat) {
+  const std::uint64_t line_words = line_size / kWordBytes;
+  memsim::SimCounters c;
+  c.spm_accesses = spm_words;
+  c.cache_hits = sc.hits;
+  c.cache_misses = sc.misses;
+  c.cache_evictions = sc.evictions;
+  c.cache_accesses = sc.hits + sc.misses;
+  c.total_fetches = spm_words + c.cache_accesses;
+  c.mainmem_words = sc.misses * line_words;
+  // run_lines charges every cache word one hit latency (a missing word pays
+  // its fill on top), so the cycle total collapses to three terms.
+  c.cycles = spm_words * lat.spm_access + c.cache_accesses * lat.cache_hit +
+             sc.misses * (lat.miss_base_penalty + line_words * lat.miss_per_word);
+  return c;
+}
+
+}  // namespace
+
+std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
+                                       unsigned threads,
+                                       MetricsShards* shards) const {
+  CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
+             "MetricsShards size must match the job count");
+  const report::WorkbenchOptions& wopt = bench_->options();
+  RunnerOptions ropt;
+  ropt.threads = threads;
+  const ParallelRunner runner(ropt);
+
+  // Same dedup as run_many: repeated sweep points share one Outcome.
+  std::vector<std::size_t> unique;
+  std::vector<std::size_t> rep_of(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::size_t rep = i;
+    for (const std::size_t u : unique) {
+      if (jobs[u] == jobs[i]) {
+        rep = u;
+        break;
+      }
+    }
+    rep_of[i] = rep;
+    if (rep == i) unique.push_back(i);
+  }
+
+  std::unique_ptr<MetricsShards> local;
+  MetricsShards* sh = shards;
+  if (sh == nullptr && wopt.metrics != nullptr) {
+    local = std::make_unique<MetricsShards>(jobs.size());
+    sh = local.get();
+  }
+  const auto shard_of = [sh](std::size_t job_idx) -> obs::MetricsRegistry* {
+    return sh != nullptr ? &sh->shard(job_idx) : nullptr;
+  };
+
+  // Phase 1: every stage but the replay, in parallel over unique jobs.
+  using PreparedJob = Workbench::PreparedJob;
+  const std::vector<PreparedJob> prepared = runner.map<PreparedJob>(
+      unique.size(),
+      [this, &jobs, &unique, &shard_of](std::size_t i, std::uint64_t) {
+        return bench_->prepare_job(jobs[unique[i]], shard_of(unique[i]));
+      });
+
+  // Phase 2: group by stream signature (indices into `prepared`).
+  struct Group {
+    StreamKey key;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    const StreamKey key = key_of(prepared[i], wopt.steinke_moves);
+    Group* home = nullptr;
+    if (!key.loop_cache) {
+      for (Group& g : groups) {
+        if (g.key == key) {
+          home = &g;
+          break;
+        }
+      }
+    }
+    if (home == nullptr) {
+      groups.push_back(Group{key, {}});
+      home = &groups.back();
+    }
+    home->members.push_back(i);
+  }
+
+  // Phase 3: one task per group. Stack-eligible groups (LRU, >= 2 members,
+  // no loop cache) replay the shared stream once; everything else finishes
+  // through the ordinary per-configuration simulation.
+  const trace::BlockWalk& walk = bench_->execution().walk;
+  std::uint64_t stack_passes = 0;
+  std::uint64_t stack_hits = 0;
+  if (wopt.metrics != nullptr) {
+    for (const Group& g : groups) {
+      if (g.key.policy == cachesim::ReplacementPolicy::kLru &&
+          !g.key.loop_cache && g.members.size() >= 2) {
+        ++stack_passes;
+        stack_hits += g.members.size();
+        wopt.metrics->observe("sweep.configs_per_pass",
+                              static_cast<double>(g.members.size()));
+      }
+    }
+  }
+
+  using Finished = std::vector<std::pair<std::size_t, Outcome>>;
+  const std::vector<Finished> finished = runner.map<Finished>(
+      groups.size(),
+      [this, &groups, &prepared, &unique, &walk, &wopt, &shard_of](
+          std::size_t g, std::uint64_t) {
+        const Group& grp = groups[g];
+        Finished done;
+        done.reserve(grp.members.size());
+
+        const bool stack_eligible =
+            grp.key.policy == cachesim::ReplacementPolicy::kLru &&
+            !grp.key.loop_cache && grp.members.size() >= 2;
+        if (!stack_eligible) {
+          for (const std::size_t idx : grp.members) {
+            done.emplace_back(idx, bench_->finish_job(prepared[idx],
+                                                      shard_of(unique[idx])));
+          }
+          return done;
+        }
+
+        // One shared replay. The representative's trace program / layout /
+        // mask are byte-identical to every member's (that is what the group
+        // key guarantees), so the compiled stream is too.
+        const PreparedJob& rep = prepared[grp.members.front()];
+        const Bytes line_size = grp.key.line_size;
+        const trace::CompiledStream stream =
+            traceopt::compile_fetch_stream(*rep.tp, *rep.layout, line_size);
+
+        cachesim::ConfigFamily family;
+        family.line_size = line_size;
+        family.policy = grp.key.policy;
+        for (const std::size_t idx : grp.members) {
+          family.configs.push_back(prepared[idx].job.cache);
+        }
+        cachesim::StackSimulator sim(family);
+
+        std::uint64_t spm_words = 0;
+        std::uint64_t replayed_runs = 0;
+        for (const BasicBlockId bb : walk.seq) {
+          const MemoryObjectId mo = rep.tp->object_of(bb);
+          if (!rep.on_spm.empty() && rep.on_spm[mo.index()]) {
+            spm_words += stream.words_of(bb);
+            continue;
+          }
+          CASA_CHECK(stream.cached(bb),
+                     "cached block missing from the compiled layout");
+          replayed_runs += stream.runs(bb).size();
+          for (const trace::LineRun& run : stream.runs(bb)) {
+            sim.access_line(run.addr, run.words);
+          }
+        }
+
+        const memsim::LatencyParams lat;  // finish_job's defaults
+        memsim::SimCounters sampled;
+        for (const std::size_t idx : grp.members) {
+          const PreparedJob& pj = prepared[idx];
+          const memsim::SimCounters c = counters_from_stack(
+              sim.counters(pj.job.cache), spm_words, line_size, lat);
+          if (idx == grp.members.front()) sampled = c;
+          obs::MetricsRegistry* reg = shard_of(unique[idx]);
+          done.emplace_back(idx, bench_->finish_with_counters(pj, c, reg));
+          if (reg != nullptr) {
+            // Same stream.* telemetry run_lines emits per direct replay.
+            reg->add("stream.compiled_runs", stream.total_runs());
+            reg->add("stream.replayed_runs", replayed_runs);
+            reg->add("stream.replayed_words", c.cache_hits + c.cache_misses);
+          }
+        }
+
+        if (wopt.check_artifacts) {
+          // Cross-validate one sampled configuration per group against a
+          // direct simulation; a divergence fails the whole sweep.
+          const memsim::SimReport direct = memsim::simulate_spm_system(
+              *rep.tp, *rep.layout, walk, rep.on_spm, rep.job.cache,
+              rep.energies, memsim::SimOptions{});
+          check::CheckRunner chk(shard_of(unique[grp.members.front()]));
+          check::check_stack_sweep(sampled, direct.counters, rep.job.cache,
+                                   chk);
+          chk.throw_if_errors();
+        }
+        return done;
+      });
+
+  // Reassemble in job order: unique outcomes land at their indices,
+  // duplicates copy their representative's.
+  std::vector<Outcome> by_unique(unique.size());
+  for (const Finished& group_done : finished) {
+    for (const auto& [idx, outcome] : group_done) by_unique[idx] = outcome;
+  }
+  std::vector<std::size_t> unique_pos(jobs.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) unique_pos[unique[i]] = i;
+  std::vector<Outcome> results;
+  results.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    results.push_back(by_unique[unique_pos[rep_of[i]]]);
+  }
+
+  if (wopt.metrics != nullptr && sh != nullptr) {
+    wopt.metrics->merge_from(sh->merged());
+    wopt.metrics->add("runner.jobs", jobs.size());
+    wopt.metrics->add("runner.dedup_hits", jobs.size() - unique.size());
+    wopt.metrics->set_gauge("runner.threads",
+                            static_cast<double>(runner.threads()));
+    wopt.metrics->add("sweep.groups", groups.size());
+    wopt.metrics->add("sweep.stack_passes", stack_passes);
+    wopt.metrics->add("sweep.stack_hits", stack_hits);
+    wopt.metrics->add("sweep.fallback_configs", unique.size() - stack_hits);
+    wopt.metrics->add("sweep.dedup_hits", jobs.size() - unique.size());
+  }
+  return results;
+}
+
+}  // namespace casa::sim

@@ -4,9 +4,17 @@
 # Runs build/bench/cachesim_throughput with a short measurement window and
 # compares every benchmark's items_per_second against the checked-in
 # baseline (BENCH_cachesim.json at the repo root). Fails when any benchmark
-# regresses by more than TOLERANCE (default 20%). Also asserts the
-# compiled-stream speedup invariant: BM_ConflictGraphBuild must stay >= 2x
-# BM_ConflictGraphBuildWordRef.
+# regresses by more than TOLERANCE (default 20%). Also asserts two speedup
+# invariants: BM_ConflictGraphBuild must stay >= 2x
+# BM_ConflictGraphBuildWordRef (compiled streams), and BM_StackSweep must
+# stay >= 3x BM_StackSweepPerConfigRef (one-pass multi-config simulation).
+#
+# The baseline records the CMAKE_BUILD_TYPE of the build tree it was taken
+# from (read from CMakeCache.txt, NOT from google-benchmark's self-reported
+# library_build_type, which describes the benchmark library only). A
+# compare run against a tree built with a different CMAKE_BUILD_TYPE fails
+# immediately: Debug-vs-Release throughput deltas would otherwise drown any
+# real regression.
 #
 # Additionally runs the solver benchmark (build/bench/ilp_runtime,
 # BM_GenericIlpWarmStarted — the production solver configuration on the
@@ -48,6 +56,16 @@ baseline="$repo_root/BENCH_cachesim.json"
 min_time="${BENCH_MIN_TIME:-0.2}"
 tolerance="${BENCH_TOLERANCE:-0.20}"
 
+# The build tree's actual configuration. An unset CMAKE_BUILD_TYPE is
+# recorded as "" and only matches a baseline recorded the same way.
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  echo "bench_check: FAIL — no CMakeCache.txt in $build_dir" >&2
+  echo "  is --build-dir pointing at a configured build tree?" >&2
+  exit 1
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+              "$build_dir/CMakeCache.txt" | head -n 1)"
+
 # Missing prerequisites are gate failures, not soft skips: a CI lane that
 # forgets to build the bench binary or check in the baseline must go red,
 # loudly, naming what is missing.
@@ -77,7 +95,7 @@ echo "bench_check: running $solver_bin (--benchmark_filter=$solver_filter)"
               --benchmark_out_format=json > /dev/null
 
 if [[ "$update" -eq 1 ]]; then
-  python3 - "$run_json" "$solver_json" "$baseline" <<'EOF'
+  python3 - "$run_json" "$solver_json" "$baseline" "$build_type" <<'EOF'
 import json, sys
 run = json.load(open(sys.argv[1]))
 solver = json.load(open(sys.argv[2]))
@@ -85,10 +103,12 @@ out = {
     "_comment": ("Throughput baseline for tools/bench_check.sh. "
                  "items_per_second from ./build/bench/cachesim_throughput on "
                  "the recording host; regenerate with tools/bench_check.sh "
-                 "--update after intentional perf changes."),
+                 "--update after intentional perf changes. context.build_type "
+                 "is the recording tree's CMAKE_BUILD_TYPE; compares against "
+                 "a differently-configured tree fail outright."),
     "context": {
         "host_cpus": run["context"]["num_cpus"],
-        "build_type": run["context"].get("library_build_type", ""),
+        "build_type": sys.argv[4],
     },
     "benchmarks": {
         b["name"]: round(b["items_per_second"], 1)
@@ -104,7 +124,8 @@ out = {
 }
 json.dump(out, open(sys.argv[3], "w"), indent=2)
 print(f"bench_check: baseline updated ({len(out['benchmarks'])} throughput, "
-      f"{len(out['solver'])} solver entries)")
+      f"{len(out['solver'])} solver entries, "
+      f"build_type={sys.argv[4] or '(unset)'})")
 EOF
   exit 0
 fi
@@ -115,13 +136,32 @@ if [[ ! -f "$baseline" ]]; then
   exit 1
 fi
 
-python3 - "$run_json" "$solver_json" "$baseline" "$tolerance" <<'EOF'
+python3 - "$run_json" "$solver_json" "$baseline" "$tolerance" "$build_type" <<'EOF'
 import json, sys
 
 run = json.load(open(sys.argv[1]))
 solver_run = json.load(open(sys.argv[2]))
 base = json.load(open(sys.argv[3]))
 tol = float(sys.argv[4])
+build_type = sys.argv[5]
+
+# Hard gate, checked first: throughput numbers from differently-configured
+# trees are not comparable, so a build-type mismatch fails before any ratio
+# is even looked at.
+base_build_type = base.get("context", {}).get("build_type")
+if base_build_type is None:
+    print("bench_check: FAIL\n  - baseline records no context.build_type; "
+          "re-record it with tools/bench_check.sh --update")
+    sys.exit(1)
+if base_build_type != build_type:
+    print("bench_check: FAIL\n"
+          f"  - build type mismatch: baseline was recorded from a "
+          f"{base_build_type or '(unset)'} tree but this run used a "
+          f"{build_type or '(unset)'} tree\n"
+          "    compare with a matching -DCMAKE_BUILD_TYPE build, or "
+          "re-record via tools/bench_check.sh --update")
+    sys.exit(1)
+print(f"build type: {build_type or '(unset)'} (matches baseline)")
 
 current = {b["name"]: b["items_per_second"]
            for b in run["benchmarks"] if "items_per_second" in b}
@@ -164,6 +204,24 @@ elif current:
         if not current.get(name):
             failures.append(
                 f"{name}: required by the compiled-stream speedup "
+                "invariant but absent from this run")
+
+# One-pass sweep invariant: replaying a fetch stream once through the
+# stack-distance engine must stay >= 3x faster than simulating the same
+# 16-config family one Cache at a time.
+fast = current.get("BM_StackSweep")
+ref = current.get("BM_StackSweepPerConfigRef")
+if fast and ref:
+    speedup = fast / ref
+    print(f"one-pass sweep speedup (16-config family): {speedup:.2f}x")
+    if speedup < 3.0:
+        failures.append(
+            f"one-pass sweep speedup {speedup:.2f}x < 3.0x required")
+elif current:
+    for name in ("BM_StackSweep", "BM_StackSweepPerConfigRef"):
+        if not current.get(name):
+            failures.append(
+                f"{name}: required by the one-pass sweep speedup "
                 "invariant but absent from this run")
 
 # Solver gate: wall-clock within tolerance, explored nodes never above the
