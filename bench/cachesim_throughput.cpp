@@ -12,13 +12,17 @@
 // tools/bench_check.sh compares all of these against BENCH_cachesim.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "casa/cachesim/cache.hpp"
 #include "casa/cachesim/stack_sim.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/memsim/hierarchy.hpp"
+#include "casa/obs/span.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/support/rng.hpp"
 #include "casa/trace/executor.hpp"
@@ -289,6 +293,67 @@ void BM_ParallelSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(jobs.size()));
 }
 
+// Tracing overhead on the hot path. Each item is a small xorshift mix (a
+// stand-in for real per-phase work) plus, in the variants, an obs::Span.
+// With no registry and no tracer attached a Span must cost one relaxed
+// atomic load: tools/bench_check.sh gates Null/Off >= 0.85 (within noise).
+// The Tracing variant is informational — it prices a fully recorded span.
+inline std::uint64_t mix_block(std::uint64_t x) {
+  for (int i = 0; i < 32; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+void BM_TraceOverheadOff(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    x = mix_block(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraceOverheadNull(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    const obs::Span span(nullptr, "bench");  // no registry, no tracer
+    x = mix_block(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraceOverheadTracing(benchmark::State& state) {
+  // A fresh tracer every 2^14 spans keeps the ring from filling, so the
+  // timed region always prices real event recording, never the (cheaper)
+  // drop-newest path of a saturated buffer.
+  std::optional<obs::Tracer> tracer;
+  const auto reset = [&tracer] {
+    obs::Tracer::set_current(nullptr);
+    tracer.emplace();
+    obs::Tracer::set_current(&*tracer);
+  };
+  reset();
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  std::uint32_t spans = 0;
+  for (auto _ : state) {
+    if (++spans == (1u << 14)) {
+      state.PauseTiming();
+      reset();
+      spans = 0;
+      state.ResumeTiming();
+    }
+    const obs::Span span(nullptr, "bench");
+    x = mix_block(x);
+    benchmark::DoNotOptimize(x);
+  }
+  obs::Tracer::set_current(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_RawCacheAccess)->Arg(1)->Arg(2)->Arg(4);
@@ -304,4 +369,7 @@ BENCHMARK(BM_StackSweepPerConfigRef)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
     ->UseRealTime();
+BENCHMARK(BM_TraceOverheadOff);
+BENCHMARK(BM_TraceOverheadNull);
+BENCHMARK(BM_TraceOverheadTracing);
 BENCHMARK_MAIN();

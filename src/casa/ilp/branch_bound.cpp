@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "casa/ilp/presolve.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
 #include "casa/support/thread_pool.hpp"
 
@@ -92,6 +93,7 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
                               double seed_key,
                               std::atomic<double>* shared_key) {
   const bool maximize = m.sense() == Sense::kMaximize;
+  obs::Tracer* const tracer = obs::Tracer::current();
   const SimplexSolver lp(opt.lp);
   SimplexOptions retry_opt = opt.lp;
   retry_opt.max_iters = static_cast<std::uint64_t>(
@@ -111,6 +113,14 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
       break;
     }
     ++out.stats.nodes;
+    if (tracer != nullptr && (out.stats.nodes & 1023u) == 0) {
+      // Sampled search-progress counters: one pair of samples per 1024
+      // nodes keeps the timeline readable on million-node solves.
+      tracer->counter("ilp.nodes", static_cast<double>(out.stats.nodes));
+      tracer->counter("ilp.prunes",
+                      static_cast<double>(out.stats.bound_prunes +
+                                          out.stats.infeasible_prunes));
+    }
     Node node = std::move(stack.back());
     stack.pop_back();
     if (node.depth > out.stats.max_depth) {
@@ -175,6 +185,9 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
 
     if (branch_var < 0) {
       // Integral: new incumbent.
+      if (tracer != nullptr) {
+        tracer->instant("ilp.incumbent", relax.objective, "ilp");
+      }
       incumbent_key = key_of(maximize, relax.objective);
       out.best = std::move(relax);
       out.best_key = incumbent_key;
@@ -204,6 +217,14 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
       stack.push_back(std::move(down));
     }
   }
+  if (tracer != nullptr) {
+    // Final per-subtree totals, so prune pressure is visible even on
+    // subtrees too small to hit a 1024-node sample.
+    tracer->instant("ilp.prunes",
+                    static_cast<double>(out.stats.bound_prunes +
+                                        out.stats.infeasible_prunes),
+                    "ilp");
+  }
   return out;
 }
 
@@ -217,6 +238,7 @@ unsigned ceil_log2(unsigned n) {
 
 Solution BranchAndBound::solve(const Model& m) const {
   const bool maximize = m.sense() == Sense::kMaximize;
+  obs::Tracer* const tracer = obs::Tracer::current();
   last_stats_ = SolveStats{};
 
   Node root;
@@ -231,6 +253,9 @@ Solution BranchAndBound::solve(const Model& m) const {
   if (opt_.presolve) {
     const PresolveResult pre = presolve_box(m, root.lower, root.upper);
     last_stats_.presolve_fixed = pre.fixed;
+    if (tracer != nullptr) {
+      tracer->instant("ilp.presolve", static_cast<double>(pre.fixed), "ilp");
+    }
     if (!pre.feasible) {
       // Presolve infeasibility is a complete proof, not a truncation.
       Solution s;
@@ -331,6 +356,9 @@ Solution BranchAndBound::solve(const Model& m) const {
   }
   if (last_stats_.warm_start_used) {
     last_stats_.root_gap = std::max(0.0, incumbent_key - root_key);
+    if (tracer != nullptr) {
+      tracer->instant("ilp.warm_start", last_stats_.root_gap, "ilp");
+    }
     if (incumbent_key <= root_key + opt_.gap_tol) {
       // The warm incumbent already meets the root bound: proven optimal.
       incumbent.status = SolveStatus::kOptimal;
@@ -361,6 +389,10 @@ Solution BranchAndBound::solve(const Model& m) const {
         root.lower[j] = root.upper[j];  // pinned at its upper bound
         ++last_stats_.rc_fixed;
       }
+    }
+    if (tracer != nullptr) {
+      tracer->instant("ilp.rc_fixed",
+                      static_cast<double>(last_stats_.rc_fixed), "ilp");
     }
   }
 
@@ -406,7 +438,20 @@ Solution BranchAndBound::solve(const Model& m) const {
       opt_.share_incumbent ? &shared_key : nullptr;
 
   std::vector<SubtreeResult> results(n_subtrees);
+  // Each subtree runs inside an "ilp.subtree" trace span, flow-linked back
+  // to the span that launched the fan-out (flow tails are emitted here, on
+  // the solving thread, before any subtree starts).
+  std::vector<std::uint64_t> subtree_flows;
+  if (tracer != nullptr && depth > 0) {
+    subtree_flows.reserve(n_subtrees);
+    for (std::size_t i = 0; i < n_subtrees; ++i) {
+      subtree_flows.push_back(tracer->flow_begin("ilp.subtree", "ilp"));
+    }
+  }
   const auto run_subtree = [&](std::size_t i) {
+    const obs::TraceSpan scope(
+        depth > 0 ? tracer : nullptr, "ilp.subtree", "ilp",
+        subtree_flows.empty() ? 0 : subtree_flows[i]);
     Node sub = root;
     sub.depth = depth;
     for (unsigned k = 0; k < depth; ++k) {
@@ -421,7 +466,7 @@ Solution BranchAndBound::solve(const Model& m) const {
 
   const unsigned workers = support::ThreadPool::resolve(opt_.threads);
   if (workers > 1 && n_subtrees > 1) {
-    support::ThreadPool pool(workers);
+    support::ThreadPool pool(workers, "ilp");
     for (std::size_t i = 0; i < n_subtrees; ++i) {
       pool.submit([&run_subtree, i] { run_subtree(i); });
     }

@@ -1,7 +1,9 @@
 #include "casa/io/serialize.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -441,6 +443,131 @@ obs::MetricsSnapshot read_metrics_json(std::istream& is) {
     snap.distributions[k] = read_summary(v, k, "sum");
   }
   return snap;
+}
+
+namespace {
+
+std::uint64_t event_u64(const JsonValue& e, const std::string& key) {
+  const JsonValue& v = member(e, key);
+  CASA_CHECK(v.kind == JsonValue::Kind::kNumber,
+             "trace json: '" + key + "' must be a number");
+  return to_u64(v.str);
+}
+
+std::string event_str(const JsonValue& e, const std::string& key) {
+  const JsonValue& v = member(e, key);
+  CASA_CHECK(v.kind == JsonValue::Kind::kString,
+             "trace json: '" + key + "' must be a string");
+  return v.str;
+}
+
+/// Microsecond `ts` token back to nanoseconds. The writer emits exactly
+/// three decimals, so the round through double is exact for any trace
+/// shorter than ~104 days.
+std::uint64_t ts_to_ns(const JsonValue& e) {
+  const double micros = num(member(e, "ts"), "ts");
+  CASA_CHECK(micros >= 0.0, "trace json: negative ts");
+  return static_cast<std::uint64_t>(std::llround(micros * 1000.0));
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, const obs::TraceData& data,
+                      std::string_view tool) {
+  obs::write_trace_json(os, data, tool);
+}
+
+obs::TraceData read_trace_json(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const JsonValue root = JsonReader(std::move(buf).str()).parse();
+
+  const JsonValue& schema = member(root, "schema");
+  CASA_CHECK(schema.kind == JsonValue::Kind::kString &&
+                 schema.str == "casa-trace v1",
+             "trace json: unsupported schema '" + schema.str + "'");
+  const JsonValue& run = member(root, "run");
+  for (const char* key : {"tool", "git", "build_type", "compiler"}) {
+    CASA_CHECK(member(run, key).kind == JsonValue::Kind::kString,
+               std::string("trace json: run.") + key + " must be a string");
+  }
+
+  obs::TraceData data;
+  data.dropped = event_u64(root, "dropped");
+  const JsonValue& events = member(root, "traceEvents");
+  CASA_CHECK(events.kind == JsonValue::Kind::kArray,
+             "trace json: traceEvents must be an array");
+  std::map<std::uint64_t, char> flow_sides;  // id -> seen sides ('s'/'f'/'b')
+  for (const JsonValue& e : events.items) {
+    const std::string name = event_str(e, "name");
+    const std::string ph = event_str(e, "ph");
+    if (ph == "M") {
+      // Metadata: track labels and sort order; process_name is validated
+      // by presence of its args.name and otherwise dropped.
+      const JsonValue& args = member(e, "args");
+      if (name == "thread_name") {
+        obs::TraceTrack track;
+        track.tid = static_cast<std::uint32_t>(event_u64(e, "tid"));
+        track.label = event_str(args, "name");
+        data.tracks.push_back(std::move(track));
+      } else if (name == "thread_sort_index") {
+        const std::uint32_t tid =
+            static_cast<std::uint32_t>(event_u64(e, "tid"));
+        bool found = false;
+        for (obs::TraceTrack& track : data.tracks) {
+          if (track.tid == tid) {
+            track.worker_index =
+                static_cast<int>(event_u64(args, "sort_index")) - 1;
+            found = true;
+          }
+        }
+        CASA_CHECK(found,
+                   "trace json: thread_sort_index before thread_name for "
+                   "tid " + std::to_string(tid));
+      } else {
+        CASA_CHECK(name == "process_name",
+                   "trace json: unknown metadata event '" + name + "'");
+        event_str(args, "name");
+      }
+      continue;
+    }
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = event_str(e, "cat");
+    ev.tid = static_cast<std::uint32_t>(event_u64(e, "tid"));
+    ev.ts_ns = ts_to_ns(e);
+    if (ph == "B") {
+      ev.kind = obs::TraceEventKind::kBegin;
+    } else if (ph == "E") {
+      ev.kind = obs::TraceEventKind::kEnd;
+    } else if (ph == "i") {
+      ev.kind = obs::TraceEventKind::kInstant;
+      ev.value = num(member(member(e, "args"), "value"), name + ".value");
+    } else if (ph == "C") {
+      ev.kind = obs::TraceEventKind::kCounter;
+      ev.value = num(member(member(e, "args"), "value"), name + ".value");
+    } else if (ph == "s" || ph == "f") {
+      ev.kind = ph == "s" ? obs::TraceEventKind::kFlowBegin
+                          : obs::TraceEventKind::kFlowEnd;
+      ev.flow_id = event_u64(e, "id");
+      CASA_CHECK(ev.flow_id != 0, "trace json: flow id must be nonzero");
+      char& sides = flow_sides[ev.flow_id];
+      const char side = ph == "s" ? 's' : 'f';
+      sides = sides == 0 ? side : (sides != side ? 'b' : sides);
+    } else {
+      CASA_CHECK(false, "trace json: unknown ph '" + ph + "'");
+    }
+    data.events.push_back(std::move(ev));
+  }
+  // Flow tails and heads must pair up — except in a truncated trace, where
+  // drop-newest may legitimately have kept one side and lost the other.
+  if (data.dropped == 0) {
+    for (const auto& [id, sides] : flow_sides) {
+      CASA_CHECK(sides == 'b', "trace json: unpaired flow id " +
+                                   std::to_string(id));
+    }
+  }
+  return data;
 }
 
 }  // namespace casa::io

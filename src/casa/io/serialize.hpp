@@ -24,6 +24,7 @@
 #include "casa/conflict/conflict_graph.hpp"
 #include "casa/core/problem.hpp"
 #include "casa/obs/export.hpp"
+#include "casa/obs/tracer.hpp"
 
 namespace casa::io {
 
@@ -63,5 +64,18 @@ void write_metrics_json(std::ostream& os, const obs::MetricsSnapshot& snap,
 /// provenance and the per-task array have no snapshot representation and
 /// are validated but dropped.
 obs::MetricsSnapshot read_metrics_json(std::istream& is);
+
+/// Writes the `casa-trace v1` Chrome Trace Format artifact (delegates to
+/// the obs exporter, same pattern as write_metrics_json).
+void write_trace_json(std::ostream& os, const obs::TraceData& data,
+                      std::string_view tool = "casa");
+
+/// Reads an artifact written by write_trace_json back into a TraceData.
+/// Tracks, events (nanosecond timestamps — the microsecond `ts` fields
+/// carry three decimals) and the drop count restore bit-for-bit; run
+/// provenance is validated but dropped. Malformed input (wrong schema,
+/// unknown ph, missing fields, negative timestamps, unpaired flow ids)
+/// throws PreconditionError.
+obs::TraceData read_trace_json(std::istream& is);
 
 }  // namespace casa::io

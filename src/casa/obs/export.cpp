@@ -9,22 +9,20 @@ namespace casa::obs {
 
 namespace {
 
-/// Shortest representation that parses back to the same double.
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double back = 0.0;
-  std::sscanf(buf, "%lf", &back);
-  if (back == v) {
-    // Try to shorten: %.17g is sufficient but often not necessary.
-    for (int prec = 1; prec < 17; ++prec) {
-      char shorter[64];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-      std::sscanf(shorter, "%lf", &back);
-      if (back == v) return shorter;
-    }
+std::string fmt_double(double v) { return format_double(v); }
+
+/// CSV field quoting, needed only for the free-form provenance values
+/// (cxx_flags routinely contains commas); metric names and numbers never
+/// need it.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
   }
-  return buf;
+  out += '"';
+  return out;
 }
 
 void write_string(std::ostream& os, std::string_view s) {
@@ -76,6 +74,24 @@ void write_snapshot_body(std::ostream& os, const MetricsSnapshot& snap,
 }
 
 }  // namespace
+
+std::string format_double(double v) {
+  // Shortest representation that parses back to the same double: %.17g is
+  // always sufficient but often longer than necessary.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) return shorter;
+    }
+  }
+  return buf;
+}
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -141,8 +157,15 @@ void write_artifact_json(std::ostream& os, const MetricsSnapshot& snap,
   os << "\n}\n";
 }
 
-void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap) {
+void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap,
+                        const ArtifactOptions& opt) {
+  const BuildInfo& build = build_info();
   os << "kind,name,value\n";
+  os << "run,run.tool," << csv_field(opt.tool) << "\n";
+  os << "run,run.git," << csv_field(build.git_describe) << "\n";
+  os << "run,run.build_type," << csv_field(build.build_type) << "\n";
+  os << "run,run.cxx_flags," << csv_field(build.cxx_flags) << "\n";
+  os << "run,run.compiler," << csv_field(build.compiler) << "\n";
   for (const auto& [k, v] : snap.config) {
     os << "config," << k << "," << v << "\n";
   }
@@ -163,6 +186,27 @@ void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap) {
   for (const auto& [k, d] : snap.distributions) {
     emit_summary("distribution", k, d);
   }
+}
+
+ArtifactSinkPlan plan_artifact_sinks(const std::string& json_arg,
+                                     bool stdout_flag) {
+  ArtifactSinkPlan plan;
+  if (json_arg == "-") {
+    plan.to_stdout = true;
+    if (stdout_flag) {
+      plan.note =
+          "--metrics-stdout is redundant with --metrics-json -; "
+          "writing the artifact to stdout once";
+    }
+    return plan;
+  }
+  plan.to_stdout = stdout_flag;
+  plan.file = json_arg;
+  if (!plan.file.empty() && plan.to_stdout) {
+    plan.note = "writing the metrics artifact to both " + plan.file +
+                " and stdout";
+  }
+  return plan;
 }
 
 }  // namespace casa::obs

@@ -41,10 +41,33 @@ void write_artifact_json(std::ostream& os, const MetricsSnapshot& snap,
                          const ArtifactOptions& opt = {});
 
 /// Writes one flat `kind,name,value` row per metric (distribution and span
-/// summaries expand to .count/.sum/.min/.max rows).
-void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap);
+/// summaries expand to .count/.sum/.min/.max rows). Leads with the same
+/// run.* provenance block the JSON artifact carries (run.tool from `opt`,
+/// the rest from build_info()), so CSV artifacts are self-describing too.
+void write_artifact_csv(std::ostream& os, const MetricsSnapshot& snap,
+                        const ArtifactOptions& opt = {});
 
 /// JSON string escaping (shared with io::serialize's reader tests).
 std::string json_escape(std::string_view s);
+
+/// Shortest decimal representation that parses back to the same double
+/// (shared by the metrics and trace writers).
+std::string format_double(double v);
+
+/// Where `casa_cli` should write the metrics artifact, resolved from the
+/// `--metrics-json` value and the `--metrics-stdout` flag. `-` is an alias
+/// for stdout; each distinct sink is written exactly once, and `note` (when
+/// non-empty) is a diagnostic the caller should surface on stderr.
+struct ArtifactSinkPlan {
+  bool to_stdout = false;
+  std::string file;  ///< empty = no file sink
+  std::string note;  ///< redundant/overlapping flag combination, or empty
+
+  friend bool operator==(const ArtifactSinkPlan&,
+                         const ArtifactSinkPlan&) = default;
+};
+
+ArtifactSinkPlan plan_artifact_sinks(const std::string& json_arg,
+                                     bool stdout_flag);
 
 }  // namespace casa::obs

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "casa/obs/tracer.hpp"
+
 namespace casa::obs {
 
 namespace {
@@ -27,8 +29,14 @@ const Clock& steady_clock() {
 }
 
 Span::Span(MetricsRegistry* reg, std::string_view name, const Clock* clock)
-    : reg_(reg) {
-  if (reg_ == nullptr) return;  // inert: no clock read, no TLS push
+    : reg_(reg), tracer_(Tracer::current()) {
+  // Inert when nothing is attached: no clock read, no TLS push, no copies.
+  if (reg_ == nullptr && tracer_ == nullptr) return;
+  if (tracer_ != nullptr) {
+    name_.assign(name.data(), name.size());
+    tracer_->begin(name_);
+  }
+  if (reg_ == nullptr) return;  // trace-only: no path/nesting bookkeeping
   clock_ = clock != nullptr ? clock : &obs::steady_clock();
   parent_ = g_current_span;
   if (parent_ != nullptr) {
@@ -44,11 +52,13 @@ Span::Span(MetricsRegistry* reg, std::string_view name, const Clock* clock)
 }
 
 Span::~Span() {
-  if (reg_ == nullptr) return;
-  const std::uint64_t end_ns = clock_->now_ns();
-  g_current_span = parent_;
-  reg_->record_span(path_,
-                    static_cast<double>(end_ns - start_ns_) / 1e9);
+  if (reg_ != nullptr) {
+    const std::uint64_t end_ns = clock_->now_ns();
+    g_current_span = parent_;
+    reg_->record_span(path_,
+                      static_cast<double>(end_ns - start_ns_) / 1e9);
+  }
+  if (tracer_ != nullptr) tracer_->end(name_);
 }
 
 }  // namespace casa::obs

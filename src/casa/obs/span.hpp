@@ -15,7 +15,11 @@
 //
 // Nesting is tracked per thread, which matches how the pipeline runs: one
 // flow per task, one task per thread. Spans on different threads never see
-// each other as parents (their paths simply start at their own roots).
+// each other as parents (their paths simply start at their own roots) —
+// the timeline view stitches them back together: when a Tracer is attached
+// (Tracer::set_current), every Span additionally emits begin/end trace
+// events under its leaf name, whether or not a registry is present, and
+// the sim/ilp layers link cross-thread work with flow events.
 #pragma once
 
 #include <atomic>
@@ -54,10 +58,15 @@ class FakeClock : public Clock {
   std::atomic<std::uint64_t> now_{0};
 };
 
+class Tracer;
+
 class Span {
  public:
-  /// Starts timing `name` against `reg` (null = inert). `clock` defaults to
-  /// the steady clock.
+  /// Starts timing `name` against `reg` (null = skip the metrics path) and
+  /// the current Tracer (null = skip the trace path); with neither
+  /// attached the Span is fully inert. `clock` defaults to the steady
+  /// clock and governs the metrics path only — the tracer stamps events
+  /// with its own injected clock.
   Span(MetricsRegistry* reg, std::string_view name,
        const Clock* clock = nullptr);
   ~Span();
@@ -65,13 +74,16 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  /// Full slash-joined path ("run_casa/allocation"); empty when inert.
+  /// Full slash-joined path ("run_casa/allocation"); empty when inert or
+  /// when only the tracer is attached.
   const std::string& path() const { return path_; }
 
  private:
   MetricsRegistry* reg_ = nullptr;
   const Clock* clock_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::string path_;
+  std::string name_;  ///< leaf name, kept for the trace end event
   std::uint64_t start_ns_ = 0;
   Span* parent_ = nullptr;
 };

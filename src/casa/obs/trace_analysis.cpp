@@ -1,0 +1,259 @@
+#include "casa/obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+namespace casa::obs {
+
+namespace {
+
+struct SpanRec {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  int parent = -1;             ///< same-thread enclosing span
+  bool closed = false;
+  std::uint64_t stack_child_ns = 0;       ///< same-thread direct children
+  std::vector<int> children;   ///< same-thread direct + flow-linked
+};
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const TraceData& data) {
+  TraceAnalysis out;
+  out.events = data.events.size();
+  out.dropped = data.dropped;
+  if (!data.events.empty()) {
+    out.wall_ns = data.events.back().ts_ns;  // events are sorted by ts
+  }
+
+  // Pass 1: rebuild spans per thread from the B/E stack, and resolve flow
+  // links — a flow tail (s) hangs off the span open where it was emitted, a
+  // flow head (f) attaches to the next span that begins on its thread.
+  std::vector<SpanRec> spans;
+  std::unordered_map<std::uint32_t, std::vector<int>> open;  // per-tid stack
+  std::unordered_map<std::uint32_t, std::uint64_t> pending_flow;
+  std::unordered_map<std::uint64_t, int> flow_tail;  // id -> parent span
+  std::unordered_map<std::uint64_t, int> flow_head;  // id -> child span
+  for (const TraceEvent& e : data.events) {
+    switch (e.kind) {
+      case TraceEventKind::kBegin: {
+        SpanRec rec;
+        rec.name = e.name;
+        rec.tid = e.tid;
+        rec.start = e.ts_ns;
+        std::vector<int>& stack = open[e.tid];
+        rec.parent = stack.empty() ? -1 : stack.back();
+        const int idx = static_cast<int>(spans.size());
+        spans.push_back(std::move(rec));
+        if (spans[idx].parent >= 0) {
+          spans[spans[idx].parent].children.push_back(idx);
+        }
+        stack.push_back(idx);
+        const auto pf = pending_flow.find(e.tid);
+        if (pf != pending_flow.end()) {
+          flow_head[pf->second] = idx;
+          pending_flow.erase(pf);
+        }
+        break;
+      }
+      case TraceEventKind::kEnd: {
+        std::vector<int>& stack = open[e.tid];
+        if (stack.empty()) {
+          ++out.unmatched_ends;
+          break;
+        }
+        SpanRec& rec = spans[static_cast<std::size_t>(stack.back())];
+        stack.pop_back();
+        rec.end = e.ts_ns;
+        rec.closed = true;
+        if (rec.parent >= 0) {
+          spans[rec.parent].stack_child_ns += rec.end - rec.start;
+        }
+        break;
+      }
+      case TraceEventKind::kFlowBegin: {
+        const std::vector<int>& stack = open[e.tid];
+        if (!stack.empty()) flow_tail[e.flow_id] = stack.back();
+        break;
+      }
+      case TraceEventKind::kFlowEnd:
+        pending_flow[e.tid] = e.flow_id;
+        break;
+      case TraceEventKind::kInstant:
+      case TraceEventKind::kCounter:
+        break;
+    }
+  }
+  // Spans still open close at the trace end (their self time below stays
+  // well-defined); the count is surfaced so a truncated trace is visible.
+  for (SpanRec& rec : spans) {
+    if (!rec.closed) {
+      rec.end = std::max(out.wall_ns, rec.start);
+      ++out.unmatched_begins;
+      if (rec.parent >= 0) {
+        spans[rec.parent].stack_child_ns += rec.end - rec.start;
+      }
+    }
+  }
+  out.spans = spans.size();
+
+  // Attach flow children: the span that picked the work up becomes a child
+  // of the span that scheduled it, unless the two are already related
+  // through the same-thread stack (a serial fan-out).
+  for (const auto& [id, child] : flow_head) {
+    const auto tail = flow_tail.find(id);
+    if (tail == flow_tail.end()) continue;
+    const int parent = tail->second;
+    if (parent == child || spans[child].parent == parent) continue;
+    spans[parent].children.push_back(child);
+  }
+
+  // Phase aggregates.
+  std::map<std::string, PhaseStat> by_name;
+  for (const SpanRec& rec : spans) {
+    PhaseStat& p = by_name[rec.name];
+    p.name = rec.name;
+    ++p.count;
+    const std::uint64_t dur = rec.end - rec.start;
+    p.total_ns += dur;
+    p.self_ns += dur > rec.stack_child_ns ? dur - rec.stack_child_ns : 0;
+  }
+  for (auto& [name, stat] : by_name) out.phases.push_back(stat);
+  std::stable_sort(out.phases.begin(), out.phases.end(),
+                   [](const PhaseStat& a, const PhaseStat& b) {
+                     return a.self_ns > b.self_ns;
+                   });
+
+  // Per-thread utilization: busy = the union of root-level span time on the
+  // thread (root spans never overlap — they obey the same stack).
+  std::unordered_map<std::uint32_t, std::uint64_t> busy;
+  for (const SpanRec& rec : spans) {
+    if (rec.parent < 0) busy[rec.tid] += rec.end - rec.start;
+  }
+  for (const TraceTrack& track : data.tracks) {
+    TrackStat t;
+    t.tid = track.tid;
+    t.label = track.label;
+    t.busy_ns = busy.count(track.tid) != 0 ? busy[track.tid] : 0;
+    t.utilization = out.wall_ns > 0 ? static_cast<double>(t.busy_ns) /
+                                          static_cast<double>(out.wall_ns)
+                                    : 0.0;
+    out.tracks.push_back(std::move(t));
+  }
+  std::stable_sort(out.tracks.begin(), out.tracks.end(),
+                   [](const TrackStat& a, const TrackStat& b) {
+                     return a.tid < b.tid;
+                   });
+
+  // Critical path: start from the latest-finishing root span and walk
+  // backward, always descending into the child that finished last before
+  // the current frontier. The chosen child intervals are disjoint and
+  // inside the parent, so the parent's self slice is nonnegative and the
+  // slices telescope to exactly the root's duration.
+  int root = -1;
+  for (int i = 0; i < static_cast<int>(spans.size()); ++i) {
+    if (spans[i].parent >= 0) continue;
+    if (root < 0 || spans[i].end > spans[root].end ||
+        (spans[i].end == spans[root].end && spans[i].tid < spans[root].tid)) {
+      root = i;
+    }
+  }
+  if (root >= 0) {
+    out.critical_path_ns = spans[root].end - spans[root].start;
+    // Recursive descent with an explicit work list of (span, frontier).
+    struct Frame {
+      int span;
+      std::uint64_t frontier;
+    };
+    std::vector<Frame> work{{root, spans[root].end}};
+    while (!work.empty()) {
+      const Frame frame = work.back();
+      work.pop_back();
+      const SpanRec& s = spans[frame.span];
+      std::uint64_t pos = frame.frontier;
+      std::vector<int> chain;  // latest first
+      for (;;) {
+        int pick = -1;
+        for (const int c : s.children) {
+          const SpanRec& cand = spans[c];
+          if (cand.end > pos || cand.start < s.start) continue;
+          if (pick < 0 || cand.end > spans[pick].end ||
+              (cand.end == spans[pick].end &&
+               cand.start > spans[pick].start)) {
+            pick = c;
+          }
+        }
+        if (pick < 0) break;
+        chain.push_back(pick);
+        pos = spans[pick].start;
+      }
+      std::uint64_t covered = 0;
+      for (const int c : chain) covered += spans[c].end - spans[c].start;
+      const std::uint64_t span_total = frame.frontier - s.start;
+      CriticalStep step;
+      step.name = s.name;
+      step.tid = s.tid;
+      step.start_ns = s.start;
+      step.end_ns = frame.frontier;
+      step.self_ns = span_total > covered ? span_total - covered : 0;
+      out.critical_path.push_back(std::move(step));
+      // Recurse earliest-last so the work stack pops children in
+      // chronological order right after their parent.
+      for (const int c : chain) {
+        work.push_back(Frame{c, spans[c].end});
+      }
+    }
+  }
+  return out;
+}
+
+void write_trace_summary(std::ostream& os, const TraceAnalysis& a) {
+  os << "casa-trace summary: " << a.events << " events, " << a.spans
+     << " spans, " << a.tracks.size() << " tracks, wall " << fmt_ms(a.wall_ns)
+     << ", dropped " << a.dropped << "\n";
+  if (a.unmatched_begins > 0 || a.unmatched_ends > 0) {
+    os << "  (" << a.unmatched_begins << " unmatched begins, "
+       << a.unmatched_ends << " unmatched ends)\n";
+  }
+  os << "per-thread utilization:\n";
+  for (const TrackStat& t : a.tracks) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%5.1f%%", 100.0 * t.utilization);
+    os << "  tid " << t.tid << "  " << t.label << "  busy "
+       << fmt_ms(t.busy_ns) << "  " << pct << "\n";
+  }
+  os << "phases (count, total, self):\n";
+  for (const PhaseStat& p : a.phases) {
+    os << "  " << p.name << "  " << p.count << "  " << fmt_ms(p.total_ns)
+       << "  " << fmt_ms(p.self_ns) << "\n";
+  }
+  std::uint64_t path_threads = 0;
+  {
+    std::vector<std::uint32_t> tids;
+    for (const CriticalStep& s : a.critical_path) tids.push_back(s.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    path_threads = tids.size();
+  }
+  os << "critical path: " << a.critical_path_ns << " ns ("
+     << fmt_ms(a.critical_path_ns) << ") across " << path_threads
+     << " thread(s)\n";
+  for (const CriticalStep& s : a.critical_path) {
+    os << "  " << s.name << "  tid " << s.tid << "  self "
+       << fmt_ms(s.self_ns) << "\n";
+  }
+}
+
+}  // namespace casa::obs

@@ -1,0 +1,80 @@
+// Timeline analysis over a drained trace: per-phase self/total time,
+// per-thread utilization, and the critical path through the event DAG.
+//
+// Durations are rebuilt from the begin/end events per thread (stack
+// discipline); cross-thread edges come from flow events (a flow head
+// immediately precedes the begin of the span that picked the work up, which
+// is exactly what TraceSpan emits). The critical path walks backward from
+// the latest-finishing root span, at each point descending into the child —
+// same-thread nested or flow-linked — that finished last, so the path's
+// total length always equals the root span's wall time: on a
+// single-threaded run it is the flow span's duration split into the
+// self-times of its stages.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "casa/obs/tracer.hpp"
+
+namespace casa::obs {
+
+/// Aggregate over every span with the same (leaf) name. `self_ns` excludes
+/// time covered by same-thread direct children — flow children run
+/// elsewhere and are not subtracted.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+
+  friend bool operator==(const PhaseStat&, const PhaseStat&) = default;
+};
+
+/// One thread's share of the trace: busy = time covered by its root-level
+/// spans, utilization = busy / trace wall time.
+struct TrackStat {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::uint64_t busy_ns = 0;
+  double utilization = 0.0;
+
+  friend bool operator==(const TrackStat&, const TrackStat&) = default;
+};
+
+/// One segment of the critical path. `self_ns` is the slice of the path
+/// attributed to this span itself (not covered by a deeper child on the
+/// path); the segments' self times sum to the path length exactly.
+struct CriticalStep {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t self_ns = 0;
+
+  friend bool operator==(const CriticalStep&, const CriticalStep&) = default;
+};
+
+struct TraceAnalysis {
+  std::uint64_t events = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t unmatched_begins = 0;  ///< closed at the trace end
+  std::uint64_t unmatched_ends = 0;    ///< dropped
+  std::uint64_t dropped = 0;           ///< ring-buffer drops (from the trace)
+  std::uint64_t wall_ns = 0;           ///< first event to last event
+  std::uint64_t critical_path_ns = 0;  ///< equals the root span's duration
+  std::vector<PhaseStat> phases;       ///< sorted by self time, descending
+  std::vector<TrackStat> tracks;       ///< by tid
+  std::vector<CriticalStep> critical_path;  ///< root first, then descent order
+};
+
+TraceAnalysis analyze_trace(const TraceData& data);
+
+/// Human-readable report (`casa_cli --trace-summary`). The critical path
+/// line carries the exact nanosecond length so scripts can compare it
+/// against span durations from the artifact.
+void write_trace_summary(std::ostream& os, const TraceAnalysis& analysis);
+
+}  // namespace casa::obs

@@ -6,6 +6,7 @@
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
 #include "casa/obs/span.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/sim/parallel_runner.hpp"
 #include "casa/support/error.hpp"
 #include "casa/traceopt/layout.hpp"
@@ -475,6 +476,9 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
                                          sim::MetricsShards* shards) const {
   CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
              "MetricsShards size must match the job count");
+  // Root trace span for the whole batch: every per-task flow tail the
+  // runner emits lands inside it, so worker timelines link back here.
+  const obs::TraceSpan batch(obs::Tracer::current(), "run_many", "sim");
   sim::RunnerOptions ropt;
   ropt.threads = threads;
   const sim::ParallelRunner runner(ropt);

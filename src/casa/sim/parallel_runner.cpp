@@ -15,7 +15,7 @@ std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t index) {
 ParallelRunner::ParallelRunner(RunnerOptions opt)
     : opt_(opt), threads_(support::ThreadPool::resolve(opt.threads)) {
   if (threads_ > 1) {
-    pool_ = std::make_unique<support::ThreadPool>(threads_);
+    pool_ = std::make_unique<support::ThreadPool>(threads_, "sim");
   }
 }
 

@@ -10,6 +10,12 @@
 // interleaving would be schedule-dependent). Each task instead receives a
 // private seed derived from (base seed, index) via task_seed() — a
 // SplitMix64 mix, so consecutive indices get well-separated streams.
+//
+// When a Tracer is attached (obs::Tracer::set_current), every task runs
+// inside a "task" trace span, and pooled tasks are flow-linked back to the
+// span that called map() — the submitting thread emits a flow tail per
+// task, the worker emits the head — so worker timelines connect to their
+// parent flow instead of starting at their own roots.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "casa/obs/metrics.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/support/thread_pool.hpp"
 
 namespace casa::sim {
@@ -72,14 +79,27 @@ class ParallelRunner {
   template <typename R, typename F>
   std::vector<R> map(std::size_t count, F&& fn) const {
     std::vector<R> results(count);
+    obs::Tracer* const tracer = obs::Tracer::current();
     if (threads_ == 1 || count <= 1) {
       for (std::size_t i = 0; i < count; ++i) {
+        const obs::TraceSpan task(tracer, "task", "sim");
         results[i] = fn(i, task_seed(opt_.seed, i));
       }
       return results;
     }
+    // Flow tails are emitted on this thread, inside whatever span encloses
+    // the map() call; each worker's "task" span carries the matching head.
+    std::vector<std::uint64_t> flows;
+    if (tracer != nullptr) {
+      flows.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        flows.push_back(tracer->flow_begin("task", "sim"));
+      }
+    }
     for (std::size_t i = 0; i < count; ++i) {
-      pool_->submit([&results, &fn, this, i] {
+      pool_->submit([&results, &fn, &flows, tracer, this, i] {
+        const obs::TraceSpan task(tracer, "task", "sim",
+                                  flows.empty() ? 0 : flows[i]);
         results[i] = fn(i, task_seed(opt_.seed, i));
       });
     }

@@ -6,6 +6,7 @@
 #include "casa/cachesim/stack_sim.hpp"
 #include "casa/check/rules.hpp"
 #include "casa/check/runner.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
 #include "casa/trace/compiled_stream.hpp"
 #include "casa/traceopt/layout.hpp"
@@ -83,6 +84,9 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
                                        MetricsShards* shards) const {
   CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
              "MetricsShards size must match the job count");
+  // Root trace span for the sweep; the prepare and group-task flows the
+  // runner fans out are flow-linked back into it.
+  const obs::TraceSpan sweep_scope(obs::Tracer::current(), "sweep", "sim");
   const report::WorkbenchOptions& wopt = bench_->options();
   RunnerOptions ropt;
   ropt.threads = threads;
@@ -186,6 +190,12 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
         // One shared replay. The representative's trace program / layout /
         // mask are byte-identical to every member's (that is what the group
         // key guarantees), so the compiled stream is too.
+        obs::Tracer* const tracer = obs::Tracer::current();
+        const obs::TraceSpan pass(tracer, "sweep.stack_pass", "sim");
+        if (tracer != nullptr) {
+          tracer->instant("sweep.configs_per_pass",
+                          static_cast<double>(grp.members.size()), "sim");
+        }
         const PreparedJob& rep = prepared[grp.members.front()];
         const Bytes line_size = grp.key.line_size;
         const trace::CompiledStream stream =

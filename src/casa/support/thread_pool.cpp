@@ -1,6 +1,23 @@
 #include "casa/support/thread_pool.hpp"
 
+#include <utility>
+
 namespace casa::support {
+
+namespace {
+
+ThreadIdent& ident_slot() {
+  thread_local ThreadIdent ident;
+  return ident;
+}
+
+}  // namespace
+
+const ThreadIdent& this_thread_ident() { return ident_slot(); }
+
+void set_this_thread_ident(int worker_index, std::string name) {
+  ident_slot() = ThreadIdent{worker_index, std::move(name)};
+}
 
 unsigned ThreadPool::resolve(unsigned threads) {
   if (threads != 0) return threads;
@@ -8,11 +25,12 @@ unsigned ThreadPool::resolve(unsigned threads) {
   return hw != 0 ? hw : 1;
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, std::string name)
+    : name_(std::move(name)) {
   const unsigned n = resolve(threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -45,7 +63,9 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  set_this_thread_ident(static_cast<int>(index),
+                        name_ + "-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

@@ -14,15 +14,33 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace casa::support {
 
+/// Who the current thread is, for observability track labels. Pool workers
+/// carry their pool name and a stable 0-based index ("sim-0", "sim-1", ...);
+/// threads that never set an ident report index -1 and an empty name (the
+/// consumer picks its own fallback label).
+struct ThreadIdent {
+  int worker_index = -1;
+  std::string name;
+};
+
+/// The calling thread's ident (set once by ThreadPool workers at startup).
+const ThreadIdent& this_thread_ident();
+
+/// Overrides the calling thread's ident. Exposed so tests and non-pool
+/// threads (a main driver, say) can label their own tracks.
+void set_this_thread_ident(int worker_index, std::string name);
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means hardware_concurrency (at least 1).
-  explicit ThreadPool(unsigned threads = 0);
+  /// Workers ident themselves as "<name>-<index>" (see ThreadIdent).
+  explicit ThreadPool(unsigned threads = 0, std::string name = "worker");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -43,8 +61,9 @@ class ThreadPool {
   static unsigned resolve(unsigned threads);
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
+  std::string name_;
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "casa/obs/export.hpp"
 #include "casa/support/args.hpp"
 #include "casa/support/error.hpp"
 
@@ -123,6 +124,44 @@ TEST(Args, RejectsPositionalArguments) {
 TEST(Args, LastValueWins) {
   ArgParser a({"--spm=128", "--spm=512"});
   EXPECT_EQ(a.get_u64("spm", 0), 512u);
+}
+
+// casa_cli feeds --metrics-json / --metrics-stdout straight into
+// obs::plan_artifact_sinks; cover the full flag-combination matrix here so
+// the dedupe contract ("each distinct sink written exactly once") is pinned
+// at the parsing layer.
+TEST(ArgsMetricsSinks, MetricsJsonDashBehavesLikeMetricsStdout) {
+  ArgParser a({"--metrics-json=-"});
+  const obs::ArtifactSinkPlan plan = obs::plan_artifact_sinks(
+      a.get("metrics-json", ""), a.get_flag("metrics-stdout"));
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_TRUE(plan.file.empty());
+  EXPECT_TRUE(plan.note.empty());
+}
+
+TEST(ArgsMetricsSinks, RedundantDashPlusStdoutWritesOnceAndNotes) {
+  ArgParser a({"--metrics-json=-", "--metrics-stdout"});
+  const obs::ArtifactSinkPlan plan = obs::plan_artifact_sinks(
+      a.get("metrics-json", ""), a.get_flag("metrics-stdout"));
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_TRUE(plan.file.empty());  // stdout is ONE sink, not two writes
+  EXPECT_FALSE(plan.note.empty());
+}
+
+TEST(ArgsMetricsSinks, FileAndStdoutAreDistinctSinks) {
+  ArgParser a({"--metrics-json=m.json", "--metrics-stdout"});
+  const obs::ArtifactSinkPlan plan = obs::plan_artifact_sinks(
+      a.get("metrics-json", ""), a.get_flag("metrics-stdout"));
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_EQ(plan.file, "m.json");
+}
+
+TEST(ArgsMetricsSinks, NeitherFlagMeansNoSinks) {
+  ArgParser a({});
+  const obs::ArtifactSinkPlan plan = obs::plan_artifact_sinks(
+      a.get("metrics-json", ""), a.get_flag("metrics-stdout"));
+  EXPECT_FALSE(plan.to_stdout);
+  EXPECT_TRUE(plan.file.empty());
 }
 
 }  // namespace

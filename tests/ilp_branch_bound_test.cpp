@@ -2,6 +2,7 @@
 
 #include "casa/ilp/branch_bound.hpp"
 #include "casa/ilp/model.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/support/rng.hpp"
 
 namespace casa::ilp {
@@ -402,6 +403,82 @@ TEST(BranchAndBoundParallel, DerivedDepthKeepsObjectiveAcrossThreadCounts) {
     } else {
       EXPECT_EQ(s.objective, first);
     }
+  }
+}
+
+TEST(BranchAndBoundParallel, EmitsSubtreeTraceEventsWhenTracerAttached) {
+  // Same instance as ThreadCountInvariantSolutionsAndStats: its fan-out is
+  // pinned at 2^3 = 8 subtrees there, so the trace must show exactly one
+  // span + one flow pair per subtree, and every search milestone the stats
+  // report must have a matching timeline event.
+  Rng rng(99);
+  Model m;
+  LinExpr cap, cap2, obj;
+  for (int j = 0; j < 16; ++j) {
+    const VarId x = m.add_binary("x" + std::to_string(j));
+    cap.add(x, 2.0 + rng.next_unit() * 6.0);
+    cap2.add(x, 1.0 + rng.next_unit() * 4.0);
+    obj.add(x, 1.0 + rng.next_unit() * 9.0);
+  }
+  m.add_constraint("cap", std::move(cap), Rel::kLessEq, 25.0);
+  m.add_constraint("cap2", std::move(cap2), Rel::kLessEq, 15.0);
+  m.set_objective(Sense::kMaximize, std::move(obj));
+
+  obs::Tracer tracer;
+  obs::Tracer::set_current(&tracer);
+  BranchAndBoundOptions opt;
+  opt.threads = 2;
+  opt.subtree_depth = 3;
+  BranchAndBound solver(opt);
+  const Solution s = solver.solve(m);
+  obs::Tracer::set_current(nullptr);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  const SolveStats stats = solver.last_stats();
+  ASSERT_EQ(stats.subtrees, 8u);
+
+  const obs::TraceData data = tracer.drain();
+  std::uint64_t begins = 0, ends = 0, tails = 0, heads = 0, incumbents = 0,
+                presolves = 0, warms = 0, rc_fixes = 0;
+  for (const obs::TraceEvent& e : data.events) {
+    if (e.name == "ilp.subtree") {
+      if (e.kind == obs::TraceEventKind::kBegin) ++begins;
+      if (e.kind == obs::TraceEventKind::kEnd) ++ends;
+      if (e.kind == obs::TraceEventKind::kFlowBegin) ++tails;
+      if (e.kind == obs::TraceEventKind::kFlowEnd) ++heads;
+    }
+    if (e.kind == obs::TraceEventKind::kInstant) {
+      if (e.name == "ilp.incumbent") ++incumbents;
+      if (e.name == "ilp.presolve") ++presolves;
+      if (e.name == "ilp.warm_start") ++warms;
+      if (e.name == "ilp.rc_fixed") ++rc_fixes;
+    }
+  }
+  EXPECT_EQ(begins, stats.subtrees);
+  EXPECT_EQ(ends, stats.subtrees);
+  EXPECT_EQ(tails, stats.subtrees);
+  EXPECT_EQ(heads, stats.subtrees);
+  EXPECT_EQ(incumbents, stats.incumbent_updates);
+  EXPECT_EQ(presolves, 1u);  // presolve is on by default
+  EXPECT_EQ(warms, stats.warm_start_used ? 1u : 0u);
+  if (stats.warm_start_used) EXPECT_EQ(rc_fixes, 1u);
+}
+
+TEST(BranchAndBoundParallel, SerialSolveLeavesNoSubtreeSpans) {
+  // subtree_depth 0 keeps the search in the root subtree: no fan-out, so
+  // no ilp.subtree spans and no flows — the trace stays lean by default.
+  Model m = rounding_trap();
+  obs::Tracer tracer;
+  obs::Tracer::set_current(&tracer);
+  BranchAndBoundOptions opt;
+  opt.threads = 1;
+  opt.subtree_depth = 0;
+  const Solution s = BranchAndBound(opt).solve(m);
+  obs::Tracer::set_current(nullptr);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+
+  for (const obs::TraceEvent& e : tracer.drain().events) {
+    EXPECT_NE(e.name, "ilp.subtree");
+    EXPECT_NE(e.kind, obs::TraceEventKind::kFlowBegin);
   }
 }
 

@@ -138,5 +138,120 @@ TEST(Io, WhitespaceAndBlankLinesTolerated) {
   EXPECT_NO_THROW(read_conflict_graph(padded));
 }
 
+// ---------------------------------------------------------------------------
+// casa-trace v1.
+
+obs::TraceEvent trace_event(obs::TraceEventKind kind, std::uint32_t tid,
+                            std::uint64_t ts_ns, std::string name,
+                            std::string cat) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  return e;
+}
+
+// Every event kind, two tracks (one pool worker, one plain thread), a paired
+// flow, and odd nanosecond timestamps that stress the microsecond encoding.
+obs::TraceData sample_trace() {
+  obs::TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  data.tracks.push_back({1, 0, "sim-0"});
+  using K = obs::TraceEventKind;
+  data.events.push_back(trace_event(K::kBegin, 0, 0, "run_casa", "phase"));
+  obs::TraceEvent tail = trace_event(K::kFlowBegin, 0, 1'001, "task", "flow");
+  tail.flow_id = 9;
+  data.events.push_back(tail);
+  obs::TraceEvent head = trace_event(K::kFlowEnd, 1, 2'003, "task", "flow");
+  head.flow_id = 9;
+  data.events.push_back(head);
+  data.events.push_back(trace_event(K::kBegin, 1, 2'003, "task", "sim"));
+  obs::TraceEvent inst =
+      trace_event(K::kInstant, 1, 2'500, "ilp.incumbent", "ilp");
+  inst.value = -12.75;
+  data.events.push_back(inst);
+  obs::TraceEvent ctr = trace_event(K::kCounter, 1, 2'750, "ilp.nodes", "ilp");
+  ctr.value = 4096;
+  data.events.push_back(ctr);
+  data.events.push_back(trace_event(K::kEnd, 1, 123'456'789, "task", "sim"));
+  data.events.push_back(
+      trace_event(K::kEnd, 0, 987'654'321, "run_casa", "phase"));
+  return data;
+}
+
+std::string trace_text(const obs::TraceData& data) {
+  std::ostringstream os;
+  io::write_trace_json(os, data, "io_test");
+  return os.str();
+}
+
+TEST(IoTrace, RoundTripIsExact) {
+  const obs::TraceData data = sample_trace();
+  std::istringstream is(trace_text(data));
+  const obs::TraceData back = read_trace_json(is);
+  EXPECT_EQ(back, data);
+}
+
+TEST(IoTrace, RejectsWrongSchema) {
+  std::string text = trace_text(sample_trace());
+  const auto pos = text.find("casa-trace v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "casa-trace v9");
+  std::istringstream is(text);
+  EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
+TEST(IoTrace, RejectsUnknownPhase) {
+  std::string text = trace_text(sample_trace());
+  const auto pos = text.find("\"ph\": \"C\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"ph\": \"X\"");
+  std::istringstream is(text);
+  EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
+TEST(IoTrace, RejectsMissingTimestamp) {
+  std::string text = trace_text(sample_trace());
+  const auto pos = text.find("\"ts\": ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "\"xs\": ");
+  std::istringstream is(text);
+  EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
+TEST(IoTrace, RejectsMissingRunProvenance) {
+  std::string text = trace_text(sample_trace());
+  const auto pos = text.find("\"tool\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "\"fool\"");
+  std::istringstream is(text);
+  EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
+TEST(IoTrace, RejectsUnpairedFlowInCompleteTrace) {
+  obs::TraceData data = sample_trace();
+  // Drop the flow head: with dropped == 0 the trace claims to be complete,
+  // so the dangling tail is corruption, not truncation.
+  std::erase_if(data.events, [](const obs::TraceEvent& e) {
+    return e.kind == obs::TraceEventKind::kFlowEnd;
+  });
+  std::istringstream complete(trace_text(data));
+  EXPECT_THROW(read_trace_json(complete), PreconditionError);
+
+  // The same artifact with a nonzero drop count is legitimate truncation.
+  data.dropped = 1;
+  std::istringstream truncated(trace_text(data));
+  EXPECT_NO_THROW(read_trace_json(truncated));
+}
+
+TEST(IoTrace, RejectsTrailingGarbage) {
+  std::string text = trace_text(sample_trace());
+  text += "}";
+  std::istringstream is(text);
+  EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
 }  // namespace
 }  // namespace casa::io

@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "casa/io/serialize.hpp"
 #include "casa/obs/export.hpp"
 #include "casa/obs/metrics.hpp"
 #include "casa/obs/span.hpp"
+#include "casa/obs/trace_analysis.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
 #include "casa/support/thread_pool.hpp"
 
@@ -290,6 +295,389 @@ TEST(Artifact, CsvListsEveryMetricKind) {
   EXPECT_NE(text.find("gauge,runner.threads,4"), std::string::npos);
   EXPECT_NE(text.find("distribution,job.seconds.count,2"),
             std::string::npos);
+}
+
+TEST(Artifact, CsvLeadsWithRunProvenanceRows) {
+  std::ostringstream os;
+  ArtifactOptions opt;
+  opt.tool = "unit_test";
+  write_artifact_csv(os, populated_snapshot(), opt);
+  const std::string text = os.str();
+  // The run.* block sits right after the header, before any metric rows,
+  // so a spreadsheet shows provenance first.
+  const std::size_t header = text.find("kind,name,value");
+  ASSERT_NE(header, std::string::npos);
+  const std::size_t tool = text.find("run,run.tool,unit_test");
+  ASSERT_NE(tool, std::string::npos);
+  EXPECT_LT(header, tool);
+  EXPECT_NE(text.find("run,run.git,"), std::string::npos);
+  EXPECT_NE(text.find("run,run.build_type,"), std::string::npos);
+  EXPECT_NE(text.find("run,run.compiler,"), std::string::npos);
+  const std::size_t first_metric = text.find("\nconfig,");
+  ASSERT_NE(first_metric, std::string::npos);
+  EXPECT_LT(tool, first_metric);
+}
+
+TEST(ArtifactSinks, DashMeansStdoutExactlyOnce) {
+  const ArtifactSinkPlan plan = plan_artifact_sinks("-", /*stdout_flag=*/false);
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_TRUE(plan.file.empty());
+  EXPECT_TRUE(plan.note.empty());
+}
+
+TEST(ArtifactSinks, DashPlusStdoutFlagDedupesWithNote) {
+  const ArtifactSinkPlan plan = plan_artifact_sinks("-", /*stdout_flag=*/true);
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_TRUE(plan.file.empty());
+  EXPECT_NE(plan.note.find("redundant"), std::string::npos);
+}
+
+TEST(ArtifactSinks, FilePlusStdoutKeepsBothAndSaysSo) {
+  const ArtifactSinkPlan plan =
+      plan_artifact_sinks("out.json", /*stdout_flag=*/true);
+  EXPECT_TRUE(plan.to_stdout);
+  EXPECT_EQ(plan.file, "out.json");
+  EXPECT_NE(plan.note.find("out.json"), std::string::npos);
+}
+
+TEST(ArtifactSinks, FileOnlyAndStdoutOnlyAreQuiet) {
+  const ArtifactSinkPlan file_only =
+      plan_artifact_sinks("out.json", /*stdout_flag=*/false);
+  EXPECT_FALSE(file_only.to_stdout);
+  EXPECT_EQ(file_only.file, "out.json");
+  EXPECT_TRUE(file_only.note.empty());
+
+  const ArtifactSinkPlan stdout_only =
+      plan_artifact_sinks("", /*stdout_flag=*/true);
+  EXPECT_TRUE(stdout_only.to_stdout);
+  EXPECT_TRUE(stdout_only.file.empty());
+  EXPECT_TRUE(stdout_only.note.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Event tracing.
+
+// Restores the global tracer slot even when a test fails mid-way.
+struct CurrentTracerGuard {
+  ~CurrentTracerGuard() { Tracer::set_current(nullptr); }
+};
+
+TEST(Tracer, RecordsAndDrainsInTimestampOrder) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+
+  tracer.begin("run");
+  clock.advance_ns(100);
+  tracer.instant("checkpoint", 7.0);
+  clock.advance_ns(50);
+  tracer.counter("nodes", 42.0);
+  clock.advance_ns(25);
+  tracer.end("run");
+
+  const TraceData data = tracer.drain();
+  EXPECT_EQ(data.dropped, 0u);
+  ASSERT_EQ(data.events.size(), 4u);
+  EXPECT_EQ(data.events[0].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(data.events[0].name, "run");
+  EXPECT_EQ(data.events[0].ts_ns, 0u);  // rebased to the first event
+  EXPECT_EQ(data.events[1].kind, TraceEventKind::kInstant);
+  EXPECT_EQ(data.events[1].ts_ns, 100u);
+  EXPECT_EQ(data.events[1].value, 7.0);
+  EXPECT_EQ(data.events[2].kind, TraceEventKind::kCounter);
+  EXPECT_EQ(data.events[2].value, 42.0);
+  EXPECT_EQ(data.events[3].kind, TraceEventKind::kEnd);
+  EXPECT_EQ(data.events[3].ts_ns, 175u);
+  ASSERT_EQ(data.tracks.size(), 1u);
+  EXPECT_EQ(data.tracks[0].tid, 0u);
+  EXPECT_EQ(data.tracks[0].label, "main");
+  EXPECT_EQ(data.tracks[0].worker_index, -1);
+}
+
+TEST(Tracer, TraceSpanEmitsBalancedBeginEnd) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+  {
+    const TraceSpan outer(&tracer, "outer");
+    clock.advance_ns(10);
+    const TraceSpan inner(&tracer, "inner", "sim");
+    clock.advance_ns(20);
+  }
+  const TraceData data = tracer.drain();
+  ASSERT_EQ(data.events.size(), 4u);
+  EXPECT_EQ(data.events[0].name, "outer");
+  EXPECT_EQ(data.events[1].name, "inner");
+  EXPECT_EQ(data.events[1].cat, "sim");
+  EXPECT_EQ(data.events[2].name, "inner");  // inner closes first
+  EXPECT_EQ(data.events[2].kind, TraceEventKind::kEnd);
+  EXPECT_EQ(data.events[3].name, "outer");
+}
+
+TEST(Tracer, NullTraceSpanIsInert) {
+  const TraceSpan span(nullptr, "nothing");  // must not crash or record
+  EXPECT_EQ(Tracer::current(), nullptr);
+}
+
+TEST(Tracer, SpanDualEmitsWhenAttached) {
+  const CurrentTracerGuard guard;
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+  Tracer::set_current(&tracer);
+  EXPECT_EQ(Tracer::current(), &tracer);
+
+  MetricsRegistry reg;
+  {
+    const Span both(&reg, "phase", &clock);
+    clock.advance_seconds(0.001);
+  }
+  { const Span trace_only(nullptr, "orphan", &clock); }
+
+  // The metrics side still aggregates...
+  EXPECT_EQ(reg.snapshot().spans.at("phase").count, 1u);
+  // ...and the tracer saw both spans, including the registry-less one.
+  const TraceData data = tracer.drain();
+  ASSERT_EQ(data.events.size(), 4u);
+  EXPECT_EQ(data.events[0].name, "phase");
+  EXPECT_EQ(data.events[0].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(data.events[1].name, "phase");
+  EXPECT_EQ(data.events[1].ts_ns, 1'000'000u);
+  EXPECT_EQ(data.events[2].name, "orphan");
+}
+
+TEST(Tracer, DropNewestCountsOverflow) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  opt.buffer_capacity = 4;
+  Tracer tracer(opt);
+  for (int i = 0; i < 10; ++i) tracer.instant("e", i);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const TraceData data = tracer.drain();
+  EXPECT_EQ(data.dropped, 6u);
+  ASSERT_EQ(data.events.size(), 4u);
+  EXPECT_EQ(data.events[0].value, 0.0);  // oldest events survive
+  EXPECT_EQ(data.events[3].value, 3.0);
+}
+
+TEST(Tracer, FlowIdsAreUniqueAndPairUp) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+
+  const std::uint64_t a = tracer.flow_begin("task");
+  const std::uint64_t b = tracer.flow_begin("task");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  clock.advance_ns(5);
+  {
+    const TraceSpan s(&tracer, "task", "sim", a);
+    clock.advance_ns(5);
+  }
+  tracer.flow_end("task", b);
+
+  const TraceData data = tracer.drain();
+  ASSERT_EQ(data.events.size(), 6u);
+  EXPECT_EQ(data.events[0].kind, TraceEventKind::kFlowBegin);
+  EXPECT_EQ(data.events[0].flow_id, a);
+  // The flow head lands immediately before the span's begin.
+  EXPECT_EQ(data.events[2].kind, TraceEventKind::kFlowEnd);
+  EXPECT_EQ(data.events[2].flow_id, a);
+  EXPECT_EQ(data.events[3].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(data.events[3].name, "task");
+}
+
+TEST(Tracer, PoolWorkersGetNamedTracksConcurrently) {
+  // Exercised under TSan in CI: pool threads record while the main thread
+  // drains mid-flight, then a final drain must account for every event.
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerTask = 2'000;
+  Tracer tracer;
+  support::ThreadPool pool(kThreads, "tp");
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.submit([&tracer] {
+      for (int i = 0; i < kPerTask; ++i) {
+        const TraceSpan s(&tracer, "work", "test");
+      }
+    });
+  }
+  const TraceData mid = tracer.drain();  // races with recording by design
+  EXPECT_LE(mid.events.size(), 2u * kThreads * kPerTask);
+  pool.wait();
+
+  const TraceData data = tracer.drain();
+  EXPECT_EQ(data.dropped, 0u);
+  EXPECT_EQ(data.events.size(), 2u * kThreads * kPerTask);
+  ASSERT_EQ(data.tracks.size(), kThreads);
+  for (const TraceTrack& track : data.tracks) {
+    EXPECT_GE(track.worker_index, 0);
+    EXPECT_LT(track.worker_index, static_cast<int>(kThreads));
+    EXPECT_EQ(track.label,
+              "tp-" + std::to_string(track.worker_index));
+  }
+}
+
+TEST(Tracer, WriteTraceJsonIsByteStableAndRoundTrips) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+  {
+    const TraceSpan outer(&tracer, "run_casa");
+    clock.advance_ns(1'234'567);
+    const std::uint64_t flow = tracer.flow_begin("task");
+    clock.advance_ns(1);
+    {
+      const TraceSpan task(&tracer, "task", "sim", flow);
+      clock.advance_ns(500);
+      tracer.instant("ilp.incumbent", 42.5, "ilp");
+      tracer.counter("ilp.nodes", 1024);
+      clock.advance_ns(500);
+    }
+    clock.advance_ns(1);
+  }
+  const TraceData data = tracer.drain();
+
+  std::ostringstream a, b;
+  write_trace_json(a, data, "unit_test");
+  write_trace_json(b, data, "unit_test");
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"schema\": \"casa-trace v1\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"thread_name\""), std::string::npos);
+
+  // Nanosecond timestamps survive the microsecond `ts` encoding exactly.
+  std::istringstream is(a.str());
+  const TraceData back = io::read_trace_json(is);
+  EXPECT_EQ(back, data);
+}
+
+// ---------------------------------------------------------------------------
+// Trace analysis.
+
+TraceEvent make_event(TraceEventKind kind, std::uint32_t tid,
+                      std::uint64_t ts_ns, std::string name,
+                      std::uint64_t flow_id = 0) {
+  TraceEvent e;
+  e.kind = kind;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.name = std::move(name);
+  e.cat = "test";
+  e.flow_id = flow_id;
+  return e;
+}
+
+TEST(TraceAnalysis, SingleThreadCriticalPathEqualsRootWallTime) {
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer tracer(opt);
+  {
+    const TraceSpan root(&tracer, "run_casa");
+    clock.advance_ns(100);
+    {
+      const TraceSpan a(&tracer, "allocation");
+      clock.advance_ns(300);
+    }
+    {
+      const TraceSpan b(&tracer, "simulation");
+      clock.advance_ns(500);
+    }
+    clock.advance_ns(100);
+  }
+  const TraceAnalysis analysis = analyze_trace(tracer.drain());
+  EXPECT_EQ(analysis.spans, 3u);
+  EXPECT_EQ(analysis.unmatched_begins, 0u);
+  EXPECT_EQ(analysis.critical_path_ns, 1000u);  // exactly the root span
+  std::uint64_t self_sum = 0;
+  for (const CriticalStep& step : analysis.critical_path) {
+    self_sum += step.self_ns;
+  }
+  EXPECT_EQ(self_sum, analysis.critical_path_ns);
+  ASSERT_FALSE(analysis.critical_path.empty());
+  EXPECT_EQ(analysis.critical_path.front().name, "run_casa");
+}
+
+TEST(TraceAnalysis, PhaseSelfTimeExcludesChildren) {
+  TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 0, "outer"));
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 100, "inner"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 700, "inner"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 1000, "outer"));
+
+  const TraceAnalysis analysis = analyze_trace(data);
+  ASSERT_EQ(analysis.phases.size(), 2u);
+  const PhaseStat* outer = nullptr;
+  const PhaseStat* inner = nullptr;
+  for (const PhaseStat& p : analysis.phases) {
+    if (p.name == "outer") outer = &p;
+    if (p.name == "inner") inner = &p;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->total_ns, 1000u);
+  EXPECT_EQ(outer->self_ns, 400u);
+  EXPECT_EQ(inner->total_ns, 600u);
+  EXPECT_EQ(inner->self_ns, 600u);
+}
+
+TEST(TraceAnalysis, CriticalPathFollowsFlowAcrossThreads) {
+  TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  data.tracks.push_back({1, 0, "tp-0"});
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 0, "batch"));
+  data.events.push_back(
+      make_event(TraceEventKind::kFlowBegin, 0, 10, "task", 1));
+  data.events.push_back(
+      make_event(TraceEventKind::kFlowEnd, 1, 20, "task", 1));
+  data.events.push_back(make_event(TraceEventKind::kBegin, 1, 20, "task"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 1, 800, "task"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 1000, "batch"));
+
+  const TraceAnalysis analysis = analyze_trace(data);
+  EXPECT_EQ(analysis.critical_path_ns, 1000u);
+  ASSERT_EQ(analysis.critical_path.size(), 2u);
+  EXPECT_EQ(analysis.critical_path[0].name, "batch");
+  EXPECT_EQ(analysis.critical_path[1].name, "task");
+  EXPECT_EQ(analysis.critical_path[1].tid, 1u);
+  // batch keeps what the flow child does not cover: 1000 - 780.
+  EXPECT_EQ(analysis.critical_path[0].self_ns, 220u);
+  EXPECT_EQ(analysis.critical_path[1].self_ns, 780u);
+
+  ASSERT_EQ(analysis.tracks.size(), 2u);
+  EXPECT_EQ(analysis.tracks[1].busy_ns, 780u);
+}
+
+TEST(TraceAnalysis, UnmatchedBeginsCloseAtTraceEnd) {
+  TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  // An end with nothing open is dropped; a begin never closed is clamped to
+  // the trace end (Chrome-trace "E" closes the innermost span by position,
+  // not by name, so both raggednesses need their own event here).
+  data.events.push_back(
+      make_event(TraceEventKind::kEnd, 0, 100, "never_opened"));
+  data.events.push_back(
+      make_event(TraceEventKind::kBegin, 0, 200, "left_open"));
+  data.events.push_back(
+      make_event(TraceEventKind::kInstant, 0, 500, "marker"));
+
+  const TraceAnalysis analysis = analyze_trace(data);
+  EXPECT_EQ(analysis.unmatched_begins, 1u);
+  EXPECT_EQ(analysis.unmatched_ends, 1u);
+  EXPECT_EQ(analysis.wall_ns, 500u);
+  EXPECT_EQ(analysis.critical_path_ns, 300u);  // closed at the trace end
+
+  std::ostringstream os;
+  write_trace_summary(os, analysis);  // must not crash on a ragged trace
+  EXPECT_NE(os.str().find("critical path: 300 ns"), std::string::npos);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "casa/check/rules.hpp"
 #include "casa/check/runner.hpp"
 #include "casa/obs/metrics.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/sim/parallel_runner.hpp"
 #include "casa/sim/sweep_planner.hpp"
@@ -216,6 +217,41 @@ TEST(RunMany, DeduplicatesIdenticalJobs) {
   EXPECT_EQ(snap.counters.at("sim.fetches"),
             solo_a.sim.counters.total_fetches +
                 solo_b.sim.counters.total_fetches);
+}
+
+TEST(SweepPlanner, EmitsTraceEventsWhenTracerAttached) {
+  const prog::Program program = workloads::by_name("adpcm");
+  const Workbench bench(program);
+  const std::vector<Job> jobs = mixed_jobs();
+
+  obs::Tracer tracer;
+  obs::Tracer::set_current(&tracer);
+  SweepPlanner(bench).run(jobs, 2);
+  obs::Tracer::set_current(nullptr);
+
+  const obs::TraceData data = tracer.drain();
+  std::uint64_t sweeps = 0, passes = 0, tasks = 0, tails = 0, heads = 0,
+                pass_instants = 0;
+  for (const obs::TraceEvent& e : data.events) {
+    if (e.kind == obs::TraceEventKind::kBegin && e.name == "sweep") ++sweeps;
+    if (e.kind == obs::TraceEventKind::kBegin &&
+        e.name == "sweep.stack_pass") {
+      ++passes;
+    }
+    if (e.kind == obs::TraceEventKind::kBegin && e.name == "task") ++tasks;
+    if (e.kind == obs::TraceEventKind::kFlowBegin) ++tails;
+    if (e.kind == obs::TraceEventKind::kFlowEnd) ++heads;
+    if (e.kind == obs::TraceEventKind::kInstant &&
+        e.name == "sweep.configs_per_pass") {
+      ++pass_instants;
+    }
+  }
+  EXPECT_EQ(sweeps, 1u);
+  EXPECT_GE(passes, 1u);      // the groupable LRU family ran as a stack pass
+  EXPECT_EQ(passes, pass_instants);
+  EXPECT_GT(tasks, 0u);       // fallback + singleton jobs fan out as tasks
+  EXPECT_EQ(tails, heads);    // every scheduled flow got picked up
+  EXPECT_GT(tails, 0u);
 }
 
 TEST(CheckStackSweep, PassesOnIdenticalCounters) {

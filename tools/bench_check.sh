@@ -4,10 +4,12 @@
 # Runs build/bench/cachesim_throughput with a short measurement window and
 # compares every benchmark's items_per_second against the checked-in
 # baseline (BENCH_cachesim.json at the repo root). Fails when any benchmark
-# regresses by more than TOLERANCE (default 20%). Also asserts two speedup
-# invariants: BM_ConflictGraphBuild must stay >= 2x
-# BM_ConflictGraphBuildWordRef (compiled streams), and BM_StackSweep must
-# stay >= 3x BM_StackSweepPerConfigRef (one-pass multi-config simulation).
+# regresses by more than TOLERANCE (default 20%). Also asserts three
+# current-run invariants: BM_ConflictGraphBuild must stay >= 2x
+# BM_ConflictGraphBuildWordRef (compiled streams), BM_StackSweep must
+# stay >= 3x BM_StackSweepPerConfigRef (one-pass multi-config simulation),
+# and BM_TraceOverheadNull must stay >= 0.85x BM_TraceOverheadOff (a
+# detached obs::Span is within measurement noise of no span at all).
 #
 # The baseline records the CMAKE_BUILD_TYPE of the build tree it was taken
 # from (read from CMakeCache.txt, NOT from google-benchmark's self-reported
@@ -205,6 +207,27 @@ elif current:
             failures.append(
                 f"{name}: required by the compiled-stream speedup "
                 "invariant but absent from this run")
+
+# Null-tracer invariant: with no registry and no tracer attached, an
+# obs::Span must cost one relaxed atomic load — the instrumented hot paths
+# may not slow down when tracing is off. Both variants run the same mix
+# kernel, so their ratio isolates the Span construction cost; >= 0.85
+# allows measurement noise and nothing more.
+fast = current.get("BM_TraceOverheadNull")
+ref = current.get("BM_TraceOverheadOff")
+if fast and ref:
+    ratio = fast / ref
+    print(f"null-tracer overhead (Null/Off): {ratio:.2f}x")
+    if ratio < 0.85:
+        failures.append(
+            f"null-tracer span path {ratio:.2f}x of the bare kernel "
+            "(>= 0.85x required — tracing-off must stay within noise)")
+elif current:
+    for name in ("BM_TraceOverheadNull", "BM_TraceOverheadOff"):
+        if not current.get(name):
+            failures.append(
+                f"{name}: required by the null-tracer overhead invariant "
+                "but absent from this run")
 
 # One-pass sweep invariant: replaying a fetch stream once through the
 # stack-distance engine must stay >= 3x faster than simulating the same

@@ -25,6 +25,8 @@
 #include "casa/io/serialize.hpp"
 #include "casa/obs/metrics.hpp"
 #include "casa/obs/span.hpp"
+#include "casa/obs/trace_analysis.hpp"
+#include "casa/obs/tracer.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/support/args.hpp"
 #include "casa/traceopt/layout.hpp"
@@ -141,9 +143,21 @@ int run(ArgParser& args) {
       "write the allocator input (casa-problem v1) to this file");
   const std::string metrics_json = args.get(
       "metrics-json", "",
-      "write a casa-metrics v1 telemetry artifact to this file ('-' = stdout)");
-  const bool metrics_stdout =
-      args.get_flag("metrics-stdout", "print the telemetry artifact to stdout");
+      "write a casa-metrics v1 telemetry artifact to this file ('-' means "
+      "stdout, the same sink as --metrics-stdout; each distinct sink is "
+      "written exactly once)");
+  const bool metrics_stdout = args.get_flag(
+      "metrics-stdout",
+      "print the telemetry artifact to stdout (redundant with "
+      "--metrics-json -)");
+  const std::string trace_json = args.get(
+      "trace-json", "",
+      "write a casa-trace v1 Chrome-trace artifact (Perfetto-loadable) to "
+      "this file ('-' = stdout)");
+  const bool trace_summary = args.get_flag(
+      "trace-summary",
+      "print per-phase self/total time, per-thread utilization and the "
+      "critical path of this run's trace");
   const bool do_check = args.get_flag(
       "check", "run the artifact analyzer instead of the experiment");
   const std::string check_json = args.get(
@@ -175,6 +189,34 @@ int run(ArgParser& args) {
     reg->set_config("fuse_ratio", std::to_string(fuse));
   }
 
+  // Tracing attaches before the Workbench profiles the workload, so the
+  // "profiling" span and everything after it land on the timeline.
+  const bool want_trace = trace_summary || !trace_json.empty();
+  std::optional<obs::Tracer> tracer;
+  if (want_trace) {
+    tracer.emplace();
+    obs::Tracer::set_current(&*tracer);
+  }
+  const auto finish_trace = [&] {
+    if (!want_trace) return;
+    obs::Tracer::set_current(nullptr);
+    const obs::TraceData data = tracer->drain();
+    if (!trace_json.empty()) {
+      if (trace_json == "-") {
+        io::write_trace_json(std::cout, data, "casa_cli");
+      } else {
+        std::ofstream out(trace_json);
+        CASA_CHECK(out.good(),
+                   "cannot open trace output file: " + trace_json);
+        io::write_trace_json(out, data, "casa_cli");
+        std::cerr << "trace artifact written to " << trace_json << "\n";
+      }
+    }
+    if (trace_summary) {
+      obs::write_trace_summary(std::cout, obs::analyze_trace(data));
+    }
+  };
+
   const prog::Program program = workloads::by_name(workload);
   report::WorkbenchOptions wopt;
   wopt.exec_seed = seed;
@@ -197,7 +239,10 @@ int run(ArgParser& args) {
   if (reg != nullptr) reg->set_config("cache", std::to_string(cache.size));
 
   if (do_check || !check_json.empty()) {
-    return run_check(program, bench, cache, spm, fuse, reg, check_json);
+    const int rc = run_check(program, bench, cache, spm, fuse, reg,
+                             check_json);
+    finish_trace();
+    return rc;
   }
 
   core::CasaOptions copt;
@@ -265,16 +310,23 @@ int run(ArgParser& args) {
     obs::ArtifactOptions aopt;
     aopt.tool = "casa_cli";
     const obs::MetricsSnapshot snap = registry.snapshot();
-    if (!metrics_json.empty() && metrics_json != "-") {
-      std::ofstream out(metrics_json);
-      CASA_CHECK(out.good(), "cannot open metrics output file: " + metrics_json);
-      io::write_metrics_json(out, snap, aopt);
-      std::cerr << "metrics artifact written to " << metrics_json << "\n";
+    const obs::ArtifactSinkPlan plan =
+        obs::plan_artifact_sinks(metrics_json, metrics_stdout);
+    if (!plan.note.empty()) {
+      std::cerr << "casa_cli: note: " << plan.note << "\n";
     }
-    if (metrics_stdout || metrics_json == "-") {
+    if (!plan.file.empty()) {
+      std::ofstream out(plan.file);
+      CASA_CHECK(out.good(), "cannot open metrics output file: " + plan.file);
+      io::write_metrics_json(out, snap, aopt);
+      std::cerr << "metrics artifact written to " << plan.file << "\n";
+    }
+    if (plan.to_stdout) {
       io::write_metrics_json(std::cout, snap, aopt);
     }
   }
+
+  finish_trace();
 
   const auto& c = outcome.sim.counters;
   if (csv) {
