@@ -34,8 +34,10 @@ TraceAnalysis analyze_trace(const TraceData& data) {
   TraceAnalysis out;
   out.events = data.events.size();
   out.dropped = data.dropped;
-  if (!data.events.empty()) {
-    out.wall_ns = data.events.back().ts_ns;  // events are sorted by ts
+  // drain() sorts by ts, but a parsed artifact need not be sorted — take
+  // the max rather than trusting the last event.
+  for (const TraceEvent& e : data.events) {
+    out.wall_ns = std::max(out.wall_ns, e.ts_ns);
   }
 
   // Pass 1: rebuild spans per thread from the B/E stack, and resolve flow
@@ -76,7 +78,9 @@ TraceAnalysis analyze_trace(const TraceData& data) {
         }
         SpanRec& rec = spans[static_cast<std::size_t>(stack.back())];
         stack.pop_back();
-        rec.end = e.ts_ns;
+        // Clamp against an out-of-order artifact ending a span before it
+        // began — a negative duration would wrap.
+        rec.end = std::max(e.ts_ns, rec.start);
         rec.closed = true;
         if (rec.parent >= 0) {
           spans[rec.parent].stack_child_ns += rec.end - rec.start;
@@ -137,10 +141,35 @@ TraceAnalysis analyze_trace(const TraceData& data) {
                    });
 
   // Per-thread utilization: busy = the union of root-level span time on the
-  // thread (root spans never overlap — they obey the same stack).
-  std::unordered_map<std::uint32_t, std::uint64_t> busy;
+  // thread. Roots from a live drain obey one stack and cannot overlap, but a
+  // truncated or handcrafted artifact can (force-closed roots reach wall_ns,
+  // unsorted events interleave), so merge intervals instead of summing —
+  // busy then never exceeds wall and utilization stays <= 100%.
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      root_ivals;
   for (const SpanRec& rec : spans) {
-    if (rec.parent < 0) busy[rec.tid] += rec.end - rec.start;
+    if (rec.parent < 0) root_ivals[rec.tid].emplace_back(rec.start, rec.end);
+  }
+  std::unordered_map<std::uint32_t, std::uint64_t> busy;
+  for (auto& [tid, ivals] : root_ivals) {
+    std::sort(ivals.begin(), ivals.end());
+    std::uint64_t total = 0;
+    std::uint64_t cur_start = 0;
+    std::uint64_t cur_end = 0;
+    bool open_ival = false;
+    for (const auto& [lo, hi] : ivals) {
+      if (!open_ival || lo > cur_end) {
+        if (open_ival) total += cur_end - cur_start;
+        cur_start = lo;
+        cur_end = hi;
+        open_ival = true;
+      } else {
+        cur_end = std::max(cur_end, hi);
+      }
+    }
+    if (open_ival) total += cur_end - cur_start;
+    busy[tid] = total;
   }
   for (const TraceTrack& track : data.tracks) {
     TrackStat t;
@@ -178,6 +207,8 @@ TraceAnalysis analyze_trace(const TraceData& data) {
       std::uint64_t frontier;
     };
     std::vector<Frame> work{{root, spans[root].end}};
+    std::vector<char> on_path(spans.size(), 0);
+    on_path[static_cast<std::size_t>(root)] = 1;
     while (!work.empty()) {
       const Frame frame = work.back();
       work.pop_back();
@@ -188,6 +219,13 @@ TraceAnalysis analyze_trace(const TraceData& data) {
         int pick = -1;
         for (const int c : s.children) {
           const SpanRec& cand = spans[c];
+          // A zero-length span adds nothing to the path and would stall the
+          // frontier (pos = cand.start == cand.end == pos); a span already
+          // on the path can only come back through a malformed flow cycle.
+          if (cand.end <= cand.start ||
+              on_path[static_cast<std::size_t>(c)] != 0) {
+            continue;
+          }
           if (cand.end > pos || cand.start < s.start) continue;
           if (pick < 0 || cand.end > spans[pick].end ||
               (cand.end == spans[pick].end &&
@@ -197,7 +235,8 @@ TraceAnalysis analyze_trace(const TraceData& data) {
         }
         if (pick < 0) break;
         chain.push_back(pick);
-        pos = spans[pick].start;
+        on_path[static_cast<std::size_t>(pick)] = 1;
+        pos = spans[pick].start;  // < old pos: picks have end > start
       }
       std::uint64_t covered = 0;
       for (const int c : chain) covered += spans[c].end - spans[c].start;

@@ -20,8 +20,13 @@ std::atomic<Tracer*> g_current_tracer{nullptr};
 std::atomic<std::uint64_t> g_next_generation{1};
 
 struct TlsBufferCache {
-  std::uint64_t generation = 0;
+  std::uint64_t generation = 0;  ///< most recently used tracer
   void* buffer = nullptr;
+  /// Buffers for the other live tracers this thread has recorded into, so a
+  /// thread alternating between tracers reuses its per-tracer buffer instead
+  /// of registering a fresh track (and ring allocation) on every switch.
+  /// Entries for destroyed tracers are inert: generations are never reused.
+  std::vector<std::pair<std::uint64_t, void*>> cold;
 };
 
 TlsBufferCache& tls_cache() {
@@ -112,7 +117,21 @@ void Tracer::record(TraceEventKind kind, std::string_view name,
                     double value) {
   TlsBufferCache& cache = tls_cache();
   if (cache.generation != generation_) {
-    cache.buffer = buffer_for_this_thread();
+    void* found = nullptr;
+    for (auto& entry : cache.cold) {
+      if (entry.first == generation_) {
+        found = entry.second;
+        entry = {cache.generation, cache.buffer};  // demote the hot pair
+        break;
+      }
+    }
+    if (found == nullptr) {
+      found = buffer_for_this_thread();
+      if (cache.buffer != nullptr) {
+        cache.cold.emplace_back(cache.generation, cache.buffer);
+      }
+    }
+    cache.buffer = found;
     cache.generation = generation_;
   }
   auto* buf = static_cast<ThreadBuffer*>(cache.buffer);

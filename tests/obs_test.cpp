@@ -3,10 +3,12 @@
 // round-trip through io::serialize.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "casa/io/serialize.hpp"
@@ -493,6 +495,29 @@ TEST(Tracer, FlowIdsAreUniqueAndPairUp) {
   EXPECT_EQ(data.events[3].name, "task");
 }
 
+TEST(Tracer, AlternatingTracersReuseOnePerThreadBuffer) {
+  // A thread bouncing between two live tracers must keep one buffer (one
+  // tid/track) per tracer, not register a fresh ring on every switch.
+  FakeClock clock;
+  TracerOptions opt;
+  opt.clock = &clock;
+  Tracer a(opt);
+  Tracer b(opt);
+  for (int i = 0; i < 4; ++i) {
+    a.instant("a", i);
+    b.instant("b", i);
+    clock.advance_ns(1);
+  }
+  const TraceData da = a.drain();
+  const TraceData db = b.drain();
+  EXPECT_EQ(da.tracks.size(), 1u);
+  EXPECT_EQ(db.tracks.size(), 1u);
+  ASSERT_EQ(da.events.size(), 4u);
+  ASSERT_EQ(db.events.size(), 4u);
+  for (const TraceEvent& e : da.events) EXPECT_EQ(e.tid, 0u);
+  for (const TraceEvent& e : db.events) EXPECT_EQ(e.tid, 0u);
+}
+
 TEST(Tracer, PoolWorkersGetNamedTracksConcurrently) {
   // Exercised under TSan in CI: pool threads record while the main thread
   // drains mid-flight, then a final drain must account for every event.
@@ -500,8 +525,14 @@ TEST(Tracer, PoolWorkersGetNamedTracksConcurrently) {
   constexpr int kPerTask = 2'000;
   Tracer tracer;
   support::ThreadPool pool(kThreads, "tp");
+  // Hold every task until all have started, so each of the kThreads tasks
+  // is pinned to a distinct worker (one idle worker could otherwise drain
+  // several tasks and the tracer would see fewer tracks).
+  std::atomic<unsigned> started{0};
   for (unsigned t = 0; t < kThreads; ++t) {
-    pool.submit([&tracer] {
+    pool.submit([&tracer, &started] {
+      started.fetch_add(1);
+      while (started.load() < kThreads) std::this_thread::yield();
       for (int i = 0; i < kPerTask; ++i) {
         const TraceSpan s(&tracer, "work", "test");
       }
@@ -678,6 +709,41 @@ TEST(TraceAnalysis, UnmatchedBeginsCloseAtTraceEnd) {
   std::ostringstream os;
   write_trace_summary(os, analysis);  // must not crash on a ragged trace
   EXPECT_NE(os.str().find("critical path: 300 ns"), std::string::npos);
+}
+
+TEST(TraceAnalysis, ZeroDurationChildDoesNotStallCriticalPath) {
+  // Regression: a zero-length child whose begin/end share a timestamp
+  // (coarse clock) used to be re-picked forever — the frontier never
+  // advanced past it and analyze_trace hung.
+  TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 0, "parent"));
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 5, "blip"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 5, "blip"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 10, "parent"));
+
+  const TraceAnalysis analysis = analyze_trace(data);
+  EXPECT_EQ(analysis.critical_path_ns, 10u);
+  ASSERT_EQ(analysis.critical_path.size(), 1u);
+  EXPECT_EQ(analysis.critical_path[0].name, "parent");
+  EXPECT_EQ(analysis.critical_path[0].self_ns, 10u);
+}
+
+TEST(TraceAnalysis, OverlappingRootsKeepUtilizationBounded) {
+  // A parsed artifact need not be timestamp-sorted, so rebuilt root spans on
+  // one thread can overlap; busy time is their union, never above wall.
+  TraceData data;
+  data.tracks.push_back({0, -1, "main"});
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 100, "late"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 200, "late"));
+  data.events.push_back(make_event(TraceEventKind::kBegin, 0, 50, "early"));
+  data.events.push_back(make_event(TraceEventKind::kEnd, 0, 300, "early"));
+
+  const TraceAnalysis analysis = analyze_trace(data);
+  EXPECT_EQ(analysis.wall_ns, 300u);
+  ASSERT_EQ(analysis.tracks.size(), 1u);
+  EXPECT_EQ(analysis.tracks[0].busy_ns, 250u);  // union of [50,300)
+  EXPECT_LE(analysis.tracks[0].utilization, 1.0);
 }
 
 }  // namespace
