@@ -1,5 +1,7 @@
 #include "casa/check/rules.hpp"
 
+#include "casa/check/rule_ids.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -115,13 +117,13 @@ void check_trace_program(const traceopt::TraceProgram& tp, Bytes line_size,
   for (const traceopt::MemoryObject& mo : tp.objects()) {
     const std::string loc = object_loc(mo.id.index());
     if (mo.raw_size == 0) {
-      runner.error("trace.size.zero", kTraceArtifact, loc,
+      runner.error(rule_ids::kTraceSizeZero, kTraceArtifact, loc,
                    "memory object has no instructions",
                    "trace formation must drop empty traces");
       continue;
     }
     if (mo.padded_size % line_size != 0) {
-      runner.error("trace.pad.misaligned", kTraceArtifact, loc,
+      runner.error(rule_ids::kTracePadMisaligned, kTraceArtifact, loc,
                    "padded size " + std::to_string(mo.padded_size) +
                        " is not a multiple of the " +
                        std::to_string(line_size) + "-byte cache line",
@@ -129,7 +131,7 @@ void check_trace_program(const traceopt::TraceProgram& tp, Bytes line_size,
                    "owning object (paper 3.2)");
     }
     if (mo.padded_size != align_up(mo.raw_size, line_size)) {
-      runner.error("trace.pad.inconsistent", kTraceArtifact, loc,
+      runner.error(rule_ids::kTracePadInconsistent, kTraceArtifact, loc,
                    "padded size " + std::to_string(mo.padded_size) +
                        " != align_up(raw " + std::to_string(mo.raw_size) +
                        ", line " + std::to_string(line_size) + ")",
@@ -154,7 +156,7 @@ void check_layout(const traceopt::TraceProgram& tp,
     const Addr base = layout.object_base(mo.id);
     placed.push_back(Placed{mo.id.index(), base, mo.padded_size});
     if (base % line_size != 0) {
-      runner.error("layout.alignment", kLayoutArtifact,
+      runner.error(rule_ids::kLayoutAlignment, kLayoutArtifact,
                    object_loc(mo.id.index()),
                    "object base " + std::to_string(base) +
                        " is not aligned to the " + std::to_string(line_size) +
@@ -164,7 +166,7 @@ void check_layout(const traceopt::TraceProgram& tp,
     }
     if (base < layout.base() ||
         base + mo.padded_size > layout.base() + layout.span()) {
-      runner.error("layout.span.inconsistent", kLayoutArtifact,
+      runner.error(rule_ids::kLayoutSpanInconsistent, kLayoutArtifact,
                    object_loc(mo.id.index()),
                    "object [" + std::to_string(base) + ", " +
                        std::to_string(base + mo.padded_size) +
@@ -180,7 +182,7 @@ void check_layout(const traceopt::TraceProgram& tp,
     const Placed& prev = placed[i - 1];
     const Placed& cur = placed[i];
     if (prev.base + prev.size > cur.base) {
-      runner.error("layout.overlap", kLayoutArtifact,
+      runner.error(rule_ids::kLayoutOverlap, kLayoutArtifact,
                    object_loc(prev.index) + "/" + object_loc(cur.index),
                    "objects overlap: [" + std::to_string(prev.base) + ", " +
                        std::to_string(prev.base + prev.size) + ") and [" +
@@ -199,7 +201,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
                           CheckRunner& runner) {
   const unsigned sets = cache.sets();
   if (sets == 0) {
-    runner.error("conflict.cache.degenerate", kConflictArtifact, "",
+    runner.error(rule_ids::kConflictCacheDegenerate, kConflictArtifact, "",
                  "cache configuration yields zero sets (size " +
                      std::to_string(cache.size) + " B, line " +
                      std::to_string(cache.line_size) + " B, assoc " +
@@ -210,7 +212,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
   }
   const std::size_t n = graph.node_count();
   if (n != tp.object_count()) {
-    runner.error("conflict.nodes.count", kConflictArtifact, "",
+    runner.error(rule_ids::kConflictNodesCount, kConflictArtifact, "",
                  "graph has " + std::to_string(n) + " nodes but the trace "
                      "program has " + std::to_string(tp.object_count()) +
                      " memory objects",
@@ -225,7 +227,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
     const MemoryObjectId mo(static_cast<std::uint32_t>(i));
     const std::uint64_t f = graph.fetches(mo);
     if (f != tp.object(mo).fetches) {
-      runner.error("conflict.fetches.profile-mismatch", kConflictArtifact,
+      runner.error(rule_ids::kConflictFetchesProfileMismatch, kConflictArtifact,
                    object_loc(i),
                    "vertex weight f=" + std::to_string(f) +
                        " disagrees with the profile's " +
@@ -236,7 +238,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
     const std::uint64_t accounted =
         graph.hits(mo) + graph.total_misses(mo);
     if (accounted != f) {
-      runner.error("conflict.counts.inconsistent", kConflictArtifact,
+      runner.error(rule_ids::kConflictCountsInconsistent, kConflictArtifact,
                    object_loc(i),
                    "hits + cold + conflict misses = " +
                        std::to_string(accounted) + " but f=" +
@@ -262,7 +264,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
     const std::size_t a = e.from.index();
     const std::size_t b = e.to.index();
     if (e.misses > graph.fetches(e.from)) {
-      runner.error("conflict.edge.exceeds-fetches", kConflictArtifact,
+      runner.error(rule_ids::kConflictEdgeExceedsFetches, kConflictArtifact,
                    edge_loc(idx, e),
                    "m_ij=" + std::to_string(e.misses) + " exceeds f_i=" +
                        std::to_string(graph.fetches(e.from)),
@@ -272,7 +274,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
     if (!have_range[a] || !have_range[b]) continue;
     if (e.from == e.to) {
       if (!self_aliases(ranges[a], sets)) {
-        runner.error("conflict.edge.self", kConflictArtifact, edge_loc(idx, e),
+        runner.error(rule_ids::kConflictEdgeSelf, kConflictArtifact, edge_loc(idx, e),
                      "self-conflict on an object spanning " +
                          std::to_string(ranges[a].count) + " lines over " +
                          std::to_string(sets) +
@@ -283,7 +285,7 @@ void check_conflict_graph(const traceopt::TraceProgram& tp,
       continue;
     }
     if (!share_cache_set(ranges[a], ranges[b], sets)) {
-      runner.error("conflict.edge.cross-set", kConflictArtifact,
+      runner.error(rule_ids::kConflictEdgeCrossSet, kConflictArtifact,
                    edge_loc(idx, e),
                    "objects map to disjoint cache sets under this layout "
                    "and can never evict each other",
@@ -300,7 +302,7 @@ void check_casa_model(const core::CasaModel& cm,
   const ilp::Model& m = cm.model;
   if (cm.l_vars.size() != sp.item_count() ||
       cm.L_vars.size() != sp.edges.size()) {
-    runner.error("ilp.var.count-mismatch", kModelArtifact, "",
+    runner.error(rule_ids::kIlpVarCountMismatch, kModelArtifact, "",
                  "model has " + std::to_string(cm.l_vars.size()) + " l / " +
                      std::to_string(cm.L_vars.size()) +
                      " L variables for a problem with " +
@@ -321,14 +323,14 @@ void check_casa_model(const core::CasaModel& cm,
     const ilp::Constraint& row =
         m.constraint(ConstraintId(static_cast<std::uint32_t>(c)));
     if (row.expr.terms().empty()) {
-      runner.error("ilp.row.degenerate", kModelArtifact, row.name,
+      runner.error(rule_ids::kIlpRowDegenerate, kModelArtifact, row.name,
                    "constraint has no variable terms",
                    "drop constant-only rows; they either always hold or "
                    "make the model trivially infeasible");
     }
     for (const ilp::Term& t : row.expr.terms()) {
       if (t.var.index() >= m.var_count()) {
-        runner.error("ilp.term.bad-var", kModelArtifact, row.name,
+        runner.error(rule_ids::kIlpTermBadVar, kModelArtifact, row.name,
                      "term references variable #" +
                          std::to_string(t.var.index()) +
                          " but the model has only " +
@@ -341,7 +343,7 @@ void check_casa_model(const core::CasaModel& cm,
   }
   for (std::size_t v = 0; v < used.size(); ++v) {
     if (!used[v]) {
-      runner.error("ilp.var.orphan", kModelArtifact,
+      runner.error(rule_ids::kIlpVarOrphan, kModelArtifact,
                    m.var(VarId(static_cast<std::uint32_t>(v))).name,
                    "variable appears in no constraint and not in the "
                    "objective",
@@ -386,7 +388,7 @@ void check_casa_model(const core::CasaModel& cm,
     std::size_t expected = 0;
     if (lin == core::Linearization::kPaper) {
       if (m.var(L).type != ilp::VarType::kBinary) {
-        runner.error("ilp.lin.malformed", kModelArtifact, loc,
+        runner.error(rule_ids::kIlpLinMalformed, kModelArtifact, loc,
                      "L must be binary under the paper linearization - the "
                      "relaxed constraint set admits L=1/2 at l_i=l_j=1",
                      "declare L with add_binary (see DESIGN.md)");
@@ -410,13 +412,13 @@ void check_casa_model(const core::CasaModel& cm,
       expected = 1;
     }
     for (const std::string& want : missing) {
-      runner.error("ilp.lin.missing", kModelArtifact, loc,
+      runner.error(rule_ids::kIlpLinMissing, kModelArtifact, loc,
                    "linearization constraint " + want + " is absent",
                    "every product variable L(x_i,x_j) needs its full "
                    "constraint set (paper eq. 13-15)");
     }
     if (missing.empty() && rows.size() > expected) {
-      runner.error("ilp.lin.malformed", kModelArtifact, loc,
+      runner.error(rule_ids::kIlpLinMalformed, kModelArtifact, loc,
                    std::to_string(rows.size() - expected) +
                        " extra constraint(s) touch this linearization "
                        "variable",
@@ -447,13 +449,13 @@ void check_casa_model(const core::CasaModel& cm,
     }
   }
   if (!cap_found) {
-    runner.error("ilp.capacity.missing", kModelArtifact, "capacity",
+    runner.error(rule_ids::kIlpCapacityMissing, kModelArtifact, "capacity",
                  "the scratchpad capacity constraint (paper eq. 17) is "
                  "absent",
                  "without it the solver places every object on the "
                  "scratchpad");
   } else if (!cap_exact) {
-    runner.error("ilp.capacity.mismatch", kModelArtifact, "capacity",
+    runner.error(rule_ids::kIlpCapacityMismatch, kModelArtifact, "capacity",
                  "capacity row coefficients/rhs disagree with the memory-"
                  "object sizes (expected sum w_k l_k >= " +
                      std::to_string(cap_rhs) + ")",
@@ -467,7 +469,7 @@ void check_spm_selection(const std::vector<Bytes>& sizes, Bytes capacity,
                          const std::vector<bool>& on_spm, Bytes used_bytes,
                          CheckRunner& runner) {
   if (on_spm.size() != sizes.size()) {
-    runner.error("alloc.mask.size", kAllocArtifact, "",
+    runner.error(rule_ids::kAllocMaskSize, kAllocArtifact, "",
                  "selection mask covers " + std::to_string(on_spm.size()) +
                      " objects but the problem has " +
                      std::to_string(sizes.size()),
@@ -480,7 +482,7 @@ void check_spm_selection(const std::vector<Bytes>& sizes, Bytes capacity,
     if (on_spm[i]) total += sizes[i];
   }
   if (total > capacity) {
-    runner.error("alloc.capacity.exceeded", kAllocArtifact, "",
+    runner.error(rule_ids::kAllocCapacityExceeded, kAllocArtifact, "",
                  "selected objects occupy " + std::to_string(total) +
                      " B but the scratchpad holds " +
                      std::to_string(capacity) + " B",
@@ -488,7 +490,7 @@ void check_spm_selection(const std::vector<Bytes>& sizes, Bytes capacity,
                  "final mask, not just inside the solver");
   }
   if (total != used_bytes) {
-    runner.error("alloc.used-bytes.mismatch", kAllocArtifact, "",
+    runner.error(rule_ids::kAllocUsedBytesMismatch, kAllocArtifact, "",
                  "reported used_bytes=" + std::to_string(used_bytes) +
                      " but the mask sums to " + std::to_string(total) + " B",
                  "recompute used_bytes from the mask and the unpadded "
@@ -508,7 +510,7 @@ void check_allocation(const core::CasaProblem& problem,
   // deliberate heuristic (exact == false, status kOptimal = it completed);
   // only a non-completed exact search trips this rule.
   if (result.solver_status != ilp::SolveStatus::kOptimal) {
-    runner.error("alloc.solver.truncated", kAllocArtifact,
+    runner.error(rule_ids::kAllocSolverTruncated, kAllocArtifact,
                  core::to_string(result.engine_used),
                  std::string("allocation comes from a truncated solve "
                              "(solver_status == ") +
@@ -528,14 +530,14 @@ void check_energy_table(const energy::EnergyTable& table, bool has_spm,
       {"mainmem_word", table.mainmem_word}};
   for (const auto& [name, value] : entries) {
     if (!std::isfinite(value) || value < 0.0) {
-      runner.error("energy.value.invalid", kEnergyArtifact, name,
+      runner.error(rule_ids::kEnergyValueInvalid, kEnergyArtifact, name,
                    "entry is " + std::to_string(value) +
                        " nJ - energies must be finite and non-negative",
                    "rebuild the table from the technology parameters");
     }
   }
   if (!(table.cache_miss > table.cache_hit)) {
-    runner.error("energy.order.miss-hit", kEnergyArtifact,
+    runner.error(rule_ids::kEnergyOrderMissHit, kEnergyArtifact,
                  "cache_miss vs cache_hit",
                  "E_Cache_miss=" + std::to_string(table.cache_miss) +
                      " nJ is not greater than E_Cache_hit=" +
@@ -545,7 +547,7 @@ void check_energy_table(const energy::EnergyTable& table, bool has_spm,
                  "E_miss > E_hit");
   }
   if (has_spm && !(table.cache_hit > table.spm_access)) {
-    runner.error("energy.order.hit-spm", kEnergyArtifact,
+    runner.error(rule_ids::kEnergyOrderHitSpm, kEnergyArtifact,
                  "cache_hit vs spm_access",
                  "E_SP_hit=" + std::to_string(table.spm_access) +
                      " nJ is not below E_Cache_hit=" +
@@ -554,7 +556,7 @@ void check_energy_table(const energy::EnergyTable& table, bool has_spm,
                  "scratchpad can never pay off (paper table 1)");
   }
   if (has_lc && (table.lc_access <= 0.0 || table.lc_controller <= 0.0)) {
-    runner.error("energy.value.invalid", kEnergyArtifact, "loop-cache",
+    runner.error(rule_ids::kEnergyValueInvalid, kEnergyArtifact, "loop-cache",
                  "loop-cache energies must be positive when a loop cache "
                  "is configured",
                  "build the table with the loop-cache size and region "
@@ -575,7 +577,7 @@ void check_energy_scaling(const energy::TechnologyParams& tech,
       msg << "SPM access energy " << e << " nJ at " << size
           << " B breaks monotone scaling (previous size gave " << prev
           << " nJ)";
-      runner.error("energy.sram.non-monotone", kEnergyModelArtifact,
+      runner.error(rule_ids::kEnergySramNonMonotone, kEnergyModelArtifact,
                    "spm[" + std::to_string(size) + "B]", msg.str(),
                    "the SRAM-array stage decomposition only adds cost with "
                    "capacity; a decrease means a broken model term");
@@ -595,7 +597,7 @@ void check_energy_scaling(const energy::TechnologyParams& tech,
       msg << "cache hit energy " << e << " nJ at " << size
           << " B breaks monotone scaling (previous size gave " << prev
           << " nJ)";
-      runner.error("energy.sram.non-monotone", kEnergyModelArtifact,
+      runner.error(rule_ids::kEnergySramNonMonotone, kEnergyModelArtifact,
                    "cache[" + std::to_string(size) + "B]", msg.str(),
                    "the SRAM-array stage decomposition only adds cost with "
                    "capacity; a decrease means a broken model term");
@@ -632,7 +634,7 @@ void check_stack_sweep(const memsim::SimCounters& stack,
       std::ostringstream msg;
       msg << "stack-derived " << f.name << " = " << f.got
           << " but direct simulation counted " << f.want;
-      runner.error("sweep.stack.mismatch", kStackSweepArtifact, loc, msg.str(),
+      runner.error(rule_ids::kSweepStackMismatch, kStackSweepArtifact, loc, msg.str(),
                    "the one-pass engine must be bit-identical to per-config "
                    "replay; a drift here invalidates every configuration "
                    "sharing this group's stack pass");

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "casa/obs/export.hpp"
+#include "casa/obs/metric_names.hpp"
 #include "casa/obs/metrics.hpp"
 
 namespace casa::check {
@@ -30,30 +31,33 @@ std::string Diagnostic::to_string() const {
 void CheckRunner::report(Diagnostic d) {
   if (d.severity == Severity::kError) ++errors_;
   if (metrics_ != nullptr) {
-    metrics_->add("check.diagnostics");
-    metrics_->add(d.severity == Severity::kError ? "check.errors"
-                                                 : "check.warnings");
+    metrics_->add(obs::metric_names::kCheckDiagnostics);
+    metrics_->add(d.severity == Severity::kError
+                      ? obs::metric_names::kCheckErrors
+                      : obs::metric_names::kCheckWarnings);
   }
   diags_.push_back(std::move(d));
 }
 
-void CheckRunner::error(std::string rule, std::string artifact,
+void CheckRunner::error(std::string_view rule, std::string artifact,
                         std::string location, std::string message,
                         std::string hint) {
-  report(Diagnostic{Severity::kError, std::move(rule), std::move(artifact),
+  report(Diagnostic{Severity::kError, std::string(rule), std::move(artifact),
                     std::move(location), std::move(message), std::move(hint)});
 }
 
-void CheckRunner::warn(std::string rule, std::string artifact,
+void CheckRunner::warn(std::string_view rule, std::string artifact,
                        std::string location, std::string message,
                        std::string hint) {
-  report(Diagnostic{Severity::kWarning, std::move(rule), std::move(artifact),
+  report(Diagnostic{Severity::kWarning, std::string(rule), std::move(artifact),
                     std::move(location), std::move(message), std::move(hint)});
 }
 
 void CheckRunner::mark_evaluated(std::size_t count) {
   rules_evaluated_ += count;
-  if (metrics_ != nullptr) metrics_->add("check.rules_evaluated", count);
+  if (metrics_ != nullptr) {
+    metrics_->add(obs::metric_names::kCheckRulesEvaluated, count);
+  }
 }
 
 void CheckRunner::throw_if_errors() const {

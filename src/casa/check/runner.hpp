@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "casa/check/diagnostic.hpp"
@@ -31,10 +32,13 @@ class CheckRunner {
   /// Records one rule violation.
   void report(Diagnostic d);
 
-  /// Convenience for the common error/warning cases.
-  void error(std::string rule, std::string artifact, std::string location,
-             std::string message, std::string hint = "");
-  void warn(std::string rule, std::string artifact, std::string location,
+  /// Convenience for the common error/warning cases. `rule` is a
+  /// string_view so the check::rule_ids registry constants pass through
+  /// without an explicit std::string conversion at every call site.
+  void error(std::string_view rule, std::string artifact,
+             std::string location, std::string message,
+             std::string hint = "");
+  void warn(std::string_view rule, std::string artifact, std::string location,
             std::string message, std::string hint = "");
 
   /// Called by each rule function after evaluating `count` rules, violated

@@ -86,7 +86,7 @@ class CasaAllocator {
 
   explicit CasaAllocator(Options opt = {}) : opt_(opt) {}
 
-  AllocationResult allocate(const CasaProblem& p) const;
+  [[nodiscard]] AllocationResult allocate(const CasaProblem& p) const;
 
  private:
   Options opt_;

@@ -41,7 +41,7 @@ class CasaBranchBound {
 
   explicit CasaBranchBound(Options opt = {}) : opt_(opt) {}
 
-  CasaBranchBoundResult solve(const SavingsProblem& sp) const;
+  [[nodiscard]] CasaBranchBoundResult solve(const SavingsProblem& sp) const;
 
  private:
   Options opt_;

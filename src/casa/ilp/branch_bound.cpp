@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "casa/ilp/presolve.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
 #include "casa/support/thread_pool.hpp"
@@ -116,8 +117,9 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
     if (tracer != nullptr && (out.stats.nodes & 1023u) == 0) {
       // Sampled search-progress counters: one pair of samples per 1024
       // nodes keeps the timeline readable on million-node solves.
-      tracer->counter("ilp.nodes", static_cast<double>(out.stats.nodes));
-      tracer->counter("ilp.prunes",
+      tracer->counter(obs::trace_names::kIlpNodes,
+                      static_cast<double>(out.stats.nodes));
+      tracer->counter(obs::trace_names::kIlpPrunes,
                       static_cast<double>(out.stats.bound_prunes +
                                           out.stats.infeasible_prunes));
     }
@@ -186,7 +188,8 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
     if (branch_var < 0) {
       // Integral: new incumbent.
       if (tracer != nullptr) {
-        tracer->instant("ilp.incumbent", relax.objective, "ilp");
+        tracer->instant(obs::trace_names::kIlpIncumbent, relax.objective,
+                        obs::trace_names::kCatIlp);
       }
       incumbent_key = key_of(maximize, relax.objective);
       out.best = std::move(relax);
@@ -220,10 +223,10 @@ SubtreeResult explore_subtree(const Model& m, const BranchAndBoundOptions& opt,
   if (tracer != nullptr) {
     // Final per-subtree totals, so prune pressure is visible even on
     // subtrees too small to hit a 1024-node sample.
-    tracer->instant("ilp.prunes",
+    tracer->instant(obs::trace_names::kIlpPrunes,
                     static_cast<double>(out.stats.bound_prunes +
                                         out.stats.infeasible_prunes),
-                    "ilp");
+                    obs::trace_names::kCatIlp);
   }
   return out;
 }
@@ -254,7 +257,8 @@ Solution BranchAndBound::solve(const Model& m) const {
     const PresolveResult pre = presolve_box(m, root.lower, root.upper);
     last_stats_.presolve_fixed = pre.fixed;
     if (tracer != nullptr) {
-      tracer->instant("ilp.presolve", static_cast<double>(pre.fixed), "ilp");
+      tracer->instant(obs::trace_names::kIlpPresolve, static_cast<double>(pre.fixed),
+                      obs::trace_names::kCatIlp);
     }
     if (!pre.feasible) {
       // Presolve infeasibility is a complete proof, not a truncation.
@@ -357,7 +361,8 @@ Solution BranchAndBound::solve(const Model& m) const {
   if (last_stats_.warm_start_used) {
     last_stats_.root_gap = std::max(0.0, incumbent_key - root_key);
     if (tracer != nullptr) {
-      tracer->instant("ilp.warm_start", last_stats_.root_gap, "ilp");
+      tracer->instant(obs::trace_names::kIlpWarmStart, last_stats_.root_gap,
+                      obs::trace_names::kCatIlp);
     }
     if (incumbent_key <= root_key + opt_.gap_tol) {
       // The warm incumbent already meets the root bound: proven optimal.
@@ -391,8 +396,9 @@ Solution BranchAndBound::solve(const Model& m) const {
       }
     }
     if (tracer != nullptr) {
-      tracer->instant("ilp.rc_fixed",
-                      static_cast<double>(last_stats_.rc_fixed), "ilp");
+      tracer->instant(obs::trace_names::kIlpRcFixed,
+                      static_cast<double>(last_stats_.rc_fixed),
+                      obs::trace_names::kCatIlp);
     }
   }
 
@@ -445,12 +451,12 @@ Solution BranchAndBound::solve(const Model& m) const {
   if (tracer != nullptr && depth > 0) {
     subtree_flows.reserve(n_subtrees);
     for (std::size_t i = 0; i < n_subtrees; ++i) {
-      subtree_flows.push_back(tracer->flow_begin("ilp.subtree", "ilp"));
+      subtree_flows.push_back(tracer->flow_begin(obs::trace_names::kIlpSubtree, obs::trace_names::kCatIlp));
     }
   }
   const auto run_subtree = [&](std::size_t i) {
     const obs::TraceSpan scope(
-        depth > 0 ? tracer : nullptr, "ilp.subtree", "ilp",
+        depth > 0 ? tracer : nullptr, obs::trace_names::kIlpSubtree, obs::trace_names::kCatIlp,
         subtree_flows.empty() ? 0 : subtree_flows[i]);
     Node sub = root;
     sub.depth = depth;

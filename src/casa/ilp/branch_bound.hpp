@@ -82,7 +82,7 @@ class BranchAndBound {
   ///                  otherwise the solution carries empty values and proves
   ///                  nothing about feasibility.
   ///  * kUnbounded  — the relaxation is unbounded through continuous vars.
-  Solution solve(const Model& m) const;
+  [[nodiscard]] Solution solve(const Model& m) const;
 
   /// Nodes explored by the most recent solve() (observability hook).
   std::uint64_t last_node_count() const { return last_stats_.nodes; }

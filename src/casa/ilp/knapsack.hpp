@@ -24,7 +24,7 @@ struct KnapsackResult {
 /// Maximizes total profit subject to total weight <= capacity. Items with
 /// non-positive profit are never taken; items heavier than the capacity are
 /// skipped.
-KnapsackResult solve_knapsack(const std::vector<KnapsackItem>& items,
-                              std::uint64_t capacity);
+[[nodiscard]] KnapsackResult solve_knapsack(
+    const std::vector<KnapsackItem>& items, std::uint64_t capacity);
 
 }  // namespace casa::ilp

@@ -34,13 +34,14 @@ class SimplexSolver {
   explicit SimplexSolver(Options opt = {}) : opt_(opt) {}
 
   /// Solves the LP relaxation of `m`.
-  Solution solve_relaxation(const Model& m) const;
+  [[nodiscard]] Solution solve_relaxation(const Model& m) const;
 
   /// Solves the LP relaxation with per-variable bound overrides (used by
   /// branch & bound to fix binaries without copying the model). Vectors must
   /// be empty or sized var_count().
-  Solution solve_relaxation(const Model& m, const std::vector<double>& lower,
-                            const std::vector<double>& upper) const;
+  [[nodiscard]] Solution solve_relaxation(
+      const Model& m, const std::vector<double>& lower,
+      const std::vector<double>& upper) const;
 
  private:
   Options opt_;

@@ -1,0 +1,410 @@
+#include "casa/lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace casa::lint {
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent:
+      return "ident";
+    case TokKind::kNumber:
+      return "number";
+    case TokKind::kString:
+      return "string";
+    case TokKind::kChar:
+      return "char";
+    case TokKind::kPunct:
+      return "punct";
+    case TokKind::kDirective:
+      return "directive";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// First word of a directive body: "#  pragma once" -> "pragma".
+std::string_view directive_keyword(std::string_view body) {
+  std::size_t i = 0;
+  while (i < body.size() && body[i] == '#') ++i;
+  while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < body.size() && is_ident_char(body[j])) ++j;
+  return body.substr(i, j - i);
+}
+
+/// Token after the directive keyword: "#if 0  // x" -> "0".
+std::string_view directive_operand(std::string_view body) {
+  std::size_t i = 0;
+  while (i < body.size() && body[i] == '#') ++i;
+  while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+  while (i < body.size() && is_ident_char(body[i])) ++i;  // keyword
+  while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < body.size() && body[j] != ' ' && body[j] != '\t') ++j;
+  return body.substr(i, j - i);
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const SourceFile& src) : text_(src.text) {}
+
+  LexResult run() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\\' && peek(1) == '\n') {  // stray splice between tokens
+        advance();
+        advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+          c == '\v') {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && only_blank_before_on_line()) {
+        lex_directive();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false, /*prefix_len=*/0);
+        continue;
+      }
+      if (is_raw_string_intro()) {
+        lex_raw_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      push(TokKind::kPunct, std::string(1, c), line_, col_);
+      advance();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool eof() const { return i_ >= text_.size(); }
+  char peek(std::size_t off = 0) const {
+    return i_ + off < text_.size() ? text_[i_ + off] : '\0';
+  }
+  void advance() {
+    if (text_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+  void push(TokKind kind, std::string text, int line, int col) {
+    out_.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  /// True when every byte between the last newline and i_ is blank — the
+  /// preprocessor's definition of a directive-introducing '#'.
+  bool only_blank_before_on_line() const {
+    std::size_t j = i_;
+    while (j > 0) {
+      const char c = text_[j - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t') return false;
+      --j;
+    }
+    return true;
+  }
+
+  bool is_raw_string_intro() const {
+    // R"..., u8R"..., uR"..., UR"..., LR"...
+    std::size_t j = i_;
+    if (peek() == 'u' && peek(1) == '8') j += 2;
+    else if (peek() == 'u' || peek() == 'U' || peek() == 'L') j += 1;
+    if (j < text_.size() && text_[j] == 'R' && j + 1 < text_.size() &&
+        text_[j + 1] == '"') {
+      // Reject when the prefix is the tail of a longer identifier (fooR"").
+      if (i_ > 0 && is_ident_char(text_[i_ - 1])) return false;
+      return true;
+    }
+    return false;
+  }
+
+  void lex_line_comment() {
+    const int line = line_;
+    const int col = col_;
+    advance();  // '/'
+    advance();  // '/'
+    std::string text;
+    while (!eof()) {
+      if (peek() == '\\' && peek(1) == '\n') {  // spliced comment continues
+        text += ' ';
+        advance();
+        advance();
+        continue;
+      }
+      if (peek() == '\n') break;
+      text += peek();
+      advance();
+    }
+    out_.comments.push_back(Comment{std::move(text), line, col});
+  }
+
+  void lex_block_comment() {
+    const int line = line_;
+    const int col = col_;
+    advance();  // '/'
+    advance();  // '*'
+    std::string text;
+    while (!eof()) {
+      if (peek() == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        out_.comments.push_back(Comment{std::move(text), line, col});
+        return;
+      }
+      text += peek();
+      advance();
+    }
+    out_.errors.push_back(LexError{"unterminated block comment", line, col});
+  }
+
+  void lex_string(bool raw, std::size_t prefix_len) {
+    (void)raw;
+    const int line = line_;
+    const int col = col_;
+    for (std::size_t k = 0; k < prefix_len; ++k) advance();
+    advance();  // opening '"'
+    std::string text;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\\') {  // escape: keep both bytes, never close on \"
+        text += c;
+        advance();
+        if (!eof()) {
+          text += peek();
+          advance();
+        }
+        continue;
+      }
+      if (c == '"') {
+        advance();
+        push(TokKind::kString, std::move(text), line, col);
+        return;
+      }
+      if (c == '\n') break;  // a plain literal cannot span lines
+      text += c;
+      advance();
+    }
+    out_.errors.push_back(LexError{"unterminated string literal", line, col});
+  }
+
+  void lex_raw_string() {
+    const int line = line_;
+    const int col = col_;
+    while (peek() != 'R') advance();  // encoding prefix
+    advance();                        // 'R'
+    advance();                        // '"'
+    std::string delim;
+    while (!eof() && peek() != '(') {
+      delim += peek();
+      advance();
+    }
+    if (eof()) {
+      out_.errors.push_back(
+          LexError{"unterminated raw string delimiter", line, col});
+      return;
+    }
+    advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (!eof()) {
+      if (peek() == ')' &&
+          text_.compare(i_, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) advance();
+        push(TokKind::kString, std::move(text), line, col);
+        return;
+      }
+      text += peek();
+      advance();
+    }
+    out_.errors.push_back(LexError{"unterminated raw string", line, col});
+  }
+
+  void lex_char() {
+    const int line = line_;
+    const int col = col_;
+    advance();  // opening '\''
+    std::string text;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\\') {
+        text += c;
+        advance();
+        if (!eof()) {
+          text += peek();
+          advance();
+        }
+        continue;
+      }
+      if (c == '\'') {
+        advance();
+        push(TokKind::kChar, std::move(text), line, col);
+        return;
+      }
+      if (c == '\n') break;
+      text += c;
+      advance();
+    }
+    out_.errors.push_back(
+        LexError{"unterminated character literal", line, col});
+  }
+
+  void lex_ident() {
+    const int line = line_;
+    const int col = col_;
+    std::string text;
+    while (!eof() && is_ident_char(peek())) {
+      text += peek();
+      advance();
+    }
+    push(TokKind::kIdent, std::move(text), line, col);
+  }
+
+  void lex_number() {
+    const int line = line_;
+    const int col = col_;
+    std::string text;
+    while (!eof()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.' ||
+          (c == '\'' && is_ident_char(peek(1)) && !text.empty())) {
+        text += c;
+        advance();
+        continue;
+      }
+      // Exponent sign: 1e-5, 0x1p+3.
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += c;
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::move(text), line, col);
+  }
+
+  /// Reads one directive (splices joined, comments elided) and handles
+  /// `#if 0` / `#if false` region skipping.
+  void lex_directive() {
+    const int line = line_;
+    const int col = col_;
+    std::string body;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\\' && peek(1) == '\n') {  // splice: directive continues
+        body += ' ';
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        body += ' ';
+        continue;
+      }
+      body += c;
+      advance();
+    }
+    const std::string_view kw = directive_keyword(body);
+    const std::string_view operand = directive_operand(body);
+    push(TokKind::kDirective, body, line, col);
+    if (kw == "if" && (operand == "0" || operand == "false")) {
+      out_.dead_blocks.push_back(line);
+      skip_inactive();
+    }
+  }
+
+  /// Skips an `#if 0` region the way the preprocessor does: only nested
+  /// conditional directives are interpreted; everything else — including
+  /// unbalanced quotes and braces — is ignored. Resumes after the matching
+  /// `#endif`, or at a same-depth `#else`/`#elif` (whose branch is live).
+  void skip_inactive() {
+    int depth = 0;
+    while (!eof()) {
+      // Advance to the next line start.
+      while (!eof() && peek() != '\n') advance();
+      if (!eof()) advance();  // consume the newline
+      // Peek the directive on this line, if any.
+      std::size_t j = i_;
+      while (j < text_.size() && (text_[j] == ' ' || text_[j] == '\t')) ++j;
+      if (j >= text_.size() || text_[j] != '#') continue;
+      std::size_t e = j;
+      while (e < text_.size() && text_[e] != '\n') ++e;
+      const std::string_view body(text_.data() + j, e - j);
+      const std::string_view kw = directive_keyword(body);
+      if (kw == "if" || kw == "ifdef" || kw == "ifndef") {
+        ++depth;
+      } else if (kw == "endif") {
+        if (depth == 0) {
+          while (!eof() && peek() != '\n') advance();  // swallow #endif
+          return;
+        }
+        --depth;
+      } else if ((kw == "else" || kw == "elif") && depth == 0) {
+        // The alternative branch is (conservatively) live: resume lexing
+        // right after this directive line.
+        while (!eof() && peek() != '\n') advance();
+        return;
+      }
+    }
+    out_.errors.push_back(
+        LexError{"unterminated #if 0 block", line_, col_});
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(const SourceFile& src) { return Lexer(src).run(); }
+
+}  // namespace casa::lint

@@ -1,0 +1,71 @@
+// Preprocessor/string/comment-aware C++ tokenizer for casa::lint.
+//
+// This is not a compiler front end: it produces exactly the token stream
+// the lint rules need — identifiers, literals, punctuation, one token per
+// preprocessor directive — while getting the hard lexical cases *right*,
+// because those are where grep-based linting silently lies:
+//  * string literals (escapes, raw strings with custom delimiters,
+//    encoding prefixes) never leak their contents into the code stream;
+//  * comments (// with line splices, /* */ across lines) are kept in a
+//    side channel so suppression markers stay visible without polluting
+//    the rules' view of the code;
+//  * `#if 0` / `#if false` regions are skipped like the preprocessor
+//    would, so dead code cannot trip (or satisfy) a rule;
+//  * backslash-newline splices are joined inside directives.
+// Anything it cannot lex (unterminated string/comment) becomes a
+// `lex.unterminated` diagnostic instead of garbage tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "casa/lint/source.hpp"
+
+namespace casa::lint {
+
+enum class TokKind {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< numeric literal (incl. digit separators, exponents)
+  kString,     ///< string literal; text is the *contents*, undecoded
+  kChar,       ///< character literal; text is the contents
+  kPunct,      ///< single punctuation character
+  kDirective,  ///< whole preprocessor directive, splices joined
+};
+
+const char* to_string(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based, byte offset within the line
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+/// A comment, kept separate from the code stream. `text` excludes the
+/// delimiters; `line` is where the comment starts.
+struct Comment {
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+/// A lexical error: rule `lex.unterminated`, message names the construct.
+struct LexError {
+  std::string message;
+  int line = 0;
+  int col = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<LexError> errors;
+  /// Lines carrying an `#if 0` / `#if false` whose region was skipped.
+  std::vector<int> dead_blocks;
+};
+
+LexResult lex(const SourceFile& src);
+
+}  // namespace casa::lint

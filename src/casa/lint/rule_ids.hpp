@@ -1,0 +1,75 @@
+// Central registry of every casa::lint rule id.
+//
+// Same contract as check::rule_ids, one level up: these are the ids the
+// *source-level* analyzer emits. docs/lint.md catalogues each one with its
+// rationale and the suppression syntax; casa_lint checks that catalogue
+// against this array (`names.undocumented`), so a rule cannot ship
+// undocumented — including lint's own.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <string_view>
+
+namespace casa::lint::rule_ids {
+
+// ---- tokenizer ----
+inline constexpr std::string_view kLexUnterminated = "lex.unterminated";
+
+// ---- preprocessor hygiene ----
+inline constexpr std::string_view kPpPragmaOnce = "pp.pragma-once";
+inline constexpr std::string_view kPpDeadCode = "pp.dead-code";
+
+// ---- include graph ----
+inline constexpr std::string_view kIncludeStyle = "include.style";
+inline constexpr std::string_view kIncludeCycle = "include.cycle";
+inline constexpr std::string_view kIncludeLayering = "include.layering";
+inline constexpr std::string_view kIncludeForbidden = "include.forbidden";
+
+// ---- name registries / docs sync ----
+inline constexpr std::string_view kNamesUnregistered = "names.unregistered";
+inline constexpr std::string_view kNamesUndocumented = "names.undocumented";
+
+// ---- concurrency / hot-path hygiene ----
+inline constexpr std::string_view kHygieneMutableGlobal =
+    "hygiene.mutable-global";
+inline constexpr std::string_view kHygieneRawNew = "hygiene.raw-new";
+inline constexpr std::string_view kHygieneDetachedThread =
+    "hygiene.detached-thread";
+inline constexpr std::string_view kHotpathEndl = "hotpath.endl";
+
+// ---- API contracts ----
+inline constexpr std::string_view kApiNodiscardStatus = "api.nodiscard-status";
+
+/// Every lint rule id, docs-sync-checked against docs/lint.md by casa_lint
+/// itself.
+inline constexpr std::string_view kAll[] = {
+    kLexUnterminated,      kPpPragmaOnce,     kPpDeadCode,
+    kIncludeStyle,         kIncludeCycle,     kIncludeLayering,
+    kIncludeForbidden,     kNamesUnregistered, kNamesUndocumented,
+    kHygieneMutableGlobal, kHygieneRawNew,    kHygieneDetachedThread,
+    kHotpathEndl,          kApiNodiscardStatus,
+};
+
+namespace detail {
+constexpr bool all_unique(const std::string_view* names, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (names[i] == names[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::all_unique(kAll, std::size(kAll)),
+              "duplicate rule id in lint::rule_ids::kAll");
+
+constexpr bool is_registered(std::string_view id) {
+  for (std::string_view n : kAll) {
+    if (n == id) return true;
+  }
+  return false;
+}
+
+}  // namespace casa::lint::rule_ids

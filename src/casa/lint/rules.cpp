@@ -1,0 +1,848 @@
+#include "casa/lint/rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "casa/check/rule_ids.hpp"
+#include "casa/lint/rule_ids.hpp"
+#include "casa/obs/metric_names.hpp"
+#include "casa/obs/trace_names.hpp"
+
+namespace casa::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// "src/casa/obs/metrics.hpp" -> "obs"; "" when not under src/casa/.
+std::string_view module_dir(std::string_view path) {
+  constexpr std::string_view kPrefix = "src/casa/";
+  if (!starts_with(path, kPrefix)) return {};
+  std::string_view rest = path.substr(kPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return rest.substr(0, slash);
+}
+
+/// "src/casa/obs/metrics.hpp" -> "metrics".
+std::string_view file_stem(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  std::string_view name =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.rfind('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+/// First word of a directive body: "#  pragma once" -> "pragma".
+std::string_view directive_keyword(std::string_view body) {
+  std::size_t i = 0;
+  while (i < body.size() && body[i] == '#') ++i;
+  while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < body.size() &&
+         ((body[j] >= 'a' && body[j] <= 'z') ||
+          (body[j] >= 'A' && body[j] <= 'Z') ||
+          (body[j] >= '0' && body[j] <= '9') || body[j] == '_')) {
+    ++j;
+  }
+  return body.substr(i, j - i);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParsedFile / suppressions
+// ---------------------------------------------------------------------------
+
+ParsedFile parse_source(SourceFile src) {
+  ParsedFile out;
+  out.lex = lex(src);
+  out.source = std::move(src);
+  for (const Comment& c : out.lex.comments) {
+    std::size_t pos = c.text.find("casa-lint:");
+    if (pos == std::string::npos) continue;
+    pos = c.text.find("allow(", pos);
+    if (pos == std::string::npos) continue;
+    const std::size_t close = c.text.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string_view inner(c.text.data() + pos + 6, close - pos - 6);
+    while (!inner.empty()) {
+      const std::size_t comma = inner.find(',');
+      std::string_view rule = trim(inner.substr(0, comma));
+      if (!rule.empty()) out.allows.emplace_back(c.line, std::string(rule));
+      if (comma == std::string_view::npos) break;
+      inner.remove_prefix(comma + 1);
+    }
+  }
+  return out;
+}
+
+bool ParsedFile::suppressed(std::string_view rule, int line) const {
+  for (const auto& [allow_line, allow_rule] : allows) {
+    if (allow_rule == rule && (allow_line == line || allow_line == line - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Includes
+// ---------------------------------------------------------------------------
+
+std::vector<IncludeRef> includes_of(const ParsedFile& file) {
+  std::vector<IncludeRef> out;
+  for (const Token& t : file.lex.tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    if (directive_keyword(t.text) != "include") continue;
+    const std::size_t open = t.text.find_first_of("\"<");
+    if (open == std::string::npos) continue;
+    const bool angled = t.text[open] == '<';
+    const std::size_t close = t.text.find(angled ? '>' : '"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(IncludeRef{
+        t.text.substr(open + 1, close - open - 1), angled, t.line});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layer model from CMakeLists
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// CMake tokens: comments stripped, parens split out, rest on whitespace.
+std::vector<std::string> cmake_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+      if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+      continue;
+    }
+    if (c == '(' || c == ')') {
+      if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+      out.push_back(std::string(1, c));
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) out.push_back(std::exchange(cur, {}));
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool is_cmake_keyword(std::string_view tok) {
+  return tok == "STATIC" || tok == "SHARED" || tok == "OBJECT" ||
+         tok == "INTERFACE" || tok == "MODULE" || tok == "ALIAS" ||
+         tok == "EXCLUDE_FROM_ALL" || tok == "PUBLIC" || tok == "PRIVATE";
+}
+
+}  // namespace
+
+const LayerModel::Target* LayerModel::find(std::string_view name) const {
+  for (const Target& t : targets) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const LayerModel::Target*> LayerModel::targets_in_dir(
+    std::string_view dir) const {
+  std::vector<const Target*> out;
+  for (const Target& t : targets) {
+    if (t.dir == dir) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const LayerModel::Target*> LayerModel::owners(
+    std::string_view dir, std::string_view stem) const {
+  for (const Target& t : targets) {
+    if (t.dir != dir) continue;
+    if (std::find(t.stems.begin(), t.stems.end(), stem) != t.stems.end()) {
+      return {&t};
+    }
+  }
+  return targets_in_dir(dir);
+}
+
+bool LayerModel::allowed(std::string_view dir, std::string_view stem,
+                         std::string_view include_dir) const {
+  if (include_dir == dir) return true;
+  const std::vector<const Target*> own = owners(dir, stem);
+  if (own.empty()) return true;  // unknown module: never flag blindly
+  for (const Target* t : own) {
+    for (const std::string& dep : t->deps) {
+      const Target* d = find(dep);
+      if (d != nullptr && d->dir == include_dir) return true;
+    }
+  }
+  return false;
+}
+
+LayerModel parse_layer_model(const std::vector<SourceFile>& cmake_files) {
+  LayerModel model;
+  for (const SourceFile& f : cmake_files) {
+    const std::string dir(module_dir(f.path));
+    const std::vector<std::string> toks = cmake_tokens(f.text);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i] == "add_library" && i + 2 < toks.size() &&
+          toks[i + 1] == "(") {
+        LayerModel::Target t;
+        t.name = toks[i + 2];
+        t.dir = dir;
+        for (std::size_t j = i + 3; j < toks.size() && toks[j] != ")"; ++j) {
+          if (is_cmake_keyword(toks[j])) continue;
+          if (ends_with(toks[j], ".cpp")) {
+            t.stems.push_back(std::string(file_stem(toks[j])));
+          }
+        }
+        model.targets.push_back(std::move(t));
+        continue;
+      }
+      if (toks[i] == "target_link_libraries" && i + 2 < toks.size() &&
+          toks[i + 1] == "(") {
+        const std::string& name = toks[i + 2];
+        for (LayerModel::Target& t : model.targets) {
+          if (t.name != name) continue;
+          for (std::size_t j = i + 3; j < toks.size() && toks[j] != ")";
+               ++j) {
+            if (is_cmake_keyword(toks[j])) continue;
+            if (starts_with(toks[j], "casa_")) t.deps.push_back(toks[j]);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Dotted names
+// ---------------------------------------------------------------------------
+
+bool is_dotted_name(std::string_view s) {
+  // File names use the same shape; a path or artifact name is not a
+  // metric/rule id, so known extensions are excluded outright.
+  static constexpr std::string_view kFileExts[] = {
+      ".json", ".jsonl", ".csv", ".md",   ".txt", ".sh",  ".hpp",
+      ".cpp",  ".cc",    ".h",   ".yml",  ".yaml", ".py", ".html",
+      ".log",  ".gz",    ".cfg", ".trace",
+  };
+  if (s.size() < 3) return false;
+  if (s[0] < 'a' || s[0] > 'z') return false;
+  std::size_t segments = 1;
+  std::size_t seg_len = 0;
+  for (const char c : s) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  if (seg_len == 0 || segments < 2) return false;
+  for (const std::string_view ext : kFileExts) {
+    if (ends_with(s, ext)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+void rule_lex(const ParsedFile& file, LintRunner& runner) {
+  for (const LexError& e : file.lex.errors) {
+    if (file.suppressed(rule_ids::kLexUnterminated, e.line)) continue;
+    runner.error(rule_ids::kLexUnterminated, file.source.path, e.line, e.col,
+                 e.message);
+  }
+}
+
+void rule_pragma_once(const ParsedFile& file, LintRunner& runner) {
+  if (!ends_with(file.source.path, ".hpp")) return;
+  for (const Token& t : file.lex.tokens) {
+    if (t.kind == TokKind::kDirective &&
+        directive_keyword(t.text) == "pragma" &&
+        t.text.find("once") != std::string::npos) {
+      return;
+    }
+  }
+  if (file.suppressed(rule_ids::kPpPragmaOnce, 1)) return;
+  runner.error(rule_ids::kPpPragmaOnce, file.source.path, 1, 1,
+               "header has no #pragma once",
+               "add #pragma once below the header comment");
+}
+
+void rule_dead_code(const ParsedFile& file, LintRunner& runner) {
+  for (const int line : file.lex.dead_blocks) {
+    if (file.suppressed(rule_ids::kPpDeadCode, line)) continue;
+    runner.warn(rule_ids::kPpDeadCode, file.source.path, line, 1,
+                "code disabled with #if 0 / #if false",
+                "delete the dead block or leave a comment explaining why it "
+                "must stay");
+  }
+}
+
+void rule_include_style(const ParsedFile& file, LintRunner& runner) {
+  for (const IncludeRef& inc : includes_of(file)) {
+    if (file.suppressed(rule_ids::kIncludeStyle, inc.line)) continue;
+    if (inc.angled && starts_with(inc.path, "casa/")) {
+      runner.error(rule_ids::kIncludeStyle, file.source.path, inc.line, 1,
+                   "project header <" + inc.path + "> included with angle "
+                   "brackets",
+                   "use #include \"" + inc.path + "\"");
+    } else if (!inc.angled && !starts_with(inc.path, "casa/")) {
+      runner.error(rule_ids::kIncludeStyle, file.source.path, inc.line, 1,
+                   "quoted include \"" + inc.path + "\" is not a casa/ "
+                   "project header",
+                   "use angle brackets for system and third-party headers");
+    }
+  }
+}
+
+namespace {
+
+constexpr std::string_view kHotDirs[] = {
+    "cachesim", "memsim", "sim", "ilp", "core", "conflict", "trace",
+    "traceopt",
+};
+
+bool in_hot_dir(std::string_view path) {
+  const std::string_view dir = module_dir(path);
+  for (const std::string_view d : kHotDirs) {
+    if (dir == d) return true;
+  }
+  return false;
+}
+
+/// Idents that mean a declaration already carries synchronisation or
+/// immutability and needs no mutable-global diagnostic.
+bool is_sync_or_const_ident(std::string_view t) {
+  return t == "const" || t == "constexpr" || t == "constinit" ||
+         t == "thread_local" || starts_with(t, "atomic") || t == "mutex" ||
+         t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "once_flag" ||
+         t == "condition_variable" || t == "condition_variable_any" ||
+         t == "counting_semaphore" || t == "binary_semaphore" ||
+         t == "barrier" || t == "latch";
+}
+
+bool is_skip_leader(std::string_view t) {
+  return t == "using" || t == "typedef" || t == "static_assert" ||
+         t == "namespace" || t == "template" || t == "friend" ||
+         t == "extern" ||
+         t == "concept" || t == "return" || t == "if" || t == "for" ||
+         t == "while" || t == "do" || t == "switch" || t == "case" ||
+         t == "default" || t == "break" || t == "continue" || t == "goto" ||
+         t == "else" || t == "try" || t == "catch" || t == "public" ||
+         t == "private" || t == "protected" || t == "co_return" ||
+         t == "throw" || t == "delete" || t == "operator";
+}
+
+/// Analyzes one declaration (tokens between statement boundaries). When
+/// `require_static` is set (block / class scope) only `static` locals and
+/// members are candidates; at namespace scope every definition is.
+void check_mutable_decl(const ParsedFile& file,
+                        const std::vector<const Token*>& decl,
+                        bool require_static, LintRunner& runner) {
+  if (decl.empty()) return;
+  if (is_skip_leader(decl.front()->text)) return;
+  bool has_static = false;
+  bool has_ident = false;
+  std::size_t eq_pos = decl.size();
+  std::size_t paren_pos = decl.size();
+  for (std::size_t i = 0; i < decl.size(); ++i) {
+    const Token& t = *decl[i];
+    if (t.kind == TokKind::kIdent) {
+      has_ident = true;
+      if (t.text == "static") has_static = true;
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum") {
+        return;  // type definition / elaborated specifier
+      }
+      if (is_sync_or_const_ident(t.text)) return;
+      if (is_skip_leader(t.text)) return;
+    } else if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" && paren_pos == decl.size()) paren_pos = i;
+      if (t.text == "=" && eq_pos == decl.size()) eq_pos = i;
+    }
+  }
+  if (!has_ident) return;
+  if (require_static && !has_static) return;
+  // A '(' before any '=' is a function declaration or a call statement.
+  if (paren_pos < eq_pos) return;
+  // The declared name: the last identifier before the initializer.
+  const Token* name = nullptr;
+  for (std::size_t i = 0; i < eq_pos && i < decl.size(); ++i) {
+    if (decl[i]->kind == TokKind::kIdent) name = decl[i];
+  }
+  if (name == nullptr) return;
+  const Token& at = *decl.front();
+  if (file.suppressed(rule_ids::kHygieneMutableGlobal, at.line)) return;
+  runner.error(rule_ids::kHygieneMutableGlobal, file.source.path, at.line,
+               at.col,
+               std::string(require_static ? "mutable static \""
+                                          : "mutable global \"") +
+                   name->text + "\" is not atomic, locked, or thread_local",
+               "make it const/constexpr, std::atomic, thread_local, or "
+               "guard it with a mutex");
+}
+
+enum class ScopeKind { kNamespace, kType, kBlock };
+
+void scan_mutable_globals(const ParsedFile& file, LintRunner& runner) {
+  const std::vector<Token>& toks = file.lex.tokens;
+  std::vector<ScopeKind> scopes{ScopeKind::kNamespace};
+  std::vector<const Token*> decl;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kDirective) continue;
+    if (t.kind != TokKind::kPunct) {
+      decl.push_back(&t);
+      continue;
+    }
+    if (t.text == ";") {
+      check_mutable_decl(file, decl, scopes.back() != ScopeKind::kNamespace,
+                         runner);
+      decl.clear();
+      continue;
+    }
+    if (t.text == "{") {
+      bool has_ns = false, has_type = false, has_paren = false,
+           has_eq = false;
+      for (const Token* d : decl) {
+        if (d->kind == TokKind::kIdent) {
+          if (d->text == "namespace") has_ns = true;
+          if (d->text == "class" || d->text == "struct" ||
+              d->text == "union" || d->text == "enum") {
+            has_type = true;
+          }
+        } else if (d->kind == TokKind::kPunct) {
+          if (d->text == "(") has_paren = true;
+          if (d->text == "=") has_eq = true;
+        }
+      }
+      const bool block_leader =
+          decl.empty() ||
+          (decl.size() == 1 && (decl.front()->text == "else" ||
+                                decl.front()->text == "do" ||
+                                decl.front()->text == "try"));
+      if (has_ns || (!decl.empty() && decl.front()->text == "extern")) {
+        scopes.push_back(ScopeKind::kNamespace);
+      } else if (has_type && !has_paren && !has_eq) {
+        scopes.push_back(ScopeKind::kType);
+      } else if (has_paren || block_leader) {
+        scopes.push_back(ScopeKind::kBlock);
+      } else {
+        // Brace initializer (`int g{0};`, `= {1, 2}`): skip its contents
+        // but keep the declaration for the ';' that follows.
+        int depth = 1;
+        ++i;
+        for (; i < toks.size(); ++i) {
+          if (toks[i].kind != TokKind::kPunct) continue;
+          if (toks[i].text == "{") ++depth;
+          if (toks[i].text == "}" && --depth == 0) break;
+        }
+        continue;
+      }
+      decl.clear();
+      continue;
+    }
+    if (t.text == "}") {
+      if (scopes.size() > 1) scopes.pop_back();
+      decl.clear();
+      continue;
+    }
+    decl.push_back(&t);
+  }
+}
+
+}  // namespace
+
+void rule_hygiene(const ParsedFile& file, LintRunner& runner) {
+  const std::vector<Token>& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "new") {
+      if (file.suppressed(rule_ids::kHygieneRawNew, t.line)) continue;
+      runner.error(rule_ids::kHygieneRawNew, file.source.path, t.line, t.col,
+                   "raw operator new",
+                   "use std::make_unique / std::vector instead of manual "
+                   "allocation");
+    } else if (t.text == "delete") {
+      // `= delete;` / `= delete,` is the deleted-function syntax, not a
+      // deallocation.
+      const bool deleted_fn =
+          i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+          toks[i - 1].text == "=" && i + 1 < toks.size() &&
+          toks[i + 1].kind == TokKind::kPunct &&
+          (toks[i + 1].text == ";" || toks[i + 1].text == ",");
+      if (deleted_fn) continue;
+      if (file.suppressed(rule_ids::kHygieneRawNew, t.line)) continue;
+      runner.error(rule_ids::kHygieneRawNew, file.source.path, t.line, t.col,
+                   "raw operator delete",
+                   "owning pointers belong in std::unique_ptr");
+    } else if (t.text == "detach") {
+      const bool member_call =
+          i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." ||
+           (toks[i - 1].text == ">" && i > 1 &&
+            toks[i - 2].kind == TokKind::kPunct &&
+            toks[i - 2].text == "-")) &&
+          i + 1 < toks.size() && toks[i + 1].text == "(";
+      if (!member_call) continue;
+      if (file.suppressed(rule_ids::kHygieneDetachedThread, t.line)) continue;
+      runner.error(rule_ids::kHygieneDetachedThread, file.source.path, t.line,
+                   t.col, "detached thread",
+                   "join the thread (or hand it to ThreadPool) so shutdown "
+                   "is deterministic");
+    } else if (t.text == "endl") {
+      if (file.suppressed(rule_ids::kHotpathEndl, t.line)) continue;
+      const bool hot = in_hot_dir(file.source.path);
+      const std::string msg =
+          "std::endl flushes the stream on every call";
+      const std::string hint = "write '\\n' and flush explicitly if needed";
+      if (hot) {
+        runner.error(rule_ids::kHotpathEndl, file.source.path, t.line, t.col,
+                     msg + " (hot-path module)", hint);
+      } else {
+        runner.warn(rule_ids::kHotpathEndl, file.source.path, t.line, t.col,
+                    msg, hint);
+      }
+    }
+  }
+  scan_mutable_globals(file, runner);
+}
+
+void rule_api_nodiscard(const ParsedFile& file, LintRunner& runner) {
+  const std::string_view dir = module_dir(file.source.path);
+  if ((dir != "ilp" && dir != "core") ||
+      !ends_with(file.source.path, ".hpp")) {
+    return;
+  }
+  // Result/status types whose value must not be silently dropped.
+  constexpr std::string_view kStatusTypes[] = {
+      "Solution", "SolveStatus", "KnapsackResult", "CasaBranchBoundResult",
+      "AllocationResult",
+  };
+  const std::vector<Token>& toks = file.lex.tokens;
+  bool window_nodiscard = false;
+  bool window_dirty = false;  // saw '=' or 'return': not a declaration
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      window_nodiscard = false;
+      window_dirty = false;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && t.text == "nodiscard") {
+      window_nodiscard = true;
+      continue;
+    }
+    if ((t.kind == TokKind::kPunct && t.text == "=") ||
+        (t.kind == TokKind::kIdent && t.text == "return")) {
+      window_dirty = true;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || window_dirty || window_nodiscard) {
+      continue;
+    }
+    bool is_status = false;
+    for (const std::string_view s : kStatusTypes) {
+      if (t.text == s) is_status = true;
+    }
+    if (!is_status) continue;
+    if (i + 2 >= toks.size() || toks[i + 1].kind != TokKind::kIdent ||
+        toks[i + 2].text != "(") {
+      continue;
+    }
+    if (file.suppressed(rule_ids::kApiNodiscardStatus, t.line)) continue;
+    runner.error(rule_ids::kApiNodiscardStatus, file.source.path, t.line,
+                 t.col,
+                 "status-returning API " + toks[i + 1].text +
+                     "() is not [[nodiscard]]",
+                 "declare it [[nodiscard]] so callers cannot drop the "
+                 "result");
+    window_dirty = true;  // one diagnostic per declaration
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_registry_header(std::string_view path) {
+  return ends_with(path, "obs/metric_names.hpp") ||
+         ends_with(path, "obs/trace_names.hpp") ||
+         ends_with(path, "check/rule_ids.hpp") ||
+         ends_with(path, "lint/rule_ids.hpp");
+}
+
+template <std::size_t N>
+bool contains(const std::string_view (&names)[N], std::string_view s) {
+  for (const std::string_view n : names) {
+    if (n == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void rule_names(const std::vector<ParsedFile>& files, const DocsTexts& docs,
+                LintRunner& runner) {
+  for (const ParsedFile& file : files) {
+    const std::string_view path = file.source.path;
+    if (is_registry_header(path)) continue;
+    if (starts_with(path, "src/casa/workloads/")) continue;
+    for (const Token& t : file.lex.tokens) {
+      if (t.kind != TokKind::kString || !is_dotted_name(t.text)) continue;
+      if (file.suppressed(rule_ids::kNamesUnregistered, t.line)) continue;
+      const bool registered =
+          obs::metric_names::is_registered(t.text) ||
+          obs::trace_names::is_registered(t.text) ||
+          check::rule_ids::is_registered(t.text) ||
+          rule_ids::is_registered(t.text);
+      if (registered) {
+        runner.error(rule_ids::kNamesUnregistered, std::string(path), t.line,
+                     t.col,
+                     "registered name \"" + t.text + "\" written as a "
+                     "string literal",
+                     "use the registry constant so a rename cannot miss "
+                     "this site");
+      } else {
+        runner.error(rule_ids::kNamesUnregistered, std::string(path), t.line,
+                     t.col,
+                     "dotted name \"" + t.text + "\" is in no registry",
+                     "add it to obs/metric_names.hpp, obs/trace_names.hpp, "
+                     "check/rule_ids.hpp, or lint/rule_ids.hpp and document "
+                     "it");
+      }
+    }
+  }
+  // Registry -> docs sync. Each registry entry must appear (verbatim) in
+  // its catalogue; a renamed metric that leaves stale docs fails here.
+  for (const std::string_view name : obs::metric_names::kAll) {
+    if (docs.metrics.find(name) != std::string::npos) continue;
+    runner.error(rule_ids::kNamesUndocumented, "docs/metrics.md", 1, 1,
+                 "metric \"" + std::string(name) + "\" is not documented",
+                 "add a row for it in docs/metrics.md");
+  }
+  for (const std::string_view name : obs::trace_names::kAll) {
+    if (docs.tracing.find(name) != std::string::npos ||
+        docs.metrics.find(name) != std::string::npos) {
+      continue;
+    }
+    runner.error(rule_ids::kNamesUndocumented, "docs/tracing.md", 1, 1,
+                 "trace name \"" + std::string(name) + "\" is not documented",
+                 "add it to the event table in docs/tracing.md");
+  }
+  for (const std::string_view name : check::rule_ids::kAll) {
+    if (docs.checks.find(name) != std::string::npos) continue;
+    runner.error(rule_ids::kNamesUndocumented, "docs/checks.md", 1, 1,
+                 "check rule \"" + std::string(name) + "\" is not documented",
+                 "add it to the rule catalogue in docs/checks.md");
+  }
+  for (const std::string_view name : rule_ids::kAll) {
+    if (docs.lint.find(name) != std::string::npos) continue;
+    runner.error(rule_ids::kNamesUndocumented, "docs/lint.md", 1, 1,
+                 "lint rule \"" + std::string(name) + "\" is not documented",
+                 "add it to the rule catalogue in docs/lint.md");
+  }
+}
+
+namespace {
+
+/// Modules every file may be included from but which may depend on almost
+/// nothing themselves, plus the export-boundary rules: measurement-producing
+/// modules must not reach into reporting.
+void check_forbidden(const ParsedFile& file, std::string_view dir,
+                     const IncludeRef& inc, LintRunner& runner) {
+  if (!starts_with(inc.path, "casa/")) return;
+  if (file.suppressed(rule_ids::kIncludeForbidden, inc.line)) return;
+  if (dir == "support" && !starts_with(inc.path, "casa/support/")) {
+    runner.error(rule_ids::kIncludeForbidden, file.source.path, inc.line, 1,
+                 "support/ must stay dependency-free but includes \"" +
+                     inc.path + "\"",
+                 "move the shared code into casa/support or invert the "
+                 "dependency");
+    return;
+  }
+  const bool solver_layer = dir == "core" || dir == "conflict" ||
+                            dir == "cachesim" || dir == "ilp";
+  if (solver_layer && (starts_with(inc.path, "casa/report/") ||
+                       inc.path == "casa/obs/export.hpp")) {
+    runner.error(rule_ids::kIncludeForbidden, file.source.path, inc.line, 1,
+                 "solver-layer module " + std::string(dir) +
+                     "/ includes reporting header \"" + inc.path + "\"",
+                 "solvers emit metrics/traces; exporting and reporting "
+                 "belong above them");
+  }
+}
+
+struct CycleFinder {
+  const std::map<std::string, std::vector<std::pair<std::string, int>>>&
+      graph;  // header path -> (included header path, line)
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  LintRunner& runner;
+  const std::map<std::string, const ParsedFile*>& by_path;
+
+  void visit(const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& [dep, line] : it->second) {
+        if (graph.find(dep) == graph.end()) continue;
+        const int c = color[dep];
+        if (c == 0) {
+          visit(dep);
+        } else if (c == 1) {
+          report(node, dep, line);
+        }
+      }
+    }
+    color[node] = 2;
+    stack.pop_back();
+  }
+
+  void report(const std::string& from, const std::string& back_to,
+              int line) {
+    // The cycle is the stack suffix starting at back_to.
+    std::vector<std::string> cycle;
+    bool in = false;
+    for (const std::string& n : stack) {
+      if (n == back_to) in = true;
+      if (in) cycle.push_back(n);
+    }
+    std::vector<std::string> key = cycle;
+    std::sort(key.begin(), key.end());
+    std::string key_str;
+    for (const std::string& k : key) key_str += k + "|";
+    if (!reported.insert(key_str).second) return;
+    const auto fit = by_path.find(from);
+    if (fit != by_path.end() &&
+        fit->second->suppressed(rule_ids::kIncludeCycle, line)) {
+      return;
+    }
+    std::ostringstream msg;
+    msg << "include cycle: ";
+    for (const std::string& n : cycle) msg << n << " -> ";
+    msg << back_to;
+    runner.error(rule_ids::kIncludeCycle, from, line, 1, msg.str(),
+                 "break the cycle with a forward declaration or by moving "
+                 "the shared type down a layer");
+  }
+};
+
+}  // namespace
+
+void rule_include_graph(const std::vector<ParsedFile>& files,
+                        const LayerModel& layers, LintRunner& runner) {
+  // Header graph keyed by repo path ("src/casa/obs/metrics.hpp"); edges
+  // only between project headers so the cycle scan is closed.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> graph;
+  std::map<std::string, const ParsedFile*> by_path;
+  for (const ParsedFile& f : files) {
+    by_path[f.source.path] = &f;
+    if (!ends_with(f.source.path, ".hpp")) continue;
+    auto& edges = graph[f.source.path];
+    for (const IncludeRef& inc : includes_of(f)) {
+      if (!starts_with(inc.path, "casa/")) continue;
+      edges.emplace_back("src/" + inc.path, inc.line);
+    }
+  }
+  CycleFinder finder{graph, {}, {}, {}, runner, by_path};
+  for (const auto& [node, _] : graph) {
+    if (finder.color[node] == 0) finder.visit(node);
+  }
+
+  // Layering + forbidden edges, for every scanned file under src/casa/.
+  for (const ParsedFile& f : files) {
+    const std::string_view dir = module_dir(f.source.path);
+    if (dir.empty()) continue;  // tools/ etc: style rules only
+    const std::string_view stem = file_stem(f.source.path);
+    for (const IncludeRef& inc : includes_of(f)) {
+      if (!starts_with(inc.path, "casa/")) continue;
+      check_forbidden(f, dir, inc, runner);
+      std::string_view inc_rest = std::string_view(inc.path).substr(5);
+      const std::size_t slash = inc_rest.find('/');
+      if (slash == std::string_view::npos) continue;
+      const std::string_view inc_dir = inc_rest.substr(0, slash);
+      if (layers.allowed(dir, stem, inc_dir)) continue;
+      if (f.suppressed(rule_ids::kIncludeLayering, inc.line)) continue;
+      runner.error(
+          rule_ids::kIncludeLayering, f.source.path, inc.line, 1,
+          std::string(dir) + "/ includes \"" + inc.path + "\" but no " +
+              "target in src/casa/" + std::string(dir) +
+              " links a casa_" + std::string(inc_dir) + " target directly",
+          "add the dependency to target_link_libraries in src/casa/" +
+              std::string(dir) + "/CMakeLists.txt or drop the include");
+    }
+  }
+}
+
+void run_all_rules(const TreeInputs& inputs, LintRunner& runner) {
+  for (const ParsedFile& f : inputs.files) {
+    rule_lex(f, runner);
+    rule_pragma_once(f, runner);
+    rule_dead_code(f, runner);
+    rule_include_style(f, runner);
+    rule_hygiene(f, runner);
+    rule_api_nodiscard(f, runner);
+  }
+  rule_names(inputs.files, inputs.docs, runner);
+  rule_include_graph(inputs.files, inputs.layers, runner);
+  runner.mark_scanned(inputs.files.size());
+  runner.mark_evaluated(std::size(rule_ids::kAll));
+}
+
+}  // namespace casa::lint

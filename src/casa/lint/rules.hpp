@@ -1,0 +1,124 @@
+// The casa_lint rule families.
+//
+// Three groups, all running over the token stream from lexer.hpp:
+//  * name-registry sync (`names.*`) — every dotted-name literal
+//    ("sim.fetches", "ilp.capacity.mismatch") must come from a central
+//    registry constant, and every registry entry must be documented;
+//  * include-graph analysis (`include.*`) — style, cycles, and layering
+//    derived from the per-module CMakeLists link graph, so a file cannot
+//    include a module its target does not directly link;
+//  * concurrency / hot-path hygiene (`hygiene.*`, `hotpath.*`, `api.*`) —
+//    non-atomic mutable globals, detached threads, raw new/delete,
+//    std::endl in hot paths, missing [[nodiscard]] on status-returning
+//    solver APIs.
+//
+// Every rule honours `// casa-lint: allow(<rule>[, <rule>...])` on the
+// diagnostic's line or the line above it. Rules take in-memory inputs
+// (ParsedFile / SourceFile / docs text) so tests can feed corrupted
+// fixtures without touching the filesystem; only the casa_lint driver
+// walks the tree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "casa/lint/lexer.hpp"
+#include "casa/lint/runner.hpp"
+#include "casa/lint/source.hpp"
+
+namespace casa::lint {
+
+/// A lexed source file plus the suppressions parsed from its comments.
+struct ParsedFile {
+  SourceFile source;
+  LexResult lex;
+  /// (line, rule) pairs from `casa-lint: allow(...)` comments.
+  std::vector<std::pair<int, std::string>> allows;
+
+  /// True when `rule` is allowed at `line`: a marker comment suppresses
+  /// its own line and the line below it, so both trailing comments and
+  /// whole-line comments above the finding work.
+  bool suppressed(std::string_view rule, int line) const;
+};
+
+ParsedFile parse_source(SourceFile src);
+
+/// One `#include` extracted from a directive token.
+struct IncludeRef {
+  std::string path;  ///< as written, without quotes/brackets
+  bool angled = false;
+  int line = 0;
+};
+
+std::vector<IncludeRef> includes_of(const ParsedFile& file);
+
+/// The CMake-derived layering model: which module directories a file may
+/// include, based on the *direct* link dependencies of the target that
+/// compiles it.
+struct LayerModel {
+  struct Target {
+    std::string name;               ///< "casa_obs"
+    std::string dir;                ///< "obs"
+    std::vector<std::string> deps;  ///< direct casa_* link deps
+    std::vector<std::string> stems; ///< source stems ("metrics", "span")
+  };
+  std::vector<Target> targets;
+
+  const Target* find(std::string_view name) const;
+  /// Targets whose sources live in module dir `dir`.
+  std::vector<const Target*> targets_in_dir(std::string_view dir) const;
+  /// Target attribution for a file: the target listing `<stem>.cpp` in
+  /// `dir`, else every target in `dir` (headers with no same-stem .cpp).
+  std::vector<const Target*> owners(std::string_view dir,
+                                    std::string_view stem) const;
+  /// May a file owned by targets in `dir` (stem `stem`) include a header
+  /// from module `include_dir`?
+  bool allowed(std::string_view dir, std::string_view stem,
+               std::string_view include_dir) const;
+};
+
+/// Parses `add_library` / `target_link_libraries` from the per-module
+/// CMakeLists files (paths like "src/casa/obs/CMakeLists.txt").
+LayerModel parse_layer_model(const std::vector<SourceFile>& cmake_files);
+
+/// Raw text of the documentation files the registries sync against.
+struct DocsTexts {
+  std::string metrics;  ///< docs/metrics.md
+  std::string tracing;  ///< docs/tracing.md
+  std::string checks;   ///< docs/checks.md
+  std::string lint;     ///< docs/lint.md
+};
+
+/// Entire-string dotted-name test: two or more non-empty
+/// `[a-z0-9_-]+` segments joined by '.', starting with a letter, and not
+/// a file name (known extensions excluded).
+bool is_dotted_name(std::string_view s);
+
+// ---- per-file rules ----
+void rule_lex(const ParsedFile& file, LintRunner& runner);
+void rule_pragma_once(const ParsedFile& file, LintRunner& runner);
+void rule_dead_code(const ParsedFile& file, LintRunner& runner);
+void rule_include_style(const ParsedFile& file, LintRunner& runner);
+void rule_hygiene(const ParsedFile& file, LintRunner& runner);
+void rule_api_nodiscard(const ParsedFile& file, LintRunner& runner);
+
+// ---- whole-tree rules ----
+void rule_names(const std::vector<ParsedFile>& files, const DocsTexts& docs,
+                LintRunner& runner);
+void rule_include_graph(const std::vector<ParsedFile>& files,
+                        const LayerModel& layers, LintRunner& runner);
+
+/// Everything casa_lint hands to the rules, pre-loaded by the driver (or a
+/// test).
+struct TreeInputs {
+  std::vector<ParsedFile> files;
+  LayerModel layers;
+  DocsTexts docs;
+};
+
+/// Runs every rule family and records files/rules-evaluated counters.
+void run_all_rules(const TreeInputs& inputs, LintRunner& runner);
+
+}  // namespace casa::lint

@@ -1,0 +1,351 @@
+#include "casa/lint/runner.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "casa/obs/export.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::lint {
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << check::to_string(severity) << '[' << rule << "] " << file << ':'
+     << line << ':' << col << ": " << message;
+  if (!hint.empty()) os << " (hint: " << hint << ')';
+  return os.str();
+}
+
+void LintRunner::report(Diagnostic d) {
+  if (d.severity == check::Severity::kError) ++errors_;
+  diags_.push_back(std::move(d));
+}
+
+void LintRunner::error(std::string_view rule, std::string file, int line,
+                       int col, std::string message, std::string hint) {
+  report(Diagnostic{check::Severity::kError, std::string(rule),
+                    std::move(file), line, col, std::move(message),
+                    std::move(hint)});
+}
+
+void LintRunner::warn(std::string_view rule, std::string file, int line,
+                      int col, std::string message, std::string hint) {
+  report(Diagnostic{check::Severity::kWarning, std::string(rule),
+                    std::move(file), line, col, std::move(message),
+                    std::move(hint)});
+}
+
+std::string LintRunner::summary() const {
+  std::ostringstream os;
+  os << "casa-lint: ";
+  if (diags_.empty()) {
+    os << "OK";
+  } else {
+    os << errors_ << (errors_ == 1 ? " error, " : " errors, ")
+       << warning_count() << (warning_count() == 1 ? " warning" : " warnings");
+  }
+  os << " (" << files_scanned_ << (files_scanned_ == 1 ? " file, " : " files, ")
+     << rules_evaluated_ << (rules_evaluated_ == 1 ? " rule family" : " rule families")
+     << ")";
+  return os.str();
+}
+
+void write_lint_json(std::ostream& os, const LintRunner& runner,
+                     const std::string& tool) {
+  os << "{\n"
+     << "  \"schema\": \"casa-lint v1\",\n"
+     << "  \"tool\": \"" << obs::json_escape(tool) << "\",\n"
+     << "  \"files_scanned\": " << runner.files_scanned() << ",\n"
+     << "  \"rules_evaluated\": " << runner.rules_evaluated() << ",\n"
+     << "  \"errors\": " << runner.error_count() << ",\n"
+     << "  \"warnings\": " << runner.warning_count() << ",\n"
+     << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : runner.diagnostics()) {
+    os << (first ? "" : ",") << "\n    {\"severity\": \""
+       << check::to_string(d.severity) << "\", \"rule\": \""
+       << obs::json_escape(d.rule) << "\", \"file\": \""
+       << obs::json_escape(d.file) << "\", \"line\": " << d.line
+       << ", \"col\": " << d.col << ", \"message\": \""
+       << obs::json_escape(d.message) << "\", \"hint\": \""
+       << obs::json_escape(d.hint) << "\"}";
+    first = false;
+  }
+  if (!runner.diagnostics().empty()) os << "\n  ";
+  os << "]\n}\n";
+}
+
+void write_fix_list(std::ostream& os, const LintRunner& runner) {
+  for (const Diagnostic& d : runner.diagnostics()) {
+    os << d.file << ':' << d.line << ':' << d.col << '\t' << d.rule << '\t'
+       << (d.hint.empty() ? d.message : d.hint) << '\n';
+  }
+}
+
+namespace {
+
+// Minimal JSON reader for the casa-lint artifact, same shape as the one
+// the io serializer uses: recursive descent, CASA_CHECK on malformed
+// input so a corrupted artifact is rejected rather than half-read.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> items;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    CASA_CHECK(i_ >= text_.size(), "lint artifact: trailing data after JSON");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_])) != 0) {
+      ++i_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    CASA_CHECK(i_ < text_.size(), "lint artifact: unexpected end of JSON");
+    return text_[i_];
+  }
+  void expect(char c) {
+    CASA_CHECK(peek() == c, std::string("lint artifact: expected '") + c +
+                                "' at offset " + std::to_string(i_));
+    ++i_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.text = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      CASA_CHECK(i_ < text_.size(), "lint artifact: unterminated string");
+      const char c = text_[i_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        CASA_CHECK(i_ < text_.size(), "lint artifact: bad escape");
+        const char e = text_[i_++];
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            CASA_CHECK(i_ + 4 <= text_.size(), "lint artifact: bad \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[i_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                CASA_CHECK(false, "lint artifact: bad \\u escape digit");
+              }
+            }
+            // The writer only emits \u00XX for control bytes.
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            out += e;  // '"', '\\', '/'
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    skip_ws();
+    std::size_t j = i_;
+    while (j < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[j])) != 0 ||
+            text_[j] == '-' || text_[j] == '+' || text_[j] == '.' ||
+            text_[j] == 'e' || text_[j] == 'E')) {
+      ++j;
+    }
+    CASA_CHECK(j > i_, "lint artifact: expected a number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(i_, j - i_));
+    i_ = j;
+    return v;
+  }
+
+  void literal(std::string_view word) {
+    skip_ws();
+    CASA_CHECK(text_.compare(i_, word.size(), word) == 0,
+               "lint artifact: bad literal");
+    i_ += word.size();
+  }
+
+  std::string text_;
+  std::size_t i_ = 0;
+};
+
+const JsonValue& member(const JsonValue& obj, const std::string& key) {
+  CASA_CHECK(obj.kind == JsonValue::Kind::kObject,
+             "lint artifact: expected an object for \"" + key + "\"");
+  const JsonValue* v = obj.find(key);
+  CASA_CHECK(v != nullptr, "lint artifact: missing \"" + key + "\"");
+  return *v;
+}
+
+std::size_t count(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  CASA_CHECK(v.kind == JsonValue::Kind::kNumber && v.number >= 0,
+             "lint artifact: \"" + key + "\" must be a non-negative number");
+  return static_cast<std::size_t>(v.number);
+}
+
+std::string str(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  CASA_CHECK(v.kind == JsonValue::Kind::kString,
+             "lint artifact: \"" + key + "\" must be a string");
+  return v.text;
+}
+
+}  // namespace
+
+LintRunner read_lint_json(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const JsonValue root = JsonReader(std::move(buf).str()).parse();
+  CASA_CHECK(str(root, "schema") == "casa-lint v1",
+             "lint artifact: schema is not \"casa-lint v1\"");
+  LintRunner runner;
+  runner.mark_scanned(count(root, "files_scanned"));
+  runner.mark_evaluated(count(root, "rules_evaluated"));
+  const JsonValue& diags = member(root, "diagnostics");
+  CASA_CHECK(diags.kind == JsonValue::Kind::kArray,
+             "lint artifact: \"diagnostics\" must be an array");
+  for (const JsonValue& d : diags.items) {
+    Diagnostic out;
+    const std::string sev = str(d, "severity");
+    CASA_CHECK(sev == "error" || sev == "warning",
+               "lint artifact: bad severity \"" + sev + "\"");
+    out.severity =
+        sev == "error" ? check::Severity::kError : check::Severity::kWarning;
+    out.rule = str(d, "rule");
+    out.file = str(d, "file");
+    out.line = static_cast<int>(count(d, "line"));
+    out.col = static_cast<int>(count(d, "col"));
+    out.message = str(d, "message");
+    out.hint = str(d, "hint");
+    runner.report(std::move(out));
+  }
+  CASA_CHECK(count(root, "errors") == runner.error_count(),
+             "lint artifact: \"errors\" disagrees with diagnostics");
+  CASA_CHECK(count(root, "warnings") == runner.warning_count(),
+             "lint artifact: \"warnings\" disagrees with diagnostics");
+  return runner;
+}
+
+}  // namespace casa::lint

@@ -1,0 +1,91 @@
+// LintRunner — collects source-level Diagnostics from the rule functions
+// in rules.hpp, mirroring casa::check's runner/artifact design one layer
+// down: check validates *artifacts* a run produced, lint validates the
+// *source tree* that produces them.
+//
+// The runner owns the verdict (ok / error_count), the "casa-lint v1" JSON
+// artifact, and the --fix-list rendering. Suppression
+// (`// casa-lint: allow(<rule>)`) is applied by the rules before they
+// report, so everything in here is a real finding.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casa/check/diagnostic.hpp"
+
+namespace casa::lint {
+
+/// One source-level finding. `file` is the repo-relative path; line/col
+/// are 1-based.
+struct Diagnostic {
+  check::Severity severity = check::Severity::kError;
+  std::string rule;  ///< stable id from lint::rule_ids
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::string hint;  ///< how to fix (may be empty)
+
+  /// "error[names.unregistered] src/casa/x.cpp:12:7: <message> (hint: ...)"
+  std::string to_string() const;
+};
+
+class LintRunner {
+ public:
+  void report(Diagnostic d);
+
+  void error(std::string_view rule, std::string file, int line, int col,
+             std::string message, std::string hint = "");
+  void warn(std::string_view rule, std::string file, int line, int col,
+            std::string message, std::string hint = "");
+
+  /// Rule functions record how many rules they evaluated (violated or
+  /// not), so a clean artifact is distinguishable from a run where no
+  /// analysis happened.
+  void mark_evaluated(std::size_t count) { rules_evaluated_ += count; }
+  /// Files the driver actually scanned (artifact provenance).
+  void mark_scanned(std::size_t count) { files_scanned_ += count; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return diags_.size() - errors_; }
+  std::size_t rules_evaluated() const { return rules_evaluated_; }
+  std::size_t files_scanned() const { return files_scanned_; }
+  bool ok() const { return errors_ == 0; }
+
+  /// One line: "casa-lint: OK (212 files, 14 rule families)" or
+  /// "casa-lint: 3 errors, 1 warning (212 files, 14 rule families)".
+  std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t rules_evaluated_ = 0;
+  std::size_t files_scanned_ = 0;
+};
+
+/// Writes the "casa-lint v1" JSON artifact:
+///   { "schema": "casa-lint v1", "tool": ..., "files_scanned": N,
+///     "rules_evaluated": N, "errors": N, "warnings": N,
+///     "diagnostics": [ {severity, rule, file, line, col, message, hint},
+///     ... ] }
+/// Diagnostics appear in report order; strings are JSON-escaped with the
+/// same escaper every casa artifact uses.
+void write_lint_json(std::ostream& os, const LintRunner& runner,
+                     const std::string& tool = "casa_lint");
+
+/// Reads an artifact written by write_lint_json back into a runner
+/// (diagnostics in artifact order; counters restored). Throws
+/// casa::PreconditionError on schema or shape violations — corrupted
+/// artifacts are rejected, never half-read.
+LintRunner read_lint_json(std::istream& is);
+
+/// Machine-readable fix list, one finding per line:
+///   file:line:col\trule\thint-or-message
+void write_fix_list(std::ostream& os, const LintRunner& runner);
+
+}  // namespace casa::lint

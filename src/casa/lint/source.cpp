@@ -1,0 +1,20 @@
+#include "casa/lint/source.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "casa/support/error.hpp"
+
+namespace casa::lint {
+
+SourceFile load_source(const std::string& fs_path, std::string display_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  CASA_CHECK(in.good(), "lint: cannot open source file: " + fs_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  CASA_CHECK(!in.bad(), "lint: read error on source file: " + fs_path);
+  return SourceFile{std::move(display_path), std::move(buf).str()};
+}
+
+}  // namespace casa::lint

@@ -1,0 +1,19 @@
+// Source representation for casa::lint: a display path (repo-relative,
+// stable in diagnostics and artifacts) plus the raw text. Tests build
+// SourceFiles inline; the casa_lint driver loads them from disk.
+#pragma once
+
+#include <string>
+
+namespace casa::lint {
+
+struct SourceFile {
+  std::string path;  ///< repo-relative display path ("src/casa/obs/x.hpp")
+  std::string text;
+};
+
+/// Reads `fs_path` into a SourceFile whose display path is `display_path`.
+/// Throws casa::PreconditionError when the file cannot be read.
+SourceFile load_source(const std::string& fs_path, std::string display_path);
+
+}  // namespace casa::lint

@@ -1,5 +1,6 @@
 #include "casa/memsim/hierarchy.hpp"
 
+#include "casa/obs/metric_names.hpp"
 #include "casa/support/error.hpp"
 
 namespace casa::memsim {
@@ -31,15 +32,15 @@ void finish(SimReport& rep, const energy::EnergyTable& energies,
 /// stays off the hot path entirely).
 void record_metrics(obs::MetricsRegistry* reg, const SimCounters& c) {
   if (reg == nullptr) return;
-  reg->add("sim.fetches", c.total_fetches);
-  reg->add("sim.spm_accesses", c.spm_accesses);
-  reg->add("sim.lc_accesses", c.lc_accesses);
-  reg->add("cache.accesses", c.cache_accesses);
-  reg->add("cache.hits", c.cache_hits);
-  reg->add("cache.misses", c.cache_misses);
-  reg->add("cache.evictions", c.cache_evictions);
-  reg->add("sim.mainmem_words", c.mainmem_words);
-  reg->add("sim.cycles", c.cycles);
+  reg->add(obs::metric_names::kSimFetches, c.total_fetches);
+  reg->add(obs::metric_names::kSimSpmAccesses, c.spm_accesses);
+  reg->add(obs::metric_names::kSimLcAccesses, c.lc_accesses);
+  reg->add(obs::metric_names::kCacheAccesses, c.cache_accesses);
+  reg->add(obs::metric_names::kCacheHits, c.cache_hits);
+  reg->add(obs::metric_names::kCacheMisses, c.cache_misses);
+  reg->add(obs::metric_names::kCacheEvictions, c.cache_evictions);
+  reg->add(obs::metric_names::kSimMainmemWords, c.mainmem_words);
+  reg->add(obs::metric_names::kSimCycles, c.cycles);
 }
 
 /// Word-granular reference inner loop. `spm_mo` marks scratchpad-resident
@@ -161,9 +162,9 @@ SimReport run_lines(const traceopt::TraceProgram& tp,
   if (opt.metrics != nullptr) {
     // Compiled-stream run-length telemetry: static runs in the compiled
     // image, dynamic runs replayed, and the words they collapsed.
-    opt.metrics->add("stream.compiled_runs", stream.total_runs());
-    opt.metrics->add("stream.replayed_runs", runs_replayed);
-    opt.metrics->add("stream.replayed_words",
+    opt.metrics->add(obs::metric_names::kStreamCompiledRuns, stream.total_runs());
+    opt.metrics->add(obs::metric_names::kStreamReplayedRuns, runs_replayed);
+    opt.metrics->add(obs::metric_names::kStreamReplayedWords,
                      c.cache_hits + c.cache_misses);
   }
   return rep;

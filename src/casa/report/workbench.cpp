@@ -5,7 +5,9 @@
 #include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/obs/metric_names.hpp"
 #include "casa/obs/span.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/sim/parallel_runner.hpp"
 #include "casa/support/error.hpp"
@@ -32,25 +34,30 @@ memsim::SimOptions sim_opts(obs::MetricsRegistry* reg) {
 /// distributions so merging keeps min/max instead of a meaningless sum.
 void record_alloc(obs::MetricsRegistry* reg, const core::AllocationResult& a) {
   if (reg == nullptr) return;
-  reg->add("solver.nodes", a.solver_stats.nodes);
-  reg->add("solver.incumbent_updates", a.solver_stats.incumbent_updates);
-  reg->add("solver.bound_prunes", a.solver_stats.bound_prunes);
-  reg->add("solver.infeasible_prunes", a.solver_stats.infeasible_prunes);
-  reg->add("solver.simplex_iterations", a.solver_stats.simplex_iterations);
-  reg->add("solver.presolved_items", a.presolved_items);
-  reg->add("solver.presolved_edges", a.presolved_edges);
-  reg->observe("solver.max_depth",
+  reg->add(obs::metric_names::kSolverNodes, a.solver_stats.nodes);
+  reg->add(obs::metric_names::kSolverIncumbentUpdates,
+           a.solver_stats.incumbent_updates);
+  reg->add(obs::metric_names::kSolverBoundPrunes, a.solver_stats.bound_prunes);
+  reg->add(obs::metric_names::kSolverInfeasiblePrunes,
+           a.solver_stats.infeasible_prunes);
+  reg->add(obs::metric_names::kSolverSimplexIterations,
+           a.solver_stats.simplex_iterations);
+  reg->add(obs::metric_names::kSolverPresolvedItems, a.presolved_items);
+  reg->add(obs::metric_names::kSolverPresolvedEdges, a.presolved_edges);
+  reg->observe(obs::metric_names::kSolverMaxDepth,
                static_cast<double>(a.solver_stats.max_depth));
-  reg->observe("solver.seconds", a.solve_seconds);
-  reg->observe("alloc.spm_used_bytes", static_cast<double>(a.used_bytes));
+  reg->observe(obs::metric_names::kSolverSeconds, a.solve_seconds);
+  reg->observe(obs::metric_names::kAllocSpmUsedBytes,
+               static_cast<double>(a.used_bytes));
   // Generic-ILP search telemetry: how much work presolve and the warm
   // start removed, and whether any LP relaxation ran into its pivot budget.
-  reg->add("ilp.presolve.fixed", a.solver_stats.presolve_fixed);
-  reg->add("ilp.warmstart.used", a.solver_stats.warm_start_used ? 1 : 0);
-  reg->add("ilp.warmstart.rc_fixed", a.solver_stats.rc_fixed);
-  reg->observe("ilp.warmstart.root_gap", a.solver_stats.root_gap);
-  reg->add("ilp.lp_limit_retries", a.solver_stats.lp_limit_retries);
-  reg->add("ilp.subtrees", a.solver_stats.subtrees);
+  reg->add(obs::metric_names::kIlpPresolveFixed, a.solver_stats.presolve_fixed);
+  reg->add(obs::metric_names::kIlpWarmstartUsed,
+           a.solver_stats.warm_start_used ? 1 : 0);
+  reg->add(obs::metric_names::kIlpWarmstartRcFixed, a.solver_stats.rc_fixed);
+  reg->observe(obs::metric_names::kIlpWarmstartRootGap, a.solver_stats.root_gap);
+  reg->add(obs::metric_names::kIlpLpLimitRetries, a.solver_stats.lp_limit_retries);
+  reg->add(obs::metric_names::kIlpSubtrees, a.solver_stats.subtrees);
 }
 
 /// Inter-stage analyzer handle: null when checking is disabled. Stages
@@ -111,7 +118,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
-    const obs::Span s(reg, "trace_formation");
+    const obs::Span s(reg, obs::trace_names::kTraceFormation);
     tp = std::make_shared<traceopt::TraceProgram>(form(cache, spm_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
@@ -121,7 +128,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
 
   std::shared_ptr<traceopt::Layout> layout;
   {
-    const obs::Span s(reg, "layout");
+    const obs::Span s(reg, obs::trace_names::kLayout);
     layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
@@ -131,14 +138,14 @@ Workbench::PreparedJob Workbench::prepare_casa(
 
   std::unique_ptr<conflict::ConflictGraph> graph;
   {
-    const obs::Span s(reg, "conflict_graph");
+    const obs::Span s(reg, obs::trace_names::kConflictGraph);
     conflict::BuildOptions bopt;
     bopt.cache = cache;
     graph = std::make_unique<conflict::ConflictGraph>(
         conflict::build_conflict_graph(*tp, *layout, exec_.walk, bopt));
     if (reg != nullptr) {
-      reg->add("conflict.nodes", graph->node_count());
-      reg->add("conflict.edges", graph->edge_count());
+      reg->add(obs::metric_names::kConflictNodes, graph->node_count());
+      reg->add(obs::metric_names::kConflictEdges, graph->edge_count());
     }
     if (chk) {
       check::check_conflict_graph(*tp, *layout, *graph, cache, *chk);
@@ -148,7 +155,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
 
   Outcome& out = pj.partial;
   {
-    const obs::Span s(reg, "allocation");
+    const obs::Span s(reg, obs::trace_names::kAllocation);
     pj.energies = energy::EnergyTable::build(cache, spm_size, 0, 0);
     const core::CasaProblem problem =
         core::CasaProblem::from(*tp, *graph, pj.energies, spm_size);
@@ -194,7 +201,7 @@ Outcome Workbench::run_casa_into(obs::MetricsRegistry* reg,
                                  const cachesim::CacheConfig& cache,
                                  Bytes spm_size,
                                  const core::CasaOptions& copt) const {
-  const obs::Span flow(reg, "run_casa");
+  const obs::Span flow(reg, obs::trace_names::kRunCasa);
   const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
   return finish_core(prepare_casa(reg, chk.get(), cache, spm_size, copt), reg);
 }
@@ -212,7 +219,7 @@ Workbench::PreparedJob Workbench::prepare_steinke(
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
-    const obs::Span s(reg, "trace_formation");
+    const obs::Span s(reg, obs::trace_names::kTraceFormation);
     tp = std::make_shared<traceopt::TraceProgram>(form(cache, spm_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
@@ -227,7 +234,7 @@ Workbench::PreparedJob Workbench::prepare_steinke(
 
   baseline::SteinkeResult sel;
   {
-    const obs::Span s(reg, "allocation");
+    const obs::Span s(reg, obs::trace_names::kAllocation);
     sel = baseline::allocate_steinke(
         *tp, spm_size, pj.energies.cache_hit - pj.energies.spm_access);
     if (chk) {
@@ -244,7 +251,7 @@ Workbench::PreparedJob Workbench::prepare_steinke(
 
   std::shared_ptr<traceopt::Layout> layout;
   {
-    const obs::Span s(reg, "layout");
+    const obs::Span s(reg, obs::trace_names::kLayout);
     if (opt_.steinke_moves) {
       // Move semantics: scratchpad objects leave the image; the residue is
       // compacted, changing every remaining object's cache mapping.
@@ -269,7 +276,7 @@ Workbench::PreparedJob Workbench::prepare_steinke(
 Outcome Workbench::run_steinke_into(obs::MetricsRegistry* reg,
                                     const cachesim::CacheConfig& cache,
                                     Bytes spm_size) const {
-  const obs::Span flow(reg, "run_steinke");
+  const obs::Span flow(reg, obs::trace_names::kRunSteinke);
   const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
   return finish_core(prepare_steinke(reg, chk.get(), cache, spm_size), reg);
 }
@@ -290,7 +297,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
   // trace-formed program, laid out in full (nothing leaves the image).
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
-    const obs::Span s(reg, "trace_formation");
+    const obs::Span s(reg, obs::trace_names::kTraceFormation);
     tp = std::make_shared<traceopt::TraceProgram>(form(cache, lc_size));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
@@ -299,7 +306,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
   }
   std::shared_ptr<traceopt::Layout> layout;
   {
-    const obs::Span s(reg, "layout");
+    const obs::Span s(reg, obs::trace_names::kLayout);
     layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
@@ -314,7 +321,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
 
   loopcache::RossResult sel;
   {
-    const obs::Span s(reg, "allocation");
+    const obs::Span s(reg, obs::trace_names::kAllocation);
     const std::vector<loopcache::Region> candidates =
         loopcache::enumerate_regions(*tp, *layout, exec_.profile);
     loopcache::LoopCacheConfig lcfg;
@@ -326,7 +333,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
   pj.partial.spm_used = sel.used_bytes;
   pj.partial.lc_regions =
       static_cast<unsigned>(sel.selected.regions().size());
-  if (reg != nullptr) reg->add("lc.regions", pj.partial.lc_regions);
+  if (reg != nullptr) reg->add(obs::metric_names::kLcRegions, pj.partial.lc_regions);
 
   pj.regions =
       std::make_shared<const loopcache::RegionSet>(std::move(sel.selected));
@@ -339,7 +346,7 @@ Outcome Workbench::run_loopcache_into(obs::MetricsRegistry* reg,
                                       const cachesim::CacheConfig& cache,
                                       Bytes lc_size,
                                       unsigned max_regions) const {
-  const obs::Span flow(reg, "run_loopcache");
+  const obs::Span flow(reg, obs::trace_names::kRunLoopcache);
   const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
   return finish_core(
       prepare_loopcache(reg, chk.get(), cache, lc_size, max_regions), reg);
@@ -357,7 +364,7 @@ Workbench::PreparedJob Workbench::prepare_cache_only(
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
-    const obs::Span s(reg, "trace_formation");
+    const obs::Span s(reg, obs::trace_names::kTraceFormation);
     tp = std::make_shared<traceopt::TraceProgram>(form(cache, 1_KiB));
     if (chk) {
       check::check_trace_program(*tp, cache.line_size, *chk);
@@ -366,7 +373,7 @@ Workbench::PreparedJob Workbench::prepare_cache_only(
   }
   std::shared_ptr<traceopt::Layout> layout;
   {
-    const obs::Span s(reg, "layout");
+    const obs::Span s(reg, obs::trace_names::kLayout);
     layout = std::make_shared<traceopt::Layout>(traceopt::layout_all(*tp));
     if (chk) {
       check::check_layout(*tp, *layout, cache.line_size, *chk);
@@ -389,7 +396,7 @@ Workbench::PreparedJob Workbench::prepare_cache_only(
 
 Outcome Workbench::run_cache_only_into(
     obs::MetricsRegistry* reg, const cachesim::CacheConfig& cache) const {
-  const obs::Span flow(reg, "run_cache_only");
+  const obs::Span flow(reg, obs::trace_names::kRunCacheOnly);
   const std::unique_ptr<check::CheckRunner> chk = make_checker(opt_, reg);
   return finish_core(prepare_cache_only(reg, chk.get(), cache), reg);
 }
@@ -414,7 +421,7 @@ Workbench::PreparedJob Workbench::prepare_core(const Job& job,
 Outcome Workbench::finish_core(const PreparedJob& pj,
                                obs::MetricsRegistry* reg) const {
   Outcome out = pj.partial;
-  const obs::Span s(reg, "simulation");
+  const obs::Span s(reg, obs::trace_names::kSimulation);
   if (pj.regions != nullptr) {
     out.sim = memsim::simulate_loopcache_system(*pj.tp, *pj.layout, exec_.walk,
                                                 *pj.regions, pj.job.cache,
@@ -445,7 +452,7 @@ Outcome Workbench::finish_with_counters(const PreparedJob& pj,
                                         obs::MetricsRegistry* reg) const {
   const obs::Span flow(reg, flow_name(pj.job.kind));
   Outcome out = pj.partial;
-  const obs::Span s(reg, "simulation");
+  const obs::Span s(reg, obs::trace_names::kSimulation);
   out.sim = memsim::report_from_counters(counters, pj.energies,
                                          pj.regions != nullptr);
   memsim::record_sim_counters(reg, counters);
@@ -478,7 +485,8 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
              "MetricsShards size must match the job count");
   // Root trace span for the whole batch: every per-task flow tail the
   // runner emits lands inside it, so worker timelines link back here.
-  const obs::TraceSpan batch(obs::Tracer::current(), "run_many", "sim");
+  const obs::TraceSpan batch(obs::Tracer::current(), obs::trace_names::kRunMany,
+                             obs::trace_names::kCatSim);
   sim::RunnerOptions ropt;
   ropt.threads = threads;
   const sim::ParallelRunner runner(ropt);
@@ -531,9 +539,10 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
 
   if (opt_.metrics != nullptr && sh != nullptr) {
     opt_.metrics->merge_from(sh->merged());
-    opt_.metrics->add("runner.jobs", jobs.size());
-    opt_.metrics->add("runner.dedup_hits", jobs.size() - unique.size());
-    opt_.metrics->set_gauge("runner.threads",
+    opt_.metrics->add(obs::metric_names::kRunnerJobs, jobs.size());
+    opt_.metrics->add(obs::metric_names::kRunnerDedupHits,
+                      jobs.size() - unique.size());
+    opt_.metrics->set_gauge(obs::metric_names::kRunnerThreads,
                             static_cast<double>(runner.threads()));
   }
   return results;

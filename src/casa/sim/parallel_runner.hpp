@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "casa/obs/metrics.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/support/thread_pool.hpp"
 
@@ -82,7 +83,8 @@ class ParallelRunner {
     obs::Tracer* const tracer = obs::Tracer::current();
     if (threads_ == 1 || count <= 1) {
       for (std::size_t i = 0; i < count; ++i) {
-        const obs::TraceSpan task(tracer, "task", "sim");
+        const obs::TraceSpan task(tracer, obs::trace_names::kTask,
+                                  obs::trace_names::kCatSim);
         results[i] = fn(i, task_seed(opt_.seed, i));
       }
       return results;
@@ -93,12 +95,14 @@ class ParallelRunner {
     if (tracer != nullptr) {
       flows.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
-        flows.push_back(tracer->flow_begin("task", "sim"));
+        flows.push_back(tracer->flow_begin(obs::trace_names::kTask,
+                                           obs::trace_names::kCatSim));
       }
     }
     for (std::size_t i = 0; i < count; ++i) {
       pool_->submit([&results, &fn, &flows, tracer, this, i] {
-        const obs::TraceSpan task(tracer, "task", "sim",
+        const obs::TraceSpan task(tracer, obs::trace_names::kTask,
+                                  obs::trace_names::kCatSim,
                                   flows.empty() ? 0 : flows[i]);
         results[i] = fn(i, task_seed(opt_.seed, i));
       });

@@ -6,6 +6,8 @@
 #include "casa/cachesim/stack_sim.hpp"
 #include "casa/check/rules.hpp"
 #include "casa/check/runner.hpp"
+#include "casa/obs/metric_names.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
 #include "casa/trace/compiled_stream.hpp"
@@ -86,7 +88,8 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
              "MetricsShards size must match the job count");
   // Root trace span for the sweep; the prepare and group-task flows the
   // runner fans out are flow-linked back into it.
-  const obs::TraceSpan sweep_scope(obs::Tracer::current(), "sweep", "sim");
+  const obs::TraceSpan sweep_scope(obs::Tracer::current(), obs::trace_names::kSweep,
+                                 obs::trace_names::kCatSim);
   const report::WorkbenchOptions& wopt = bench_->options();
   RunnerOptions ropt;
   ropt.threads = threads;
@@ -161,7 +164,7 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
           !g.key.loop_cache && g.members.size() >= 2) {
         ++stack_passes;
         stack_hits += g.members.size();
-        wopt.metrics->observe("sweep.configs_per_pass",
+        wopt.metrics->observe(obs::metric_names::kSweepConfigsPerPass,
                               static_cast<double>(g.members.size()));
       }
     }
@@ -191,10 +194,12 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
         // mask are byte-identical to every member's (that is what the group
         // key guarantees), so the compiled stream is too.
         obs::Tracer* const tracer = obs::Tracer::current();
-        const obs::TraceSpan pass(tracer, "sweep.stack_pass", "sim");
+        const obs::TraceSpan pass(tracer, obs::trace_names::kSweepStackPass,
+                                  obs::trace_names::kCatSim);
         if (tracer != nullptr) {
-          tracer->instant("sweep.configs_per_pass",
-                          static_cast<double>(grp.members.size()), "sim");
+          tracer->instant(obs::trace_names::kSweepConfigsPerPass,
+                          static_cast<double>(grp.members.size()),
+                          obs::trace_names::kCatSim);
         }
         const PreparedJob& rep = prepared[grp.members.front()];
         const Bytes line_size = grp.key.line_size;
@@ -236,9 +241,10 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
           done.emplace_back(idx, bench_->finish_with_counters(pj, c, reg));
           if (reg != nullptr) {
             // Same stream.* telemetry run_lines emits per direct replay.
-            reg->add("stream.compiled_runs", stream.total_runs());
-            reg->add("stream.replayed_runs", replayed_runs);
-            reg->add("stream.replayed_words", c.cache_hits + c.cache_misses);
+            reg->add(obs::metric_names::kStreamCompiledRuns, stream.total_runs());
+            reg->add(obs::metric_names::kStreamReplayedRuns, replayed_runs);
+            reg->add(obs::metric_names::kStreamReplayedWords,
+                     c.cache_hits + c.cache_misses);
           }
         }
 
@@ -272,15 +278,18 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
 
   if (wopt.metrics != nullptr && sh != nullptr) {
     wopt.metrics->merge_from(sh->merged());
-    wopt.metrics->add("runner.jobs", jobs.size());
-    wopt.metrics->add("runner.dedup_hits", jobs.size() - unique.size());
-    wopt.metrics->set_gauge("runner.threads",
+    wopt.metrics->add(obs::metric_names::kRunnerJobs, jobs.size());
+    wopt.metrics->add(obs::metric_names::kRunnerDedupHits,
+                      jobs.size() - unique.size());
+    wopt.metrics->set_gauge(obs::metric_names::kRunnerThreads,
                             static_cast<double>(runner.threads()));
-    wopt.metrics->add("sweep.groups", groups.size());
-    wopt.metrics->add("sweep.stack_passes", stack_passes);
-    wopt.metrics->add("sweep.stack_hits", stack_hits);
-    wopt.metrics->add("sweep.fallback_configs", unique.size() - stack_hits);
-    wopt.metrics->add("sweep.dedup_hits", jobs.size() - unique.size());
+    wopt.metrics->add(obs::metric_names::kSweepGroups, groups.size());
+    wopt.metrics->add(obs::metric_names::kSweepStackPasses, stack_passes);
+    wopt.metrics->add(obs::metric_names::kSweepStackHits, stack_hits);
+    wopt.metrics->add(obs::metric_names::kSweepFallbackConfigs,
+                      unique.size() - stack_hits);
+    wopt.metrics->add(obs::metric_names::kSweepDedupHits,
+                      jobs.size() - unique.size());
   }
   return results;
 }

@@ -1,0 +1,516 @@
+// casa::lint — one deliberately corrupted fixture per rule family, each
+// asserting the exact rule id it must trigger; tokenizer edge cases (raw
+// strings, spliced comments, #if 0 nesting) proving the lexer cannot be
+// fooled by the hard lexical corners; suppression semantics; and a JSON
+// artifact round-trip through read_lint_json.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casa/lint/lexer.hpp"
+#include "casa/lint/rule_ids.hpp"
+#include "casa/lint/rules.hpp"
+#include "casa/lint/runner.hpp"
+#include "casa/support/error.hpp"
+
+namespace casa::lint {
+namespace {
+
+ParsedFile parsed(std::string path, std::string text) {
+  return parse_source(SourceFile{std::move(path), std::move(text)});
+}
+
+bool has_rule(const LintRunner& r, std::string_view rule) {
+  return std::any_of(r.diagnostics().begin(), r.diagnostics().end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::size_t count_rule(const LintRunner& r, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(r.diagnostics().begin(), r.diagnostics().end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::vector<std::string> ident_texts(const LexResult& lr) {
+  std::vector<std::string> out;
+  for (const Token& t : lr.tokens) {
+    if (t.kind == TokKind::kIdent) out.push_back(t.text);
+  }
+  return out;
+}
+
+std::vector<std::string> string_texts(const LexResult& lr) {
+  std::vector<std::string> out;
+  for (const Token& t : lr.tokens) {
+    if (t.kind == TokKind::kString) out.push_back(t.text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, StringContentsNeverLeakIntoCodeStream) {
+  const auto lr = lex(SourceFile{"x.cpp", R"(auto s = "int new = delete;";)"});
+  EXPECT_TRUE(lr.errors.empty());
+  const auto idents = ident_texts(lr);
+  EXPECT_EQ(idents, (std::vector<std::string>{"auto", "s"}));
+  EXPECT_EQ(string_texts(lr),
+            (std::vector<std::string>{"int new = delete;"}));
+}
+
+TEST(LintLexer, EscapedQuoteDoesNotCloseString) {
+  const auto lr = lex(SourceFile{"x.cpp", "auto s = \"a\\\"b\";\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  EXPECT_EQ(string_texts(lr), (std::vector<std::string>{"a\\\"b"}));
+}
+
+TEST(LintLexer, RawStringWithCustomDelimiterAndQuotesInside) {
+  const auto lr = lex(SourceFile{
+      "x.cpp", "auto s = R\"xy(one \" two )\" three)xy\"; int after;\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  EXPECT_EQ(string_texts(lr),
+            (std::vector<std::string>{"one \" two )\" three"}));
+  const auto idents = ident_texts(lr);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "after"), idents.end());
+}
+
+TEST(LintLexer, RawStringEncodingPrefixesAndIdentifierTails) {
+  const auto lr = lex(SourceFile{
+      "x.cpp", "auto a = u8R\"(x)\"; auto fooR = 1; auto b = LR\"(y)\";\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  EXPECT_EQ(string_texts(lr), (std::vector<std::string>{"x", "y"}));
+  // fooR must lex as a plain identifier, not a raw-string intro.
+  const auto idents = ident_texts(lr);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "fooR"), idents.end());
+}
+
+TEST(LintLexer, MultiLineBlockCommentAndSplicedLineComment) {
+  const auto lr = lex(SourceFile{"x.cpp",
+                                 "/* multi\nline\ncomment */ int a;\n"
+                                 "// spliced \\\ncontinues here\nint b;\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  EXPECT_EQ(ident_texts(lr),
+            (std::vector<std::string>{"int", "a", "int", "b"}));
+  ASSERT_EQ(lr.comments.size(), 2u);
+  EXPECT_EQ(lr.comments[0].text, " multi\nline\ncomment ");
+  EXPECT_NE(lr.comments[1].text.find("continues here"), std::string::npos);
+}
+
+TEST(LintLexer, IfZeroRegionIsSkippedIncludingNestedConditionals) {
+  const auto lr = lex(SourceFile{"x.cpp",
+                                 "int before;\n"
+                                 "#if 0\n"
+                                 "int hidden;\n"
+                                 "#ifdef FOO\n"
+                                 "int nested;\n"
+                                 "#endif\n"
+                                 "int also_hidden;\n"
+                                 "#endif\n"
+                                 "int after;\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  const auto idents = ident_texts(lr);
+  EXPECT_EQ(idents, (std::vector<std::string>{"int", "before", "int",
+                                              "after"}));
+  ASSERT_EQ(lr.dead_blocks.size(), 1u);
+  EXPECT_EQ(lr.dead_blocks[0], 2);
+}
+
+TEST(LintLexer, IfZeroElseBranchIsLive) {
+  const auto lr = lex(SourceFile{"x.cpp",
+                                 "#if 0\n"
+                                 "int dead;\n"
+                                 "#else\n"
+                                 "int live;\n"
+                                 "#endif\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  const auto idents = ident_texts(lr);
+  EXPECT_EQ(idents, (std::vector<std::string>{"int", "live"}));
+}
+
+TEST(LintLexer, DirectiveSplicesJoinIntoOneToken) {
+  const auto lr = lex(SourceFile{
+      "x.cpp", "#define FOO(a) \\\n  ((a) + 1)\nint x;\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  ASSERT_FALSE(lr.tokens.empty());
+  EXPECT_EQ(lr.tokens[0].kind, TokKind::kDirective);
+  EXPECT_NE(lr.tokens[0].text.find("+ 1"), std::string::npos);
+}
+
+TEST(LintLexer, UnterminatedConstructsBecomeLexErrors) {
+  EXPECT_EQ(lex(SourceFile{"x.cpp", "auto s = \"open;\n"}).errors.size(), 1u);
+  EXPECT_EQ(lex(SourceFile{"x.cpp", "/* never closed\n"}).errors.size(), 1u);
+  EXPECT_EQ(lex(SourceFile{"x.cpp", "#if 0\nint dead;\n"}).errors.size(), 1u);
+}
+
+TEST(LintLexer, NumbersWithSeparatorsAndExponents) {
+  const auto lr = lex(SourceFile{"x.cpp", "auto a = 1'000'000 + 1e-5;\n"});
+  EXPECT_TRUE(lr.errors.empty());
+  std::vector<std::string> nums;
+  for (const Token& t : lr.tokens) {
+    if (t.kind == TokKind::kNumber) nums.push_back(t.text);
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"1'000'000", "1e-5"}));
+}
+
+// ---------------------------------------------------------------------------
+// Rule fixtures — one corruption per family
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, LexUnterminatedReported) {
+  LintRunner r;
+  rule_lex(parsed("src/casa/obs/x.cpp", "auto s = \"open;\n"), r);
+  EXPECT_TRUE(has_rule(r, rule_ids::kLexUnterminated));
+}
+
+TEST(LintRules, MissingPragmaOnce) {
+  LintRunner r;
+  rule_pragma_once(parsed("src/casa/obs/x.hpp", "int f();\n"), r);
+  EXPECT_TRUE(has_rule(r, rule_ids::kPpPragmaOnce));
+  LintRunner ok;
+  rule_pragma_once(parsed("src/casa/obs/x.hpp", "#pragma once\nint f();\n"),
+                   ok);
+  EXPECT_TRUE(ok.ok());
+  LintRunner cpp;  // rule is header-only
+  rule_pragma_once(parsed("src/casa/obs/x.cpp", "int f() { return 1; }\n"),
+                   cpp);
+  EXPECT_TRUE(cpp.diagnostics().empty());
+}
+
+TEST(LintRules, DeadCodeIsAWarning) {
+  LintRunner r;
+  rule_dead_code(parsed("src/casa/obs/x.cpp", "#if 0\nint a;\n#endif\n"), r);
+  ASSERT_TRUE(has_rule(r, rule_ids::kPpDeadCode));
+  EXPECT_EQ(r.error_count(), 0u);
+  EXPECT_EQ(r.warning_count(), 1u);
+}
+
+TEST(LintRules, IncludeStyleBothDirections) {
+  LintRunner r;
+  rule_include_style(
+      parsed("src/casa/obs/x.cpp",
+             "#include <casa/obs/metrics.hpp>\n#include \"vector\"\n"),
+      r);
+  EXPECT_EQ(count_rule(r, rule_ids::kIncludeStyle), 2u);
+  LintRunner ok;
+  rule_include_style(
+      parsed("src/casa/obs/x.cpp",
+             "#include \"casa/obs/metrics.hpp\"\n#include <vector>\n"),
+      ok);
+  EXPECT_TRUE(ok.diagnostics().empty());
+}
+
+TEST(LintRules, IncludeCycleDetected) {
+  std::vector<ParsedFile> files;
+  files.push_back(parsed("src/casa/obs/a.hpp",
+                         "#pragma once\n#include \"casa/obs/b.hpp\"\n"));
+  files.push_back(parsed("src/casa/obs/b.hpp",
+                         "#pragma once\n#include \"casa/obs/a.hpp\"\n"));
+  LayerModel layers;  // empty: layering silent, only the cycle fires
+  LintRunner r;
+  rule_include_graph(files, layers, r);
+  EXPECT_EQ(count_rule(r, rule_ids::kIncludeCycle), 1u);  // reported once
+}
+
+LayerModel two_module_model() {
+  // casa_aa links casa_bb; casa_cc links nothing.
+  std::vector<SourceFile> cmake;
+  cmake.push_back(SourceFile{
+      "src/casa/aa/CMakeLists.txt",
+      "add_library(casa_aa STATIC one.cpp)\n"
+      "target_link_libraries(casa_aa PUBLIC casa_bb)\n"});
+  cmake.push_back(SourceFile{"src/casa/bb/CMakeLists.txt",
+                             "add_library(casa_bb STATIC two.cpp)\n"});
+  cmake.push_back(SourceFile{"src/casa/cc/CMakeLists.txt",
+                             "add_library(casa_cc STATIC three.cpp)\n"});
+  return parse_layer_model(cmake);
+}
+
+TEST(LintRules, LayerModelFromCMake) {
+  const LayerModel m = two_module_model();
+  ASSERT_EQ(m.targets.size(), 3u);
+  EXPECT_TRUE(m.allowed("aa", "one", "bb"));   // direct dep
+  EXPECT_TRUE(m.allowed("aa", "one", "aa"));   // own module
+  EXPECT_FALSE(m.allowed("bb", "two", "aa"));  // no reverse edge
+  EXPECT_FALSE(m.allowed("cc", "three", "bb"));
+}
+
+TEST(LintRules, IncludeLayeringViolation) {
+  std::vector<ParsedFile> files;
+  files.push_back(parsed("src/casa/cc/three.cpp",
+                         "#include \"casa/bb/two.hpp\"\n"));
+  LintRunner r;
+  rule_include_graph(files, two_module_model(), r);
+  EXPECT_TRUE(has_rule(r, rule_ids::kIncludeLayering));
+  std::vector<ParsedFile> ok_files;
+  ok_files.push_back(parsed("src/casa/aa/one.cpp",
+                            "#include \"casa/bb/two.hpp\"\n"));
+  LintRunner ok;
+  rule_include_graph(ok_files, two_module_model(), ok);
+  EXPECT_FALSE(has_rule(ok, rule_ids::kIncludeLayering));
+}
+
+TEST(LintRules, ForbiddenEdges) {
+  std::vector<ParsedFile> files;
+  files.push_back(parsed("src/casa/support/rng.cpp",
+                         "#include \"casa/obs/metrics.hpp\"\n"));
+  files.push_back(parsed("src/casa/ilp/simplex.cpp",
+                         "#include \"casa/obs/export.hpp\"\n"));
+  files.push_back(parsed("src/casa/core/allocator.cpp",
+                         "#include \"casa/report/workbench.hpp\"\n"));
+  LintRunner r;
+  rule_include_graph(files, LayerModel{}, r);
+  EXPECT_EQ(count_rule(r, rule_ids::kIncludeForbidden), 3u);
+}
+
+TEST(LintRules, UnregisteredAndRegisteredLiterals) {
+  std::vector<ParsedFile> files;
+  files.push_back(parsed("src/casa/obs/x.cpp",
+                         "auto a = \"no.such_name\";\n"
+                         "auto b = \"sim.fetches\";\n"   // registered metric
+                         "auto c = \"metrics.json\";\n"  // file name: exempt
+                         "auto d = \"plainword\";\n"));
+  LintRunner r;
+  rule_names(files, DocsTexts{}, r);
+  EXPECT_EQ(count_rule(r, rule_ids::kNamesUnregistered), 2u);
+}
+
+TEST(LintRules, UndocumentedRegistryEntries) {
+  // Empty docs: every registry entry of every kind is undocumented.
+  LintRunner r;
+  rule_names({}, DocsTexts{}, r);
+  EXPECT_GT(count_rule(r, rule_ids::kNamesUndocumented), 50u);
+  // Docs that contain a name (in any surrounding text) document it.
+  DocsTexts docs;
+  docs.metrics = "| `sim.fetches` | fetches |";
+  LintRunner r2;
+  rule_names({}, docs, r2);
+  EXPECT_EQ(count_rule(r2, rule_ids::kNamesUndocumented),
+            count_rule(r, rule_ids::kNamesUndocumented) - 1);
+}
+
+TEST(LintRules, MutableGlobalFlaggedAndSynchronisedOnesNot) {
+  LintRunner bad;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "namespace casa {\nint g_count = 0;\n}\n"),
+               bad);
+  EXPECT_TRUE(has_rule(bad, rule_ids::kHygieneMutableGlobal));
+  LintRunner ok;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "namespace casa {\n"
+                      "std::atomic<int> g_a{0};\n"
+                      "thread_local int g_t = 0;\n"
+                      "constexpr int kX = 3;\n"
+                      "const char* const kName = \"n\";\n"
+                      "std::mutex g_mu;\n"
+                      "int add(int a, int b) { int local = a; return local + "
+                      "b; }\n"
+                      "}\n"),
+               ok);
+  EXPECT_FALSE(has_rule(ok, rule_ids::kHygieneMutableGlobal));
+}
+
+TEST(LintRules, StaticLocalWithoutSyncFlagged) {
+  LintRunner r;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "int f() {\n  static int calls = 0;\n  return "
+                      "++calls;\n}\n"),
+               r);
+  EXPECT_TRUE(has_rule(r, rule_ids::kHygieneMutableGlobal));
+}
+
+TEST(LintRules, RawNewDeleteButNotDeletedFunctions) {
+  LintRunner r;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "void f() { int* p = new int(3); delete p; }\n"),
+               r);
+  EXPECT_EQ(count_rule(r, rule_ids::kHygieneRawNew), 2u);
+  LintRunner ok;
+  rule_hygiene(parsed("src/casa/obs/x.hpp",
+                      "#pragma once\nstruct X {\n  X(const X&) = delete;\n"
+                      "  X& operator=(const X&) = delete;\n};\n"),
+               ok);
+  EXPECT_FALSE(has_rule(ok, rule_ids::kHygieneRawNew));
+}
+
+TEST(LintRules, DetachedThread) {
+  LintRunner r;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "void f(std::thread& t) { t.detach(); }\n"),
+               r);
+  EXPECT_TRUE(has_rule(r, rule_ids::kHygieneDetachedThread));
+  LintRunner ok;  // an unrelated identifier named detach is not a call
+  rule_hygiene(parsed("src/casa/obs/x.cpp", "int detach = 0;\n"), ok);
+  EXPECT_FALSE(has_rule(ok, rule_ids::kHygieneDetachedThread));
+}
+
+TEST(LintRules, EndlSeverityDependsOnModule) {
+  LintRunner hot;
+  rule_hygiene(parsed("src/casa/sim/x.cpp",
+                      "void f() { std::cout << std::endl; }\n"),
+               hot);
+  ASSERT_TRUE(has_rule(hot, rule_ids::kHotpathEndl));
+  EXPECT_EQ(hot.error_count(), 1u);
+  LintRunner warm;
+  rule_hygiene(parsed("src/casa/report/x.cpp",
+                      "void f() { std::cout << std::endl; }\n"),
+               warm);
+  ASSERT_TRUE(has_rule(warm, rule_ids::kHotpathEndl));
+  EXPECT_EQ(warm.error_count(), 0u);
+  EXPECT_EQ(warm.warning_count(), 1u);
+}
+
+TEST(LintRules, NodiscardStatusApis) {
+  LintRunner bad;
+  rule_api_nodiscard(parsed("src/casa/ilp/simplex.hpp",
+                            "#pragma once\nclass S {\n public:\n"
+                            "  Solution solve_relaxation(const Model& m) "
+                            "const;\n};\n"),
+                     bad);
+  EXPECT_TRUE(has_rule(bad, rule_ids::kApiNodiscardStatus));
+  LintRunner ok;
+  rule_api_nodiscard(parsed("src/casa/ilp/simplex.hpp",
+                            "#pragma once\nclass S {\n public:\n"
+                            "  [[nodiscard]] Solution solve_relaxation(const "
+                            "Model& m) const;\n};\n"),
+                     ok);
+  EXPECT_FALSE(has_rule(ok, rule_ids::kApiNodiscardStatus));
+  LintRunner other;  // rule scopes to ilp/ + core/ headers only
+  rule_api_nodiscard(parsed("src/casa/report/x.hpp",
+                            "#pragma once\nSolution f(Model m);\n"),
+                     other);
+  EXPECT_TRUE(other.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAndLineAbove) {
+  LintRunner same;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "void f() { auto* p = new int; }  "
+                      "// casa-lint: allow(hygiene.raw-new)\n"),
+               same);
+  EXPECT_FALSE(has_rule(same, rule_ids::kHygieneRawNew));
+  LintRunner above;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "// casa-lint: allow(hygiene.raw-new)\n"
+                      "void f() { auto* p = new int; }\n"),
+               above);
+  EXPECT_FALSE(has_rule(above, rule_ids::kHygieneRawNew));
+}
+
+TEST(LintSuppression, WrongRuleOrDistantLineDoesNotSuppress) {
+  LintRunner wrong;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "// casa-lint: allow(hotpath.endl)\n"
+                      "void f() { auto* p = new int; }\n"),
+               wrong);
+  EXPECT_TRUE(has_rule(wrong, rule_ids::kHygieneRawNew));
+  LintRunner distant;
+  rule_hygiene(parsed("src/casa/obs/x.cpp",
+                      "// casa-lint: allow(hygiene.raw-new)\n"
+                      "\n"
+                      "void f() { auto* p = new int; }\n"),
+               distant);
+  EXPECT_TRUE(has_rule(distant, rule_ids::kHygieneRawNew));
+}
+
+TEST(LintSuppression, CommaSeparatedRules) {
+  LintRunner r;
+  rule_hygiene(parsed("src/casa/sim/x.cpp",
+                      "// casa-lint: allow(hygiene.raw-new, hotpath.endl)\n"
+                      "void f() { std::cout << std::endl; auto* p = new "
+                      "int; }\n"),
+               r);
+  EXPECT_TRUE(r.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Artifact round-trip
+// ---------------------------------------------------------------------------
+
+TEST(LintArtifact, JsonRoundTrip) {
+  LintRunner r;
+  r.mark_scanned(12);
+  r.mark_evaluated(14);
+  r.error(rule_ids::kHygieneRawNew, "src/casa/obs/x.cpp", 3, 7,
+          "raw operator new", "use std::make_unique");
+  r.warn(rule_ids::kPpDeadCode, "src/casa/sim/y.cpp", 10, 1,
+         "message with \"quotes\"\nand a newline");
+  std::ostringstream os;
+  write_lint_json(os, r);
+  std::istringstream is(os.str());
+  const LintRunner back = read_lint_json(is);
+  EXPECT_EQ(back.files_scanned(), 12u);
+  EXPECT_EQ(back.rules_evaluated(), 14u);
+  ASSERT_EQ(back.diagnostics().size(), 2u);
+  EXPECT_EQ(back.error_count(), 1u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.diagnostics()[i].severity, r.diagnostics()[i].severity);
+    EXPECT_EQ(back.diagnostics()[i].rule, r.diagnostics()[i].rule);
+    EXPECT_EQ(back.diagnostics()[i].file, r.diagnostics()[i].file);
+    EXPECT_EQ(back.diagnostics()[i].line, r.diagnostics()[i].line);
+    EXPECT_EQ(back.diagnostics()[i].col, r.diagnostics()[i].col);
+    EXPECT_EQ(back.diagnostics()[i].message, r.diagnostics()[i].message);
+    EXPECT_EQ(back.diagnostics()[i].hint, r.diagnostics()[i].hint);
+  }
+}
+
+TEST(LintArtifact, CorruptedArtifactsRejected) {
+  const auto read = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_lint_json(is);
+  };
+  EXPECT_THROW(read("not json"), Error);
+  EXPECT_THROW(read("{\"schema\": \"casa-check v1\", \"diagnostics\": []}"),
+               Error);
+  // Counter disagreeing with the diagnostics array.
+  EXPECT_THROW(
+      read("{\"schema\": \"casa-lint v1\", \"tool\": \"t\", "
+           "\"files_scanned\": 1, \"rules_evaluated\": 1, \"errors\": 5, "
+           "\"warnings\": 0, \"diagnostics\": []}"),
+      Error);
+}
+
+TEST(LintArtifact, SummaryAndToString) {
+  LintRunner r;
+  r.mark_scanned(3);
+  r.mark_evaluated(14);
+  EXPECT_NE(r.summary().find("OK"), std::string::npos);
+  r.error(rule_ids::kPpPragmaOnce, "src/casa/obs/x.hpp", 1, 1,
+          "header has no #pragma once", "add it");
+  EXPECT_FALSE(r.ok());
+  const std::string line = r.diagnostics()[0].to_string();
+  EXPECT_NE(line.find("error[pp.pragma-once]"), std::string::npos);
+  EXPECT_NE(line.find("src/casa/obs/x.hpp:1:1"), std::string::npos);
+  std::ostringstream fixes;
+  write_fix_list(fixes, r);
+  EXPECT_EQ(fixes.str(),
+            "src/casa/obs/x.hpp:1:1\tpp.pragma-once\tadd it\n");
+}
+
+// ---------------------------------------------------------------------------
+// Dotted names
+// ---------------------------------------------------------------------------
+
+TEST(LintNames, DottedNameShape) {
+  EXPECT_TRUE(is_dotted_name("sim.fetches"));
+  EXPECT_TRUE(is_dotted_name("ilp.warmstart.rc_fixed"));
+  EXPECT_TRUE(is_dotted_name("pp.pragma-once"));
+  EXPECT_FALSE(is_dotted_name("plain"));
+  EXPECT_FALSE(is_dotted_name("Sim.fetches"));    // uppercase
+  EXPECT_FALSE(is_dotted_name("1.5"));            // number
+  EXPECT_FALSE(is_dotted_name("sim..fetches"));   // empty segment
+  EXPECT_FALSE(is_dotted_name("sim.fetches."));   // trailing dot
+  EXPECT_FALSE(is_dotted_name("metrics.json"));   // file name
+  EXPECT_FALSE(is_dotted_name("e.g. example"));   // space
+}
+
+}  // namespace
+}  // namespace casa::lint

@@ -26,6 +26,7 @@
 #include "casa/obs/metrics.hpp"
 #include "casa/obs/span.hpp"
 #include "casa/obs/trace_analysis.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/support/args.hpp"
@@ -226,7 +227,7 @@ int run(ArgParser& args) {
   // it gets a span alongside the run_* flow phases.
   std::optional<report::Workbench> bench_storage;
   {
-    const obs::Span s(reg, "profiling");
+    const obs::Span s(reg, obs::trace_names::kProfiling);
     bench_storage.emplace(program, wopt);
   }
   const report::Workbench& bench = *bench_storage;

@@ -1,0 +1,155 @@
+// casa_lint — source-level analyzer for the casa tree.
+//
+// Walks src/casa/**/*.{hpp,cpp} and tools/*.cpp, lexes every file with the
+// preprocessor/string/comment-aware tokenizer, derives the include-layering
+// model from the per-module CMakeLists, loads the docs catalogues, and runs
+// every lint rule family. Output: human-readable diagnostics on stdout, a
+// "casa-lint v1" JSON artifact via --json, and a machine-readable fix list
+// via --fix-list. Exit status: 0 clean (warnings allowed), 1 any error
+// diagnostic, 2 usage/environment failure.
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casa/lint/rules.hpp"
+#include "casa/lint/runner.hpp"
+#include "casa/lint/source.hpp"
+#include "casa/support/args.hpp"
+#include "casa/support/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+bool lintable_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+std::string read_text_or_empty(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+casa::lint::TreeInputs load_tree(const fs::path& root) {
+  casa::lint::TreeInputs inputs;
+
+  std::vector<fs::path> sources;
+  const fs::path src_casa = root / "src" / "casa";
+  CASA_CHECK(fs::is_directory(src_casa),
+             "casa_lint: no src/casa under --root " + root.string());
+  for (const auto& entry : fs::recursive_directory_iterator(src_casa)) {
+    if (entry.is_regular_file() && lintable_source(entry.path())) {
+      sources.push_back(entry.path());
+    }
+  }
+  const fs::path tools = root / "tools";
+  if (fs::is_directory(tools)) {
+    for (const auto& entry : fs::directory_iterator(tools)) {
+      if (entry.is_regular_file() &&
+          entry.path().extension() == ".cpp") {
+        sources.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  inputs.files.reserve(sources.size());
+  for (const fs::path& p : sources) {
+    inputs.files.push_back(casa::lint::parse_source(
+        casa::lint::load_source(p.string(), rel_path(p, root))));
+  }
+
+  std::vector<casa::lint::SourceFile> cmake_files;
+  for (const auto& entry : fs::directory_iterator(src_casa)) {
+    const fs::path cml = entry.path() / "CMakeLists.txt";
+    if (entry.is_directory() && fs::is_regular_file(cml)) {
+      cmake_files.push_back(
+          casa::lint::load_source(cml.string(), rel_path(cml, root)));
+    }
+  }
+  std::sort(cmake_files.begin(), cmake_files.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
+  inputs.layers = casa::lint::parse_layer_model(cmake_files);
+
+  inputs.docs.metrics = read_text_or_empty(root / "docs" / "metrics.md");
+  inputs.docs.tracing = read_text_or_empty(root / "docs" / "tracing.md");
+  inputs.docs.checks = read_text_or_empty(root / "docs" / "checks.md");
+  inputs.docs.lint = read_text_or_empty(root / "docs" / "lint.md");
+  return inputs;
+}
+
+void write_file_or_stdout(const std::string& path,
+                          const std::function<void(std::ostream&)>& emit) {
+  if (path == "-") {
+    emit(std::cout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  CASA_CHECK(out.good(), "casa_lint: cannot write " + path);
+  emit(out);
+  CASA_CHECK(out.good(), "casa_lint: write failed for " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    casa::ArgParser args(argc, argv);
+    const std::string root_arg =
+        args.get("root", ".", "repository root to lint");
+    const std::string json_path =
+        args.get("json", "", "write the casa-lint v1 JSON artifact here "
+                             "('-' for stdout)");
+    const std::string fix_path =
+        args.get("fix-list", "", "write file:line:col\\trule\\thint lines "
+                                 "here ('-' for stdout)");
+    const bool quiet =
+        args.get_flag("quiet", "suppress per-diagnostic output");
+    if (args.help_requested()) {
+      std::cout << "casa_lint: source-level analyzer for the casa tree\n"
+                << args.help();
+      return 0;
+    }
+    args.reject_unknown();
+
+    const fs::path root = fs::path(root_arg);
+    casa::lint::TreeInputs inputs = load_tree(root);
+    casa::lint::LintRunner runner;
+    casa::lint::run_all_rules(inputs, runner);
+
+    if (!quiet) {
+      for (const casa::lint::Diagnostic& d : runner.diagnostics()) {
+        std::cout << d.to_string() << "\n";
+      }
+    }
+    if (!json_path.empty()) {
+      write_file_or_stdout(json_path, [&](std::ostream& os) {
+        casa::lint::write_lint_json(os, runner);
+      });
+    }
+    if (!fix_path.empty()) {
+      write_file_or_stdout(fix_path, [&](std::ostream& os) {
+        casa::lint::write_fix_list(os, runner);
+      });
+    }
+    std::cout << runner.summary() << "\n";
+    return runner.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "casa_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Source-tree lint gate.
+#
+# Runs casa_lint over the repo, asserts the tree is clean (zero
+# error-severity diagnostics), and validates the emitted "casa-lint v1"
+# artifact key-by-key: schema string, counter types, counters agreeing
+# with the diagnostics array, and every diagnostic's rule id being one of
+# the documented lint rules. The artifact is the contract tests and CI
+# assert on, so it is checked as strictly as the tree itself.
+#
+# Registered as a ctest (lint_check); exits 77 (ctest SKIP) on hosts
+# without python3, hard-fails on a missing casa_lint binary.
+#
+# Usage:
+#   tools/lint_check.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname -- "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="${2:?--build-dir needs a value}"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+lint="$build_dir/tools/casa_lint"
+if [[ ! -x "$lint" ]]; then
+  echo "lint_check: FAIL — casa_lint binary missing: $lint" >&2
+  echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "lint_check: SKIP — python3 not found on this host" >&2
+  exit 77
+fi
+
+artifact="$(mktemp /tmp/lint_check.XXXXXX.json)"
+trap 'rm -f "$artifact"' EXIT
+
+echo "lint_check: running casa_lint over $repo_root"
+status=0
+"$lint" --root "$repo_root" --json "$artifact" || status=$?
+if [[ "$status" -ge 2 ]]; then
+  echo "lint_check: FAIL — casa_lint died with status $status" >&2
+  exit 1
+fi
+
+python3 - "$artifact" "$status" <<'EOF'
+import json, sys
+
+failures = []
+
+
+def fail(key, why):
+    failures.append(f"{key}: {why}")
+
+
+try:
+    doc = json.load(open(sys.argv[1]))
+except (OSError, json.JSONDecodeError) as e:
+    print(f"lint_check: FAIL\n  - artifact unreadable: {e}")
+    sys.exit(1)
+
+exit_status = int(sys.argv[2])
+
+if doc.get("schema") != "casa-lint v1":
+    fail("schema", f"expected 'casa-lint v1', got {doc.get('schema')!r}")
+if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
+    fail("tool", f"must be a non-empty string, got {doc.get('tool')!r}")
+for key in ("files_scanned", "rules_evaluated", "errors", "warnings"):
+    v = doc.get(key)
+    if not isinstance(v, int) or v < 0:
+        fail(key, f"must be a non-negative integer, got {v!r}")
+
+diags = doc.get("diagnostics")
+if not isinstance(diags, list):
+    fail("diagnostics", f"must be an array, got {type(diags).__name__}")
+    diags = []
+
+errors = [d for d in diags if d.get("severity") == "error"]
+warnings = [d for d in diags if d.get("severity") == "warning"]
+if doc.get("errors") != len(errors):
+    fail("errors", f"counter says {doc.get('errors')} but the array holds "
+         f"{len(errors)}")
+if doc.get("warnings") != len(warnings):
+    fail("warnings", f"counter says {doc.get('warnings')} but the array "
+         f"holds {len(warnings)}")
+if len(errors) + len(warnings) != len(diags):
+    fail("diagnostics", "severity must be 'error' or 'warning' on every "
+         "entry")
+
+# Rule ids are stable API: docs/lint.md catalogues each family's prefix.
+prefixes = ("lex.", "pp.", "include.", "names.", "hygiene.", "hotpath.",
+            "api.")
+for d in diags:
+    rule = d.get("rule", "")
+    if not isinstance(rule, str) or not rule.startswith(prefixes):
+        fail("diagnostics.rule", f"unknown rule id {rule!r}")
+    for key in ("file", "message"):
+        if not isinstance(d.get(key), str) or not d.get(key):
+            fail(f"diagnostics.{key}", f"missing on {rule!r}")
+    for key in ("line", "col"):
+        if not isinstance(d.get(key), int):
+            fail(f"diagnostics.{key}", f"missing on {rule!r}")
+
+if doc.get("files_scanned", 0) < 100:
+    fail("files_scanned", f"only {doc.get('files_scanned')} files scanned — "
+         "the tree walk is broken")
+if doc.get("rules_evaluated", 0) < 14:
+    fail("rules_evaluated", f"{doc.get('rules_evaluated')} rule families "
+         "evaluated, expected >= 14")
+
+# The gate itself: a clean tree.
+if errors:
+    fail("tree", f"{len(errors)} lint error(s); run casa_lint --fix-list -")
+    for d in errors[:20]:
+        fail("  " + d.get("rule", "?"),
+             f"{d.get('file')}:{d.get('line')}: {d.get('message')}")
+if exit_status != (1 if errors else 0):
+    fail("exit", f"casa_lint exited {exit_status} but the artifact holds "
+         f"{len(errors)} errors")
+
+if failures:
+    print("lint_check: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"lint_check: OK ({doc['files_scanned']} files, "
+      f"{doc['rules_evaluated']} rule families, "
+      f"{len(warnings)} warning(s))")
+EOF
