@@ -20,6 +20,8 @@
 #include "casa/cachesim/stack_sim.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/fault/fault.hpp"
+#include "casa/fault/site_names.hpp"
 #include "casa/memsim/hierarchy.hpp"
 #include "casa/obs/span.hpp"
 #include "casa/obs/tracer.hpp"
@@ -316,6 +318,21 @@ void BM_TraceOverheadOff(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// Disarmed fault-site overhead on the same kernel: a fault::at with no
+// spec armed must cost one relaxed atomic load, so the injection points
+// embedded in the pipeline are free in production. tools/bench_check.sh
+// gates FaultCheckOff/Off >= 0.85 (within noise), the same contract as the
+// null-tracer span.
+void BM_FaultCheckOff(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    casa::fault::at(casa::fault::site_names::kSolverAllocate);
+    x = mix_block(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_TraceOverheadNull(benchmark::State& state) {
   std::uint64_t x = 0x9e3779b97f4a7c15ull;
   for (auto _ : state) {
@@ -370,6 +387,7 @@ BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
     ->UseRealTime();
 BENCHMARK(BM_TraceOverheadOff);
+BENCHMARK(BM_FaultCheckOff);
 BENCHMARK(BM_TraceOverheadNull);
 BENCHMARK(BM_TraceOverheadTracing);
 BENCHMARK_MAIN();

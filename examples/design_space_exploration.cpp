@@ -12,9 +12,18 @@
 // cache the same fetch stream share one stack-distance replay; results are
 // ordered, identical for any thread count, and bit-identical to running
 // each point alone.
+//
+// The batch runs fail-soft (run_jobs with fail_fast off and one transient
+// retry): a sweep point that dies is reported as a failed row while every
+// other split still produces data — per-point failure is data in a DSE, not
+// a crash. Try it with injection (docs/faults.md):
+//
+//   CASA_FAULT_SPEC="site=fault.solver.allocate,action=throw,arg=3" \
+//     ./design_space_exploration
 #include <cstdlib>
 #include <iostream>
 
+#include "casa/fault/fault.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/sim/sweep_planner.hpp"
 #include "casa/support/table.hpp"
@@ -25,6 +34,7 @@ int main(int argc, char** argv) {
 
   const unsigned threads =
       argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
+  fault::arm_from_env();
 
   const prog::Program program = workloads::make_g721();
   const report::Workbench bench(program);
@@ -47,15 +57,36 @@ int main(int argc, char** argv) {
                        : report::Workbench::Job::casa_job(cache, spm));
   }
 
-  const std::vector<report::Outcome> outcomes =
-      sim::SweepPlanner(bench).run(jobs, threads);
+  report::BatchOptions bopt;
+  bopt.threads = threads;
+  bopt.fail_fast = false;  // keep healthy splits when one point dies
+  bopt.max_retries = 1;    // transient failures get one deterministic retry
+  const std::vector<report::JobResult> results =
+      sim::SweepPlanner(bench).run_jobs(jobs, bopt);
 
   Table table({"cache B", "SPM B", "energy uJ", "cache miss %", "SPM fetch %",
-               "cycles M", "best?"});
-  std::size_t best = 0;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    const report::Outcome& o = outcomes[i];
-    if (o.sim.total_energy < outcomes[best].sim.total_energy) best = i;
+               "cycles M", "status"});
+  std::size_t best = results.size();
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const report::JobResult& r = results[i];
+    if (!r.ok()) {
+      ++failed;
+      table.row()
+          .cell(splits[i].first)
+          .cell(splits[i].second)
+          .cell("-")
+          .cell("-")
+          .cell("-")
+          .cell("-")
+          .cell(r.error_kind);
+      continue;
+    }
+    const report::Outcome& o = r.outcome;
+    if (best == results.size() ||
+        o.sim.total_energy < results[best].outcome.sim.total_energy) {
+      best = i;
+    }
     table.row()
         .cell(splits[i].first)
         .cell(splits[i].second)
@@ -68,15 +99,33 @@ int main(int argc, char** argv) {
                   static_cast<double>(o.sim.counters.total_fetches),
               1)
         .cell(static_cast<double>(o.sim.counters.cycles) / 1e6, 2)
-        .cell("");
+        .cell(std::string(to_string(r.status)));
   }
 
   table.print(std::cout);
+  if (failed != 0) {
+    std::cout << "\n" << failed << " of " << results.size()
+              << " sweep points failed; the rows above are the survivors\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        std::cout << "  point " << i << " (" << splits[i].first << "B/"
+                  << splits[i].second << "B): " << results[i].error_kind
+                  << ": " << results[i].message << "\n";
+      }
+    }
+  }
+  if (best == results.size()) {
+    std::cout << "\nno sweep point survived\n";
+    return 1;
+  }
+  const double base = results[0].ok()
+                          ? results[0].outcome.sim.total_energy
+                          : results[best].outcome.sim.total_energy;
   std::cout << "\nbest split: " << splits[best].first << " B cache + "
             << splits[best].second << " B scratchpad ("
-            << to_micro_joules(outcomes[best].sim.total_energy) << " uJ; "
-            << 100.0 * (1.0 - outcomes[best].sim.total_energy /
-                                  outcomes[0].sim.total_energy)
+            << to_micro_joules(results[best].outcome.sim.total_energy)
+            << " uJ; "
+            << 100.0 * (1.0 - results[best].outcome.sim.total_energy / base)
             << "% below the all-cache design)\n";
   return 0;
 }

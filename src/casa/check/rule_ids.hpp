@@ -73,6 +73,9 @@ inline constexpr std::string_view kEnergySramNonMonotone =
 // ---- stack sweep (check_stack_sweep) ----
 inline constexpr std::string_view kSweepStackMismatch = "sweep.stack.mismatch";
 
+// ---- batch containment (check_batch) ----
+inline constexpr std::string_view kRunPartialFailure = "run.partial_failure";
+
 /// Every registered rule id, docs-sync-checked against docs/checks.md by
 /// casa_lint.
 inline constexpr std::string_view kAll[] = {
@@ -106,6 +109,7 @@ inline constexpr std::string_view kAll[] = {
     kEnergyOrderHitSpm,
     kEnergySramNonMonotone,
     kSweepStackMismatch,
+    kRunPartialFailure,
 };
 
 namespace detail {

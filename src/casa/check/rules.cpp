@@ -25,6 +25,7 @@ constexpr const char* kAllocArtifact = "allocation";
 constexpr const char* kEnergyArtifact = "energy-table";
 constexpr const char* kEnergyModelArtifact = "energy-model";
 constexpr const char* kStackSweepArtifact = "stack-sweep";
+constexpr const char* kBatchArtifact = "batch-run";
 
 std::string object_loc(std::size_t i) {
   std::string s = "x";
@@ -638,6 +639,35 @@ void check_stack_sweep(const memsim::SimCounters& stack,
                    "the one-pass engine must be bit-identical to per-config "
                    "replay; a drift here invalidates every configuration "
                    "sharing this group's stack pass");
+    }
+  }
+  runner.mark_evaluated(1);
+}
+
+void check_batch(const BatchSummary& batch, CheckRunner& runner) {
+  if (batch.failed != 0) {
+    std::ostringstream msg;
+    msg << batch.failed << " of " << batch.jobs << " jobs failed";
+    if (batch.retried != 0) {
+      msg << " (" << batch.retried << " more recovered after retries)";
+    }
+    std::ostringstream hint;
+    // Cap the per-failure detail: a poisoned 64-point sweep should read as
+    // one diagnostic, not 64.
+    constexpr std::size_t kMaxListed = 4;
+    for (std::size_t i = 0; i < batch.failures.size() && i < kMaxListed; ++i) {
+      if (i != 0) hint << "; ";
+      hint << batch.failures[i];
+    }
+    if (batch.failures.size() > kMaxListed) {
+      hint << "; ... " << (batch.failures.size() - kMaxListed) << " more";
+    }
+    if (batch.failed >= batch.jobs) {
+      runner.error(rule_ids::kRunPartialFailure, kBatchArtifact, "jobs",
+                   "every job in the batch failed: " + msg.str(), hint.str());
+    } else {
+      runner.warn(rule_ids::kRunPartialFailure, kBatchArtifact, "jobs",
+                  "batch degraded: " + msg.str(), hint.str());
     }
   }
   runner.mark_evaluated(1);

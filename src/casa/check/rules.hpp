@@ -98,4 +98,21 @@ void check_stack_sweep(const memsim::SimCounters& stack,
                        const cachesim::CacheConfig& config,
                        CheckRunner& runner);
 
+/// What a fault-contained batch run produced, reduced to the counts the
+/// run.partial_failure rule needs (plain values so the rule stays free of
+/// report-layer types; report::batch_summary_of builds one from JobResults).
+struct BatchSummary {
+  std::size_t jobs = 0;     ///< total jobs requested
+  std::size_t failed = 0;   ///< jobs whose final attempt still failed
+  std::size_t retried = 0;  ///< jobs that succeeded only after retries
+  /// One "job N: kind: message" line per failed job, in job order.
+  std::vector<std::string> failures;
+};
+
+/// Degraded-batch reporting: a batch where some jobs failed is a warning
+/// (the healthy outcomes are still usable data — the DSE workflow treats
+/// per-point failure as data, not a crash), a batch where *every* job
+/// failed is an error.
+void check_batch(const BatchSummary& batch, CheckRunner& runner);
+
 }  // namespace casa::check

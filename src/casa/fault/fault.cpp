@@ -1,0 +1,374 @@
+#include "casa/fault/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "casa/fault/site_names.hpp"
+
+namespace casa::fault {
+
+namespace {
+
+// SplitMix64: the same stream separator the parallel runner uses, so the
+// probability coin is a pure function of its inputs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic coin in [0, 1): depends only on (seed, site, arg, hit).
+/// The inputs are folded in sequentially — XOR-combining independent
+/// mix64() outputs would cancel whenever two inputs coincide (a visit
+/// sequence with arg + 1 == hit would see one constant coin forever).
+double coin(std::uint64_t seed, std::string_view site, std::uint64_t arg,
+            std::uint64_t hit) {
+  std::uint64_t x = mix64(seed ^ hash_site(site));
+  x = mix64(x ^ (arg + 1));
+  x = mix64(x ^ hit);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+struct SiteState {
+  SiteSpec spec;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+struct ArmedState {
+  std::uint64_t seed = 1;
+  // deque: SiteState holds atomics (non-movable) and worker threads keep
+  // raw references while firing.
+  std::deque<SiteState> sites;
+};
+
+struct Core {
+  std::mutex mu;
+  std::shared_ptr<ArmedState> state;
+  std::atomic<InjectionHook> hook{nullptr};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+  std::atomic<std::uint64_t> throws{0};
+  std::atomic<std::uint64_t> transients{0};
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> corrupts{0};
+};
+
+Core& core() {
+  // Internally synchronised (mutex + atomics): casa-lint: allow(hygiene.mutable-global)
+  static Core c;
+  return c;
+}
+
+std::shared_ptr<ArmedState> snapshot_state() {
+  std::lock_guard<std::mutex> lock(core().mu);
+  return core().state;
+}
+
+std::uint64_t& arg_slot() {
+  thread_local std::uint64_t arg = kAnyArg;
+  return arg;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw PreconditionError("fault spec: " + what);
+}
+
+Action parse_action(const std::string& v) {
+  if (v == "throw") return Action::kThrow;
+  if (v == "transient") return Action::kTransient;
+  if (v == "delay") return Action::kDelay;
+  if (v == "corrupt") return Action::kCorrupt;
+  bad_spec("unknown action '" + v +
+           "' (expected throw|transient|delay|corrupt)");
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+  if (v.empty()) bad_spec(key + " expects an unsigned integer, got: ''");
+  for (char c : v) {
+    if (c < '0' || c > '9') {
+      bad_spec(key + " expects an unsigned integer, got: " + v);
+    }
+  }
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    bad_spec(key + " out of range: " + v);
+  }
+}
+
+double parse_prob(const std::string& v) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v.size() || v.empty() || p < 0.0 || p > 1.0) {
+    bad_spec("p expects a probability in [0,1], got: " + v);
+  }
+  return p;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, sep)) out.push_back(cur);
+  return out;
+}
+
+SiteSpec parse_clause(const std::string& clause) {
+  SiteSpec spec;
+  bool saw_site = false;
+  for (const std::string& field : split(clause, ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      bad_spec("expected key=value, got: '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "site") {
+      spec.site = value;
+      saw_site = true;
+    } else if (key == "action") {
+      spec.action = parse_action(value);
+    } else if (key == "arg") {
+      spec.arg = parse_u64(key, value);
+    } else if (key == "hits") {
+      spec.hits_from = parse_u64(key, value);
+    } else if (key == "count") {
+      spec.max_fires = parse_u64(key, value);
+    } else if (key == "delay_us") {
+      spec.delay_us = parse_u64(key, value);
+    } else if (key == "p") {
+      spec.probability = parse_prob(value);
+    } else {
+      bad_spec("unknown key '" + key +
+               "' (expected site|action|arg|hits|count|delay_us|p)");
+    }
+  }
+  if (!saw_site) bad_spec("clause missing site=: '" + clause + "'");
+  return spec;
+}
+
+void validate(const SiteSpec& spec) {
+  if (!site_names::is_registered(spec.site)) {
+    std::ostringstream os;
+    os << "unknown site '" << spec.site << "'; registered sites:";
+    for (std::string_view s : site_names::kAll) os << ' ' << s;
+    bad_spec(os.str());
+  }
+  if (spec.hits_from == 0) bad_spec("hits is 1-based; hits=0 never fires");
+  if (spec.max_fires == 0) bad_spec("count=0 never fires; omit the clause");
+}
+
+void reset_stats() {
+  core().hits.store(0);
+  core().fires.store(0);
+  core().throws.store(0);
+  core().transients.store(0);
+  core().delays.store(0);
+  core().corrupts.store(0);
+}
+
+/// Claims one fire slot on `st` if the hit window, fire budget, and
+/// probability coin all admit this visit.
+bool claim_fire(SiteState& st, std::uint64_t seed, std::string_view site,
+                std::uint64_t arg) {
+  const std::uint64_t hit = st.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  core().hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < st.spec.hits_from) return false;
+  if (st.spec.probability < 1.0 &&
+      coin(seed, site, arg, hit) >= st.spec.probability) {
+    return false;
+  }
+  if (st.fires.fetch_add(1, std::memory_order_relaxed) >= st.spec.max_fires) {
+    return false;  // budget exhausted (fetch_add keeps this monotone)
+  }
+  core().fires.fetch_add(1, std::memory_order_relaxed);
+  if (InjectionHook hook = core().hook.load(std::memory_order_relaxed)) {
+    hook(site, st.spec.action, arg);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void fire(std::string_view site, std::uint64_t arg) {
+  const std::shared_ptr<ArmedState> state = snapshot_state();
+  if (state == nullptr) return;
+  for (SiteState& st : state->sites) {
+    if (st.spec.action == Action::kCorrupt) continue;  // corrupt_payload only
+    if (st.spec.site != site) continue;
+    if (st.spec.arg != kAnyArg && st.spec.arg != arg) continue;
+    if (!claim_fire(st, state->seed, site, arg)) continue;
+    switch (st.spec.action) {
+      case Action::kThrow:
+        core().throws.fetch_add(1, std::memory_order_relaxed);
+        throw FaultError("injected fault at " + std::string(site));
+      case Action::kTransient:
+        core().transients.fetch_add(1, std::memory_order_relaxed);
+        throw TransientError("injected transient fault at " +
+                             std::string(site));
+      case Action::kDelay:
+        core().delays.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(st.spec.delay_us));
+        break;
+      case Action::kCorrupt:
+        break;
+    }
+  }
+}
+
+bool corrupt(std::string_view site, std::uint64_t arg, std::string& payload) {
+  const std::shared_ptr<ArmedState> state = snapshot_state();
+  if (state == nullptr) return false;
+  bool corrupted = false;
+  for (SiteState& st : state->sites) {
+    if (st.spec.action != Action::kCorrupt) continue;
+    if (st.spec.site != site) continue;
+    if (st.spec.arg != kAnyArg && st.spec.arg != arg) continue;
+    if (!claim_fire(st, state->seed, site, arg)) continue;
+    core().corrupts.fetch_add(1, std::memory_order_relaxed);
+    if (payload.empty()) {
+      payload.push_back('#');
+    } else {
+      const std::uint64_t pos =
+          mix64(state->seed ^ hash_site(site) ^ (arg + 1)) % payload.size();
+      payload[pos] = static_cast<char>(payload[pos] ^ 0x40);
+    }
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+}  // namespace detail
+
+std::string_view to_string(Action action) {
+  switch (action) {
+    case Action::kThrow:
+      return "throw";
+    case Action::kTransient:
+      return "transient";
+    case Action::kDelay:
+      return "delay";
+    case Action::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+FaultSpec parse_spec(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& clause : split(text, ';')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("seed=", 0) == 0) {
+      spec.seed = parse_u64("seed", clause.substr(5));
+      continue;
+    }
+    spec.sites.push_back(parse_clause(clause));
+  }
+  if (spec.sites.empty()) bad_spec("no site clauses in '" + text + "'");
+  return spec;
+}
+
+void arm(FaultSpec spec) {
+  for (const SiteSpec& s : spec.sites) validate(s);
+  auto state = std::make_shared<ArmedState>();
+  state->seed = spec.seed;
+  for (SiteSpec& s : spec.sites) state->sites.emplace_back().spec = std::move(s);
+  {
+    std::lock_guard<std::mutex> lock(core().mu);
+    core().state = std::move(state);
+  }
+  reset_stats();
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  detail::g_armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(core().mu);
+  core().state = nullptr;
+}
+
+bool armed() { return detail::g_armed.load(std::memory_order_acquire); }
+
+bool arm_from_env() {
+  const char* text = std::getenv("CASA_FAULT_SPEC");
+  if (text != nullptr && *text != '\0') arm(parse_spec(text));
+  return armed();
+}
+
+std::size_t armed_site_count() {
+  if (!armed()) return 0;
+  std::shared_ptr<ArmedState> state;
+  {
+    std::lock_guard<std::mutex> lock(core().mu);
+    state = core().state;
+  }
+  return state != nullptr ? state->sites.size() : 0;
+}
+
+InjectorStats stats() {
+  InjectorStats out;
+  out.hits = core().hits.load();
+  out.fires = core().fires.load();
+  out.throws_ = core().throws.load();
+  out.transients = core().transients.load();
+  out.delays = core().delays.load();
+  out.corrupts = core().corrupts.load();
+  return out;
+}
+
+void set_injection_hook(InjectionHook hook) {
+  core().hook.store(hook, std::memory_order_relaxed);
+}
+
+ScopedArg::ScopedArg(std::uint64_t arg) : prev_(arg_slot()) {
+  arg_slot() = arg;
+}
+
+ScopedArg::~ScopedArg() { arg_slot() = prev_; }
+
+std::uint64_t current_arg() { return arg_slot(); }
+
+void backoff_sleep(const RetryPolicy& policy, unsigned attempt) {
+  const std::uint64_t us = policy.backoff_us << (attempt < 20 ? attempt : 20);
+  if (us != 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool is_transient(const std::exception_ptr& error) {
+  if (error == nullptr) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace casa::fault

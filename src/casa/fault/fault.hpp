@@ -1,0 +1,192 @@
+// Deterministic fault injection for batch-run containment testing.
+//
+// The pipeline embeds named failure points (fault::at calls, one per entry
+// in fault::site_names) at simulation, solver, and artifact-I/O boundaries.
+// They are inert until a FaultSpec is armed — from the CASA_FAULT_SPEC
+// environment variable or a --fault-spec option — so the production cost of
+// a site is one relaxed atomic load. An armed spec selects sites by name
+// and fires one of four actions:
+//
+//   throw      raise fault::FaultError (a permanent failure)
+//   transient  raise fault::TransientError (retryable; see run_with_retry)
+//   delay      sleep delay_us microseconds (scheduling perturbation)
+//   corrupt    mutate an artifact payload in flight (corrupt_payload sites)
+//
+// Selection is deterministic: clauses match on the site name plus an
+// optional argument (batch runners bind the current job index via
+// ScopedArg), hit windows count matching visits per clause, and the
+// probability coin is a pure hash of (seed, site, arg, hit) — the same
+// spec fires at the same places for any thread count. Hit counting across
+// *different* args interleaves with the schedule, so thread-deterministic
+// specs should pin `arg=`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casa/support/error.hpp"
+
+namespace casa::fault {
+
+/// An injected permanent failure. Carries the site name in what().
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
+/// An injected (or detected) retryable failure — the transient class.
+/// run_with_retry retries these with deterministic backoff; everything
+/// else propagates immediately.
+class TransientError : public FaultError {
+ public:
+  explicit TransientError(const std::string& what) : FaultError(what) {}
+};
+
+enum class Action { kThrow, kTransient, kDelay, kCorrupt };
+
+std::string_view to_string(Action action);
+
+/// Matches any job/argument value (the default when a clause omits arg=).
+inline constexpr std::uint64_t kAnyArg = ~std::uint64_t{0};
+
+/// One spec clause: where to inject and what to do there.
+struct SiteSpec {
+  std::string site;                 ///< must be fault::site_names-registered
+  Action action = Action::kThrow;
+  std::uint64_t arg = kAnyArg;      ///< fire only when the bound arg matches
+  std::uint64_t hits_from = 1;      ///< 1-based: fire from this matching hit
+  std::uint64_t max_fires = ~std::uint64_t{0};  ///< stop after this many
+  std::uint64_t delay_us = 100;     ///< kDelay sleep length
+  double probability = 1.0;         ///< seeded per-hit coin when < 1
+};
+
+struct FaultSpec {
+  std::vector<SiteSpec> sites;
+  std::uint64_t seed = 1;  ///< probability-coin seed
+};
+
+/// Parses the spec grammar (docs/faults.md):
+///   spec   := clause (';' clause)*
+///   clause := "seed=" N
+///           | "site=" name ("," key "=" value)*
+///   key    := action | arg | hits | count | delay_us | p
+/// Example: "site=fault.solver.allocate,action=throw,arg=2;seed=7".
+/// Unknown sites, keys, or malformed values throw PreconditionError.
+FaultSpec parse_spec(const std::string& text);
+
+/// Arms `spec` process-wide (validates every clause) and resets counters.
+void arm(FaultSpec spec);
+/// Disarms injection; every site reverts to the one-load fast path.
+void disarm();
+bool armed();
+/// Arms from CASA_FAULT_SPEC when set and non-empty; returns armed().
+bool arm_from_env();
+/// Clauses in the armed spec (0 when disarmed) — drivers export this as the
+/// fault.armed_sites gauge so artifacts self-describe injected runs.
+std::size_t armed_site_count();
+
+/// Process-wide injection counters since the last arm().
+struct InjectorStats {
+  std::uint64_t hits = 0;     ///< matching site visits while armed
+  std::uint64_t fires = 0;    ///< actions actually taken
+  std::uint64_t throws_ = 0;
+  std::uint64_t transients = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corrupts = 0;
+};
+InjectorStats stats();
+
+/// Called on every fire, before the action is taken. A plain function
+/// pointer so installing one costs nothing on the disarmed path; the obs
+/// layer installs a trace-instant emitter here.
+using InjectionHook = void (*)(std::string_view site, Action action,
+                               std::uint64_t arg);
+void set_injection_hook(InjectionHook hook);
+
+/// Binds the calling thread's fault argument (batch runners bind the job
+/// index) for the lifetime of the scope; nested scopes restore the
+/// previous value. Sites visited with the one-argument fault::at match
+/// clauses against this value.
+class ScopedArg {
+ public:
+  explicit ScopedArg(std::uint64_t arg);
+  ~ScopedArg();
+  ScopedArg(const ScopedArg&) = delete;
+  ScopedArg& operator=(const ScopedArg&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// The calling thread's bound argument (kAnyArg when none is bound).
+std::uint64_t current_arg();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void fire(std::string_view site, std::uint64_t arg);
+bool corrupt(std::string_view site, std::uint64_t arg, std::string& payload);
+}  // namespace detail
+
+/// Failure point: no-op unless a spec is armed (one relaxed load).
+inline void at(std::string_view site) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    detail::fire(site, current_arg());
+  }
+}
+
+/// Failure point with an explicit argument (overrides the thread binding).
+inline void at(std::string_view site, std::uint64_t arg) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    detail::fire(site, arg);
+  }
+}
+
+/// Corrupt-and-detect point: when a kCorrupt clause matches, mutates
+/// `payload` in place (deterministic byte flip) and returns true. Callers
+/// verify payload integrity before committing and classify a detected
+/// corruption as transient. No-op (false) unless armed.
+inline bool corrupt_payload(std::string_view site, std::string& payload) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::corrupt(site, current_arg(), payload);
+}
+
+/// Bounded-retry policy for transient-classed failures.
+struct RetryPolicy {
+  unsigned max_retries = 2;        ///< attempts beyond the first
+  std::uint64_t backoff_us = 200;  ///< doubled each retry (deterministic)
+};
+
+/// Sleeps policy.backoff_us << attempt microseconds (attempt is 0-based).
+void backoff_sleep(const RetryPolicy& policy, unsigned attempt);
+
+/// True when `error` is (derived from) TransientError.
+bool is_transient(const std::exception_ptr& error);
+
+/// Runs fn(), retrying TransientError up to policy.max_retries times with
+/// deterministic exponential backoff; other exceptions (and the final
+/// transient) propagate. Returns the number of attempts that ran; `retried`
+/// (when non-null) is called once per retry with the 1-based attempt about
+/// to re-run.
+template <typename F, typename OnRetry>
+unsigned run_with_retry(const RetryPolicy& policy, F&& fn, OnRetry&& retried) {
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      fn();
+      return attempt + 1;
+    } catch (const TransientError&) {
+      if (attempt >= policy.max_retries) throw;
+      backoff_sleep(policy, attempt);
+      retried(attempt + 1);
+    }
+  }
+}
+
+template <typename F>
+unsigned run_with_retry(const RetryPolicy& policy, F&& fn) {
+  return run_with_retry(policy, static_cast<F&&>(fn), [](unsigned) {});
+}
+
+}  // namespace casa::fault

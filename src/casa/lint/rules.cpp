@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "casa/check/rule_ids.hpp"
+#include "casa/fault/site_names.hpp"
 #include "casa/lint/rule_ids.hpp"
 #include "casa/obs/metric_names.hpp"
 #include "casa/obs/trace_names.hpp"
@@ -622,6 +623,7 @@ bool is_registry_header(std::string_view path) {
   return ends_with(path, "obs/metric_names.hpp") ||
          ends_with(path, "obs/trace_names.hpp") ||
          ends_with(path, "check/rule_ids.hpp") ||
+         ends_with(path, "fault/site_names.hpp") ||
          ends_with(path, "lint/rule_ids.hpp");
 }
 
@@ -648,6 +650,7 @@ void rule_names(const std::vector<ParsedFile>& files, const DocsTexts& docs,
           obs::metric_names::is_registered(t.text) ||
           obs::trace_names::is_registered(t.text) ||
           check::rule_ids::is_registered(t.text) ||
+          fault::site_names::is_registered(t.text) ||
           rule_ids::is_registered(t.text);
       if (registered) {
         runner.error(rule_ids::kNamesUnregistered, std::string(path), t.line,
@@ -661,8 +664,8 @@ void rule_names(const std::vector<ParsedFile>& files, const DocsTexts& docs,
                      t.col,
                      "dotted name \"" + t.text + "\" is in no registry",
                      "add it to obs/metric_names.hpp, obs/trace_names.hpp, "
-                     "check/rule_ids.hpp, or lint/rule_ids.hpp and document "
-                     "it");
+                     "check/rule_ids.hpp, fault/site_names.hpp, or "
+                     "lint/rule_ids.hpp and document it");
       }
     }
   }
@@ -688,6 +691,12 @@ void rule_names(const std::vector<ParsedFile>& files, const DocsTexts& docs,
     runner.error(rule_ids::kNamesUndocumented, "docs/checks.md", 1, 1,
                  "check rule \"" + std::string(name) + "\" is not documented",
                  "add it to the rule catalogue in docs/checks.md");
+  }
+  for (const std::string_view name : fault::site_names::kAll) {
+    if (docs.faults.find(name) != std::string::npos) continue;
+    runner.error(rule_ids::kNamesUndocumented, "docs/faults.md", 1, 1,
+                 "fault site \"" + std::string(name) + "\" is not documented",
+                 "add it to the site catalogue in docs/faults.md");
   }
   for (const std::string_view name : rule_ids::kAll) {
     if (docs.lint.find(name) != std::string::npos) continue;

@@ -88,6 +88,7 @@ struct DocsTexts {
   std::string metrics;  ///< docs/metrics.md
   std::string tracing;  ///< docs/tracing.md
   std::string checks;   ///< docs/checks.md
+  std::string faults;   ///< docs/faults.md
   std::string lint;     ///< docs/lint.md
 };
 

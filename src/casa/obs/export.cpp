@@ -1,9 +1,15 @@
 #include "casa/obs/export.hpp"
 
 #include <cstdio>
+#include <functional>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
 #include "casa/obs/build_info.hpp"
+#include "casa/obs/trace_names.hpp"
+#include "casa/obs/tracer.hpp"
+#include "casa/support/error.hpp"
 
 namespace casa::obs {
 
@@ -207,6 +213,46 @@ ArtifactSinkPlan plan_artifact_sinks(const std::string& json_arg,
                 " and stdout";
   }
   return plan;
+}
+
+unsigned write_artifact_guarded(
+    std::ostream& sink, std::string_view site,
+    const std::function<void(std::ostream&)>& render,
+    const fault::RetryPolicy& policy) {
+  return fault::run_with_retry(
+      policy,
+      [&] {
+        // Render before the fault site fires: every attempt re-renders, so
+        // a caller whose render callback re-snapshots live state emits the
+        // retries it survived into the retried artifact itself.
+        std::ostringstream buf;
+        render(buf);
+        fault::at(site);
+        std::string payload = std::move(buf).str();
+        if (fault::armed()) {
+          // Corrupt-and-detect: a kCorrupt clause mutates the payload in
+          // flight; the checksum catches it before anything reaches the
+          // sink, and the mismatch retries as a transient.
+          const std::size_t digest = std::hash<std::string>{}(payload);
+          fault::corrupt_payload(site, payload);
+          if (std::hash<std::string>{}(payload) != digest) {
+            throw fault::TransientError(
+                "artifact payload failed integrity verification at " +
+                std::string(site));
+          }
+        }
+        sink.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()));
+        CASA_CHECK(sink.good(),
+                   "artifact sink write failed at " + std::string(site));
+      },
+      [](unsigned attempt) {
+        if (Tracer* tracer = Tracer::current()) {
+          tracer->instant(trace_names::kRunnerRetry,
+                          static_cast<double>(attempt),
+                          trace_names::kCatFault);
+        }
+      });
 }
 
 }  // namespace casa::obs

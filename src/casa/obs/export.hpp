@@ -20,10 +20,13 @@
 // equal contents.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "casa/fault/fault.hpp"
 #include "casa/obs/metrics.hpp"
 
 namespace casa::obs {
@@ -69,5 +72,18 @@ struct ArtifactSinkPlan {
 
 ArtifactSinkPlan plan_artifact_sinks(const std::string& json_arg,
                                      bool stdout_flag);
+
+/// Fault-contained artifact commit: renders via `render` into a buffer,
+/// passes the fault site `site` (throw / transient / delay actions fire
+/// here), verifies the rendered payload against in-flight corruption (a
+/// checksum mismatch after fault::corrupt_payload classifies as
+/// TransientError), and only then writes the verified payload to `sink`.
+/// Transient failures re-render and retry under `policy` with
+/// deterministic backoff, emitting a "runner.retry" trace instant per
+/// retry. Returns the number of attempts that ran (1 = clean first try);
+/// with injection disarmed the guard is one relaxed load plus the render.
+unsigned write_artifact_guarded(std::ostream& sink, std::string_view site,
+                                const std::function<void(std::ostream&)>& render,
+                                const fault::RetryPolicy& policy = {});
 
 }  // namespace casa::obs

@@ -72,12 +72,16 @@ inline constexpr std::string_view kIlpSubtrees = "ilp.subtrees";
 inline constexpr std::string_view kRunnerJobs = "runner.jobs";
 inline constexpr std::string_view kRunnerDedupHits = "runner.dedup_hits";
 inline constexpr std::string_view kRunnerThreads = "runner.threads";
+inline constexpr std::string_view kRunnerJobsFailed = "runner.jobs_failed";
+inline constexpr std::string_view kRunnerJobsRetried = "runner.jobs_retried";
 inline constexpr std::string_view kSweepGroups = "sweep.groups";
 inline constexpr std::string_view kSweepStackPasses = "sweep.stack_passes";
 inline constexpr std::string_view kSweepStackHits = "sweep.stack_hits";
 inline constexpr std::string_view kSweepFallbackConfigs =
     "sweep.fallback_configs";
 inline constexpr std::string_view kSweepDedupHits = "sweep.dedup_hits";
+inline constexpr std::string_view kSweepDegradedGroups =
+    "sweep.degraded_groups";
 inline constexpr std::string_view kSweepConfigsPerPass =
     "sweep.configs_per_pass";
 
@@ -87,6 +91,11 @@ inline constexpr std::string_view kCheckErrors = "check.errors";
 inline constexpr std::string_view kCheckWarnings = "check.warnings";
 inline constexpr std::string_view kCheckRulesEvaluated =
     "check.rules_evaluated";
+
+// ---- fault injection / containment (casa::fault consumers) ----
+inline constexpr std::string_view kFaultInjected = "fault.injected";
+inline constexpr std::string_view kFaultArmedSites = "fault.armed_sites";
+inline constexpr std::string_view kIoArtifactRetries = "io.artifact_retries";
 
 /// Every registered metric name, docs-sync-checked against
 /// docs/metrics.md by casa_lint.
@@ -125,16 +134,22 @@ inline constexpr std::string_view kAll[] = {
     kRunnerJobs,
     kRunnerDedupHits,
     kRunnerThreads,
+    kRunnerJobsFailed,
+    kRunnerJobsRetried,
     kSweepGroups,
     kSweepStackPasses,
     kSweepStackHits,
     kSweepFallbackConfigs,
     kSweepDedupHits,
     kSweepConfigsPerPass,
+    kSweepDegradedGroups,
     kCheckDiagnostics,
     kCheckErrors,
     kCheckWarnings,
     kCheckRulesEvaluated,
+    kFaultInjected,
+    kFaultArmedSites,
+    kIoArtifactRetries,
 };
 
 namespace detail {

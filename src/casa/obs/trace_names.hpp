@@ -53,12 +53,22 @@ inline constexpr std::string_view kIlpPrunes = "ilp.prunes";
 inline constexpr std::string_view kSweepConfigsPerPass =
     metric_names::kSweepConfigsPerPass;
 
+// ---- fault injection / containment instants ----
+/// Emitted by the injection hook on every fired fault (value 1).
+inline constexpr std::string_view kFaultInjected = metric_names::kFaultInjected;
+/// Emitted before each transient retry re-runs (value = 1-based attempt).
+inline constexpr std::string_view kRunnerRetry = "runner.retry";
+/// Emitted when a sweep stack-pass group degrades to per-job simulation.
+inline constexpr std::string_view kSweepDegraded =
+    metric_names::kSweepDegradedGroups;
+
 // ---- event categories ("cat" field; not docs-sync-checked) ----
 inline constexpr std::string_view kCatPhase = "phase";
 inline constexpr std::string_view kCatInstant = "instant";
 inline constexpr std::string_view kCatFlow = "flow";
 inline constexpr std::string_view kCatSim = "sim";
 inline constexpr std::string_view kCatIlp = "ilp";
+inline constexpr std::string_view kCatFault = "fault";
 
 /// Every registered span/event name, docs-sync-checked against
 /// docs/tracing.md + docs/metrics.md by casa_lint.
@@ -70,7 +80,8 @@ inline constexpr std::string_view kAll[] = {
     kSweep,        kSweepStackPass, kIlpSubtree,
     kIlpIncumbent, kIlpPresolve,  kIlpWarmStart,
     kIlpRcFixed,   kIlpNodes,     kIlpPrunes,
-    kSweepConfigsPerPass,
+    kSweepConfigsPerPass, kFaultInjected, kRunnerRetry,
+    kSweepDegraded,
 };
 
 static_assert(metric_names::detail::all_unique(kAll, std::size(kAll)),

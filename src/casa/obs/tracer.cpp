@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <ostream>
 
+#include "casa/fault/fault.hpp"
 #include "casa/obs/build_info.hpp"
 #include "casa/obs/export.hpp"
+#include "casa/obs/trace_names.hpp"
 #include "casa/support/thread_pool.hpp"
 
 namespace casa::obs {
@@ -296,6 +298,16 @@ void write_trace_json(std::ostream& os, const TraceData& data,
   }
   if (!first) os << "\n  ";
   os << "]\n}\n";
+}
+
+void install_fault_trace_hook() {
+  fault::set_injection_hook(
+      [](std::string_view, fault::Action, std::uint64_t) {
+        if (Tracer* tracer = Tracer::current()) {
+          tracer->instant(trace_names::kFaultInjected, 1.0,
+                          trace_names::kCatFault);
+        }
+      });
 }
 
 }  // namespace casa::obs

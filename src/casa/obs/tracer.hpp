@@ -159,4 +159,10 @@ class TraceSpan {
 void write_trace_json(std::ostream& os, const TraceData& data,
                       std::string_view tool = "casa");
 
+/// Installs a fault::set_injection_hook that emits a "fault.injected"
+/// instant (value 1, cat "fault") into Tracer::current() on every fired
+/// fault, so injections land on the timeline next to the work they poison.
+/// Idempotent; a null current tracer makes the hook inert.
+void install_fault_trace_hook();
+
 }  // namespace casa::obs

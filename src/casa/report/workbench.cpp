@@ -1,10 +1,14 @@
 #include "casa/report/workbench.hpp"
 
 #include <memory>
+#include <sstream>
+#include <utility>
 
 #include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/fault/fault.hpp"
+#include "casa/fault/site_names.hpp"
 #include "casa/obs/metric_names.hpp"
 #include "casa/obs/span.hpp"
 #include "casa/obs/trace_names.hpp"
@@ -85,6 +89,40 @@ const char* flow_name(Workbench::Job::Kind kind) {
   return "run_unknown";
 }
 
+/// Stable error classification for JobResult: most-derived types first so
+/// a transient fault never reads as a generic casa::Error. The kinds are
+/// part of the batch API (drivers switch on them), so keep them stable.
+void classify_error(const std::exception_ptr& err, std::string& kind,
+                    std::string& message) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const fault::TransientError& e) {
+    kind = "transient";
+    message = e.what();
+  } catch (const fault::FaultError& e) {
+    kind = "fault";
+    message = e.what();
+  } catch (const check::CheckError& e) {
+    kind = "check";
+    message = e.what();
+  } catch (const PreconditionError& e) {
+    kind = "precondition";
+    message = e.what();
+  } catch (const SolveError& e) {
+    kind = "solve";
+    message = e.what();
+  } catch (const Error& e) {
+    kind = "casa";
+    message = e.what();
+  } catch (const std::exception& e) {
+    kind = "std";
+    message = e.what();
+  } catch (...) {
+    kind = "unknown";
+    message = "non-standard exception";
+  }
+}
+
 }  // namespace
 
 Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
@@ -113,6 +151,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
     obs::MetricsRegistry* reg, check::CheckRunner* chk,
     const cachesim::CacheConfig& cache, Bytes spm_size,
     const core::CasaOptions& copt) const {
+  fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::casa_job(cache, spm_size, copt);
 
@@ -170,6 +209,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
       chk->throw_if_errors();
     }
     const core::CasaAllocator allocator(copt);
+    fault::at(fault::site_names::kSolverAllocate);
     out.alloc = allocator.allocate(problem);
     record_alloc(reg, out.alloc);
     if (chk) {
@@ -214,6 +254,7 @@ Outcome Workbench::run_steinke(const cachesim::CacheConfig& cache,
 Workbench::PreparedJob Workbench::prepare_steinke(
     obs::MetricsRegistry* reg, check::CheckRunner* chk,
     const cachesim::CacheConfig& cache, Bytes spm_size) const {
+  fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::steinke_job(cache, spm_size);
 
@@ -290,6 +331,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
     obs::MetricsRegistry* reg, check::CheckRunner* chk,
     const cachesim::CacheConfig& cache, Bytes lc_size,
     unsigned max_regions) const {
+  fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::loopcache_job(cache, lc_size, max_regions);
 
@@ -359,6 +401,7 @@ Outcome Workbench::run_cache_only(const cachesim::CacheConfig& cache) const {
 Workbench::PreparedJob Workbench::prepare_cache_only(
     obs::MetricsRegistry* reg, check::CheckRunner* chk,
     const cachesim::CacheConfig& cache) const {
+  fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::cache_only_job(cache);
 
@@ -420,6 +463,7 @@ Workbench::PreparedJob Workbench::prepare_core(const Job& job,
 
 Outcome Workbench::finish_core(const PreparedJob& pj,
                                obs::MetricsRegistry* reg) const {
+  fault::at(fault::site_names::kSimFinish);
   Outcome out = pj.partial;
   const obs::Span s(reg, obs::trace_names::kSimulation);
   if (pj.regions != nullptr) {
@@ -450,6 +494,7 @@ Outcome Workbench::finish_job(const PreparedJob& pj,
 Outcome Workbench::finish_with_counters(const PreparedJob& pj,
                                         const memsim::SimCounters& counters,
                                         obs::MetricsRegistry* reg) const {
+  fault::at(fault::site_names::kSimFinish);
   const obs::Span flow(reg, flow_name(pj.job.kind));
   Outcome out = pj.partial;
   const obs::Span s(reg, obs::trace_names::kSimulation);
@@ -481,19 +526,70 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
 std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
                                          unsigned threads,
                                          sim::MetricsShards* shards) const {
+  BatchOptions bopt;
+  bopt.threads = threads;
+  bopt.fail_fast = true;  // the historical contract: one poisoned job throws
+  const std::vector<JobResult> results = run_jobs(jobs, bopt, shards);
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(results.size());
+  for (const JobResult& r : results) outcomes.push_back(r.outcome);
+  return outcomes;
+}
+
+JobResult Workbench::evaluate_job(const Job& job, std::size_t job_idx,
+                                  const BatchOptions& bopt,
+                                  obs::MetricsRegistry* shard) const {
+  // Bind the job index as the thread's fault argument: spec clauses with
+  // arg=N target exactly this job, deterministically for any schedule.
+  const fault::ScopedArg scope(job_idx);
+  JobResult res;
+  for (unsigned attempt = 0;; ++attempt) {
+    // Fresh registry per attempt, merged into the shard only on success: a
+    // job that fails (or retries) mid-flow leaves no partial counts behind,
+    // so merged batch metrics reflect completed jobs only.
+    obs::MetricsRegistry attempt_reg;
+    try {
+      res.outcome = run_job(job, shard != nullptr ? &attempt_reg : nullptr);
+      res.status = attempt == 0 ? JobStatus::kOk : JobStatus::kRetriedOk;
+      res.attempts = attempt + 1;
+      if (shard != nullptr) shard->merge_from(attempt_reg.snapshot());
+      return res;
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      if (attempt < bopt.max_retries && fault::is_transient(err)) {
+        fault::RetryPolicy policy;
+        policy.max_retries = bopt.max_retries;
+        policy.backoff_us = bopt.retry_backoff_us;
+        fault::backoff_sleep(policy, attempt);
+        if (obs::Tracer* tracer = obs::Tracer::current()) {
+          tracer->instant(obs::trace_names::kRunnerRetry,
+                          static_cast<double>(attempt + 1),
+                          obs::trace_names::kCatFault);
+        }
+        continue;
+      }
+      return failed_job_result(err, attempt + 1);
+    }
+  }
+}
+
+std::vector<JobResult> Workbench::run_jobs(const std::vector<Job>& jobs,
+                                           const BatchOptions& bopt,
+                                           sim::MetricsShards* shards) const {
   CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
              "MetricsShards size must match the job count");
   // Root trace span for the whole batch: every per-task flow tail the
   // runner emits lands inside it, so worker timelines link back here.
   const obs::TraceSpan batch(obs::Tracer::current(), obs::trace_names::kRunMany,
                              obs::trace_names::kCatSim);
+  const fault::InjectorStats faults_before = fault::stats();
   sim::RunnerOptions ropt;
-  ropt.threads = threads;
+  ropt.threads = bopt.threads;
   const sim::ParallelRunner runner(ropt);
 
   // Identical jobs produce identical outcomes (flows are deterministic), so
   // repeated sweep points run once: each job maps to the index of its first
-  // equal occurrence, duplicates copy that Outcome and record nothing.
+  // equal occurrence, duplicates copy that JobResult and record nothing.
   std::vector<std::size_t> unique;
   std::vector<std::size_t> rep_of(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -518,23 +614,33 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
     sh = local.get();
   }
 
-  const std::vector<Outcome> evaluated = runner.map<Outcome>(
-      unique.size(), [this, &jobs, &unique, sh](std::size_t i, std::uint64_t) {
+  // evaluate_job never throws — every failure is contained in its
+  // JobResult — so the fan-out itself cannot abort.
+  const std::vector<JobResult> evaluated = runner.map<JobResult>(
+      unique.size(),
+      [this, &jobs, &unique, &bopt, sh](std::size_t i, std::uint64_t) {
         // Every flow is internally seeded (executor seed fixed at
         // construction, cache seeds fixed per run_*), so the per-task seed
         // is deliberately unused: a job must produce the same outcome
         // whether it runs in a batch or alone.
         const std::size_t job_idx = unique[i];
-        return run_job(jobs[job_idx],
-                       sh != nullptr ? &sh->shard(job_idx) : nullptr);
+        return evaluate_job(jobs[job_idx], job_idx, bopt,
+                            sh != nullptr ? &sh->shard(job_idx) : nullptr);
       });
 
   std::vector<std::size_t> unique_pos(jobs.size());
   for (std::size_t i = 0; i < unique.size(); ++i) unique_pos[unique[i]] = i;
-  std::vector<Outcome> results;
+  std::vector<JobResult> results;
   results.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     results.push_back(evaluated[unique_pos[rep_of[i]]]);
+  }
+
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kFailed) ++failed;
+    if (r.status == JobStatus::kRetriedOk) ++retried;
   }
 
   if (opt_.metrics != nullptr && sh != nullptr) {
@@ -544,8 +650,66 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
                       jobs.size() - unique.size());
     opt_.metrics->set_gauge(obs::metric_names::kRunnerThreads,
                             static_cast<double>(runner.threads()));
+    if (failed != 0) {
+      opt_.metrics->add(obs::metric_names::kRunnerJobsFailed, failed);
+    }
+    if (retried != 0) {
+      opt_.metrics->add(obs::metric_names::kRunnerJobsRetried, retried);
+    }
+    const std::uint64_t fired = fault::stats().fires - faults_before.fires;
+    if (fired != 0) {
+      opt_.metrics->add(obs::metric_names::kFaultInjected, fired);
+    }
+  }
+
+  if (bopt.fail_fast) {
+    for (const JobResult& r : results) {
+      if (r.status == JobStatus::kFailed) std::rethrow_exception(r.error);
+    }
+  } else if (opt_.check_artifacts) {
+    // Degraded batches are reported, not thrown: the diagnostic lands in
+    // the check.* counters (and any check artifact the caller writes), the
+    // healthy outcomes stay usable data.
+    check::CheckRunner chk(opt_.metrics);
+    check::check_batch(batch_summary_of(results), chk);
   }
   return results;
+}
+
+std::string_view to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kRetriedOk:
+      return "retried_ok";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+JobResult failed_job_result(std::exception_ptr error, unsigned attempts) {
+  JobResult res;
+  res.status = JobStatus::kFailed;
+  res.attempts = attempts;
+  res.error = error;
+  classify_error(error, res.error_kind, res.message);
+  return res;
+}
+
+check::BatchSummary batch_summary_of(const std::vector<JobResult>& results) {
+  check::BatchSummary summary;
+  summary.jobs = results.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    if (r.status == JobStatus::kRetriedOk) ++summary.retried;
+    if (r.status != JobStatus::kFailed) continue;
+    ++summary.failed;
+    std::ostringstream line;
+    line << "job " << i << ": " << r.error_kind << ": " << r.message;
+    summary.failures.push_back(line.str());
+  }
+  return summary;
 }
 
 }  // namespace casa::report

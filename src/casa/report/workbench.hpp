@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "casa/baseline/steinke.hpp"
@@ -26,6 +29,7 @@
 
 namespace casa::check {
 class CheckRunner;
+struct BatchSummary;
 }  // namespace casa::check
 
 namespace casa::sim {
@@ -69,6 +73,47 @@ struct Outcome {
   Bytes spm_used = 0;
   unsigned lc_regions = 0;
   core::AllocationResult alloc;     ///< CASA runs only
+};
+
+/// How one job of a contained batch ended up.
+enum class JobStatus {
+  kOk,         ///< succeeded on the first attempt
+  kRetriedOk,  ///< succeeded after transient-failure retries
+  kFailed,     ///< final attempt still failed; `error` holds the exception
+};
+
+std::string_view to_string(JobStatus status);
+
+/// Structured per-job outcome of Workbench::run_jobs /
+/// sim::SweepPlanner::run_jobs. Healthy jobs carry their Outcome; failed
+/// jobs carry the original exception plus a stable classification so batch
+/// drivers can report per-point failures as data instead of crashing.
+struct JobResult {
+  JobStatus status = JobStatus::kOk;
+  Outcome outcome;           ///< valid only when ok()
+  std::string error_kind;    ///< "transient", "fault", "check",
+                             ///< "precondition", "solve", "casa", "std"
+  std::string message;       ///< the exception's what() (failed jobs)
+  unsigned attempts = 1;     ///< attempts that ran (1 = no retry)
+  std::exception_ptr error;  ///< original exception (failed jobs only)
+
+  bool ok() const { return status != JobStatus::kFailed; }
+};
+
+/// Batch execution policy for the fault-contained entry points.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  unsigned threads = 0;
+  /// Rethrow the lowest-indexed failed job's original exception after the
+  /// whole batch finishes (the historical run_many contract). False keeps
+  /// every failure contained in its JobResult.
+  bool fail_fast = true;
+  /// Per-job retry budget for transient-classed failures (fault::
+  /// TransientError); non-transient errors never retry.
+  unsigned max_retries = 0;
+  /// Base backoff before the first retry, doubled per further retry —
+  /// deterministic, no jitter (see fault::backoff_sleep).
+  std::uint64_t retry_backoff_us = 200;
 };
 
 class Workbench {
@@ -182,7 +227,24 @@ class Workbench {
   std::vector<Outcome> run_many(const std::vector<Job>& jobs, unsigned threads,
                                 sim::MetricsShards* shards) const;
 
+  /// Fault-contained batch evaluation: every healthy job completes no
+  /// matter how many others fail, failed jobs come back as structured
+  /// JobResults (in job order, thread-count invariant), and transient
+  /// failures retry per `opt.max_retries` with deterministic backoff. Jobs
+  /// record into a fresh per-attempt registry that merges into their shard
+  /// only on success, so merged counters reflect completed jobs only.
+  /// With opt.fail_fast (the default) the lowest-indexed failure is
+  /// rethrown after the batch drains — run_many's historical contract —
+  /// otherwise a run.partial_failure check diagnostic reports degraded
+  /// batches through options().metrics. `shards` as in run_many.
+  std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
+                                  const BatchOptions& opt = {},
+                                  sim::MetricsShards* shards = nullptr) const;
+
  private:
+  JobResult evaluate_job(const Job& job, std::size_t job_idx,
+                         const BatchOptions& opt,
+                         obs::MetricsRegistry* shard) const;
   traceopt::TraceProgram form(const cachesim::CacheConfig& cache,
                               Bytes max_trace) const;
 
@@ -221,5 +283,15 @@ class Workbench {
   WorkbenchOptions opt_;
   trace::ExecutionResult exec_;
 };
+
+/// Reduces a batch's JobResults to the counts the run.partial_failure
+/// check rule consumes (callers include casa/check/rules.hpp for the
+/// complete BatchSummary type).
+check::BatchSummary batch_summary_of(const std::vector<JobResult>& results);
+
+/// Builds a kFailed JobResult from `error`: stable kind classification,
+/// what() message, attempt count. Shared by every batch engine so failures
+/// classify identically whether they surface in run_jobs or in the sweep.
+JobResult failed_job_result(std::exception_ptr error, unsigned attempts);
 
 }  // namespace casa::report

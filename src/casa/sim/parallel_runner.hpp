@@ -68,6 +68,13 @@ class MetricsShards {
   std::deque<obs::MetricsRegistry> shards_;
 };
 
+/// One contained task failure from map_collect: the task's map index and
+/// the exception it raised.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::exception_ptr error;
+};
+
 class ParallelRunner {
  public:
   explicit ParallelRunner(RunnerOptions opt = {});
@@ -76,38 +83,67 @@ class ParallelRunner {
 
   /// Evaluates fn(index, seed) for index in [0, count) and returns the
   /// results in index order. R must be default-constructible and movable.
-  /// The first task exception (if any) is rethrown after all tasks finish.
+  /// Task exceptions are contained per index: every failure lands in
+  /// `failures` sorted by index (the slot keeps its default-constructed R),
+  /// every healthy task still completes, and nothing is rethrown.
   template <typename R, typename F>
-  std::vector<R> map(std::size_t count, F&& fn) const {
+  std::vector<R> map_collect(std::size_t count, F&& fn,
+                             std::vector<TaskFailure>& failures) const {
     std::vector<R> results(count);
+    // Errors are captured per index inside the task body — deterministic
+    // attribution that does not depend on pool bookkeeping or schedule.
+    std::vector<std::exception_ptr> errors(count);
     obs::Tracer* const tracer = obs::Tracer::current();
+    const auto run_one = [&results, &errors, &fn, this](std::size_t i) {
+      try {
+        results[i] = fn(i, task_seed(opt_.seed, i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    };
     if (threads_ == 1 || count <= 1) {
       for (std::size_t i = 0; i < count; ++i) {
         const obs::TraceSpan task(tracer, obs::trace_names::kTask,
                                   obs::trace_names::kCatSim);
-        results[i] = fn(i, task_seed(opt_.seed, i));
+        run_one(i);
       }
-      return results;
-    }
-    // Flow tails are emitted on this thread, inside whatever span encloses
-    // the map() call; each worker's "task" span carries the matching head.
-    std::vector<std::uint64_t> flows;
-    if (tracer != nullptr) {
-      flows.reserve(count);
+    } else {
+      // Flow tails are emitted on this thread, inside whatever span
+      // encloses the map() call; each worker's "task" span carries the
+      // matching head.
+      std::vector<std::uint64_t> flows;
+      if (tracer != nullptr) {
+        flows.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          flows.push_back(tracer->flow_begin(obs::trace_names::kTask,
+                                             obs::trace_names::kCatSim));
+        }
+      }
       for (std::size_t i = 0; i < count; ++i) {
-        flows.push_back(tracer->flow_begin(obs::trace_names::kTask,
-                                           obs::trace_names::kCatSim));
+        pool_->submit([&run_one, &flows, tracer, i] {
+          const obs::TraceSpan task(tracer, obs::trace_names::kTask,
+                                    obs::trace_names::kCatSim,
+                                    flows.empty() ? 0 : flows[i]);
+          run_one(i);
+        });
       }
+      pool_->wait();
     }
     for (std::size_t i = 0; i < count; ++i) {
-      pool_->submit([&results, &fn, &flows, tracer, this, i] {
-        const obs::TraceSpan task(tracer, obs::trace_names::kTask,
-                                  obs::trace_names::kCatSim,
-                                  flows.empty() ? 0 : flows[i]);
-        results[i] = fn(i, task_seed(opt_.seed, i));
-      });
+      if (errors[i] != nullptr) failures.push_back(TaskFailure{i, errors[i]});
     }
-    pool_->wait();
+    return results;
+  }
+
+  /// map_collect with batch-level rethrow: the lowest-indexed task
+  /// exception (if any) is rethrown after all tasks finish, so one poisoned
+  /// point still fails the whole fan-out deterministically.
+  template <typename R, typename F>
+  std::vector<R> map(std::size_t count, F&& fn) const {
+    std::vector<TaskFailure> failures;
+    std::vector<R> results =
+        map_collect<R>(count, static_cast<F&&>(fn), failures);
+    if (!failures.empty()) std::rethrow_exception(failures.front().error);
     return results;
   }
 

@@ -1,12 +1,16 @@
 #include "casa/sim/sweep_planner.hpp"
 
+#include <exception>
 #include <memory>
 #include <utility>
 
 #include "casa/cachesim/stack_sim.hpp"
 #include "casa/check/rules.hpp"
 #include "casa/check/runner.hpp"
+#include "casa/fault/fault.hpp"
+#include "casa/fault/site_names.hpp"
 #include "casa/obs/metric_names.hpp"
+#include "casa/obs/metrics.hpp"
 #include "casa/obs/trace_names.hpp"
 #include "casa/obs/tracer.hpp"
 #include "casa/support/error.hpp"
@@ -17,6 +21,9 @@ namespace casa::sim {
 
 namespace {
 
+using report::BatchOptions;
+using report::JobResult;
+using report::JobStatus;
 using report::Outcome;
 using report::Workbench;
 
@@ -79,23 +86,62 @@ memsim::SimCounters counters_from_stack(const cachesim::StackCounters& sc,
   return c;
 }
 
+/// A unique job after the prepare phase: the PreparedJob plus the telemetry
+/// it recorded (held back as a snapshot and merged into the job's shard
+/// only when the job ultimately succeeds) — or its contained failure.
+struct Prep {
+  Workbench::PreparedJob pj;
+  obs::MetricsSnapshot recorded;
+  JobResult failure;       ///< valid only when !prepared
+  unsigned attempts = 1;   ///< prepare attempts actually run
+  bool prepared = false;
+};
+
+/// Deterministic inter-attempt backoff plus the runner.retry trace instant
+/// (same pacing Workbench::evaluate_job uses).
+void pace_retry(const BatchOptions& bopt, unsigned attempt) {
+  fault::RetryPolicy policy;
+  policy.max_retries = bopt.max_retries;
+  policy.backoff_us = bopt.retry_backoff_us;
+  fault::backoff_sleep(policy, attempt);
+  if (obs::Tracer* tracer = obs::Tracer::current()) {
+    tracer->instant(obs::trace_names::kRunnerRetry,
+                    static_cast<double>(attempt + 1),
+                    obs::trace_names::kCatFault);
+  }
+}
+
 }  // namespace
 
 std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
                                        unsigned threads,
                                        MetricsShards* shards) const {
+  report::BatchOptions bopt;
+  bopt.threads = threads;
+  bopt.fail_fast = true;  // the historical contract: one poisoned job throws
+  const std::vector<JobResult> results = run_jobs(jobs, bopt, shards);
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(results.size());
+  for (const JobResult& r : results) outcomes.push_back(r.outcome);
+  return outcomes;
+}
+
+std::vector<JobResult> SweepPlanner::run_jobs(const std::vector<Job>& jobs,
+                                              const report::BatchOptions& bopt,
+                                              MetricsShards* shards) const {
   CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
              "MetricsShards size must match the job count");
   // Root trace span for the sweep; the prepare and group-task flows the
   // runner fans out are flow-linked back into it.
   const obs::TraceSpan sweep_scope(obs::Tracer::current(), obs::trace_names::kSweep,
                                  obs::trace_names::kCatSim);
+  const fault::InjectorStats faults_before = fault::stats();
   const report::WorkbenchOptions& wopt = bench_->options();
   RunnerOptions ropt;
-  ropt.threads = threads;
+  ropt.threads = bopt.threads;
   const ParallelRunner runner(ropt);
 
-  // Same dedup as run_many: repeated sweep points share one Outcome.
+  // Same dedup as run_many: repeated sweep points share one JobResult.
   std::vector<std::size_t> unique;
   std::vector<std::size_t> rep_of(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -119,23 +165,53 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
   const auto shard_of = [sh](std::size_t job_idx) -> obs::MetricsRegistry* {
     return sh != nullptr ? &sh->shard(job_idx) : nullptr;
   };
+  const bool want_metrics = sh != nullptr;
 
-  // Phase 1: every stage but the replay, in parallel over unique jobs.
-  using PreparedJob = Workbench::PreparedJob;
-  const std::vector<PreparedJob> prepared = runner.map<PreparedJob>(
+  // Phase 1: every stage but the replay, in parallel over unique jobs, with
+  // per-job containment. Each attempt records into a fresh registry whose
+  // snapshot merges into the job's shard only when the job later finishes —
+  // a job that dies mid-prepare leaves no partial counts behind.
+  const std::vector<Prep> prepared = runner.map<Prep>(
       unique.size(),
-      [this, &jobs, &unique, &shard_of](std::size_t i, std::uint64_t) {
-        return bench_->prepare_job(jobs[unique[i]], shard_of(unique[i]));
+      [this, &jobs, &unique, &bopt, want_metrics](std::size_t i,
+                                                  std::uint64_t) {
+        const std::size_t job_idx = unique[i];
+        // Bind the job index as the thread's fault argument: spec clauses
+        // with arg=N target exactly this job, on any schedule.
+        const fault::ScopedArg scope(job_idx);
+        Prep p;
+        for (unsigned attempt = 0;; ++attempt) {
+          obs::MetricsRegistry temp;
+          try {
+            p.pj = bench_->prepare_job(jobs[job_idx],
+                                       want_metrics ? &temp : nullptr);
+            p.recorded = temp.snapshot();
+            p.attempts = attempt + 1;
+            p.prepared = true;
+            return p;
+          } catch (...) {
+            const std::exception_ptr err = std::current_exception();
+            if (attempt < bopt.max_retries && fault::is_transient(err)) {
+              pace_retry(bopt, attempt);
+              continue;
+            }
+            p.failure = report::failed_job_result(err, attempt + 1);
+            p.attempts = attempt + 1;
+            return p;
+          }
+        }
       });
 
-  // Phase 2: group by stream signature (indices into `prepared`).
+  // Phase 2: group the successfully prepared jobs by stream signature
+  // (indices into `prepared`). Failed prepares carry no artifacts to group.
   struct Group {
     StreamKey key;
     std::vector<std::size_t> members;
   };
   std::vector<Group> groups;
   for (std::size_t i = 0; i < prepared.size(); ++i) {
-    const StreamKey key = key_of(prepared[i], wopt.steinke_moves);
+    if (!prepared[i].prepared) continue;
+    const StreamKey key = key_of(prepared[i].pj, wopt.steinke_moves);
     Group* home = nullptr;
     if (!key.loop_cache) {
       for (Group& g : groups) {
@@ -154,126 +230,239 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
 
   // Phase 3: one task per group. Stack-eligible groups (LRU, >= 2 members,
   // no loop cache) replay the shared stream once; everything else finishes
-  // through the ordinary per-configuration simulation.
+  // through the ordinary per-configuration simulation. A stack pass that
+  // fails degrades its group to the direct path in containment mode and
+  // propagates under fail_fast (a stack-engine regression must fail the
+  // sweep, not be silently papered over).
   const trace::BlockWalk& walk = bench_->execution().walk;
-  std::uint64_t stack_passes = 0;
-  std::uint64_t stack_hits = 0;
-  if (wopt.metrics != nullptr) {
-    for (const Group& g : groups) {
-      if (g.key.policy == cachesim::ReplacementPolicy::kLru &&
-          !g.key.loop_cache && g.members.size() >= 2) {
-        ++stack_passes;
-        stack_hits += g.members.size();
-        wopt.metrics->observe(obs::metric_names::kSweepConfigsPerPass,
-                              static_cast<double>(g.members.size()));
-      }
-    }
-  }
-
-  using Finished = std::vector<std::pair<std::size_t, Outcome>>;
-  const std::vector<Finished> finished = runner.map<Finished>(
+  struct GroupDone {
+    std::vector<std::pair<std::size_t, JobResult>> done;
+    std::size_t size = 0;
+    bool stack_pass = false;  ///< members finished off one shared replay
+    bool degraded = false;    ///< stack branch failed, fell back to direct
+  };
+  const std::vector<GroupDone> finished = runner.map<GroupDone>(
       groups.size(),
-      [this, &groups, &prepared, &unique, &walk, &wopt, &shard_of](
+      [this, &groups, &prepared, &unique, &walk, &wopt, &bopt, &shard_of](
           std::size_t g, std::uint64_t) {
         const Group& grp = groups[g];
-        Finished done;
-        done.reserve(grp.members.size());
+        GroupDone out;
+        out.size = grp.members.size();
+        out.done.reserve(grp.members.size());
+
+        // Direct per-configuration finish with the same containment and
+        // merge-on-success discipline as the prepare phase. Attempts
+        // accumulate across phases: a job that retried in prepare and again
+        // here reports the total.
+        const auto finish_direct = [this, &prepared, &unique, &bopt,
+                                    &shard_of](std::size_t idx) -> JobResult {
+          const std::size_t job_idx = unique[idx];
+          const fault::ScopedArg scope(job_idx);
+          const Prep& prep = prepared[idx];
+          obs::MetricsRegistry* const shard = shard_of(job_idx);
+          for (unsigned attempt = 0;; ++attempt) {
+            obs::MetricsRegistry temp;
+            try {
+              JobResult res;
+              res.outcome =
+                  bench_->finish_job(prep.pj, shard != nullptr ? &temp : nullptr);
+              res.attempts = prep.attempts + attempt;
+              res.status =
+                  res.attempts > 1 ? JobStatus::kRetriedOk : JobStatus::kOk;
+              if (shard != nullptr) {
+                shard->merge_from(prep.recorded);
+                shard->merge_from(temp.snapshot());
+              }
+              return res;
+            } catch (...) {
+              const std::exception_ptr err = std::current_exception();
+              if (attempt < bopt.max_retries && fault::is_transient(err)) {
+                pace_retry(bopt, attempt);
+                continue;
+              }
+              return report::failed_job_result(err, prep.attempts + attempt);
+            }
+          }
+        };
 
         const bool stack_eligible =
             grp.key.policy == cachesim::ReplacementPolicy::kLru &&
             !grp.key.loop_cache && grp.members.size() >= 2;
-        if (!stack_eligible) {
-          for (const std::size_t idx : grp.members) {
-            done.emplace_back(idx, bench_->finish_job(prepared[idx],
-                                                      shard_of(unique[idx])));
-          }
-          return done;
-        }
-
-        // One shared replay. The representative's trace program / layout /
-        // mask are byte-identical to every member's (that is what the group
-        // key guarantees), so the compiled stream is too.
         obs::Tracer* const tracer = obs::Tracer::current();
-        const obs::TraceSpan pass(tracer, obs::trace_names::kSweepStackPass,
-                                  obs::trace_names::kCatSim);
-        if (tracer != nullptr) {
-          tracer->instant(obs::trace_names::kSweepConfigsPerPass,
-                          static_cast<double>(grp.members.size()),
-                          obs::trace_names::kCatSim);
-        }
-        const PreparedJob& rep = prepared[grp.members.front()];
-        const Bytes line_size = grp.key.line_size;
-        const trace::CompiledStream stream =
-            traceopt::compile_fetch_stream(*rep.tp, *rep.layout, line_size);
+        if (stack_eligible) {
+          try {
+            // One shared replay. The representative's trace program /
+            // layout / mask are byte-identical to every member's (that is
+            // what the group key guarantees), so the compiled stream is
+            // too. The representative's job index is the fault argument
+            // for the pass-wide machinery.
+            const Prep& rep = prepared[grp.members.front()];
+            const std::size_t rep_job = unique[grp.members.front()];
+            const fault::ScopedArg pass_scope(rep_job);
+            fault::at(fault::site_names::kSweepStackPass);
+            const obs::TraceSpan pass(tracer, obs::trace_names::kSweepStackPass,
+                                      obs::trace_names::kCatSim);
+            if (tracer != nullptr) {
+              tracer->instant(obs::trace_names::kSweepConfigsPerPass,
+                              static_cast<double>(grp.members.size()),
+                              obs::trace_names::kCatSim);
+            }
+            const Bytes line_size = grp.key.line_size;
+            const trace::CompiledStream stream = traceopt::compile_fetch_stream(
+                *rep.pj.tp, *rep.pj.layout, line_size);
 
-        cachesim::ConfigFamily family;
-        family.line_size = line_size;
-        family.policy = grp.key.policy;
+            cachesim::ConfigFamily family;
+            family.line_size = line_size;
+            family.policy = grp.key.policy;
+            for (const std::size_t idx : grp.members) {
+              family.configs.push_back(prepared[idx].pj.job.cache);
+            }
+            cachesim::StackSimulator sim(family);
+
+            std::uint64_t spm_words = 0;
+            std::uint64_t replayed_runs = 0;
+            for (const BasicBlockId bb : walk.seq) {
+              const MemoryObjectId mo = rep.pj.tp->object_of(bb);
+              if (!rep.pj.on_spm.empty() && rep.pj.on_spm[mo.index()]) {
+                spm_words += stream.words_of(bb);
+                continue;
+              }
+              CASA_CHECK(stream.cached(bb),
+                         "cached block missing from the compiled layout");
+              replayed_runs += stream.runs(bb).size();
+              for (const trace::LineRun& run : stream.runs(bb)) {
+                sim.access_line(run.addr, run.words);
+              }
+            }
+
+            const memsim::LatencyParams lat;  // finish_job's defaults
+            const memsim::SimCounters sampled = counters_from_stack(
+                sim.counters(rep.pj.job.cache), spm_words, line_size, lat);
+
+            // Cross-validate the sampled configuration against a direct
+            // simulation BEFORE any member consumes stack counters: a
+            // divergence poisons the whole group, so it must degrade (or,
+            // under fail_fast, abort) rather than emit suspect Outcomes.
+            obs::MetricsSnapshot validation;
+            if (wopt.check_artifacts) {
+              const memsim::SimReport direct = memsim::simulate_spm_system(
+                  *rep.pj.tp, *rep.pj.layout, walk, rep.pj.on_spm,
+                  rep.pj.job.cache, rep.pj.energies, memsim::SimOptions{});
+              obs::MetricsRegistry chk_reg;
+              check::CheckRunner chk(shard_of(rep_job) != nullptr ? &chk_reg
+                                                                  : nullptr);
+              check::check_stack_sweep(sampled, direct.counters,
+                                       rep.pj.job.cache, chk);
+              validation = chk_reg.snapshot();
+              chk.throw_if_errors();
+            }
+
+            for (const std::size_t idx : grp.members) {
+              const std::size_t job_idx = unique[idx];
+              const fault::ScopedArg member_scope(job_idx);
+              const Prep& prep = prepared[idx];
+              const memsim::SimCounters c =
+                  counters_from_stack(sim.counters(prep.pj.job.cache),
+                                      spm_words, line_size, lat);
+              obs::MetricsRegistry* const shard = shard_of(job_idx);
+              JobResult res;
+              for (unsigned attempt = 0;; ++attempt) {
+                obs::MetricsRegistry temp;
+                try {
+                  res.outcome = bench_->finish_with_counters(
+                      prep.pj, c, shard != nullptr ? &temp : nullptr);
+                  res.attempts = prep.attempts + attempt;
+                  res.status = res.attempts > 1 ? JobStatus::kRetriedOk
+                                                : JobStatus::kOk;
+                  if (shard != nullptr) {
+                    shard->merge_from(prep.recorded);
+                    // Same stream.* telemetry run_lines emits per direct
+                    // replay.
+                    temp.add(obs::metric_names::kStreamCompiledRuns,
+                             stream.total_runs());
+                    temp.add(obs::metric_names::kStreamReplayedRuns,
+                             replayed_runs);
+                    temp.add(obs::metric_names::kStreamReplayedWords,
+                             c.cache_hits + c.cache_misses);
+                    shard->merge_from(temp.snapshot());
+                    // The group's check.* validation counters ride with the
+                    // sampled member.
+                    if (idx == grp.members.front()) {
+                      shard->merge_from(validation);
+                    }
+                  }
+                  break;
+                } catch (...) {
+                  const std::exception_ptr err = std::current_exception();
+                  if (attempt < bopt.max_retries && fault::is_transient(err)) {
+                    pace_retry(bopt, attempt);
+                    continue;
+                  }
+                  res = report::failed_job_result(err, prep.attempts + attempt);
+                  break;
+                }
+              }
+              out.done.emplace_back(idx, std::move(res));
+            }
+            out.stack_pass = true;
+            return out;
+          } catch (...) {
+            if (bopt.fail_fast) throw;
+            // The shared machinery itself failed (injected fault, stack /
+            // direct divergence). The members are still individually
+            // healthy jobs: degrade the whole group to direct simulation —
+            // exact by construction — and account for it.
+            out.degraded = true;
+            out.done.clear();
+            if (tracer != nullptr) {
+              tracer->instant(obs::trace_names::kSweepDegraded,
+                              static_cast<double>(grp.members.size()),
+                              obs::trace_names::kCatFault);
+            }
+          }
+        }
+
         for (const std::size_t idx : grp.members) {
-          family.configs.push_back(prepared[idx].job.cache);
+          out.done.emplace_back(idx, finish_direct(idx));
         }
-        cachesim::StackSimulator sim(family);
-
-        std::uint64_t spm_words = 0;
-        std::uint64_t replayed_runs = 0;
-        for (const BasicBlockId bb : walk.seq) {
-          const MemoryObjectId mo = rep.tp->object_of(bb);
-          if (!rep.on_spm.empty() && rep.on_spm[mo.index()]) {
-            spm_words += stream.words_of(bb);
-            continue;
-          }
-          CASA_CHECK(stream.cached(bb),
-                     "cached block missing from the compiled layout");
-          replayed_runs += stream.runs(bb).size();
-          for (const trace::LineRun& run : stream.runs(bb)) {
-            sim.access_line(run.addr, run.words);
-          }
-        }
-
-        const memsim::LatencyParams lat;  // finish_job's defaults
-        memsim::SimCounters sampled;
-        for (const std::size_t idx : grp.members) {
-          const PreparedJob& pj = prepared[idx];
-          const memsim::SimCounters c = counters_from_stack(
-              sim.counters(pj.job.cache), spm_words, line_size, lat);
-          if (idx == grp.members.front()) sampled = c;
-          obs::MetricsRegistry* reg = shard_of(unique[idx]);
-          done.emplace_back(idx, bench_->finish_with_counters(pj, c, reg));
-          if (reg != nullptr) {
-            // Same stream.* telemetry run_lines emits per direct replay.
-            reg->add(obs::metric_names::kStreamCompiledRuns, stream.total_runs());
-            reg->add(obs::metric_names::kStreamReplayedRuns, replayed_runs);
-            reg->add(obs::metric_names::kStreamReplayedWords,
-                     c.cache_hits + c.cache_misses);
-          }
-        }
-
-        if (wopt.check_artifacts) {
-          // Cross-validate one sampled configuration per group against a
-          // direct simulation; a divergence fails the whole sweep.
-          const memsim::SimReport direct = memsim::simulate_spm_system(
-              *rep.tp, *rep.layout, walk, rep.on_spm, rep.job.cache,
-              rep.energies, memsim::SimOptions{});
-          check::CheckRunner chk(shard_of(unique[grp.members.front()]));
-          check::check_stack_sweep(sampled, direct.counters, rep.job.cache,
-                                   chk);
-          chk.throw_if_errors();
-        }
-        return done;
+        return out;
       });
 
-  // Reassemble in job order: unique outcomes land at their indices,
+  // Reassemble in job order: unique results land at their indices,
   // duplicates copy their representative's.
-  std::vector<Outcome> by_unique(unique.size());
-  for (const Finished& group_done : finished) {
-    for (const auto& [idx, outcome] : group_done) by_unique[idx] = outcome;
+  std::vector<JobResult> by_unique(unique.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    if (!prepared[i].prepared) by_unique[i] = prepared[i].failure;
+  }
+  for (const GroupDone& gd : finished) {
+    for (const auto& [idx, res] : gd.done) by_unique[idx] = res;
   }
   std::vector<std::size_t> unique_pos(jobs.size());
   for (std::size_t i = 0; i < unique.size(); ++i) unique_pos[unique[i]] = i;
-  std::vector<Outcome> results;
+  std::vector<JobResult> results;
   results.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     results.push_back(by_unique[unique_pos[rep_of[i]]]);
+  }
+
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kFailed) ++failed;
+    if (r.status == JobStatus::kRetriedOk) ++retried;
+  }
+  std::uint64_t stack_passes = 0;
+  std::uint64_t stack_hits = 0;
+  std::uint64_t direct_finishes = 0;
+  std::uint64_t degraded_groups = 0;
+  for (const GroupDone& gd : finished) {
+    if (gd.stack_pass) {
+      ++stack_passes;
+      stack_hits += gd.size;
+    } else {
+      direct_finishes += gd.size;
+    }
+    if (gd.degraded) ++degraded_groups;
   }
 
   if (wopt.metrics != nullptr && sh != nullptr) {
@@ -287,9 +476,40 @@ std::vector<Outcome> SweepPlanner::run(const std::vector<Job>& jobs,
     wopt.metrics->add(obs::metric_names::kSweepStackPasses, stack_passes);
     wopt.metrics->add(obs::metric_names::kSweepStackHits, stack_hits);
     wopt.metrics->add(obs::metric_names::kSweepFallbackConfigs,
-                      unique.size() - stack_hits);
+                      direct_finishes);
     wopt.metrics->add(obs::metric_names::kSweepDedupHits,
                       jobs.size() - unique.size());
+    for (const GroupDone& gd : finished) {
+      if (gd.stack_pass) {
+        wopt.metrics->observe(obs::metric_names::kSweepConfigsPerPass,
+                              static_cast<double>(gd.size));
+      }
+    }
+    if (degraded_groups != 0) {
+      wopt.metrics->add(obs::metric_names::kSweepDegradedGroups,
+                        degraded_groups);
+    }
+    if (failed != 0) {
+      wopt.metrics->add(obs::metric_names::kRunnerJobsFailed, failed);
+    }
+    if (retried != 0) {
+      wopt.metrics->add(obs::metric_names::kRunnerJobsRetried, retried);
+    }
+    const std::uint64_t fired = fault::stats().fires - faults_before.fires;
+    if (fired != 0) {
+      wopt.metrics->add(obs::metric_names::kFaultInjected, fired);
+    }
+  }
+
+  if (bopt.fail_fast) {
+    for (const JobResult& r : results) {
+      if (r.status == JobStatus::kFailed) std::rethrow_exception(r.error);
+    }
+  } else if (wopt.check_artifacts) {
+    // Degraded batches are reported, not thrown — same policy as
+    // Workbench::run_jobs.
+    check::CheckRunner chk(wopt.metrics);
+    check::check_batch(report::batch_summary_of(results), chk);
   }
   return results;
 }

@@ -28,8 +28,16 @@
 // through check::check_stack_sweep, so a stack-engine regression fails the
 // sweep instead of skewing every configuration in the group.
 //
+// run_jobs is the fault-contained entry point (mirrors
+// Workbench::run_jobs): per-job failures are captured as JobResults,
+// transients retry with deterministic backoff, and — in containment mode —
+// a failing stack pass degrades its group to per-configuration direct
+// simulation (counted in sweep.degraded_groups) instead of poisoning the
+// member jobs. run() is run_jobs with fail_fast semantics.
+//
 // docs/sweep.md covers the algorithm, the LRU-only exactness argument, the
-// fallback rules, and the sweep.* metrics.
+// fallback rules, and the sweep.* metrics; docs/faults.md covers the
+// containment and degradation model.
 #pragma once
 
 #include <vector>
@@ -62,6 +70,21 @@ class SweepPlanner {
   std::vector<report::Outcome> run(const std::vector<Job>& jobs,
                                    unsigned threads = 0,
                                    MetricsShards* shards = nullptr) const;
+
+  /// Fault-contained sweep: like run(), but failures stay per-job. Every
+  /// healthy job completes and its JobResult carries the Outcome; a failed
+  /// job carries its classified error instead. Transient failures retry up
+  /// to opt.max_retries times with deterministic backoff. When the shared
+  /// stack pass of a group fails in containment mode (opt.fail_fast ==
+  /// false), the group degrades to per-configuration direct simulation —
+  /// the surviving members' Outcomes stay bit-identical to a healthy
+  /// sweep's — and the sweep.degraded_groups counter records it. With
+  /// opt.fail_fast the lowest-indexed failure rethrows after the batch
+  /// drains (run()'s historical contract; a stack/direct divergence fails
+  /// the whole sweep). Shards merge per job only on that job's success.
+  std::vector<report::JobResult> run_jobs(const std::vector<Job>& jobs,
+                                          const report::BatchOptions& opt = {},
+                                          MetricsShards* shards = nullptr) const;
 
  private:
   const report::Workbench* bench_;

@@ -71,21 +71,43 @@ std::string ArgParser::get(const std::string& key, const std::string& def,
 std::uint64_t ArgParser::get_u64(const std::string& key, std::uint64_t def,
                                  const std::string& help) {
   const std::string v = get(key, std::to_string(def), help);
-  try {
-    return std::stoull(v);
-  } catch (const std::exception&) {
-    throw PreconditionError("--" + key + " expects an integer, got: " + v);
+  // stoull would happily accept "4x" (partial parse), " 4" (leading
+  // whitespace) and "-3" (wraps around) — require plain digits, then let
+  // stoull handle only the range check.
+  bool digits_only = !v.empty();
+  for (char c : v) {
+    if (c < '0' || c > '9') digits_only = false;
   }
+  if (digits_only) {
+    try {
+      return std::stoull(v);
+    } catch (const std::exception&) {
+      throw PreconditionError("--" + key + " value out of range: " + v);
+    }
+  }
+  throw PreconditionError("--" + key +
+                          " expects an unsigned integer, got: '" + v +
+                          "' (digits only — no sign, spaces, or suffix)");
 }
 
 double ArgParser::get_double(const std::string& key, double def,
                              const std::string& help) {
   const std::string v = get(key, std::to_string(def), help);
+  // Like get_u64: a partial parse ("1.5x") must be an error, not silently
+  // the prefix. stod reports how much it consumed; require all of it.
+  std::size_t pos = 0;
+  double parsed = 0.0;
   try {
-    return std::stod(v);
+    parsed = std::stod(v, &pos);
   } catch (const std::exception&) {
-    throw PreconditionError("--" + key + " expects a number, got: " + v);
+    pos = 0;
   }
+  if (v.empty() || pos != v.size() ||
+      static_cast<unsigned char>(v.front()) <= ' ') {
+    throw PreconditionError("--" + key + " expects a number, got: '" + v +
+                            "' (trailing or leading junk is rejected)");
+  }
+  return parsed;
 }
 
 bool ArgParser::get_flag(const std::string& key, const std::string& help) {

@@ -1,5 +1,6 @@
 #include "casa/support/thread_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace casa::support {
@@ -43,31 +44,46 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+std::size_t ThreadPool::submit(std::function<void()> task) {
+  std::size_t index = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    index = next_index_++;
+    queue_.push(IndexedTask{index, std::move(task)});
     ++in_flight_;
   }
   work_ready_.notify_one();
+  return index;
+}
+
+std::vector<TaskError> ThreadPool::drain_errors() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::vector<TaskError> errors = std::move(errors_);
+  errors_.clear();
+  next_index_ = 0;
+  lock.unlock();
+  // Sorting by submission index makes the report (and wait()'s rethrow
+  // choice) independent of which worker lost the race to fail first.
+  std::sort(errors.begin(), errors.end(),
+            [](const TaskError& a, const TaskError& b) {
+              return a.task_index < b.task_index;
+            });
+  return errors;
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
-  }
+  std::vector<TaskError> errors = drain_errors();
+  if (!errors.empty()) std::rethrow_exception(errors.front().error);
 }
+
+std::vector<TaskError> ThreadPool::wait_collect() { return drain_errors(); }
 
 void ThreadPool::worker_loop(unsigned index) {
   set_this_thread_ident(static_cast<int>(index),
                         name_ + "-" + std::to_string(index));
   for (;;) {
-    std::function<void()> task;
+    IndexedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -76,10 +92,10 @@ void ThreadPool::worker_loop(unsigned index) {
       queue_.pop();
     }
     try {
-      task();
+      task.task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      errors_.push_back(TaskError{task.index, std::current_exception()});
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -4,8 +4,13 @@
 // simulation or allocation per task), so a plain mutex-guarded queue is
 // entirely sufficient — no work stealing, no lock-free cleverness. Tasks
 // are arbitrary void() callables; completion is observed with wait().
-// Exceptions thrown by tasks are captured and rethrown from wait() (first
-// one wins) so callers never lose a CASA_CHECK failure to a worker thread.
+//
+// Every task exception is captured with the task's submission index —
+// nothing is dropped when several tasks fail concurrently. wait() rethrows
+// the error of the lowest-indexed failed task (deterministic for any
+// schedule) so callers never lose a CASA_CHECK failure to a worker thread;
+// wait_collect() instead returns the full error list for callers that
+// contain failures per task (batch runners).
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +41,13 @@ const ThreadIdent& this_thread_ident();
 /// threads (a main driver, say) can label their own tracks.
 void set_this_thread_ident(int worker_index, std::string name);
 
+/// One captured task failure: which submit() the task came from (0-based,
+/// counted since the last wait/wait_collect) and the exception it threw.
+struct TaskError {
+  std::size_t task_index = 0;
+  std::exception_ptr error;
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means hardware_concurrency (at least 1).
@@ -46,12 +58,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one task. Must not be called concurrently with wait().
-  void submit(std::function<void()> task);
+  /// Enqueues one task and returns its index in the current batch (0-based,
+  /// reset by wait/wait_collect). Must not be called concurrently with
+  /// wait().
+  std::size_t submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished, then rethrows the
-  /// first task exception (if any). The pool is reusable afterwards.
+  /// exception of the lowest-indexed failed task (if any); later errors
+  /// are discarded with it. The pool is reusable afterwards.
   void wait();
+
+  /// Blocks until every submitted task has finished and returns *all*
+  /// captured task errors, sorted by task index (empty when every task
+  /// succeeded). Nothing is rethrown; the pool is reusable afterwards.
+  std::vector<TaskError> wait_collect();
 
   unsigned thread_count() const {
     return static_cast<unsigned>(workers_.size());
@@ -63,13 +83,23 @@ class ThreadPool {
  private:
   void worker_loop(unsigned index);
 
+  /// Waits for the batch to drain and moves the captured errors out,
+  /// sorted by task index. Resets the batch index counter.
+  std::vector<TaskError> drain_errors();
+
+  struct IndexedTask {
+    std::size_t index = 0;
+    std::function<void()> task;
+  };
+
   std::string name_;
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  ///< queued + currently executing
-  std::exception_ptr first_error_;
+  std::queue<IndexedTask> queue_;
+  std::size_t in_flight_ = 0;    ///< queued + currently executing
+  std::size_t next_index_ = 0;   ///< per-batch submit counter
+  std::vector<TaskError> errors_;  ///< every failure of the current batch
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

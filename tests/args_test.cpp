@@ -48,6 +48,53 @@ TEST(Args, DoubleParsing) {
   EXPECT_DOUBLE_EQ(a.get_double("ratio", 0.0), 0.75);
 }
 
+// std::stoull/stod accept partial parses, leading whitespace, and (for
+// unsigned) wrap negative values — a mistyped "--ilp-threads=4x" must be an
+// error, never a silent 4.
+TEST(Args, U64RejectsTrailingJunk) {
+  ArgParser a({"--ilp-threads=4x"});
+  EXPECT_THROW(a.get_u64("ilp-threads", 1), PreconditionError);
+}
+
+TEST(Args, U64RejectsSignsAndWhitespace) {
+  ArgParser a({"--spm=-3"});
+  EXPECT_THROW(a.get_u64("spm", 0), PreconditionError);
+  ArgParser b({"--spm", " 4"});
+  EXPECT_THROW(b.get_u64("spm", 0), PreconditionError);
+  ArgParser c({"--spm=+4"});
+  EXPECT_THROW(c.get_u64("spm", 0), PreconditionError);
+  ArgParser d({"--spm="});
+  EXPECT_THROW(d.get_u64("spm", 0), PreconditionError);
+}
+
+TEST(Args, U64RejectsOutOfRange) {
+  ArgParser a({"--spm=99999999999999999999999999"});
+  EXPECT_THROW(a.get_u64("spm", 0), PreconditionError);
+}
+
+TEST(Args, U64ErrorNamesTheKeyAndValue) {
+  ArgParser a({"--ilp-threads=4x"});
+  try {
+    a.get_u64("ilp-threads", 1);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--ilp-threads"), std::string::npos);
+    EXPECT_NE(what.find("4x"), std::string::npos);
+  }
+}
+
+TEST(Args, DoubleRejectsPartialParse) {
+  ArgParser a({"--ratio=1.5x"});
+  EXPECT_THROW(a.get_double("ratio", 0.0), PreconditionError);
+  ArgParser b({"--ratio= 1.5"});
+  EXPECT_THROW(b.get_double("ratio", 0.0), PreconditionError);
+  ArgParser c({"--ratio=0.5"});
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 0.5);
+  ArgParser d({"--ratio=-0.5"});
+  EXPECT_DOUBLE_EQ(d.get_double("ratio", 0.0), -0.5);  // signs are fine here
+}
+
 TEST(Args, UnknownKeysReported) {
   ArgParser a({"--known=1", "--mystery=2"});
   a.get_u64("known", 0);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "casa/check/rule_ids.hpp"
 #include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/core/formulation.hpp"
@@ -605,6 +606,58 @@ TEST(CheckRunnerTest, JsonArtifactCarriesSchemaAndRuleIds) {
   EXPECT_NE(json.find("\"rule\": \"demo.rule\""), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+TEST(BatchRules, CleanBatchStaysSilent) {
+  BatchSummary batch;
+  batch.jobs = 8;
+  CheckRunner r;
+  check_batch(batch, r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.diagnostics().empty());
+  EXPECT_EQ(r.rules_evaluated(), 1u);  // evaluated, silent — not skipped
+}
+
+TEST(BatchRules, PartialFailureWarnsAndListsTheDead) {
+  BatchSummary batch;
+  batch.jobs = 8;
+  batch.failed = 2;
+  batch.retried = 1;
+  batch.failures = {"job 3: fault: injected fault at fault.sim.finish",
+                    "job 5: solve: infeasible"};
+  CheckRunner r;
+  check_batch(batch, r);
+  ASSERT_TRUE(has_rule(r, std::string(rule_ids::kRunPartialFailure)));
+  EXPECT_TRUE(r.ok());  // degraded is a warning, not an error
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  const Diagnostic& d = r.diagnostics()[0];
+  EXPECT_NE(d.message.find("2 of 8 jobs failed"), std::string::npos);
+  EXPECT_NE(d.message.find("1 more recovered after retries"),
+            std::string::npos);
+  EXPECT_NE(d.hint.find("job 3"), std::string::npos);
+  EXPECT_NE(d.hint.find("job 5"), std::string::npos);
+}
+
+TEST(BatchRules, TotalFailureIsAnErrorWithCappedDetail) {
+  BatchSummary batch;
+  batch.jobs = 6;
+  batch.failed = 6;
+  for (int i = 0; i < 6; ++i) {
+    batch.failures.push_back("job " + std::to_string(i) + ": fault: boom");
+  }
+  CheckRunner r;
+  check_batch(batch, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_THROW(r.throw_if_errors(), CheckError);
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  const Diagnostic& d = r.diagnostics()[0];
+  EXPECT_NE(d.message.find("every job in the batch failed"),
+            std::string::npos);
+  // A poisoned 64-point sweep must read as one diagnostic, not 64: the
+  // hint lists at most four failures and summarises the rest.
+  EXPECT_NE(d.hint.find("job 3"), std::string::npos);
+  EXPECT_EQ(d.hint.find("job 4"), std::string::npos);
+  EXPECT_NE(d.hint.find("... 2 more"), std::string::npos);
 }
 
 }  // namespace

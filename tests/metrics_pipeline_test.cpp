@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "casa/fault/fault.hpp"
 #include "casa/obs/metrics.hpp"
 #include "casa/report/workbench.hpp"
 #include "casa/sim/parallel_runner.hpp"
@@ -141,6 +142,42 @@ TEST(PipelineMetrics, ShardSizeMismatchIsRejected) {
   const Workbench wb = instrumented_bench(nullptr);
   sim::MetricsShards wrong(1);
   EXPECT_THROW(wb.run_many(sweep_jobs(), 1, &wrong), PreconditionError);
+}
+
+TEST(PipelineMetrics, FailedJobsLeaveNoPartialShardCounts) {
+  obs::MetricsRegistry reg;
+  const Workbench wb = instrumented_bench(&reg);
+  const std::vector<Workbench::Job> jobs = sweep_jobs();
+
+  // Kill job 0 partway through its flow (the finish stage runs after the
+  // prepare stages have already recorded counters into the attempt).
+  fault::arm(fault::parse_spec("site=fault.sim.finish,action=throw,arg=0"));
+  BatchOptions bopt;
+  bopt.threads = 2;
+  bopt.fail_fast = false;
+  sim::MetricsShards shards(jobs.size());
+  const std::vector<JobResult> results = wb.run_jobs(jobs, bopt, &shards);
+  fault::disarm();
+
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_EQ(results[0].status, JobStatus::kFailed);
+
+  // Merge-on-success: the dead job's shard is empty — not a partial record
+  // of the stages that ran before the failure — and the merged view equals
+  // exactly the sum of the surviving shards.
+  const std::vector<obs::MetricsSnapshot> tasks = shards.snapshots();
+  EXPECT_TRUE(tasks[0].counters.empty());
+  EXPECT_TRUE(tasks[0].spans.empty());
+  std::uint64_t fetch_sum = 0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "job " << i;
+    EXPECT_EQ(tasks[i].counters.at("sim.fetches"),
+              results[i].outcome.sim.counters.total_fetches)
+        << "job " << i;
+    fetch_sum += tasks[i].counters.at("sim.fetches");
+  }
+  EXPECT_EQ(shards.merged().counters.at("sim.fetches"), fetch_sum);
+  EXPECT_EQ(reg.snapshot().counters.at("runner.jobs_failed"), 1u);
 }
 
 }  // namespace

@@ -46,6 +46,58 @@ TEST(ThreadPool, WaitRethrowsTaskException) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPool, WaitCollectCapturesEveryConcurrentFailure) {
+  support::ThreadPool pool(2);
+  // A rendezvous pins both failing tasks in flight at once: each waits for
+  // the other before throwing, so neither error can be a straggler the
+  // other's rethrow would have discarded.
+  std::atomic<int> at_barrier{0};
+  const auto rendezvous = [&at_barrier] {
+    ++at_barrier;
+    while (at_barrier.load() < 2) {
+    }
+  };
+  EXPECT_EQ(pool.submit([&] {
+    rendezvous();
+    throw std::runtime_error("first");
+  }), 0u);
+  EXPECT_EQ(pool.submit([&] {
+    rendezvous();
+    throw std::logic_error("second");
+  }), 1u);
+  EXPECT_EQ(pool.submit([] {}), 2u);
+
+  const std::vector<support::TaskError> errors = pool.wait_collect();
+  ASSERT_EQ(errors.size(), 2u);  // both failures captured, none dropped
+  EXPECT_EQ(errors[0].task_index, 0u);
+  EXPECT_EQ(errors[1].task_index, 1u);
+  EXPECT_THROW(std::rethrow_exception(errors[0].error), std::runtime_error);
+  EXPECT_THROW(std::rethrow_exception(errors[1].error), std::logic_error);
+
+  // Nothing rethrows, the batch counter resets, and the pool stays usable.
+  std::atomic<int> counter{0};
+  EXPECT_EQ(pool.submit([&counter] { ++counter; }), 0u);
+  EXPECT_TRUE(pool.wait_collect().empty());
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsLowestIndexedFailure) {
+  support::ThreadPool pool(4);
+  std::atomic<int> at_barrier{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&at_barrier, i] {
+      ++at_barrier;
+      while (at_barrier.load() < 4) {
+      }
+      if (i != 1) throw std::runtime_error("task " + std::to_string(i));
+      throw std::logic_error("task 1");
+    });
+  }
+  // Task 0's error wins deterministically even though all four failed at
+  // the same moment.
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
 TEST(ParallelRunner, ResultsComeBackInIndexOrder) {
   sim::RunnerOptions opt;
   opt.threads = 4;

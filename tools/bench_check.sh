@@ -8,8 +8,10 @@
 # current-run invariants: BM_ConflictGraphBuild must stay >= 2x
 # BM_ConflictGraphBuildWordRef (compiled streams), BM_StackSweep must
 # stay >= 3x BM_StackSweepPerConfigRef (one-pass multi-config simulation),
-# and BM_TraceOverheadNull must stay >= 0.85x BM_TraceOverheadOff (a
-# detached obs::Span is within measurement noise of no span at all).
+# BM_TraceOverheadNull must stay >= 0.85x BM_TraceOverheadOff (a
+# detached obs::Span is within measurement noise of no span at all), and
+# BM_FaultCheckOff must stay >= 0.85x BM_TraceOverheadOff (a disarmed
+# fault::at site is one relaxed load).
 #
 # The baseline records the CMAKE_BUILD_TYPE of the build tree it was taken
 # from (read from CMakeCache.txt, NOT from google-benchmark's self-reported
@@ -228,6 +230,26 @@ elif current:
             failures.append(
                 f"{name}: required by the null-tracer overhead invariant "
                 "but absent from this run")
+
+# Disarmed-injection invariant: a fault::at site with no spec armed must
+# cost one relaxed atomic load, exactly like the detached span. Both
+# variants run the same mix kernel; >= 0.85 allows measurement noise and
+# nothing more (measured ~1.0x on the recording host).
+fast = current.get("BM_FaultCheckOff")
+ref = current.get("BM_TraceOverheadOff")
+if fast and ref:
+    ratio = fast / ref
+    print(f"disarmed fault-site overhead (FaultCheckOff/Off): {ratio:.2f}x")
+    if ratio < 0.85:
+        failures.append(
+            f"disarmed fault-site path {ratio:.2f}x of the bare kernel "
+            "(>= 0.85x required — injection-off must stay within noise)")
+elif current:
+    for name in ("BM_FaultCheckOff", "BM_TraceOverheadOff"):
+        if not current.get(name):
+            failures.append(
+                f"{name}: required by the disarmed fault-site overhead "
+                "invariant but absent from this run")
 
 # One-pass sweep invariant: replaying a fetch stream once through the
 # stack-distance engine must stay >= 3x faster than simulating the same

@@ -22,7 +22,11 @@
 #include "casa/check/rules.hpp"
 #include "casa/conflict/graph_builder.hpp"
 #include "casa/energy/energy_table.hpp"
+#include "casa/fault/fault.hpp"
+#include "casa/fault/site_names.hpp"
 #include "casa/io/serialize.hpp"
+#include "casa/obs/export.hpp"
+#include "casa/obs/metric_names.hpp"
 #include "casa/obs/metrics.hpp"
 #include "casa/obs/span.hpp"
 #include "casa/obs/trace_analysis.hpp"
@@ -99,13 +103,22 @@ int run_check(const prog::Program& program, const report::Workbench& bench,
             << " presolved edges\n";
 
   if (!check_json.empty()) {
+    const auto render = [&runner](std::ostream& os) {
+      check::write_check_json(os, runner, "casa_cli");
+    };
+    unsigned attempts = 1;
     if (check_json == "-") {
-      check::write_check_json(std::cout, runner, "casa_cli");
+      attempts = obs::write_artifact_guarded(
+          std::cout, fault::site_names::kIoCheckWrite, render);
     } else {
       std::ofstream out(check_json);
       CASA_CHECK(out.good(), "cannot open check output file: " + check_json);
-      check::write_check_json(out, runner, "casa_cli");
+      attempts = obs::write_artifact_guarded(
+          out, fault::site_names::kIoCheckWrite, render);
       std::cerr << "check artifact written to " << check_json << "\n";
+    }
+    if (attempts > 1 && reg != nullptr) {
+      reg->add(obs::metric_names::kIoArtifactRetries, attempts - 1);
     }
   }
   return runner.ok() ? 0 : 1;
@@ -165,6 +178,10 @@ int run(ArgParser& args) {
       "check-json", "",
       "write a casa-check v1 diagnostics artifact to this file ('-' = "
       "stdout; implies --check)");
+  const std::string fault_spec = args.get(
+      "fault-spec", "",
+      "arm deterministic fault injection from this spec (overrides the "
+      "CASA_FAULT_SPEC environment variable; see docs/faults.md)");
 
   if (args.help_requested()) {
     std::cout << "casa_cli options:\n" << args.help();
@@ -177,6 +194,16 @@ int run(ArgParser& args) {
     return 2;
   }
 
+  // Injection arms before any pipeline work so every registered site is
+  // live; disarmed runs pay one relaxed load per site. The trace hook turns
+  // each fire into a fault.injected instant when tracing is attached.
+  if (!fault_spec.empty()) {
+    fault::arm(fault::parse_spec(fault_spec));
+  } else {
+    fault::arm_from_env();
+  }
+  if (fault::armed()) obs::install_fault_trace_hook();
+
   const bool want_metrics = metrics_stdout || !metrics_json.empty();
   obs::MetricsRegistry registry;
   obs::MetricsRegistry* reg = want_metrics ? &registry : nullptr;
@@ -188,6 +215,10 @@ int run(ArgParser& args) {
     reg->set_config("spm", std::to_string(spm));
     reg->set_config("seed", std::to_string(seed));
     reg->set_config("fuse_ratio", std::to_string(fuse));
+    if (fault::armed()) {
+      reg->set_gauge(obs::metric_names::kFaultArmedSites,
+                     static_cast<double>(fault::armed_site_count()));
+    }
   }
 
   // Tracing attaches before the Workbench profiles the workload, so the
@@ -203,13 +234,18 @@ int run(ArgParser& args) {
     obs::Tracer::set_current(nullptr);
     const obs::TraceData data = tracer->drain();
     if (!trace_json.empty()) {
+      const auto render = [&data](std::ostream& os) {
+        io::write_trace_json(os, data, "casa_cli");
+      };
       if (trace_json == "-") {
-        io::write_trace_json(std::cout, data, "casa_cli");
+        obs::write_artifact_guarded(std::cout,
+                                    fault::site_names::kIoTraceWrite, render);
       } else {
         std::ofstream out(trace_json);
         CASA_CHECK(out.good(),
                    "cannot open trace output file: " + trace_json);
-        io::write_trace_json(out, data, "casa_cli");
+        obs::write_artifact_guarded(out, fault::site_names::kIoTraceWrite,
+                                    render);
         std::cerr << "trace artifact written to " << trace_json << "\n";
       }
     }
@@ -310,20 +346,37 @@ int run(ArgParser& args) {
   if (want_metrics) {
     obs::ArtifactOptions aopt;
     aopt.tool = "casa_cli";
-    const obs::MetricsSnapshot snap = registry.snapshot();
     const obs::ArtifactSinkPlan plan =
         obs::plan_artifact_sinks(metrics_json, metrics_stdout);
     if (!plan.note.empty()) {
       std::cerr << "casa_cli: note: " << plan.note << "\n";
     }
+    // The guard re-renders per attempt, and each render snapshots fresh
+    // after folding in the injector totals and any failed attempts of this
+    // very write — a retried metrics artifact reports its own retries.
+    unsigned renders = 0;
+    std::uint64_t synced_fires = 0;
+    const auto render = [&](std::ostream& os) {
+      if (renders++ > 0) {
+        registry.add(obs::metric_names::kIoArtifactRetries, 1);
+      }
+      const std::uint64_t fired = fault::stats().fires;
+      if (fired > synced_fires) {
+        registry.add(obs::metric_names::kFaultInjected, fired - synced_fires);
+        synced_fires = fired;
+      }
+      io::write_metrics_json(os, registry.snapshot(), aopt);
+    };
     if (!plan.file.empty()) {
       std::ofstream out(plan.file);
       CASA_CHECK(out.good(), "cannot open metrics output file: " + plan.file);
-      io::write_metrics_json(out, snap, aopt);
+      obs::write_artifact_guarded(out, fault::site_names::kIoMetricsWrite,
+                                  render);
       std::cerr << "metrics artifact written to " << plan.file << "\n";
     }
     if (plan.to_stdout) {
-      io::write_metrics_json(std::cout, snap, aopt);
+      obs::write_artifact_guarded(std::cout,
+                                  fault::site_names::kIoMetricsWrite, render);
     }
   }
 

@@ -88,6 +88,7 @@ casa::lint::TreeInputs load_tree(const fs::path& root) {
   inputs.docs.metrics = read_text_or_empty(root / "docs" / "metrics.md");
   inputs.docs.tracing = read_text_or_empty(root / "docs" / "tracing.md");
   inputs.docs.checks = read_text_or_empty(root / "docs" / "checks.md");
+  inputs.docs.faults = read_text_or_empty(root / "docs" / "faults.md");
   inputs.docs.lint = read_text_or_empty(root / "docs" / "lint.md");
   return inputs;
 }

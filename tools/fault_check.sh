@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Fault-injection containment gate (docs/faults.md).
+#
+# Drives casa_cli end-to-end under CASA_FAULT_SPEC/--fault-spec and holds
+# the containment contract at the process boundary:
+#   * run A: fault-free baseline — the CSV row every injected run must
+#     still reproduce bit-for-bit (injection may slow a run, never change
+#     surviving results);
+#   * run B: a one-shot transient on fault.io.metrics_write — exit 0, the
+#     CSV row identical to A, and the metrics artifact is valid JSON whose
+#     own counters report the injection (fault.injected >= 1,
+#     io.artifact_retries >= 1) plus the fault.armed_sites gauge;
+#   * run C: a one-shot corrupt on the same site — the corruption must be
+#     detected before the sink, retried, and the committed artifact clean
+#     (byte-identical counters to a parse, not a flipped byte on disk);
+#   * run D: a permanent throw at fault.solver.allocate — non-zero exit,
+#     the injected site named on stderr;
+#   * run E: a spec naming an unregistered site — rejected up front with
+#     the registered-site list, before any simulation runs.
+#
+# Registered as a ctest (fault_check); exits 77 (ctest SKIP) on hosts
+# without python3, hard-fails on a missing casa_cli binary.
+#
+# Usage:
+#   tools/fault_check.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname -- "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="${2:?--build-dir needs a value}"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cli="$build_dir/tools/casa_cli"
+if [[ ! -x "$cli" ]]; then
+  echo "fault_check: FAIL — casa_cli binary missing: $cli" >&2
+  echo "  build it first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "fault_check: SKIP — python3 not found on this host" >&2
+  exit 77
+fi
+
+csv_a="$(mktemp /tmp/fault_check_a.XXXXXX.csv)"
+csv_b="$(mktemp /tmp/fault_check_b.XXXXXX.csv)"
+csv_c="$(mktemp /tmp/fault_check_c.XXXXXX.csv)"
+metrics_b="$(mktemp /tmp/fault_check_b.XXXXXX.json)"
+metrics_c="$(mktemp /tmp/fault_check_c.XXXXXX.json)"
+err_d="$(mktemp /tmp/fault_check_d.XXXXXX.txt)"
+err_e="$(mktemp /tmp/fault_check_e.XXXXXX.txt)"
+trap 'rm -f "$csv_a" "$csv_b" "$csv_c" "$metrics_b" "$metrics_c" \
+            "$err_d" "$err_e"' EXIT
+
+common=(--workload=adpcm --technique=casa --spm=256 --ilp-threads=1 --csv)
+
+echo "fault_check: run A — fault-free baseline"
+"$cli" "${common[@]}" > "$csv_a"
+
+echo "fault_check: run B — transient on fault.io.metrics_write"
+"$cli" "${common[@]}" \
+       --fault-spec="site=fault.io.metrics_write,action=transient,count=1" \
+       --metrics-json "$metrics_b" > "$csv_b"
+
+echo "fault_check: run C — corrupt on fault.io.metrics_write"
+"$cli" "${common[@]}" \
+       --fault-spec="site=fault.io.metrics_write,action=corrupt,count=1" \
+       --metrics-json "$metrics_c" > "$csv_c"
+
+if ! cmp -s "$csv_a" "$csv_b"; then
+  echo "fault_check: FAIL — transient-injected run changed the CSV row" >&2
+  diff "$csv_a" "$csv_b" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$csv_a" "$csv_c"; then
+  echo "fault_check: FAIL — corrupt-injected run changed the CSV row" >&2
+  diff "$csv_a" "$csv_c" >&2 || true
+  exit 1
+fi
+
+echo "fault_check: run D — permanent throw at fault.solver.allocate"
+if "$cli" "${common[@]}" \
+       --fault-spec="site=fault.solver.allocate,action=throw" \
+       2> "$err_d"; then
+  echo "fault_check: FAIL — injected solver fault exited 0" >&2
+  exit 1
+fi
+if ! grep -q "injected fault at fault.solver.allocate" "$err_d"; then
+  echo "fault_check: FAIL — stderr does not name the injected site:" >&2
+  cat "$err_d" >&2
+  exit 1
+fi
+
+echo "fault_check: run E — unregistered site is rejected up front"
+if "$cli" "${common[@]}" --fault-spec="site=fault.no.such_site" \
+       2> "$err_e"; then
+  echo "fault_check: FAIL — bogus fault spec exited 0" >&2
+  exit 1
+fi
+if ! grep -q "registered sites:" "$err_e"; then
+  echo "fault_check: FAIL — bad-spec error lacks the site catalogue:" >&2
+  cat "$err_e" >&2
+  exit 1
+fi
+
+python3 - "$metrics_b" "$metrics_c" << 'PY'
+import json
+import sys
+
+failures = []
+
+
+def check(path, want_retry):
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{path}: artifact unreadable (a corrupted byte "
+                        f"reached the sink?): {e}")
+        return
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    if doc.get("schema") != "casa-metrics v1":
+        failures.append(f"{path}: schema is {doc.get('schema')!r}")
+    if counters.get("fault.injected", 0) < 1:
+        failures.append(f"{path}: fault.injected missing — the artifact "
+                        "does not self-report the injection")
+    if want_retry and counters.get("io.artifact_retries", 0) < 1:
+        failures.append(f"{path}: io.artifact_retries missing — the retried "
+                        "write did not record itself")
+    if gauges.get("fault.armed_sites", 0) != 1:
+        failures.append(f"{path}: fault.armed_sites gauge is "
+                        f"{gauges.get('fault.armed_sites')!r}, expected 1")
+
+
+check(sys.argv[1], want_retry=True)
+check(sys.argv[2], want_retry=True)
+
+if failures:
+    print("fault_check: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("fault_check: artifact self-reporting OK")
+PY
+
+echo "fault_check: OK — injected runs contained, survivors bit-identical"
