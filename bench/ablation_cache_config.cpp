@@ -9,7 +9,7 @@
 // The 9 configurations × 3 flows go through sim::SweepPlanner: jobs that
 // feed the cache the same fetch stream share one stack-distance replay
 // (LRU rows), the rest fall back to per-config simulation — outcomes and
-// per-row outputs are bit-identical to the serial run_many formulation.
+// per-row outputs are bit-identical to the serial evaluate_batch runs.
 #include <fstream>
 #include <iostream>
 
@@ -68,7 +68,7 @@ int main() {
       table.row()
           .cell(static_cast<std::uint64_t>(assoc))
           .cell(cachesim::to_string(policy))
-          .cell(static_cast<std::uint64_t>(c.conflict_edges.value_or(0)))
+          .cell(static_cast<std::uint64_t>(c.conflict_edges()))
           .cell(to_micro_joules(c.sim.total_energy), 1)
           .cell(to_micro_joules(s.sim.total_energy), 1)
           .cell(100.0 * (1.0 - c.sim.total_energy / s.sim.total_energy), 1)

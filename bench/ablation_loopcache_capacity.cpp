@@ -25,9 +25,9 @@ int main() {
                "CASA SPM uJ"});
 
   for (const Bytes size : workloads::paper_spm_sizes_for("mpeg")) {
-    const report::Outcome casa_run = bench.run_casa(cache, size);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, size)).value();
     for (const unsigned regions : {2u, 4u, 8u}) {
-      const report::Outcome lc = bench.run_loopcache(cache, size, regions);
+      const report::Outcome lc = bench.evaluate(report::Workbench::Job::loopcache_job(cache, size, regions)).value();
       table.row()
           .cell(size)
           .cell(static_cast<std::uint64_t>(regions))
@@ -35,7 +35,7 @@ int main() {
           .cell(100.0 * static_cast<double>(lc.sim.counters.lc_accesses) /
                     static_cast<double>(lc.sim.counters.total_fetches),
                 1)
-          .cell(static_cast<std::uint64_t>(lc.lc_regions))
+          .cell(static_cast<std::uint64_t>(lc.lc_regions()))
           .cell(to_micro_joules(casa_run.sim.total_energy), 1);
     }
     table.separator();

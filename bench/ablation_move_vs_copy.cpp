@@ -31,9 +31,9 @@ int main() {
     const auto cache = workloads::paper_cache_for(name);
 
     for (const Bytes size : workloads::paper_spm_sizes_for(name)) {
-      const report::Outcome m = moves.run_steinke(cache, size);
-      const report::Outcome c = copies.run_steinke(cache, size);
-      const report::Outcome casa_run = moves.run_casa(cache, size);
+      const report::Outcome m = moves.evaluate(report::Workbench::Job::steinke_job(cache, size)).value();
+      const report::Outcome c = copies.evaluate(report::Workbench::Job::steinke_job(cache, size)).value();
+      const report::Outcome casa_run = moves.evaluate(report::Workbench::Job::casa_job(cache, size)).value();
       table.row()
           .cell(name)
           .cell(size)

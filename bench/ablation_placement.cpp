@@ -65,7 +65,7 @@ int main() {
         tp, padded.layout, bench.execution().walk, none, cache, energies);
 
     // SPM + CASA on the natural layout (the standard pipeline).
-    const report::Outcome casa_run = bench.run_casa(cache, spm);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
 
     // Placement + CASA: re-profile conflicts under the placed layout, then
     // allocate and simulate there.

@@ -25,10 +25,10 @@ int main() {
 
     for (const Bytes size : workloads::paper_spm_sizes_for(name)) {
       core::CasaOptions exact_opt;
-      const report::Outcome exact = bench.run_casa(cache, size, exact_opt);
+      const report::Outcome exact = bench.evaluate(report::Workbench::Job::casa_job(cache, size, exact_opt)).value();
       core::CasaOptions greedy_opt;
       greedy_opt.engine = core::CasaEngine::kGreedy;
-      const report::Outcome greedy = bench.run_casa(cache, size, greedy_opt);
+      const report::Outcome greedy = bench.evaluate(report::Workbench::Job::casa_job(cache, size, greedy_opt)).value();
 
       table.row()
           .cell(name)
@@ -38,8 +38,8 @@ int main() {
           .cell(100.0 * (greedy.sim.total_energy - exact.sim.total_energy) /
                     exact.sim.total_energy,
                 2)
-          .cell(exact.alloc.solver_nodes)
-          .cell(core::to_string(exact.alloc.engine_used));
+          .cell(exact.alloc().solver_nodes)
+          .cell(core::to_string(exact.alloc().engine_used));
     }
     table.separator();
   }

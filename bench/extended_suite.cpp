@@ -7,7 +7,7 @@
 // sim::SweepPlanner batch across cores — the suite is the repo's largest
 // sweep; sweep points that feed the cache the same fetch stream share one
 // stack-distance replay, and the outcomes stay bit-identical to
-// Workbench::run_many.
+// Workbench::evaluate_batch.
 #include <fstream>
 #include <iostream>
 

@@ -26,8 +26,8 @@ int main() {
                "CASA uJ", "Steinke uJ", "engine", "nodes", "solve s"});
 
   for (const Bytes spm : workloads::paper_spm_sizes_for("mpeg")) {
-    const report::Outcome casa_run = bench.run_casa(cache, spm);
-    const report::Outcome steinke = bench.run_steinke(cache, spm);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
+    const report::Outcome steinke = bench.evaluate(report::Workbench::Job::steinke_job(cache, spm)).value();
 
     const auto pct = [](double v, double base) {
       return base == 0.0 ? 0.0 : 100.0 * v / base;
@@ -49,9 +49,9 @@ int main() {
         .cell(pct(casa_run.sim.total_energy, steinke.sim.total_energy), 1)
         .cell(to_micro_joules(casa_run.sim.total_energy), 1)
         .cell(to_micro_joules(steinke.sim.total_energy), 1)
-        .cell(core::to_string(casa_run.alloc.engine_used))
-        .cell(casa_run.alloc.solver_nodes)
-        .cell(casa_run.alloc.solve_seconds, 3);
+        .cell(core::to_string(casa_run.alloc().engine_used))
+        .cell(casa_run.alloc().solver_nodes)
+        .cell(casa_run.alloc().solve_seconds, 3);
   }
 
   table.print(std::cout);

@@ -28,8 +28,8 @@ int main() {
   double geo = 0.0;
   int n = 0;
   for (const Bytes size : workloads::paper_spm_sizes_for("mpeg")) {
-    const report::Outcome casa_run = bench.run_casa(cache, size);
-    const report::Outcome lc = bench.run_loopcache(cache, size, 4);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, size)).value();
+    const report::Outcome lc = bench.evaluate(report::Workbench::Job::loopcache_job(cache, size, 4)).value();
 
     const auto pct = [](double v, double base) {
       return base == 0.0 ? 0.0 : 100.0 * v / base;
@@ -56,7 +56,7 @@ int main() {
         .cell(energy_pct, 1)
         .cell(to_micro_joules(casa_run.sim.total_energy), 1)
         .cell(to_micro_joules(lc.sim.total_energy), 1)
-        .cell(static_cast<std::uint64_t>(lc.lc_regions));
+        .cell(static_cast<std::uint64_t>(lc.lc_regions()));
   }
 
   table.print(std::cout);

@@ -43,15 +43,15 @@ int main() {
     const auto layout = traceopt::layout_all(tp);
 
     // The allocator is untouched: L1 conflict graph, L1 energies.
-    const report::Outcome casa_run = bench.run_casa(l1, spm);
-    const report::Outcome base_run = bench.run_cache_only(l1);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(l1, spm)).value();
+    const report::Outcome base_run = bench.evaluate(report::Workbench::Job::cache_only_job(l1)).value();
 
     const auto energies = memsim::TwoLevelEnergies::build(l1, l2, spm);
     const std::vector<bool> none(tp.object_count(), false);
     const auto two_base = memsim::simulate_spm_two_level(
         tp, layout, bench.execution().walk, none, l1, l2, energies);
     const auto two_casa = memsim::simulate_spm_two_level(
-        tp, layout, bench.execution().walk, casa_run.alloc.on_spm, l1, l2,
+        tp, layout, bench.execution().walk, casa_run.alloc().on_spm, l1, l2,
         energies);
 
     table.row()

@@ -31,9 +31,9 @@ int main() {
     double bench_vs_steinke = 0.0, bench_vs_lc = 0.0;
     int bench_rows = 0;
     for (const Bytes size : workloads::paper_spm_sizes_for(name)) {
-      const report::Outcome c = bench.run_casa(cache, size);
-      const report::Outcome s = bench.run_steinke(cache, size);
-      const report::Outcome l = bench.run_loopcache(cache, size, 4);
+      const report::Outcome c = bench.evaluate(report::Workbench::Job::casa_job(cache, size)).value();
+      const report::Outcome s = bench.evaluate(report::Workbench::Job::steinke_job(cache, size)).value();
+      const report::Outcome l = bench.evaluate(report::Workbench::Job::loopcache_job(cache, size, 4)).value();
 
       const double vs_steinke =
           100.0 * (1.0 - c.sim.total_energy / s.sim.total_energy);

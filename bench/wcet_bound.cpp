@@ -37,14 +37,14 @@ int main() {
         traceopt::form_traces(program, bench.execution().profile, topt);
     const auto layout = traceopt::layout_all(tp);
 
-    const report::Outcome casa_run = bench.run_casa(cache, spm);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
 
     wcet::BlockCostOptions opt;
     opt.cache = cache;
     const std::vector<bool> none(tp.object_count(), false);
     const auto cost_base = wcet::block_cycle_costs(tp, layout, none, opt);
     const auto cost_spm =
-        wcet::block_cycle_costs(tp, layout, casa_run.alloc.on_spm, opt);
+        wcet::block_cycle_costs(tp, layout, casa_run.alloc().on_spm, opt);
     opt.assumption = wcet::CacheAssumption::kAlwaysHit;
     const auto cost_floor = wcet::block_cycle_costs(tp, layout, none, opt);
 

@@ -76,14 +76,14 @@ int main() {
   hot.print(std::cout);
 
   // Allocations and outcomes.
-  const report::Outcome casa_run = bench.run_casa(cache, spm);
-  const report::Outcome steinke = bench.run_steinke(cache, spm);
-  const report::Outcome lc = bench.run_loopcache(cache, spm, 4);
+  const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
+  const report::Outcome steinke = bench.evaluate(report::Workbench::Job::steinke_job(cache, spm)).value();
+  const report::Outcome lc = bench.evaluate(report::Workbench::Job::loopcache_job(cache, spm, 4)).value();
 
-  std::cout << "\nCASA placed (" << casa_run.alloc.used_bytes << "/" << spm
+  std::cout << "\nCASA placed (" << casa_run.alloc().used_bytes << "/" << spm
             << " B): ";
   for (std::size_t i = 0; i < tp.object_count(); ++i) {
-    if (casa_run.alloc.on_spm[i]) {
+    if (casa_run.alloc().on_spm[i]) {
       std::cout << object_label(program, tp,
                                 MemoryObjectId(static_cast<std::uint32_t>(i)))
                 << "(" << tp.objects()[i].raw_size << "B) ";

@@ -74,7 +74,7 @@ int main() {
             << ")\n";
 
   // Reference: one 384 B pad via the classic single-pad path.
-  const report::Outcome single = bench.run_casa(cache, 384);
+  const report::Outcome single = bench.evaluate(report::Workbench::Job::casa_job(cache, 384)).value();
   std::cout << "single 384 B pad (simulated): "
             << to_micro_joules(single.sim.total_energy)
             << " uJ — the split pads trade capacity for cheaper accesses on"

@@ -49,9 +49,9 @@ int main() {
 
   // 4-5. Allocate with CASA, then with the cache-oblivious baseline, and
   //      simulate both.
-  const report::Outcome casa_run = bench.run_casa(cache, spm);
-  const report::Outcome steinke = bench.run_steinke(cache, spm);
-  const report::Outcome cache_only = bench.run_cache_only(cache);
+  const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
+  const report::Outcome steinke = bench.evaluate(report::Workbench::Job::steinke_job(cache, spm)).value();
+  const report::Outcome cache_only = bench.evaluate(report::Workbench::Job::cache_only_job(cache)).value();
 
   const auto show = [](const char* name, const report::Outcome& o) {
     std::cout << name << ": " << to_micro_joules(o.sim.total_energy)
@@ -64,10 +64,10 @@ int main() {
   show("CASA          ", casa_run);
 
   std::cout << "CASA solved " << casa_run.object_count << " objects / "
-            << casa_run.conflict_edges.value_or(0) << " conflict edges with the "
-            << core::to_string(casa_run.alloc.engine_used) << " engine in "
-            << casa_run.alloc.solve_seconds * 1000 << " ms; placed "
-            << casa_run.alloc.used_bytes << "/" << spm << " bytes\n";
+            << casa_run.conflict_edges() << " conflict edges with the "
+            << core::to_string(casa_run.alloc().engine_used) << " engine in "
+            << casa_run.alloc().solve_seconds * 1000 << " ms; placed "
+            << casa_run.alloc().used_bytes << "/" << spm << " bytes\n";
   std::cout << "energy saved vs cache-only: "
             << 100.0 * (1.0 - casa_run.sim.total_energy /
                                   cache_only.sim.total_energy)

@@ -35,14 +35,14 @@ int main() {
     const auto tp =
         traceopt::form_traces(program, bench.execution().profile, topt);
     const auto layout = traceopt::layout_all(tp);
-    const report::Outcome casa_run = bench.run_casa(cache, spm);
+    const report::Outcome casa_run = bench.evaluate(report::Workbench::Job::casa_job(cache, spm)).value();
 
     wcet::BlockCostOptions opt;
     opt.cache = cache;
     const std::vector<bool> none(tp.object_count(), false);
     const auto base_costs = wcet::block_cycle_costs(tp, layout, none, opt);
     const auto spm_costs =
-        wcet::block_cycle_costs(tp, layout, casa_run.alloc.on_spm, opt);
+        wcet::block_cycle_costs(tp, layout, casa_run.alloc().on_spm, opt);
 
     const std::uint64_t base = wcet::ipet_wcet(program, base_costs);
     const std::uint64_t tight = wcet::ipet_wcet(program, spm_costs);

@@ -76,6 +76,9 @@ inline constexpr std::string_view kSweepStackMismatch = "sweep.stack.mismatch";
 // ---- batch containment (check_batch) ----
 inline constexpr std::string_view kRunPartialFailure = "run.partial_failure";
 
+// ---- evaluation service (check_cached_result) ----
+inline constexpr std::string_view kSvcCacheMismatch = "svc.cache.mismatch";
+
 /// Every registered rule id, docs-sync-checked against docs/checks.md by
 /// casa_lint.
 inline constexpr std::string_view kAll[] = {
@@ -110,6 +113,7 @@ inline constexpr std::string_view kAll[] = {
     kEnergySramNonMonotone,
     kSweepStackMismatch,
     kRunPartialFailure,
+    kSvcCacheMismatch,
 };
 
 namespace detail {

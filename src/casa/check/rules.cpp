@@ -26,6 +26,7 @@ constexpr const char* kEnergyArtifact = "energy-table";
 constexpr const char* kEnergyModelArtifact = "energy-model";
 constexpr const char* kStackSweepArtifact = "stack-sweep";
 constexpr const char* kBatchArtifact = "batch-run";
+constexpr const char* kSvcCacheArtifact = "svc-cache";
 
 std::string object_loc(std::size_t i) {
   std::string s = "x";
@@ -660,7 +661,10 @@ void check_batch(const BatchSummary& batch, CheckRunner& runner) {
       hint << batch.failures[i];
     }
     if (batch.failures.size() > kMaxListed) {
-      hint << "; ... " << (batch.failures.size() - kMaxListed) << " more";
+      // The truncation note carries the total so a capped hint still reads
+      // as "4 shown of 64 failed", never as "4 failed".
+      hint << "; ... " << (batch.failures.size() - kMaxListed) << " more of "
+           << batch.failures.size() << " total failures";
     }
     if (batch.failed >= batch.jobs) {
       runner.error(rule_ids::kRunPartialFailure, kBatchArtifact, "jobs",
@@ -669,6 +673,18 @@ void check_batch(const BatchSummary& batch, CheckRunner& runner) {
       runner.warn(rule_ids::kRunPartialFailure, kBatchArtifact, "jobs",
                   "batch degraded: " + msg.str(), hint.str());
     }
+  }
+  runner.mark_evaluated(1);
+}
+
+void check_cached_result(const CachedResultSample& sample,
+                         CheckRunner& runner) {
+  if (!sample.outcomes_equal) {
+    runner.error(rule_ids::kSvcCacheMismatch, kSvcCacheArtifact, sample.key,
+                 "cached outcome differs from a fresh recomputation",
+                 "every solve-determined field is compared bit-exactly; a "
+                 "mismatch means the cache entry is stale or corrupted — "
+                 "flush the cache (and the persist dir, if any)");
   }
   runner.mark_evaluated(1);
 }

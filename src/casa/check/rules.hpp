@@ -115,4 +115,21 @@ struct BatchSummary {
 /// failed is an error.
 void check_batch(const BatchSummary& batch, CheckRunner& runner);
 
+/// One sampled cache-hit verification from the evaluation service, reduced
+/// to plain values (same layering rationale as BatchSummary): the service
+/// re-evaluates a sampled hit from scratch and reports whether the cached
+/// Outcome still compares equal — Outcome::operator== is bit-exact on
+/// every solve-determined field, so any inequality means the cache served
+/// a result the pipeline would no longer produce.
+struct CachedResultSample {
+  std::string key;             ///< canonical cache key of the sampled entry
+  bool outcomes_equal = true;  ///< cached Outcome == freshly recomputed one
+};
+
+/// A stale or corrupted cached result is always an error: serving it would
+/// silently misreport the paper's numbers, so the service fails the
+/// request instead.
+void check_cached_result(const CachedResultSample& sample,
+                         CheckRunner& runner);
+
 }  // namespace casa::check

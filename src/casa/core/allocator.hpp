@@ -78,6 +78,25 @@ struct AllocationResult {
   /// Presolve reductions: items/edges that survived into the solved form.
   std::size_t presolved_items = 0;
   std::size_t presolved_edges = 0;
+
+  /// Result equality. Every field the solve *determines* is compared
+  /// exactly (bit-level for the doubles, not tolerance-based) — two runs
+  /// of the same problem must compare equal, which is what the svc result
+  /// cache's sampled hit-verification and the casa-result round-trip tests
+  /// assert. solve_seconds is deliberately excluded: it is wall-clock
+  /// telemetry, the one field an identical re-solve does not reproduce.
+  friend bool operator==(const AllocationResult& a,
+                         const AllocationResult& b) {
+    return a.on_spm == b.on_spm && a.used_bytes == b.used_bytes &&
+           a.predicted_energy == b.predicted_energy &&
+           a.predicted_saving == b.predicted_saving &&
+           a.solver_nodes == b.solver_nodes && a.exact == b.exact &&
+           a.solver_status == b.solver_status &&
+           a.engine_used == b.engine_used &&
+           a.solver_stats == b.solver_stats &&
+           a.presolved_items == b.presolved_items &&
+           a.presolved_edges == b.presolved_edges;
+  }
 };
 
 class CasaAllocator {

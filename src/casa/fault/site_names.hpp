@@ -37,11 +37,20 @@ inline constexpr std::string_view kIoMetricsWrite = "fault.io.metrics_write";
 inline constexpr std::string_view kIoTraceWrite = "fault.io.trace_write";
 inline constexpr std::string_view kIoCheckWrite = "fault.io.check_write";
 
+// ---- evaluation service (svc::EvalService) ----
+/// Request admission, before the cache lookup. A fired fault fails that
+/// one request (contained in its response); the service loop survives.
+inline constexpr std::string_view kSvcAdmit = "fault.svc.admit";
+/// Persisted-artifact load on a cache miss. A fired fault (or a corrupted
+/// artifact) degrades the miss to a recompute, never a crash.
+inline constexpr std::string_view kSvcCacheLoad = "fault.svc.cache_load";
+
 /// Every registered site, docs-sync-checked against docs/faults.md by
 /// casa_lint and iterated by the fault-matrix test.
 inline constexpr std::string_view kAll[] = {
     kSimPrepare,     kSimFinish,    kSolverAllocate, kSweepStackPass,
-    kIoMetricsWrite, kIoTraceWrite, kIoCheckWrite,
+    kIoMetricsWrite, kIoTraceWrite, kIoCheckWrite,   kSvcAdmit,
+    kSvcCacheLoad,
 };
 
 namespace detail {

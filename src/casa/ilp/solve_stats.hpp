@@ -36,6 +36,8 @@ struct SolveStats {
   /// in minimization-key space (>= 0; 0 when no warm start or the root
   /// already proved the incumbent optimal).
   double root_gap = 0.0;
+
+  friend bool operator==(const SolveStats&, const SolveStats&) = default;
 };
 
 }  // namespace casa::ilp

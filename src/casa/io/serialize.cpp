@@ -1,6 +1,5 @@
 #include "casa/io/serialize.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <istream>
 #include <map>
@@ -10,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "casa/io/json.hpp"
 #include "casa/support/error.hpp"
 
 namespace casa::io {
@@ -38,22 +38,6 @@ std::vector<std::string> expect_tokens(const std::string& line,
   CASA_CHECK(tokens.size() == count,
              "serialized data: wrong field count in: " + line);
   return tokens;
-}
-
-std::uint64_t to_u64(const std::string& s) {
-  try {
-    return std::stoull(s);
-  } catch (const std::exception&) {
-    throw PreconditionError("serialized data: expected integer, got: " + s);
-  }
-}
-
-double to_double(const std::string& s) {
-  try {
-    return std::stod(s);
-  } catch (const std::exception&) {
-    throw PreconditionError("serialized data: expected number, got: " + s);
-  }
 }
 
 struct GraphData {
@@ -188,177 +172,6 @@ LoadedProblem read_problem(std::istream& is) {
 }
 
 namespace {
-
-/// Minimal JSON value for the metrics-artifact subset (objects, arrays,
-/// strings, numbers). Numbers keep their raw token so integer counters
-/// round-trip exactly even past 2^53.
-struct JsonValue {
-  enum class Kind { kString, kNumber, kObject, kArray };
-  Kind kind = Kind::kString;
-  std::string str;  ///< string payload, or the raw number token
-  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
-  std::vector<JsonValue> items;                            ///< arrays
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser for exactly what write_artifact_json emits.
-/// Not a general JSON reader: no booleans, no null, no nested escapes
-/// beyond what obs::json_escape produces.
-class JsonReader {
- public:
-  explicit JsonReader(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    CASA_CHECK(pos_ == text_.size(), "metrics json: trailing data");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(
-                                      static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    CASA_CHECK(pos_ < text_.size(), "metrics json: unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    CASA_CHECK(peek() == c, std::string("metrics json: expected '") + c +
-                                "' at offset " + std::to_string(pos_));
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.str = string();
-      return v;
-    }
-    return number();
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      std::string key = string();
-      expect(':');
-      v.members.emplace_back(std::move(key), value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        CASA_CHECK(pos_ < text_.size(), "metrics json: unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u': {
-            CASA_CHECK(pos_ + 4 <= text_.size(),
-                       "metrics json: truncated \\u escape");
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            c = static_cast<char>(std::stoul(hex, nullptr, 16));
-            break;
-          }
-          default:
-            CASA_CHECK(false, std::string("metrics json: bad escape \\") + e);
-        }
-      }
-      out += c;
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    CASA_CHECK(pos_ > start, "metrics json: expected a value at offset " +
-                                 std::to_string(start));
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.str = text_.substr(start, pos_ - start);
-    return v;
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& member(const JsonValue& obj, const std::string& key) {
-  CASA_CHECK(obj.kind == JsonValue::Kind::kObject,
-             "metrics json: expected an object around '" + key + "'");
-  const JsonValue* v = obj.find(key);
-  CASA_CHECK(v != nullptr, "metrics json: missing key '" + key + "'");
-  return *v;
-}
-
-double num(const JsonValue& v, const std::string& what) {
-  CASA_CHECK(v.kind == JsonValue::Kind::kNumber,
-             "metrics json: '" + what + "' must be a number");
-  return to_double(v.str);
-}
 
 obs::DistSummary read_summary(const JsonValue& v, const std::string& name,
                               const std::string& sum_key) {

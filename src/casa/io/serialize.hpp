@@ -25,6 +25,7 @@
 #include "casa/core/problem.hpp"
 #include "casa/obs/export.hpp"
 #include "casa/obs/tracer.hpp"
+#include "casa/report/workbench.hpp"
 
 namespace casa::io {
 
@@ -77,5 +78,32 @@ void write_trace_json(std::ostream& os, const obs::TraceData& data,
 /// unknown ph, missing fields, negative timestamps, unpaired flow ids)
 /// throws PreconditionError.
 obs::TraceData read_trace_json(std::istream& is);
+
+/// A loaded `casa-result v1` artifact: the job that was evaluated, its
+/// result, and the workload the Workbench was built from.
+struct LoadedResult {
+  report::Workbench::Job job;
+  report::JobResult result;
+  std::string workload;
+};
+
+/// Writes the `casa-result v1` JSON artifact: one evaluated job with its
+/// Outcome, plus run provenance (obs::build_info) and the workload name.
+/// This is the persistence format of the casa_serve result cache, so the
+/// encoding is exact: integers are emitted raw, doubles through
+/// obs::format_double (shortest round-trip form), booleans as 0/1 — a
+/// write/read/write cycle is byte-identical and the reloaded Outcome
+/// compares equal to the original under Outcome::operator==. Requires
+/// result.ok(); failed jobs are never persisted.
+void write_result_json(std::ostream& os, const report::Workbench::Job& job,
+                       const report::JobResult& result,
+                       std::string_view workload,
+                       std::string_view tool = "casa");
+
+/// Reads an artifact written by write_result_json. Malformed or truncated
+/// input (wrong schema, missing fields, unknown enum spellings, a flow tag
+/// that contradicts the job kind) throws PreconditionError rather than
+/// producing a half-built result.
+LoadedResult read_result_json(std::istream& is);
 
 }  // namespace casa::io

@@ -39,6 +39,8 @@ struct SimCounters {
   std::uint64_t cache_evictions = 0; ///< misses displacing a valid line
   std::uint64_t mainmem_words = 0;   ///< words transferred on line fills
   std::uint64_t cycles = 0;
+
+  friend bool operator==(const SimCounters&, const SimCounters&) = default;
 };
 
 struct SimReport {
@@ -47,6 +49,8 @@ struct SimReport {
   Energy spm_energy = 0;
   Energy cache_energy = 0;   ///< hits + misses (incl. refill/off-chip part)
   Energy lc_energy = 0;      ///< array accesses + controller overhead
+
+  friend bool operator==(const SimReport&, const SimReport&) = default;
 };
 
 struct SimOptions {

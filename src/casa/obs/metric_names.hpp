@@ -97,6 +97,19 @@ inline constexpr std::string_view kFaultInjected = "fault.injected";
 inline constexpr std::string_view kFaultArmedSites = "fault.armed_sites";
 inline constexpr std::string_view kIoArtifactRetries = "io.artifact_retries";
 
+// ---- evaluation service (svc::EvalService / casa_serve) ----
+inline constexpr std::string_view kSvcRequests = "svc.requests";
+inline constexpr std::string_view kSvcHits = "svc.hits";
+inline constexpr std::string_view kSvcMisses = "svc.misses";
+inline constexpr std::string_view kSvcInflightJoins = "svc.inflight_joins";
+inline constexpr std::string_view kSvcEvictions = "svc.evictions";
+inline constexpr std::string_view kSvcBytes = "svc.bytes";
+inline constexpr std::string_view kSvcQueueDepth = "svc.queue_depth";
+inline constexpr std::string_view kSvcRejections = "svc.rejections";
+inline constexpr std::string_view kSvcPersistLoads = "svc.persist_loads";
+inline constexpr std::string_view kSvcPersistErrors = "svc.persist_errors";
+inline constexpr std::string_view kSvcVerifiedHits = "svc.verified_hits";
+
 /// Every registered metric name, docs-sync-checked against
 /// docs/metrics.md by casa_lint.
 inline constexpr std::string_view kAll[] = {
@@ -150,6 +163,17 @@ inline constexpr std::string_view kAll[] = {
     kFaultInjected,
     kFaultArmedSites,
     kIoArtifactRetries,
+    kSvcRequests,
+    kSvcHits,
+    kSvcMisses,
+    kSvcInflightJoins,
+    kSvcEvictions,
+    kSvcBytes,
+    kSvcQueueDepth,
+    kSvcRejections,
+    kSvcPersistLoads,
+    kSvcPersistErrors,
+    kSvcVerifiedHits,
 };
 
 namespace detail {

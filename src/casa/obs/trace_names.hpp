@@ -62,6 +62,12 @@ inline constexpr std::string_view kRunnerRetry = "runner.retry";
 inline constexpr std::string_view kSweepDegraded =
     metric_names::kSweepDegradedGroups;
 
+// ---- evaluation service (svc::EvalService) ----
+/// Span around one admitted request; tail of the request→compute flow.
+inline constexpr std::string_view kSvcRequest = "svc.request";
+/// Span around a cache-miss computation; head of the request→compute flow.
+inline constexpr std::string_view kSvcCompute = "svc.compute";
+
 // ---- event categories ("cat" field; not docs-sync-checked) ----
 inline constexpr std::string_view kCatPhase = "phase";
 inline constexpr std::string_view kCatInstant = "instant";
@@ -81,7 +87,7 @@ inline constexpr std::string_view kAll[] = {
     kIlpIncumbent, kIlpPresolve,  kIlpWarmStart,
     kIlpRcFixed,   kIlpNodes,     kIlpPrunes,
     kSweepConfigsPerPass, kFaultInjected, kRunnerRetry,
-    kSweepDegraded,
+    kSweepDegraded, kSvcRequest,   kSvcCompute,
 };
 
 static_assert(metric_names::detail::all_unique(kAll, std::size(kAll)),

@@ -125,6 +125,57 @@ void classify_error(const std::exception_ptr& err, std::string& kind,
 
 }  // namespace
 
+std::string_view to_string(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kCasa:
+      return "casa";
+    case FlowKind::kSteinke:
+      return "steinke";
+    case FlowKind::kLoopCache:
+      return "loopcache";
+    case FlowKind::kCacheOnly:
+      return "cache_only";
+  }
+  return "?";
+}
+
+FlowError::FlowError(std::string_view accessor, FlowKind flow)
+    : Error("Outcome::" + std::string(accessor) +
+            "() read off the wrong flow: this outcome is from the '" +
+            std::string(to_string(flow)) + "' flow"),
+      accessor_(accessor),
+      flow_(flow) {}
+
+std::size_t Outcome::conflict_edges() const {
+  if (flow_ != FlowKind::kCasa) throw FlowError("conflict_edges", flow_);
+  return conflict_edges_;
+}
+
+unsigned Outcome::lc_regions() const {
+  if (flow_ != FlowKind::kLoopCache) throw FlowError("lc_regions", flow_);
+  return lc_regions_;
+}
+
+const core::AllocationResult& Outcome::alloc() const {
+  if (flow_ != FlowKind::kCasa) throw FlowError("alloc", flow_);
+  return alloc_;
+}
+
+void Outcome::set_conflict_edges(std::size_t edges) {
+  if (flow_ != FlowKind::kCasa) throw FlowError("set_conflict_edges", flow_);
+  conflict_edges_ = edges;
+}
+
+void Outcome::set_lc_regions(unsigned regions) {
+  if (flow_ != FlowKind::kLoopCache) throw FlowError("set_lc_regions", flow_);
+  lc_regions_ = regions;
+}
+
+void Outcome::set_alloc(core::AllocationResult alloc) {
+  if (flow_ != FlowKind::kCasa) throw FlowError("set_alloc", flow_);
+  alloc_ = std::move(alloc);
+}
+
 Workbench::Workbench(const prog::Program& program, WorkbenchOptions opt)
     : program_(&program),
       opt_(opt),
@@ -154,6 +205,7 @@ Workbench::PreparedJob Workbench::prepare_casa(
   fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::casa_job(cache, spm_size, copt);
+  pj.partial = Outcome(FlowKind::kCasa);
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
@@ -210,28 +262,28 @@ Workbench::PreparedJob Workbench::prepare_casa(
     }
     const core::CasaAllocator allocator(copt);
     fault::at(fault::site_names::kSolverAllocate);
-    out.alloc = allocator.allocate(problem);
-    record_alloc(reg, out.alloc);
+    out.set_alloc(allocator.allocate(problem));
+    record_alloc(reg, out.alloc());
     if (chk) {
-      check::check_allocation(problem, out.alloc, *chk);
+      check::check_allocation(problem, out.alloc(), *chk);
       chk->throw_if_errors();
     }
     // A truncated solve must never be reported as an allocation — an empty
     // incumbent would masquerade as "nothing fits" and a partial one as the
     // optimum. This guard also covers runs with check_artifacts disabled.
-    CASA_CHECK(out.alloc.solver_status == ilp::SolveStatus::kOptimal,
+    CASA_CHECK(out.alloc().solver_status == ilp::SolveStatus::kOptimal,
                "CASA solve was truncated (status " +
-                   std::string(ilp::to_string(out.alloc.solver_status)) +
+                   std::string(ilp::to_string(out.alloc().solver_status)) +
                    "); raise max_nodes instead of reporting a partial "
                    "allocation");
   }
   out.object_count = tp->object_count();
-  out.conflict_edges = graph->edge_count();
-  out.spm_used = out.alloc.used_bytes;
+  out.set_conflict_edges(graph->edge_count());
+  out.spm_used = out.alloc().used_bytes;
 
   // Copy semantics: the main-memory image keeps every object; fetches of
   // scratchpad objects simply go to the scratchpad.
-  pj.on_spm = out.alloc.on_spm;
+  pj.on_spm = out.alloc().on_spm;
   pj.tp = std::move(tp);
   pj.layout = std::move(layout);
   return pj;
@@ -257,6 +309,7 @@ Workbench::PreparedJob Workbench::prepare_steinke(
   fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::steinke_job(cache, spm_size);
+  pj.partial = Outcome(FlowKind::kSteinke);
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
@@ -334,6 +387,7 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
   fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::loopcache_job(cache, lc_size, max_regions);
+  pj.partial = Outcome(FlowKind::kLoopCache);
 
   // Fair comparison (paper §5): the loop-cache flow also runs on the
   // trace-formed program, laid out in full (nothing leaves the image).
@@ -373,9 +427,11 @@ Workbench::PreparedJob Workbench::prepare_loopcache(
   }
   pj.partial.object_count = tp->object_count();
   pj.partial.spm_used = sel.used_bytes;
-  pj.partial.lc_regions =
-      static_cast<unsigned>(sel.selected.regions().size());
-  if (reg != nullptr) reg->add(obs::metric_names::kLcRegions, pj.partial.lc_regions);
+  pj.partial.set_lc_regions(
+      static_cast<unsigned>(sel.selected.regions().size()));
+  if (reg != nullptr) {
+    reg->add(obs::metric_names::kLcRegions, pj.partial.lc_regions());
+  }
 
   pj.regions =
       std::make_shared<const loopcache::RegionSet>(std::move(sel.selected));
@@ -404,6 +460,7 @@ Workbench::PreparedJob Workbench::prepare_cache_only(
   fault::at(fault::site_names::kSimPrepare);
   PreparedJob pj;
   pj.job = Job::cache_only_job(cache);
+  pj.partial = Outcome(FlowKind::kCacheOnly);
 
   std::shared_ptr<traceopt::TraceProgram> tp;
   {
@@ -518,9 +575,31 @@ Outcome Workbench::run_job(const Job& job, obs::MetricsRegistry* reg) const {
   return Outcome{};
 }
 
+namespace {
+
+/// The historical run_many contract: fail-fast batch, Outcome-only view.
+std::vector<Outcome> outcomes_of(std::vector<JobResult> results) {
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(results.size());
+  for (JobResult& r : results) outcomes.push_back(std::move(r.outcome));
+  return outcomes;
+}
+
+}  // namespace
+
+JobResult Workbench::evaluate(const Job& job) const {
+  // Single-job evaluation is the batch containment contract without the
+  // fan-out: classify-and-contain, record into options().metrics directly
+  // (one job needs no shard ordering to stay deterministic).
+  const BatchOptions bopt;
+  return evaluate_job(job, 0, bopt, opt_.metrics);
+}
+
 std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
                                          unsigned threads) const {
-  return run_many(jobs, threads, nullptr);
+  BatchOptions bopt;
+  bopt.threads = threads;
+  return outcomes_of(evaluate_batch(jobs, bopt, nullptr));
 }
 
 std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
@@ -528,12 +607,13 @@ std::vector<Outcome> Workbench::run_many(const std::vector<Job>& jobs,
                                          sim::MetricsShards* shards) const {
   BatchOptions bopt;
   bopt.threads = threads;
-  bopt.fail_fast = true;  // the historical contract: one poisoned job throws
-  const std::vector<JobResult> results = run_jobs(jobs, bopt, shards);
-  std::vector<Outcome> outcomes;
-  outcomes.reserve(results.size());
-  for (const JobResult& r : results) outcomes.push_back(r.outcome);
-  return outcomes;
+  return outcomes_of(evaluate_batch(jobs, bopt, shards));
+}
+
+std::vector<JobResult> Workbench::run_jobs(const std::vector<Job>& jobs,
+                                           const BatchOptions& bopt,
+                                           sim::MetricsShards* shards) const {
+  return evaluate_batch(jobs, bopt, shards);
 }
 
 JobResult Workbench::evaluate_job(const Job& job, std::size_t job_idx,
@@ -573,9 +653,9 @@ JobResult Workbench::evaluate_job(const Job& job, std::size_t job_idx,
   }
 }
 
-std::vector<JobResult> Workbench::run_jobs(const std::vector<Job>& jobs,
-                                           const BatchOptions& bopt,
-                                           sim::MetricsShards* shards) const {
+std::vector<JobResult> Workbench::evaluate_batch(
+    std::span<const Job> jobs, const BatchOptions& bopt,
+    sim::MetricsShards* shards) const {
   CASA_CHECK(shards == nullptr || shards->size() == jobs.size(),
              "MetricsShards size must match the job count");
   // Root trace span for the whole batch: every per-task flow tail the

@@ -1,17 +1,20 @@
 // Workbench: the paper's experimental workflow (fig. 3) as one object.
 //
-// Construction runs the program once (profiling + dynamic walk). Each run_*
-// method then executes the full flow for one configuration:
+// Construction runs the program once (profiling + dynamic walk). Each
+// evaluated Job then executes the full flow for one configuration:
 //   trace formation -> layout -> [conflict graph] -> allocation ->
 //   hierarchy simulation -> energy report.
 // Benches, examples and integration tests all drive experiments through
-// this type so the methodology is identical everywhere.
+// this type so the methodology is identical everywhere. The whole surface
+// is two calls: evaluate(job) for one configuration, evaluate_batch(jobs)
+// for a fault-contained fan-out; the historical run_* / run_many /
+// run_jobs entry points remain as deprecated shims over them.
 #pragma once
 
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "casa/memsim/hierarchy.hpp"
 #include "casa/obs/metrics.hpp"
 #include "casa/prog/program.hpp"
+#include "casa/support/error.hpp"
 #include "casa/trace/executor.hpp"
 #include "casa/traceopt/layout.hpp"
 #include "casa/traceopt/trace_formation.hpp"
@@ -61,18 +65,79 @@ struct WorkbenchOptions {
   bool check_artifacts = true;
 };
 
-/// One scratchpad (or loop-cache) experiment outcome.
-struct Outcome {
+/// Which pipeline flow produced an Outcome. Doubles as Workbench::Job::Kind
+/// (the job selects the flow, the outcome records which one ran).
+enum class FlowKind {
+  kCasa,       ///< conflict-graph ILP allocation, copy semantics
+  kSteinke,    ///< Steinke DATE'02 knapsack, move semantics
+  kLoopCache,  ///< Gordon-Ross/Vahid preloaded loop cache
+  kCacheOnly,  ///< reference: I-cache only
+};
+
+std::string_view to_string(FlowKind kind);
+
+/// Thrown by Outcome's flow-gated accessors on wrong-flow access: reading
+/// alloc() off a Steinke outcome is a caller bug, not a missing value, so
+/// it fails loudly with both sides of the mismatch instead of handing back
+/// a default-constructed field. Structured so drivers can report the
+/// accessor and the flow separately.
+class FlowError : public Error {
+ public:
+  FlowError(std::string_view accessor, FlowKind flow);
+
+  /// Accessor that was misused, e.g. "alloc".
+  const std::string& accessor() const { return accessor_; }
+  /// Flow the outcome actually came from.
+  FlowKind flow() const { return flow_; }
+
+ private:
+  std::string accessor_;
+  FlowKind flow_;
+};
+
+/// One scratchpad (or loop-cache) experiment outcome, tagged with the flow
+/// that produced it. Fields meaningful in every flow (the simulation
+/// report, object count, bytes placed) are plain members; flow-specific
+/// results sit behind accessors that throw FlowError when read off the
+/// wrong flow — the flow tag replaces the old "engaged only for some
+/// flows" optionals with an explicit contract.
+class Outcome {
+ public:
   memsim::SimReport sim;
   std::size_t object_count = 0;
-  /// Conflict-graph edge count. Engaged only by flows that build a conflict
-  /// graph (CASA); cache-oblivious flows (Steinke, loop cache, cache-only)
-  /// leave it nullopt. An engaged value of 0 means the graph was built and
-  /// genuinely has no edges — a legal graph, distinct from "never built".
-  std::optional<std::size_t> conflict_edges;
-  Bytes spm_used = 0;
-  unsigned lc_regions = 0;
-  core::AllocationResult alloc;     ///< CASA runs only
+  Bytes spm_used = 0;  ///< scratchpad or loop-cache bytes actually placed
+
+  Outcome() = default;
+  explicit Outcome(FlowKind flow) : flow_(flow) {}
+
+  FlowKind flow() const { return flow_; }
+
+  /// Conflict-graph edge count — CASA flow only (the only flow that builds
+  /// the graph). A value of 0 means the graph was built and genuinely has
+  /// no edges.
+  std::size_t conflict_edges() const;
+  /// Regions preloaded into the loop cache — loop-cache flow only.
+  unsigned lc_regions() const;
+  /// Full allocation result — CASA flow only.
+  const core::AllocationResult& alloc() const;
+
+  /// Flow-gated setters (same FlowError contract as the accessors); used
+  /// by the pipeline stages and by io::read_result_json when rebuilding an
+  /// Outcome from a casa-result artifact.
+  void set_conflict_edges(std::size_t edges);
+  void set_lc_regions(unsigned regions);
+  void set_alloc(core::AllocationResult alloc);
+
+  /// Field-wise equality — exact, including every double (flows are
+  /// deterministic; the svc cache's bit-identical-hit contract and the
+  /// casa-result round-trip tests both rest on this).
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+
+ private:
+  FlowKind flow_ = FlowKind::kCacheOnly;
+  std::size_t conflict_edges_ = 0;
+  unsigned lc_regions_ = 0;
+  core::AllocationResult alloc_;
 };
 
 /// How one job of a contained batch ended up.
@@ -84,7 +149,7 @@ enum class JobStatus {
 
 std::string_view to_string(JobStatus status);
 
-/// Structured per-job outcome of Workbench::run_jobs /
+/// Structured per-job outcome of Workbench::evaluate / evaluate_batch /
 /// sim::SweepPlanner::run_jobs. Healthy jobs carry their Outcome; failed
 /// jobs carry the original exception plus a stable classification so batch
 /// drivers can report per-point failures as data instead of crashing.
@@ -98,6 +163,14 @@ struct JobResult {
   std::exception_ptr error;  ///< original exception (failed jobs only)
 
   bool ok() const { return status != JobStatus::kFailed; }
+
+  /// The Outcome, or — for failed jobs — the original exception rethrown.
+  /// `evaluate(job).value()` is the drop-in spelling of the historical
+  /// throwing run_* contract.
+  const Outcome& value() const {
+    if (!ok()) std::rethrow_exception(error);
+    return outcome;
+  }
 };
 
 /// Batch execution policy for the fault-contained entry points.
@@ -123,24 +196,9 @@ class Workbench {
   const prog::Program& program() const { return *program_; }
   const trace::ExecutionResult& execution() const { return exec_; }
 
-  /// CASA: conflict-graph ILP allocation, copy semantics.
-  Outcome run_casa(const cachesim::CacheConfig& cache, Bytes spm_size,
-                   const core::CasaOptions& copt = {}) const;
-
-  /// Steinke DATE'02: fetch-count knapsack, move semantics (see options).
-  Outcome run_steinke(const cachesim::CacheConfig& cache,
-                      Bytes spm_size) const;
-
-  /// Gordon-Ross/Vahid preloaded loop cache.
-  Outcome run_loopcache(const cachesim::CacheConfig& cache, Bytes lc_size,
-                        unsigned max_regions = 4) const;
-
-  /// Reference: I-cache only.
-  Outcome run_cache_only(const cachesim::CacheConfig& cache) const;
-
   /// One point of a batched sweep: which flow to run and its parameters.
   struct Job {
-    enum class Kind { kCasa, kSteinke, kLoopCache, kCacheOnly };
+    using Kind = FlowKind;
     Kind kind = Kind::kCasa;
     cachesim::CacheConfig cache;
     Bytes size = 0;  ///< scratchpad (CASA/Steinke) or loop-cache capacity
@@ -209,34 +267,69 @@ class Workbench {
 
   const WorkbenchOptions& options() const { return opt_; }
 
-  /// Evaluates every job, fanning out across `threads` workers (0 =
-  /// hardware concurrency, 1 = serial). Jobs are independent — every run_*
-  /// method is const over shared read-only state — and results come back
-  /// in job order, identical for any thread count. Identical jobs are
-  /// evaluated once: duplicates share the first occurrence's Outcome (and
-  /// record nothing of their own), with "runner.dedup_hits" counting the
-  /// jobs skipped.
-  std::vector<Outcome> run_many(const std::vector<Job>& jobs,
-                                unsigned threads = 0) const;
-
-  /// run_many with caller-owned per-task metrics: job i records into
-  /// shards->shard(i) (shards->size() must equal jobs.size()). The merged
-  /// view still folds into options().metrics when that is set; the caller
-  /// keeps the per-task breakdown. Pass shards = nullptr for the plain
-  /// behaviour.
-  std::vector<Outcome> run_many(const std::vector<Job>& jobs, unsigned threads,
-                                sim::MetricsShards* shards) const;
+  /// Evaluates one job through its full flow, fault-contained: the result
+  /// always comes back as a JobResult (never throws), with failures
+  /// classified and the original exception preserved. Telemetry records
+  /// into options().metrics when that is set. `evaluate(job).value()`
+  /// restores the historical throwing contract of the run_* methods.
+  JobResult evaluate(const Job& job) const;
 
   /// Fault-contained batch evaluation: every healthy job completes no
   /// matter how many others fail, failed jobs come back as structured
   /// JobResults (in job order, thread-count invariant), and transient
-  /// failures retry per `opt.max_retries` with deterministic backoff. Jobs
-  /// record into a fresh per-attempt registry that merges into their shard
-  /// only on success, so merged counters reflect completed jobs only.
-  /// With opt.fail_fast (the default) the lowest-indexed failure is
+  /// failures retry per `opt.max_retries` with deterministic backoff.
+  /// Fanning out across opt.threads workers (0 = hardware concurrency,
+  /// 1 = serial). Identical jobs are evaluated once: duplicates share the
+  /// first occurrence's JobResult (and record nothing of their own), with
+  /// "runner.dedup_hits" counting the jobs skipped. Jobs record into a
+  /// fresh per-attempt registry that merges into their shard only on
+  /// success, so merged counters reflect completed jobs only — per-shard
+  /// merging in job order keeps merged counters identical for any thread
+  /// count. With opt.fail_fast (the default) the lowest-indexed failure is
   /// rethrown after the batch drains — run_many's historical contract —
   /// otherwise a run.partial_failure check diagnostic reports degraded
-  /// batches through options().metrics. `shards` as in run_many.
+  /// batches through options().metrics. When `shards` is non-null, job i
+  /// records into shards->shard(i) (shards->size() must equal
+  /// jobs.size()) and the caller keeps the per-task breakdown.
+  std::vector<JobResult> evaluate_batch(
+      std::span<const Job> jobs, const BatchOptions& opt = {},
+      sim::MetricsShards* shards = nullptr) const;
+
+  // Historical entry points, kept as thin shims over evaluate /
+  // evaluate_batch so existing drivers keep compiling with a deprecation
+  // nudge instead of breaking.
+
+  /// CASA: conflict-graph ILP allocation, copy semantics.
+  [[deprecated("use evaluate(Job::casa_job(...)).value()")]]
+  Outcome run_casa(const cachesim::CacheConfig& cache, Bytes spm_size,
+                   const core::CasaOptions& copt = {}) const;
+
+  /// Steinke DATE'02: fetch-count knapsack, move semantics (see options).
+  [[deprecated("use evaluate(Job::steinke_job(...)).value()")]]
+  Outcome run_steinke(const cachesim::CacheConfig& cache,
+                      Bytes spm_size) const;
+
+  /// Gordon-Ross/Vahid preloaded loop cache.
+  [[deprecated("use evaluate(Job::loopcache_job(...)).value()")]]
+  Outcome run_loopcache(const cachesim::CacheConfig& cache, Bytes lc_size,
+                        unsigned max_regions = 4) const;
+
+  /// Reference: I-cache only.
+  [[deprecated("use evaluate(Job::cache_only_job(...)).value()")]]
+  Outcome run_cache_only(const cachesim::CacheConfig& cache) const;
+
+  /// evaluate_batch with the fail-fast Outcome-only view.
+  [[deprecated("use evaluate_batch(jobs) and read .value() per result")]]
+  std::vector<Outcome> run_many(const std::vector<Job>& jobs,
+                                unsigned threads = 0) const;
+
+  /// evaluate_batch with caller-owned per-task metrics, Outcome-only view.
+  [[deprecated("use evaluate_batch(jobs, {.threads = n}, shards)")]]
+  std::vector<Outcome> run_many(const std::vector<Job>& jobs, unsigned threads,
+                                sim::MetricsShards* shards) const;
+
+  /// The old name of evaluate_batch.
+  [[deprecated("use evaluate_batch(jobs, opt, shards)")]]
   std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
                                   const BatchOptions& opt = {},
                                   sim::MetricsShards* shards = nullptr) const;

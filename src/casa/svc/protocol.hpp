@@ -1,0 +1,49 @@
+// The casa_serve wire protocol: JSON lines in both directions.
+//
+// Each request is one line; each request produces one or more response
+// lines, ending with a `done` line so a client can frame multi-result
+// replies without counting ahead. The grammar (docs/serve.md):
+//
+//   {"op":"evaluate","workload":W,"job":J}
+//   {"op":"batch","workload":W,"jobs":[J,...]}
+//   {"op":"sweep","workload":W,"cache":C,"spm":[N,...],"flows":[F,...]}
+//   {"op":"stats"}
+//   {"op":"flush"}
+//
+// A job J is {"kind":F,"cache":C,"size":N,"max_regions":N,"casa":{...}} —
+// every field optional, defaults matching Workbench::Job. Responses carry
+// status, attempts, and cache provenance (hit | miss | inflight_join);
+// rejected jobs carry retry_after_ms instead. The rendered outcome text is
+// a pure function of the Outcome, so a warm-cache re-request is
+// byte-identical to the original response apart from its provenance tag.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "casa/svc/service.hpp"
+
+namespace casa::svc {
+
+struct Request {
+  enum class Op { kEvaluate, kBatch, kSweep, kStats, kFlush };
+  Op op = Op::kEvaluate;
+  std::string workload;
+  std::vector<report::Workbench::Job> jobs;  ///< evaluate/batch/sweep
+};
+
+/// Parses one request line. Malformed input (bad JSON, unknown op or
+/// field, a sweep with no jobs) throws PreconditionError.
+Request parse_request(const std::string& line);
+
+/// One evaluated (or rejected) job, newline-terminated.
+void write_response_line(std::ostream& os, std::size_t index,
+                         const EvalResponse& resp);
+
+void write_stats_line(std::ostream& os, const EvalService::Stats& stats);
+void write_ok_line(std::ostream& os);
+void write_done_line(std::ostream& os, std::size_t results);
+void write_error_line(std::ostream& os, const std::string& message);
+
+}  // namespace casa::svc

@@ -1,0 +1,334 @@
+#include "casa/svc/service.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "casa/check/rules.hpp"
+#include "casa/check/runner.hpp"
+#include "casa/fault/fault.hpp"
+#include "casa/fault/site_names.hpp"
+#include "casa/io/serialize.hpp"
+#include "casa/obs/metric_names.hpp"
+#include "casa/obs/span.hpp"
+#include "casa/obs/trace_names.hpp"
+#include "casa/obs/tracer.hpp"
+#include "casa/support/error.hpp"
+#include "casa/workloads/workloads.hpp"
+
+namespace casa::svc {
+
+namespace metrics = obs::metric_names;
+
+std::string_view to_string(Provenance p) {
+  switch (p) {
+    case Provenance::kMiss:
+      return "miss";
+    case Provenance::kHit:
+      return "hit";
+    case Provenance::kInflightJoin:
+      return "inflight_join";
+  }
+  return "?";
+}
+
+EvalService::EvalService(ServiceOptions opt)
+    : opt_(std::move(opt)), cache_(opt_.cache_bytes, opt_.metrics) {
+  if (!opt_.persist_dir.empty()) {
+    std::filesystem::create_directories(opt_.persist_dir);
+  }
+}
+
+void EvalService::count(std::string_view name,
+                        std::atomic<std::uint64_t>& cell) {
+  cell.fetch_add(1, std::memory_order_relaxed);
+  if (opt_.metrics != nullptr) opt_.metrics->add(name);
+}
+
+void EvalService::note_queue_depth() {
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->set_gauge(metrics::kSvcQueueDepth,
+                            static_cast<double>(inflight_jobs_.load()));
+  }
+}
+
+const report::Workbench& EvalService::bench_for(const std::string& workload) {
+  std::lock_guard<std::mutex> lock(bench_mu_);
+  auto it = benches_.find(workload);
+  if (it == benches_.end()) {
+    // The profiling run — one per workload for the whole service lifetime,
+    // which is the point of keeping the process resident. The Bench owns
+    // the Program because the Workbench holds a pointer to it.
+    report::WorkbenchOptions wopt;
+    wopt.exec_seed = opt_.exec_seed;
+    wopt.fuse_ratio = opt_.fuse_ratio;
+    wopt.steinke_moves = opt_.steinke_moves;
+    wopt.metrics = opt_.metrics;
+    auto owned = std::make_unique<Bench>(workloads::by_name(workload));
+    owned->bench.emplace(owned->program, wopt);
+    it = benches_.emplace(workload, std::move(owned)).first;
+  }
+  return *it->second->bench;
+}
+
+KeyContext EvalService::context_for(const std::string& workload) const {
+  KeyContext ctx;
+  ctx.workload = workload;
+  ctx.exec_seed = opt_.exec_seed;
+  ctx.fuse_ratio = opt_.fuse_ratio;
+  ctx.steinke_moves = opt_.steinke_moves;
+  return ctx;
+}
+
+std::string EvalService::persist_path(const std::string& key) const {
+  return opt_.persist_dir + "/" + key_digest(key) + ".json";
+}
+
+bool EvalService::try_persist_load(const std::string& key,
+                                   const report::Workbench::Job& job,
+                                   const std::string& workload,
+                                   CachedResult& out) {
+  if (opt_.persist_dir.empty()) return false;
+  const std::string path = persist_path(key);
+  try {
+    fault::at(fault::site_names::kSvcCacheLoad);
+    std::ifstream file(path);
+    if (!file.good()) return false;
+    io::LoadedResult loaded = io::read_result_json(file);
+    // The digest is not the key: re-derive and require exact agreement, so
+    // a hash collision or a stale file can never impersonate this job.
+    CASA_CHECK(loaded.workload == workload && loaded.job == job &&
+                   result_key(context_for(loaded.workload), loaded.job) == key,
+               "persisted artifact does not match its key: " + path);
+    std::ostringstream artifact;
+    io::write_result_json(artifact, loaded.job, loaded.result,
+                          loaded.workload, "casa_serve");
+    out.result = std::move(loaded.result);
+    out.artifact = std::move(artifact).str();
+    count(metrics::kSvcPersistLoads, persist_loads_);
+    return true;
+  } catch (const Error&) {
+    // Contained: a fired fault.svc.cache_load, unreadable bytes, a wrong
+    // schema, or a mismatched job all degrade to an ordinary recompute.
+    count(metrics::kSvcPersistErrors, persist_errors_);
+    return false;
+  }
+}
+
+void EvalService::publish(const std::shared_ptr<Inflight>& inflight,
+                          report::JobResult result, std::string artifact) {
+  {
+    std::lock_guard<std::mutex> lock(inflight->m);
+    inflight->result = std::move(result);
+    inflight->artifact = std::move(artifact);
+    inflight->done = true;
+  }
+  inflight->cv.notify_all();
+}
+
+void EvalService::maybe_verify_hit(const report::Workbench& bench,
+                                   const report::Workbench::Job& job,
+                                   const std::string& key,
+                                   const CachedResult& cached) {
+  if (opt_.verify_sample == 0) return;
+  const std::uint64_t serial = hit_serial_.fetch_add(1) + 1;
+  if (serial % opt_.verify_sample != 0) return;
+  const report::JobResult fresh = bench.evaluate(job);
+  check::CachedResultSample sample;
+  sample.key = key;
+  sample.outcomes_equal = fresh.ok() && fresh.outcome == cached.result.outcome;
+  check::CheckRunner runner(opt_.metrics);
+  check::check_cached_result(sample, runner);
+  runner.throw_if_errors();
+  count(metrics::kSvcVerifiedHits, verified_hits_);
+}
+
+EvalResponse EvalService::evaluate(const std::string& workload,
+                                   const report::Workbench::Job& job) {
+  return evaluate_batch(workload, {&job, 1}).front();
+}
+
+std::vector<EvalResponse> EvalService::evaluate_batch(
+    const std::string& workload,
+    std::span<const report::Workbench::Job> jobs) {
+  count(metrics::kSvcRequests, requests_);
+  const obs::Span span(opt_.metrics, obs::trace_names::kSvcRequest);
+  std::vector<EvalResponse> responses(jobs.size());
+  std::vector<char> resolved(jobs.size(), 0);
+
+  struct FreshJob {
+    std::size_t index = 0;
+    std::shared_ptr<Inflight> inflight;
+  };
+  struct JoinedJob {
+    std::size_t index = 0;
+    std::shared_ptr<Inflight> inflight;
+  };
+  std::vector<FreshJob> fresh;
+  std::vector<JoinedJob> joins;
+  std::vector<report::Workbench::Job> fresh_jobs;
+
+  try {
+    fault::at(fault::site_names::kSvcAdmit);
+    const report::Workbench& bench = bench_for(workload);
+    const KeyContext ctx = context_for(workload);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EvalResponse& resp = responses[i];
+      resp.key = result_key(ctx, jobs[i]);
+
+      if (const auto cached = cache_.find(resp.key)) {
+        try {
+          maybe_verify_hit(bench, jobs[i], resp.key, *cached);
+          resp.provenance = Provenance::kHit;
+          resp.result = cached->result;
+          resp.artifact = cached->artifact;
+          count(metrics::kSvcHits, hits_);
+        } catch (...) {
+          // A sampled-hit mismatch (CheckError) fails this one response.
+          resp.provenance = Provenance::kHit;
+          resp.result = report::failed_job_result(std::current_exception(), 1);
+        }
+        resolved[i] = 1;
+        continue;
+      }
+
+      std::shared_ptr<Inflight> mine;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        const auto it = inflight_.find(resp.key);
+        if (it != inflight_.end()) {
+          joins.push_back({i, it->second});
+          continue;
+        }
+        if (inflight_jobs_.load() >= opt_.max_inflight) {
+          resp.rejected = true;
+          resp.retry_after_ms = opt_.retry_after_ms;
+          count(metrics::kSvcRejections, rejections_);
+          resolved[i] = 1;
+          continue;
+        }
+        mine = std::make_shared<Inflight>();
+        inflight_.emplace(resp.key, mine);
+        inflight_jobs_.fetch_add(1);
+      }
+      note_queue_depth();
+
+      CachedResult loaded;
+      if (try_persist_load(resp.key, jobs[i], workload, loaded)) {
+        resp.provenance = Provenance::kHit;
+        resp.result = loaded.result;
+        resp.artifact = loaded.artifact;
+        resolved[i] = 1;
+        count(metrics::kSvcHits, hits_);
+        publish(mine, loaded.result, loaded.artifact);
+        cache_.insert(resp.key, std::move(loaded));
+        {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          inflight_.erase(resp.key);
+        }
+        inflight_jobs_.fetch_sub(1);
+        note_queue_depth();
+        continue;
+      }
+      fresh.push_back({i, std::move(mine)});
+      fresh_jobs.push_back(jobs[i]);
+    }
+
+    if (!fresh_jobs.empty()) {
+      obs::Tracer* const tracer = obs::Tracer::current();
+      const std::uint64_t flow_id =
+          tracer != nullptr
+              ? tracer->flow_begin(obs::trace_names::kSvcRequest)
+              : 0;
+      std::vector<report::JobResult> computed;
+      try {
+        // Misses ride the existing batch machinery: dedup, per-job fault
+        // containment and retries, the shared ThreadPool.
+        const obs::TraceSpan cspan(tracer, obs::trace_names::kSvcCompute,
+                                   obs::trace_names::kCatPhase, flow_id);
+        report::BatchOptions bopt;
+        bopt.threads = opt_.threads;
+        bopt.fail_fast = false;
+        bopt.max_retries = opt_.max_retries;
+        computed = bench.evaluate_batch(fresh_jobs, bopt);
+      } catch (...) {
+        computed.assign(fresh_jobs.size(),
+                        report::failed_job_result(std::current_exception(), 1));
+      }
+      for (std::size_t k = 0; k < fresh.size(); ++k) {
+        EvalResponse& resp = responses[fresh[k].index];
+        resp.provenance = Provenance::kMiss;
+        resp.result = computed[k];
+        if (resp.result.ok()) {
+          std::ostringstream artifact;
+          io::write_result_json(artifact, jobs[fresh[k].index], resp.result,
+                                workload, "casa_serve");
+          resp.artifact = std::move(artifact).str();
+          CachedResult entry;
+          entry.result = resp.result;
+          entry.artifact = resp.artifact;
+          if (!opt_.persist_dir.empty()) {
+            std::ofstream file(persist_path(resp.key));
+            file << resp.artifact;
+          }
+          cache_.insert(resp.key, std::move(entry));
+        }
+        count(metrics::kSvcMisses, misses_);
+        resolved[fresh[k].index] = 1;
+        publish(fresh[k].inflight, resp.result, resp.artifact);
+        {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          inflight_.erase(resp.key);
+        }
+        inflight_jobs_.fetch_sub(1);
+        note_queue_depth();
+      }
+    }
+
+    for (const JoinedJob& j : joins) {
+      EvalResponse& resp = responses[j.index];
+      {
+        std::unique_lock<std::mutex> lock(j.inflight->m);
+        j.inflight->cv.wait(lock, [&] { return j.inflight->done; });
+        resp.result = j.inflight->result;
+        resp.artifact = j.inflight->artifact;
+      }
+      resp.provenance = Provenance::kInflightJoin;
+      count(metrics::kSvcInflightJoins, joins_);
+      resolved[j.index] = 1;
+    }
+  } catch (...) {
+    // Admission faults and unknown workloads land here, before any
+    // single-flight registration: fail every unresolved response, keep
+    // the service alive.
+    const std::exception_ptr error = std::current_exception();
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (resolved[i] == 0) {
+        responses[i].result = report::failed_job_result(error, 1);
+      }
+    }
+  }
+  return responses;
+}
+
+void EvalService::flush() { cache_.clear(); }
+
+EvalService::Stats EvalService::stats() const {
+  Stats s;
+  s.requests = requests_.load();
+  s.hits = hits_.load();
+  s.misses = misses_.load();
+  s.inflight_joins = joins_.load();
+  s.rejections = rejections_.load();
+  s.persist_loads = persist_loads_.load();
+  s.persist_errors = persist_errors_.load();
+  s.verified_hits = verified_hits_.load();
+  s.queue_depth = inflight_jobs_.load();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace casa::svc

@@ -1,0 +1,181 @@
+// EvalService — the persistent evaluation engine behind casa_serve.
+//
+// One service owns lazily-built Workbenches (one per workload; building
+// one is the profiling run), a content-addressed ResultCache, and the
+// request scheduler: admitted jobs resolve as cache hits, join an
+// identical in-flight computation (single-flight — N concurrent requests
+// for the same key cost one evaluation), or run as cache misses through
+// Workbench::evaluate_batch on its ThreadPool. Queue depth is bounded:
+// when max_inflight computations are already running, new misses are
+// rejected with a retry-after hint instead of queueing without bound.
+//
+// Containment mirrors the batch runner's philosophy: a failed evaluation,
+// a fired fault (fault.svc.admit / fault.svc.cache_load), a corrupted
+// persisted artifact, or a sampled-hit verification mismatch fails that
+// one response — the service itself never dies on a request.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casa/obs/metrics.hpp"
+#include "casa/report/workbench.hpp"
+#include "casa/svc/result_cache.hpp"
+
+namespace casa::svc {
+
+struct ServiceOptions {
+  /// ResultCache byte budget (keys + rendered artifacts).
+  std::size_t cache_bytes = 64ull << 20;
+  /// Worker threads for miss evaluation (Workbench::evaluate_batch);
+  /// 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Per-job transient-failure retry budget (BatchOptions::max_retries).
+  unsigned max_retries = 0;
+  /// Maximum jobs computing at once; further misses are rejected.
+  std::size_t max_inflight = 64;
+  /// Retry hint attached to rejected responses.
+  unsigned retry_after_ms = 50;
+  /// When non-empty: persist ok results as `casa-result v1` artifacts here
+  /// and serve future misses from disk (corrupt files degrade to
+  /// recompute, never to a crash).
+  std::string persist_dir;
+  /// When > 0: every Nth cache hit is re-evaluated from scratch and the
+  /// cached Outcome bit-compared against it (check rule svc.cache.mismatch).
+  unsigned verify_sample = 0;
+  /// Workbench profiling knobs — part of every cache key.
+  std::uint64_t exec_seed = 42;
+  double fuse_ratio = 0.5;
+  bool steinke_moves = true;
+  /// Telemetry sink for the svc.* metrics and the workbenches. May be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Where a response's result came from.
+enum class Provenance {
+  kMiss,          ///< computed by this request
+  kHit,           ///< served from the cache (memory or persist_dir)
+  kInflightJoin,  ///< joined an identical computation already running
+};
+
+std::string_view to_string(Provenance p);
+
+struct EvalResponse {
+  /// True when backpressure rejected the job before evaluation; only
+  /// retry_after_ms and key are meaningful then.
+  bool rejected = false;
+  unsigned retry_after_ms = 0;
+  Provenance provenance = Provenance::kMiss;
+  report::JobResult result;
+  std::string key;       ///< canonical cache key (result_key)
+  std::string artifact;  ///< `casa-result v1` text (ok results only)
+};
+
+class EvalService {
+ public:
+  explicit EvalService(ServiceOptions opt = {});
+
+  /// Evaluates one job against `workload` (a workloads::by_name id).
+  EvalResponse evaluate(const std::string& workload,
+                        const report::Workbench::Job& job);
+
+  /// Evaluates a batch; responses align with `jobs` by index. Misses run
+  /// through one Workbench::evaluate_batch call (shared ThreadPool,
+  /// per-job fault containment); duplicates within the batch and across
+  /// concurrent callers are computed once.
+  std::vector<EvalResponse> evaluate_batch(
+      const std::string& workload,
+      std::span<const report::Workbench::Job> jobs);
+
+  /// Drops every cached entry (the `flush` protocol op). Persisted
+  /// artifacts are kept — delete the directory to cold-start.
+  void flush();
+
+  struct Stats {
+    std::uint64_t requests = 0;       ///< evaluate/evaluate_batch calls
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inflight_joins = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t persist_loads = 0;
+    std::uint64_t persist_errors = 0;
+    std::uint64_t verified_hits = 0;
+    std::size_t queue_depth = 0;      ///< jobs computing right now
+    ResultCache::Stats cache;
+  };
+  Stats stats() const;
+
+  const ServiceOptions& options() const { return opt_; }
+
+ private:
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    report::JobResult result;
+    std::string artifact;
+  };
+
+  /// The Workbench keeps a pointer to its Program, so the service must own
+  /// both with the same lifetime.
+  struct Bench {
+    explicit Bench(prog::Program p) : program(std::move(p)) {}
+    prog::Program program;
+    std::optional<const report::Workbench> bench;
+  };
+
+  const report::Workbench& bench_for(const std::string& workload);
+  KeyContext context_for(const std::string& workload) const;
+  std::string persist_path(const std::string& key) const;
+
+  /// Disk lookup for a miss; returns true (and fills `out`) on a valid
+  /// persisted artifact. Any failure — fault.svc.cache_load, unreadable or
+  /// corrupted file, a key mismatch — returns false and counts
+  /// svc.persist_errors: the miss simply recomputes.
+  bool try_persist_load(const std::string& key,
+                        const report::Workbench::Job& job,
+                        const std::string& workload, CachedResult& out);
+
+  void publish(const std::shared_ptr<Inflight>& inflight,
+               report::JobResult result, std::string artifact);
+
+  /// Every Nth hit: recompute and bit-compare (throws CheckError on
+  /// mismatch — contained by the caller into a failed response).
+  void maybe_verify_hit(const report::Workbench& bench,
+                        const report::Workbench::Job& job,
+                        const std::string& key, const CachedResult& cached);
+
+  void count(std::string_view name, std::atomic<std::uint64_t>& cell);
+  void note_queue_depth();
+
+  const ServiceOptions opt_;
+  ResultCache cache_;
+
+  std::mutex bench_mu_;
+  std::map<std::string, std::unique_ptr<Bench>> benches_;
+
+  std::mutex inflight_mu_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::atomic<std::size_t> inflight_jobs_{0};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> joins_{0};
+  std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> persist_loads_{0};
+  std::atomic<std::uint64_t> persist_errors_{0};
+  std::atomic<std::uint64_t> verified_hits_{0};
+  std::atomic<std::uint64_t> hit_serial_{0};
+};
+
+}  // namespace casa::svc

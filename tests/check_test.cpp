@@ -657,7 +657,24 @@ TEST(BatchRules, TotalFailureIsAnErrorWithCappedDetail) {
   // hint lists at most four failures and summarises the rest.
   EXPECT_NE(d.hint.find("job 3"), std::string::npos);
   EXPECT_EQ(d.hint.find("job 4"), std::string::npos);
-  EXPECT_NE(d.hint.find("... 2 more"), std::string::npos);
+  EXPECT_NE(d.hint.find("... 2 more of 6 total failures"), std::string::npos);
+}
+
+TEST(BatchRules, CappedHintReportsTotalFailedCount) {
+  // Regression: the truncated hint used to say only "... N more", hiding
+  // how many jobs actually failed in a large degraded sweep.
+  BatchSummary batch;
+  batch.jobs = 64;
+  batch.failed = 64;
+  for (int i = 0; i < 64; ++i) {
+    batch.failures.push_back("job " + std::to_string(i) + ": fault: boom");
+  }
+  CheckRunner r;
+  check_batch(batch, r);
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  const Diagnostic& d = r.diagnostics()[0];
+  EXPECT_NE(d.hint.find("... 60 more of 64 total failures"),
+            std::string::npos);
 }
 
 }  // namespace

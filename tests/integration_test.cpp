@@ -34,17 +34,17 @@ class WorkbenchFor {
 TEST(Pipeline, AdpcmCasaBeatsCacheOnly) {
   const Workbench& wb = WorkbenchFor::get("adpcm");
   const auto cache = workloads::paper_cache_for("adpcm");
-  const Outcome base = wb.run_cache_only(cache);
-  const Outcome casa_run = wb.run_casa(cache, 128);
+  const Outcome base = wb.evaluate(Workbench::Job::cache_only_job(cache)).value();
+  const Outcome casa_run = wb.evaluate(Workbench::Job::casa_job(cache, 128)).value();
   EXPECT_LT(casa_run.sim.total_energy, base.sim.total_energy);
 }
 
 TEST(Pipeline, CasaEnergyMonotoneInSpmSizeForAdpcm) {
   const Workbench& wb = WorkbenchFor::get("adpcm");
   const auto cache = workloads::paper_cache_for("adpcm");
-  double prev = wb.run_casa(cache, 64).sim.total_energy;
+  double prev = wb.evaluate(Workbench::Job::casa_job(cache, 64)).value().sim.total_energy;
   for (const Bytes spm : {128u, 256u}) {
-    const double e = wb.run_casa(cache, spm).sim.total_energy;
+    const double e = wb.evaluate(Workbench::Job::casa_job(cache, spm)).value().sim.total_energy;
     EXPECT_LE(e, prev * 1.001) << "spm " << spm;
     prev = e;
   }
@@ -56,8 +56,8 @@ TEST(Pipeline, CasaBeatsLoopCacheEverywhereOnAdpcm) {
   const Workbench& wb = WorkbenchFor::get("adpcm");
   const auto cache = workloads::paper_cache_for("adpcm");
   for (const Bytes size : workloads::paper_spm_sizes_for("adpcm")) {
-    const Outcome c = wb.run_casa(cache, size);
-    const Outcome lc = wb.run_loopcache(cache, size, 4);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, size)).value();
+    const Outcome lc = wb.evaluate(Workbench::Job::loopcache_job(cache, size, 4)).value();
     EXPECT_LT(c.sim.total_energy, lc.sim.total_energy) << "size " << size;
   }
 }
@@ -66,9 +66,9 @@ TEST(Pipeline, CasaAllocationFitsAndIsExact) {
   const Workbench& wb = WorkbenchFor::get("adpcm");
   const auto cache = workloads::paper_cache_for("adpcm");
   for (const Bytes size : workloads::paper_spm_sizes_for("adpcm")) {
-    const Outcome c = wb.run_casa(cache, size);
-    EXPECT_LE(c.alloc.used_bytes, size);
-    EXPECT_TRUE(c.alloc.exact);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, size)).value();
+    EXPECT_LE(c.alloc().used_bytes, size);
+    EXPECT_TRUE(c.alloc().exact);
   }
 }
 
@@ -81,17 +81,17 @@ TEST(Pipeline, PredictedEnergyTracksSimulatedEnergy) {
   // pairwise-conflict benchmark (g721).
   {
     const Workbench& wb = WorkbenchFor::get("adpcm");
-    const Outcome c = wb.run_casa(workloads::paper_cache_for("adpcm"), 128);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(workloads::paper_cache_for("adpcm"), 128)).value();
     const double rel =
-        std::abs(c.alloc.predicted_energy - c.sim.total_energy) /
+        std::abs(c.alloc().predicted_energy - c.sim.total_energy) /
         c.sim.total_energy;
     EXPECT_LT(rel, 0.5);
   }
   {
     const Workbench& wb = WorkbenchFor::get("g721");
-    const Outcome c = wb.run_casa(workloads::paper_cache_for("g721"), 512);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(workloads::paper_cache_for("g721"), 512)).value();
     const double rel =
-        std::abs(c.alloc.predicted_energy - c.sim.total_energy) /
+        std::abs(c.alloc().predicted_energy - c.sim.total_energy) /
         c.sim.total_energy;
     EXPECT_LT(rel, 0.25);
   }
@@ -102,8 +102,8 @@ TEST(Pipeline, SteinkeUsesMoveSemantics) {
   // allocators' layouts differ; both must preserve fetch totals.
   const Workbench& wb = WorkbenchFor::get("adpcm");
   const auto cache = workloads::paper_cache_for("adpcm");
-  const Outcome st = wb.run_steinke(cache, 128);
-  const Outcome ca = wb.run_casa(cache, 128);
+  const Outcome st = wb.evaluate(Workbench::Job::steinke_job(cache, 128)).value();
+  const Outcome ca = wb.evaluate(Workbench::Job::casa_job(cache, 128)).value();
   EXPECT_EQ(st.sim.counters.total_fetches, ca.sim.counters.total_fetches);
   EXPECT_GT(st.sim.counters.spm_accesses, 0u);
 }
@@ -117,17 +117,17 @@ TEST(Pipeline, MoveVsCopyAblationChangesResults) {
   const Workbench wb_m(program, moves);
   const Workbench wb_c(program, copies);
   const auto cache = workloads::paper_cache_for("adpcm");
-  const double em = wb_m.run_steinke(cache, 128).sim.total_energy;
-  const double ec = wb_c.run_steinke(cache, 128).sim.total_energy;
+  const double em = wb_m.evaluate(Workbench::Job::steinke_job(cache, 128)).value().sim.total_energy;
+  const double ec = wb_c.evaluate(Workbench::Job::steinke_job(cache, 128)).value().sim.total_energy;
   EXPECT_NE(em, ec);  // layout shift must matter on a thrashing benchmark
 }
 
 TEST(Pipeline, LoopCacheRegionLimitBites) {
   const Workbench& wb = WorkbenchFor::get("g721");
   const auto cache = workloads::paper_cache_for("g721");
-  const Outcome two = wb.run_loopcache(cache, 1024, 2);
-  const Outcome eight = wb.run_loopcache(cache, 1024, 8);
-  EXPECT_LE(two.lc_regions, 2u);
+  const Outcome two = wb.evaluate(Workbench::Job::loopcache_job(cache, 1024, 2)).value();
+  const Outcome eight = wb.evaluate(Workbench::Job::loopcache_job(cache, 1024, 8)).value();
+  EXPECT_LE(two.lc_regions(), 2u);
   // More preloadable regions can only help coverage.
   EXPECT_GE(two.sim.counters.cache_accesses,
             eight.sim.counters.cache_accesses);
@@ -138,8 +138,8 @@ TEST(Pipeline, G721CasaCompetitiveWithSteinke) {
   // sizes and clearly ahead at 1024 B.
   const Workbench& wb = WorkbenchFor::get("g721");
   const auto cache = workloads::paper_cache_for("g721");
-  const Outcome c = wb.run_casa(cache, 1024);
-  const Outcome s = wb.run_steinke(cache, 1024);
+  const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, 1024)).value();
+  const Outcome s = wb.evaluate(Workbench::Job::steinke_job(cache, 1024)).value();
   EXPECT_LT(c.sim.total_energy, s.sim.total_energy);
 }
 
@@ -148,8 +148,8 @@ TEST(Pipeline, MpegFigure4Signature) {
   // accesses, more I-cache accesses, fewer I-cache misses, less energy.
   const Workbench& wb = WorkbenchFor::get("mpeg");
   const auto cache = workloads::paper_cache_for("mpeg");
-  const Outcome c = wb.run_casa(cache, 512);
-  const Outcome s = wb.run_steinke(cache, 512);
+  const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, 512)).value();
+  const Outcome s = wb.evaluate(Workbench::Job::steinke_job(cache, 512)).value();
   EXPECT_LT(c.sim.counters.spm_accesses, s.sim.counters.spm_accesses);
   EXPECT_GT(c.sim.counters.cache_accesses, s.sim.counters.cache_accesses);
   EXPECT_LT(c.sim.counters.cache_misses, s.sim.counters.cache_misses);
@@ -162,9 +162,9 @@ TEST(Pipeline, MpegSolvesUnderASecond) {
   const Workbench& wb = WorkbenchFor::get("mpeg");
   const auto cache = workloads::paper_cache_for("mpeg");
   for (const Bytes size : workloads::paper_spm_sizes_for("mpeg")) {
-    const Outcome c = wb.run_casa(cache, size);
-    EXPECT_LT(c.alloc.solve_seconds, 1.0) << "size " << size;
-    EXPECT_TRUE(c.alloc.exact);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, size)).value();
+    EXPECT_LT(c.alloc().solve_seconds, 1.0) << "size " << size;
+    EXPECT_TRUE(c.alloc().exact);
   }
 }
 
@@ -172,9 +172,9 @@ TEST(Pipeline, ConflictEdgesExistOnEveryPaperBenchmark) {
   for (const char* name : {"adpcm", "g721", "mpeg"}) {
     const Workbench& wb = WorkbenchFor::get(name);
     const auto cache = workloads::paper_cache_for(name);
-    const Outcome c = wb.run_casa(cache, 256);
-    ASSERT_TRUE(c.conflict_edges.has_value()) << name;
-    EXPECT_GT(*c.conflict_edges, 10u) << name;
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, 256)).value();
+    ASSERT_EQ(c.flow(), FlowKind::kCasa) << name;
+    EXPECT_GT(c.conflict_edges(), 10u) << name;
     EXPECT_GT(c.object_count, 10u) << name;
   }
 }
@@ -187,8 +187,8 @@ TEST(Pipeline, DifferentSeedsSameQualitativeWinner) {
     opt.exec_seed = seed;
     const Workbench wb(program, opt);
     const auto cache = workloads::paper_cache_for("adpcm");
-    const Outcome c = wb.run_casa(cache, 256);
-    const Outcome lc = wb.run_loopcache(cache, 256, 4);
+    const Outcome c = wb.evaluate(Workbench::Job::casa_job(cache, 256)).value();
+    const Outcome lc = wb.evaluate(Workbench::Job::loopcache_job(cache, 256, 4)).value();
     EXPECT_LT(c.sim.total_energy, lc.sim.total_energy) << "seed " << seed;
   }
 }
@@ -196,11 +196,11 @@ TEST(Pipeline, DifferentSeedsSameQualitativeWinner) {
 TEST(Pipeline, CacheOnlyReferenceIsWorstCase) {
   const Workbench& wb = WorkbenchFor::get("g721");
   const auto cache = workloads::paper_cache_for("g721");
-  const Outcome base = wb.run_cache_only(cache);
+  const Outcome base = wb.evaluate(Workbench::Job::cache_only_job(cache)).value();
   for (const Bytes size : {256u, 1024u}) {
-    EXPECT_LT(wb.run_casa(cache, size).sim.total_energy,
+    EXPECT_LT(wb.evaluate(Workbench::Job::casa_job(cache, size)).value().sim.total_energy,
               base.sim.total_energy);
-    EXPECT_LT(wb.run_steinke(cache, size).sim.total_energy,
+    EXPECT_LT(wb.evaluate(Workbench::Job::steinke_job(cache, size)).value().sim.total_energy,
               base.sim.total_energy);
   }
 }

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "casa/cachesim/cache.hpp"
 #include "casa/core/allocator.hpp"
+#include "casa/core/formulation.hpp"
 #include "casa/io/serialize.hpp"
 
 namespace casa::io {
@@ -251,6 +253,108 @@ TEST(IoTrace, RejectsTrailingGarbage) {
   text += "}";
   std::istringstream is(text);
   EXPECT_THROW(read_trace_json(is), PreconditionError);
+}
+
+// A fully-populated synthetic CASA outcome: every optional field engaged,
+// doubles with non-terminating binary fractions, so the byte-identity
+// assertions exercise the exact-encoding contract rather than round
+// numbers.
+report::JobResult sample_result() {
+  report::Outcome out(report::FlowKind::kCasa);
+  out.object_count = 29;
+  out.spm_used = 480;
+  out.sim.counters.total_fetches = 1745509;
+  out.sim.counters.spm_accesses = 1649458;
+  out.sim.counters.cache_accesses = 96051;
+  out.sim.counters.cache_hits = 96007;
+  out.sim.counters.cache_misses = 44;
+  out.sim.counters.mainmem_words = 176;
+  out.sim.counters.cycles = 1746037;
+  out.sim.total_energy = 495858.251762;
+  out.sim.spm_energy = 417835.4222944;
+  out.sim.cache_energy = 78022.8294676;
+  out.set_conflict_edges(17);
+  core::AllocationResult alloc;
+  alloc.on_spm = {true, false, true, true, false};
+  alloc.used_bytes = 480;
+  alloc.predicted_energy = 494006.4394612;
+  alloc.predicted_saving = 890228.97718;
+  alloc.solver_nodes = 8;
+  alloc.exact = true;
+  alloc.solve_seconds = 0.125;
+  alloc.engine_used = core::CasaEngine::kGenericIlp;
+  alloc.solver_stats.nodes = 8;
+  alloc.solver_stats.max_depth = 3;
+  alloc.solver_stats.simplex_iterations = 214;
+  out.set_alloc(std::move(alloc));
+
+  report::JobResult result;
+  result.status = report::JobStatus::kRetriedOk;
+  result.outcome = std::move(out);
+  result.attempts = 2;
+  return result;
+}
+
+report::Workbench::Job sample_job() {
+  cachesim::CacheConfig cache;
+  cache.size = 1024;
+  cache.line_size = 16;
+  cache.associativity = 2;
+  core::CasaOptions opt;
+  opt.engine = core::CasaEngine::kGenericIlp;
+  opt.max_nodes = 5000;
+  return report::Workbench::Job::casa_job(cache, 512, opt);
+}
+
+TEST(IoResult, RoundTripIsExactAndByteIdentical) {
+  const report::Workbench::Job job = sample_job();
+  const report::JobResult result = sample_result();
+
+  std::ostringstream first;
+  write_result_json(first, job, result, "adpcm", "casa_serve");
+  const std::string text = std::move(first).str();
+
+  std::istringstream is(text);
+  const LoadedResult loaded = read_result_json(is);
+  EXPECT_EQ(loaded.workload, "adpcm");
+  EXPECT_TRUE(loaded.job == job);
+  EXPECT_EQ(loaded.result.status, result.status);
+  EXPECT_EQ(loaded.result.attempts, result.attempts);
+  EXPECT_TRUE(loaded.result.outcome == result.outcome);
+
+  // write(read(write(x))) == write(x): the hit-streams-stored-bytes
+  // contract of the serve cache.
+  std::ostringstream second;
+  write_result_json(second, loaded.job, loaded.result, loaded.workload,
+                    "casa_serve");
+  EXPECT_EQ(std::move(second).str(), text);
+}
+
+TEST(IoResult, RejectsCorruptedAndWrongSchemaArtifacts) {
+  std::ostringstream os;
+  write_result_json(os, sample_job(), sample_result(), "adpcm");
+  const std::string text = std::move(os).str();
+
+  std::istringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(read_result_json(truncated), PreconditionError);
+
+  std::string wrong_schema = text;
+  const std::size_t at = wrong_schema.find("casa-result v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_schema.replace(at, 14, "casa-result v9");
+  std::istringstream wrong(wrong_schema);
+  EXPECT_THROW(read_result_json(wrong), PreconditionError);
+
+  std::istringstream garbage("not an artifact at all");
+  EXPECT_THROW(read_result_json(garbage), PreconditionError);
+}
+
+TEST(IoResult, RefusesToSerializeFailedResults) {
+  report::JobResult failed;
+  failed.status = report::JobStatus::kFailed;
+  std::ostringstream os;
+  EXPECT_THROW(write_result_json(os, sample_job(), failed, "adpcm"),
+               PreconditionError);
 }
 
 }  // namespace

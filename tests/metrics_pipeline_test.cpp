@@ -1,6 +1,6 @@
 // End-to-end telemetry: the workbench's per-stage spans, the pipeline
 // counters mirroring simulation results, and the thread-count invariance
-// of merged run_many counters.
+// of merged evaluate_batch counters.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -30,7 +30,7 @@ TEST(PipelineMetrics, CasaRecordsAllFiveStages) {
   obs::MetricsRegistry reg;
   const Workbench wb = instrumented_bench(&reg);
   const Outcome out =
-      wb.run_casa(workloads::paper_cache_for("adpcm"), 256);
+      wb.evaluate(Workbench::Job::casa_job(workloads::paper_cache_for("adpcm"), 256)).value();
 
   const obs::MetricsSnapshot snap = reg.snapshot();
   for (const char* phase :
@@ -52,19 +52,18 @@ TEST(PipelineMetrics, CasaRecordsAllFiveStages) {
   EXPECT_EQ(snap.counters.at("cache.evictions"),
             out.sim.counters.cache_evictions);
 
-  ASSERT_TRUE(out.conflict_edges.has_value());
-  EXPECT_EQ(snap.counters.at("conflict.edges"), *out.conflict_edges);
-  EXPECT_EQ(snap.counters.at("solver.nodes"), out.alloc.solver_stats.nodes);
+  EXPECT_EQ(snap.counters.at("conflict.edges"), out.conflict_edges());
+  EXPECT_EQ(snap.counters.at("solver.nodes"), out.alloc().solver_stats.nodes);
 }
 
 TEST(PipelineMetrics, EveryFlowRecordsItsRootSpan) {
   obs::MetricsRegistry reg;
   const Workbench wb = instrumented_bench(&reg);
   const auto cache = workloads::paper_cache_for("adpcm");
-  wb.run_casa(cache, 256);
-  wb.run_steinke(cache, 256);
-  wb.run_loopcache(cache, 256);
-  wb.run_cache_only(cache);
+  wb.evaluate(Workbench::Job::casa_job(cache, 256)).value();
+  wb.evaluate(Workbench::Job::steinke_job(cache, 256)).value();
+  wb.evaluate(Workbench::Job::loopcache_job(cache, 256)).value();
+  wb.evaluate(Workbench::Job::cache_only_job(cache)).value();
 
   const obs::MetricsSnapshot snap = reg.snapshot();
   for (const char* flow :
@@ -76,13 +75,18 @@ TEST(PipelineMetrics, EveryFlowRecordsItsRootSpan) {
   EXPECT_EQ(snap.spans.count("run_cache_only/conflict_graph"), 0u);
 }
 
-TEST(PipelineMetrics, ConflictEdgesOptionalEngagedOnlyForCasa) {
+TEST(PipelineMetrics, ConflictEdgesGatedToCasaFlow) {
   const Workbench wb = instrumented_bench(nullptr);
   const auto cache = workloads::paper_cache_for("adpcm");
-  EXPECT_TRUE(wb.run_casa(cache, 256).conflict_edges.has_value());
-  EXPECT_FALSE(wb.run_steinke(cache, 256).conflict_edges.has_value());
-  EXPECT_FALSE(wb.run_loopcache(cache, 256).conflict_edges.has_value());
-  EXPECT_FALSE(wb.run_cache_only(cache).conflict_edges.has_value());
+  const Outcome casa_run = wb.evaluate(Workbench::Job::casa_job(cache, 256)).value();
+  EXPECT_EQ(casa_run.flow(), FlowKind::kCasa);
+  EXPECT_NO_THROW(casa_run.conflict_edges());
+  const Outcome steinke = wb.evaluate(Workbench::Job::steinke_job(cache, 256)).value();
+  const Outcome lc = wb.evaluate(Workbench::Job::loopcache_job(cache, 256)).value();
+  const Outcome base = wb.evaluate(Workbench::Job::cache_only_job(cache)).value();
+  EXPECT_THROW(steinke.conflict_edges(), FlowError);
+  EXPECT_THROW(lc.conflict_edges(), FlowError);
+  EXPECT_THROW(base.conflict_edges(), FlowError);
 }
 
 std::vector<Workbench::Job> sweep_jobs() {
@@ -100,7 +104,9 @@ std::vector<Workbench::Job> sweep_jobs() {
 obs::MetricsSnapshot sweep_with_threads(unsigned threads) {
   obs::MetricsRegistry reg;
   const Workbench wb = instrumented_bench(&reg);
-  wb.run_many(sweep_jobs(), threads);
+  BatchOptions bopt;
+  bopt.threads = threads;
+  wb.evaluate_batch(sweep_jobs(), bopt);
   return reg.snapshot();
 }
 
@@ -120,7 +126,9 @@ TEST(PipelineMetrics, ShardsExposePerTaskBreakdown) {
   const Workbench wb = instrumented_bench(&reg);
   const std::vector<Workbench::Job> jobs = sweep_jobs();
   sim::MetricsShards shards(jobs.size());
-  const std::vector<Outcome> outcomes = wb.run_many(jobs, 2, &shards);
+  BatchOptions bopt;
+  bopt.threads = 2;
+  const std::vector<JobResult> outcomes = wb.evaluate_batch(jobs, bopt, &shards);
   ASSERT_EQ(outcomes.size(), jobs.size());
 
   // Each job's fetch counter sits in its own shard and matches its outcome.
@@ -130,7 +138,7 @@ TEST(PipelineMetrics, ShardsExposePerTaskBreakdown) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ASSERT_TRUE(tasks[i].counters.count("sim.fetches")) << "job " << i;
     EXPECT_EQ(tasks[i].counters.at("sim.fetches"),
-              outcomes[i].sim.counters.total_fetches)
+              outcomes[i].outcome.sim.counters.total_fetches)
         << "job " << i;
     fetch_sum += tasks[i].counters.at("sim.fetches");
   }
@@ -141,7 +149,7 @@ TEST(PipelineMetrics, ShardsExposePerTaskBreakdown) {
 TEST(PipelineMetrics, ShardSizeMismatchIsRejected) {
   const Workbench wb = instrumented_bench(nullptr);
   sim::MetricsShards wrong(1);
-  EXPECT_THROW(wb.run_many(sweep_jobs(), 1, &wrong), PreconditionError);
+  EXPECT_THROW(wb.evaluate_batch(sweep_jobs(), {}, &wrong), PreconditionError);
 }
 
 TEST(PipelineMetrics, FailedJobsLeaveNoPartialShardCounts) {
@@ -156,7 +164,8 @@ TEST(PipelineMetrics, FailedJobsLeaveNoPartialShardCounts) {
   bopt.threads = 2;
   bopt.fail_fast = false;
   sim::MetricsShards shards(jobs.size());
-  const std::vector<JobResult> results = wb.run_jobs(jobs, bopt, &shards);
+  const std::vector<JobResult> results =
+      wb.evaluate_batch(jobs, bopt, &shards);
   fault::disarm();
 
   ASSERT_EQ(results.size(), jobs.size());

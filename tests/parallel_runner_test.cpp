@@ -1,4 +1,5 @@
-// ThreadPool / ParallelRunner / Workbench::run_many determinism tests.
+// ThreadPool / ParallelRunner / Workbench::evaluate_batch determinism
+// tests.
 //
 // The contract under test: a sweep evaluated on 1 thread and on N threads
 // returns identical result vectors — same order, same values — because
@@ -145,17 +146,24 @@ TEST(ParallelRunner, SweepIsThreadCountInvariant) {
     jobs.push_back(report::Workbench::Job::cache_only_job(cache));
   }
 
-  const std::vector<report::Outcome> serial = bench.run_many(jobs, 1);
-  const std::vector<report::Outcome> parallel = bench.run_many(jobs, 4);
+  report::BatchOptions serial_opt;
+  serial_opt.threads = 1;
+  report::BatchOptions wide_opt;
+  wide_opt.threads = 4;
+  const std::vector<report::JobResult> serial =
+      bench.evaluate_batch(jobs, serial_opt);
+  const std::vector<report::JobResult> parallel =
+      bench.evaluate_batch(jobs, wide_opt);
 
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    const report::Outcome& a = serial[i];
-    const report::Outcome& b = parallel[i];
+    ASSERT_TRUE(serial[i].ok()) << "job " << i;
+    ASSERT_TRUE(parallel[i].ok()) << "job " << i;
+    const report::Outcome& a = serial[i].outcome;
+    const report::Outcome& b = parallel[i].outcome;
     EXPECT_EQ(a.object_count, b.object_count) << "job " << i;
-    EXPECT_EQ(a.conflict_edges, b.conflict_edges) << "job " << i;
+    ASSERT_EQ(a.flow(), b.flow()) << "job " << i;
     EXPECT_EQ(a.spm_used, b.spm_used) << "job " << i;
-    EXPECT_EQ(a.lc_regions, b.lc_regions) << "job " << i;
     EXPECT_EQ(a.sim.counters.total_fetches, b.sim.counters.total_fetches)
         << "job " << i;
     EXPECT_EQ(a.sim.counters.spm_accesses, b.sim.counters.spm_accesses)
@@ -169,14 +177,15 @@ TEST(ParallelRunner, SweepIsThreadCountInvariant) {
     EXPECT_EQ(a.sim.spm_energy, b.sim.spm_energy) << "job " << i;
     EXPECT_EQ(a.sim.cache_energy, b.sim.cache_energy) << "job " << i;
     EXPECT_EQ(a.sim.lc_energy, b.sim.lc_energy) << "job " << i;
+    // Everything above is for diagnosis; the contract is full bit equality
+    // (including the flow-gated allocation fields).
+    EXPECT_EQ(a, b) << "job " << i;
   }
 
   // And batch results match the one-at-a-time entry points.
-  const report::Outcome alone = bench.run_casa(
-      workloads::paper_cache_for("adpcm"), 64);
-  EXPECT_EQ(alone.sim.total_energy, serial[0].sim.total_energy);
-  EXPECT_EQ(alone.sim.counters.cache_misses,
-            serial[0].sim.counters.cache_misses);
+  const report::Outcome alone = bench.evaluate(report::Workbench::Job::casa_job(
+      workloads::paper_cache_for("adpcm"), 64)).value();
+  EXPECT_EQ(alone, serial[0].outcome);
 }
 
 }  // namespace

@@ -1,11 +1,11 @@
 // SweepPlanner equivalence suite.
 //
-// The planner's contract is "run_many, but faster": Outcomes, per-job
-// telemetry, and thread invariance must all survive the switch to the
-// one-pass stack engine. The suite holds Outcome equality over a mixed
+// The planner's contract is "evaluate_batch, but faster": Outcomes,
+// per-job telemetry, and thread invariance must all survive the switch to
+// the one-pass stack engine. The suite holds Outcome equality over a mixed
 // sweep (groupable LRU configs, FIFO/round-robin fallback, CASA/Steinke
 // singletons, a loop-cache job, duplicates), per-shard counter parity for
-// the keys a direct replay records, the sweep.* planning metrics, run_many
+// the keys a direct replay records, the sweep.* planning metrics, batch
 // job deduplication, and the sweep.stack.mismatch check rule.
 #include <gtest/gtest.h>
 
@@ -86,11 +86,14 @@ void expect_outcome_eq(const Outcome& a, const Outcome& b, std::size_t i) {
   EXPECT_EQ(a.sim.cache_energy, b.sim.cache_energy) << "job " << i;
   EXPECT_EQ(a.sim.lc_energy, b.sim.lc_energy) << "job " << i;
   EXPECT_EQ(a.object_count, b.object_count) << "job " << i;
-  EXPECT_EQ(a.conflict_edges, b.conflict_edges) << "job " << i;
+  ASSERT_EQ(a.flow(), b.flow()) << "job " << i;
   EXPECT_EQ(a.spm_used, b.spm_used) << "job " << i;
-  EXPECT_EQ(a.lc_regions, b.lc_regions) << "job " << i;
-  EXPECT_EQ(a.alloc.on_spm, b.alloc.on_spm) << "job " << i;
-  EXPECT_EQ(a.alloc.used_bytes, b.alloc.used_bytes) << "job " << i;
+  if (a.flow() == report::FlowKind::kCasa) {
+    EXPECT_EQ(a.alloc().on_spm, b.alloc().on_spm) << "job " << i;
+    EXPECT_EQ(a.alloc().used_bytes, b.alloc().used_bytes) << "job " << i;
+  }
+  // The contract is full bit equality, flow-gated fields included.
+  EXPECT_EQ(a, b) << "job " << i;
 }
 
 /// The deterministic per-replay counter keys run_lines / run_words record.
@@ -116,7 +119,12 @@ TEST(SweepPlanner, MatchesRunManyOnAMixedSweep) {
   const Workbench bench(program);
   const std::vector<Job> jobs = mixed_jobs();
 
-  const std::vector<Outcome> direct = bench.run_many(jobs, 1);
+  report::BatchOptions serial_opt;
+  serial_opt.threads = 1;
+  std::vector<Outcome> direct;
+  for (report::JobResult& r : bench.evaluate_batch(jobs, serial_opt)) {
+    direct.push_back(std::move(r.outcome));
+  }
   const std::vector<Outcome> swept = SweepPlanner(bench).run(jobs, 1);
   ASSERT_EQ(swept.size(), direct.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -131,7 +139,9 @@ TEST(SweepPlanner, ShardCountersMatchRunMany) {
 
   MetricsShards direct_shards(jobs.size());
   MetricsShards swept_shards(jobs.size());
-  bench.run_many(jobs, 1, &direct_shards);
+  report::BatchOptions serial_opt;
+  serial_opt.threads = 1;
+  bench.evaluate_batch(jobs, serial_opt, &direct_shards);
   SweepPlanner(bench).run(jobs, 1, &swept_shards);
 
   const std::vector<obs::MetricsSnapshot> direct = direct_shards.snapshots();
@@ -202,7 +212,12 @@ TEST(RunMany, DeduplicatesIdenticalJobs) {
   const Job point = Job::cache_only_job(cache_cfg(256, 1));
   const std::vector<Job> jobs = {point, Job::cache_only_job(cache_cfg(512, 1)),
                                  point, point};
-  const std::vector<Outcome> results = bench.run_many(jobs, 1);
+  report::BatchOptions serial_opt;
+  serial_opt.threads = 1;
+  std::vector<Outcome> results;
+  for (report::JobResult& r : bench.evaluate_batch(jobs, serial_opt)) {
+    results.push_back(std::move(r.outcome));
+  }
   ASSERT_EQ(results.size(), 4u);
   expect_outcome_eq(results[2], results[0], 2);
   expect_outcome_eq(results[3], results[0], 3);
@@ -212,8 +227,8 @@ TEST(RunMany, DeduplicatesIdenticalJobs) {
   EXPECT_EQ(snap.counters.at("runner.dedup_hits"), 2u);
   // Only the two unique flows recorded: the merged fetch count equals two
   // solo runs, not four.
-  const Outcome solo_a = bench.run_cache_only(cache_cfg(256, 1));
-  const Outcome solo_b = bench.run_cache_only(cache_cfg(512, 1));
+  const Outcome solo_a = bench.evaluate(Job::cache_only_job(cache_cfg(256, 1))).value();
+  const Outcome solo_b = bench.evaluate(Job::cache_only_job(cache_cfg(512, 1))).value();
   EXPECT_EQ(snap.counters.at("sim.fetches"),
             solo_a.sim.counters.total_fetches +
                 solo_b.sim.counters.total_fetches);

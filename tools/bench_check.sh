@@ -9,9 +9,11 @@
 # BM_ConflictGraphBuildWordRef (compiled streams), BM_StackSweep must
 # stay >= 3x BM_StackSweepPerConfigRef (one-pass multi-config simulation),
 # BM_TraceOverheadNull must stay >= 0.85x BM_TraceOverheadOff (a
-# detached obs::Span is within measurement noise of no span at all), and
+# detached obs::Span is within measurement noise of no span at all),
 # BM_FaultCheckOff must stay >= 0.85x BM_TraceOverheadOff (a disarmed
-# fault::at site is one relaxed load).
+# fault::at site is one relaxed load), and BM_ServeCacheHit must stay
+# >= 10x BM_ServeCacheMiss (a content-addressed serve-cache hit beats
+# recomputing the job).
 #
 # The baseline records the CMAKE_BUILD_TYPE of the build tree it was taken
 # from (read from CMakeCache.txt, NOT from google-benchmark's self-reported
@@ -268,6 +270,26 @@ elif current:
             failures.append(
                 f"{name}: required by the one-pass sweep speedup "
                 "invariant but absent from this run")
+
+# Serve-cache invariant: a content-addressed hit (key + LRU lookup +
+# stored-bytes copy) must stay >= 10x faster than recomputing the same job
+# through the pipeline — the ratio the evaluation service exists to
+# deliver. Measured ~3000x on the recording host; 10x leaves room for any
+# realistic host while still catching a cache that silently recomputes.
+fast = current.get("BM_ServeCacheHit")
+ref = current.get("BM_ServeCacheMiss")
+if fast and ref:
+    speedup = fast / ref
+    print(f"serve-cache speedup (hit vs recompute): {speedup:.1f}x")
+    if speedup < 10.0:
+        failures.append(
+            f"serve-cache hit speedup {speedup:.1f}x < 10.0x required")
+elif current:
+    for name in ("BM_ServeCacheHit", "BM_ServeCacheMiss"):
+        if not current.get(name):
+            failures.append(
+                f"{name}: required by the serve-cache speedup invariant "
+                "but absent from this run")
 
 # Solver gate: wall-clock within tolerance, explored nodes never above the
 # recorded baseline (the search is deterministic — more nodes means the

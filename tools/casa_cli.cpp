@@ -287,22 +287,23 @@ int run(ArgParser& args) {
   copt.ilp_warm_start = !no_warm_start;
   copt.ilp_presolve = !no_ilp_presolve;
 
-  report::Outcome outcome;
+  using Job = report::Workbench::Job;
+  Job job;
   if (technique == "none") {
-    outcome = bench.run_cache_only(cache);
+    job = Job::cache_only_job(cache);
   } else if (technique == "casa") {
-    outcome = bench.run_casa(cache, spm, copt);
+    job = Job::casa_job(cache, spm, copt);
   } else if (technique == "greedy") {
     copt.engine = core::CasaEngine::kGreedy;
-    outcome = bench.run_casa(cache, spm, copt);
+    job = Job::casa_job(cache, spm, copt);
   } else if (technique == "steinke") {
-    outcome = bench.run_steinke(cache, spm);
+    job = Job::steinke_job(cache, spm);
   } else if (technique == "loopcache") {
-    outcome = bench.run_loopcache(cache, spm,
-                                  static_cast<unsigned>(lc_regions));
+    job = Job::loopcache_job(cache, spm, static_cast<unsigned>(lc_regions));
   } else {
     throw PreconditionError("unknown --technique: " + technique);
   }
+  const report::Outcome outcome = bench.evaluate(job).value();
 
   if (!save_problem.empty()) {
     traceopt::TraceFormationOptions topt;
@@ -407,14 +408,15 @@ int run(ArgParser& args) {
             << "  cache misses  " << c.cache_misses << "\n"
             << "  cycles        " << c.cycles << "\n";
   if (technique == "casa" || technique == "greedy") {
-    const auto& st = outcome.alloc.solver_stats;
-    std::cout << "  allocation    " << outcome.alloc.used_bytes << "/" << spm
-              << " B via " << core::to_string(outcome.alloc.engine_used)
-              << " (" << (outcome.alloc.exact ? "optimal" : "heuristic")
-              << ", " << outcome.alloc.solver_nodes << " nodes, "
+    const core::AllocationResult& alloc = outcome.alloc();
+    const auto& st = alloc.solver_stats;
+    std::cout << "  allocation    " << alloc.used_bytes << "/" << spm
+              << " B via " << core::to_string(alloc.engine_used)
+              << " (" << (alloc.exact ? "optimal" : "heuristic")
+              << ", " << alloc.solver_nodes << " nodes, "
               << st.bound_prunes + st.infeasible_prunes << " prunes, "
-              << outcome.alloc.solve_seconds * 1e3 << " ms)\n";
-    if (outcome.alloc.engine_used == core::CasaEngine::kGenericIlp) {
+              << alloc.solve_seconds * 1e3 << " ms)\n";
+    if (alloc.engine_used == core::CasaEngine::kGenericIlp) {
       std::cout << "  ilp search    presolve fixed " << st.presolve_fixed
                 << ", warm start "
                 << (st.warm_start_used ? "seeded" : "unused")
